@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the substrate components: DRAM device
+//! command throughput, DRAM Bender execution, cache access, and the
+//! software-memory-controller serve path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use easydram_bender::{BenderProgram, Executor};
+use easydram_cpu::{Cache, CacheConfig, CoreConfig, CoreModel, CpuApi, FixedLatencyBackend};
+use easydram_dram::{DramCommand, DramConfig, DramDevice, TimingParams};
+
+fn bench_device_commands(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram-device");
+    g.throughput(Throughput::Elements(3));
+    let t = TimingParams::ddr4_1333();
+    g.bench_function("act-rd-pre", |b| {
+        b.iter_batched_ref(
+            || DramDevice::new(DramConfig::small_for_tests()),
+            |dev| {
+                let base = dev.now_ps() + t.t_rp_ps;
+                dev.issue_raw(DramCommand::Activate { bank: 0, row: 7 }, base).unwrap();
+                dev.issue_raw(DramCommand::Read { bank: 0, col: 3 }, base + t.t_rcd_ps)
+                    .unwrap();
+                dev.issue_raw(DramCommand::Precharge { bank: 0 }, base + t.t_ras_ps).unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_bender(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bender");
+    g.bench_function("rowclone-program", |b| {
+        let ex = Executor::new();
+        b.iter_batched_ref(
+            || {
+                let mut cfg = DramConfig::small_for_tests();
+                cfg.variation = easydram_dram::VariationConfig::ideal();
+                DramDevice::new(cfg)
+            },
+            |dev| {
+                let mut p = BenderProgram::new();
+                p.cmd(DramCommand::Activate { bank: 0, row: 1 }).unwrap();
+                p.cmd_after(DramCommand::Precharge { bank: 0 }, 3_000).unwrap();
+                p.cmd_after(DramCommand::Activate { bank: 0, row: 2 }, 3_000).unwrap();
+                p.cmd_auto(DramCommand::Precharge { bank: 0 }).unwrap();
+                ex.run(dev, &p, dev.now_ps()).unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("l1-hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d_32k());
+        cache.insert(0x1000, [7; 64], false);
+        b.iter(|| std::hint::black_box(cache.lookup(0x1000)));
+    });
+    g.finish();
+}
+
+fn bench_core_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("stream-1024-loads", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut core =
+                    CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(100));
+                let a = core.alloc(64 * 1024, 64);
+                (core, a)
+            },
+            |(core, a)| {
+                core.stream_begin();
+                for i in 0..1024u64 {
+                    std::hint::black_box(core.load_u64(*a + i * 64));
+                }
+                core.stream_end();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_device_commands, bench_bender, bench_cache, bench_core_streaming
+}
+criterion_main!(benches);

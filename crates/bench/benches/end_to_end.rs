@@ -1,0 +1,78 @@
+//! Criterion end-to-end benchmarks: host-side emulation throughput of the
+//! full EasyDRAM system and the Ramulator baseline (the engineering numbers
+//! behind Fig. 14's modeled speeds).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use easydram::{System, SystemConfig, TimingMode};
+use easydram_cpu::Workload;
+use easydram_ramulator::{RamulatorConfig, RamulatorSystem};
+use easydram_workloads::{polybench, PolySize};
+
+fn bench_easydram_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system-gemm-mini");
+    for mode in [TimingMode::Reference, TimingMode::TimeScaling, TimingMode::NoTimeScaling] {
+        g.bench_function(format!("{mode}"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        System::new(SystemConfig::jetson_nano(mode)),
+                        polybench::Gemm::new(PolySize::Mini),
+                    )
+                },
+                |(mut sys, mut w)| {
+                    std::hint::black_box(sys.run(&mut w).emulated_cycles);
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_ramulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ramulator-gemm-mini");
+    g.bench_function("simulate", |b| {
+        b.iter_batched(
+            || {
+                (
+                    RamulatorSystem::new(RamulatorConfig::default()),
+                    polybench::Gemm::new(PolySize::Mini),
+                )
+            },
+            |(mut sim, mut w)| {
+                std::hint::black_box(sim.run(&mut w).simulated_cycles);
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_lmbench_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lmbench-64k");
+    g.throughput(Throughput::Elements(2048));
+    g.bench_function("time-scaling", |b| {
+        b.iter_batched(
+            || {
+                (
+                    System::new(SystemConfig::jetson_nano(TimingMode::TimeScaling)),
+                    easydram_workloads::lmbench::LatMemRd::new(64 * 1024, 64),
+                )
+            },
+            |(mut sys, mut w)| {
+                w.run(sys.cpu());
+                std::hint::black_box(w.cycles_per_load());
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_easydram_modes, bench_ramulator, bench_lmbench_point
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Scratch diagnostics: hunt a data-path divergence (not a paper figure).
+
+use easydram::{System, SystemConfig, TimingMode};
+use easydram_cpu::Workload;
+use easydram_dram::MappingScheme;
+use easydram_workloads::{polybench, PolySize};
+
+fn main() {
+    for (label, mut cfg) in [
+        ("small/xor", SystemConfig::small_for_tests(TimingMode::Reference)),
+        ("jetson/xor", SystemConfig::jetson_nano(TimingMode::Reference)),
+    ] {
+        for scheme in [
+            MappingScheme::RowColBankXor,
+            MappingScheme::RowColBank,
+            MappingScheme::RowBankCol,
+        ] {
+            cfg.mapping = scheme;
+            let mut sys = System::new(cfg.clone());
+            let mut w = polybench::Gramschmidt::new(PolySize::Mini);
+            w.run(sys.cpu());
+            println!(
+                "{label} {scheme:?}: checksum {:?} corrupted-reads {} violations {}",
+                w.result_checksum(),
+                sys.tile().device().stats().corrupted_reads,
+                sys.tile().device().stats().violations,
+            );
+        }
+    }
+}

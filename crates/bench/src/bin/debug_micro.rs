@@ -1,0 +1,45 @@
+//! Scratch diagnostics for microbenchmark calibration (not a paper figure).
+
+use easydram::TimingMode;
+use easydram_bench::{jetson, Sim};
+use easydram_cpu::Workload;
+use easydram_workloads::micro::{CpuCopy, CpuInit, FlushMode, RowCloneCopy, RowCloneInit};
+
+fn main() {
+    for bytes in [8 * 1024u64, 64 * 1024, 128 * 1024, 512 * 1024] {
+        let mut sys = jetson(TimingMode::TimeScaling);
+        let mut w = CpuCopy::new(bytes);
+        let r1 = sys.run(&mut w);
+        let c = w.measured_cycles().unwrap();
+        eprintln!("   cpu-copy smc: {:?} reqs {} stalls {}", r1.smc.serve, r1.smc.requests, r1.core.stall_cycles);
+        let mut sys2 = jetson(TimingMode::TimeScaling);
+        let mut w2 = RowCloneCopy::new(bytes, FlushMode::NoFlush);
+        let r2 = sys2.run(&mut w2);
+        let rc = w2.measured_cycles().unwrap();
+        let o = w2.outcome();
+        eprintln!("   copy-cpu-equiv hits? rc-run smc: {:?}", r2.smc.serve);
+        println!(
+            "copy {bytes:>8}: cpu {c:>9} rc {rc:>9} rows {} fb {} mis {} | per-row cpu {} rc {}",
+            o.total_rows,
+            o.fallback_rows,
+            o.mismatches,
+            c / o.total_rows,
+            rc / o.total_rows
+        );
+        let mut s = Sim::Easy(Box::new(jetson(TimingMode::TimeScaling)));
+        let mut w = CpuInit::new(bytes);
+        let c = s.measure(&mut w);
+        let mut s = Sim::Easy(Box::new(jetson(TimingMode::TimeScaling)));
+        let mut w2 = RowCloneInit::new(bytes, FlushMode::NoFlush);
+        let rc = s.measure(&mut w2);
+        let o = w2.outcome();
+        println!(
+            "init {bytes:>8}: cpu {c:>9} rc {rc:>9} rows {} fb {} mis {} | per-row cpu {} rc {}",
+            o.total_rows,
+            o.fallback_rows,
+            o.mismatches,
+            c / o.total_rows,
+            rc / o.total_rows
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 8: average cycles per load instruction for increasing lmbench
+//! working-set sizes, on (1) EasyDRAM - No Time Scaling, (2) EasyDRAM -
+//! Time Scaling, and (3) the modeled Cortex-A57 ground truth.
+//!
+//! Paper result: the No-TS profile sits far below the real system in the
+//! main-memory region; the TS profile matches it.
+
+use easydram::TimingMode;
+use easydram_bench::{fmt_size, jetson, lmbench_sizes, pidram, print_table};
+use easydram_cpu::Workload;
+use easydram_workloads::lmbench::LatMemRd;
+
+fn profile(mut mk: impl FnMut() -> easydram::System, size: u64) -> f64 {
+    let mut sys = mk();
+    let mut w = LatMemRd::new(size, 64);
+    w.run(sys.cpu());
+    w.cycles_per_load().expect("ran")
+}
+
+fn main() {
+    let sizes = lmbench_sizes();
+    let mut rows = Vec::new();
+    let mut no_ts_mem = Vec::new();
+    let mut ts_mem = Vec::new();
+    let mut a57_mem = Vec::new();
+    for &size in &sizes {
+        let no_ts = profile(pidram, size);
+        let ts = profile(|| jetson(TimingMode::TimeScaling), size);
+        let a57 = profile(|| jetson(TimingMode::Reference), size);
+        if size >= 4 * 1024 * 1024 {
+            no_ts_mem.push(no_ts);
+            ts_mem.push(ts);
+            a57_mem.push(a57);
+        }
+        rows.push(vec![
+            fmt_size(size),
+            format!("{no_ts:.1}"),
+            format!("{ts:.1}"),
+            format!("{a57:.1}"),
+        ]);
+    }
+    print_table(
+        "Figure 8: cycles per LD instruction vs lmbench size",
+        &["size", "EasyDRAM-NoTS", "EasyDRAM-TS", "Cortex-A57 (ref)"],
+        &rows,
+    );
+    if !a57_mem.is_empty() {
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "\nMain-memory plateau: NoTS {:.1} | TS {:.1} | A57 {:.1} cycles/load",
+            avg(&no_ts_mem),
+            avg(&ts_mem),
+            avg(&a57_mem)
+        );
+        println!(
+            "Shape check: NoTS underestimates by {:.1}x; TS within {:.1}% of the real system",
+            avg(&a57_mem) / avg(&no_ts_mem),
+            (avg(&ts_mem) - avg(&a57_mem)).abs() / avg(&a57_mem) * 100.0
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Runs every table/figure harness in sequence (respects `EASYDRAM_QUICK`).
+//!
+//! Equivalent to running each `figNN_*`/`table1_*`/`validate_*` binary; see
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let bins = [
+        "table1_platforms",
+        "validate_timescaling",
+        "fig8_latency_profile",
+        "fig10_rowclone_noflush",
+        "fig11_rowclone_clflush",
+        "fig12_trcd_heatmap",
+        "fig13_trcd_speedup",
+        "fig14_sim_speed",
+    ];
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n########## {bin} ##########");
+        let status = Command::new(dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin} failed: {other:?}");
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiment harnesses completed.");
+    } else {
+        eprintln!("\nFailed harnesses: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Shared harness for regenerating every table and figure of the EasyDRAM
+//! paper's evaluation (see `EXPERIMENTS.md` for paper-vs-measured records).
+//!
+//! Each `src/bin/figNN_*.rs` binary prints the same rows/series the paper
+//! reports. The harness honours two environment variables:
+//!
+//! * `EASYDRAM_QUICK=1` — smaller sweeps for smoke runs and CI;
+//! * `EASYDRAM_MAX_BYTES=N` — cap the microbenchmark size sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use easydram::{System, SystemConfig, TimingMode};
+use easydram_cpu::Workload;
+use easydram_ramulator::{RamulatorConfig, RamulatorSystem};
+
+/// KiB.
+pub const KIB: u64 = 1024;
+/// MiB.
+pub const MIB: u64 = 1024 * 1024;
+
+/// Whether quick (CI) mode is enabled.
+#[must_use]
+pub fn quick() -> bool {
+    std::env::var("EASYDRAM_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// The paper's Fig. 10/11 size sweep: 8 KiB – 16 MiB, powers of two,
+/// optionally capped.
+#[must_use]
+pub fn micro_sizes() -> Vec<u64> {
+    let cap = std::env::var("EASYDRAM_MAX_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick() { 512 * KIB } else { 16 * MIB });
+    let mut sizes = Vec::new();
+    let mut s = 8 * KIB;
+    while s <= cap {
+        sizes.push(s);
+        s *= 2;
+    }
+    sizes
+}
+
+/// The Fig. 8 lmbench working-set sweep: 1 KiB – 16 MiB.
+#[must_use]
+pub fn lmbench_sizes() -> Vec<u64> {
+    let cap = if quick() { MIB } else { 16 * MIB };
+    let mut sizes = Vec::new();
+    let mut s = KIB;
+    while s <= cap {
+        sizes.push(s);
+        s *= 2;
+    }
+    sizes
+}
+
+/// Builds the paper's main EasyDRAM system in the given mode.
+#[must_use]
+pub fn jetson(mode: TimingMode) -> System {
+    let mut cfg = SystemConfig::jetson_nano(mode);
+    if quick() {
+        cfg.rowclone_test_trials = 100;
+    }
+    System::new(cfg)
+}
+
+/// Builds the PiDRAM-like No-Time-Scaling system of §7.2.
+#[must_use]
+pub fn pidram() -> System {
+    let mut cfg = SystemConfig::pidram_like();
+    if quick() {
+        cfg.rowclone_test_trials = 100;
+    }
+    System::new(cfg)
+}
+
+/// Builds the Ramulator 2.0 baseline.
+#[must_use]
+pub fn ramulator() -> RamulatorSystem {
+    RamulatorSystem::new(RamulatorConfig::default())
+}
+
+/// A simulator under measurement (EasyDRAM or the software baseline).
+pub enum Sim {
+    /// An EasyDRAM system.
+    Easy(Box<System>),
+    /// The Ramulator baseline.
+    Ram(Box<RamulatorSystem>),
+}
+
+impl Sim {
+    /// Runs a workload and returns its measured cycles (the workload's
+    /// measured region if it defines one, else the full run).
+    pub fn measure(&mut self, w: &mut dyn Workload) -> u64 {
+        match self {
+            Sim::Easy(s) => {
+                let r = s.run(w);
+                w.measured_cycles().unwrap_or(r.emulated_cycles)
+            }
+            Sim::Ram(s) => {
+                let r = s.run(w);
+                w.measured_cycles().unwrap_or(r.simulated_cycles)
+            }
+        }
+    }
+}
+
+/// Formats a byte count the way the paper's x-axes do (8K, 64K, 1M, ...).
+#[must_use]
+pub fn fmt_size(bytes: u64) -> String {
+    if bytes >= MIB {
+        format!("{}M", bytes / MIB)
+    } else {
+        format!("{}K", bytes / KIB)
+    }
+}
+
+/// Prints an aligned table: a header row and data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Geometric mean of a slice (for the paper's geomean rows).
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_powers_of_two() {
+        for s in micro_sizes() {
+            assert!(s.is_power_of_two());
+            assert!(s >= 8 * KIB);
+        }
+        assert!(lmbench_sizes().contains(&KIB));
+    }
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(fmt_size(8 * KIB), "8K");
+        assert_eq!(fmt_size(16 * MIB), "16M");
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Bender error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or executing a DRAM Bender program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenderError {
+    /// The program exceeded the command-buffer capacity (paper §5.1 ⑦).
+    ProgramTooLong {
+        /// The configured capacity in instructions.
+        capacity: usize,
+    },
+    /// More reads were issued than the readback buffer can hold (§5.1 ⑧).
+    ReadbackOverflow {
+        /// The configured readback capacity in cache lines.
+        capacity: usize,
+    },
+    /// The underlying device rejected a command (out of range coordinates or
+    /// a backwards-moving clock).
+    Device(String),
+}
+
+impl fmt::Display for BenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenderError::ProgramTooLong { capacity } => {
+                write!(f, "program exceeds command buffer capacity of {capacity} instructions")
+            }
+            BenderError::ReadbackOverflow { capacity } => {
+                write!(f, "readback buffer capacity of {capacity} lines exceeded")
+            }
+            BenderError::Device(msg) => write!(f, "device error: {msg}"),
+        }
+    }
+}
+
+impl Error for BenderError {}
+
+impl From<easydram_dram::DramError> for BenderError {
+    fn from(e: easydram_dram::DramError) -> Self {
+        BenderError::Device(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(BenderError::ProgramTooLong { capacity: 4 }.to_string().contains('4'));
+        assert!(BenderError::ReadbackOverflow { capacity: 9 }.to_string().contains('9'));
+        assert!(BenderError::Device("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,62 @@
+//! The DRAM Bender instruction set.
+//!
+//! The real DRAM Bender ISA packs per-DRAM-cycle command slots; we model the
+//! subset EasyDRAM uses: issue a DRAM command at a precisely controlled time,
+//! or sleep. Time control is the whole point — DRAM techniques are defined by
+//! their inter-command delays.
+
+use easydram_dram::DramCommand;
+
+/// When an instruction's command is issued relative to the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueAt {
+    /// Issue at the earliest time that satisfies every JEDEC timing rule
+    /// (never earlier than one DRAM clock after the previous command).
+    ///
+    /// Used for standard-compliant sequences, e.g. an ordinary read.
+    Auto,
+    /// Issue exactly `ps` picoseconds after the previous command — even if
+    /// that violates timing rules. This is how techniques like RowClone and
+    /// reduced-tRCD access are expressed.
+    After(u64),
+}
+
+/// One DRAM Bender instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BenderInstr {
+    /// Issue `cmd` with the given scheduling mode.
+    Cmd {
+        /// The DRAM command to put on the command bus.
+        cmd: DramCommand,
+        /// When to issue it.
+        at: IssueAt,
+    },
+    /// Advance the timeline by `ps` picoseconds without issuing anything.
+    Sleep {
+        /// Idle duration in picoseconds.
+        ps: u64,
+    },
+}
+
+impl BenderInstr {
+    /// The DRAM command carried by this instruction, if any.
+    #[must_use]
+    pub fn command(&self) -> Option<&DramCommand> {
+        match self {
+            BenderInstr::Cmd { cmd, .. } => Some(cmd),
+            BenderInstr::Sleep { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_accessor() {
+        let i = BenderInstr::Cmd { cmd: DramCommand::Refresh, at: IssueAt::Auto };
+        assert_eq!(i.command(), Some(&DramCommand::Refresh));
+        assert_eq!(BenderInstr::Sleep { ps: 10 }.command(), None);
+    }
+}

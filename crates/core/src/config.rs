@@ -1,0 +1,223 @@
+//! System configuration: emulation mode, FPGA platform constants, target
+//! system, and memory system.
+
+use easydram_bender::TransferCost;
+use easydram_cpu::CoreConfig;
+use easydram_dram::{DramConfig, MappingScheme};
+
+use crate::costs::SmcCostModel;
+
+/// How request latencies observed by the processor are computed (paper §3,
+/// §4.3, §6, §7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimingMode {
+    /// Ground truth for the modeled system: exact picosecond accounting of
+    /// the modeled memory controller + real DRAM timing (the paper's RTL
+    /// reference system in §6, and the stand-in for the real Cortex-A57
+    /// board in Fig. 8).
+    Reference,
+    /// EasyDRAM with time scaling: the same quantities computed through
+    /// FPGA-clock-quantized time-scaling counters (§4.3). Validated to be
+    /// within 0.1 % of `Reference` on average (§6).
+    TimeScaling,
+    /// EasyDRAM/PiDRAM without time scaling: the processor observes raw FPGA
+    /// wall-clock latencies scaled by its slow FPGA clock — the skewed
+    /// methodology the paper quantifies (§7.2).
+    NoTimeScaling,
+}
+
+impl std::fmt::Display for TimingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TimingMode::Reference => "reference",
+            TimingMode::TimeScaling => "time-scaling",
+            TimingMode::NoTimeScaling => "no-time-scaling",
+        };
+        f.write_str(s)
+    }
+}
+
+/// FPGA platform constants (paper §5, §6; see also `DESIGN.md` §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaConfig {
+    /// Clock of the tile domain: Rocket programmable core, tile control
+    /// logic, and DRAM Bender front end. The paper's Rocket runs at 100 MHz.
+    pub tile_clk_hz: u64,
+    /// Clock of the emulated-processor domain on the FPGA (BOOM is
+    /// synthesizable at a few tens of MHz on a VCU108).
+    pub proc_clk_hz: u64,
+    /// Cost model for command/readback transfers between the programmable
+    /// core and DRAM Bender.
+    pub transfer: TransferCost,
+}
+
+impl Default for FpgaConfig {
+    fn default() -> Self {
+        Self {
+            tile_clk_hz: 100_000_000,
+            proc_clk_hz: 25_000_000,
+            transfer: TransferCost::default(),
+        }
+    }
+}
+
+/// Complete configuration of an EasyDRAM [`crate::System`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Timing mode.
+    pub mode: TimingMode,
+    /// FPGA platform constants.
+    pub fpga: FpgaConfig,
+    /// The modeled (target) processor.
+    pub core: CoreConfig,
+    /// Emulated clock frequency at which software-memory-controller cycles
+    /// are converted to modeled-system scheduling latency (paper §4.3
+    /// step 11: "the duration spent on scheduling a memory request is
+    /// converted to the number of emulation cycles at the emulated system's
+    /// clock frequency").
+    pub mc_emul_hz: u64,
+    /// Fixed modeled memory-controller pipeline latency added to every
+    /// request (queueing, PHY) in picoseconds of emulated time.
+    pub mc_fixed_latency_ps: u64,
+    /// Per-EasyAPI-call Rocket-cycle costs.
+    pub smc_costs: SmcCostModel,
+    /// The DRAM device.
+    pub dram: DramConfig,
+    /// Physical-to-DRAM address mapping scheme.
+    pub mapping: MappingScheme,
+    /// Whether the emulated timeline charges periodic refresh (tRFC every
+    /// tREFI).
+    pub refresh_enabled: bool,
+    /// Number of RowClone trials the allocator uses to qualify a pair
+    /// (paper §7.1: 1000).
+    pub rowclone_test_trials: u32,
+    /// Extra tRCD margin (ps) the tRCD-reduction controller adds on top of
+    /// each row's profiled minimum.
+    pub trcd_margin_ps: u64,
+}
+
+impl SystemConfig {
+    /// The paper's main configuration: an NVIDIA Jetson Nano-class system
+    /// (Cortex-A57 at 1.43 GHz, 512 KiB L2) over single-rank DDR4-1333
+    /// (§6, §7.2).
+    #[must_use]
+    pub fn jetson_nano(mode: TimingMode) -> Self {
+        Self {
+            mode,
+            fpga: FpgaConfig::default(),
+            core: CoreConfig::cortex_a57(),
+            mc_emul_hz: 2_000_000_000,
+            mc_fixed_latency_ps: 24_000,
+            smc_costs: SmcCostModel::default(),
+            dram: DramConfig::default(),
+            // Bank-interleaved line mapping: read and writeback streams
+            // spread across banks instead of thrashing one row buffer.
+            mapping: MappingScheme::RowColBankXor,
+            refresh_enabled: true,
+            rowclone_test_trials: 1_000,
+            trcd_margin_ps: 0,
+        }
+    }
+
+    /// The PiDRAM-like configuration of §7.2: a simple in-order 50 MHz
+    /// processor observing raw FPGA latencies (No Time Scaling).
+    #[must_use]
+    pub fn pidram_like() -> Self {
+        Self {
+            mode: TimingMode::NoTimeScaling,
+            fpga: FpgaConfig { proc_clk_hz: 50_000_000, ..FpgaConfig::default() },
+            core: CoreConfig::pidram_50mhz(),
+            ..Self::jetson_nano(TimingMode::NoTimeScaling)
+        }
+    }
+
+    /// The §6 validation pair: a 1 GHz in-order-ish system emulated from a
+    /// 100 MHz FPGA processor clock. Returns the config for `mode`
+    /// (`TimeScaling` for EasyDRAM, `Reference` for the RTL reference).
+    #[must_use]
+    pub fn validation_1ghz(mode: TimingMode) -> Self {
+        let core = CoreConfig { freq_hz: 1_000_000_000, ..CoreConfig::cortex_a57() };
+        Self {
+            mode,
+            fpga: FpgaConfig { proc_clk_hz: 100_000_000, ..FpgaConfig::default() },
+            core,
+            ..Self::jetson_nano(mode)
+        }
+    }
+
+    /// A small-geometry configuration for fast unit tests.
+    #[must_use]
+    pub fn small_for_tests(mode: TimingMode) -> Self {
+        Self {
+            dram: DramConfig::small_for_tests(),
+            rowclone_test_trials: 100,
+            ..Self::jetson_nano(mode)
+        }
+    }
+
+    /// Validates all nested configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found in any component.
+    pub fn validate(&self) -> Result<(), String> {
+        self.core.validate()?;
+        self.dram.validate()?;
+        if self.fpga.tile_clk_hz == 0 || self.fpga.proc_clk_hz == 0 {
+            return Err("FPGA clocks must be non-zero".into());
+        }
+        if self.mc_emul_hz == 0 {
+            return Err("emulated MC frequency must be non-zero".into());
+        }
+        if self.rowclone_test_trials == 0 {
+            return Err("pair qualification needs at least one trial".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SystemConfig::jetson_nano(TimingMode::TimeScaling).validate().unwrap();
+        SystemConfig::pidram_like().validate().unwrap();
+        SystemConfig::validation_1ghz(TimingMode::Reference).validate().unwrap();
+        SystemConfig::small_for_tests(TimingMode::NoTimeScaling).validate().unwrap();
+    }
+
+    #[test]
+    fn pidram_matches_paper_shape() {
+        let c = SystemConfig::pidram_like();
+        assert_eq!(c.mode, TimingMode::NoTimeScaling);
+        assert_eq!(c.core.freq_hz, 50_000_000);
+        assert_eq!(c.fpga.proc_clk_hz, 50_000_000, "No-TS: processor runs at FPGA speed");
+    }
+
+    #[test]
+    fn validation_pair_share_target() {
+        let a = SystemConfig::validation_1ghz(TimingMode::TimeScaling);
+        let b = SystemConfig::validation_1ghz(TimingMode::Reference);
+        assert_eq!(a.core.freq_hz, b.core.freq_hz);
+        assert_eq!(a.fpga.proc_clk_hz, 100_000_000);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(TimingMode::TimeScaling.to_string(), "time-scaling");
+        assert_eq!(TimingMode::Reference.to_string(), "reference");
+        assert_eq!(TimingMode::NoTimeScaling.to_string(), "no-time-scaling");
+    }
+
+    #[test]
+    fn validation_catches_zero_clock() {
+        let mut c = SystemConfig::jetson_nano(TimingMode::Reference);
+        c.fpga.tile_clk_hz = 0;
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::jetson_nano(TimingMode::Reference);
+        c.mc_emul_hz = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Execution reports: everything a figure harness needs from one run.
+
+use easydram_cpu::cache::CacheLevelStats;
+use easydram_cpu::CoreStats;
+use easydram_dram::DeviceStats;
+
+use crate::config::TimingMode;
+use crate::smc::ServeResult;
+
+/// Software-memory-controller counters accumulated by the tile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmcStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Rocket cycles executed by controller code.
+    pub rocket_cycles: u64,
+    /// Tile-control/transfer FPGA cycles.
+    pub hw_cycles: u64,
+    /// DRAM Bender batches executed.
+    pub batches: u64,
+    /// Scheduling outcomes.
+    pub serve: ServeResult,
+    /// RowClone requests refused because the pair was not qualified
+    /// (CPU fallback).
+    pub rowclone_fallbacks: u64,
+}
+
+/// A complete account of one workload execution on an EasyDRAM system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Workload name.
+    pub name: String,
+    /// Timing mode the system ran in.
+    pub mode: TimingMode,
+    /// Emulated processor cycles consumed.
+    pub emulated_cycles: u64,
+    /// Emulated time at the target frequency, in seconds.
+    pub emulated_seconds: f64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Modeled FPGA wall-clock time, in seconds (processor-domain execution
+    /// plus every frozen interval spent in the software memory controller
+    /// and DRAM Bender).
+    pub fpga_wall_seconds: f64,
+    /// Simulation speed: emulated processor cycles per wall second (the
+    /// paper's Fig. 14 metric).
+    pub sim_speed_hz: f64,
+    /// Memory-system read requests per thousand emulated cycles (the
+    /// paper's LLC-MPKC metric, §8.3).
+    pub mem_reads_per_kilo_cycle: f64,
+    /// Core counters for the run window.
+    pub core: CoreStats,
+    /// L1 statistics (cumulative for the system).
+    pub l1: Option<CacheLevelStats>,
+    /// L2 statistics (cumulative for the system).
+    pub l2: Option<CacheLevelStats>,
+    /// DRAM device statistics (cumulative for the system).
+    pub dram: DeviceStats,
+    /// Controller statistics for the run window.
+    pub smc: SmcStats,
+}
+
+impl ExecutionReport {
+    /// Instructions per emulated cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.emulated_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.emulated_cycles as f64
+        }
+    }
+
+    /// Row-buffer hit rate among column accesses.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        let s = &self.smc.serve;
+        let total = s.row_hits + s.row_misses + s.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            s.row_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "[{}] {}: {} emulated cycles ({:.3} ms emulated, {:.3} ms FPGA wall)",
+            self.mode,
+            self.name,
+            self.emulated_cycles,
+            self.emulated_seconds * 1e3,
+            self.fpga_wall_seconds * 1e3,
+        )?;
+        writeln!(
+            f,
+            "  sim speed {:.2} MHz | IPC {:.2} | mem-reads/kcycle {:.2} | row-hit {:.0}%",
+            self.sim_speed_hz / 1e6,
+            self.ipc(),
+            self.mem_reads_per_kilo_cycle,
+            self.row_hit_rate() * 100.0,
+        )?;
+        writeln!(f, "  core: {}", self.core)?;
+        writeln!(f, "  dram: {}", self.dram)?;
+        write!(
+            f,
+            "  smc: {} reqs, {} rocket cycles, {} batches, {} rowclone fallbacks",
+            self.smc.requests, self.smc.rocket_cycles, self.smc.batches, self.smc.rowclone_fallbacks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            name: "test".into(),
+            mode: TimingMode::TimeScaling,
+            emulated_cycles: 1000,
+            emulated_seconds: 1e-6,
+            instructions: 1500,
+            fpga_wall_seconds: 1e-4,
+            sim_speed_hz: 1e7,
+            mem_reads_per_kilo_cycle: 2.2,
+            core: CoreStats::default(),
+            l1: None,
+            l2: None,
+            dram: DeviceStats::default(),
+            smc: SmcStats {
+                serve: ServeResult { row_hits: 3, row_misses: 1, ..ServeResult::default() },
+                ..SmcStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.ipc() - 1.5).abs() < 1e-9);
+        assert!((r.row_hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = report().to_string();
+        assert!(s.contains("time-scaling"));
+        assert!(s.contains("1000 emulated cycles"));
+        assert!(s.contains("sim speed 10.00 MHz"));
+    }
+
+    #[test]
+    fn zero_cycle_report_is_safe() {
+        let mut r = report();
+        r.emulated_cycles = 0;
+        r.smc.serve = ServeResult::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.row_hit_rate(), 0.0);
+    }
+}

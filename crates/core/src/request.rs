@@ -1,0 +1,96 @@
+//! Memory requests and responses as seen by the software memory controller.
+
+use easydram_dram::LINE_BYTES;
+
+/// What a request asks the memory system to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Fetch one cache line at a physical address.
+    Read {
+        /// Physical address of the line (64-byte aligned).
+        addr: u64,
+    },
+    /// Write one cache line back to memory.
+    Write {
+        /// Physical address of the line (64-byte aligned).
+        addr: u64,
+        /// The line contents.
+        data: [u8; LINE_BYTES],
+    },
+    /// Copy a whole DRAM row inside the device (RowClone, paper §7).
+    RowClone {
+        /// Physical address of the source row base.
+        src_addr: u64,
+        /// Physical address of the destination row base.
+        dst_addr: u64,
+    },
+    /// Test one cache line at a reduced tRCD (profiling request, §8.1).
+    ProfileTrcd {
+        /// Physical address of the line under test.
+        addr: u64,
+        /// The tRCD value to apply, in picoseconds.
+        trcd_ps: u64,
+    },
+}
+
+/// A request in the tile's hardware buffers / software request table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Monotonic request identifier.
+    pub id: u64,
+    /// The operation.
+    pub kind: RequestKind,
+    /// Processor-cycle tag at arrival (paper Fig. 5 ①: "the request is
+    /// tagged with the current processor cycle counter value").
+    pub arrival_cycle: u64,
+}
+
+/// A response produced by the software memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// The request this answers.
+    pub id: u64,
+    /// Line data for reads / profiling reads.
+    pub data: Option<[u8; LINE_BYTES]>,
+    /// Whether the data is known-corrupt (reduced-tRCD failure).
+    pub corrupted: bool,
+}
+
+impl MemRequest {
+    /// The physical line/row address this request targets (source row for
+    /// RowClone).
+    #[must_use]
+    pub fn addr(&self) -> u64 {
+        match self.kind {
+            RequestKind::Read { addr }
+            | RequestKind::Write { addr, .. }
+            | RequestKind::ProfileTrcd { addr, .. } => addr,
+            RequestKind::RowClone { src_addr, .. } => src_addr,
+        }
+    }
+
+    /// Whether this is a plain cache-line read.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, RequestKind::Read { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_extraction() {
+        let r = MemRequest { id: 1, kind: RequestKind::Read { addr: 0x1000 }, arrival_cycle: 5 };
+        assert_eq!(r.addr(), 0x1000);
+        assert!(r.is_read());
+        let rc = MemRequest {
+            id: 2,
+            kind: RequestKind::RowClone { src_addr: 0x2000, dst_addr: 0x4000 },
+            arrival_cycle: 9,
+        };
+        assert_eq!(rc.addr(), 0x2000);
+        assert!(!rc.is_read());
+    }
+}

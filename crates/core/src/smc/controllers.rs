@@ -1,0 +1,515 @@
+//! The software memory controllers shipped with EasyDRAM's software library
+//! (paper §5.2): FCFS (closed page) and FR-FCFS (open page), with optional
+//! tRCD reduction (§8) and RowClone (§7) support.
+
+use easydram_dram::{Geometry, VariationModel, LINE_BYTES};
+
+use crate::bloom::BloomFilter;
+use crate::request::{MemRequest, RequestKind};
+use crate::smc::easyapi::{EasyApi, RowBufferOutcome};
+use crate::smc::{ServeResult, SoftwareMemoryController};
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowPolicy {
+    /// Leave rows open after column access (FR-FCFS exploits the hits).
+    Open,
+    /// Precharge after every access (FCFS pairs with closed page).
+    Closed,
+}
+
+/// The tRCD-reduction plan loaded into the controller before emulation
+/// (paper §8.2): a Bloom filter of weak rows plus the reduced timing.
+///
+/// Rows outside the profiled coverage are conservatively treated as weak.
+#[derive(Debug, Clone)]
+pub struct TrcdPlan {
+    bloom: BloomFilter,
+    reduced_trcd_ps: u64,
+    covered_rows_per_bank: u32,
+    weak_rows: u64,
+}
+
+impl TrcdPlan {
+    /// The Bloom-filter key of a row.
+    #[must_use]
+    pub fn row_key(bank: u32, row: u32) -> u64 {
+        (u64::from(bank) << 32) | u64::from(row)
+    }
+
+    /// Builds a plan from profiled per-row minimum tRCD values
+    /// (`(bank, row, min_trcd_ps)` triples). Rows needing more than
+    /// `reduced_trcd_ps − margin_ps` are inserted as weak.
+    #[must_use]
+    pub fn from_profile(
+        rows: &[(u32, u32, u64)],
+        covered_rows_per_bank: u32,
+        reduced_trcd_ps: u64,
+        margin_ps: u64,
+    ) -> Self {
+        let mut bloom = BloomFilter::for_keys(rows.len() as u64 / 4 + 64, 0x0007_2CD0);
+        let mut weak_rows = 0;
+        for &(bank, row, min_ps) in rows {
+            if min_ps + margin_ps > reduced_trcd_ps {
+                bloom.insert(Self::row_key(bank, row));
+                weak_rows += 1;
+            }
+        }
+        Self { bloom, reduced_trcd_ps, covered_rows_per_bank, weak_rows }
+    }
+
+    /// Builds a plan directly from the device's variation field — the
+    /// "profiling results generated on the host machine and loaded to the
+    /// software memory controller before emulation begins" path (§8.2).
+    /// `covered_rows_per_bank` bounds the profiled region.
+    #[must_use]
+    pub fn from_variation(
+        variation: &VariationModel,
+        geometry: &Geometry,
+        covered_rows_per_bank: u32,
+        reduced_trcd_ps: u64,
+        margin_ps: u64,
+    ) -> Self {
+        let covered = covered_rows_per_bank.min(geometry.rows_per_bank);
+        let mut rows = Vec::new();
+        for bank in 0..geometry.banks() {
+            for row in 0..covered {
+                rows.push((bank, row, variation.row_min_trcd_ps(bank, row)));
+            }
+        }
+        Self::from_profile(&rows, covered, reduced_trcd_ps, margin_ps)
+    }
+
+    /// The tRCD to apply when opening `row` of `bank`: `Some(reduced)` for
+    /// known-strong rows, `None` (nominal) otherwise.
+    #[must_use]
+    pub fn trcd_for(&self, bank: u32, row: u32) -> Option<u64> {
+        if row >= self.covered_rows_per_bank {
+            return None; // outside profiled coverage: conservative
+        }
+        if self.bloom.contains(Self::row_key(bank, row)) {
+            None // weak (or false positive): nominal timing
+        } else {
+            Some(self.reduced_trcd_ps)
+        }
+    }
+
+    /// Number of rows recorded as weak.
+    #[must_use]
+    pub fn weak_rows(&self) -> u64 {
+        self.weak_rows
+    }
+
+    /// The reduced tRCD this plan applies, in ps.
+    #[must_use]
+    pub fn reduced_trcd_ps(&self) -> u64 {
+        self.reduced_trcd_ps
+    }
+}
+
+/// Deterministic pattern used by profiling requests.
+fn profile_pattern(id: u64) -> [u8; LINE_BYTES] {
+    let mut p = [0u8; LINE_BYTES];
+    for (i, chunk) in p.chunks_mut(8).enumerate() {
+        let w = easydram_dram::det::hash_coords(id, b"profile", &[i as u64]);
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+    p
+}
+
+/// Shared request-serving engine for both shipped controllers.
+fn serve_with_policy(
+    api: &mut EasyApi<'_>,
+    policy: RowPolicy,
+    trcd: Option<&TrcdPlan>,
+    use_frfcfs: bool,
+) -> ServeResult {
+    let mut res = ServeResult::default();
+    api.set_scheduling_state(true);
+    api.receive_all();
+    loop {
+        let pick = if use_frfcfs { api.schedule_frfcfs() } else { api.schedule_fcfs() };
+        let Some(idx) = pick else { break };
+        let req = api.take_request(idx);
+        serve_one(api, policy, trcd, &req, &mut res);
+        res.served += 1;
+    }
+    api.set_scheduling_state(false);
+    res
+}
+
+fn count(res: &mut ServeResult, outcome: RowBufferOutcome) {
+    match outcome {
+        RowBufferOutcome::Hit => res.row_hits += 1,
+        RowBufferOutcome::Miss => res.row_misses += 1,
+        RowBufferOutcome::Conflict => res.row_conflicts += 1,
+    }
+}
+
+fn serve_one(
+    api: &mut EasyApi<'_>,
+    policy: RowPolicy,
+    trcd: Option<&TrcdPlan>,
+    req: &MemRequest,
+    res: &mut ServeResult,
+) {
+    const BUF: &str = "command buffer sized for a single request";
+    match req.kind {
+        RequestKind::Read { addr } => {
+            let d = api.get_addr_mapping(addr);
+            // "Each time a DRAM row is opened, the software memory
+            // controller checks the Bloom filter" (§8.2) — row hits skip
+            // both the check and the reduced timing (the row is already
+            // open).
+            let will_activate = api.open_row(d.bank) != Some(d.row);
+            let reduced = if will_activate {
+                trcd.and_then(|plan| {
+                    api.charge_bloom_check();
+                    plan.trcd_for(d.bank, d.row)
+                })
+            } else {
+                None
+            };
+            if reduced.is_some() {
+                res.reduced_trcd_accesses += 1;
+            }
+            let outcome = api.read_sequence(d, reduced).expect(BUF);
+            count(res, outcome);
+            if policy == RowPolicy::Closed {
+                api.ddr_precharge(d.bank).expect(BUF);
+            }
+            let (data, corrupted) = {
+                let r = api.flush_commands().expect(BUF);
+                (r.reads[0], r.read_corrupted[0])
+            };
+            api.enqueue_response(req.id, Some(data), corrupted);
+        }
+        RequestKind::Write { addr, data } => {
+            let d = api.get_addr_mapping(addr);
+            let will_activate = api.open_row(d.bank) != Some(d.row);
+            let reduced = if will_activate {
+                trcd.and_then(|plan| {
+                    api.charge_bloom_check();
+                    plan.trcd_for(d.bank, d.row)
+                })
+            } else {
+                None
+            };
+            if reduced.is_some() {
+                res.reduced_trcd_accesses += 1;
+            }
+            let outcome = api.write_sequence(d, data, reduced).expect(BUF);
+            count(res, outcome);
+            if policy == RowPolicy::Closed {
+                api.ddr_precharge(d.bank).expect(BUF);
+            }
+            api.flush_commands().expect(BUF);
+            api.enqueue_response(req.id, None, false);
+        }
+        RequestKind::RowClone { src_addr, dst_addr } => {
+            let s = api.get_addr_mapping(src_addr);
+            let d = api.get_addr_mapping(dst_addr);
+            // The sequence manipulates raw bank state: close any open row
+            // first so the ACT→PRE→ACT gaps are exactly ours.
+            if api.open_row(s.bank).is_some() {
+                api.ddr_precharge(s.bank).expect(BUF);
+            }
+            api.rowclone(s, d).expect(BUF);
+            api.flush_commands().expect(BUF);
+            api.enqueue_response(req.id, None, false);
+        }
+        RequestKind::ProfileTrcd { addr, trcd_ps } => {
+            let d = api.get_addr_mapping(addr);
+            let pattern = profile_pattern(req.id);
+            // 1) initialize the target cache line with a known pattern,
+            if api.open_row(d.bank).is_some() {
+                api.ddr_precharge(d.bank).expect(BUF);
+            }
+            api.ddr_activate(d.bank, d.row).expect(BUF);
+            api.ddr_write(d.bank, d.col, pattern).expect(BUF);
+            api.ddr_precharge(d.bank).expect(BUF);
+            // 2) access it with the requested tRCD,
+            api.ddr_activate(d.bank, d.row).expect(BUF);
+            api.ddr_read_after(d.bank, d.col, trcd_ps).expect(BUF);
+            api.ddr_precharge(d.bank).expect(BUF);
+            let data = {
+                let r = api.flush_commands().expect(BUF);
+                r.reads[0]
+            };
+            // 3) report whether the reduced value read correctly.
+            let ok = data == pattern;
+            api.enqueue_response(req.id, Some(data), !ok);
+        }
+    }
+}
+
+/// FR-FCFS controller with an open-page policy — EasyDRAM's default
+/// (paper §5.2), optionally extended with tRCD reduction (§8).
+#[derive(Debug, Clone, Default)]
+pub struct FrFcfsController {
+    trcd: Option<TrcdPlan>,
+}
+
+impl FrFcfsController {
+    /// A plain FR-FCFS controller.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { trcd: None }
+    }
+
+    /// An FR-FCFS controller that accesses known-strong rows at reduced
+    /// tRCD.
+    #[must_use]
+    pub fn with_trcd_reduction(plan: TrcdPlan) -> Self {
+        Self { trcd: Some(plan) }
+    }
+
+    /// The installed tRCD plan, if any.
+    #[must_use]
+    pub fn trcd_plan(&self) -> Option<&TrcdPlan> {
+        self.trcd.as_ref()
+    }
+}
+
+impl SoftwareMemoryController for FrFcfsController {
+    fn name(&self) -> &str {
+        if self.trcd.is_some() {
+            "frfcfs+trcd-reduction"
+        } else {
+            "frfcfs"
+        }
+    }
+
+    fn serve(&mut self, api: &mut EasyApi<'_>) -> ServeResult {
+        serve_with_policy(api, RowPolicy::Open, self.trcd.as_ref(), true)
+    }
+}
+
+/// FCFS controller with a closed-page policy (paper Table 2,
+/// `FCFS::schedule`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsController;
+
+impl FcfsController {
+    /// Creates the controller.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SoftwareMemoryController for FcfsController {
+    fn name(&self) -> &str {
+        "fcfs"
+    }
+
+    fn serve(&mut self, api: &mut EasyApi<'_>) -> ServeResult {
+        serve_with_policy(api, RowPolicy::Closed, None, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easydram_bender::{Executor, TransferCost};
+    use easydram_dram::{AddressMapper, DramConfig, DramDevice, MappingScheme};
+    use std::collections::{HashMap, VecDeque};
+
+    use crate::costs::SmcCostModel;
+
+    struct Fix {
+        dev: DramDevice,
+        ex: Executor,
+        map: AddressMapper,
+        remap: HashMap<u64, (u32, u32)>,
+        costs: SmcCostModel,
+        transfer: TransferCost,
+    }
+
+    impl Fix {
+        fn new() -> Self {
+            let dev = DramDevice::new(DramConfig::small_for_tests());
+            let geo = dev.config().geometry.clone();
+            Self {
+                dev,
+                ex: Executor::new(),
+                map: AddressMapper::new(geo, MappingScheme::RowBankCol),
+                remap: HashMap::new(),
+                costs: SmcCostModel::default(),
+                transfer: TransferCost::default(),
+            }
+        }
+
+        fn api(&mut self, reqs: Vec<MemRequest>) -> EasyApi<'_> {
+            let mut api = EasyApi::new(
+                &mut self.dev,
+                &self.ex,
+                &self.map,
+                &self.remap,
+                &self.costs,
+                &self.transfer,
+                100_000_000,
+                0,
+                VecDeque::new(),
+            );
+            for r in reqs {
+                api.push_incoming(r);
+            }
+            api
+        }
+    }
+
+    fn read_req(id: u64, addr: u64) -> MemRequest {
+        MemRequest { id, kind: RequestKind::Read { addr }, arrival_cycle: 0 }
+    }
+
+    #[test]
+    fn frfcfs_serves_reads_and_counts_hits() {
+        let mut f = Fix::new();
+        let mut ctrl = FrFcfsController::new();
+        // Same row twice, then a different row in the same bank.
+        let mut api = f.api(vec![read_req(0, 0), read_req(1, 64), read_req(2, 8192 * 2)]);
+        let res = ctrl.serve(&mut api);
+        assert_eq!(res.served, 3);
+        assert_eq!(res.row_hits, 1, "second access hits the open row");
+        assert!(res.row_misses >= 1);
+        let ledger = api.into_ledger();
+        assert_eq!(ledger.responses.len(), 3);
+        assert!(ledger.responses.iter().all(|r| r.data.is_some()));
+    }
+
+    #[test]
+    fn fcfs_closed_page_never_hits() {
+        let mut f = Fix::new();
+        let mut ctrl = FcfsController::new();
+        let mut api = f.api(vec![read_req(0, 0), read_req(1, 64)]);
+        let res = ctrl.serve(&mut api);
+        assert_eq!(res.served, 2);
+        assert_eq!(res.row_hits, 0, "closed page precharges after every access");
+    }
+
+    #[test]
+    fn write_then_read_round_trips_through_dram() {
+        let mut f = Fix::new();
+        let mut ctrl = FrFcfsController::new();
+        let mut line = [0u8; LINE_BYTES];
+        line[7] = 0x99;
+        let w = MemRequest { id: 0, kind: RequestKind::Write { addr: 192, data: line }, arrival_cycle: 0 };
+        let mut api = f.api(vec![w, read_req(1, 192)]);
+        ctrl.serve(&mut api);
+        let ledger = api.into_ledger();
+        let read_resp = ledger.responses.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(read_resp.data, Some(line));
+    }
+
+    #[test]
+    fn profiling_request_reports_correctness() {
+        let mut f = Fix::new();
+        let mut ctrl = FrFcfsController::new();
+        let nominal = f.dev.timing().t_rcd_ps;
+        // Nominal tRCD always reads correctly.
+        let ok_req = MemRequest {
+            id: 0,
+            kind: RequestKind::ProfileTrcd { addr: 0, trcd_ps: nominal },
+            arrival_cycle: 0,
+        };
+        // A drastically reduced tRCD must fail.
+        let bad_req = MemRequest {
+            id: 1,
+            kind: RequestKind::ProfileTrcd { addr: 0, trcd_ps: 2_000 },
+            arrival_cycle: 0,
+        };
+        let mut api = f.api(vec![ok_req, bad_req]);
+        ctrl.serve(&mut api);
+        let ledger = api.into_ledger();
+        assert!(!ledger.responses[0].corrupted, "nominal timing is reliable");
+        assert!(ledger.responses[1].corrupted, "2 ns tRCD cannot work");
+    }
+
+    #[test]
+    fn trcd_plan_classifies_rows() {
+        let f = Fix::new();
+        let geo = f.dev.config().geometry.clone();
+        let plan =
+            TrcdPlan::from_variation(f.dev.variation(), &geo, geo.rows_per_bank, 9_000, 0);
+        assert!(plan.weak_rows() > 0, "some rows must be weak");
+        let mut strong = 0;
+        let mut weak = 0;
+        for row in 0..geo.rows_per_bank {
+            match plan.trcd_for(0, row) {
+                Some(t) => {
+                    assert_eq!(t, 9_000);
+                    strong += 1;
+                }
+                None => weak += 1,
+            }
+        }
+        assert!(strong > weak, "majority of rows are strong (paper Fig. 12)");
+        // Uncovered rows are conservatively weak.
+        let narrow = TrcdPlan::from_variation(f.dev.variation(), &geo, 8, 9_000, 0);
+        assert_eq!(narrow.trcd_for(0, 100), None);
+    }
+
+    #[test]
+    fn trcd_plan_never_reduces_weak_rows() {
+        // The safety property: every row the plan reduces must truly be
+        // reliable at the reduced value (no false negatives in the filter).
+        let f = Fix::new();
+        let geo = f.dev.config().geometry.clone();
+        let var = f.dev.variation();
+        let plan = TrcdPlan::from_variation(var, &geo, geo.rows_per_bank, 9_000, 0);
+        for bank in 0..geo.banks() {
+            for row in (0..geo.rows_per_bank).step_by(7) {
+                if let Some(applied) = plan.trcd_for(bank, row) {
+                    assert!(
+                        var.row_min_trcd_ps(bank, row) <= applied,
+                        "bank {bank} row {row} reduced below its threshold"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trcd_reduction_controller_uses_reduced_timing() {
+        let mut f = Fix::new();
+        let geo = f.dev.config().geometry.clone();
+        let plan =
+            TrcdPlan::from_variation(f.dev.variation(), &geo, geo.rows_per_bank, 9_000, 0);
+        let mut ctrl = FrFcfsController::with_trcd_reduction(plan);
+        // Find a strong row and read from it.
+        let strong_row = (0..geo.rows_per_bank)
+            .find(|&r| ctrl.trcd_plan().unwrap().trcd_for(0, r).is_some())
+            .expect("a strong row exists");
+        let addr = f.map.to_phys(easydram_dram::DramAddress { bank: 0, row: strong_row, col: 0 });
+        let mut api = f.api(vec![read_req(0, addr)]);
+        let res = ctrl.serve(&mut api);
+        assert_eq!(res.reduced_trcd_accesses, 1);
+        let ledger = api.into_ledger();
+        assert!(!ledger.responses[0].corrupted, "strong row must read correctly at 9 ns");
+    }
+
+    #[test]
+    fn rowclone_request_copies_row() {
+        let mut f = Fix::new();
+        // Ideal variation so the pair is reliable.
+        let mut cfg = DramConfig::small_for_tests();
+        cfg.variation = easydram_dram::VariationConfig::ideal();
+        f.dev = DramDevice::new(cfg);
+        let pattern = vec![0xCDu8; 8192];
+        f.dev.write_row(0, 1, &pattern);
+        let src_addr = f.map.to_phys(easydram_dram::DramAddress { bank: 0, row: 1, col: 0 });
+        let dst_addr = f.map.to_phys(easydram_dram::DramAddress { bank: 0, row: 2, col: 0 });
+        let req = MemRequest {
+            id: 0,
+            kind: RequestKind::RowClone { src_addr, dst_addr },
+            arrival_cycle: 0,
+        };
+        let mut ctrl = FrFcfsController::new();
+        let mut api = f.api(vec![req]);
+        ctrl.serve(&mut api);
+        drop(api);
+        assert_eq!(f.dev.row_data(0, 2), pattern.as_slice());
+        assert_eq!(f.dev.stats().rowclone_successes, 1);
+    }
+}

@@ -1,0 +1,628 @@
+//! EasyAPI: the hardware-abstraction and software library surface that
+//! software memory controllers program against (paper §5.2, Table 2).
+//!
+//! Every call charges Rocket cycles from the [`SmcCostModel`] to the
+//! controller's ledger. The ledger feeds (a) the FPGA wall clock — how long
+//! the slow programmable core really took — and (b), through time scaling,
+//! the modeled system's scheduling latency.
+
+use std::collections::{HashMap, VecDeque};
+
+use easydram_bender::{BenderProgram, BenderResult, Executor, TransferCost};
+use easydram_dram::{
+    AddressMapper, DramAddress, DramCommand, DramDevice, LINE_BYTES,
+};
+
+use crate::costs::SmcCostModel;
+use crate::request::{MemRequest, MemResponse};
+
+/// Gap used between the ACT→PRE→ACT commands of a RowClone sequence (well
+/// below tRAS/tRP, comfortably inside the device's recognition window).
+pub const ROWCLONE_GAP_PS: u64 = 3_000;
+
+/// Everything the system needs back from one controller invocation.
+#[derive(Debug, Clone, Default)]
+pub struct ApiLedger {
+    /// Rocket cycles spent executing controller code (feeds scheduling
+    /// latency via time scaling).
+    pub rocket_cycles: u64,
+    /// FPGA tile cycles spent on command/readback transfers (wall time
+    /// only).
+    pub hw_cycles: u64,
+    /// Total DRAM time of executed command batches, in ps.
+    pub dram_elapsed_ps: u64,
+    /// DRAM bus occupancy (elapsed minus CAS pipeline latency), in ps.
+    pub dram_occupancy_ps: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Column (RD/WR) commands executed — each occupies the data bus for
+    /// one burst.
+    pub column_ops: u64,
+    /// Responses produced.
+    pub responses: Vec<MemResponse>,
+}
+
+/// The EasyAPI handle passed to [`crate::SoftwareMemoryController::serve`].
+#[derive(Debug)]
+pub struct EasyApi<'a> {
+    device: &'a mut DramDevice,
+    executor: &'a Executor,
+    mapper: &'a AddressMapper,
+    remap: &'a HashMap<u64, (u32, u32)>,
+    costs: &'a SmcCostModel,
+    transfer: &'a TransferCost,
+    row_bytes: u64,
+    wall_base_ps: u64,
+    tile_period_ps: u64,
+    incoming: VecDeque<MemRequest>,
+    table: Vec<MemRequest>,
+    program: BenderProgram,
+    ledger: ApiLedger,
+    extra_wall_ps: u64,
+    last_flush: Option<BenderResult>,
+    critical: bool,
+}
+
+impl<'a> EasyApi<'a> {
+    /// Creates an API handle for one controller invocation.
+    ///
+    /// `wall_base_ps` is the absolute FPGA/DRAM time at which the controller
+    /// starts executing.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        device: &'a mut DramDevice,
+        executor: &'a Executor,
+        mapper: &'a AddressMapper,
+        remap: &'a HashMap<u64, (u32, u32)>,
+        costs: &'a SmcCostModel,
+        transfer: &'a TransferCost,
+        tile_clk_hz: u64,
+        wall_base_ps: u64,
+        incoming: VecDeque<MemRequest>,
+    ) -> Self {
+        let row_bytes = u64::from(device.config().geometry.row_bytes);
+        Self {
+            device,
+            executor,
+            mapper,
+            remap,
+            costs,
+            transfer,
+            row_bytes,
+            wall_base_ps,
+            tile_period_ps: 1_000_000_000_000 / tile_clk_hz,
+            incoming,
+            table: Vec::new(),
+            program: BenderProgram::new(),
+            ledger: ApiLedger::default(),
+            extra_wall_ps: 0,
+            last_flush: None,
+            critical: false,
+        }
+    }
+
+    fn charge(&mut self, cycles: u64) {
+        self.ledger.rocket_cycles += cycles;
+    }
+
+    /// The absolute FPGA/DRAM wall time at the controller's current point of
+    /// execution.
+    #[must_use]
+    pub fn wall_now_ps(&self) -> u64 {
+        self.wall_base_ps
+            + (self.ledger.rocket_cycles + self.ledger.hw_cycles) * self.tile_period_ps
+            + self.extra_wall_ps
+    }
+
+    /// Rocket cycles charged so far.
+    #[must_use]
+    pub fn cycles_spent(&self) -> u64 {
+        self.ledger.rocket_cycles
+    }
+
+    /// Sets critical mode (`set_scheduling_state`, Table 2).
+    pub fn set_scheduling_state(&mut self, critical: bool) {
+        self.charge(self.costs.set_scheduling_state);
+        self.critical = critical;
+    }
+
+    /// Whether the controller is in critical mode.
+    #[must_use]
+    pub fn in_critical_mode(&self) -> bool {
+        self.critical
+    }
+
+    /// Whether the hardware request FIFO and the request table are both
+    /// empty (the `req_empty()` poll of paper Listing 1).
+    #[must_use = "polling has a purpose only if the result is inspected"]
+    pub fn req_empty(&mut self) -> bool {
+        self.charge(self.costs.poll);
+        self.incoming.is_empty() && self.table.is_empty()
+    }
+
+    /// Moves one request from the hardware FIFO into the software request
+    /// table (`receive_request` / `add_request`, Table 2) and returns a copy.
+    pub fn receive_request(&mut self) -> Option<MemRequest> {
+        self.charge(self.costs.receive_request);
+        let req = self.incoming.pop_front()?;
+        self.table.push(req);
+        Some(req)
+    }
+
+    /// Drains the entire hardware FIFO into the request table.
+    pub fn receive_all(&mut self) {
+        while !self.incoming.is_empty() {
+            let _ = self.receive_request();
+        }
+    }
+
+    /// The software request table (scratchpad memory).
+    #[must_use]
+    pub fn request_table(&self) -> &[MemRequest] {
+        &self.table
+    }
+
+    /// FCFS scheduling decision: the oldest request (`FCFS::schedule`).
+    pub fn schedule_fcfs(&mut self) -> Option<usize> {
+        self.charge(self.costs.schedule_fcfs);
+        (!self.table.is_empty()).then_some(0)
+    }
+
+    /// FR-FCFS scheduling decision: the oldest row-hit if any, else the
+    /// oldest request (`FRFCFS::schedule`).
+    pub fn schedule_frfcfs(&mut self) -> Option<usize> {
+        self.charge(self.costs.schedule_frfcfs);
+        if self.table.is_empty() {
+            return None;
+        }
+        let hit = self.table.iter().position(|r| {
+            let addr = self.map_addr(r.addr());
+            self.device.open_row(addr.bank) == Some(addr.row)
+        });
+        Some(hit.unwrap_or(0))
+    }
+
+    /// Removes the request at `idx` from the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn take_request(&mut self, idx: usize) -> MemRequest {
+        self.table.remove(idx)
+    }
+
+    fn map_addr(&self, phys: u64) -> DramAddress {
+        let vrow = phys / self.row_bytes;
+        let col = (phys % self.row_bytes) as u32 / LINE_BYTES as u32;
+        match self.remap.get(&vrow) {
+            Some(&(bank, row)) => DramAddress { bank, row, col },
+            None => self.mapper.to_dram(phys),
+        }
+    }
+
+    /// Translates a physical address to a DRAM coordinate
+    /// (`get_addr_mapping`, Table 2), honouring OS-level row remapping
+    /// installed by the RowClone allocator.
+    pub fn get_addr_mapping(&mut self, phys: u64) -> DramAddress {
+        self.charge(self.costs.addr_mapping);
+        self.map_addr(phys)
+    }
+
+    /// The row currently open in `bank` (tile shadow state; free).
+    #[must_use]
+    pub fn open_row(&self, bank: u32) -> Option<u32> {
+        self.device.open_row(bank)
+    }
+
+    /// Queries the weak-row Bloom filter cost point (§8.2). The filter
+    /// itself lives in the controller; this only charges the lookup.
+    pub fn charge_bloom_check(&mut self) {
+        self.charge(self.costs.bloom_check);
+    }
+
+    /// Appends an `ACT` at the earliest legal time (`ddr_activate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the command buffer is full.
+    pub fn ddr_activate(&mut self, bank: u32, row: u32) -> Result<(), easydram_bender::BenderError> {
+        self.charge(self.costs.build_command);
+        self.program.cmd_auto(DramCommand::Activate { bank, row })
+    }
+
+    /// Appends a `PRE` at the earliest legal time (`ddr_precharge`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the command buffer is full.
+    pub fn ddr_precharge(&mut self, bank: u32) -> Result<(), easydram_bender::BenderError> {
+        self.charge(self.costs.build_command);
+        self.program.cmd_auto(DramCommand::Precharge { bank })
+    }
+
+    /// Appends a `RD` at the earliest legal time (`ddr_read`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the command buffer is full.
+    pub fn ddr_read(&mut self, bank: u32, col: u32) -> Result<(), easydram_bender::BenderError> {
+        self.charge(self.costs.build_command);
+        self.program.cmd_auto(DramCommand::Read { bank, col })
+    }
+
+    /// Appends a `RD` exactly `delay_ps` after the previous command — the
+    /// reduced-tRCD access primitive (§8).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the command buffer is full.
+    pub fn ddr_read_after(
+        &mut self,
+        bank: u32,
+        col: u32,
+        delay_ps: u64,
+    ) -> Result<(), easydram_bender::BenderError> {
+        self.charge(self.costs.build_command);
+        self.program.cmd_after(DramCommand::Read { bank, col }, delay_ps)
+    }
+
+    /// Appends a `WR` at the earliest legal time (`ddr_write`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the command buffer is full.
+    pub fn ddr_write(
+        &mut self,
+        bank: u32,
+        col: u32,
+        data: [u8; LINE_BYTES],
+    ) -> Result<(), easydram_bender::BenderError> {
+        self.charge(self.costs.build_command);
+        self.program.cmd_auto(DramCommand::Write { bank, col, data })
+    }
+
+    /// Appends a `REF` at the earliest legal time (`ddr_refresh`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the command buffer is full.
+    pub fn ddr_refresh(&mut self) -> Result<(), easydram_bender::BenderError> {
+        self.charge(self.costs.build_command);
+        self.program.cmd_auto(DramCommand::Refresh)
+    }
+
+    /// Appends a RowClone command sequence: open the source row, interrupt
+    /// it with an early `PRE`, and immediately activate the destination row
+    /// (`rowclone`, Table 2; paper Figure 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the command buffer is full.
+    pub fn rowclone(
+        &mut self,
+        src: DramAddress,
+        dst: DramAddress,
+    ) -> Result<(), easydram_bender::BenderError> {
+        self.charge(self.costs.build_rowclone);
+        self.program.cmd_auto(DramCommand::Activate { bank: src.bank, row: src.row })?;
+        self.program
+            .cmd_after(DramCommand::Precharge { bank: src.bank }, ROWCLONE_GAP_PS)?;
+        self.program
+            .cmd_after(DramCommand::Activate { bank: dst.bank, row: dst.row }, ROWCLONE_GAP_PS)?;
+        self.program.cmd_auto(DramCommand::Precharge { bank: dst.bank })
+    }
+
+    /// Number of commands staged in the command buffer.
+    #[must_use]
+    pub fn staged_commands(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Ships the command batch to DRAM Bender and executes it
+    /// (`flush_commands`, Table 2). Returns the execution result; read data
+    /// lands in the readback buffer ([`BenderResult::reads`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates readback overflow or device addressing errors.
+    pub fn flush_commands(&mut self) -> Result<&BenderResult, easydram_bender::BenderError> {
+        let n_instrs = self.program.len();
+        self.ledger.hw_cycles += self.transfer.program_cycles(n_instrs);
+        let start = self.wall_now_ps();
+        let result = self.executor.run(self.device, &self.program, start)?;
+        self.ledger.hw_cycles += self.transfer.readback_cycles(result.reads.len());
+        self.ledger.batches += 1;
+        self.ledger.dram_elapsed_ps += result.elapsed_ps;
+        // Occupancy: the bus/bank time the batch holds the channel; the CAS
+        // pipeline latency of the final read overlaps with later batches in
+        // a real controller.
+        let t_cl = self.device.timing().t_cl_ps;
+        let columns = self
+            .program
+            .instrs()
+            .iter()
+            .filter(|i| i.command().is_some_and(DramCommand::is_column))
+            .count() as u64;
+        self.ledger.column_ops += columns;
+        let had_columns = columns > 0;
+        let occupancy = if had_columns {
+            result.elapsed_ps.saturating_sub(t_cl)
+        } else {
+            result.elapsed_ps
+        };
+        self.ledger.dram_occupancy_ps += occupancy;
+        self.extra_wall_ps += result.elapsed_ps;
+        self.program.clear();
+        self.last_flush = Some(result);
+        Ok(self.last_flush.as_ref().expect("just set"))
+    }
+
+    /// The most recent batch result (readback buffer contents).
+    #[must_use]
+    pub fn last_result(&self) -> Option<&BenderResult> {
+        self.last_flush.as_ref()
+    }
+
+    /// Finalizes a response (`enqueue_response`, Table 2).
+    pub fn enqueue_response(&mut self, id: u64, data: Option<[u8; LINE_BYTES]>, corrupted: bool) {
+        self.charge(self.costs.enqueue_response);
+        self.ledger.responses.push(MemResponse { id, data, corrupted });
+    }
+
+    /// Pushes a request into the hardware FIFO (used by the system and by
+    /// controller unit tests).
+    pub fn push_incoming(&mut self, req: MemRequest) {
+        self.incoming.push_back(req);
+    }
+
+    /// Tears the handle down into its ledger.
+    #[must_use]
+    pub fn into_ledger(self) -> ApiLedger {
+        self.ledger
+    }
+
+    /// Convenience: a standard read sequence for `addr` under an open-row
+    /// policy, returning the row-buffer outcome (hit/miss/conflict counters
+    /// are the caller's).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the command buffer is full.
+    pub fn read_sequence(
+        &mut self,
+        addr: DramAddress,
+        trcd_override_ps: Option<u64>,
+    ) -> Result<RowBufferOutcome, easydram_bender::BenderError> {
+        let outcome = match self.device.open_row(addr.bank) {
+            Some(r) if r == addr.row => RowBufferOutcome::Hit,
+            Some(_) => RowBufferOutcome::Conflict,
+            None => RowBufferOutcome::Miss,
+        };
+        if outcome == RowBufferOutcome::Conflict {
+            self.ddr_precharge(addr.bank)?;
+        }
+        if outcome != RowBufferOutcome::Hit {
+            self.ddr_activate(addr.bank, addr.row)?;
+            match trcd_override_ps {
+                Some(trcd) => self.ddr_read_after(addr.bank, addr.col, trcd)?,
+                None => self.ddr_read(addr.bank, addr.col)?,
+            }
+        } else {
+            self.ddr_read(addr.bank, addr.col)?;
+        }
+        Ok(outcome)
+    }
+
+    /// Convenience: a standard write sequence for `addr` under an open-row
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the command buffer is full.
+    pub fn write_sequence(
+        &mut self,
+        addr: DramAddress,
+        data: [u8; LINE_BYTES],
+        trcd_override_ps: Option<u64>,
+    ) -> Result<RowBufferOutcome, easydram_bender::BenderError> {
+        let outcome = match self.device.open_row(addr.bank) {
+            Some(r) if r == addr.row => RowBufferOutcome::Hit,
+            Some(_) => RowBufferOutcome::Conflict,
+            None => RowBufferOutcome::Miss,
+        };
+        if outcome == RowBufferOutcome::Conflict {
+            self.ddr_precharge(addr.bank)?;
+        }
+        if outcome != RowBufferOutcome::Hit {
+            self.ddr_activate(addr.bank, addr.row)?;
+            if let Some(trcd) = trcd_override_ps {
+                self.charge(self.costs.build_command);
+                self.program
+                    .cmd_after(DramCommand::Write { bank: addr.bank, col: addr.col, data }, trcd)?;
+                return Ok(outcome);
+            }
+        }
+        self.ddr_write(addr.bank, addr.col, data)?;
+        Ok(outcome)
+    }
+
+}
+
+/// Row-buffer state a column access found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowBufferOutcome {
+    /// The target row was already open.
+    Hit,
+    /// The bank was idle (row activated fresh).
+    Miss,
+    /// Another row was open (precharge + activate).
+    Conflict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+    use easydram_dram::{DramConfig, MappingScheme};
+
+    fn fixtures() -> (DramDevice, Executor, AddressMapper, HashMap<u64, (u32, u32)>) {
+        let dev = DramDevice::new(DramConfig::small_for_tests());
+        let geo = dev.config().geometry.clone();
+        (
+            dev,
+            Executor::new(),
+            AddressMapper::new(geo, MappingScheme::RowBankCol),
+            HashMap::new(),
+        )
+    }
+
+    fn api<'a>(
+        dev: &'a mut DramDevice,
+        ex: &'a Executor,
+        map: &'a AddressMapper,
+        remap: &'a HashMap<u64, (u32, u32)>,
+        costs: &'a SmcCostModel,
+        transfer: &'a TransferCost,
+    ) -> EasyApi<'a> {
+        EasyApi::new(dev, ex, map, remap, costs, transfer, 100_000_000, 0, VecDeque::new())
+    }
+
+    #[test]
+    fn listing1_style_flow() {
+        // Reproduce the paper's Listing 1: wait, receive, map, read, respond.
+        let (mut dev, ex, map, remap) = fixtures();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        let mut line = [0u8; LINE_BYTES];
+        line[0] = 0xEE;
+        dev.write_line(0, 0, 0, &line);
+        let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
+        a.push_incoming(MemRequest {
+            id: 7,
+            kind: RequestKind::Read { addr: 0 },
+            arrival_cycle: 0,
+        });
+        assert!(!a.req_empty());
+        let req = a.receive_request().unwrap();
+        let addr = a.get_addr_mapping(req.addr());
+        a.read_sequence(addr, None).unwrap();
+        let reads = {
+            let r = a.flush_commands().unwrap();
+            r.reads.clone()
+        };
+        assert_eq!(reads[0], line);
+        a.enqueue_response(req.id, Some(reads[0]), false);
+        let idx = a.schedule_fcfs().unwrap();
+        let _ = a.take_request(idx);
+        let ledger = a.into_ledger();
+        assert_eq!(ledger.responses.len(), 1);
+        assert_eq!(ledger.responses[0].id, 7);
+        assert!(ledger.rocket_cycles > 20, "API calls must cost cycles");
+        assert!(ledger.dram_elapsed_ps > 0);
+        assert_eq!(ledger.batches, 1);
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hits() {
+        let (mut dev, ex, map, remap) = fixtures();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        // Open row 5 of bank 0 so the second request is a hit.
+        let row5_addr = map.to_phys(DramAddress { bank: 0, row: 5, col: 0 });
+        let row9_addr = map.to_phys(DramAddress { bank: 0, row: 9, col: 0 });
+        let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
+        a.ddr_activate(0, 5).unwrap();
+        a.flush_commands().unwrap();
+        a.push_incoming(MemRequest {
+            id: 0,
+            kind: RequestKind::Read { addr: row9_addr },
+            arrival_cycle: 0,
+        });
+        a.push_incoming(MemRequest {
+            id: 1,
+            kind: RequestKind::Read { addr: row5_addr },
+            arrival_cycle: 1,
+        });
+        a.receive_all();
+        let pick = a.schedule_frfcfs().unwrap();
+        assert_eq!(a.request_table()[pick].id, 1, "FR-FCFS must pick the row hit");
+        // FCFS picks the oldest.
+        let pick = a.schedule_fcfs().unwrap();
+        assert_eq!(a.request_table()[pick].id, 0);
+    }
+
+    #[test]
+    fn remap_overrides_mapper() {
+        let (mut dev, ex, map, _) = fixtures();
+        let mut remap = HashMap::new();
+        remap.insert(0u64, (1u32, 77u32)); // virtual row 0 -> bank 1 row 77
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
+        let d = a.get_addr_mapping(128); // third line of virtual row 0
+        assert_eq!((d.bank, d.row, d.col), (1, 77, 2));
+        // Unmapped rows use the plain mapper.
+        let far = 10 * 8192;
+        assert_eq!(a.get_addr_mapping(far), map.to_dram(far));
+    }
+
+    #[test]
+    fn read_sequence_outcomes() {
+        let (mut dev, ex, map, remap) = fixtures();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
+        let addr = DramAddress { bank: 0, row: 3, col: 1 };
+        assert_eq!(a.read_sequence(addr, None).unwrap(), RowBufferOutcome::Miss);
+        a.flush_commands().unwrap();
+        assert_eq!(a.read_sequence(addr, None).unwrap(), RowBufferOutcome::Hit);
+        a.flush_commands().unwrap();
+        let other = DramAddress { bank: 0, row: 4, col: 0 };
+        assert_eq!(a.read_sequence(other, None).unwrap(), RowBufferOutcome::Conflict);
+        a.flush_commands().unwrap();
+    }
+
+    #[test]
+    fn rowclone_sequence_executes_in_device() {
+        let (mut dev, ex, map, remap) = fixtures();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        let pattern = vec![0x5Au8; 8192];
+        dev.write_row(0, 1, &pattern);
+        let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
+        let src = DramAddress { bank: 0, row: 1, col: 0 };
+        let dst = DramAddress { bank: 0, row: 2, col: 0 };
+        a.rowclone(src, dst).unwrap();
+        let result = a.flush_commands().unwrap();
+        assert_eq!(result.rowclones.len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_advances_with_work() {
+        let (mut dev, ex, map, remap) = fixtures();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
+        let w0 = a.wall_now_ps();
+        a.set_scheduling_state(true);
+        assert!(a.wall_now_ps() > w0, "rocket cycles advance the wall");
+        a.ddr_activate(0, 0).unwrap();
+        a.flush_commands().unwrap();
+        assert!(a.wall_now_ps() > w0 + 10_000, "bender time advances the wall");
+    }
+
+    #[test]
+    fn profiling_request_kind_round_trips() {
+        let (mut dev, ex, map, remap) = fixtures();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
+        a.push_incoming(MemRequest {
+            id: 3,
+            kind: RequestKind::ProfileTrcd { addr: 0, trcd_ps: 9_000 },
+            arrival_cycle: 0,
+        });
+        a.receive_all();
+        assert_eq!(a.request_table().len(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Software memory controllers (paper §4.1, §5.2).
+//!
+//! A software memory controller is an ordinary program — here a Rust type
+//! implementing [`SoftwareMemoryController`] — that serves memory requests
+//! through the [`easyapi::EasyApi`] surface of paper Table 2. The
+//! system invokes it whenever requests are pending; every API call charges
+//! Rocket cycles, and the accumulated ledger feeds time scaling.
+
+pub mod controllers;
+pub mod easyapi;
+
+pub use controllers::{FcfsController, FrFcfsController, RowPolicy, TrcdPlan};
+
+use crate::smc::easyapi::EasyApi;
+
+/// Summary a controller returns after a scheduling pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeResult {
+    /// Requests served in this pass.
+    pub served: u64,
+    /// Row-buffer hits among column accesses.
+    pub row_hits: u64,
+    /// Row misses (bank was idle).
+    pub row_misses: u64,
+    /// Row conflicts (another row was open).
+    pub row_conflicts: u64,
+    /// Accesses issued with a reduced tRCD.
+    pub reduced_trcd_accesses: u64,
+}
+
+impl std::ops::AddAssign for ServeResult {
+    fn add_assign(&mut self, rhs: Self) {
+        self.served += rhs.served;
+        self.row_hits += rhs.row_hits;
+        self.row_misses += rhs.row_misses;
+        self.row_conflicts += rhs.row_conflicts;
+        self.reduced_trcd_accesses += rhs.reduced_trcd_accesses;
+    }
+}
+
+/// A software memory controller: the C++ program of paper Listing 1,
+/// expressed as a trait.
+///
+/// Implementations must drain every pending request (`api.req_empty()`
+/// becomes true) before returning; the system converts the cycles charged to
+/// the API ledger into modeled scheduling latency.
+pub trait SoftwareMemoryController {
+    /// Controller name for reports.
+    fn name(&self) -> &str;
+
+    /// One scheduling pass: receive pending requests, issue DRAM commands,
+    /// enqueue responses.
+    fn serve(&mut self, api: &mut EasyApi<'_>) -> ServeResult;
+}

@@ -1,0 +1,756 @@
+//! The assembled EasyDRAM system: BOOM-class core + EasyTile (programmable
+//! memory controller + DRAM Bender) + real-DRAM model, advanced under one of
+//! the three timing modes.
+//!
+//! The [`Tile`] implements [`MemoryBackend`]: every cache-line request from
+//! the core runs end-to-end through the software memory controller
+//! ([`crate::SoftwareMemoryController`]), DRAM Bender, and the device — the
+//! lifetime of a memory request in paper Figure 6 — and the observed latency
+//! is computed per the configured [`TimingMode`]:
+//!
+//! * `Reference` — exact modeled-system accounting (ground truth);
+//! * `TimeScaling` — the same quantities through FPGA-quantized
+//!   time-scaling counters (paper §4.3);
+//! * `NoTimeScaling` — raw FPGA wall latency at the slow processor clock
+//!   (the PiDRAM-style skew of §7.2).
+
+use std::collections::{HashMap, VecDeque};
+
+use easydram_bender::Executor;
+use easydram_cpu::backend::{LineFetch, MemoryBackend, RowCloneRequestResult};
+use easydram_cpu::{CoreModel, CpuApi, Workload};
+use easydram_dram::{AddressMapper, DramDevice, LINE_BYTES};
+
+use crate::alloc::{remap_table, RowCloneAllocator};
+use crate::config::{SystemConfig, TimingMode};
+use crate::report::{ExecutionReport, SmcStats};
+use crate::request::{MemRequest, RequestKind};
+use crate::smc::easyapi::EasyApi;
+use crate::smc::{FrFcfsController, SoftwareMemoryController, TrcdPlan};
+use crate::timescale::{cycles_to_ps, ps_to_cycles_round, TimeScalingCounters};
+
+/// The EasyTile plus DRAM: the memory system behind the core.
+pub struct Tile {
+    cfg: SystemConfig,
+    device: DramDevice,
+    executor: Executor,
+    mapper: AddressMapper,
+    controller: Box<dyn SoftwareMemoryController>,
+    /// OS-style row remapping installed by the RowClone allocator.
+    remap: HashMap<u64, (u32, u32)>,
+    allocator: RowCloneAllocator,
+    /// Qualified copy pairs: `(src_vrow, dst_vrow) → passed the trial test`.
+    clonable: HashMap<(u64, u64), bool>,
+    /// Init sources: destination vrow → pattern-source vrow.
+    init_sources: HashMap<u64, u64>,
+    alloc_cursor: u64,
+    /// Absolute FPGA/DRAM wall clock, ps.
+    wall_ps: u64,
+    /// Total wall time the processor domain spent clock-gated, ps.
+    frozen_ps: u64,
+    /// Emulated-timeline availability of each bank (row prep overlaps
+    /// across banks in a real controller), ps.
+    bank_free_emul_ps: Vec<u64>,
+    /// Emulated-timeline availability of the shared data bus, ps.
+    bus_free_emul_ps: u64,
+    /// Next periodic refresh on the emulated timeline, ps.
+    next_ref_emul_ps: u64,
+    next_req_id: u64,
+    counters: TimeScalingCounters,
+    stats: SmcStats,
+    row_bytes: u64,
+}
+
+impl Tile {
+    fn new(cfg: SystemConfig) -> Self {
+        let device = DramDevice::new(cfg.dram.clone());
+        let geometry = cfg.dram.geometry.clone();
+        let mapper = AddressMapper::new(geometry.clone(), cfg.mapping);
+        let allocator = RowCloneAllocator::new(geometry.clone(), cfg.rowclone_test_trials);
+        let next_ref = cfg.dram.timing.t_refi_ps;
+        let row_bytes = u64::from(geometry.row_bytes);
+        let n_banks = geometry.banks() as usize;
+        Self {
+            cfg,
+            device,
+            executor: Executor::new(),
+            mapper,
+            controller: Box::new(FrFcfsController::new()),
+            remap: HashMap::new(),
+            allocator,
+            clonable: HashMap::new(),
+            init_sources: HashMap::new(),
+            alloc_cursor: 0x1_0000,
+            wall_ps: 0,
+            frozen_ps: 0,
+            bank_free_emul_ps: vec![0; n_banks],
+            bus_free_emul_ps: 0,
+            next_ref_emul_ps: next_ref,
+            next_req_id: 0,
+            counters: TimeScalingCounters::new(),
+            stats: SmcStats::default(),
+            row_bytes,
+        }
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The DRAM device (host-side access for verification and setup).
+    pub fn device_mut(&mut self) -> &mut DramDevice {
+        &mut self.device
+    }
+
+    /// The DRAM device.
+    #[must_use]
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// Accumulated controller statistics.
+    #[must_use]
+    pub fn smc_stats(&self) -> &SmcStats {
+        &self.stats
+    }
+
+    /// The time-scaling counters.
+    #[must_use]
+    pub fn counters(&self) -> &TimeScalingCounters {
+        &self.counters
+    }
+
+    /// Total modeled FPGA wall time so far given the processor has emulated
+    /// `proc_cycles` cycles: processor-domain execution plus frozen time.
+    #[must_use]
+    pub fn wall_ps_at(&self, proc_cycles: u64) -> u64 {
+        cycles_to_ps(proc_cycles, self.cfg.fpga.proc_clk_hz) + self.frozen_ps
+    }
+
+    /// Installs a different software memory controller.
+    pub fn install_controller(&mut self, controller: Box<dyn SoftwareMemoryController>) {
+        self.controller = controller;
+    }
+
+    /// The installed controller's name.
+    #[must_use]
+    pub fn controller_name(&self) -> &str {
+        self.controller.name()
+    }
+
+    fn virtual_row(&self, addr: u64) -> u64 {
+        addr / self.row_bytes
+    }
+
+    /// Remap-aware physical-to-DRAM translation (same logic as EasyAPI's
+    /// `get_addr_mapping`, used here for per-bank timeline bookkeeping).
+    fn map_addr(&self, phys: u64) -> easydram_dram::DramAddress {
+        let vrow = phys / self.row_bytes;
+        let col = (phys % self.row_bytes) as u32 / LINE_BYTES as u32;
+        match self.remap.get(&vrow) {
+            Some(&(bank, row)) => easydram_dram::DramAddress { bank, row, col },
+            None => self.mapper.to_dram(phys),
+        }
+    }
+
+    /// Serves one request end-to-end and returns `(response data, corrupted,
+    /// release cycle)`.
+    fn serve(&mut self, kind: RequestKind, issue_cycle: u64) -> (Option<[u8; LINE_BYTES]>, bool, u64) {
+        let f_core = self.cfg.core.freq_hz;
+        let mode = self.cfg.mode;
+        let arrival_emul_ps = cycles_to_ps(issue_cycle, f_core);
+        let base_wall = self.wall_ps_at(issue_cycle);
+        let start_wall = self.wall_ps.max(base_wall);
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        let req = MemRequest { id, kind, arrival_cycle: issue_cycle };
+
+        if mode == TimingMode::TimeScaling {
+            // Fig. 5 (b)-(c): tag, clock-gate, enter critical mode.
+            self.counters.advance_proc(issue_cycle);
+            self.counters.enter_critical();
+        }
+
+        let mut incoming = VecDeque::with_capacity(1);
+        incoming.push_back(req);
+        let mut api = EasyApi::new(
+            &mut self.device,
+            &self.executor,
+            &self.mapper,
+            &self.remap,
+            &self.cfg.smc_costs,
+            &self.cfg.fpga.transfer,
+            self.cfg.fpga.tile_clk_hz,
+            start_wall,
+            incoming,
+        );
+        let serve_res = self.controller.serve(&mut api);
+        let end_wall = api.wall_now_ps();
+        let ledger = api.into_ledger();
+
+        self.stats.requests += 1;
+        self.stats.rocket_cycles += ledger.rocket_cycles;
+        self.stats.hw_cycles += ledger.hw_cycles;
+        self.stats.batches += ledger.batches;
+        self.stats.serve += serve_res;
+
+        self.wall_ps = end_wall.max(self.wall_ps);
+        self.frozen_ps += end_wall.saturating_sub(base_wall);
+
+        let response = ledger
+            .responses
+            .iter()
+            .find(|r| r.id == id)
+            .copied()
+            .expect("controller must respond to every request");
+
+        // --- Emulated-timeline service (Reference / TimeScaling). ---
+        //
+        // The modeled single-channel memory system has bank-level
+        // parallelism: row preparation (PRE/ACT) proceeds per bank while the
+        // data bus serializes one burst per column command.
+        let timing = self.device.timing();
+        let t_rfc = timing.t_rfc_ps;
+        let t_refi = timing.t_refi_ps;
+        let t_cl = timing.t_cl_ps;
+        let t_burst = timing.t_burst_ps;
+        let sched_emul_ps = cycles_to_ps(ledger.rocket_cycles, self.cfg.mc_emul_hz);
+        let fixed_ps = self.cfg.mc_fixed_latency_ps;
+        let bank = self.map_addr(req.addr()).bank as usize;
+        let burst_total = ledger.column_ops * t_burst;
+        let prep_ps = ledger.dram_occupancy_ps.saturating_sub(burst_total);
+
+        let mut start_bank = arrival_emul_ps.max(self.bank_free_emul_ps[bank]);
+        if self.cfg.refresh_enabled {
+            while self.next_ref_emul_ps <= start_bank {
+                // All-bank refresh: every bank stalls for tRFC.
+                let ref_end = self.next_ref_emul_ps + t_rfc;
+                for b in &mut self.bank_free_emul_ps {
+                    *b = (*b).max(ref_end);
+                }
+                start_bank = start_bank.max(ref_end);
+                self.next_ref_emul_ps += t_refi;
+            }
+        }
+        let start_bus = (start_bank + prep_ps).max(self.bus_free_emul_ps);
+        let finish_mem_ps = if ledger.column_ops > 0 {
+            start_bus + burst_total + t_cl
+        } else {
+            // Row-only batches (RowClone) occupy the bank, not the bus.
+            start_bank + ledger.dram_occupancy_ps
+        };
+        self.bank_free_emul_ps[bank] = if ledger.column_ops > 0 {
+            start_bus + burst_total
+        } else {
+            finish_mem_ps
+        };
+        if ledger.column_ops > 0 {
+            self.bus_free_emul_ps = start_bus + burst_total;
+        }
+
+        let release_cycle = match mode {
+            TimingMode::Reference => {
+                let done = finish_mem_ps + sched_emul_ps + fixed_ps;
+                ps_to_cycles_round(done, f_core)
+            }
+            TimingMode::TimeScaling => {
+                // Each component crosses a clock-domain counter and is
+                // quantized: DRAM Bender reports whole DRAM-clock cycles
+                // back to the controller (Fig. 5 ④), and every component is
+                // converted to whole processor cycles separately (§4.3).
+                let t_ck = timing.t_ck_ps;
+                let finish_q = (finish_mem_ps + t_ck / 2) / t_ck * t_ck;
+                ps_to_cycles_round(finish_q, f_core)
+                    + ps_to_cycles_round(sched_emul_ps, f_core)
+                    + ps_to_cycles_round(fixed_ps, f_core)
+            }
+            TimingMode::NoTimeScaling => {
+                // The processor observes the raw wall latency at its own
+                // (FPGA) clock — no scaling.
+                let wall_latency = end_wall.saturating_sub(base_wall);
+                issue_cycle + ps_to_cycles_round(wall_latency, f_core).max(1)
+            }
+        };
+        let release_cycle = release_cycle.max(issue_cycle + 1);
+
+        if mode == TimingMode::TimeScaling {
+            // Fig. 5 ⑤/⑪: convert the batch duration and advance the MC
+            // counter; the response is tagged with its release cycle and the
+            // processors resume.
+            self.counters.advance_mc(release_cycle);
+            self.counters.advance_proc(issue_cycle.max(release_cycle.min(self.counters.mc_cycles)));
+            self.counters.exit_critical();
+            let tile_period = 1_000_000_000_000 / self.cfg.fpga.tile_clk_hz;
+            self.counters.tick_global(ledger.rocket_cycles + ledger.hw_cycles);
+            let _ = tile_period;
+        }
+
+        (response.data, response.corrupted, release_cycle)
+    }
+
+    fn bump_alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        let align = align.max(1);
+        let base = self.alloc_cursor.div_ceil(align) * align;
+        self.alloc_cursor = base + bytes;
+        assert!(
+            self.alloc_cursor < self.capacity_bytes(),
+            "allocation exceeds DRAM capacity"
+        );
+        base
+    }
+
+    /// Highest natural row index the bump allocator has touched in any bank
+    /// (used to keep remap pools collision-free).
+    fn natural_rows_used(&self) -> u32 {
+        let geo = &self.cfg.dram.geometry;
+        let span = u64::from(geo.row_bytes) * u64::from(geo.banks());
+        (self.alloc_cursor / span + 2) as u32
+    }
+
+    /// Serves a profiling request for one cache line at the given tRCD,
+    /// returning `true` when the line read back correctly (paper §8.1).
+    pub fn profile_line(
+        &mut self,
+        bank: u32,
+        row: u32,
+        col: u32,
+        trcd_ps: u64,
+        issue_cycle: u64,
+    ) -> bool {
+        let addr = self.mapper.to_phys(easydram_dram::DramAddress { bank, row, col });
+        let (_, corrupted, _) = self.serve(RequestKind::ProfileTrcd { addr, trcd_ps }, issue_cycle);
+        !corrupted
+    }
+}
+
+impl MemoryBackend for Tile {
+    fn read_line(&mut self, line_addr: u64, issue_cycle: u64) -> LineFetch {
+        let (data, _corrupted, release) =
+            self.serve(RequestKind::Read { addr: line_addr }, issue_cycle);
+        LineFetch { data: data.expect("read returns data"), complete_cycle: release }
+    }
+
+    fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
+        let (_, _, release) = self.serve(RequestKind::Write { addr: line_addr, data }, issue_cycle);
+        release
+    }
+
+    fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        self.bump_alloc(bytes, align)
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.cfg.dram.geometry.capacity_bytes()
+    }
+
+    fn row_bytes(&self) -> u64 {
+        self.row_bytes
+    }
+
+    fn rowclone(
+        &mut self,
+        src_row_addr: u64,
+        dst_row_addr: u64,
+        issue_cycle: u64,
+    ) -> Option<RowCloneRequestResult> {
+        let key = (self.virtual_row(src_row_addr), self.virtual_row(dst_row_addr));
+        let qualified = self.clonable.get(&key).copied().unwrap_or(false)
+            || self.init_sources.get(&key.1) == Some(&key.0);
+        if !qualified {
+            // The controller consults its qualification table and refuses:
+            // the caller falls back to CPU loads/stores (paper §7.1).
+            self.stats.rowclone_fallbacks += 1;
+            let check = cycles_to_ps(self.cfg.smc_costs.bloom_check, self.cfg.mc_emul_hz);
+            let done = issue_cycle + ps_to_cycles_round(check, self.cfg.core.freq_hz).max(1);
+            return Some(RowCloneRequestResult { complete_cycle: done, copied: false });
+        }
+        let (_, _, release) = self.serve(
+            RequestKind::RowClone { src_addr: src_row_addr, dst_addr: dst_row_addr },
+            issue_cycle,
+        );
+        Some(RowCloneRequestResult { complete_cycle: release, copied: true })
+    }
+
+    fn rowclone_alloc_copy(&mut self, bytes: u64) -> Option<(u64, u64)> {
+        let rb = self.row_bytes;
+        let n_rows = bytes.div_ceil(rb);
+        let src_base = self.bump_alloc(n_rows * rb, rb);
+        let dst_base = self.bump_alloc(n_rows * rb, rb);
+        let plan = {
+            let var = self.device.variation().clone();
+            self.allocator.plan_copy(&var, n_rows, src_base / rb, dst_base / rb)?
+        };
+        // Pool collision guard: remap rows live far above natural rows.
+        let used = self.natural_rows_used();
+        for b in 0..self.cfg.dram.geometry.banks() {
+            assert!(self.allocator.free_rows(b) > used, "remap pool collided with heap");
+        }
+        self.remap.extend(remap_table(&plan.remaps));
+        for (i, &ok) in plan.clonable.iter().enumerate() {
+            self.clonable.insert((src_base / rb + i as u64, dst_base / rb + i as u64), ok);
+        }
+        Some((src_base, dst_base))
+    }
+
+    fn rowclone_alloc_init(&mut self, bytes: u64) -> Option<(u64, Vec<u64>)> {
+        let rb = self.row_bytes;
+        let n_rows = bytes.div_ceil(rb);
+        let per_block = u64::from(self.cfg.dram.geometry.subarray_rows) - 1;
+        let blocks = n_rows.div_ceil(per_block);
+        let dst_base = self.bump_alloc(n_rows * rb, rb);
+        let src_base = self.bump_alloc(blocks * rb, rb);
+        let plan = {
+            let var = self.device.variation().clone();
+            self.allocator.plan_init(&var, n_rows, dst_base / rb, src_base / rb)?
+        };
+        self.remap.extend(remap_table(&plan.remaps));
+        for (j, src) in plan.sources.iter().enumerate() {
+            if let Some(s) = src {
+                self.init_sources.insert(dst_base / rb + j as u64, *s);
+            }
+        }
+        let src_addrs = plan.source_vrows.iter().map(|v| v * rb).collect();
+        Some((dst_base, src_addrs))
+    }
+
+    fn rowclone_init_source(&mut self, dst_row_addr: u64) -> Option<u64> {
+        self.init_sources.get(&self.virtual_row(dst_row_addr)).map(|v| v * self.row_bytes)
+    }
+}
+
+/// The assembled system: core + tile.
+pub struct System {
+    core: CoreModel<Tile>,
+}
+
+impl System {
+    /// Builds a system from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        let core_cfg = cfg.core.clone();
+        Self { core: CoreModel::new(core_cfg, Tile::new(cfg)) }
+    }
+
+    /// The processor interface workloads run on.
+    pub fn cpu(&mut self) -> &mut CoreModel<Tile> {
+        &mut self.core
+    }
+
+    /// The tile (memory system).
+    #[must_use]
+    pub fn tile(&self) -> &Tile {
+        self.core.backend()
+    }
+
+    /// Mutable tile access (host-side tooling).
+    pub fn tile_mut(&mut self) -> &mut Tile {
+        self.core.backend_mut()
+    }
+
+    /// Installs a different software memory controller.
+    pub fn install_controller(&mut self, controller: Box<dyn SoftwareMemoryController>) {
+        self.tile_mut().install_controller(controller);
+    }
+
+    /// Switches the controller to FR-FCFS with tRCD reduction, building the
+    /// weak-row Bloom filter from profiling results over the first
+    /// `covered_rows_per_bank` rows of every bank (paper §8.2).
+    pub fn enable_trcd_reduction(&mut self, covered_rows_per_bank: u32, reduced_trcd_ps: u64) {
+        let margin = self.tile().config().trcd_margin_ps;
+        let plan = {
+            let tile = self.tile();
+            TrcdPlan::from_variation(
+                tile.device().variation(),
+                &tile.config().dram.geometry,
+                covered_rows_per_bank,
+                reduced_trcd_ps,
+                margin,
+            )
+        };
+        self.install_controller(Box::new(FrFcfsController::with_trcd_reduction(plan)));
+    }
+
+    /// Runs a workload to completion and reports on its window.
+    pub fn run(&mut self, workload: &mut dyn Workload) -> ExecutionReport {
+        let cycles0 = self.core.now_cycles();
+        let instr0 = self.core.stats().instructions;
+        let reads0 = self.core.stats().mem_reads;
+        let smc0 = *self.tile().smc_stats();
+        workload.run(&mut self.core);
+        let mut r = self.report(workload.name());
+        r.emulated_cycles = self.core.now_cycles() - cycles0;
+        r.instructions = self.core.stats().instructions - instr0;
+        r.emulated_seconds = r.emulated_cycles as f64 / self.core.config().freq_hz as f64;
+        r.mem_reads_per_kilo_cycle = if r.emulated_cycles == 0 {
+            0.0
+        } else {
+            (self.core.stats().mem_reads - reads0) as f64 * 1000.0 / r.emulated_cycles as f64
+        };
+        r.smc.requests -= smc0.requests;
+        r.smc.rocket_cycles -= smc0.rocket_cycles;
+        r.smc.hw_cycles -= smc0.hw_cycles;
+        r.smc.batches -= smc0.batches;
+        if r.fpga_wall_seconds > 0.0 {
+            r.sim_speed_hz = r.emulated_cycles as f64 / r.fpga_wall_seconds;
+        }
+        r
+    }
+
+    /// A cumulative report over the system's whole lifetime.
+    #[must_use]
+    pub fn report(&self, name: &str) -> ExecutionReport {
+        let cycles = self.core.now_cycles();
+        let tile = self.core.backend();
+        let wall_ps = tile.wall_ps_at(cycles);
+        let wall_s = wall_ps as f64 / 1e12;
+        let emu_s = cycles as f64 / self.core.config().freq_hz as f64;
+        ExecutionReport {
+            name: name.to_string(),
+            mode: tile.config().mode,
+            emulated_cycles: cycles,
+            emulated_seconds: emu_s,
+            instructions: self.core.stats().instructions,
+            fpga_wall_seconds: wall_s,
+            sim_speed_hz: if wall_s > 0.0 { cycles as f64 / wall_s } else { 0.0 },
+            mem_reads_per_kilo_cycle: self.core.stats().mem_reads_per_kilo_cycle(cycles),
+            core: *self.core.stats(),
+            l1: self.core.l1_stats(),
+            l2: self.core.l2_stats(),
+            dram: *tile.device().stats(),
+            smc: *tile.smc_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SystemConfig, TimingMode};
+    use easydram_cpu::RowCloneStatus;
+
+    fn sys(mode: TimingMode) -> System {
+        System::new(SystemConfig::small_for_tests(mode))
+    }
+
+    #[test]
+    fn data_round_trips_through_full_stack() {
+        for mode in [TimingMode::Reference, TimingMode::TimeScaling, TimingMode::NoTimeScaling] {
+            let mut s = sys(mode);
+            let a = s.cpu().alloc(4096, 64);
+            for i in 0..512u64 {
+                s.cpu().store_u64(a + i * 8, i * 7 + 1);
+            }
+            // Push everything out of the caches and read back through DRAM.
+            for line in 0..64u64 {
+                s.cpu().clflush(a + line * 64);
+            }
+            s.cpu().fence();
+            for i in 0..512u64 {
+                assert_eq!(s.cpu().load_u64(a + i * 8), i * 7 + 1, "mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_latency_ordering_across_modes() {
+        // Dependent cold miss latency: NoTS (slow clock) << Reference ≈ TS.
+        let lat = |mode| {
+            let mut s = sys(mode);
+            let a = s.cpu().alloc(64, 64);
+            let t0 = s.cpu().now_cycles();
+            let _ = s.cpu().load_u64(a);
+            s.cpu().now_cycles() - t0
+        };
+        let reference = lat(TimingMode::Reference);
+        let ts = lat(TimingMode::TimeScaling);
+        let diff = reference.abs_diff(ts);
+        assert!(
+            diff * 100 <= reference.max(1),
+            "TS ({ts}) must track Reference ({reference}) within 1%"
+        );
+        assert!(reference > 50, "a 1.43 GHz core sees >50 cycles to DRAM, got {reference}");
+    }
+
+    #[test]
+    fn nots_sees_fewer_cycles_than_target_system() {
+        // The paper's core observation (Fig. 8): the slow-clocked system
+        // observes far fewer cycles per memory access.
+        let mut fast = sys(TimingMode::Reference);
+        let mut slow = System::new(SystemConfig {
+            dram: easydram_dram::DramConfig::small_for_tests(),
+            ..SystemConfig::pidram_like()
+        });
+        let lat = |s: &mut System| {
+            let a = s.cpu().alloc(64, 64);
+            let t0 = s.cpu().now_cycles();
+            let _ = s.cpu().load_u64(a);
+            s.cpu().now_cycles() - t0
+        };
+        let fast_lat = lat(&mut fast);
+        let slow_lat = lat(&mut slow);
+        assert!(
+            slow_lat * 4 < fast_lat * 3,
+            "No-TS latency {slow_lat} should be well below target-system {fast_lat}"
+        );
+    }
+
+    #[test]
+    fn rowclone_alloc_and_copy_end_to_end() {
+        let mut s = sys(TimingMode::TimeScaling);
+        let bytes = 4 * 8192u64;
+        let (src, dst) = s.cpu().rowclone_alloc_copy(bytes).expect("alloc succeeds");
+        // Write a pattern and flush it to DRAM.
+        for i in 0..bytes / 8 {
+            s.cpu().store_u64(src + i * 8, i ^ 0xABCD);
+        }
+        for line in 0..bytes / 64 {
+            s.cpu().clflush(src + line * 64);
+        }
+        s.cpu().fence();
+        let mut copied = 0;
+        for r in 0..4u64 {
+            match s.cpu().rowclone_row(src + r * 8192, dst + r * 8192) {
+                RowCloneStatus::Copied => copied += 1,
+                RowCloneStatus::FallbackNeeded => {
+                    for i in 0..1024u64 {
+                        let v = s.cpu().load_u64(src + r * 8192 + i * 8);
+                        s.cpu().store_u64(dst + r * 8192 + i * 8, v);
+                    }
+                }
+                RowCloneStatus::Unsupported => panic!("EasyDRAM supports RowClone"),
+            }
+        }
+        assert!(copied >= 1, "most pairs qualify");
+        // Verify the copy through the CPU path.
+        for i in 0..bytes / 8 {
+            assert_eq!(s.cpu().load_u64(dst + i * 8), i ^ 0xABCD, "word {i}");
+        }
+    }
+
+    #[test]
+    fn rowclone_init_end_to_end() {
+        let mut s = sys(TimingMode::TimeScaling);
+        let bytes = 4 * 8192u64;
+        let (dst, sources) = s.cpu().rowclone_alloc_init(bytes).expect("alloc succeeds");
+        assert!(!sources.is_empty());
+        // Fill the pattern source rows and flush them.
+        for &sr in &sources {
+            for i in 0..1024u64 {
+                s.cpu().store_u64(sr + i * 8, 0xF00D);
+            }
+            for line in 0..128u64 {
+                s.cpu().clflush(sr + line * 64);
+            }
+        }
+        s.cpu().fence();
+        for r in 0..4u64 {
+            let d = dst + r * 8192;
+            match s.cpu().rowclone_init_source(d) {
+                Some(src) => {
+                    let st = s.cpu().rowclone_row(src, d);
+                    assert_ne!(st, RowCloneStatus::Unsupported);
+                    if st == RowCloneStatus::FallbackNeeded {
+                        for i in 0..1024u64 {
+                            s.cpu().store_u64(d + i * 8, 0xF00D);
+                        }
+                    }
+                }
+                None => {
+                    for i in 0..1024u64 {
+                        s.cpu().store_u64(d + i * 8, 0xF00D);
+                    }
+                }
+            }
+        }
+        for i in 0..bytes / 8 {
+            assert_eq!(s.cpu().load_u64(dst + i * 8), 0xF00D, "word {i}");
+        }
+    }
+
+    #[test]
+    fn unqualified_pair_reports_fallback() {
+        let mut s = sys(TimingMode::TimeScaling);
+        let a = s.cpu().alloc(2 * 8192, 8192);
+        // Plain allocation: no qualified pairs installed.
+        let st = s.cpu().rowclone_row(a, a + 8192);
+        assert_eq!(st, RowCloneStatus::FallbackNeeded);
+        assert_eq!(s.tile().smc_stats().rowclone_fallbacks, 1);
+    }
+
+    #[test]
+    fn counters_maintain_invariant() {
+        let mut s = sys(TimingMode::TimeScaling);
+        let a = s.cpu().alloc(64 * 64, 64);
+        for i in 0..64u64 {
+            let _ = s.cpu().load_u64(a + i * 64);
+        }
+        let c = s.tile().counters();
+        assert!(c.invariant_holds());
+        assert!(c.mc_cycles > 0);
+    }
+
+    #[test]
+    fn wall_clock_grows_with_memory_traffic() {
+        let mut s = sys(TimingMode::TimeScaling);
+        let r0 = s.report("t0");
+        let a = s.cpu().alloc(64 * 256, 64);
+        for i in 0..256u64 {
+            let _ = s.cpu().load_u64(a + i * 64);
+        }
+        let r1 = s.report("t1");
+        assert!(r1.fpga_wall_seconds > r0.fpga_wall_seconds);
+        assert!(r1.smc.requests >= 256);
+        assert!(r1.sim_speed_hz > 0.0);
+    }
+
+    #[test]
+    fn run_reports_window_deltas() {
+        struct Tiny;
+        impl Workload for Tiny {
+            fn name(&self) -> &str {
+                "tiny"
+            }
+            fn run(&mut self, cpu: &mut dyn CpuApi) {
+                let a = cpu.alloc(4096, 64);
+                for i in 0..512u64 {
+                    cpu.store_u64(a + i * 8, i);
+                }
+            }
+        }
+        let mut s = sys(TimingMode::Reference);
+        let r1 = s.run(&mut Tiny);
+        let r2 = s.run(&mut Tiny);
+        assert!(r1.emulated_cycles > 0);
+        // Second run is a fresh window, not cumulative.
+        assert!(r2.emulated_cycles < r1.emulated_cycles * 3);
+        assert_eq!(r1.name, "tiny");
+    }
+
+    #[test]
+    fn refresh_charges_emulated_time() {
+        let mk = |refresh| {
+            let mut cfg = SystemConfig::small_for_tests(TimingMode::Reference);
+            cfg.refresh_enabled = refresh;
+            System::new(cfg)
+        };
+        let run = |s: &mut System| {
+            let a = s.cpu().alloc(64 * 2048, 64);
+            // Spread dependent misses over enough emulated time to cross
+            // several tREFI windows.
+            for i in 0..2048u64 {
+                let _ = s.cpu().load_u64(a + i * 64);
+            }
+            s.cpu().now_cycles()
+        };
+        let with = run(&mut mk(true));
+        let without = run(&mut mk(false));
+        assert!(with > without, "refresh must cost time: {with} vs {without}");
+    }
+}

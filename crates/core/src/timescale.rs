@@ -1,0 +1,196 @@
+//! Time-scaling counters and clock-domain conversions (paper §4.3, Fig. 5).
+//!
+//! Time scaling tracks three counters: the **processor cycle counter** (the
+//! emulation point of the processor domain, in emulated processor cycles),
+//! the **memory-controller cycle counter** (how far the memory system has
+//! emulated, in the same units), and the **global counter** (FPGA clock
+//! cycles since power-on). While a request is in flight the processor is
+//! clock-gated and its counter locked (*critical mode*); when the software
+//! memory controller finishes a command batch it converts the time spent
+//! into emulated cycles, advances the MC counter, and tags the response with
+//! the processor-cycle value at which it may be consumed.
+
+/// Converts a picosecond duration to clock cycles at `hz`, rounding to
+/// nearest (the quantization the FPGA counters introduce).
+#[must_use]
+pub fn ps_to_cycles_round(ps: u64, hz: u64) -> u64 {
+    ((u128::from(ps) * u128::from(hz) + 500_000_000_000) / 1_000_000_000_000) as u64
+}
+
+/// Converts a picosecond duration to clock cycles at `hz`, truncating.
+#[must_use]
+pub fn ps_to_cycles_floor(ps: u64, hz: u64) -> u64 {
+    ((u128::from(ps) * u128::from(hz)) / 1_000_000_000_000) as u64
+}
+
+/// Converts clock cycles at `hz` to picoseconds, rounding to nearest.
+#[must_use]
+pub fn cycles_to_ps(cycles: u64, hz: u64) -> u64 {
+    ((u128::from(cycles) * 1_000_000_000_000 + u128::from(hz) / 2) / u128::from(hz)) as u64
+}
+
+/// The three time-scaling counters (paper Fig. 5, right side).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeScalingCounters {
+    /// Processor-domain emulation point, in emulated processor cycles.
+    pub proc_cycles: u64,
+    /// Memory-controller emulation point, in emulated processor cycles.
+    pub mc_cycles: u64,
+    /// FPGA clock cycles since power-on (the reference timer).
+    pub global_cycles: u64,
+    /// Whether the software memory controller is in critical mode (the
+    /// processor cycle counter is locked).
+    pub critical: bool,
+}
+
+impl TimeScalingCounters {
+    /// Creates zeroed counters ("as the emulation starts, all counters are
+    /// initialized to 0").
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enters critical mode, locking the processor counter (Fig. 5-(c)).
+    ///
+    /// Outside critical mode both counters "are incremented every cycle
+    /// while the system has no unresolved memory requests" (§4.3), so the MC
+    /// counter first catches up to the processor's emulation point.
+    pub fn enter_critical(&mut self) {
+        self.mc_cycles = self.mc_cycles.max(self.proc_cycles);
+        self.critical = true;
+    }
+
+    /// Leaves critical mode; the counters synchronize as the processor
+    /// catches up (Fig. 5 end of §4.3).
+    pub fn exit_critical(&mut self) {
+        self.critical = false;
+        self.mc_cycles = self.mc_cycles.max(self.proc_cycles);
+    }
+
+    /// Advances the processor emulation point to `cycle` (the processor
+    /// "emulates the missing time scaled duration", Fig. 5-(e)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the counter is locked by critical mode and
+    /// the target exceeds the MC emulation point — the processor may never
+    /// emulate ahead of the software memory controller (§4.3: "SMC locks the
+    /// processor cycle counter such that the processor cannot emulate ahead
+    /// of SMC").
+    pub fn advance_proc(&mut self, cycle: u64) {
+        if self.critical {
+            assert!(
+                cycle <= self.mc_cycles,
+                "processor (target {cycle}) may not pass the MC counter ({}) in critical mode",
+                self.mc_cycles
+            );
+        }
+        self.proc_cycles = self.proc_cycles.max(cycle);
+    }
+
+    /// Advances the MC emulation point to `cycle` after a command batch
+    /// completes (Fig. 5 step ⑤/⑪).
+    pub fn advance_mc(&mut self, cycle: u64) {
+        self.mc_cycles = self.mc_cycles.max(cycle);
+    }
+
+    /// Advances the global FPGA-cycle counter by `cycles`.
+    pub fn tick_global(&mut self, cycles: u64) {
+        self.global_cycles += cycles;
+    }
+
+    /// The invariant that makes time scaling sound: in critical mode the
+    /// processor never emulates past the memory controller.
+    #[must_use]
+    pub fn invariant_holds(&self) -> bool {
+        !self.critical || self.proc_cycles <= self.mc_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip_on_grid() {
+        let hz = 1_430_000_000;
+        for c in [0u64, 1, 7, 100, 12_345] {
+            let ps = cycles_to_ps(c, hz);
+            assert_eq!(ps_to_cycles_round(ps, hz), c, "cycle {c}");
+        }
+    }
+
+    #[test]
+    fn round_vs_floor() {
+        // 1 cycle at 1 GHz = 1000 ps.
+        assert_eq!(ps_to_cycles_floor(1_999, 1_000_000_000), 1);
+        assert_eq!(ps_to_cycles_round(1_999, 1_000_000_000), 2);
+        assert_eq!(ps_to_cycles_round(1_499, 1_000_000_000), 1);
+    }
+
+    #[test]
+    fn no_overflow_at_large_times() {
+        // One hour of ps at 4 GHz.
+        let ps = 3_600 * 1_000_000_000_000u64;
+        let c = ps_to_cycles_round(ps, 4_000_000_000);
+        assert_eq!(c, 14_400_000_000_000);
+    }
+
+    #[test]
+    fn fig5_walkthrough() {
+        // Mirror the paper's Figure 5 narrative.
+        let mut ts = TimeScalingCounters::new();
+        // (b) processors run to cycle 100 and issue a request.
+        ts.tick_global(100);
+        ts.advance_proc(100);
+        // (c) SMC detects the request and enters critical mode.
+        ts.enter_critical();
+        ts.tick_global(50);
+        assert!(ts.invariant_holds());
+        // (d) ACT executed; MC counter advances to 105.
+        ts.advance_mc(105);
+        ts.tick_global(50);
+        // (e) processors emulate the missing duration, to 104 then 105.
+        ts.advance_proc(104);
+        assert!(ts.invariant_holds());
+        ts.advance_proc(105);
+        assert_eq!(ts.proc_cycles, ts.mc_cycles);
+        // (g) response executed; MC advances, processor catches up, exit.
+        ts.advance_mc(135);
+        ts.advance_proc(135);
+        ts.exit_critical();
+        assert!(ts.invariant_holds());
+        assert_eq!(ts.global_cycles, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "may not pass the MC counter")]
+    fn critical_mode_locks_processor() {
+        let mut ts = TimeScalingCounters::new();
+        ts.advance_mc(10);
+        ts.enter_critical();
+        ts.advance_proc(11);
+    }
+
+    #[test]
+    fn exit_critical_syncs_counters() {
+        let mut ts = TimeScalingCounters::new();
+        ts.advance_proc(500);
+        ts.enter_critical();
+        // proc was already at 500; mc behind.
+        ts.exit_critical();
+        assert_eq!(ts.mc_cycles, 500);
+    }
+
+    #[test]
+    fn advance_is_monotonic() {
+        let mut ts = TimeScalingCounters::new();
+        ts.advance_mc(100);
+        ts.advance_mc(50);
+        assert_eq!(ts.mc_cycles, 100);
+        ts.advance_proc(80);
+        ts.advance_proc(20);
+        assert_eq!(ts.proc_cycles, 80);
+    }
+}

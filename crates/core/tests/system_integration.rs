@@ -1,0 +1,258 @@
+//! System-level integration tests for the EasyDRAM core crate: request
+//! lifetimes, time-scaling counter behaviour under load, allocator stress,
+//! profiling-request semantics, and controller swapping.
+
+use easydram::{
+    FcfsController, System, SystemConfig, TimingMode,
+};
+use easydram_cpu::{CpuApi, RowCloneStatus};
+use easydram_dram::MappingScheme;
+
+fn sys(mode: TimingMode) -> System {
+    System::new(SystemConfig::small_for_tests(mode))
+}
+
+#[test]
+fn every_mapping_scheme_round_trips_data() {
+    for scheme in [
+        MappingScheme::RowBankCol,
+        MappingScheme::RowColBank,
+        MappingScheme::BankRowCol,
+        MappingScheme::RowColBankXor,
+    ] {
+        let mut cfg = SystemConfig::small_for_tests(TimingMode::Reference);
+        cfg.mapping = scheme;
+        let mut s = System::new(cfg);
+        let a = s.cpu().alloc(16 * 1024, 64);
+        for i in 0..2048u64 {
+            s.cpu().store_u64(a + i * 8, i.rotate_left(17));
+        }
+        for line in 0..256u64 {
+            s.cpu().clflush(a + line * 64);
+        }
+        s.cpu().fence();
+        for i in 0..2048u64 {
+            assert_eq!(s.cpu().load_u64(a + i * 8), i.rotate_left(17), "{scheme:?} word {i}");
+        }
+    }
+}
+
+#[test]
+fn time_scaling_counters_track_request_traffic() {
+    let mut s = sys(TimingMode::TimeScaling);
+    let a = s.cpu().alloc(64 * 128, 64);
+    for i in 0..128u64 {
+        let _ = s.cpu().load_u64(a + i * 64);
+    }
+    let c = *s.tile().counters();
+    assert!(c.invariant_holds());
+    assert!(!c.critical, "critical mode must end with each batch");
+    assert!(c.mc_cycles >= s.cpu().now_cycles() / 2, "MC counter tracks emulation");
+    assert!(c.global_cycles > 0, "global counter counts FPGA cycles");
+}
+
+#[test]
+fn reference_mode_keeps_counters_idle() {
+    let mut s = sys(TimingMode::Reference);
+    let a = s.cpu().alloc(64 * 16, 64);
+    for i in 0..16u64 {
+        let _ = s.cpu().load_u64(a + i * 64);
+    }
+    assert_eq!(s.tile().counters().mc_cycles, 0, "reference mode needs no time scaling");
+}
+
+#[test]
+fn controller_swap_mid_run_preserves_data() {
+    let mut s = sys(TimingMode::TimeScaling);
+    let a = s.cpu().alloc(8 * 1024, 64);
+    for i in 0..1024u64 {
+        s.cpu().store_u64(a + i * 8, i * 3);
+    }
+    for line in 0..128u64 {
+        s.cpu().clflush(a + line * 64);
+    }
+    s.cpu().fence();
+    // Swap FR-FCFS for FCFS while data sits in DRAM.
+    s.install_controller(Box::new(FcfsController::new()));
+    assert_eq!(s.tile().controller_name(), "fcfs");
+    for i in 0..1024u64 {
+        assert_eq!(s.cpu().load_u64(a + i * 8), i * 3);
+    }
+}
+
+#[test]
+fn fcfs_is_slower_than_frfcfs_on_streaming() {
+    let run = |fcfs: bool| {
+        let mut s = sys(TimingMode::Reference);
+        if fcfs {
+            s.install_controller(Box::new(FcfsController::new()));
+        }
+        let a = s.cpu().alloc(64 * 512, 64);
+        let t0 = s.cpu().now_cycles();
+        s.cpu().stream_begin();
+        for i in 0..512u64 {
+            let _ = s.cpu().load_u64(a + i * 64);
+        }
+        s.cpu().stream_end();
+        s.cpu().fence();
+        s.cpu().now_cycles() - t0
+    };
+    let frfcfs = run(false);
+    let fcfs = run(true);
+    assert!(
+        fcfs > frfcfs,
+        "closed-page FCFS ({fcfs}) must be slower than open-page FR-FCFS ({frfcfs})"
+    );
+}
+
+#[test]
+fn rowclone_alloc_scales_to_many_rows() {
+    let mut cfg = SystemConfig::small_for_tests(TimingMode::TimeScaling);
+    cfg.rowclone_test_trials = 20;
+    let mut s = System::new(cfg);
+    // 96 rows of copy pairs plus a 64-row init region in a 2-bank device.
+    let (src, dst) = s.cpu().rowclone_alloc_copy(96 * 8192).expect("copy alloc");
+    let (init_dst, sources) = s.cpu().rowclone_alloc_init(64 * 8192).expect("init alloc");
+    assert_ne!(src, dst);
+    assert!(!sources.is_empty());
+    // All four regions are disjoint in virtual space.
+    let regions = [
+        (src, 96 * 8192u64),
+        (dst, 96 * 8192),
+        (init_dst, 64 * 8192),
+    ];
+    for (i, &(a, la)) in regions.iter().enumerate() {
+        for &(b, lb) in &regions[i + 1..] {
+            assert!(a + la <= b || b + lb <= a, "regions overlap");
+        }
+    }
+    // Every init row resolves its source consistently.
+    for r in 0..64u64 {
+        if let Some(srow) = s.cpu().rowclone_init_source(init_dst + r * 8192) {
+            assert!(sources.contains(&srow), "unknown source row {srow:#x}");
+        }
+    }
+}
+
+#[test]
+fn rowclone_row_requires_row_alignment_semantics() {
+    // Misaligned (non-row-base) addresses still resolve to their containing
+    // virtual row; the operation applies to whole rows by construction.
+    let mut cfg = SystemConfig::small_for_tests(TimingMode::TimeScaling);
+    cfg.dram.variation = easydram_dram::VariationConfig::ideal();
+    cfg.rowclone_test_trials = 5;
+    let mut s = System::new(cfg);
+    let (src, dst) = s.cpu().rowclone_alloc_copy(2 * 8192).expect("alloc");
+    for i in 0..1024u64 {
+        s.cpu().store_u64(src + i * 8, 7 + i);
+    }
+    for line in 0..128u64 {
+        s.cpu().clflush(src + line * 64);
+    }
+    s.cpu().fence();
+    // Pass mid-row addresses: the containing rows are cloned.
+    let st = s.cpu().rowclone_row(src + 4096, dst + 64);
+    assert_eq!(st, RowCloneStatus::Copied);
+    assert_eq!(s.cpu().load_u64(dst), 7);
+}
+
+#[test]
+fn profiling_requests_work_in_all_modes() {
+    for mode in [TimingMode::Reference, TimingMode::TimeScaling, TimingMode::NoTimeScaling] {
+        let mut s = sys(mode);
+        let nominal = s.tile().device().timing().t_rcd_ps;
+        let issue = s.cpu().now_cycles();
+        assert!(
+            s.tile_mut().profile_line(0, 5, 0, nominal, issue),
+            "{mode}: nominal timing is reliable"
+        );
+        assert!(
+            !s.tile_mut().profile_line(0, 5, 0, 1_500, issue),
+            "{mode}: 1.5 ns tRCD cannot work"
+        );
+    }
+}
+
+#[test]
+fn report_window_accounts_are_consistent() {
+    let mut s = sys(TimingMode::TimeScaling);
+    let a = s.cpu().alloc(64 * 64, 64);
+    for i in 0..64u64 {
+        let _ = s.cpu().load_u64(a + i * 64);
+    }
+    let r = s.report("consistency");
+    assert_eq!(r.mode, TimingMode::TimeScaling);
+    assert!(r.emulated_seconds > 0.0);
+    assert!(r.fpga_wall_seconds > r.emulated_seconds, "25 MHz FPGA is slower than 1.43 GHz");
+    assert!(r.sim_speed_hz > 0.0);
+    assert!(r.ipc() > 0.0);
+    let smc = r.smc;
+    assert_eq!(smc.serve.served, smc.requests, "every request is served exactly once");
+    assert!(smc.rocket_cycles > smc.requests * 10, "API calls cost cycles");
+}
+
+#[test]
+fn emulated_latency_is_independent_of_fpga_clock_under_ts() {
+    // The whole point of time scaling: halving the FPGA tile clock must not
+    // change the modeled system's observed cycles (only the wall time).
+    let run = |tile_hz: u64| {
+        let mut cfg = SystemConfig::small_for_tests(TimingMode::TimeScaling);
+        cfg.fpga.tile_clk_hz = tile_hz;
+        let mut s = System::new(cfg);
+        let a = s.cpu().alloc(64 * 256, 64);
+        for i in 0..256u64 {
+            let _ = s.cpu().load_u64(a + i * 64);
+        }
+        let r = s.report("x");
+        (s.cpu().now_cycles(), r.fpga_wall_seconds)
+    };
+    let (cycles_fast, wall_fast) = run(100_000_000);
+    let (cycles_slow, wall_slow) = run(50_000_000);
+    let drift = cycles_fast.abs_diff(cycles_slow) as f64 / cycles_fast as f64;
+    assert!(drift < 0.02, "emulated cycles must not track the FPGA clock: {drift}");
+    assert!(wall_slow > wall_fast, "wall time must track the FPGA clock");
+}
+
+#[test]
+fn no_time_scaling_latency_tracks_fpga_clock() {
+    // Without time scaling the skew is proportional to the FPGA slowdown —
+    // the paper's core criticism of prior emulators.
+    let run = |tile_hz: u64| {
+        let mut cfg = SystemConfig::small_for_tests(TimingMode::NoTimeScaling);
+        cfg.fpga.tile_clk_hz = tile_hz;
+        let mut s = System::new(cfg);
+        let a = s.cpu().alloc(64, 64);
+        let t0 = s.cpu().now_cycles();
+        let _ = s.cpu().load_u64(a);
+        s.cpu().now_cycles() - t0
+    };
+    let fast_tile = run(200_000_000);
+    let slow_tile = run(50_000_000);
+    assert!(
+        slow_tile > fast_tile * 2,
+        "No-TS observed latency must grow with SMC slowness: {slow_tile} vs {fast_tile}"
+    );
+}
+
+#[test]
+fn device_violations_only_from_techniques() {
+    // Plain cached workloads must never violate JEDEC timing; RowClone must.
+    let mut s = sys(TimingMode::TimeScaling);
+    let a = s.cpu().alloc(64 * 128, 64);
+    for i in 0..128u64 {
+        s.cpu().store_u64(a + i * 64, i);
+    }
+    s.cpu().fence();
+    assert_eq!(s.tile().device().stats().violations, 0, "normal traffic is compliant");
+    let mut cfg = SystemConfig::small_for_tests(TimingMode::TimeScaling);
+    cfg.dram.variation = easydram_dram::VariationConfig::ideal();
+    cfg.rowclone_test_trials = 5;
+    let mut s = System::new(cfg);
+    let (src, dst) = s.cpu().rowclone_alloc_copy(8192).expect("alloc");
+    let _ = s.cpu().rowclone_row(src, dst);
+    assert!(
+        s.tile().device().stats().violations > 0,
+        "RowClone works by violating timings"
+    );
+    assert!(s.tile().device().stats().rowclone_attempts > 0);
+}

@@ -1,0 +1,139 @@
+//! [`CpuApi`]: the instruction-level interface workloads program against.
+//!
+//! Workloads are ordinary Rust functions over `&mut dyn CpuApi`; the same
+//! kernel source runs unchanged on the EasyDRAM system, the Ramulator
+//! baseline, and test backends — mirroring how the paper runs identical
+//! binaries on every evaluated platform.
+
+/// Result of a RowClone row-copy request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowCloneStatus {
+    /// The row was copied inside DRAM.
+    Copied,
+    /// The memory system supports RowClone but this pair is not reliably
+    /// clonable; the caller must fall back to CPU loads/stores (paper §7.1).
+    FallbackNeeded,
+    /// The memory system does not support RowClone at all.
+    Unsupported,
+}
+
+/// The execution-driven processor interface.
+///
+/// All addresses are physical byte addresses. Loads and stores move real
+/// data; timing is charged as a side effect of every call.
+pub trait CpuApi {
+    /// Allocates `bytes` of physical memory with the given alignment and
+    /// returns the base address.
+    fn alloc(&mut self, bytes: u64, align: u64) -> u64;
+
+    /// Loads `size` bytes (1, 2, 4, or 8; must not cross a cache line) and
+    /// returns them zero-extended.
+    fn load(&mut self, addr: u64, size: u8) -> u64;
+
+    /// Stores the low `size` bytes of `value` (must not cross a cache line).
+    fn store(&mut self, addr: u64, size: u8, value: u64);
+
+    /// Advances time by `ops` ALU instructions at the core's compute IPC.
+    fn compute(&mut self, ops: u64);
+
+    /// Flushes the cache line containing `addr` to main memory and
+    /// invalidates it (EasyDRAM's memory-mapped flush register, paper §7.1
+    /// "coherence problem").
+    fn clflush(&mut self, addr: u64);
+
+    /// Blocks until every outstanding memory request has completed.
+    fn fence(&mut self);
+
+    /// Marks subsequent loads as independent/streaming: the core overlaps
+    /// their misses up to the MSHR limit instead of stalling on each.
+    fn stream_begin(&mut self);
+
+    /// Ends streaming mode; subsequent loads are dependent again.
+    fn stream_end(&mut self);
+
+    /// Requests an in-DRAM copy of one row (`row_bytes()` long, row-aligned).
+    fn rowclone_row(&mut self, src_row_addr: u64, dst_row_addr: u64) -> RowCloneStatus;
+
+    /// Allocates a source/destination array pair of `bytes` each, placed so
+    /// that corresponding rows are RowClone-compatible (tested clonable
+    /// pairs). `None` when the memory system cannot provide one.
+    fn rowclone_alloc_copy(&mut self, bytes: u64) -> Option<(u64, u64)>;
+
+    /// Allocates a `bytes`-long destination array for RowClone
+    /// initialization, with one pattern source row reserved per subarray
+    /// used (paper §7.1). Returns `(dst_base, source_row_addrs)`.
+    fn rowclone_alloc_init(&mut self, bytes: u64) -> Option<(u64, Vec<u64>)>;
+
+    /// For a RowClone-init destination row, the source row it clones from,
+    /// or `None` if the pair is untested/unreliable (CPU fallback).
+    fn rowclone_init_source(&mut self, dst_row_addr: u64) -> Option<u64>;
+
+    /// The DRAM row size in bytes (the RowClone granularity).
+    fn row_bytes(&self) -> u64;
+
+    /// The core's current cycle count.
+    fn now_cycles(&self) -> u64;
+
+    /// Instructions retired so far.
+    fn instructions_retired(&self) -> u64;
+
+    // ---- Convenience accessors built on `load`/`store`. ----
+
+    /// Loads a little-endian `u64`.
+    fn load_u64(&mut self, addr: u64) -> u64 {
+        self.load(addr, 8)
+    }
+
+    /// Stores a little-endian `u64`.
+    fn store_u64(&mut self, addr: u64, value: u64) {
+        self.store(addr, 8, value);
+    }
+
+    /// Loads an `f64`.
+    fn load_f64(&mut self, addr: u64) -> f64 {
+        f64::from_bits(self.load(addr, 8))
+    }
+
+    /// Stores an `f64`.
+    fn store_f64(&mut self, addr: u64, value: f64) {
+        self.store(addr, 8, value.to_bits());
+    }
+
+    /// Loads an `f32`.
+    fn load_f32(&mut self, addr: u64) -> f32 {
+        f32::from_bits(self.load(addr, 4) as u32)
+    }
+
+    /// Stores an `f32`.
+    fn store_f32(&mut self, addr: u64, value: f32) {
+        self.store(addr, 4, u64::from(value.to_bits()));
+    }
+
+    /// Loads a byte.
+    fn load_u8(&mut self, addr: u64) -> u8 {
+        self.load(addr, 1) as u8
+    }
+
+    /// Stores a byte.
+    fn store_u8(&mut self, addr: u64, value: u8) {
+        self.store(addr, 1, u64::from(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreConfig, CoreModel, FixedLatencyBackend};
+
+    #[test]
+    fn typed_accessors_round_trip() {
+        let mut c = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(10));
+        let a = c.alloc(64, 64);
+        c.store_f64(a, 3.25);
+        assert_eq!(c.load_f64(a), 3.25);
+        c.store_f32(a + 8, -1.5);
+        assert_eq!(c.load_f32(a + 8), -1.5);
+        c.store_u8(a + 12, 0xEE);
+        assert_eq!(c.load_u8(a + 12), 0xEE);
+    }
+}

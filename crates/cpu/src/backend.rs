@@ -1,0 +1,124 @@
+//! The boundary between the core model and a memory system.
+//!
+//! Implemented by the EasyDRAM tile (`easydram::System`), the Ramulator-style
+//! baseline, and [`crate::FixedLatencyBackend`] for tests. All times are in
+//! **emulated processor cycles** — the backend owns whatever internal clock
+//! domains it needs (FPGA clocks, DRAM time, time scaling) and reports back
+//! when the core is allowed to observe each response.
+
+use crate::LINE_BYTES;
+
+/// A completed line fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineFetch {
+    /// The 64 bytes of the requested line.
+    pub data: [u8; LINE_BYTES],
+    /// Emulated processor cycle at which the core may consume the data.
+    pub complete_cycle: u64,
+}
+
+/// Outcome of a RowClone request issued through the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowCloneRequestResult {
+    /// Emulated processor cycle at which the operation finished.
+    pub complete_cycle: u64,
+    /// Whether the in-DRAM copy was performed; `false` means the memory
+    /// system knows the pair is not reliably clonable and the caller must
+    /// fall back to CPU loads/stores (paper §7.1).
+    pub copied: bool,
+}
+
+/// A memory system that serves cache-line traffic from the core.
+///
+/// Functional effects (data movement) happen at call time; the returned
+/// completion cycles carry the timing. `issue_cycle` is the emulated
+/// processor cycle at which the request leaves the core.
+///
+/// Memory *allocation policy* also lives here: RowClone-aware placement
+/// (row alignment, same-subarray tested pairs, per-subarray init source
+/// rows — paper §7.1) is a property of the memory system, not the core.
+pub trait MemoryBackend {
+    /// Fetches one cache line.
+    fn read_line(&mut self, line_addr: u64, issue_cycle: u64) -> LineFetch;
+
+    /// Writes one cache line back to memory. Returns the completion cycle
+    /// (the core does not usually wait on it, but fences may).
+    fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64;
+
+    /// Allocates `bytes` of physical memory at the given alignment.
+    fn alloc(&mut self, bytes: u64, align: u64) -> u64;
+
+    /// Bytes of backing storage this memory system exposes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// The DRAM row size in bytes (RowClone granularity). Backends without a
+    /// row structure report the default 8 KiB.
+    fn row_bytes(&self) -> u64 {
+        8_192
+    }
+
+    /// Requests an in-DRAM row-to-row copy between two row-aligned physical
+    /// addresses. `None` when the memory system does not support RowClone.
+    fn rowclone(
+        &mut self,
+        src_row_addr: u64,
+        dst_row_addr: u64,
+        issue_cycle: u64,
+    ) -> Option<RowCloneRequestResult> {
+        let _ = (src_row_addr, dst_row_addr, issue_cycle);
+        None
+    }
+
+    /// Allocates a RowClone-compatible copy pair (see
+    /// [`crate::CpuApi::rowclone_alloc_copy`]).
+    fn rowclone_alloc_copy(&mut self, bytes: u64) -> Option<(u64, u64)> {
+        let _ = bytes;
+        None
+    }
+
+    /// Allocates a RowClone-init destination region plus its per-subarray
+    /// pattern source rows (see [`crate::CpuApi::rowclone_alloc_init`]).
+    fn rowclone_alloc_init(&mut self, bytes: u64) -> Option<(u64, Vec<u64>)> {
+        let _ = bytes;
+        None
+    }
+
+    /// The tested init-source row for a destination row, if reliable.
+    fn rowclone_init_source(&mut self, dst_row_addr: u64) -> Option<u64> {
+        let _ = dst_row_addr;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop(u64);
+    impl MemoryBackend for Nop {
+        fn read_line(&mut self, _: u64, issue_cycle: u64) -> LineFetch {
+            LineFetch { data: [0; LINE_BYTES], complete_cycle: issue_cycle }
+        }
+        fn write_line(&mut self, _: u64, _: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
+            issue_cycle
+        }
+        fn alloc(&mut self, bytes: u64, _align: u64) -> u64 {
+            let a = self.0;
+            self.0 += bytes;
+            a
+        }
+        fn capacity_bytes(&self) -> u64 {
+            1 << 30
+        }
+    }
+
+    #[test]
+    fn rowclone_defaults_to_unsupported() {
+        let mut n = Nop(0);
+        assert!(n.rowclone(0, 8192, 0).is_none());
+        assert!(n.rowclone_alloc_copy(8192).is_none());
+        assert!(n.rowclone_alloc_init(8192).is_none());
+        assert!(n.rowclone_init_source(0).is_none());
+        assert_eq!(n.row_bytes(), 8192);
+    }
+}

@@ -1,0 +1,150 @@
+//! Core-model configuration and the paper's processor presets.
+
+use crate::cache::CacheConfig;
+
+/// Parameters of the modeled processor core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// The processor's clock frequency in Hz (the *emulated* frequency; how
+    /// cycles map to wall time is the memory backend's concern).
+    pub freq_hz: u64,
+    /// Sustained instructions per cycle for non-memory work.
+    pub compute_ipc: f64,
+    /// Maximum overlapping memory requests (MSHRs) for streaming accesses
+    /// and stores. `1` models a blocking in-order cache.
+    pub mshrs: usize,
+    /// L1 data cache, or `None` for an uncached level.
+    pub l1: Option<CacheConfig>,
+    /// Unified L2 / last-level cache, or `None`.
+    pub l2: Option<CacheConfig>,
+    /// Pipeline cost of issuing any memory operation, in cycles.
+    pub issue_cost_cycles: u64,
+    /// Cost of a `clflush` operation (the paper's memory-mapped flush
+    /// register write), in cycles, excluding the writeback itself.
+    pub clflush_cost_cycles: u64,
+    /// Round-trip time of the uncached MMIO accesses that trigger a RowClone
+    /// operation and poll its completion (the PiDRAM-style driver interface),
+    /// in nanoseconds. Constant in wall time, so a faster core spends more
+    /// cycles on it.
+    pub mmio_roundtrip_ns: u64,
+}
+
+impl CoreConfig {
+    /// Cortex-A57-class out-of-order core at 1.43 GHz: the NVIDIA Jetson
+    /// Nano CPU that EasyDRAM's time-scaled configuration targets (paper §6).
+    ///
+    /// The L2 is 512 KiB — the paper notes EasyDRAM's system has a 512 KiB
+    /// L2 whereas the Jetson Nano has 2 MiB.
+    #[must_use]
+    pub fn cortex_a57() -> Self {
+        Self {
+            name: "cortex-a57".into(),
+            freq_hz: 1_430_000_000,
+            compute_ipc: 2.0,
+            // 6 L2 MSHRs plus the stream prefetcher's outstanding lines.
+            mshrs: 8,
+            l1: Some(CacheConfig::l1d_32k()),
+            l2: Some(CacheConfig::l2_512k()),
+            issue_cost_cycles: 1,
+            clflush_cost_cycles: 4,
+            mmio_roundtrip_ns: 120,
+        }
+    }
+
+    /// The PiDRAM-style evaluation processor: a simple in-order core at
+    /// 50 MHz with a blocking cache (paper §7: "a simple in-order processor
+    /// clocked at 50 MHz"). EasyDRAM's No-Time-Scaling configuration models
+    /// the same system plus a 512 KiB L2.
+    #[must_use]
+    pub fn pidram_50mhz() -> Self {
+        Self {
+            name: "pidram-in-order-50mhz".into(),
+            freq_hz: 50_000_000,
+            compute_ipc: 1.0,
+            mshrs: 1,
+            l1: Some(CacheConfig::l1d_32k()),
+            l2: Some(CacheConfig::l2_512k()),
+            issue_cost_cycles: 1,
+            clflush_cost_cycles: 4,
+            mmio_roundtrip_ns: 120,
+        }
+    }
+
+    /// The simple out-of-order core model used by the Ramulator 2.0 baseline:
+    /// only a 512 KiB 8-way LLC, no L1 (paper §7.2 footnote 5: "a simple
+    /// out-of-order core and a last-level cache ... significantly differs
+    /// from EasyDRAM's real processor system").
+    #[must_use]
+    pub fn ramulator_ooo() -> Self {
+        Self {
+            name: "ramulator-simple-ooo".into(),
+            freq_hz: 2_000_000_000,
+            compute_ipc: 1.0,
+            mshrs: 8,
+            l1: None,
+            l2: Some(CacheConfig { size_bytes: 512 * 1024, ways: 8, hit_latency_cycles: 18 }),
+            issue_cost_cycles: 1,
+            clflush_cost_cycles: 4,
+            // Software simulation does not model the MMIO driver interface.
+            mmio_roundtrip_ns: 0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (zero frequency,
+    /// non-positive IPC, or zero MSHRs).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.freq_hz == 0 {
+            return Err("frequency must be non-zero".into());
+        }
+        if !(self.compute_ipc > 0.0) {
+            return Err("IPC must be positive".into());
+        }
+        if self.mshrs == 0 {
+            return Err("at least one MSHR is required".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        CoreConfig::cortex_a57().validate().unwrap();
+        CoreConfig::pidram_50mhz().validate().unwrap();
+        CoreConfig::ramulator_ooo().validate().unwrap();
+    }
+
+    #[test]
+    fn preset_shapes_match_paper() {
+        let a57 = CoreConfig::cortex_a57();
+        assert_eq!(a57.freq_hz, 1_430_000_000);
+        assert!(a57.mshrs > 1, "A57 overlaps misses");
+        let pidram = CoreConfig::pidram_50mhz();
+        assert_eq!(pidram.freq_hz, 50_000_000);
+        assert_eq!(pidram.mshrs, 1, "blocking in-order cache");
+        let ram = CoreConfig::ramulator_ooo();
+        assert!(ram.l1.is_none(), "Ramulator model has only an LLC");
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = CoreConfig::cortex_a57();
+        c.freq_hz = 0;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::cortex_a57();
+        c.compute_ipc = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::cortex_a57();
+        c.mshrs = 0;
+        assert!(c.validate().is_err());
+    }
+}

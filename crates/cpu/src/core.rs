@@ -1,0 +1,613 @@
+//! The execution-driven core model: timing engine + cache hierarchy driver.
+
+use crate::api::{CpuApi, RowCloneStatus};
+use crate::backend::MemoryBackend;
+use crate::cache::{Cache, CacheLevelStats};
+use crate::config::CoreConfig;
+use crate::stats::CoreStats;
+use crate::LINE_BYTES;
+
+/// The modeled processor: owns the cache hierarchy and a memory backend,
+/// executes [`CpuApi`] calls, and accounts time in emulated processor cycles.
+#[derive(Debug)]
+pub struct CoreModel<B> {
+    cfg: CoreConfig,
+    backend: B,
+    l1: Option<Cache>,
+    l2: Option<Cache>,
+    now: u64,
+    /// Completion cycles of in-flight overlapped requests (≤ `cfg.mshrs`).
+    outstanding: Vec<u64>,
+    stream_mode: bool,
+    /// Fractional compute-cycle accumulator (ops issued at `compute_ipc`).
+    compute_carry: f64,
+    stats: CoreStats,
+}
+
+impl<B: MemoryBackend> CoreModel<B> {
+    /// Creates a core with empty caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CoreConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: CoreConfig, backend: B) -> Self {
+        cfg.validate().expect("invalid core configuration");
+        let l1 = cfg.l1.map(Cache::new);
+        let l2 = cfg.l2.map(Cache::new);
+        Self {
+            cfg,
+            backend,
+            l1,
+            l2,
+            now: 0,
+            outstanding: Vec::new(),
+            stream_mode: false,
+            compute_carry: 0.0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The core's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Core-side statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// L1 hit/miss statistics, if an L1 is configured.
+    #[must_use]
+    pub fn l1_stats(&self) -> Option<CacheLevelStats> {
+        self.l1.as_ref().map(|c| *c.stats())
+    }
+
+    /// L2 hit/miss statistics, if an L2 is configured.
+    #[must_use]
+    pub fn l2_stats(&self) -> Option<CacheLevelStats> {
+        self.l2.as_ref().map(|c| *c.stats())
+    }
+
+    /// Borrows the memory backend.
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutably borrows the memory backend (host-side tooling, not workload
+    /// code).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Consumes the core and returns the backend.
+    #[must_use]
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Elapsed emulated time in seconds (`cycles / freq`).
+    #[must_use]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.now as f64 / self.cfg.freq_hz as f64
+    }
+
+    fn stall_until(&mut self, cycle: u64) {
+        if cycle > self.now {
+            self.stats.stall_cycles += cycle - self.now;
+            self.now = cycle;
+        }
+    }
+
+    /// Waits for the earliest outstanding request if the MSHRs are full.
+    fn reserve_mshr(&mut self) {
+        if self.outstanding.len() >= self.cfg.mshrs {
+            let (idx, &earliest) = self
+                .outstanding
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &c)| c)
+                .expect("outstanding is non-empty");
+            self.outstanding.swap_remove(idx);
+            self.stall_until(earliest);
+        }
+        // Retire anything that has already completed.
+        let now = self.now;
+        self.outstanding.retain(|&c| c > now);
+    }
+
+    /// Fetches a line into the hierarchy, returning its data, whether it was
+    /// a backend miss, and the cycle at which the data is available.
+    fn fetch_line(&mut self, line_addr: u64) -> ([u8; LINE_BYTES], bool, u64) {
+        // L1 probe.
+        if let Some(l1) = &mut self.l1 {
+            if let Some(data) = l1.lookup(line_addr) {
+                let lat = l1.config().hit_latency_cycles;
+                return (data, false, self.now + lat);
+            }
+        }
+        // L2 probe.
+        let l2_hit = self.l2.as_mut().and_then(|l2| {
+            let data = l2.lookup(line_addr)?;
+            Some((data, l2.config().hit_latency_cycles))
+        });
+        if let Some((data, lat)) = l2_hit {
+            self.promote_to_l1(line_addr, data, false);
+            return (data, false, self.now + lat);
+        }
+        // Memory fetch: charge the on-chip miss path before issue.
+        let miss_path = self
+            .l2
+            .as_ref()
+            .map(|c| c.config().hit_latency_cycles)
+            .or_else(|| self.l1.as_ref().map(|c| c.config().hit_latency_cycles))
+            .unwrap_or(0);
+        self.stats.mem_reads += 1;
+        let issue = self.now + miss_path;
+        let fetch = self.backend.read_line(line_addr, issue);
+        self.install_line(line_addr, fetch.data, false);
+        (fetch.data, true, fetch.complete_cycle.max(issue))
+    }
+
+    /// Installs a freshly fetched line into L2 and L1.
+    fn install_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], dirty: bool) {
+        let now = self.now;
+        if let Some(l2) = &mut self.l2 {
+            if let Some(ev) = l2.insert(line_addr, data, dirty && self.l1.is_none()) {
+                if ev.dirty {
+                    self.stats.mem_writes += 1;
+                    self.backend.write_line(ev.line_addr, ev.data, now);
+                }
+            }
+        }
+        self.promote_to_l1(line_addr, data, dirty);
+        if self.l1.is_none() && self.l2.is_none() {
+            // No caches: writes go straight to memory.
+            if dirty {
+                self.stats.mem_writes += 1;
+                self.backend.write_line(line_addr, data, now);
+            }
+        }
+    }
+
+    /// Moves a line into L1, spilling the victim into L2 (or memory).
+    fn promote_to_l1(&mut self, line_addr: u64, data: [u8; LINE_BYTES], dirty: bool) {
+        let now = self.now;
+        let Some(l1) = &mut self.l1 else { return };
+        let Some(ev) = l1.insert(line_addr, data, dirty) else { return };
+        if !ev.dirty {
+            return; // clean victims are dropped; L2/DRAM still hold them
+        }
+        if let Some(l2) = &mut self.l2 {
+            if let Some(ev2) = l2.insert(ev.line_addr, ev.data, true) {
+                if ev2.dirty {
+                    self.stats.mem_writes += 1;
+                    self.backend.write_line(ev2.line_addr, ev2.data, now);
+                }
+            }
+        } else {
+            self.stats.mem_writes += 1;
+            self.backend.write_line(ev.line_addr, ev.data, now);
+        }
+    }
+
+    fn check_span(addr: u64, size: u8) {
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "access size {size} must be 1, 2, 4, or 8 bytes"
+        );
+        let offset = (addr % LINE_BYTES as u64) as usize;
+        assert!(
+            offset + size as usize <= LINE_BYTES,
+            "access at {addr:#x} size {size} crosses a cache line"
+        );
+    }
+}
+
+impl<B: MemoryBackend> CpuApi for CoreModel<B> {
+    fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        self.backend.alloc(bytes, align)
+    }
+
+    fn load(&mut self, addr: u64, size: u8) -> u64 {
+        Self::check_span(addr, size);
+        self.stats.instructions += 1;
+        self.stats.loads += 1;
+        self.now += self.cfg.issue_cost_cycles;
+        let line_addr = addr & !(LINE_BYTES as u64 - 1);
+        if self.stream_mode {
+            self.reserve_mshr();
+        }
+        let (data, was_miss, avail) = self.fetch_line(line_addr);
+        if self.stream_mode && was_miss {
+            self.outstanding.push(avail);
+        } else if self.stream_mode {
+            // Cache hits in streaming mode are pipelined: issue cost only.
+        } else {
+            self.stall_until(avail);
+        }
+        let offset = (addr % LINE_BYTES as u64) as usize;
+        let mut buf = [0u8; 8];
+        buf[..size as usize].copy_from_slice(&data[offset..offset + size as usize]);
+        u64::from_le_bytes(buf)
+    }
+
+    fn store(&mut self, addr: u64, size: u8, value: u64) {
+        Self::check_span(addr, size);
+        self.stats.instructions += 1;
+        self.stats.stores += 1;
+        self.now += self.cfg.issue_cost_cycles;
+        let line_addr = addr & !(LINE_BYTES as u64 - 1);
+        let offset = (addr % LINE_BYTES as u64) as usize;
+        let bytes = &value.to_le_bytes()[..size as usize];
+        // Fast path: line already in L1.
+        if let Some(l1) = &mut self.l1 {
+            if l1.write_hit(line_addr, offset, bytes) {
+                return;
+            }
+        }
+        // Write-allocate: stores never stall the core (store buffer), but
+        // their fills occupy MSHRs.
+        self.reserve_mshr();
+        let (mut data, was_miss, avail) = self.fetch_line(line_addr);
+        if was_miss {
+            self.outstanding.push(avail);
+        }
+        data[offset..offset + size as usize].copy_from_slice(bytes);
+        if let Some(l1) = &mut self.l1 {
+            let ok = l1.write_hit(line_addr, offset, bytes);
+            debug_assert!(ok, "line was just installed");
+        } else if let Some(l2) = &mut self.l2 {
+            let ok = l2.write_hit(line_addr, offset, bytes);
+            debug_assert!(ok, "line was just installed");
+        } else {
+            let now = self.now;
+            self.stats.mem_writes += 1;
+            self.backend.write_line(line_addr, data, now);
+        }
+    }
+
+    fn compute(&mut self, ops: u64) {
+        self.stats.instructions += ops;
+        let cycles = ops as f64 / self.cfg.compute_ipc + self.compute_carry;
+        let whole = cycles as u64;
+        self.compute_carry = cycles - whole as f64;
+        self.now += whole;
+    }
+
+    fn clflush(&mut self, addr: u64) {
+        self.stats.instructions += 1;
+        self.stats.clflushes += 1;
+        self.now += self.cfg.clflush_cost_cycles;
+        let line_addr = addr & !(LINE_BYTES as u64 - 1);
+        let now = self.now;
+        // Newest copy wins: L1 first, then L2. Both copies are invalidated.
+        let l1_ev = self.l1.as_mut().and_then(|c| c.invalidate(line_addr));
+        let l2_ev = self.l2.as_mut().and_then(|c| c.invalidate(line_addr));
+        let newest = match (&l1_ev, &l2_ev) {
+            (Some(e1), _) if e1.dirty => Some(e1.clone()),
+            (_, Some(e2)) if e2.dirty => Some(e2.clone()),
+            _ => None,
+        };
+        if let Some(ev) = newest {
+            self.stats.mem_writes += 1;
+            let done = self.backend.write_line(line_addr, ev.data, now);
+            // The flush register write is synchronous enough that a burst of
+            // flushes is paced by the memory system: track it like a miss.
+            self.reserve_mshr();
+            self.outstanding.push(done);
+        }
+    }
+
+    fn fence(&mut self) {
+        self.stats.fences += 1;
+        if let Some(&max) = self.outstanding.iter().max() {
+            self.stall_until(max);
+        }
+        self.outstanding.clear();
+    }
+
+    fn stream_begin(&mut self) {
+        self.stream_mode = true;
+    }
+
+    fn stream_end(&mut self) {
+        self.stream_mode = false;
+        // Leaving streaming mode does not drain MSHRs; use `fence` for that.
+    }
+
+    fn rowclone_row(&mut self, src_row_addr: u64, dst_row_addr: u64) -> RowCloneStatus {
+        self.stats.instructions += 1;
+        self.stats.rowclone_requests += 1;
+        self.now += self.cfg.issue_cost_cycles;
+        // Uncached MMIO trigger + completion poll: constant wall time, so a
+        // faster modeled core pays more cycles.
+        self.now += self.cfg.mmio_roundtrip_ns * self.cfg.freq_hz / 1_000_000_000;
+        // The operation reads/writes DRAM directly; it must not race in-flight
+        // line fills.
+        self.fence();
+        let now = self.now;
+        match self.backend.rowclone(src_row_addr, dst_row_addr, now) {
+            None => RowCloneStatus::Unsupported,
+            Some(r) => {
+                self.stall_until(r.complete_cycle);
+                if r.copied {
+                    self.stats.rowclone_copies += 1;
+                    RowCloneStatus::Copied
+                } else {
+                    RowCloneStatus::FallbackNeeded
+                }
+            }
+        }
+    }
+
+    fn rowclone_alloc_copy(&mut self, bytes: u64) -> Option<(u64, u64)> {
+        self.backend.rowclone_alloc_copy(bytes)
+    }
+
+    fn rowclone_alloc_init(&mut self, bytes: u64) -> Option<(u64, Vec<u64>)> {
+        self.backend.rowclone_alloc_init(bytes)
+    }
+
+    fn rowclone_init_source(&mut self, dst_row_addr: u64) -> Option<u64> {
+        self.backend.rowclone_init_source(dst_row_addr)
+    }
+
+    fn row_bytes(&self) -> u64 {
+        self.backend.row_bytes()
+    }
+
+    fn now_cycles(&self) -> u64 {
+        self.now
+    }
+
+    fn instructions_retired(&self) -> u64 {
+        self.stats.instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedLatencyBackend;
+
+    const MEM_LAT: u64 = 150;
+
+    fn core() -> CoreModel<FixedLatencyBackend> {
+        CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(MEM_LAT))
+    }
+
+    #[test]
+    fn load_store_round_trip_through_hierarchy() {
+        let mut c = core();
+        let a = c.alloc(4096, 64);
+        for i in 0..512 {
+            c.store_u64(a + i * 8, i * 3 + 1);
+        }
+        for i in 0..512 {
+            assert_eq!(c.load_u64(a + i * 8), i * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn dependent_miss_pays_full_latency_hit_does_not() {
+        let mut c = core();
+        let a = c.alloc(64, 64);
+        let t0 = c.now_cycles();
+        let _ = c.load_u64(a); // cold miss
+        let miss_time = c.now_cycles() - t0;
+        assert!(miss_time >= MEM_LAT, "miss took {miss_time}");
+        let t1 = c.now_cycles();
+        let _ = c.load_u64(a); // L1 hit
+        let hit_time = c.now_cycles() - t1;
+        assert!(hit_time <= 8, "hit took {hit_time}");
+    }
+
+    #[test]
+    fn l2_hit_latency_between_l1_and_memory() {
+        let mut c = core();
+        let a = c.alloc(64 * 1024, 64);
+        // Fill beyond L1 (32 KiB) so early lines fall to L2 but stay within
+        // L2 (512 KiB).
+        c.stream_begin();
+        for i in 0..1024 {
+            let _ = c.load_u64(a + i * 64);
+        }
+        c.stream_end();
+        c.fence();
+        let t0 = c.now_cycles();
+        let _ = c.load_u64(a); // evicted from L1, resident in L2
+        let dt = c.now_cycles() - t0;
+        assert!(dt > 8 && dt < MEM_LAT, "L2 hit took {dt}");
+    }
+
+    #[test]
+    fn streaming_overlaps_misses() {
+        let lines = 64u64;
+        // Dependent chain.
+        let mut c1 = core();
+        let a = c1.alloc(lines * 64, 64);
+        let t0 = c1.now_cycles();
+        for i in 0..lines {
+            let _ = c1.load_u64(a + i * 64);
+        }
+        let dependent = c1.now_cycles() - t0;
+        // Streaming.
+        let mut c2 = core();
+        let b = c2.alloc(lines * 64, 64);
+        let t0 = c2.now_cycles();
+        c2.stream_begin();
+        for i in 0..lines {
+            let _ = c2.load_u64(b + i * 64);
+        }
+        c2.stream_end();
+        c2.fence();
+        let streaming = c2.now_cycles() - t0;
+        assert!(
+            streaming * 3 < dependent,
+            "streaming {streaming} should be well under dependent {dependent}"
+        );
+    }
+
+    #[test]
+    fn mshr_limit_bounds_overlap() {
+        // With bandwidth-limited memory, 1 MSHR must be slower than 6.
+        let cfg1 = CoreConfig { mshrs: 1, ..CoreConfig::cortex_a57() };
+        let cfg6 = CoreConfig { mshrs: 6, ..CoreConfig::cortex_a57() };
+        let mut c1 = CoreModel::new(cfg1, FixedLatencyBackend::with_bandwidth(MEM_LAT, 10));
+        let mut c6 = CoreModel::new(cfg6, FixedLatencyBackend::with_bandwidth(MEM_LAT, 10));
+        for (c, out) in [(&mut c1, 0usize), (&mut c6, 1)] {
+            let a = c.alloc(256 * 64, 64);
+            c.stream_begin();
+            for i in 0..256u64 {
+                let _ = c.load_u64(a + i * 64);
+            }
+            c.stream_end();
+            c.fence();
+            let _ = out;
+        }
+        assert!(c6.now_cycles() < c1.now_cycles());
+    }
+
+    #[test]
+    fn stores_do_not_stall() {
+        let mut c = core();
+        let a = c.alloc(64 * 64, 64);
+        let t0 = c.now_cycles();
+        for i in 0..6u64 {
+            c.store_u64(a + i * 64, i); // 6 cold misses, 6 MSHRs
+        }
+        let dt = c.now_cycles() - t0;
+        assert!(dt < MEM_LAT, "stores stalled: {dt}");
+    }
+
+    #[test]
+    fn writebacks_reach_memory() {
+        let mut c = core();
+        // Touch far more lines than L1+L2 capacity, writing each.
+        let total_lines = (512 * 1024 + 32 * 1024) / 64 * 2;
+        let a = c.alloc(total_lines * 64, 64);
+        for i in 0..total_lines {
+            c.store_u64(a + i * 64, i);
+        }
+        c.fence();
+        assert!(c.stats().mem_writes > 0, "dirty evictions must write back");
+        // And the data survives: re-read the first line (long evicted).
+        assert_eq!(c.load_u64(a), 0);
+        assert_eq!(c.load_u64(a + 64), 1);
+    }
+
+    #[test]
+    fn clflush_writes_dirty_line_and_invalidates() {
+        let mut c = core();
+        let a = c.alloc(64, 64);
+        c.store_u64(a, 77);
+        assert_eq!(c.backend().writes, 0);
+        c.clflush(a);
+        c.fence();
+        assert_eq!(c.backend().writes, 1, "dirty line must be flushed");
+        // Next load misses all the way to memory and sees the data.
+        let t0 = c.now_cycles();
+        assert_eq!(c.load_u64(a), 77);
+        assert!(c.now_cycles() - t0 >= MEM_LAT);
+    }
+
+    #[test]
+    fn clflush_clean_line_no_writeback() {
+        let mut c = core();
+        let a = c.alloc(64, 64);
+        let _ = c.load_u64(a);
+        c.clflush(a);
+        c.fence();
+        assert_eq!(c.backend().writes, 0);
+    }
+
+    #[test]
+    fn fence_waits_for_outstanding() {
+        let mut c = core();
+        let a = c.alloc(64 * 8, 64);
+        c.stream_begin();
+        let _ = c.load_u64(a);
+        c.stream_end();
+        let before = c.now_cycles();
+        c.fence();
+        assert!(c.now_cycles() >= before.max(MEM_LAT));
+        assert_eq!(c.stats().fences, 1);
+    }
+
+    #[test]
+    fn compute_respects_ipc() {
+        let mut c = core();
+        let t0 = c.now_cycles();
+        c.compute(1000); // IPC 2.0 -> 500 cycles
+        assert_eq!(c.now_cycles() - t0, 500);
+        assert_eq!(c.stats().instructions, 1000);
+    }
+
+    #[test]
+    fn compute_carry_accumulates() {
+        let cfg = CoreConfig { compute_ipc: 3.0, ..CoreConfig::cortex_a57() };
+        let mut c = CoreModel::new(cfg, FixedLatencyBackend::new(1));
+        for _ in 0..3 {
+            c.compute(1);
+        }
+        assert_eq!(c.now_cycles(), 1, "3 ops at IPC 3 = 1 cycle");
+    }
+
+    #[test]
+    fn rowclone_unsupported_on_plain_backend() {
+        let mut c = core();
+        assert_eq!(c.rowclone_row(0, 8192), RowCloneStatus::Unsupported);
+        assert_eq!(c.stats().rowclone_requests, 1);
+        assert_eq!(c.stats().rowclone_copies, 0);
+    }
+
+    #[test]
+    fn llc_only_hierarchy_works() {
+        let mut c =
+            CoreModel::new(CoreConfig::ramulator_ooo(), FixedLatencyBackend::new(MEM_LAT));
+        let a = c.alloc(4096, 64);
+        c.store_u64(a, 9);
+        assert_eq!(c.load_u64(a), 9);
+        assert!(c.l1_stats().is_none());
+        assert!(c.l2_stats().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a cache line")]
+    fn line_crossing_access_rejected() {
+        let mut c = core();
+        let _ = c.load(60, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 1, 2, 4, or 8")]
+    fn bad_size_rejected() {
+        let mut c = core();
+        let _ = c.load(0, 3);
+    }
+
+    #[test]
+    fn elapsed_seconds_uses_frequency() {
+        let mut c = core();
+        c.compute(2 * 1_430_000_000); // 1 second at IPC 2 / 1.43 GHz
+        assert!((c.elapsed_seconds() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_track_memory_traffic() {
+        let mut c = core();
+        let a = c.alloc(64 * 10, 64);
+        for i in 0..10u64 {
+            let _ = c.load_u64(a + i * 64);
+        }
+        assert_eq!(c.stats().mem_reads, 10);
+        assert_eq!(c.stats().loads, 10);
+        let l1 = c.l1_stats().unwrap();
+        assert_eq!(l1.misses, 10);
+    }
+}

@@ -1,0 +1,57 @@
+//! The [`Workload`] abstraction: an execution-driven benchmark program.
+//!
+//! Defined here (rather than in the workloads crate) so that memory systems
+//! can offer a `run(workload)` entry point without depending on any
+//! particular benchmark suite.
+
+use crate::api::CpuApi;
+
+/// An execution-driven benchmark program.
+pub trait Workload {
+    /// Short machine-friendly name (matches the paper's figure labels).
+    fn name(&self) -> &str;
+
+    /// Runs the workload to completion on `cpu`, including its own data
+    /// allocation and initialization.
+    fn run(&mut self, cpu: &mut dyn CpuApi);
+
+    /// Cycles of the workload's measured region, when it distinguishes setup
+    /// from measurement (microbenchmarks); `None` means the entire run is
+    /// the measurement.
+    fn measured_cycles(&self) -> Option<u64> {
+        None
+    }
+
+    /// A checksum over the workload's outputs, when it computes one: the
+    /// same workload must produce the same checksum on every memory system
+    /// (functional transparency).
+    fn result_checksum(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreConfig, CoreModel, FixedLatencyBackend};
+
+    struct Touch;
+    impl Workload for Touch {
+        fn name(&self) -> &str {
+            "touch"
+        }
+        fn run(&mut self, cpu: &mut dyn CpuApi) {
+            let a = cpu.alloc(64, 64);
+            cpu.store_u64(a, 1);
+        }
+    }
+
+    #[test]
+    fn default_measured_cycles_is_none() {
+        let mut w = Touch;
+        let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(1));
+        w.run(&mut cpu);
+        assert!(w.measured_cycles().is_none());
+        assert_eq!(w.name(), "touch");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the cache hierarchy and core model.
+
+use proptest::prelude::*;
+
+use easydram_cpu::{Cache, CacheConfig, CoreConfig, CoreModel, CpuApi, FixedLatencyBackend};
+
+proptest! {
+    /// The cache never lies: a sequence of inserts/writes/lookups agrees
+    /// with a naive shadow model.
+    #[test]
+    fn cache_matches_shadow_model(
+        ops in prop::collection::vec((0u64..64, 0u8..3, any::<u8>()), 1..200),
+    ) {
+        let mut cache = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, hit_latency_cycles: 1 });
+        let mut shadow: std::collections::HashMap<u64, [u8; 64]> = Default::default();
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for (slot, op, val) in ops {
+            let addr = slot * 64;
+            match op {
+                0 => {
+                    // Insert with a distinctive payload.
+                    let line = [val; 64];
+                    if let Some(ev) = cache.insert(addr, line, true) {
+                        prop_assert!(resident.remove(&ev.line_addr), "evicted non-resident line");
+                        // The evicted data must match the shadow contents.
+                        prop_assert_eq!(&ev.data, shadow.get(&ev.line_addr).unwrap());
+                    }
+                    shadow.insert(addr, line);
+                    resident.insert(addr);
+                }
+                1 => {
+                    let hit = cache.write_hit(addr, 3, &[val]);
+                    prop_assert_eq!(hit, resident.contains(&addr));
+                    if hit {
+                        shadow.get_mut(&addr).unwrap()[3] = val;
+                    }
+                }
+                _ => {
+                    let got = cache.lookup(addr);
+                    prop_assert_eq!(got.is_some(), resident.contains(&addr));
+                    if let Some(data) = got {
+                        prop_assert_eq!(&data, shadow.get(&addr).unwrap());
+                    }
+                }
+            }
+            prop_assert!(cache.resident_lines() <= 16, "capacity exceeded");
+        }
+    }
+
+    /// Arbitrary store/load sequences through the full hierarchy return the
+    /// last written value (data correctness under evictions and MLP).
+    #[test]
+    fn hierarchy_is_coherent(
+        writes in prop::collection::vec((0u64..4096, any::<u64>()), 1..300),
+        stream in any::<bool>(),
+    ) {
+        let mut core = CoreModel::new(
+            CoreConfig {
+                l1: Some(CacheConfig { size_bytes: 1024, ways: 2, hit_latency_cycles: 1 }),
+                l2: Some(CacheConfig { size_bytes: 4096, ways: 4, hit_latency_cycles: 4 }),
+                ..CoreConfig::cortex_a57()
+            },
+            FixedLatencyBackend::new(50),
+        );
+        let base = core.alloc(4096 * 8, 64);
+        let mut shadow = std::collections::HashMap::new();
+        if stream {
+            core.stream_begin();
+        }
+        for (slot, val) in writes {
+            core.store_u64(base + slot * 8, val);
+            shadow.insert(slot, val);
+        }
+        core.fence();
+        for (slot, val) in shadow {
+            prop_assert_eq!(core.load_u64(base + slot * 8), val, "slot {}", slot);
+        }
+    }
+
+    /// Time is monotone and instructions are conserved across any op mix.
+    #[test]
+    fn time_and_instructions_are_monotone(
+        ops in prop::collection::vec((0u8..4, 0u64..512, 1u64..64), 1..100),
+    ) {
+        let mut core = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(25));
+        let base = core.alloc(512 * 64, 64);
+        let mut last_now = 0;
+        let mut last_instr = 0;
+        for (op, slot, n) in ops {
+            match op {
+                0 => { let _ = core.load_u64(base + slot * 8 % (512 * 64 - 8)); }
+                1 => core.store_u64(base + slot * 8 % (512 * 64 - 8), slot),
+                2 => core.compute(n),
+                _ => core.clflush(base + slot * 64 % (512 * 64)),
+            }
+            prop_assert!(core.now_cycles() >= last_now);
+            prop_assert!(core.stats().instructions >= last_instr);
+            last_now = core.now_cycles();
+            last_instr = core.stats().instructions;
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Physical-address ⇄ DRAM-address translation (paper §2.3).
+//!
+//! EasyAPI exposes these mappers to both the processor-side allocator and the
+//! software memory controller so RowClone operands can be placed on row
+//! boundaries within one subarray (paper §7.1, "alignment problem").
+
+use crate::config::Geometry;
+
+/// A fully decoded DRAM location: flat bank, row, and cache-line column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DramAddress {
+    /// Flat bank index (`group * banks_per_group + bank_in_group`).
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// Cache-line column within the row.
+    pub col: u32,
+}
+
+impl DramAddress {
+    /// Creates an address from its components.
+    #[must_use]
+    pub fn new(bank: u32, row: u32, col: u32) -> Self {
+        Self { bank, row, col }
+    }
+}
+
+impl std::fmt::Display for DramAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<bank {}, row {}, col {}>", self.bank, self.row, self.col)
+    }
+}
+
+/// How physical address bits map onto DRAM coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MappingScheme {
+    /// `[row | bank | col | offset]`: consecutive cache lines walk a row
+    /// (maximal row-buffer locality), consecutive rows rotate banks.
+    #[default]
+    RowBankCol,
+    /// `[row | col | bank | offset]`: consecutive cache lines rotate banks
+    /// (maximal bank-level parallelism).
+    RowColBank,
+    /// `[bank | row | col | offset]`: a bank owns one contiguous region of
+    /// the physical address space (simplest to reason about; used by the
+    /// RowClone allocator tests).
+    BankRowCol,
+    /// [`MappingScheme::RowColBank`] with the bank index XOR-hashed by the
+    /// low row bits, the standard trick real controllers use so that
+    /// row-aligned streams (e.g. a copy's source and destination) do not
+    /// collide in the same banks.
+    RowColBankXor,
+}
+
+/// Bidirectional physical ⇄ DRAM address mapper for a given [`Geometry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressMapper {
+    geometry: Geometry,
+    scheme: MappingScheme,
+}
+
+impl AddressMapper {
+    /// Creates a mapper for `geometry` using `scheme`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails [`Geometry::validate`]; mapping requires
+    /// power-of-two dimensions.
+    #[must_use]
+    pub fn new(geometry: Geometry, scheme: MappingScheme) -> Self {
+        geometry.validate().expect("address mapper requires a valid geometry");
+        Self { geometry, scheme }
+    }
+
+    /// The mapper's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The mapper's scheme.
+    #[must_use]
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    fn col_bits(&self) -> u32 {
+        self.geometry.cols_per_row().trailing_zeros()
+    }
+
+    fn bank_bits(&self) -> u32 {
+        self.geometry.banks().trailing_zeros()
+    }
+
+    fn row_bits(&self) -> u32 {
+        self.geometry.rows_per_bank.trailing_zeros()
+    }
+
+    /// Number of physical-address bits consumed by the mapping
+    /// (including the 6 line-offset bits).
+    #[must_use]
+    pub fn addr_bits(&self) -> u32 {
+        6 + self.col_bits() + self.bank_bits() + self.row_bits()
+    }
+
+    /// Translates a physical byte address to a DRAM coordinate.
+    ///
+    /// The 6 low bits (line offset) are ignored; addresses beyond the rank
+    /// capacity wrap, which mirrors how a real single-rank controller decodes
+    /// only the low address bits.
+    #[must_use]
+    pub fn to_dram(&self, phys: u64) -> DramAddress {
+        let line = phys >> 6;
+        let cols = u64::from(self.geometry.cols_per_row());
+        let banks = u64::from(self.geometry.banks());
+        let rows = u64::from(self.geometry.rows_per_bank);
+        let (bank, row, col) = match self.scheme {
+            MappingScheme::RowBankCol => {
+                let col = line % cols;
+                let bank = (line / cols) % banks;
+                let row = (line / cols / banks) % rows;
+                (bank, row, col)
+            }
+            MappingScheme::RowColBank => {
+                let bank = line % banks;
+                let col = (line / banks) % cols;
+                let row = (line / banks / cols) % rows;
+                (bank, row, col)
+            }
+            MappingScheme::BankRowCol => {
+                let col = line % cols;
+                let row = (line / cols) % rows;
+                let bank = (line / cols / rows) % banks;
+                (bank, row, col)
+            }
+            MappingScheme::RowColBankXor => {
+                let bank = line % banks;
+                let col = (line / banks) % cols;
+                let row = (line / banks / cols) % rows;
+                (bank ^ (row % banks), row, col)
+            }
+        };
+        DramAddress { bank: bank as u32, row: row as u32, col: col as u32 }
+    }
+
+    /// Translates a DRAM coordinate back to the canonical physical byte
+    /// address of the start of that cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is outside the geometry.
+    #[must_use]
+    pub fn to_phys(&self, addr: DramAddress) -> u64 {
+        assert!(addr.bank < self.geometry.banks(), "bank {} out of range", addr.bank);
+        assert!(addr.row < self.geometry.rows_per_bank, "row {} out of range", addr.row);
+        assert!(addr.col < self.geometry.cols_per_row(), "col {} out of range", addr.col);
+        let cols = u64::from(self.geometry.cols_per_row());
+        let banks = u64::from(self.geometry.banks());
+        let rows = u64::from(self.geometry.rows_per_bank);
+        let line = match self.scheme {
+            MappingScheme::RowBankCol => {
+                (u64::from(addr.row) * banks + u64::from(addr.bank)) * cols + u64::from(addr.col)
+            }
+            MappingScheme::RowColBank => {
+                (u64::from(addr.row) * cols + u64::from(addr.col)) * banks + u64::from(addr.bank)
+            }
+            MappingScheme::BankRowCol => {
+                (u64::from(addr.bank) * rows + u64::from(addr.row)) * cols + u64::from(addr.col)
+            }
+            MappingScheme::RowColBankXor => {
+                let bank = u64::from(addr.bank) ^ (u64::from(addr.row) % banks);
+                (u64::from(addr.row) * cols + u64::from(addr.col)) * banks + bank
+            }
+        };
+        line << 6
+    }
+
+    /// Physical address of the first byte of a whole row (column 0).
+    #[must_use]
+    pub fn row_base_phys(&self, bank: u32, row: u32) -> u64 {
+        self.to_phys(DramAddress { bank, row, col: 0 })
+    }
+
+    /// Whether a whole row occupies contiguous physical addresses under this
+    /// scheme (true for [`MappingScheme::RowBankCol`] and
+    /// [`MappingScheme::BankRowCol`]).
+    #[must_use]
+    pub fn rows_are_contiguous(&self) -> bool {
+        !matches!(self.scheme, MappingScheme::RowColBank | MappingScheme::RowColBankXor)
+    }
+
+    /// Under XOR hashing, row-aligned address offsets land in different
+    /// banks for different rows (tested property).
+    #[must_use]
+    pub fn uses_bank_hashing(&self) -> bool {
+        matches!(self.scheme, MappingScheme::RowColBankXor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mappers() -> Vec<AddressMapper> {
+        [
+            MappingScheme::RowBankCol,
+            MappingScheme::RowColBank,
+            MappingScheme::BankRowCol,
+            MappingScheme::RowColBankXor,
+        ]
+            .into_iter()
+            .map(|s| AddressMapper::new(Geometry::default(), s))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_all_schemes() {
+        for m in mappers() {
+            for phys in [0u64, 64, 4096, 8192, 1 << 20, (1 << 27) - 64] {
+                let d = m.to_dram(phys);
+                assert_eq!(m.to_phys(d), phys, "{:?} {phys:#x}", m.scheme());
+            }
+        }
+    }
+
+    #[test]
+    fn offset_bits_ignored() {
+        for m in mappers() {
+            assert_eq!(m.to_dram(0x1234 << 6), m.to_dram((0x1234 << 6) | 0x3F));
+        }
+    }
+
+    #[test]
+    fn row_bank_col_walks_rows() {
+        let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
+        let a = m.to_dram(0);
+        let b = m.to_dram(64);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(b.col, a.col + 1);
+        assert!(m.rows_are_contiguous());
+    }
+
+    #[test]
+    fn row_col_bank_rotates_banks() {
+        let m = AddressMapper::new(Geometry::default(), MappingScheme::RowColBank);
+        let a = m.to_dram(0);
+        let b = m.to_dram(64);
+        assert_eq!(b.bank, a.bank + 1);
+        assert!(!m.rows_are_contiguous());
+    }
+
+    #[test]
+    fn bank_row_col_is_contiguous_per_bank() {
+        let m = AddressMapper::new(Geometry::default(), MappingScheme::BankRowCol);
+        let bank_span = u64::from(Geometry::default().rows_per_bank)
+            * u64::from(Geometry::default().row_bytes);
+        assert_eq!(m.to_dram(0).bank, 0);
+        assert_eq!(m.to_dram(bank_span).bank, 1);
+    }
+
+    #[test]
+    fn xor_hashing_separates_row_aligned_streams() {
+        let m = AddressMapper::new(Geometry::default(), MappingScheme::RowColBankXor);
+        assert!(m.uses_bank_hashing());
+        // Two addresses one row-span apart share the line-offset pattern but
+        // must mostly land in different banks.
+        let row_span = 128 * 1024u64; // one full row per bank at this scheme
+        let same = (0..64u64)
+            .filter(|i| m.to_dram(i * 64).bank == m.to_dram(i * 64 + row_span).bank)
+            .count();
+        assert!(same < 16, "XOR hash should separate streams, {same}/64 collide");
+    }
+
+    #[test]
+    fn addresses_wrap_at_capacity() {
+        let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
+        let cap = Geometry::default().capacity_bytes();
+        assert_eq!(m.to_dram(0), m.to_dram(cap));
+    }
+
+    #[test]
+    fn row_base_is_col_zero() {
+        for m in mappers() {
+            let p = m.row_base_phys(3, 77);
+            let d = m.to_dram(p);
+            assert_eq!((d.bank, d.row, d.col), (3, 77, 0));
+        }
+    }
+
+    #[test]
+    fn addr_bits_covers_capacity() {
+        let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
+        assert_eq!(1u64 << m.addr_bits(), Geometry::default().capacity_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "row 40000 out of range")]
+    fn to_phys_validates() {
+        let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
+        let _ = m.to_phys(DramAddress::new(0, 40_000, 0));
+    }
+}

@@ -1,0 +1,571 @@
+//! Per-bank state machine and rank-level timing rule tracking (paper §2.2).
+//!
+//! The tracker answers two questions for a candidate command at time `t`:
+//! *is it legal?* ([`RankTiming::check`]) and *when would it become legal?*
+//! ([`RankTiming::earliest_issue_ps`]). Commands may still be *executed* when
+//! illegal — that is how DRAM techniques work — so checking and execution are
+//! deliberately separate.
+
+use crate::command::DramCommand;
+use crate::config::Geometry;
+use crate::error::{TimingRule, TimingViolation};
+use crate::timing::TimingParams;
+
+/// The row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BankState {
+    /// All rows closed.
+    #[default]
+    Idle,
+    /// `row` is open in the sense amplifiers.
+    Active {
+        /// The open row.
+        row: u32,
+    },
+}
+
+/// Timestamps of the most recent commands affecting one bank.
+///
+/// `u64::MAX / 4` is used as "never" so that subtractions cannot overflow
+/// while additions stay far from wrap-around.
+const NEVER: u64 = 0;
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BankTrack {
+    pub state: BankState,
+    /// Issue time of the last ACT (valid when `act_valid`).
+    pub last_act_ps: u64,
+    pub act_valid: bool,
+    /// Issue time of the last PRE.
+    pub last_pre_ps: u64,
+    pub pre_valid: bool,
+    /// Issue time of the previous ACT before the last PRE (RowClone detection).
+    pub prev_open_row: Option<u32>,
+    /// Last read issue time.
+    pub last_rd_ps: u64,
+    /// Completion time of the last write's final data beat.
+    pub last_wr_end_ps: u64,
+    pub rd_valid: bool,
+    pub wr_valid: bool,
+}
+
+impl Default for BankTrack {
+    fn default() -> Self {
+        Self {
+            state: BankState::Idle,
+            last_act_ps: NEVER,
+            act_valid: false,
+            last_pre_ps: NEVER,
+            pre_valid: false,
+            prev_open_row: None,
+            last_rd_ps: NEVER,
+            last_wr_end_ps: NEVER,
+            rd_valid: false,
+            wr_valid: false,
+        }
+    }
+}
+
+/// Rank-level timing tracker shared by all banks (bus turnaround, tFAW, tRFC).
+#[derive(Debug, Clone)]
+pub struct RankTiming {
+    geometry: Geometry,
+    timing: TimingParams,
+    banks: Vec<BankTrack>,
+    /// Sliding window of the last four ACT issue times (tFAW).
+    act_window: [u64; 4],
+    act_window_len: usize,
+    /// Issue time of the most recent ACT anywhere in the rank, per group.
+    last_act_by_group: Vec<(u64, bool)>,
+    /// Last column command anywhere (time, was_write, group).
+    last_col: Option<(u64, bool, u32)>,
+    /// End of the most recent refresh (tRFC).
+    ref_busy_until_ps: u64,
+}
+
+impl RankTiming {
+    /// Creates a tracker for the given geometry and timing bin.
+    #[must_use]
+    pub fn new(geometry: Geometry, timing: TimingParams) -> Self {
+        let banks = vec![BankTrack::default(); geometry.banks() as usize];
+        let groups = geometry.bank_groups as usize;
+        Self {
+            geometry,
+            timing,
+            banks,
+            act_window: [NEVER; 4],
+            act_window_len: 0,
+            last_act_by_group: vec![(NEVER, false); groups],
+            last_col: None,
+            ref_busy_until_ps: 0,
+        }
+    }
+
+    pub(crate) fn bank(&self, bank: u32) -> &BankTrack {
+        &self.banks[bank as usize]
+    }
+
+    /// The row currently open in `bank`, if any.
+    #[must_use]
+    pub fn open_row(&self, bank: u32) -> Option<u32> {
+        match self.banks[bank as usize].state {
+            BankState::Active { row } => Some(row),
+            BankState::Idle => None,
+        }
+    }
+
+    /// Earliest time `cmd` satisfies every timing rule, given current state.
+    ///
+    /// Out-of-range banks are reported as unconstrained; the device rejects
+    /// them with a proper error at issue time.
+    #[must_use]
+    pub fn earliest_issue_ps(&self, cmd: &DramCommand) -> u64 {
+        if cmd.bank().is_some_and(|b| b >= self.geometry.banks()) {
+            return 0;
+        }
+        let mut earliest = self.ref_busy_until_ps;
+        let t = &self.timing;
+        match *cmd {
+            DramCommand::Activate { bank, .. } => {
+                let b = &self.banks[bank as usize];
+                if b.pre_valid {
+                    earliest = earliest.max(b.last_pre_ps + t.t_rp_ps);
+                }
+                let group = self.geometry.group_of(bank) as usize;
+                for (g, &(time, valid)) in self.last_act_by_group.iter().enumerate() {
+                    if valid {
+                        let spacing =
+                            if g == group { t.t_rrd_l_ps } else { t.t_rrd_s_ps };
+                        earliest = earliest.max(time + spacing);
+                    }
+                }
+                if self.act_window_len == 4 {
+                    earliest = earliest.max(self.act_window[0] + t.t_faw_ps);
+                }
+            }
+            DramCommand::Precharge { bank } => {
+                let b = &self.banks[bank as usize];
+                if b.act_valid {
+                    earliest = earliest.max(b.last_act_ps + t.t_ras_ps);
+                }
+                if b.rd_valid {
+                    earliest = earliest.max(b.last_rd_ps + t.t_rtp_ps);
+                }
+                if b.wr_valid {
+                    earliest = earliest.max(b.last_wr_end_ps + t.t_wr_ps);
+                }
+            }
+            DramCommand::PrechargeAll => {
+                for bank in 0..self.geometry.banks() {
+                    earliest =
+                        earliest.max(self.earliest_issue_ps(&DramCommand::Precharge { bank }));
+                }
+            }
+            DramCommand::Read { bank, .. } => {
+                let b = &self.banks[bank as usize];
+                if b.act_valid {
+                    earliest = earliest.max(b.last_act_ps + t.t_rcd_ps);
+                }
+                earliest = earliest.max(self.col_earliest(bank, false));
+            }
+            DramCommand::Write { bank, .. } => {
+                let b = &self.banks[bank as usize];
+                if b.act_valid {
+                    earliest = earliest.max(b.last_act_ps + t.t_rcd_ps);
+                }
+                earliest = earliest.max(self.col_earliest(bank, true));
+            }
+            DramCommand::Refresh => {
+                // All banks must be precharged; rely on check() for state.
+                for b in &self.banks {
+                    if b.pre_valid {
+                        earliest = earliest.max(b.last_pre_ps + t.t_rp_ps);
+                    }
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Column-command spacing from the previous column command (tCCD, tWTR,
+    /// and data-bus burst occupancy).
+    fn col_earliest(&self, bank: u32, is_write: bool) -> u64 {
+        let t = &self.timing;
+        let Some((when, was_write, group)) = self.last_col else { return 0 };
+        let same_group = group == self.geometry.group_of(bank);
+        let ccd = if same_group { t.t_ccd_l_ps } else { t.t_ccd_s_ps };
+        let mut earliest = when + ccd.max(t.t_burst_ps);
+        if was_write && !is_write {
+            // Write-to-read turnaround: from the end of write data.
+            earliest = earliest.max(when + t.t_cwl_ps + t.t_burst_ps + t.t_wtr_ps);
+        }
+        if !was_write && is_write {
+            // Read-to-write: data bus must drain the read burst.
+            earliest = earliest.max(when + t.t_cl_ps + t.t_burst_ps);
+        }
+        earliest
+    }
+
+    /// Checks every applicable rule for `cmd` at time `now_ps`.
+    ///
+    /// Returns all violations (possibly several). An empty vector means the
+    /// command is legal.
+    #[must_use]
+    pub fn check(&self, cmd: &DramCommand, now_ps: u64) -> Vec<TimingViolation> {
+        let mut v = Vec::new();
+        if cmd.bank().is_some_and(|b| b >= self.geometry.banks()) {
+            return v;
+        }
+        let t = &self.timing;
+        fn mk(rule: TimingRule, legal: u64, now_ps: u64) -> Option<TimingViolation> {
+            (now_ps < legal).then_some(TimingViolation {
+                rule,
+                earliest_legal_ps: legal,
+                issued_ps: now_ps,
+            })
+        }
+        let push = |v: &mut Vec<TimingViolation>, rule: TimingRule, legal: u64| {
+            v.extend(mk(rule, legal, now_ps));
+        };
+        if now_ps < self.ref_busy_until_ps {
+            push(&mut v, TimingRule::Trfc, self.ref_busy_until_ps);
+        }
+        match *cmd {
+            DramCommand::Activate { bank, .. } => {
+                let b = &self.banks[bank as usize];
+                if matches!(b.state, BankState::Active { .. }) {
+                    v.push(TimingViolation {
+                        rule: TimingRule::BankOpen,
+                        earliest_legal_ps: now_ps,
+                        issued_ps: now_ps,
+                    });
+                }
+                if b.pre_valid {
+                    push(&mut v, TimingRule::Trp, b.last_pre_ps + t.t_rp_ps);
+                }
+                let group = self.geometry.group_of(bank) as usize;
+                for (g, &(time, valid)) in self.last_act_by_group.iter().enumerate() {
+                    if valid {
+                        if g == group {
+                            push(&mut v, TimingRule::TrrdL, time + t.t_rrd_l_ps);
+                        } else {
+                            push(&mut v, TimingRule::TrrdS, time + t.t_rrd_s_ps);
+                        }
+                    }
+                }
+                if self.act_window_len == 4 {
+                    push(&mut v, TimingRule::Tfaw, self.act_window[0] + t.t_faw_ps);
+                }
+            }
+            DramCommand::Precharge { bank } => {
+                let b = &self.banks[bank as usize];
+                if b.act_valid && matches!(b.state, BankState::Active { .. }) {
+                    push(&mut v, TimingRule::Tras, b.last_act_ps + t.t_ras_ps);
+                }
+                if b.rd_valid {
+                    push(&mut v, TimingRule::Trtp, b.last_rd_ps + t.t_rtp_ps);
+                }
+                if b.wr_valid {
+                    push(&mut v, TimingRule::Twr, b.last_wr_end_ps + t.t_wr_ps);
+                }
+            }
+            DramCommand::PrechargeAll => {
+                for bank in 0..self.geometry.banks() {
+                    v.extend(self.check(&DramCommand::Precharge { bank }, now_ps));
+                }
+                v.retain(|viol| viol.rule != TimingRule::Trfc);
+                if now_ps < self.ref_busy_until_ps {
+                    v.push(TimingViolation {
+                        rule: TimingRule::Trfc,
+                        earliest_legal_ps: self.ref_busy_until_ps,
+                        issued_ps: now_ps,
+                    });
+                }
+            }
+            DramCommand::Read { bank, .. } | DramCommand::Write { bank, .. } => {
+                let is_write = matches!(cmd, DramCommand::Write { .. });
+                let b = &self.banks[bank as usize];
+                if !matches!(b.state, BankState::Active { .. }) {
+                    v.push(TimingViolation {
+                        rule: TimingRule::BankClosed,
+                        earliest_legal_ps: now_ps,
+                        issued_ps: now_ps,
+                    });
+                }
+                if b.act_valid {
+                    push(&mut v, TimingRule::Trcd, b.last_act_ps + t.t_rcd_ps);
+                }
+                if let Some((when, was_write, group)) = self.last_col {
+                    let same = group == self.geometry.group_of(bank);
+                    let ccd = if same { t.t_ccd_l_ps } else { t.t_ccd_s_ps };
+                    let rule = if same { TimingRule::TccdL } else { TimingRule::TccdS };
+                    push(&mut v, rule, when + ccd.max(t.t_burst_ps));
+                    if was_write && !is_write {
+                        push(&mut v, TimingRule::Twtr, when + t.t_cwl_ps + t.t_burst_ps + t.t_wtr_ps);
+                    }
+                }
+            }
+            DramCommand::Refresh => {
+                if self.banks.iter().any(|b| matches!(b.state, BankState::Active { .. })) {
+                    v.push(TimingViolation {
+                        rule: TimingRule::RefWithOpenRows,
+                        earliest_legal_ps: now_ps,
+                        issued_ps: now_ps,
+                    });
+                }
+                for b in &self.banks {
+                    if b.pre_valid {
+                        push(&mut v, TimingRule::Trp, b.last_pre_ps + t.t_rp_ps);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Records the effects of `cmd` issued at `now_ps` on the tracker state.
+    ///
+    /// Public so that timing-only simulators (the Ramulator baseline) can
+    /// reuse the rule tracker without a data-carrying device.
+    pub fn apply(&mut self, cmd: &DramCommand, now_ps: u64) {
+        let t = self.timing.clone();
+        match *cmd {
+            DramCommand::Activate { bank, row } => {
+                let group = self.geometry.group_of(bank) as usize;
+                let b = &mut self.banks[bank as usize];
+                b.state = BankState::Active { row };
+                b.last_act_ps = now_ps;
+                b.act_valid = true;
+                b.rd_valid = false;
+                b.wr_valid = false;
+                self.last_act_by_group[group] = (now_ps, true);
+                if self.act_window_len == 4 {
+                    self.act_window.rotate_left(1);
+                    self.act_window[3] = now_ps;
+                } else {
+                    self.act_window[self.act_window_len] = now_ps;
+                    self.act_window_len += 1;
+                }
+            }
+            DramCommand::Precharge { bank } => {
+                let b = &mut self.banks[bank as usize];
+                b.prev_open_row = match b.state {
+                    BankState::Active { row } => Some(row),
+                    BankState::Idle => None,
+                };
+                b.state = BankState::Idle;
+                b.last_pre_ps = now_ps;
+                b.pre_valid = true;
+            }
+            DramCommand::PrechargeAll => {
+                for bank in 0..self.geometry.banks() {
+                    self.apply(&DramCommand::Precharge { bank }, now_ps);
+                }
+            }
+            DramCommand::Read { bank, .. } => {
+                let group = self.geometry.group_of(bank);
+                let b = &mut self.banks[bank as usize];
+                b.last_rd_ps = now_ps;
+                b.rd_valid = true;
+                self.last_col = Some((now_ps, false, group));
+            }
+            DramCommand::Write { bank, .. } => {
+                let group = self.geometry.group_of(bank);
+                let end = now_ps + t.t_cwl_ps + t.t_burst_ps;
+                let b = &mut self.banks[bank as usize];
+                b.last_wr_end_ps = end;
+                b.wr_valid = true;
+                self.last_col = Some((now_ps, true, group));
+            }
+            DramCommand::Refresh => {
+                self.ref_busy_until_ps = now_ps + t.t_rfc_ps;
+            }
+        }
+    }
+
+    /// Time since the last ACT on `bank`, if one happened.
+    #[must_use]
+    pub fn since_last_act_ps(&self, bank: u32, now_ps: u64) -> Option<u64> {
+        let b = &self.banks[bank as usize];
+        b.act_valid.then(|| now_ps.saturating_sub(b.last_act_ps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank() -> RankTiming {
+        RankTiming::new(Geometry::default(), TimingParams::ddr4_1333())
+    }
+
+    #[test]
+    fn fresh_rank_accepts_activate() {
+        let r = rank();
+        assert!(r.check(&DramCommand::Activate { bank: 0, row: 1 }, 0).is_empty());
+        assert_eq!(r.earliest_issue_ps(&DramCommand::Activate { bank: 0, row: 1 }), 0);
+    }
+
+    #[test]
+    fn read_before_trcd_flags_trcd() {
+        let mut r = rank();
+        r.apply(&DramCommand::Activate { bank: 0, row: 1 }, 0);
+        let v = r.check(&DramCommand::Read { bank: 0, col: 0 }, 9_000);
+        assert!(v.iter().any(|x| x.rule == TimingRule::Trcd));
+        let v = r.check(&DramCommand::Read { bank: 0, col: 0 }, 13_500);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn read_on_closed_bank_flags_bank_closed() {
+        let r = rank();
+        let v = r.check(&DramCommand::Read { bank: 0, col: 0 }, 1_000_000);
+        assert!(v.iter().any(|x| x.rule == TimingRule::BankClosed));
+    }
+
+    #[test]
+    fn precharge_before_tras_flags_tras() {
+        let mut r = rank();
+        r.apply(&DramCommand::Activate { bank: 2, row: 9 }, 0);
+        let v = r.check(&DramCommand::Precharge { bank: 2 }, 10_000);
+        assert!(v.iter().any(|x| x.rule == TimingRule::Tras));
+        let v = r.check(&DramCommand::Precharge { bank: 2 }, 36_000);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn activate_after_precharge_needs_trp() {
+        let mut r = rank();
+        r.apply(&DramCommand::Activate { bank: 1, row: 1 }, 0);
+        r.apply(&DramCommand::Precharge { bank: 1 }, 36_000);
+        let v = r.check(&DramCommand::Activate { bank: 1, row: 2 }, 40_000);
+        assert!(v.iter().any(|x| x.rule == TimingRule::Trp));
+        assert_eq!(
+            r.earliest_issue_ps(&DramCommand::Activate { bank: 1, row: 2 }),
+            36_000 + 13_500
+        );
+    }
+
+    #[test]
+    fn activate_on_open_bank_flags_bank_open() {
+        let mut r = rank();
+        r.apply(&DramCommand::Activate { bank: 1, row: 1 }, 0);
+        let v = r.check(&DramCommand::Activate { bank: 1, row: 2 }, 1_000_000);
+        assert!(v.iter().any(|x| x.rule == TimingRule::BankOpen));
+    }
+
+    #[test]
+    fn four_activate_window_enforced() {
+        let mut r = rank();
+        let t = TimingParams::ddr4_1333();
+        let mut now = 0;
+        for (i, bank) in [0u32, 4, 8, 12].iter().enumerate() {
+            r.apply(&DramCommand::Activate { bank: *bank, row: 0 }, now);
+            now += t.t_rrd_s_ps;
+            let _ = i;
+        }
+        // Fifth ACT within tFAW of the first must violate.
+        let v = r.check(&DramCommand::Activate { bank: 1, row: 0 }, now);
+        assert!(v.iter().any(|x| x.rule == TimingRule::Tfaw), "{v:?}");
+        let v = r.check(&DramCommand::Activate { bank: 1, row: 0 }, t.t_faw_ps);
+        assert!(!v.iter().any(|x| x.rule == TimingRule::Tfaw));
+    }
+
+    #[test]
+    fn rrd_spacing_by_group() {
+        let mut r = rank();
+        let t = TimingParams::ddr4_1333();
+        r.apply(&DramCommand::Activate { bank: 0, row: 0 }, 0);
+        // Same group (bank 1 is group 0): needs tRRD_L.
+        let v = r.check(&DramCommand::Activate { bank: 1, row: 0 }, t.t_rrd_s_ps);
+        assert!(v.iter().any(|x| x.rule == TimingRule::TrrdL));
+        // Different group (bank 4 is group 1): tRRD_S suffices.
+        let v = r.check(&DramCommand::Activate { bank: 4, row: 0 }, t.t_rrd_s_ps);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn column_spacing_and_turnaround() {
+        let mut r = rank();
+        let t = TimingParams::ddr4_1333();
+        r.apply(&DramCommand::Activate { bank: 0, row: 0 }, 0);
+        r.apply(&DramCommand::Read { bank: 0, col: 0 }, t.t_rcd_ps);
+        // Back-to-back read too soon: tCCD_L.
+        let v = r.check(&DramCommand::Read { bank: 0, col: 1 }, t.t_rcd_ps + 1_000);
+        assert!(v.iter().any(|x| x.rule == TimingRule::TccdL));
+        // After tCCD_L it is fine.
+        let v = r.check(&DramCommand::Read { bank: 0, col: 1 }, t.t_rcd_ps + t.t_ccd_l_ps);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let mut r = rank();
+        let t = TimingParams::ddr4_1333();
+        r.apply(&DramCommand::Activate { bank: 0, row: 0 }, 0);
+        let wr_at = t.t_rcd_ps;
+        r.apply(&DramCommand::Write { bank: 0, col: 0, data: [0; 64] }, wr_at);
+        let too_soon = wr_at + t.t_ccd_l_ps;
+        let v = r.check(&DramCommand::Read { bank: 0, col: 1 }, too_soon);
+        assert!(v.iter().any(|x| x.rule == TimingRule::Twtr));
+        let fine = wr_at + t.t_cwl_ps + t.t_burst_ps + t.t_wtr_ps;
+        let v = r.check(&DramCommand::Read { bank: 0, col: 1 }, fine);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn refresh_blocks_commands_for_trfc() {
+        let mut r = rank();
+        let t = TimingParams::ddr4_1333();
+        r.apply(&DramCommand::Refresh, 0);
+        let v = r.check(&DramCommand::Activate { bank: 0, row: 0 }, t.t_rfc_ps - 1);
+        assert!(v.iter().any(|x| x.rule == TimingRule::Trfc));
+        let v = r.check(&DramCommand::Activate { bank: 0, row: 0 }, t.t_rfc_ps);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn refresh_with_open_row_flagged() {
+        let mut r = rank();
+        r.apply(&DramCommand::Activate { bank: 3, row: 7 }, 0);
+        let v = r.check(&DramCommand::Refresh, 1_000_000);
+        assert!(v.iter().any(|x| x.rule == TimingRule::RefWithOpenRows));
+    }
+
+    #[test]
+    fn open_row_tracking() {
+        let mut r = rank();
+        assert_eq!(r.open_row(5), None);
+        r.apply(&DramCommand::Activate { bank: 5, row: 1234 }, 0);
+        assert_eq!(r.open_row(5), Some(1234));
+        r.apply(&DramCommand::Precharge { bank: 5 }, 100_000);
+        assert_eq!(r.open_row(5), None);
+        assert_eq!(r.bank(5).prev_open_row, Some(1234));
+    }
+
+    #[test]
+    fn earliest_matches_check_boundary() {
+        // Property glue: at `earliest_issue_ps` the command must be legal;
+        // one ps before, it must not be (when a constraint exists).
+        let mut r = rank();
+        let t = TimingParams::ddr4_1333();
+        r.apply(&DramCommand::Activate { bank: 0, row: 0 }, 0);
+        r.apply(&DramCommand::Read { bank: 0, col: 0 }, t.t_rcd_ps);
+        for cmd in [
+            DramCommand::Read { bank: 0, col: 1 },
+            DramCommand::Precharge { bank: 0 },
+        ] {
+            let e = r.earliest_issue_ps(&cmd);
+            assert!(r.check(&cmd, e).is_empty(), "{cmd}");
+            assert!(!r.check(&cmd, e - 1).is_empty(), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn since_last_act() {
+        let mut r = rank();
+        assert_eq!(r.since_last_act_ps(0, 500), None);
+        r.apply(&DramCommand::Activate { bank: 0, row: 0 }, 100);
+        assert_eq!(r.since_last_act_ps(0, 500), Some(400));
+    }
+}

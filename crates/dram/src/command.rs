@@ -1,0 +1,115 @@
+//! DRAM command vocabulary (paper §2.2).
+
+/// Size of one cache line / DRAM burst in bytes.
+pub const LINE_BYTES: usize = 64;
+
+/// A decoded DRAM command as issued on the command bus.
+///
+/// Banks are identified by a flat index in `0..geometry.banks()`; columns are
+/// in cache-line units (`0..geometry.cols_per_row()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Open `row` in `bank`, latching its contents into the bank's row buffer.
+    Activate {
+        /// Flat bank index.
+        bank: u32,
+        /// Row index within the bank.
+        row: u32,
+    },
+    /// Close the open row of `bank`, restoring the row buffer to the array.
+    Precharge {
+        /// Flat bank index.
+        bank: u32,
+    },
+    /// Precharge every bank in the rank.
+    PrechargeAll,
+    /// Read one cache line from the open row of `bank`.
+    Read {
+        /// Flat bank index.
+        bank: u32,
+        /// Cache-line column within the open row.
+        col: u32,
+    },
+    /// Write one cache line into the open row of `bank`.
+    Write {
+        /// Flat bank index.
+        bank: u32,
+        /// Cache-line column within the open row.
+        col: u32,
+        /// The 64-byte line to write.
+        data: [u8; LINE_BYTES],
+    },
+    /// Refresh the rank (all banks must be precharged).
+    Refresh,
+}
+
+impl DramCommand {
+    /// The flat bank index this command targets, if it is bank-scoped.
+    #[must_use]
+    pub fn bank(&self) -> Option<u32> {
+        match *self {
+            DramCommand::Activate { bank, .. }
+            | DramCommand::Precharge { bank }
+            | DramCommand::Read { bank, .. }
+            | DramCommand::Write { bank, .. } => Some(bank),
+            DramCommand::PrechargeAll | DramCommand::Refresh => None,
+        }
+    }
+
+    /// Short mnemonic as printed by trace dumps (`ACT`, `PRE`, ...).
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCommand::Activate { .. } => "ACT",
+            DramCommand::Precharge { .. } => "PRE",
+            DramCommand::PrechargeAll => "PREA",
+            DramCommand::Read { .. } => "RD",
+            DramCommand::Write { .. } => "WR",
+            DramCommand::Refresh => "REF",
+        }
+    }
+
+    /// Whether this is a column (data-moving) command.
+    #[must_use]
+    pub fn is_column(&self) -> bool {
+        matches!(self, DramCommand::Read { .. } | DramCommand::Write { .. })
+    }
+}
+
+impl std::fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DramCommand::Activate { bank, row } => write!(f, "ACT b{bank} r{row}"),
+            DramCommand::Precharge { bank } => write!(f, "PRE b{bank}"),
+            DramCommand::PrechargeAll => write!(f, "PREA"),
+            DramCommand::Read { bank, col } => write!(f, "RD b{bank} c{col}"),
+            DramCommand::Write { bank, col, .. } => write!(f, "WR b{bank} c{col}"),
+            DramCommand::Refresh => write!(f, "REF"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_extraction() {
+        assert_eq!(DramCommand::Activate { bank: 3, row: 1 }.bank(), Some(3));
+        assert_eq!(DramCommand::Precharge { bank: 7 }.bank(), Some(7));
+        assert_eq!(DramCommand::Refresh.bank(), None);
+        assert_eq!(DramCommand::PrechargeAll.bank(), None);
+    }
+
+    #[test]
+    fn display_and_mnemonics() {
+        let act = DramCommand::Activate { bank: 1, row: 42 };
+        assert_eq!(act.to_string(), "ACT b1 r42");
+        assert_eq!(act.mnemonic(), "ACT");
+        assert_eq!(DramCommand::Refresh.mnemonic(), "REF");
+        let wr = DramCommand::Write { bank: 0, col: 5, data: [0; LINE_BYTES] };
+        assert_eq!(wr.to_string(), "WR b0 c5");
+        assert!(wr.is_column());
+        assert!(!DramCommand::PrechargeAll.is_column());
+    }
+}

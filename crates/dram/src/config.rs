@@ -1,0 +1,201 @@
+//! Device geometry and top-level configuration.
+
+use crate::timing::TimingParams;
+use crate::variation::VariationConfig;
+
+/// Physical organization of the modeled DRAM rank (paper §2.1, Figure 1).
+///
+/// The default matches the paper's evaluation system (§7.2 footnote 5):
+/// a single channel and single rank of DDR4 with 4 bank groups × 4 banks,
+/// 32 K rows per bank, and 8 KiB rows.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Number of bank groups in the rank.
+    pub bank_groups: u32,
+    /// Banks per bank group.
+    pub banks_per_group: u32,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Bytes per row (the RowClone copy granularity, typically 8 KiB).
+    pub row_bytes: u32,
+    /// Rows per subarray. FPM RowClone only works within a subarray
+    /// (paper §7.1 "mapping problem").
+    pub subarray_rows: u32,
+}
+
+impl Geometry {
+    /// Total number of banks (`bank_groups * banks_per_group`).
+    #[must_use]
+    pub fn banks(&self) -> u32 {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Cache-line columns per row (`row_bytes / 64`).
+    #[must_use]
+    pub fn cols_per_row(&self) -> u32 {
+        self.row_bytes / crate::command::LINE_BYTES as u32
+    }
+
+    /// Total capacity of the rank in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.banks()) * u64::from(self.rows_per_bank) * u64::from(self.row_bytes)
+    }
+
+    /// Subarray index of a row.
+    #[must_use]
+    pub fn subarray_of(&self, row: u32) -> u32 {
+        row / self.subarray_rows
+    }
+
+    /// Number of subarrays per bank.
+    #[must_use]
+    pub fn subarrays_per_bank(&self) -> u32 {
+        self.rows_per_bank.div_ceil(self.subarray_rows)
+    }
+
+    /// Bank group of a flat bank index.
+    #[must_use]
+    pub fn group_of(&self, bank: u32) -> u32 {
+        bank / self.banks_per_group
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (zero-sized
+    /// dimension, row size not a multiple of the line size, or a subarray
+    /// size that does not divide the bank).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bank_groups == 0 || self.banks_per_group == 0 {
+            return Err("geometry must have at least one bank".into());
+        }
+        if self.rows_per_bank == 0 {
+            return Err("geometry must have at least one row".into());
+        }
+        if self.row_bytes == 0 || self.row_bytes % crate::command::LINE_BYTES as u32 != 0 {
+            return Err("row size must be a non-zero multiple of 64 bytes".into());
+        }
+        if self.subarray_rows == 0 || self.rows_per_bank % self.subarray_rows != 0 {
+            return Err("subarray size must divide rows_per_bank".into());
+        }
+        if !self.rows_per_bank.is_power_of_two() || !self.cols_per_row().is_power_of_two() {
+            return Err("rows and columns must be powers of two for address mapping".into());
+        }
+        if !self.banks().is_power_of_two() {
+            return Err("bank count must be a power of two for address mapping".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self {
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows_per_bank: 32_768,
+            row_bytes: 8_192,
+            subarray_rows: 512,
+        }
+    }
+}
+
+/// Complete configuration of a [`crate::DramDevice`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DramConfig {
+    /// Rank geometry.
+    pub geometry: Geometry,
+    /// Timing parameter bin.
+    pub timing: TimingParams,
+    /// Real-chip variation model configuration.
+    pub variation: VariationConfig,
+    /// When `true`, rows decay if not refreshed within `tREFW`
+    /// (failure-injection experiments). Performance studies leave this off
+    /// and account for refresh overheads in the controller timeline instead.
+    pub enforce_retention: bool,
+}
+
+impl DramConfig {
+    /// A small-geometry configuration for fast unit tests (2 banks × 1 K rows).
+    #[must_use]
+    pub fn small_for_tests() -> Self {
+        Self {
+            geometry: Geometry {
+                bank_groups: 1,
+                banks_per_group: 2,
+                rows_per_bank: 1_024,
+                row_bytes: 8_192,
+                subarray_rows: 128,
+            },
+            timing: TimingParams::ddr4_1333(),
+            variation: VariationConfig::default(),
+            enforce_retention: false,
+        }
+    }
+
+    /// Validates geometry and timing together.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first geometry or timing inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.geometry.validate()?;
+        self.timing.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_matches_paper() {
+        let g = Geometry::default();
+        assert_eq!(g.banks(), 16);
+        assert_eq!(g.cols_per_row(), 128);
+        assert_eq!(g.capacity_bytes(), 16 * 32_768 * 8_192);
+        assert_eq!(g.subarrays_per_bank(), 64);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn subarray_mapping() {
+        let g = Geometry::default();
+        assert_eq!(g.subarray_of(0), 0);
+        assert_eq!(g.subarray_of(511), 0);
+        assert_eq!(g.subarray_of(512), 1);
+        assert_eq!(g.subarray_of(32_767), 63);
+    }
+
+    #[test]
+    fn group_of_flat_bank() {
+        let g = Geometry::default();
+        assert_eq!(g.group_of(0), 0);
+        assert_eq!(g.group_of(3), 0);
+        assert_eq!(g.group_of(4), 1);
+        assert_eq!(g.group_of(15), 3);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut g = Geometry::default();
+        g.row_bytes = 100;
+        assert!(g.validate().is_err());
+
+        let mut g = Geometry::default();
+        g.subarray_rows = 500; // does not divide 32768
+        assert!(g.validate().is_err());
+
+        let mut g = Geometry::default();
+        g.rows_per_bank = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        DramConfig::small_for_tests().validate().unwrap();
+    }
+}

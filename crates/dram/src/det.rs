@@ -1,0 +1,145 @@
+//! Deterministic hashing utilities (SplitMix64) used for all "random-looking"
+//! device behaviour: manufacturing variation fields, flaky-trial outcomes, and
+//! power-on garbage. Using coordinate hashing instead of a stateful RNG keeps
+//! every query order-independent and the whole simulation reproducible.
+
+/// One round of the SplitMix64 mixing function.
+///
+/// # Example
+///
+/// ```
+/// let a = easydram_dram::det::splitmix64(42);
+/// let b = easydram_dram::det::splitmix64(42);
+/// assert_eq!(a, b);
+/// assert_ne!(a, easydram_dram::det::splitmix64(43));
+/// ```
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a seed together with a domain-separation tag and a list of
+/// coordinates into a single `u64`.
+///
+/// # Example
+///
+/// ```
+/// use easydram_dram::det::hash_coords;
+/// let h1 = hash_coords(7, b"line", &[0, 12, 3]);
+/// let h2 = hash_coords(7, b"line", &[0, 12, 3]);
+/// assert_eq!(h1, h2);
+/// assert_ne!(h1, hash_coords(7, b"pair", &[0, 12, 3]));
+/// ```
+#[must_use]
+pub fn hash_coords(seed: u64, tag: &[u8], coords: &[u64]) -> u64 {
+    let mut acc = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
+    for chunk in tag.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        acc = splitmix64(acc ^ u64::from_le_bytes(word));
+    }
+    for &c in coords {
+        acc = splitmix64(acc ^ c);
+    }
+    acc
+}
+
+/// Maps a hash of the given coordinates to a float in `[0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// let x = easydram_dram::det::hash01(1, b"t", &[5]);
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[must_use]
+pub fn hash01(seed: u64, tag: &[u8], coords: &[u64]) -> f64 {
+    // 53 mantissa bits give a uniform double in [0, 1).
+    (hash_coords(seed, tag, coords) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Maps a hash to an integer uniformly distributed in `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+///
+/// # Example
+///
+/// ```
+/// let v = easydram_dram::det::hash_range(9, b"r", &[1, 2], 10, 20);
+/// assert!((10..=20).contains(&v));
+/// ```
+#[must_use]
+pub fn hash_range(seed: u64, tag: &[u8], coords: &[u64], lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "hash_range: lo {lo} > hi {hi}");
+    let span = hi - lo + 1;
+    lo + hash_coords(seed, tag, coords) % span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        // Consecutive inputs must not produce consecutive outputs.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert!(a.abs_diff(b) > 1 << 32);
+    }
+
+    #[test]
+    fn hash_coords_separates_domains() {
+        let a = hash_coords(1, b"a", &[1, 2, 3]);
+        let b = hash_coords(1, b"b", &[1, 2, 3]);
+        let c = hash_coords(2, b"a", &[1, 2, 3]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hash_coords_sensitive_to_every_coordinate() {
+        let base = hash_coords(1, b"x", &[1, 2, 3]);
+        assert_ne!(base, hash_coords(1, b"x", &[0, 2, 3]));
+        assert_ne!(base, hash_coords(1, b"x", &[1, 0, 3]));
+        assert_ne!(base, hash_coords(1, b"x", &[1, 2, 0]));
+    }
+
+    #[test]
+    fn hash01_in_unit_interval() {
+        for i in 0..1000 {
+            let x = hash01(33, b"u", &[i]);
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn hash01_roughly_uniform() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| hash01(5, b"m", &[i])).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn hash_range_bounds_inclusive() {
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for i in 0..10_000 {
+            let v = hash_range(7, b"hr", &[i], 3, 6);
+            assert!((3..=6).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 6;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn hash_range_single_value() {
+        assert_eq!(hash_range(7, b"hr", &[1], 5, 5), 5);
+    }
+}

@@ -1,0 +1,807 @@
+//! The data-carrying DDR4 device model.
+//!
+//! [`DramDevice`] executes decoded [`DramCommand`]s on a picosecond timeline,
+//! tracks every JEDEC timing rule, and — crucially for EasyDRAM — **executes
+//! violating commands with defined behavioural consequences** instead of
+//! rejecting them:
+//!
+//! * `RD` before tRCD: returned data is correct only for cache lines whose
+//!   variation threshold permits the applied tRCD (paper §8).
+//! * `ACT → PRE → ACT` in quick succession: an FPM RowClone attempt whose
+//!   success is governed by the subarray constraint and the pair-reliability
+//!   model (paper §7).
+//! * Early `PRE` with dirty row buffer: the incomplete restore loses writes.
+//! * Unrefreshed rows decay when retention enforcement is enabled.
+
+use std::collections::HashMap;
+
+use crate::bank::RankTiming;
+use crate::command::{DramCommand, LINE_BYTES};
+use crate::config::DramConfig;
+use crate::det::hash_coords;
+use crate::error::{DramError, TimingRule, TimingViolation};
+use crate::stats::DeviceStats;
+use crate::timing::TimingParams;
+use crate::variation::VariationModel;
+
+/// Maximum ACT→PRE and PRE→ACT gaps (ps) that trigger a RowClone attempt.
+///
+/// Real FPM RowClone uses gaps of 1–2 command clocks (≈3 ns at DDR4-1333);
+/// we accept anything up to 4 command clocks, comfortably below tRP/tRAS.
+const ROWCLONE_GAP_MAX_PS: u64 = 6_000;
+
+/// Result of a recognized RowClone attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowCloneOutcome {
+    /// Bank in which the in-DRAM copy was attempted.
+    pub bank: u32,
+    /// Source row (previously open row).
+    pub src_row: u32,
+    /// Destination row (newly activated row).
+    pub dst_row: u32,
+    /// Whether the destination now holds an exact copy of the source.
+    pub success: bool,
+}
+
+/// Everything that happened when one command was issued.
+#[derive(Debug, Clone, Default)]
+pub struct CmdOutcome {
+    /// Timing rules the command violated (empty for legal commands).
+    pub violations: Vec<TimingViolation>,
+    /// The cache line returned by a `RD`.
+    pub read_data: Option<[u8; LINE_BYTES]>,
+    /// Whether the returned read data is known-corrupt (reduced-tRCD failure,
+    /// closed-bank read, or retention decay).
+    pub read_corrupted: bool,
+    /// Present when the command completed a RowClone attempt.
+    pub rowclone: Option<RowCloneOutcome>,
+    /// Time at which the command's effects complete (data on bus for column
+    /// commands, bank ready otherwise), in ps.
+    pub completion_ps: u64,
+}
+
+#[derive(Debug, Clone)]
+struct RowData {
+    bytes: Vec<u8>,
+    last_restore_ps: u64,
+}
+
+#[derive(Debug, Clone)]
+struct RowBuffer {
+    row: u32,
+    data: Vec<u8>,
+    act_ps: u64,
+    dirty: bool,
+}
+
+/// The modeled DDR4 rank.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    cfg: DramConfig,
+    rank: RankTiming,
+    variation: VariationModel,
+    rows: HashMap<(u32, u32), RowData>,
+    row_buffers: Vec<Option<RowBuffer>>,
+    now_ps: u64,
+    nonce: u64,
+    rank_last_ref_ps: u64,
+    stats: DeviceStats,
+}
+
+impl DramDevice {
+    /// Creates a device from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation; construct configs through
+    /// [`DramConfig`] helpers to avoid this.
+    #[must_use]
+    pub fn new(cfg: DramConfig) -> Self {
+        cfg.validate().expect("invalid DRAM configuration");
+        let rank = RankTiming::new(cfg.geometry.clone(), cfg.timing.clone());
+        let variation = VariationModel::new(cfg.variation.clone(), cfg.geometry.clone());
+        let banks = cfg.geometry.banks() as usize;
+        Self {
+            cfg,
+            rank,
+            variation,
+            rows: HashMap::new(),
+            row_buffers: vec![None; banks],
+            now_ps: 0,
+            nonce: 0,
+            rank_last_ref_ps: 0,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The device's timing bin.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        &self.cfg.timing
+    }
+
+    /// The device's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// The device's variation field.
+    #[must_use]
+    pub fn variation(&self) -> &VariationModel {
+        &self.variation
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Current device time (the issue time of the latest command), in ps.
+    #[must_use]
+    pub fn now_ps(&self) -> u64 {
+        self.now_ps
+    }
+
+    /// The row currently open in `bank`, if any.
+    #[must_use]
+    pub fn open_row(&self, bank: u32) -> Option<u32> {
+        self.rank.open_row(bank)
+    }
+
+    /// Earliest time `cmd` would satisfy all timing rules.
+    #[must_use]
+    pub fn earliest_issue_ps(&self, cmd: &DramCommand) -> u64 {
+        self.rank.earliest_issue_ps(cmd)
+    }
+
+    fn next_nonce(&mut self) -> u64 {
+        self.nonce += 1;
+        self.nonce
+    }
+
+    fn bounds_check(&self, cmd: &DramCommand) -> Result<(), DramError> {
+        let g = &self.cfg.geometry;
+        if let Some(bank) = cmd.bank() {
+            if bank >= g.banks() {
+                return Err(DramError::OutOfRange {
+                    what: "bank",
+                    value: u64::from(bank),
+                    limit: u64::from(g.banks()),
+                });
+            }
+        }
+        match *cmd {
+            DramCommand::Activate { row, .. } if row >= g.rows_per_bank => {
+                Err(DramError::OutOfRange {
+                    what: "row",
+                    value: u64::from(row),
+                    limit: u64::from(g.rows_per_bank),
+                })
+            }
+            DramCommand::Read { col, .. } | DramCommand::Write { col, .. }
+                if col >= g.cols_per_row() =>
+            {
+                Err(DramError::OutOfRange {
+                    what: "col",
+                    value: u64::from(col),
+                    limit: u64::from(g.cols_per_row()),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Host-side backdoor: reads a whole row's array contents (bypassing
+    /// timing), materializing deterministic power-on garbage on first touch.
+    ///
+    /// Mirrors DRAM Bender's host DMA interface, which EasyDRAM's host tools
+    /// use for result checking.
+    pub fn row_data(&mut self, bank: u32, row: u32) -> &[u8] {
+        &self.row_entry(bank, row).bytes
+    }
+
+    /// Host-side backdoor: overwrites a whole row's array contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly one row long.
+    pub fn write_row(&mut self, bank: u32, row: u32, bytes: &[u8]) {
+        let row_bytes = self.cfg.geometry.row_bytes as usize;
+        assert_eq!(bytes.len(), row_bytes, "row write must be exactly {row_bytes} bytes");
+        let now = self.now_ps;
+        let entry = self.row_entry(bank, row);
+        entry.bytes.copy_from_slice(bytes);
+        entry.last_restore_ps = now;
+        // Keep an open row buffer coherent with the backdoor write.
+        if let Some(buf) = &mut self.row_buffers[bank as usize] {
+            if buf.row == row {
+                buf.data.copy_from_slice(bytes);
+            }
+        }
+    }
+
+    /// Host-side backdoor: reads one cache line from the array.
+    pub fn line_data(&mut self, bank: u32, row: u32, col: u32) -> [u8; LINE_BYTES] {
+        let start = col as usize * LINE_BYTES;
+        let mut out = [0u8; LINE_BYTES];
+        out.copy_from_slice(&self.row_entry(bank, row).bytes[start..start + LINE_BYTES]);
+        out
+    }
+
+    /// Host-side backdoor: writes one cache line into the array.
+    pub fn write_line(&mut self, bank: u32, row: u32, col: u32, data: &[u8; LINE_BYTES]) {
+        let start = col as usize * LINE_BYTES;
+        let now = self.now_ps;
+        let entry = self.row_entry(bank, row);
+        entry.bytes[start..start + LINE_BYTES].copy_from_slice(data);
+        entry.last_restore_ps = now;
+        if let Some(buf) = &mut self.row_buffers[bank as usize] {
+            if buf.row == row {
+                buf.data[start..start + LINE_BYTES].copy_from_slice(data);
+            }
+        }
+    }
+
+    fn row_entry(&mut self, bank: u32, row: u32) -> &mut RowData {
+        let g = &self.cfg.geometry;
+        assert!(bank < g.banks(), "bank {bank} out of range");
+        assert!(row < g.rows_per_bank, "row {row} out of range");
+        let row_bytes = g.row_bytes as usize;
+        let seed = self.cfg.variation.seed;
+        self.rows.entry((bank, row)).or_insert_with(|| {
+            // Deterministic power-on garbage.
+            let mut bytes = vec![0u8; row_bytes];
+            for (i, chunk) in bytes.chunks_mut(8).enumerate() {
+                let h = hash_coords(
+                    seed,
+                    b"power-on",
+                    &[u64::from(bank), u64::from(row), i as u64],
+                );
+                let src = h.to_le_bytes();
+                chunk.copy_from_slice(&src[..chunk.len()]);
+            }
+            RowData { bytes, last_restore_ps: 0 }
+        })
+    }
+
+    fn corrupt_line(data: &mut [u8], seed: u64, nonce: u64) {
+        // Flip 1–8 bits chosen deterministically from the nonce.
+        let h = hash_coords(seed, b"corrupt", &[nonce]);
+        let flips = 1 + (h % 8) as usize;
+        for i in 0..flips {
+            let hb = hash_coords(seed, b"corrupt-bit", &[nonce, i as u64]);
+            let byte = (hb as usize / 8) % data.len();
+            let bit = (hb % 8) as u8;
+            data[byte] ^= 1 << bit;
+        }
+    }
+
+    fn corrupt_mix(src: &[u8], dst: &mut [u8], seed: u64, nonce: u64) {
+        // A failed in-DRAM copy leaves each 64-bit word as either the source
+        // word, the stale destination word, or a bit-flipped blend.
+        for (i, chunk) in dst.chunks_mut(8).enumerate() {
+            let h = hash_coords(seed, b"mix", &[nonce, i as u64]);
+            let s = &src[i * 8..i * 8 + chunk.len()];
+            match h % 4 {
+                0 | 1 => chunk.copy_from_slice(s),
+                2 => {} // keep stale destination
+                _ => {
+                    chunk.copy_from_slice(s);
+                    chunk[(h >> 8) as usize % chunk.len()] ^= 1 << ((h >> 16) % 8);
+                }
+            }
+        }
+    }
+
+    fn apply_retention_decay(&mut self, bank: u32, row: u32) -> bool {
+        if !self.cfg.enforce_retention {
+            return false;
+        }
+        let t_refw = self.cfg.timing.t_refw_ps;
+        let now = self.now_ps;
+        let rank_ref = self.rank_last_ref_ps;
+        let seed = self.cfg.variation.seed;
+        let nonce = self.next_nonce();
+        let entry = self.row_entry(bank, row);
+        let effective = entry.last_restore_ps.max(rank_ref);
+        if now.saturating_sub(effective) <= t_refw {
+            return false;
+        }
+        // Sticky decay: flip bits in the array proportional to the overage.
+        let overage = now - effective - t_refw;
+        let cells = entry.bytes.len() as u64 * 8;
+        let flips = ((overage / t_refw.max(1)).min(64) + 1) * (cells / 4096).max(1);
+        for i in 0..flips {
+            let h = hash_coords(seed, b"decay", &[u64::from(bank), u64::from(row), nonce, i]);
+            let byte = (h as usize / 8) % entry.bytes.len();
+            entry.bytes[byte] ^= 1 << (h % 8);
+        }
+        entry.last_restore_ps = now; // decayed contents are now "stable"
+        true
+    }
+
+    /// Issues `cmd` at `now_ps`, rejecting any timing violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::Timing`] with the first violation, or an
+    /// out-of-range / time-ordering error.
+    pub fn issue_checked(
+        &mut self,
+        cmd: DramCommand,
+        now_ps: u64,
+    ) -> Result<CmdOutcome, DramError> {
+        self.bounds_check(&cmd)?;
+        if now_ps < self.now_ps {
+            return Err(DramError::TimeWentBackwards {
+                now_ps: self.now_ps,
+                requested_ps: now_ps,
+            });
+        }
+        if let Some(v) = self.rank.check(&cmd, now_ps).first() {
+            return Err(DramError::Timing(*v));
+        }
+        Ok(self.execute(cmd, now_ps))
+    }
+
+    /// Issues `cmd` at `now_ps`, executing it even if it violates timing
+    /// rules; the outcome lists every violated rule and carries the
+    /// behavioural consequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for out-of-range coordinates or a
+    /// backwards-moving clock — never for timing violations.
+    pub fn issue_raw(&mut self, cmd: DramCommand, now_ps: u64) -> Result<CmdOutcome, DramError> {
+        self.bounds_check(&cmd)?;
+        if now_ps < self.now_ps {
+            return Err(DramError::TimeWentBackwards {
+                now_ps: self.now_ps,
+                requested_ps: now_ps,
+            });
+        }
+        Ok(self.execute(cmd, now_ps))
+    }
+
+    fn execute(&mut self, cmd: DramCommand, now_ps: u64) -> CmdOutcome {
+        let violations = self.rank.check(&cmd, now_ps);
+        self.stats.violations += violations.len() as u64;
+        self.now_ps = now_ps;
+        let mut out = CmdOutcome { violations, completion_ps: now_ps, ..CmdOutcome::default() };
+        match cmd {
+            DramCommand::Activate { bank, row } => {
+                self.stats.activates += 1;
+                out.completion_ps = now_ps + self.cfg.timing.t_rcd_ps;
+                // Implicit data loss if ACT lands on an open bank.
+                if out.violations.iter().any(|v| v.rule == TimingRule::BankOpen) {
+                    self.row_buffers[bank as usize] = None;
+                }
+                let track = self.rank.bank(bank);
+                let clone_src = match (track.prev_open_row, track.pre_valid, track.act_valid) {
+                    (Some(src), true, true) => {
+                        let pre_gap = now_ps.saturating_sub(track.last_pre_ps);
+                        let act_pre_gap = track.last_pre_ps.saturating_sub(track.last_act_ps);
+                        (pre_gap <= ROWCLONE_GAP_MAX_PS
+                            && act_pre_gap <= ROWCLONE_GAP_MAX_PS
+                            && src != row)
+                            .then_some(src)
+                    }
+                    _ => None,
+                };
+                if let Some(src) = clone_src {
+                    out.rowclone = Some(self.perform_rowclone(bank, src, row, now_ps));
+                } else {
+                    let decayed = self.apply_retention_decay(bank, row);
+                    let data = self.row_entry(bank, row).bytes.clone();
+                    self.row_buffers[bank as usize] =
+                        Some(RowBuffer { row, data, act_ps: now_ps, dirty: false });
+                    let _ = decayed;
+                }
+                self.rank.apply(&cmd, now_ps);
+            }
+            DramCommand::Precharge { bank } => {
+                self.stats.precharges += 1;
+                out.completion_ps = now_ps + self.cfg.timing.t_rp_ps;
+                self.precharge_bank(bank, now_ps, &out.violations);
+                self.rank.apply(&cmd, now_ps);
+            }
+            DramCommand::PrechargeAll => {
+                self.stats.precharges += 1;
+                out.completion_ps = now_ps + self.cfg.timing.t_rp_ps;
+                for bank in 0..self.cfg.geometry.banks() {
+                    self.precharge_bank(bank, now_ps, &out.violations);
+                }
+                self.rank.apply(&cmd, now_ps);
+            }
+            DramCommand::Read { bank, col } => {
+                self.stats.reads += 1;
+                out.completion_ps = now_ps + self.cfg.timing.read_latency_ps();
+                let (data, corrupted) = self.read_line(bank, col, now_ps);
+                out.read_data = Some(data);
+                out.read_corrupted = corrupted;
+                if corrupted {
+                    self.stats.corrupted_reads += 1;
+                }
+                self.rank.apply(&cmd, now_ps);
+            }
+            DramCommand::Write { bank, col, data } => {
+                self.stats.writes += 1;
+                out.completion_ps = now_ps + self.cfg.timing.write_latency_ps();
+                self.write_line_buffered(bank, col, &data, now_ps);
+                self.rank.apply(&cmd, now_ps);
+            }
+            DramCommand::Refresh => {
+                self.stats.refreshes += 1;
+                out.completion_ps = now_ps + self.cfg.timing.t_rfc_ps;
+                // Simplification: one REF refreshes the whole rank. The
+                // controller timeline charges tRFC every tREFI either way;
+                // retention tests only distinguish refreshed vs. not.
+                self.rank_last_ref_ps = now_ps;
+                self.rank.apply(&cmd, now_ps);
+            }
+        }
+        out
+    }
+
+    fn perform_rowclone(
+        &mut self,
+        bank: u32,
+        src: u32,
+        dst: u32,
+        now_ps: u64,
+    ) -> RowCloneOutcome {
+        self.stats.rowclone_attempts += 1;
+        let nonce = self.next_nonce();
+        let seed = self.cfg.variation.seed;
+        let success = self.variation.rowclone_ok(bank, src, dst, nonce);
+        if success {
+            self.stats.rowclone_successes += 1;
+        }
+        let src_data = self.row_entry(bank, src).bytes.clone();
+        let dst_entry_now = self.now_ps;
+        let dst_entry = self.row_entry(bank, dst);
+        if success {
+            dst_entry.bytes.copy_from_slice(&src_data);
+        } else {
+            let mut stale = std::mem::take(&mut dst_entry.bytes);
+            Self::corrupt_mix(&src_data, &mut stale, seed, nonce);
+            dst_entry.bytes = stale;
+        }
+        dst_entry.last_restore_ps = dst_entry_now;
+        let data = dst_entry.bytes.clone();
+        self.row_buffers[bank as usize] =
+            Some(RowBuffer { row: dst, data, act_ps: now_ps, dirty: false });
+        RowCloneOutcome { bank, src_row: src, dst_row: dst, success }
+    }
+
+    fn precharge_bank(&mut self, bank: u32, now_ps: u64, violations: &[TimingViolation]) {
+        let Some(buf) = self.row_buffers[bank as usize].take() else { return };
+        if !buf.dirty {
+            // Clean close: the array already holds this data (restoration of
+            // a recently-activated row survives an early PRE).
+            let entry = self.row_entry(bank, buf.row);
+            entry.last_restore_ps = now_ps;
+            return;
+        }
+        let restore_violated = violations
+            .iter()
+            .any(|v| matches!(v.rule, TimingRule::Tras | TimingRule::Twr));
+        let seed = self.cfg.variation.seed;
+        let nonce = self.next_nonce();
+        let entry = self.row_entry(bank, buf.row);
+        if restore_violated {
+            // Incomplete restore: writes are partially lost.
+            let src = entry.bytes.clone();
+            let mut mixed = buf.data;
+            Self::corrupt_mix(&src, &mut mixed, seed, nonce);
+            entry.bytes = mixed;
+        } else {
+            entry.bytes.copy_from_slice(&buf.data);
+        }
+        entry.last_restore_ps = now_ps;
+    }
+
+    fn read_line(&mut self, bank: u32, col: u32, now_ps: u64) -> ([u8; LINE_BYTES], bool) {
+        let seed = self.cfg.variation.seed;
+        let Some(buf) = &self.row_buffers[bank as usize] else {
+            // Reading a precharged bank: bus garbage.
+            let nonce = self.next_nonce();
+            let mut data = [0u8; LINE_BYTES];
+            for (i, chunk) in data.chunks_mut(8).enumerate() {
+                let h = hash_coords(seed, b"bus-garbage", &[nonce, i as u64]);
+                chunk.copy_from_slice(&h.to_le_bytes()[..chunk.len()]);
+            }
+            return (data, true);
+        };
+        let row = buf.row;
+        let applied_trcd = now_ps.saturating_sub(buf.act_ps);
+        let start = col as usize * LINE_BYTES;
+        let mut data = [0u8; LINE_BYTES];
+        data.copy_from_slice(&buf.data[start..start + LINE_BYTES]);
+        if applied_trcd >= self.cfg.timing.t_rcd_ps {
+            return (data, false);
+        }
+        self.stats.reduced_trcd_reads += 1;
+        let nonce = self.next_nonce();
+        if self.variation.read_ok(bank, row, col, applied_trcd, nonce) {
+            (data, false)
+        } else {
+            Self::corrupt_line(&mut data, seed, nonce);
+            (data, true)
+        }
+    }
+
+    fn write_line_buffered(&mut self, bank: u32, col: u32, data: &[u8; LINE_BYTES], now_ps: u64) {
+        let t_rcd = self.cfg.timing.t_rcd_ps;
+        let nonce = self.next_nonce();
+        let seed = self.cfg.variation.seed;
+        let variation = self.variation.clone();
+        let Some(buf) = &mut self.row_buffers[bank as usize] else {
+            // Write to a precharged bank: data is lost on the floor.
+            return;
+        };
+        let applied_trcd = now_ps.saturating_sub(buf.act_ps);
+        let mut payload = *data;
+        if applied_trcd < t_rcd && !variation.read_ok(bank, buf.row, col, applied_trcd, nonce) {
+            Self::corrupt_line(&mut payload, seed, nonce);
+        }
+        let start = col as usize * LINE_BYTES;
+        buf.data[start..start + LINE_BYTES].copy_from_slice(&payload);
+        buf.dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+    use crate::variation::VariationConfig;
+
+    fn dev() -> DramDevice {
+        DramDevice::new(DramConfig::small_for_tests())
+    }
+
+    fn t() -> TimingParams {
+        TimingParams::ddr4_1333()
+    }
+
+    /// ACT + RD with legal timing, returning (outcome, completion time).
+    fn read_legal(dev: &mut DramDevice, bank: u32, row: u32, col: u32, at: u64) -> CmdOutcome {
+        dev.issue_checked(DramCommand::Activate { bank, row }, at).unwrap();
+        dev.issue_checked(DramCommand::Read { bank, col }, at + t().t_rcd_ps).unwrap()
+    }
+
+    #[test]
+    fn legal_read_returns_array_data() {
+        let mut d = dev();
+        let mut line = [0u8; LINE_BYTES];
+        line[0] = 0xAB;
+        line[63] = 0xCD;
+        d.write_line(0, 5, 3, &line);
+        let out = read_legal(&mut d, 0, 5, 3, 0);
+        assert_eq!(out.read_data, Some(line));
+        assert!(!out.read_corrupted);
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn power_on_garbage_is_deterministic() {
+        let mut a = dev();
+        let mut b = dev();
+        assert_eq!(a.row_data(1, 7), b.row_data(1, 7));
+        // And not all-zero.
+        assert!(a.row_data(1, 7).iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn write_then_precharge_then_read_round_trips() {
+        let mut d = dev();
+        let timing = t();
+        d.issue_checked(DramCommand::Activate { bank: 0, row: 2 }, 0).unwrap();
+        let mut line = [0x5Au8; LINE_BYTES];
+        line[10] = 0x10;
+        let wr_at = timing.t_rcd_ps;
+        d.issue_checked(DramCommand::Write { bank: 0, col: 4, data: line }, wr_at).unwrap();
+        let pre_at = wr_at + timing.t_cwl_ps + timing.t_burst_ps + timing.t_wr_ps;
+        d.issue_checked(DramCommand::Precharge { bank: 0 }, pre_at.max(timing.t_ras_ps))
+            .unwrap();
+        assert_eq!(d.line_data(0, 2, 4), line);
+        // Re-open and read back through the DRAM path.
+        let act2 = pre_at.max(timing.t_ras_ps) + timing.t_rp_ps;
+        let out = read_legal(&mut d, 0, 2, 4, act2);
+        assert_eq!(out.read_data, Some(line));
+    }
+
+    #[test]
+    fn checked_rejects_trcd_violation_raw_executes_it() {
+        let mut d = dev();
+        d.issue_checked(DramCommand::Activate { bank: 0, row: 1 }, 0).unwrap();
+        let err = d.issue_checked(DramCommand::Read { bank: 0, col: 0 }, 5_000).unwrap_err();
+        assert!(matches!(err, DramError::Timing(v) if v.rule == TimingRule::Trcd));
+        let out = d.issue_raw(DramCommand::Read { bank: 0, col: 0 }, 5_000).unwrap();
+        assert!(out.violations.iter().any(|v| v.rule == TimingRule::Trcd));
+        assert_eq!(d.stats().reduced_trcd_reads, 1);
+    }
+
+    #[test]
+    fn reduced_trcd_read_above_line_threshold_is_correct() {
+        let mut d = dev();
+        let min = d.variation().line_min_trcd_ps(0, 1, 0);
+        let mut line = [0x77u8; LINE_BYTES];
+        line[1] = 0x42;
+        d.write_line(0, 1, 0, &line);
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, 0).unwrap();
+        let out = d.issue_raw(DramCommand::Read { bank: 0, col: 0 }, min).unwrap();
+        assert_eq!(out.read_data, Some(line));
+        assert!(!out.read_corrupted);
+    }
+
+    #[test]
+    fn reduced_trcd_read_deep_below_threshold_corrupts() {
+        let mut d = dev();
+        let min = d.variation().line_min_trcd_ps(0, 1, 0);
+        let line = [0x33u8; LINE_BYTES];
+        d.write_line(0, 1, 0, &line);
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, 0).unwrap();
+        let applied = min - d.variation().config().flaky_band_ps - 100;
+        let out = d.issue_raw(DramCommand::Read { bank: 0, col: 0 }, applied).unwrap();
+        assert!(out.read_corrupted);
+        assert_ne!(out.read_data, Some(line));
+        // The array itself is unharmed.
+        assert_eq!(d.line_data(0, 1, 0), line);
+    }
+
+    #[test]
+    fn rowclone_within_subarray_copies_data() {
+        let mut cfg = DramConfig::small_for_tests();
+        cfg.variation = VariationConfig::ideal(); // all pairs reliable
+        let mut d = DramDevice::new(cfg);
+        let pattern: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        d.write_row(0, 3, &pattern);
+        let timing = t();
+        // Fully open + restore src first (legal ACT), then the clone sequence:
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 3 }, 0).unwrap();
+        d.issue_raw(DramCommand::Precharge { bank: 0 }, timing.t_ras_ps).unwrap();
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 3 }, timing.t_ras_ps + timing.t_rp_ps)
+            .unwrap();
+        let base = timing.t_ras_ps + timing.t_rp_ps;
+        // RowClone: PRE then ACT(dst) with tiny gaps.
+        d.issue_raw(DramCommand::Precharge { bank: 0 }, base + 3_000).unwrap();
+        let out = d.issue_raw(DramCommand::Activate { bank: 0, row: 9 }, base + 6_000).unwrap();
+        let rc = out.rowclone.expect("should recognize rowclone");
+        assert!(rc.success);
+        assert_eq!((rc.src_row, rc.dst_row), (3, 9));
+        assert_eq!(d.row_data(0, 9), pattern.as_slice());
+        // Source row survives.
+        assert_eq!(d.row_data(0, 3), pattern.as_slice());
+        assert_eq!(d.stats().rowclone_successes, 1);
+    }
+
+    #[test]
+    fn rowclone_across_subarrays_fails_and_corrupts_dst() {
+        let mut cfg = DramConfig::small_for_tests();
+        cfg.variation = VariationConfig::ideal();
+        let sub = cfg.geometry.subarray_rows;
+        let mut d = DramDevice::new(cfg);
+        let pattern = vec![0xEEu8; 8192];
+        d.write_row(0, 0, &pattern);
+        let dst = sub + 1; // different subarray
+        let stale = d.row_data(0, dst).to_vec();
+        // The FPM sequence: ACT(src) interrupted quickly by PRE, then ACT(dst).
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        d.issue_raw(DramCommand::Precharge { bank: 0 }, 3_000).unwrap();
+        let out = d.issue_raw(DramCommand::Activate { bank: 0, row: dst }, 6_000).unwrap();
+        let rc = out.rowclone.expect("recognized as attempt");
+        assert!(!rc.success);
+        let now = d.row_data(0, dst).to_vec();
+        assert_ne!(now, pattern, "must not be a faithful copy");
+        let _ = stale;
+    }
+
+    #[test]
+    fn slow_act_pre_act_is_not_rowclone() {
+        let mut d = dev();
+        let timing = t();
+        d.issue_checked(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        d.issue_checked(DramCommand::Precharge { bank: 0 }, timing.t_ras_ps).unwrap();
+        let out = d
+            .issue_checked(
+                DramCommand::Activate { bank: 0, row: 1 },
+                timing.t_ras_ps + timing.t_rp_ps,
+            )
+            .unwrap();
+        assert!(out.rowclone.is_none());
+        assert_eq!(d.stats().rowclone_attempts, 0);
+    }
+
+    #[test]
+    fn early_precharge_loses_writes() {
+        let mut d = dev();
+        let before = d.line_data(0, 4, 0);
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 4 }, 0).unwrap();
+        let line = [0xFFu8; LINE_BYTES];
+        // Write immediately (violates tRCD badly) then precharge immediately
+        // (violates tRAS and tWR): restore must be incomplete.
+        d.issue_raw(DramCommand::Write { bank: 0, col: 0, data: line }, 100).unwrap();
+        d.issue_raw(DramCommand::Precharge { bank: 0 }, 200).unwrap();
+        let after = d.line_data(0, 4, 0);
+        assert_ne!(after, line, "write must not fully land");
+        let _ = before;
+    }
+
+    #[test]
+    fn retention_decay_when_enforced() {
+        let mut cfg = DramConfig::small_for_tests();
+        cfg.enforce_retention = true;
+        let mut d = DramDevice::new(cfg);
+        let row: Vec<u8> = vec![0xA5u8; 8192];
+        d.write_row(0, 1, &row);
+        // Activate long after the refresh window without any REF: the charge
+        // decays and the decayed contents stick in the array.
+        let far = t().t_refw_ps * 3;
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, far).unwrap();
+        assert_ne!(d.row_data(0, 1), row.as_slice(), "row should have decayed");
+    }
+
+    #[test]
+    fn refresh_prevents_decay() {
+        let mut cfg = DramConfig::small_for_tests();
+        cfg.enforce_retention = true;
+        let mut d = DramDevice::new(cfg);
+        let line = [0xA5u8; LINE_BYTES];
+        d.write_line(0, 1, 0, &line);
+        let half = t().t_refw_ps / 2;
+        d.issue_raw(DramCommand::Refresh, half).unwrap();
+        let at = half + t().t_refw_ps / 2 + 1_000_000; // within window of the REF
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, at).unwrap();
+        let out = d.issue_raw(DramCommand::Read { bank: 0, col: 0 }, at + t().t_rcd_ps).unwrap();
+        assert_eq!(out.read_data, Some(line));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = dev();
+        let err = d.issue_raw(DramCommand::Activate { bank: 99, row: 0 }, 0).unwrap_err();
+        assert!(matches!(err, DramError::OutOfRange { what: "bank", .. }));
+        let err = d.issue_raw(DramCommand::Activate { bank: 0, row: 1 << 30 }, 0).unwrap_err();
+        assert!(matches!(err, DramError::OutOfRange { what: "row", .. }));
+        let err = d.issue_raw(DramCommand::Read { bank: 0, col: 1 << 20 }, 0).unwrap_err();
+        assert!(matches!(err, DramError::OutOfRange { what: "col", .. }));
+    }
+
+    #[test]
+    fn time_cannot_go_backwards() {
+        let mut d = dev();
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 0 }, 1_000).unwrap();
+        let err = d.issue_raw(DramCommand::Precharge { bank: 0 }, 500).unwrap_err();
+        assert!(matches!(err, DramError::TimeWentBackwards { .. }));
+    }
+
+    #[test]
+    fn read_from_closed_bank_is_garbage() {
+        let mut d = dev();
+        let out = d.issue_raw(DramCommand::Read { bank: 0, col: 0 }, 0).unwrap();
+        assert!(out.read_corrupted);
+        assert!(out.violations.iter().any(|v| v.rule == TimingRule::BankClosed));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = dev();
+        read_legal(&mut d, 0, 0, 0, 0);
+        assert_eq!(d.stats().activates, 1);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().commands(), 2);
+    }
+
+    #[test]
+    fn completion_times_reflect_timing() {
+        let mut d = dev();
+        let out = d.issue_checked(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        assert_eq!(out.completion_ps, t().t_rcd_ps);
+        let out = d.issue_checked(DramCommand::Read { bank: 0, col: 0 }, t().t_rcd_ps).unwrap();
+        assert_eq!(out.completion_ps, t().t_rcd_ps + t().read_latency_ps());
+    }
+}

@@ -1,0 +1,83 @@
+//! Device-level statistics counters.
+
+/// Counters maintained by [`crate::DramDevice`] across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// ACT commands issued.
+    pub activates: u64,
+    /// PRE / PREA commands issued (PREA counts once).
+    pub precharges: u64,
+    /// RD commands issued.
+    pub reads: u64,
+    /// WR commands issued.
+    pub writes: u64,
+    /// REF commands issued.
+    pub refreshes: u64,
+    /// Total timing violations observed across all commands.
+    pub violations: u64,
+    /// ACT sequences recognized as RowClone attempts.
+    pub rowclone_attempts: u64,
+    /// RowClone attempts that copied data correctly.
+    pub rowclone_successes: u64,
+    /// RD commands issued before nominal tRCD elapsed.
+    pub reduced_trcd_reads: u64,
+    /// RD commands that returned corrupted data (for any reason).
+    pub corrupted_reads: u64,
+}
+
+impl DeviceStats {
+    /// Total commands issued.
+    #[must_use]
+    pub fn commands(&self) -> u64 {
+        self.activates + self.precharges + self.reads + self.writes + self.refreshes
+    }
+
+    /// Fraction of RowClone attempts that succeeded, or `None` if there were
+    /// no attempts.
+    #[must_use]
+    pub fn rowclone_success_rate(&self) -> Option<f64> {
+        (self.rowclone_attempts > 0)
+            .then(|| self.rowclone_successes as f64 / self.rowclone_attempts as f64)
+    }
+}
+
+impl std::fmt::Display for DeviceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ACT {} PRE {} RD {} WR {} REF {} | violations {} | rowclone {}/{} | weak-reads {}",
+            self.activates,
+            self.precharges,
+            self.reads,
+            self.writes,
+            self.refreshes,
+            self.violations,
+            self.rowclone_successes,
+            self.rowclone_attempts,
+            self.corrupted_reads,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let s = DeviceStats {
+            activates: 2,
+            precharges: 1,
+            reads: 5,
+            writes: 3,
+            refreshes: 1,
+            rowclone_attempts: 4,
+            rowclone_successes: 3,
+            ..DeviceStats::default()
+        };
+        assert_eq!(s.commands(), 12);
+        assert_eq!(s.rowclone_success_rate(), Some(0.75));
+        assert_eq!(DeviceStats::default().rowclone_success_rate(), None);
+        assert!(!s.to_string().is_empty());
+    }
+}

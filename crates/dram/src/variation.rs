@@ -1,0 +1,460 @@
+//! Real-chip variation model.
+//!
+//! Substitutes the manufacturing variation of a physical DDR4 module with a
+//! deterministic field derived from a seed:
+//!
+//! * **Per-cache-line minimum reliable tRCD** — every line can be accessed
+//!   below the nominal 13.5 ns (paper Fig. 12 observation 1); most lines are
+//!   *strong* (reliable at ≤ 9.0 ns) while ~15 % are *weak* and clustered in
+//!   specific banks and areas (observations 2–3). Clustering is modeled as a
+//!   sum of Gaussian-ish "weak blobs" over the 64×64 (group × row-in-group)
+//!   grid that Fig. 12 plots.
+//! * **RowClone pair reliability** — same-subarray row pairs fall into
+//!   `Always` / `Flaky` / `Never` classes; cross-subarray attempts always
+//!   fail (paper §7.1 "mapping problem"). Flaky pairs fail a small fraction
+//!   of trials, which is what the paper's 1000-trial clonability test
+//!   filters out.
+
+use crate::config::Geometry;
+use crate::det::{hash01, hash_range};
+
+/// Reliability class of a same-subarray RowClone pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairClass {
+    /// The pair never fails.
+    Always,
+    /// The pair fails each trial independently with the given probability.
+    Flaky {
+        /// Per-trial failure probability in `[0, 1]`.
+        fail_rate_milli: u32,
+    },
+    /// The pair never succeeds.
+    Never,
+}
+
+/// Configuration of the variation field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationConfig {
+    /// Seed from which the entire field is derived.
+    pub seed: u64,
+    /// When `false`, every line is reliable at any tRCD ≥ `strong_floor_ps`
+    /// and every same-subarray pair clones reliably (the "idealized DRAM" the
+    /// paper's Ramulator baseline assumes, §7.2 footnote 6).
+    pub enabled: bool,
+    /// Lower bound of the strong-region minimum reliable tRCD (ps).
+    pub strong_floor_ps: u64,
+    /// Upper bound of the strong-region minimum reliable tRCD (ps).
+    pub strong_ceil_ps: u64,
+    /// Number of weak-cluster blobs per bank.
+    pub blobs_per_bank: u32,
+    /// Blob radius range, in units of the 64×64 characterization grid.
+    pub blob_radius: (u32, u32),
+    /// Extra tRCD added at a blob center (ps).
+    pub blob_extra_ps: (u64, u64),
+    /// Width of the stochastic band below a line's minimum reliable tRCD in
+    /// which accesses fail probabilistically rather than always (ps).
+    pub flaky_band_ps: u64,
+    /// Fraction (in 1/1000) of same-subarray pairs that always clone.
+    pub pair_always_milli: u32,
+    /// Fraction (in 1/1000) of same-subarray pairs that are flaky.
+    pub pair_flaky_milli: u32,
+    /// Maximum per-trial failure rate (in 1/1000) of a flaky pair.
+    pub pair_flaky_max_fail_milli: u32,
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xEA5D_0D12,
+            enabled: true,
+            strong_floor_ps: 8_200,
+            strong_ceil_ps: 9_000,
+            blobs_per_bank: 4,
+            blob_radius: (6, 18),
+            blob_extra_ps: (600, 1_700),
+            flaky_band_ps: 400,
+            pair_always_milli: 800,
+            pair_flaky_milli: 150,
+            pair_flaky_max_fail_milli: 200,
+        }
+    }
+}
+
+impl VariationConfig {
+    /// An idealized configuration with variation disabled (Ramulator-style).
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self { enabled: false, ..Self::default() }
+    }
+}
+
+/// Precomputed weak-cluster blob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Blob {
+    /// Center on the 64-wide group axis.
+    cx: f64,
+    /// Center on the 64-wide row-in-group axis.
+    cy: f64,
+    /// Radius in grid units.
+    radius: f64,
+    /// Extra tRCD at the center, in ps.
+    extra_ps: f64,
+}
+
+/// The instantiated variation field for one device.
+#[derive(Debug, Clone)]
+pub struct VariationModel {
+    cfg: VariationConfig,
+    geometry: Geometry,
+    /// `blobs_per_bank` blobs for each bank, indexed `bank * blobs_per_bank + i`.
+    blobs: Vec<Blob>,
+}
+
+impl VariationModel {
+    /// Builds the field for `geometry` from `cfg`.
+    #[must_use]
+    pub fn new(cfg: VariationConfig, geometry: Geometry) -> Self {
+        let mut blobs = Vec::new();
+        if cfg.enabled {
+            for bank in 0..geometry.banks() {
+                for i in 0..cfg.blobs_per_bank {
+                    let c = [u64::from(bank), u64::from(i)];
+                    let cx = hash01(cfg.seed, b"blob-x", &c) * 64.0;
+                    let cy = hash01(cfg.seed, b"blob-y", &c) * 64.0;
+                    let radius = hash_range(
+                        cfg.seed,
+                        b"blob-r",
+                        &c,
+                        u64::from(cfg.blob_radius.0),
+                        u64::from(cfg.blob_radius.1),
+                    ) as f64;
+                    let extra_ps = hash_range(
+                        cfg.seed,
+                        b"blob-e",
+                        &c,
+                        cfg.blob_extra_ps.0,
+                        cfg.blob_extra_ps.1,
+                    ) as f64;
+                    blobs.push(Blob { cx, cy, radius, extra_ps });
+                }
+            }
+        }
+        Self { cfg, geometry, blobs }
+    }
+
+    /// The configuration this field was built from.
+    #[must_use]
+    pub fn config(&self) -> &VariationConfig {
+        &self.cfg
+    }
+
+    /// Grid coordinates used by the Fig. 12 heatmap: `(row / 64, row % 64)`.
+    fn grid_coords(row: u32) -> (f64, f64) {
+        (f64::from(row / 64 % 64), f64::from(row % 64))
+    }
+
+    /// Total blob-induced extra tRCD for a row, in ps.
+    fn blob_extra_ps(&self, bank: u32, row: u32) -> u64 {
+        if !self.cfg.enabled {
+            return 0;
+        }
+        let (gx, gy) = Self::grid_coords(row);
+        let n = self.cfg.blobs_per_bank as usize;
+        let start = bank as usize * n;
+        let mut extra = 0.0f64;
+        for blob in &self.blobs[start..start + n] {
+            let dx = gx - blob.cx;
+            let dy = gy - blob.cy;
+            let d2 = dx * dx + dy * dy;
+            let r2 = blob.radius * blob.radius;
+            if d2 < r2 {
+                extra += blob.extra_ps * (1.0 - d2 / r2);
+            }
+        }
+        extra as u64
+    }
+
+    /// Minimum reliable tRCD of one cache line, in ps.
+    ///
+    /// Always strictly below the nominal 13.5 ns (paper Fig. 12
+    /// observation 1: "all cache lines can reliably operate at tRCD values
+    /// lower than the nominal value").
+    #[must_use]
+    pub fn line_min_trcd_ps(&self, bank: u32, row: u32, col: u32) -> u64 {
+        if !self.cfg.enabled {
+            return self.cfg.strong_floor_ps;
+        }
+        let base = hash_range(
+            self.cfg.seed,
+            b"line-trcd",
+            &[u64::from(bank), u64::from(row), u64::from(col)],
+            self.cfg.strong_floor_ps,
+            self.cfg.strong_ceil_ps,
+        );
+        (base + self.blob_extra_ps(bank, row)).min(11_000)
+    }
+
+    /// Minimum reliable tRCD of a whole row: the weakest (largest-threshold)
+    /// cache line in the row (paper §8.2: "we identify the weakest cache
+    /// line in each row and use its tRCD value").
+    #[must_use]
+    pub fn row_min_trcd_ps(&self, bank: u32, row: u32) -> u64 {
+        (0..self.geometry.cols_per_row())
+            .map(|col| self.line_min_trcd_ps(bank, row, col))
+            .max()
+            .unwrap_or(self.cfg.strong_floor_ps)
+    }
+
+    /// Decides whether a read of `(bank, row, col)` with the *applied* tRCD
+    /// `applied_ps` returns correct data on trial `nonce`.
+    ///
+    /// Above the line's threshold reads always succeed; more than
+    /// `flaky_band_ps` below they always fail; in between they fail with a
+    /// probability proportional to the shortfall (real chips are stochastic
+    /// near the threshold, which is why the paper's profiler tests each line
+    /// and the Bloom filter must be conservative).
+    #[must_use]
+    pub fn read_ok(&self, bank: u32, row: u32, col: u32, applied_ps: u64, nonce: u64) -> bool {
+        let min = self.line_min_trcd_ps(bank, row, col);
+        if applied_ps >= min {
+            return true;
+        }
+        let shortfall = min - applied_ps;
+        if shortfall >= self.cfg.flaky_band_ps {
+            return false;
+        }
+        let p_fail = shortfall as f64 / self.cfg.flaky_band_ps as f64;
+        hash01(
+            self.cfg.seed,
+            b"trcd-trial",
+            &[u64::from(bank), u64::from(row), u64::from(col), nonce],
+        ) >= 1.0 - p_fail
+    }
+
+    /// Reliability class of a RowClone pair `(src → dst)` in `bank`.
+    ///
+    /// Cross-subarray pairs are always [`PairClass::Never`]. Rows inside weak
+    /// clusters are biased towards `Flaky`/`Never`, mirroring the paper's
+    /// observation that weakness is spatially correlated.
+    #[must_use]
+    pub fn pair_class(&self, bank: u32, src_row: u32, dst_row: u32) -> PairClass {
+        if self.geometry.subarray_of(src_row) != self.geometry.subarray_of(dst_row)
+            || src_row == dst_row
+        {
+            return PairClass::Never;
+        }
+        if !self.cfg.enabled {
+            return PairClass::Always;
+        }
+        // Canonicalize so (a, b) and (b, a) share a class.
+        let (a, b) = if src_row <= dst_row { (src_row, dst_row) } else { (dst_row, src_row) };
+        let coords = [u64::from(bank), u64::from(a), u64::from(b)];
+        let mut draw = (hash01(self.cfg.seed, b"pair-class", &coords) * 1000.0) as u32;
+        // Weak-cluster bias: shift the draw towards the flaky/never region.
+        let weakness = self.blob_extra_ps(bank, a).max(self.blob_extra_ps(bank, b));
+        draw += (weakness / 8) as u32;
+        if draw < self.cfg.pair_always_milli {
+            PairClass::Always
+        } else if draw < self.cfg.pair_always_milli + self.cfg.pair_flaky_milli {
+            let fail = hash_range(
+                self.cfg.seed,
+                b"pair-fail",
+                &coords,
+                1,
+                u64::from(self.cfg.pair_flaky_max_fail_milli),
+            ) as u32;
+            PairClass::Flaky { fail_rate_milli: fail }
+        } else {
+            PairClass::Never
+        }
+    }
+
+    /// Decides one RowClone trial for the pair, using `nonce` to
+    /// differentiate repeated attempts.
+    #[must_use]
+    pub fn rowclone_ok(&self, bank: u32, src_row: u32, dst_row: u32, nonce: u64) -> bool {
+        match self.pair_class(bank, src_row, dst_row) {
+            PairClass::Always => true,
+            PairClass::Never => false,
+            PairClass::Flaky { fail_rate_milli } => {
+                let (a, b) =
+                    if src_row <= dst_row { (src_row, dst_row) } else { (dst_row, src_row) };
+                hash01(
+                    self.cfg.seed,
+                    b"pair-trial",
+                    &[u64::from(bank), u64::from(a), u64::from(b), nonce],
+                ) >= f64::from(fail_rate_milli) / 1000.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> VariationModel {
+        VariationModel::new(VariationConfig::default(), Geometry::default())
+    }
+
+    #[test]
+    fn every_line_below_nominal() {
+        let m = model();
+        for row in (0..4096).step_by(37) {
+            for col in [0, 64, 127] {
+                let v = m.line_min_trcd_ps(0, row, col);
+                assert!(v < 13_500, "line trcd {v} must be below nominal");
+                assert!(v >= 8_200);
+            }
+        }
+    }
+
+    #[test]
+    fn strong_fraction_is_majority() {
+        // Paper Fig. 12: 84.5 % of cache lines are strong (<= 9.0 ns).
+        let m = model();
+        let mut strong = 0u32;
+        let mut total = 0u32;
+        for bank in 0..2 {
+            for row in 0..4096u32 {
+                let v = m.row_min_trcd_ps(bank, row);
+                if v <= 9_000 {
+                    strong += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = f64::from(strong) / f64::from(total);
+        assert!((0.6..0.97).contains(&frac), "strong fraction {frac}");
+    }
+
+    #[test]
+    fn weak_rows_are_clustered() {
+        // Adjacent rows inside a blob should share weakness more often than
+        // random rows do: measure autocorrelation of the weak indicator.
+        let m = model();
+        let weak: Vec<bool> = (0..4096).map(|r| m.row_min_trcd_ps(0, r) > 9_000).collect();
+        let n_weak = weak.iter().filter(|&&w| w).count();
+        if n_weak == 0 {
+            panic!("expected some weak rows");
+        }
+        let p = n_weak as f64 / weak.len() as f64;
+        let mut both = 0usize;
+        for w in weak.windows(2) {
+            if w[0] && w[1] {
+                both += 1;
+            }
+        }
+        let p_adj = both as f64 / (weak.len() - 1) as f64;
+        assert!(p_adj > p * p * 2.0, "weakness not clustered: p={p}, p_adj={p_adj}");
+    }
+
+    #[test]
+    fn read_ok_threshold_behaviour() {
+        let m = model();
+        let min = m.line_min_trcd_ps(1, 10, 3);
+        assert!(m.read_ok(1, 10, 3, min, 0));
+        assert!(m.read_ok(1, 10, 3, min + 1_000, 1));
+        assert!(!m.read_ok(1, 10, 3, min - 500, 2), "deep violation always fails");
+        // Inside the flaky band: some trials fail, some succeed over many nonces.
+        let shallow = min - 200;
+        let fails = (0..200).filter(|&n| !m.read_ok(1, 10, 3, shallow, n)).count();
+        assert!(fails > 0 && fails < 200, "band should be stochastic, got {fails}/200");
+    }
+
+    #[test]
+    fn cross_subarray_pairs_never_clone() {
+        let m = model();
+        let g = Geometry::default();
+        let src = 0;
+        let dst = g.subarray_rows; // first row of next subarray
+        assert_eq!(m.pair_class(0, src, dst), PairClass::Never);
+        assert!(!m.rowclone_ok(0, src, dst, 0));
+    }
+
+    #[test]
+    fn self_clone_is_never() {
+        let m = model();
+        assert_eq!(m.pair_class(0, 5, 5), PairClass::Never);
+    }
+
+    #[test]
+    fn pair_class_symmetric_and_deterministic() {
+        let m = model();
+        for (a, b) in [(1u32, 2u32), (7, 100), (300, 301)] {
+            assert_eq!(m.pair_class(2, a, b), m.pair_class(2, b, a));
+            assert_eq!(m.pair_class(2, a, b), m.pair_class(2, a, b));
+        }
+    }
+
+    #[test]
+    fn pair_classes_have_expected_mix() {
+        let m = model();
+        let mut always = 0;
+        let mut flaky = 0;
+        let mut never = 0;
+        for a in 0..300u32 {
+            let b = a + 1 + (a % 50); // same subarray for most
+            if Geometry::default().subarray_of(a) != Geometry::default().subarray_of(b) {
+                continue;
+            }
+            match m.pair_class(0, a, b) {
+                PairClass::Always => always += 1,
+                PairClass::Flaky { .. } => flaky += 1,
+                PairClass::Never => never += 1,
+            }
+        }
+        assert!(always > flaky, "always {always} flaky {flaky} never {never}");
+        assert!(always > never, "always {always} never {never}");
+        assert!(flaky + never > 0, "some pairs must be unreliable");
+    }
+
+    #[test]
+    fn always_pairs_survive_1000_trials() {
+        let m = model();
+        let g = Geometry::default();
+        let mut checked = 0;
+        for a in 0..200u32 {
+            let b = a + 3;
+            if g.subarray_of(a) != g.subarray_of(b) {
+                continue;
+            }
+            if m.pair_class(0, a, b) == PairClass::Always {
+                assert!((0..1000).all(|n| m.rowclone_ok(0, a, b, n)));
+                checked += 1;
+            }
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn ideal_config_is_fully_reliable() {
+        let m = VariationModel::new(VariationConfig::ideal(), Geometry::default());
+        assert_eq!(m.line_min_trcd_ps(0, 0, 0), m.config().strong_floor_ps);
+        assert_eq!(m.pair_class(0, 1, 2), PairClass::Always);
+        assert!(m.read_ok(0, 0, 0, m.config().strong_floor_ps, 9));
+    }
+
+    #[test]
+    fn flaky_pairs_fail_some_trials() {
+        let m = model();
+        let g = Geometry::default();
+        let mut found = false;
+        'outer: for a in 0..2_000u32 {
+            for off in 1..20u32 {
+                let b = a + off;
+                if b >= g.rows_per_bank || g.subarray_of(a) != g.subarray_of(b) {
+                    continue;
+                }
+                if let PairClass::Flaky { fail_rate_milli } = m.pair_class(0, a, b) {
+                    assert!(fail_rate_milli >= 1);
+                    let fails = (0..5_000).filter(|&n| !m.rowclone_ok(0, a, b, n)).count();
+                    assert!(fails > 0, "flaky pair with rate {fail_rate_milli} never failed");
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no flaky pair found in scan");
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests on the DRAM substrate's core invariants.
+
+use proptest::prelude::*;
+
+use easydram_dram::bank::RankTiming;
+use easydram_dram::{
+    AddressMapper, DramAddress, DramCommand, DramConfig, DramDevice, Geometry, MappingScheme,
+    TimingParams, VariationConfig, VariationModel,
+};
+
+fn any_scheme() -> impl Strategy<Value = MappingScheme> {
+    prop_oneof![
+        Just(MappingScheme::RowBankCol),
+        Just(MappingScheme::RowColBank),
+        Just(MappingScheme::BankRowCol),
+        Just(MappingScheme::RowColBankXor),
+    ]
+}
+
+proptest! {
+    /// Address mapping is a bijection over the rank capacity.
+    #[test]
+    fn mapper_round_trips(scheme in any_scheme(), line in 0u64..(1 << 22)) {
+        let m = AddressMapper::new(Geometry::default(), scheme);
+        let phys = line << 6;
+        let d = m.to_dram(phys);
+        prop_assert!(d.bank < 16);
+        prop_assert!(d.row < 32_768);
+        prop_assert!(d.col < 128);
+        prop_assert_eq!(m.to_phys(d), phys);
+    }
+
+    /// Distinct lines within capacity map to distinct DRAM coordinates.
+    #[test]
+    fn mapper_is_injective(scheme in any_scheme(), a in 0u64..(1 << 22), b in 0u64..(1 << 22)) {
+        prop_assume!(a != b);
+        let m = AddressMapper::new(Geometry::default(), scheme);
+        prop_assert_ne!(m.to_dram(a << 6), m.to_dram(b << 6));
+    }
+
+    /// `earliest_issue_ps` is exactly the legality boundary: legal at the
+    /// returned time, illegal one picosecond earlier (when constrained).
+    #[test]
+    fn earliest_issue_is_tight(
+        bank in 0u32..2,
+        row in 0u32..64,
+        col in 0u32..16,
+        gap in 0u64..60_000,
+    ) {
+        let g = DramConfig::small_for_tests().geometry;
+        let mut r = RankTiming::new(g, TimingParams::ddr4_1333());
+        r.apply(&DramCommand::Activate { bank, row }, 0);
+        r.apply(&DramCommand::Read { bank, col }, 13_500 + gap);
+        for cmd in [
+            DramCommand::Read { bank, col: (col + 1) % 16 },
+            DramCommand::Precharge { bank },
+            DramCommand::Activate { bank: bank ^ 1, row },
+        ] {
+            let e = r.earliest_issue_ps(&cmd);
+            prop_assert!(r.check(&cmd, e).is_empty(), "{cmd} illegal at its earliest {e}");
+            if e > 0 {
+                prop_assert!(
+                    !r.check(&cmd, e - 1).is_empty(),
+                    "{cmd} already legal before earliest {e}"
+                );
+            }
+        }
+    }
+
+    /// Legal write-then-read always round-trips data exactly.
+    #[test]
+    fn legal_write_read_round_trip(
+        bank in 0u32..2,
+        row in 0u32..1024,
+        col in 0u32..128,
+        payload in prop::array::uniform32(any::<u8>()),
+    ) {
+        let mut dev = DramDevice::new(DramConfig::small_for_tests());
+        let t = dev.timing().clone();
+        let mut line = [0u8; 64];
+        line[..32].copy_from_slice(&payload);
+        let base = dev.now_ps();
+        dev.issue_checked(DramCommand::Activate { bank, row }, base).unwrap();
+        dev.issue_checked(DramCommand::Write { bank, col, data: line }, base + t.t_rcd_ps)
+            .unwrap();
+        let rd_at = base + t.t_rcd_ps + t.t_cwl_ps + t.t_burst_ps + t.t_wtr_ps;
+        let out = dev.issue_checked(DramCommand::Read { bank, col }, rd_at).unwrap();
+        prop_assert_eq!(out.read_data, Some(line));
+        prop_assert!(!out.read_corrupted);
+    }
+
+    /// The variation field is stable and bounded: below nominal, above the
+    /// floor, and identical on repeated query.
+    #[test]
+    fn variation_bounds(bank in 0u32..16, row in 0u32..32_768, col in 0u32..128) {
+        let v = VariationModel::new(VariationConfig::default(), Geometry::default());
+        let a = v.line_min_trcd_ps(bank, row, col);
+        let b = v.line_min_trcd_ps(bank, row, col);
+        prop_assert_eq!(a, b);
+        prop_assert!(a >= 8_200);
+        prop_assert!(a < 13_500);
+        // Row minimum dominates each of its lines.
+        prop_assert!(v.row_min_trcd_ps(bank, row) >= a);
+    }
+
+    /// Reads at or above a line's minimum reliable tRCD are always correct.
+    #[test]
+    fn reads_at_threshold_are_reliable(
+        bank in 0u32..4,
+        row in 0u32..4096,
+        col in 0u32..128,
+        nonce in any::<u64>(),
+        slack in 0u64..5_000,
+    ) {
+        let v = VariationModel::new(VariationConfig::default(), Geometry::default());
+        let min = v.line_min_trcd_ps(bank, row, col);
+        prop_assert!(v.read_ok(bank, row, col, min + slack, nonce));
+    }
+
+    /// RowClone attempts never cross subarrays successfully.
+    #[test]
+    fn rowclone_never_crosses_subarrays(
+        bank in 0u32..16,
+        src in 0u32..32_768,
+        dst in 0u32..32_768,
+        nonce in any::<u64>(),
+    ) {
+        let g = Geometry::default();
+        prop_assume!(g.subarray_of(src) != g.subarray_of(dst));
+        let v = VariationModel::new(VariationConfig::default(), g);
+        prop_assert!(!v.rowclone_ok(bank, src, dst, nonce));
+    }
+
+    /// Raw issue never panics and always reports violations consistently
+    /// with the checker.
+    #[test]
+    fn raw_issue_is_total(
+        cmds in prop::collection::vec(
+            (0u32..2, 0u32..1024, 0u32..128, 0u8..4, 1u64..40_000),
+            1..20,
+        ),
+    ) {
+        let mut dev = DramDevice::new(DramConfig::small_for_tests());
+        let mut t = 0u64;
+        for (bank, row, col, kind, dt) in cmds {
+            t += dt;
+            let cmd = match kind {
+                0 => DramCommand::Activate { bank, row },
+                1 => DramCommand::Precharge { bank },
+                2 => DramCommand::Read { bank, col },
+                _ => DramCommand::Write { bank, col, data: [0xAA; 64] },
+            };
+            let out = dev.issue_raw(cmd, t).unwrap();
+            prop_assert!(out.completion_ps >= t);
+        }
+    }
+}
+
+/// A sanity anchor outside proptest: the DRAM address of a remembered
+/// pattern survives arbitrary interleaved traffic to other rows.
+#[test]
+fn data_is_isolated_across_rows() {
+    let mut dev = DramDevice::new(DramConfig::small_for_tests());
+    let marker = vec![0x5Au8; 8192];
+    dev.write_row(1, 100, &marker);
+    let t = dev.timing().clone();
+    let mut now = dev.now_ps();
+    for row in 0..32u32 {
+        now += t.t_rc_ps();
+        dev.issue_raw(DramCommand::Activate { bank: 1, row }, now).unwrap();
+        now += t.t_ras_ps;
+        dev.issue_raw(DramCommand::Precharge { bank: 1 }, now).unwrap();
+    }
+    assert_eq!(dev.row_data(1, 100), marker.as_slice());
+    let m = AddressMapper::new(dev.config().geometry.clone(), MappingScheme::RowBankCol);
+    let d = DramAddress::new(1, 100, 0);
+    assert_eq!(m.to_dram(m.to_phys(d)), d);
+}

@@ -1,0 +1,468 @@
+//! A Ramulator-2.0-style cycle-level software simulator — the baseline the
+//! paper compares EasyDRAM against (§7.2, §8.3).
+//!
+//! Reproduces the structural properties the paper attributes to the
+//! software-simulation methodology:
+//!
+//! * **Idealized DRAM**: no real-chip variation; every RowClone operation
+//!   succeeds and every target row can be initialized in-DRAM (paper §7.2
+//!   footnote 6) — which is why Ramulator over-reports Init benefits.
+//! * **A different, simpler processor model**: a simple out-of-order core
+//!   with only a 512 KiB LLC (footnote 5) — which is why per-workload
+//!   results diverge from EasyDRAM's real BOOM core.
+//! * **Bounded simulation**: an instruction cap (500 M in the paper, §8.3)
+//!   after which timing stops accruing even though the program runs to
+//!   completion functionally.
+//! * **Software-simulation speed**: a documented wall-clock cost model in
+//!   the 1–2 M cycles/s class (paper Table 1), alongside the actually
+//!   measured host speed of this Rust implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use easydram_ramulator::{RamulatorConfig, RamulatorSystem};
+//! use easydram_workloads::{polybench, PolySize};
+//!
+//! let mut sim = RamulatorSystem::new(RamulatorConfig::default());
+//! let mut w = polybench::Gemm::new(PolySize::Mini);
+//! let report = sim.run(&mut w);
+//! assert!(report.simulated_cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use easydram_cpu::backend::{LineFetch, MemoryBackend, RowCloneRequestResult};
+use easydram_cpu::{CoreConfig, CoreModel, CpuApi, Workload, LINE_BYTES};
+use easydram_dram::bank::RankTiming;
+use easydram_dram::{AddressMapper, DramCommand, Geometry, MappingScheme, TimingParams};
+
+/// Configuration of the software simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RamulatorConfig {
+    /// The simple out-of-order core model (LLC only; paper fn. 5).
+    pub core: CoreConfig,
+    /// DDR4 timing bin.
+    pub timing: TimingParams,
+    /// DRAM geometry.
+    pub geometry: Geometry,
+    /// Address mapping.
+    pub mapping: MappingScheme,
+    /// Fixed controller latency added to each request, in ps.
+    pub ctrl_latency_ps: u64,
+    /// Stop accruing simulated time after this many instructions
+    /// (the paper simulates 500 M instructions per workload, §8.3).
+    pub instruction_cap: u64,
+    /// Modeled simulation throughput of a cycle-level software simulator,
+    /// in simulated cycles per host second (paper Table 1 places software
+    /// simulators at ≈10 K–1 M cycles/s; Ramulator 2.0 with a simple core
+    /// reaches the low millions).
+    pub modeled_cycles_per_sec: f64,
+    /// Additional modeled host time per memory transaction, seconds.
+    pub modeled_seconds_per_mem_event: f64,
+}
+
+impl Default for RamulatorConfig {
+    fn default() -> Self {
+        Self {
+            core: CoreConfig::ramulator_ooo(),
+            timing: TimingParams::ddr4_1333(),
+            geometry: Geometry::default(),
+            mapping: MappingScheme::RowColBankXor,
+            ctrl_latency_ps: 20_000,
+            instruction_cap: 500_000_000,
+            modeled_cycles_per_sec: 1_500_000.0,
+            modeled_seconds_per_mem_event: 2e-6,
+        }
+    }
+}
+
+/// The cycle-level memory model: JEDEC-checked command timing over an
+/// idealized (variation-free) data store.
+#[derive(Debug)]
+pub struct RamulatorBackend {
+    cfg: RamulatorConfig,
+    rank: RankTiming,
+    mapper: AddressMapper,
+    mem: HashMap<u64, [u8; LINE_BYTES]>,
+    /// Device timeline in simulated ps.
+    now_ps: u64,
+    alloc_cursor: u64,
+    /// Next periodic refresh, ps.
+    next_ref_ps: u64,
+    /// Memory transactions served (for the wall-clock model).
+    pub mem_events: u64,
+    /// Init pattern source row handed out by `rowclone_alloc_init`.
+    init_source: Option<u64>,
+}
+
+impl RamulatorBackend {
+    /// Creates the memory model.
+    #[must_use]
+    pub fn new(cfg: RamulatorConfig) -> Self {
+        let rank = RankTiming::new(cfg.geometry.clone(), cfg.timing.clone());
+        let mapper = AddressMapper::new(cfg.geometry.clone(), cfg.mapping);
+        let next_ref = cfg.timing.t_refi_ps;
+        Self {
+            cfg,
+            rank,
+            mapper,
+            mem: HashMap::new(),
+            now_ps: 0,
+            alloc_cursor: 0x1_0000,
+            next_ref_ps: next_ref,
+            mem_events: 0,
+            init_source: None,
+        }
+    }
+
+    fn cycles_to_ps(&self, cycles: u64) -> u64 {
+        ((u128::from(cycles) * 1_000_000_000_000 + u128::from(self.cfg.core.freq_hz) / 2)
+            / u128::from(self.cfg.core.freq_hz)) as u64
+    }
+
+    fn ps_to_cycles(&self, ps: u64) -> u64 {
+        ((u128::from(ps) * u128::from(self.cfg.core.freq_hz) + 500_000_000_000)
+            / 1_000_000_000_000) as u64
+    }
+
+    fn issue_at_earliest(&mut self, cmd: DramCommand, not_before_ps: u64) -> u64 {
+        let t = self.rank.earliest_issue_ps(&cmd).max(not_before_ps).max(self.now_ps);
+        debug_assert!(self.rank.check(&cmd, t).is_empty(), "ramulator never violates timing");
+        self.rank.apply(&cmd, t);
+        self.now_ps = t;
+        t
+    }
+
+    fn maybe_refresh(&mut self, now_ps: u64) -> u64 {
+        let mut ready = now_ps;
+        while self.next_ref_ps <= ready {
+            // All-bank refresh: close rows, issue REF, pay tRFC.
+            let t = self
+                .rank
+                .earliest_issue_ps(&DramCommand::PrechargeAll)
+                .max(self.next_ref_ps)
+                .max(self.now_ps);
+            self.rank.apply(&DramCommand::PrechargeAll, t);
+            let r = self.rank.earliest_issue_ps(&DramCommand::Refresh).max(t);
+            self.rank.apply(&DramCommand::Refresh, r);
+            self.now_ps = r;
+            ready = ready.max(r + self.cfg.timing.t_rfc_ps);
+            self.next_ref_ps += self.cfg.timing.t_refi_ps;
+        }
+        ready
+    }
+
+    /// Serves one column access and returns the completion time in ps.
+    fn access(&mut self, line_addr: u64, issue_cycle: u64, is_write: bool) -> u64 {
+        self.mem_events += 1;
+        let arrival = self.cycles_to_ps(issue_cycle) + self.cfg.ctrl_latency_ps;
+        let arrival = self.maybe_refresh(arrival);
+        let d = self.mapper.to_dram(line_addr);
+        // Open-page policy.
+        match self.rank.open_row(d.bank) {
+            Some(r) if r == d.row => {}
+            Some(_) => {
+                self.issue_at_earliest(DramCommand::Precharge { bank: d.bank }, arrival);
+                self.issue_at_earliest(DramCommand::Activate { bank: d.bank, row: d.row }, 0);
+            }
+            None => {
+                self.issue_at_earliest(DramCommand::Activate { bank: d.bank, row: d.row }, arrival);
+            }
+        }
+        let t = if is_write {
+            let at = self.issue_at_earliest(
+                DramCommand::Write { bank: d.bank, col: d.col, data: [0; LINE_BYTES] },
+                arrival,
+            );
+            at + self.cfg.timing.write_latency_ps()
+        } else {
+            let at = self.issue_at_earliest(DramCommand::Read { bank: d.bank, col: d.col }, arrival);
+            at + self.cfg.timing.read_latency_ps()
+        };
+        t + self.cfg.ctrl_latency_ps
+    }
+}
+
+impl MemoryBackend for RamulatorBackend {
+    fn read_line(&mut self, line_addr: u64, issue_cycle: u64) -> LineFetch {
+        let done_ps = self.access(line_addr, issue_cycle, false);
+        let data = *self.mem.entry(line_addr & !63).or_insert([0; LINE_BYTES]);
+        LineFetch { data, complete_cycle: self.ps_to_cycles(done_ps).max(issue_cycle + 1) }
+    }
+
+    fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
+        let done_ps = self.access(line_addr, issue_cycle, true);
+        self.mem.insert(line_addr & !63, data);
+        self.ps_to_cycles(done_ps).max(issue_cycle + 1)
+    }
+
+    fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        let align = align.max(1);
+        let base = self.alloc_cursor.div_ceil(align) * align;
+        self.alloc_cursor = base + bytes;
+        assert!(self.alloc_cursor < self.capacity_bytes(), "allocation exceeds capacity");
+        base
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.cfg.geometry.capacity_bytes()
+    }
+
+    fn row_bytes(&self) -> u64 {
+        u64::from(self.cfg.geometry.row_bytes)
+    }
+
+    fn rowclone(
+        &mut self,
+        src_row_addr: u64,
+        dst_row_addr: u64,
+        issue_cycle: u64,
+    ) -> Option<RowCloneRequestResult> {
+        // Idealized in-DRAM copy: always succeeds (paper §7.2 footnote 6),
+        // costs two back-to-back activations plus a precharge.
+        self.mem_events += 1;
+        let rb = self.row_bytes();
+        let src_base = src_row_addr / rb * rb;
+        let dst_base = dst_row_addr / rb * rb;
+        for off in (0..rb).step_by(LINE_BYTES) {
+            let line = *self.mem.entry(src_base + off).or_insert([0; LINE_BYTES]);
+            self.mem.insert(dst_base + off, line);
+        }
+        let t = self.cfg.timing.t_ras_ps + self.cfg.timing.t_rp_ps + self.cfg.timing.t_rcd_ps;
+        let done = self.cycles_to_ps(issue_cycle) + 2 * self.cfg.ctrl_latency_ps + t;
+        Some(RowCloneRequestResult {
+            complete_cycle: self.ps_to_cycles(done).max(issue_cycle + 1),
+            copied: true,
+        })
+    }
+
+    fn rowclone_alloc_copy(&mut self, bytes: u64) -> Option<(u64, u64)> {
+        let rb = self.row_bytes();
+        let n = bytes.div_ceil(rb) * rb;
+        Some((self.alloc(n, rb), self.alloc(n, rb)))
+    }
+
+    fn rowclone_alloc_init(&mut self, bytes: u64) -> Option<(u64, Vec<u64>)> {
+        let rb = self.row_bytes();
+        let n = bytes.div_ceil(rb) * rb;
+        let dst = self.alloc(n, rb);
+        let src = self.alloc(rb, rb);
+        self.init_source = Some(src);
+        Some((dst, vec![src]))
+    }
+
+    fn rowclone_init_source(&mut self, _dst_row_addr: u64) -> Option<u64> {
+        self.init_source
+    }
+}
+
+/// Report of one software-simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RamReport {
+    /// Workload name.
+    pub name: String,
+    /// Simulated cycles within the instruction cap.
+    pub simulated_cycles: u64,
+    /// Total cycles had the cap not applied.
+    pub uncapped_cycles: u64,
+    /// Instructions executed (functionally).
+    pub instructions: u64,
+    /// Whether the instruction cap truncated the measurement.
+    pub capped: bool,
+    /// Modeled host wall time of a Ramulator-2.0-class simulator, seconds.
+    pub modeled_wall_seconds: f64,
+    /// Actually measured host wall time of this Rust implementation,
+    /// seconds.
+    pub host_wall_seconds: f64,
+    /// Modeled simulation speed, simulated cycles per second.
+    pub modeled_speed_hz: f64,
+    /// Memory transactions served.
+    pub mem_events: u64,
+}
+
+/// The assembled software simulator.
+pub struct RamulatorSystem {
+    core: CoreModel<RamulatorBackend>,
+    cfg: RamulatorConfig,
+}
+
+impl RamulatorSystem {
+    /// Builds the simulator.
+    #[must_use]
+    pub fn new(cfg: RamulatorConfig) -> Self {
+        let core_cfg = cfg.core.clone();
+        Self { core: CoreModel::new(core_cfg, RamulatorBackend::new(cfg.clone())), cfg }
+    }
+
+    /// The processor interface.
+    pub fn cpu(&mut self) -> &mut CoreModel<RamulatorBackend> {
+        &mut self.core
+    }
+
+    /// Runs a workload to completion (functionally) and reports timing up
+    /// to the instruction cap.
+    pub fn run(&mut self, workload: &mut dyn Workload) -> RamReport {
+        let cycles0 = self.core.now_cycles();
+        let instr0 = self.core.stats().instructions;
+        let events0 = self.core.backend().mem_events;
+        let host0 = Instant::now();
+        workload.run(&mut self.core);
+        let host_wall_seconds = host0.elapsed().as_secs_f64();
+        let cycles = self.core.now_cycles() - cycles0;
+        let instructions = self.core.stats().instructions - instr0;
+        let capped = instructions > self.cfg.instruction_cap;
+        let simulated_cycles = if capped {
+            // Timing is reported for the capped prefix, scaled by the
+            // instruction fraction (the simulator would have stopped there).
+            (u128::from(cycles) * u128::from(self.cfg.instruction_cap)
+                / u128::from(instructions.max(1))) as u64
+        } else {
+            cycles
+        };
+        let mem_events = self.core.backend().mem_events - events0;
+        let modeled_wall_seconds = simulated_cycles as f64 / self.cfg.modeled_cycles_per_sec
+            + mem_events as f64 * self.cfg.modeled_seconds_per_mem_event;
+        RamReport {
+            name: workload.name().to_string(),
+            simulated_cycles,
+            uncapped_cycles: cycles,
+            instructions,
+            capped,
+            modeled_wall_seconds,
+            host_wall_seconds,
+            modeled_speed_hz: if modeled_wall_seconds > 0.0 {
+                simulated_cycles as f64 / modeled_wall_seconds
+            } else {
+                0.0
+            },
+            mem_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easydram_cpu::RowCloneStatus;
+
+    fn sim() -> RamulatorSystem {
+        RamulatorSystem::new(RamulatorConfig::default())
+    }
+
+    #[test]
+    fn data_round_trips() {
+        let mut s = sim();
+        let a = s.cpu().alloc(4096, 64);
+        for i in 0..512u64 {
+            s.cpu().store_u64(a + i * 8, i + 9);
+        }
+        for i in 0..512u64 {
+            assert_eq!(s.cpu().load_u64(a + i * 8), i + 9);
+        }
+    }
+
+    #[test]
+    fn memory_latency_is_dram_scale() {
+        let mut s = sim();
+        let a = s.cpu().alloc(64, 64);
+        let t0 = s.cpu().now_cycles();
+        let _ = s.cpu().load_u64(a);
+        let lat = s.cpu().now_cycles() - t0;
+        // 2 GHz core: ~50-90 ns DRAM + controller ≈ 120-250 cycles.
+        assert!((80..400).contains(&lat), "latency {lat}");
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_conflicts() {
+        let mut s = sim();
+        let a = s.cpu().alloc(1 << 20, 8192);
+        let _ = s.cpu().load_u64(a); // open the row
+        let t0 = s.cpu().now_cycles();
+        let _ = s.cpu().load_u64(a + 64); // row hit
+        let hit = s.cpu().now_cycles() - t0;
+        // Conflict: same bank, different row (bank stride = 8 KiB under
+        // RowBankCol; same bank repeats every banks*row_bytes).
+        let conflict_addr = a + 16 * 8192;
+        let t0 = s.cpu().now_cycles();
+        let _ = s.cpu().load_u64(conflict_addr);
+        let conflict = s.cpu().now_cycles() - t0;
+        assert!(hit < conflict, "hit {hit} vs conflict {conflict}");
+    }
+
+    #[test]
+    fn rowclone_always_succeeds() {
+        let mut s = sim();
+        let (src, dst) = s.cpu().rowclone_alloc_copy(2 * 8192).unwrap();
+        for i in 0..1024u64 {
+            s.cpu().store_u64(src + i * 8, i);
+        }
+        for line in 0..128u64 {
+            s.cpu().clflush(src + line * 64);
+        }
+        s.cpu().fence();
+        for r in 0..2u64 {
+            assert_eq!(
+                s.cpu().rowclone_row(src + r * 8192, dst + r * 8192),
+                RowCloneStatus::Copied,
+                "idealized DRAM never fails"
+            );
+        }
+        for i in 0..1024u64 {
+            assert_eq!(s.cpu().load_u64(dst + i * 8), i);
+        }
+    }
+
+    #[test]
+    fn init_source_is_single_row() {
+        let mut s = sim();
+        let (dst, sources) = s.cpu().rowclone_alloc_init(4 * 8192).unwrap();
+        assert_eq!(sources.len(), 1, "idealized model needs one pattern row");
+        for r in 0..4u64 {
+            assert_eq!(s.cpu().rowclone_init_source(dst + r * 8192), Some(sources[0]));
+        }
+    }
+
+    #[test]
+    fn report_models_software_speed() {
+        let mut s = sim();
+        let mut w = easydram_workloads::polybench::Gemm::new(easydram_workloads::PolySize::Mini);
+        let r = s.run(&mut w);
+        assert!(r.simulated_cycles > 0);
+        assert!(!r.capped);
+        assert!(r.modeled_speed_hz < 3_000_000.0, "software simulators are slow");
+        assert!(r.modeled_wall_seconds > 0.0);
+        assert!(r.mem_events > 0);
+    }
+
+    #[test]
+    fn instruction_cap_truncates_measurement() {
+        let mut cfg = RamulatorConfig::default();
+        cfg.instruction_cap = 1_000;
+        let mut s = RamulatorSystem::new(cfg);
+        let mut w = easydram_workloads::polybench::Gemm::new(easydram_workloads::PolySize::Mini);
+        let r = s.run(&mut w);
+        assert!(r.capped);
+        assert!(r.simulated_cycles < r.uncapped_cycles);
+    }
+
+    #[test]
+    fn refresh_consumes_time() {
+        let run = |refi_scale: u64| {
+            let mut cfg = RamulatorConfig::default();
+            cfg.timing.t_refi_ps *= refi_scale;
+            let mut s = RamulatorSystem::new(cfg);
+            let a = s.cpu().alloc(64 * 4096, 64);
+            for i in 0..4096u64 {
+                let _ = s.cpu().load_u64(a + i * 64);
+            }
+            s.cpu().now_cycles()
+        };
+        let frequent_ref = run(1);
+        let rare_ref = run(1000);
+        assert!(frequent_ref > rare_ref, "{frequent_ref} vs {rare_ref}");
+    }
+}

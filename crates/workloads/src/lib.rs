@@ -1,0 +1,110 @@
+//! Workloads for the EasyDRAM reproduction: the PolyBench kernel suite,
+//! an lmbench-style memory-latency benchmark, and the Copy/Init RowClone
+//! microbenchmarks from the paper's case studies.
+//!
+//! Every workload is an execution-driven program over
+//! [`easydram_cpu::CpuApi`]: the same kernel source runs unchanged on the
+//! EasyDRAM system, the Ramulator baseline, and plain test memories, exactly
+//! as the paper runs identical binaries on each evaluated platform.
+//!
+//! # Example
+//!
+//! ```
+//! use easydram_cpu::{CoreConfig, CoreModel, FixedLatencyBackend};
+//! use easydram_workloads::{polybench, PolySize, Workload};
+//!
+//! let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(100));
+//! let mut gemm = polybench::Gemm::new(PolySize::Mini);
+//! gemm.run(&mut cpu);
+//! assert!(gemm.checksum().is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lmbench;
+pub mod micro;
+pub mod polybench;
+pub mod util;
+
+pub use easydram_cpu::Workload;
+
+/// Problem-size class for PolyBench kernels.
+///
+/// Sizes are miniaturized relative to PolyBench/C's `LARGE` dataset so that
+/// full-workload emulation completes in seconds on a host machine; the cache
+/// behaviour classes (L1-resident, L2-resident, memory-streaming) are
+/// preserved. See `DESIGN.md` for the substitution note.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolySize {
+    /// Fast unit-test size.
+    #[default]
+    Mini,
+    /// Evaluation size used by the figure harnesses.
+    Small,
+}
+
+/// The 11 PolyBench workloads of the paper's Fig. 13/14 (tRCD reduction and
+/// simulation-speed studies), in figure order.
+#[must_use]
+pub fn fig13_names() -> Vec<&'static str> {
+    vec![
+        "gemver",
+        "mvt",
+        "gesummv",
+        "syrk",
+        "symm",
+        "correlation",
+        "covariance",
+        "trisolv",
+        "gramschmidt",
+        "gemm",
+        "durbin",
+    ]
+}
+
+/// Builds the 11 kernels of [`fig13_names`] at the given size.
+#[must_use]
+pub fn fig13_suite(size: PolySize) -> Vec<Box<dyn Workload>> {
+    fig13_names()
+        .into_iter()
+        .map(|n| polybench::by_name(n, size).expect("fig13 kernel exists"))
+        .collect()
+}
+
+/// The 28-kernel PolyBench suite used for the paper's §6 time-scaling
+/// validation.
+#[must_use]
+pub fn validation_suite(size: PolySize) -> Vec<Box<dyn Workload>> {
+    polybench::all_names()
+        .iter()
+        .map(|n| polybench::by_name(n, size).expect("kernel exists"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_suite_has_eleven_kernels() {
+        let suite = fig13_suite(PolySize::Mini);
+        assert_eq!(suite.len(), 11);
+        let names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+        assert!(names.contains(&"durbin"));
+        assert!(names.contains(&"correlation"));
+    }
+
+    #[test]
+    fn validation_suite_has_28_kernels() {
+        assert_eq!(validation_suite(PolySize::Mini).len(), 28);
+    }
+
+    #[test]
+    fn fig13_is_subset_of_validation() {
+        let all = polybench::all_names();
+        for n in fig13_names() {
+            assert!(all.contains(&n), "{n} missing from suite");
+        }
+    }
+}

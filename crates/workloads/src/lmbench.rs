@@ -1,0 +1,143 @@
+//! An lmbench `lat_mem_rd`-style memory-latency microbenchmark (paper §6,
+//! Fig. 8).
+//!
+//! Builds a pointer chain of the requested working-set size and chases it
+//! with dependent loads; the reported metric is *cycles per load
+//! instruction*, which plateaus at the L1, L2, and main-memory latency as
+//! the working set grows — exactly the profile Fig. 8 plots.
+
+use easydram_cpu::CpuApi;
+
+use crate::Workload;
+
+/// The memory-read-latency benchmark.
+#[derive(Debug, Clone)]
+pub struct LatMemRd {
+    size_bytes: u64,
+    stride_bytes: u64,
+    measured_loads: u64,
+    measured_cycles: Option<u64>,
+    cycles_per_load: Option<f64>,
+}
+
+impl LatMemRd {
+    /// Creates a benchmark over a `size_bytes` working set chased at
+    /// `stride_bytes` (lmbench's default stride is one cache line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stride is smaller than 8 bytes or the size smaller than
+    /// one stride.
+    #[must_use]
+    pub fn new(size_bytes: u64, stride_bytes: u64) -> Self {
+        assert!(stride_bytes >= 8, "stride must hold a pointer");
+        assert!(size_bytes >= stride_bytes, "working set must hold at least one element");
+        Self {
+            size_bytes,
+            stride_bytes,
+            measured_loads: 0,
+            measured_cycles: None,
+            cycles_per_load: None,
+        }
+    }
+
+    /// Cycles per dependent load over the measured region, once run.
+    #[must_use]
+    pub fn cycles_per_load(&self) -> Option<f64> {
+        self.cycles_per_load
+    }
+
+    /// Number of dependent loads in the measured region.
+    #[must_use]
+    pub fn loads(&self) -> u64 {
+        self.measured_loads
+    }
+}
+
+impl Workload for LatMemRd {
+    fn name(&self) -> &str {
+        "lat_mem_rd"
+    }
+
+    fn run(&mut self, cpu: &mut dyn CpuApi) {
+        let n = self.size_bytes / self.stride_bytes;
+        let base = cpu.alloc(self.size_bytes, 64);
+        // Build the chain: element i points to element i+1, last wraps to 0.
+        // (lmbench walks a strided chain; with no prefetcher in the model a
+        // forward stride measures raw dependent-load latency.)
+        cpu.stream_begin();
+        for i in 0..n {
+            let next = (i + 1) % n;
+            cpu.store_u64(base + i * self.stride_bytes, base + next * self.stride_bytes);
+        }
+        cpu.stream_end();
+        cpu.fence();
+        // Warmup pass: populate caches to steady state.
+        let mut p = base;
+        for _ in 0..n {
+            p = cpu.load_u64(p);
+        }
+        // Measured region: chase the chain with dependent loads.
+        let loads = (2 * n).max(1_024);
+        let t0 = cpu.now_cycles();
+        for _ in 0..loads {
+            p = cpu.load_u64(p);
+        }
+        let dt = cpu.now_cycles() - t0;
+        // Keep `p` live so the chain cannot be optimized away conceptually.
+        assert!(p >= base);
+        self.measured_loads = loads;
+        self.measured_cycles = Some(dt);
+        self.cycles_per_load = Some(dt as f64 / loads as f64);
+    }
+
+    fn measured_cycles(&self) -> Option<u64> {
+        self.measured_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easydram_cpu::{CoreConfig, CoreModel, FixedLatencyBackend};
+
+    fn run_at(size: u64) -> f64 {
+        let mut cpu =
+            CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(150));
+        let mut w = LatMemRd::new(size, 64);
+        w.run(&mut cpu);
+        w.cycles_per_load().unwrap()
+    }
+
+    #[test]
+    fn l1_resident_latency_is_l1_hit() {
+        let cpl = run_at(8 * 1024); // fits in 32 KiB L1
+        assert!((4.0..=7.0).contains(&cpl), "L1 cycles/load {cpl}");
+    }
+
+    #[test]
+    fn l2_resident_latency_is_l2_hit() {
+        let cpl = run_at(128 * 1024); // beyond L1, within 512 KiB L2
+        assert!((15.0..=30.0).contains(&cpl), "L2 cycles/load {cpl}");
+    }
+
+    #[test]
+    fn memory_resident_latency_is_memory() {
+        let cpl = run_at(4 * 1024 * 1024); // far beyond L2
+        assert!(cpl > 100.0, "memory cycles/load {cpl}");
+    }
+
+    #[test]
+    fn latency_profile_is_monotonic_across_plateaus() {
+        let l1 = run_at(4 * 1024);
+        let l2 = run_at(256 * 1024);
+        let mem = run_at(4 * 1024 * 1024);
+        assert!(l1 < l2 && l2 < mem, "{l1} {l2} {mem}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must hold a pointer")]
+    fn tiny_stride_rejected() {
+        let _ = LatMemRd::new(1024, 4);
+    }
+}

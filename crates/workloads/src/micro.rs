@@ -1,0 +1,426 @@
+//! Copy and Init microbenchmarks (paper §7.2).
+//!
+//! Each takes a size `N`: **Copy** replicates an `N`-byte source array into a
+//! destination array; **Init** fills an `N`-byte array with a predetermined
+//! pattern. Both come in a CPU variant (plain loads/stores — the baseline
+//! every figure normalizes to) and a RowClone variant (in-DRAM copies with
+//! CPU fallback for unclonable rows), evaluated in two settings:
+//!
+//! * [`FlushMode::NoFlush`] — source data is already resident in DRAM
+//!   (RowClone's best case; Fig. 10);
+//! * [`FlushMode::ClFlush`] — cached copies must be written back / target
+//!   lines invalidated inside the measured region (worst case; Fig. 11).
+
+use easydram_cpu::{CpuApi, RowCloneStatus};
+
+use crate::util::pattern_word;
+use crate::Workload;
+
+/// The Init workloads' predetermined fill pattern.
+pub const INIT_PATTERN: u64 = 0xA5A5_5A5A_DEAD_BEEF;
+
+/// Coherence setting of a RowClone microbenchmark (paper §7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FlushMode {
+    /// Source data already in DRAM; no cache maintenance in the measured
+    /// region.
+    #[default]
+    NoFlush,
+    /// Dirty source lines are flushed and clean target lines invalidated
+    /// inside the measured region.
+    ClFlush,
+}
+
+/// Outcome counters shared by the RowClone variants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MicroOutcome {
+    /// Rows processed in total.
+    pub total_rows: u64,
+    /// Rows that fell back to CPU loads/stores.
+    pub fallback_rows: u64,
+    /// 64-bit words that mismatched during post-run verification.
+    pub mismatches: u64,
+}
+
+fn write_pattern(cpu: &mut dyn CpuApi, base: u64, bytes: u64, f: impl Fn(u64) -> u64) {
+    cpu.stream_begin();
+    for i in 0..bytes / 8 {
+        cpu.store_u64(base + i * 8, f(i));
+    }
+    cpu.stream_end();
+    cpu.fence();
+}
+
+fn flush_region(cpu: &mut dyn CpuApi, base: u64, bytes: u64) {
+    for line in 0..bytes.div_ceil(64) {
+        cpu.clflush(base + line * 64);
+    }
+}
+
+fn copy_words_cpu(cpu: &mut dyn CpuApi, src: u64, dst: u64, bytes: u64) {
+    cpu.stream_begin();
+    for i in 0..bytes / 8 {
+        let v = cpu.load_u64(src + i * 8);
+        cpu.store_u64(dst + i * 8, v);
+        cpu.compute(2); // address generation + loop control
+    }
+    cpu.stream_end();
+}
+
+fn init_words_cpu(cpu: &mut dyn CpuApi, dst: u64, bytes: u64, word: u64) {
+    cpu.stream_begin();
+    for i in 0..bytes / 8 {
+        cpu.store_u64(dst + i * 8, word);
+        cpu.compute(2);
+    }
+    cpu.stream_end();
+}
+
+fn verify(cpu: &mut dyn CpuApi, base: u64, bytes: u64, f: impl Fn(u64) -> u64) -> u64 {
+    let mut mismatches = 0;
+    cpu.stream_begin();
+    for i in 0..bytes / 8 {
+        if cpu.load_u64(base + i * 8) != f(i) {
+            mismatches += 1;
+        }
+    }
+    cpu.stream_end();
+    mismatches
+}
+
+/// CPU-copy baseline: duplicate `bytes` with load/store instructions.
+#[derive(Debug, Clone)]
+pub struct CpuCopy {
+    bytes: u64,
+    measured: Option<u64>,
+    mismatches: u64,
+}
+
+impl CpuCopy {
+    /// Creates a copy benchmark of `bytes` (multiple of 8).
+    #[must_use]
+    pub fn new(bytes: u64) -> Self {
+        assert!(bytes >= 8 && bytes % 8 == 0);
+        Self { bytes, measured: None, mismatches: 0 }
+    }
+
+    /// Post-run verification mismatches (0 expected).
+    #[must_use]
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+}
+
+impl Workload for CpuCopy {
+    fn name(&self) -> &str {
+        "cpu-copy"
+    }
+
+    fn run(&mut self, cpu: &mut dyn CpuApi) {
+        let rb = cpu.row_bytes();
+        let src = cpu.alloc(self.bytes, rb);
+        let dst = cpu.alloc(self.bytes, rb);
+        write_pattern(cpu, src, self.bytes, pattern_word);
+        flush_region(cpu, src, self.bytes);
+        cpu.fence();
+        let t0 = cpu.now_cycles();
+        copy_words_cpu(cpu, src, dst, self.bytes);
+        cpu.fence();
+        self.measured = Some(cpu.now_cycles() - t0);
+        self.mismatches = verify(cpu, dst, self.bytes, pattern_word);
+    }
+
+    fn measured_cycles(&self) -> Option<u64> {
+        self.measured
+    }
+}
+
+/// CPU-init baseline: fill `bytes` with [`INIT_PATTERN`] using stores.
+#[derive(Debug, Clone)]
+pub struct CpuInit {
+    bytes: u64,
+    measured: Option<u64>,
+    mismatches: u64,
+}
+
+impl CpuInit {
+    /// Creates an init benchmark of `bytes` (multiple of 8).
+    #[must_use]
+    pub fn new(bytes: u64) -> Self {
+        assert!(bytes >= 8 && bytes % 8 == 0);
+        Self { bytes, measured: None, mismatches: 0 }
+    }
+
+    /// Post-run verification mismatches (0 expected).
+    #[must_use]
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+}
+
+impl Workload for CpuInit {
+    fn name(&self) -> &str {
+        "cpu-init"
+    }
+
+    fn run(&mut self, cpu: &mut dyn CpuApi) {
+        let rb = cpu.row_bytes();
+        let dst = cpu.alloc(self.bytes, rb);
+        let t0 = cpu.now_cycles();
+        init_words_cpu(cpu, dst, self.bytes, INIT_PATTERN);
+        cpu.fence();
+        self.measured = Some(cpu.now_cycles() - t0);
+        self.mismatches = verify(cpu, dst, self.bytes, |_| INIT_PATTERN);
+    }
+
+    fn measured_cycles(&self) -> Option<u64> {
+        self.measured
+    }
+}
+
+/// RowClone copy: in-DRAM row copies with CPU fallback (paper §7).
+#[derive(Debug, Clone)]
+pub struct RowCloneCopy {
+    bytes: u64,
+    flush: FlushMode,
+    measured: Option<u64>,
+    outcome: MicroOutcome,
+}
+
+impl RowCloneCopy {
+    /// Creates a RowClone copy benchmark of `bytes` in the given flush
+    /// setting. Sizes round up to whole DRAM rows at run time.
+    #[must_use]
+    pub fn new(bytes: u64, flush: FlushMode) -> Self {
+        assert!(bytes >= 8 && bytes % 8 == 0);
+        Self { bytes, flush, measured: None, outcome: MicroOutcome::default() }
+    }
+
+    /// Fallback/verification counters.
+    #[must_use]
+    pub fn outcome(&self) -> &MicroOutcome {
+        &self.outcome
+    }
+}
+
+impl Workload for RowCloneCopy {
+    fn name(&self) -> &str {
+        match self.flush {
+            FlushMode::NoFlush => "rowclone-copy-noflush",
+            FlushMode::ClFlush => "rowclone-copy-clflush",
+        }
+    }
+
+    fn run(&mut self, cpu: &mut dyn CpuApi) {
+        let rb = cpu.row_bytes();
+        let bytes = self.bytes.div_ceil(rb) * rb;
+        let rows = bytes / rb;
+        let (src, dst) = cpu
+            .rowclone_alloc_copy(bytes)
+            .unwrap_or_else(|| (cpu.alloc(bytes, rb), cpu.alloc(bytes, rb)));
+        write_pattern(cpu, src, bytes, pattern_word);
+        if self.flush == FlushMode::NoFlush {
+            // Setting 1: the source array's data is already present in DRAM.
+            flush_region(cpu, src, bytes);
+            cpu.fence();
+        }
+        let t0 = cpu.now_cycles();
+        let mut fallback = 0;
+        for r in 0..rows {
+            let s = src + r * rb;
+            let d = dst + r * rb;
+            if self.flush == FlushMode::ClFlush {
+                // Write back dirty source blocks, invalidate target blocks.
+                flush_region(cpu, s, rb);
+                flush_region(cpu, d, rb);
+            }
+            match cpu.rowclone_row(s, d) {
+                RowCloneStatus::Copied => {}
+                RowCloneStatus::FallbackNeeded | RowCloneStatus::Unsupported => {
+                    fallback += 1;
+                    copy_words_cpu(cpu, s, d, rb);
+                }
+            }
+        }
+        cpu.fence();
+        self.measured = Some(cpu.now_cycles() - t0);
+        // RowClone bypasses the caches: drop any stale destination lines
+        // before verifying (the measured region for NoFlush never caches
+        // dst; for ClFlush the flushes above already invalidated it).
+        self.outcome = MicroOutcome {
+            total_rows: rows,
+            fallback_rows: fallback,
+            mismatches: verify(cpu, dst, bytes, pattern_word),
+        };
+    }
+
+    fn measured_cycles(&self) -> Option<u64> {
+        self.measured
+    }
+}
+
+/// RowClone init: clone a per-subarray pattern row into every destination
+/// row, with CPU fallback (paper §7.1 "Source and Target Row Allocation").
+#[derive(Debug, Clone)]
+pub struct RowCloneInit {
+    bytes: u64,
+    flush: FlushMode,
+    measured: Option<u64>,
+    outcome: MicroOutcome,
+}
+
+impl RowCloneInit {
+    /// Creates a RowClone init benchmark of `bytes` in the given setting.
+    #[must_use]
+    pub fn new(bytes: u64, flush: FlushMode) -> Self {
+        assert!(bytes >= 8 && bytes % 8 == 0);
+        Self { bytes, flush, measured: None, outcome: MicroOutcome::default() }
+    }
+
+    /// Fallback/verification counters.
+    #[must_use]
+    pub fn outcome(&self) -> &MicroOutcome {
+        &self.outcome
+    }
+}
+
+impl Workload for RowCloneInit {
+    fn name(&self) -> &str {
+        match self.flush {
+            FlushMode::NoFlush => "rowclone-init-noflush",
+            FlushMode::ClFlush => "rowclone-init-clflush",
+        }
+    }
+
+    fn run(&mut self, cpu: &mut dyn CpuApi) {
+        let rb = cpu.row_bytes();
+        let bytes = self.bytes.div_ceil(rb) * rb;
+        let rows = bytes / rb;
+        let alloc = cpu.rowclone_alloc_init(bytes);
+        let (dst, src_rows) = match alloc {
+            Some(pair) => pair,
+            None => (cpu.alloc(bytes, rb), Vec::new()),
+        };
+        // Allocation-time prep: fill each subarray's pattern source row.
+        for &s in &src_rows {
+            init_words_cpu(cpu, s, rb, INIT_PATTERN);
+            if self.flush == FlushMode::NoFlush {
+                flush_region(cpu, s, rb);
+            }
+        }
+        cpu.fence();
+        let t0 = cpu.now_cycles();
+        let mut fallback = 0;
+        for r in 0..rows {
+            let d = dst + r * rb;
+            let source = cpu.rowclone_init_source(d);
+            match source {
+                Some(s) => {
+                    if self.flush == FlushMode::ClFlush {
+                        // Dirty pattern-row blocks must reach DRAM; clean
+                        // target blocks are invalidated.
+                        flush_region(cpu, s, rb);
+                        flush_region(cpu, d, rb);
+                    }
+                    match cpu.rowclone_row(s, d) {
+                        RowCloneStatus::Copied => {}
+                        RowCloneStatus::FallbackNeeded | RowCloneStatus::Unsupported => {
+                            fallback += 1;
+                            init_words_cpu(cpu, d, rb, INIT_PATTERN);
+                        }
+                    }
+                }
+                None => {
+                    fallback += 1;
+                    init_words_cpu(cpu, d, rb, INIT_PATTERN);
+                }
+            }
+        }
+        cpu.fence();
+        self.measured = Some(cpu.now_cycles() - t0);
+        self.outcome = MicroOutcome {
+            total_rows: rows,
+            fallback_rows: fallback,
+            mismatches: verify(cpu, dst, bytes, |_| INIT_PATTERN),
+        };
+    }
+
+    fn measured_cycles(&self) -> Option<u64> {
+        self.measured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easydram_cpu::{CoreConfig, CoreModel, FixedLatencyBackend};
+
+    fn cpu() -> CoreModel<FixedLatencyBackend> {
+        CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(120))
+    }
+
+    #[test]
+    fn cpu_copy_is_correct() {
+        let mut c = cpu();
+        let mut w = CpuCopy::new(64 * 1024);
+        w.run(&mut c);
+        assert_eq!(w.mismatches(), 0);
+        assert!(w.measured_cycles().unwrap() > 0);
+    }
+
+    #[test]
+    fn cpu_init_is_correct() {
+        let mut c = cpu();
+        let mut w = CpuInit::new(32 * 1024);
+        w.run(&mut c);
+        assert_eq!(w.mismatches(), 0);
+    }
+
+    #[test]
+    fn rowclone_copy_falls_back_entirely_without_support() {
+        let mut c = cpu();
+        let mut w = RowCloneCopy::new(16 * 1024, FlushMode::NoFlush);
+        w.run(&mut c);
+        let o = w.outcome();
+        assert_eq!(o.total_rows, 2);
+        assert_eq!(o.fallback_rows, 2, "plain memory cannot RowClone");
+        assert_eq!(o.mismatches, 0, "fallback must still be correct");
+    }
+
+    #[test]
+    fn rowclone_init_falls_back_entirely_without_support() {
+        let mut c = cpu();
+        let mut w = RowCloneInit::new(16 * 1024, FlushMode::ClFlush);
+        w.run(&mut c);
+        assert_eq!(w.outcome().fallback_rows, 2);
+        assert_eq!(w.outcome().mismatches, 0);
+    }
+
+    #[test]
+    fn clflush_mode_costs_more_than_noflush() {
+        let mut c1 = cpu();
+        let mut w1 = RowCloneCopy::new(64 * 1024, FlushMode::NoFlush);
+        w1.run(&mut c1);
+        let mut c2 = cpu();
+        let mut w2 = RowCloneCopy::new(64 * 1024, FlushMode::ClFlush);
+        w2.run(&mut c2);
+        assert!(
+            w2.measured_cycles().unwrap() > w1.measured_cycles().unwrap(),
+            "cache maintenance must cost time"
+        );
+    }
+
+    #[test]
+    fn sizes_round_up_to_rows() {
+        let mut c = cpu();
+        let mut w = RowCloneCopy::new(8, FlushMode::NoFlush);
+        w.run(&mut c);
+        assert_eq!(w.outcome().total_rows, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_rejected() {
+        let _ = CpuCopy::new(0);
+    }
+}

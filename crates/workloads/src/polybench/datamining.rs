@@ -1,0 +1,162 @@
+//! Data-mining kernels: correlation and covariance.
+
+use easydram_cpu::CpuApi;
+
+use crate::polybench::poly_kernel;
+use crate::util::{Mat, Vect};
+use crate::PolySize;
+
+fn dims(size: PolySize) -> (u64, u64) {
+    match size {
+        PolySize::Mini => (26, 22),     // (N observations, M attributes)
+        PolySize::Small => (100, 80),
+    }
+}
+
+fn covariance_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
+    let (n, m) = dims(size);
+    let data = Mat::alloc(cpu, n, m);
+    let cov = Mat::alloc(cpu, m, m);
+    let mean = Vect::alloc(cpu, m);
+    data.init_poly(cpu, 3, 13);
+    let float_n = n as f64;
+    for j in 0..m {
+        let mut acc = 0.0;
+        cpu.stream_begin();
+        for i in 0..n {
+            acc += data.get(cpu, i, j);
+            cpu.compute(2);
+        }
+        cpu.stream_end();
+        mean.set(cpu, j, acc / float_n);
+        cpu.compute(12);
+    }
+    for i in 0..n {
+        cpu.stream_begin();
+        for j in 0..m {
+            let v = data.get(cpu, i, j) - mean.get(cpu, j);
+            data.set(cpu, i, j, v);
+            cpu.compute(3);
+        }
+        cpu.stream_end();
+    }
+    for i in 0..m {
+        for j in i..m {
+            let mut acc = 0.0;
+            cpu.stream_begin();
+            for k in 0..n {
+                acc += data.get(cpu, k, i) * data.get(cpu, k, j);
+                cpu.compute(3);
+            }
+            cpu.stream_end();
+            let v = acc / (float_n - 1.0);
+            cov.set(cpu, i, j, v);
+            cov.set(cpu, j, i, v);
+            cpu.compute(13);
+        }
+    }
+    cov.checksum(cpu)
+}
+
+fn correlation_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
+    let (n, m) = dims(size);
+    let data = Mat::alloc(cpu, n, m);
+    let corr = Mat::alloc(cpu, m, m);
+    let mean = Vect::alloc(cpu, m);
+    let stddev = Vect::alloc(cpu, m);
+    data.init_poly(cpu, 3, 13);
+    let float_n = n as f64;
+    let eps = 0.1;
+    for j in 0..m {
+        let mut acc = 0.0;
+        cpu.stream_begin();
+        for i in 0..n {
+            acc += data.get(cpu, i, j);
+            cpu.compute(2);
+        }
+        cpu.stream_end();
+        mean.set(cpu, j, acc / float_n);
+        cpu.compute(12);
+    }
+    for j in 0..m {
+        let mj = mean.get(cpu, j);
+        let mut acc = 0.0;
+        cpu.stream_begin();
+        for i in 0..n {
+            let d = data.get(cpu, i, j) - mj;
+            acc += d * d;
+            cpu.compute(4);
+        }
+        cpu.stream_end();
+        let sd = (acc / float_n).sqrt();
+        stddev.set(cpu, j, if sd <= eps { 1.0 } else { sd });
+        cpu.compute(25);
+    }
+    // Center and reduce.
+    let sqrt_n = float_n.sqrt();
+    for i in 0..n {
+        cpu.stream_begin();
+        for j in 0..m {
+            let v = (data.get(cpu, i, j) - mean.get(cpu, j)) / (sqrt_n * stddev.get(cpu, j));
+            data.set(cpu, i, j, v);
+            cpu.compute(15);
+        }
+        cpu.stream_end();
+    }
+    for i in 0..m {
+        corr.set(cpu, i, i, 1.0);
+        for j in i + 1..m {
+            let mut acc = 0.0;
+            cpu.stream_begin();
+            for k in 0..n {
+                acc += data.get(cpu, k, i) * data.get(cpu, k, j);
+                cpu.compute(3);
+            }
+            cpu.stream_end();
+            corr.set(cpu, i, j, acc);
+            corr.set(cpu, j, i, acc);
+            cpu.compute(2);
+        }
+    }
+    corr.checksum(cpu)
+}
+
+poly_kernel!(
+    /// `covariance`: covariance matrix of observations.
+    Covariance,
+    "covariance",
+    covariance_body
+);
+poly_kernel!(
+    /// `correlation`: correlation matrix of observations.
+    Correlation,
+    "correlation",
+    correlation_body
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use easydram_cpu::{CoreConfig, CoreModel, FixedLatencyBackend};
+
+    #[test]
+    fn correlation_diagonal_is_m() {
+        // Sum of an m×m correlation matrix includes m ones on the diagonal;
+        // off-diagonals are in [-1, 1], so |checksum| <= m^2.
+        let (_, m) = dims(PolySize::Mini);
+        let mut w = Correlation::new(PolySize::Mini);
+        let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
+        w.run(&mut cpu);
+        assert!(w.checksum().is_finite());
+        assert!(w.checksum().abs() <= (m * m) as f64);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_by_construction() {
+        let mut w = Covariance::new(PolySize::Mini);
+        let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
+        w.run(&mut cpu);
+        assert!(w.checksum().is_finite());
+    }
+}

@@ -1,0 +1,66 @@
+//! Medley kernels.
+
+use easydram_cpu::CpuApi;
+
+use crate::polybench::poly_kernel;
+use crate::util::Mat;
+use crate::PolySize;
+
+fn floyd_warshall_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
+    let n = match size {
+        PolySize::Mini => 24,
+        PolySize::Small => 56,
+    };
+    let path = Mat::alloc(cpu, n, n);
+    // PolyBench init: path[i][j] = i*j % 7 + ((i+j) % 13 == 0 ? 999 : 1).
+    cpu.stream_begin();
+    for i in 0..n {
+        for j in 0..n {
+            let base = (i * j % 7 + 1) as f64;
+            let v = if (i + j) % 13 == 0 || i == j { base } else { base + 999.0 };
+            path.set(cpu, i, j, if i == j { 0.0 } else { v });
+        }
+    }
+    cpu.stream_end();
+    cpu.fence();
+    for k in 0..n {
+        for i in 0..n {
+            let pik = path.get(cpu, i, k);
+            cpu.stream_begin();
+            for j in 0..n {
+                let through = pik + path.get(cpu, k, j);
+                let direct = path.get(cpu, i, j);
+                if through < direct {
+                    path.set(cpu, i, j, through);
+                }
+                cpu.compute(5);
+            }
+            cpu.stream_end();
+        }
+    }
+    path.checksum(cpu)
+}
+
+poly_kernel!(
+    /// `floyd-warshall`: all-pairs shortest paths.
+    FloydWarshall,
+    "floyd-warshall",
+    floyd_warshall_body
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use easydram_cpu::{CoreConfig, CoreModel, FixedLatencyBackend};
+
+    #[test]
+    fn shortest_paths_shrink() {
+        let mut w = FloydWarshall::new(PolySize::Mini);
+        let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
+        w.run(&mut cpu);
+        // All-pairs shortest paths over positive weights: finite, non-negative.
+        assert!(w.checksum().is_finite());
+        assert!(w.checksum() >= 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The PolyBench kernel suite (28 kernels), miniaturized for execution-driven
+//! emulation (see `DESIGN.md` for the size-substitution note).
+//!
+//! Kernels follow the PolyBench/C 4.2 reference algorithms; data sizes are
+//! selected per kernel so the suite spans the same cache-behaviour classes
+//! as the paper's evaluation: L1-resident (`durbin`), L2-resident, and
+//! memory-streaming (`gemver`, `mvt`) working sets.
+
+pub mod blas;
+pub mod datamining;
+pub mod medley;
+pub mod solvers;
+pub mod stencils;
+
+use crate::{PolySize, Workload};
+
+pub use blas::{
+    Atax, Bicg, Doitgen, Gemm, Gemver, Gesummv, Mvt, Symm, Syr2k, Syrk, Three3mm, Trmm, Two2mm,
+};
+pub use datamining::{Correlation, Covariance};
+pub use medley::FloydWarshall;
+pub use solvers::{Cholesky, Durbin, Gramschmidt, Lu, Ludcmp, Trisolv};
+pub use stencils::{Adi, Fdtd2d, Heat3d, Jacobi1d, Jacobi2d, Seidel2d};
+
+/// All 28 kernel names, in a stable order.
+#[must_use]
+pub fn all_names() -> [&'static str; 28] {
+    [
+        "2mm",
+        "3mm",
+        "adi",
+        "atax",
+        "bicg",
+        "cholesky",
+        "correlation",
+        "covariance",
+        "doitgen",
+        "durbin",
+        "fdtd-2d",
+        "floyd-warshall",
+        "gemm",
+        "gemver",
+        "gesummv",
+        "gramschmidt",
+        "heat-3d",
+        "jacobi-1d",
+        "jacobi-2d",
+        "lu",
+        "ludcmp",
+        "mvt",
+        "seidel-2d",
+        "symm",
+        "syr2k",
+        "syrk",
+        "trisolv",
+        "trmm",
+    ]
+}
+
+/// Constructs a kernel by its [`all_names`] name.
+#[must_use]
+pub fn by_name(name: &str, size: PolySize) -> Option<Box<dyn Workload>> {
+    let w: Box<dyn Workload> = match name {
+        "2mm" => Box::new(Two2mm::new(size)),
+        "3mm" => Box::new(Three3mm::new(size)),
+        "adi" => Box::new(Adi::new(size)),
+        "atax" => Box::new(Atax::new(size)),
+        "bicg" => Box::new(Bicg::new(size)),
+        "cholesky" => Box::new(Cholesky::new(size)),
+        "correlation" => Box::new(Correlation::new(size)),
+        "covariance" => Box::new(Covariance::new(size)),
+        "doitgen" => Box::new(Doitgen::new(size)),
+        "durbin" => Box::new(Durbin::new(size)),
+        "fdtd-2d" => Box::new(Fdtd2d::new(size)),
+        "floyd-warshall" => Box::new(FloydWarshall::new(size)),
+        "gemm" => Box::new(Gemm::new(size)),
+        "gemver" => Box::new(Gemver::new(size)),
+        "gesummv" => Box::new(Gesummv::new(size)),
+        "gramschmidt" => Box::new(Gramschmidt::new(size)),
+        "heat-3d" => Box::new(Heat3d::new(size)),
+        "jacobi-1d" => Box::new(Jacobi1d::new(size)),
+        "jacobi-2d" => Box::new(Jacobi2d::new(size)),
+        "lu" => Box::new(Lu::new(size)),
+        "ludcmp" => Box::new(Ludcmp::new(size)),
+        "mvt" => Box::new(Mvt::new(size)),
+        "seidel-2d" => Box::new(Seidel2d::new(size)),
+        "symm" => Box::new(Symm::new(size)),
+        "syr2k" => Box::new(Syr2k::new(size)),
+        "syrk" => Box::new(Syrk::new(size)),
+        "trisolv" => Box::new(Trisolv::new(size)),
+        "trmm" => Box::new(Trmm::new(size)),
+        _ => return None,
+    };
+    Some(w)
+}
+
+/// Declares a PolyBench kernel wrapper struct around a body function.
+macro_rules! poly_kernel {
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $body:path) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $ty {
+            size: $crate::PolySize,
+            checksum: f64,
+        }
+
+        impl $ty {
+            /// Creates the kernel at the given problem size.
+            #[must_use]
+            pub fn new(size: $crate::PolySize) -> Self {
+                Self { size, checksum: f64::NAN }
+            }
+
+            /// Checksum of the kernel outputs after `run` (keeps the
+            /// computation observable and guards against dead code).
+            #[must_use]
+            pub fn checksum(&self) -> f64 {
+                self.checksum
+            }
+        }
+
+        impl $crate::Workload for $ty {
+            fn name(&self) -> &str {
+                $name
+            }
+
+            fn run(&mut self, cpu: &mut dyn easydram_cpu::CpuApi) {
+                self.checksum = $body(self.size, cpu);
+            }
+
+            fn result_checksum(&self) -> Option<f64> {
+                self.checksum.is_finite().then_some(self.checksum)
+            }
+        }
+    };
+}
+pub(crate) use poly_kernel;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easydram_cpu::{CoreConfig, CoreModel, CpuApi, FixedLatencyBackend};
+
+    #[test]
+    fn registry_is_complete_and_closed() {
+        for name in all_names() {
+            let w = by_name(name, PolySize::Mini).expect("every name constructs");
+            assert_eq!(w.name(), name);
+        }
+        assert!(by_name("nonexistent", PolySize::Mini).is_none());
+    }
+
+    #[test]
+    fn every_kernel_runs_and_produces_finite_work() {
+        for name in all_names() {
+            let mut cpu =
+                CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
+            let mut w = by_name(name, PolySize::Mini).unwrap();
+            w.run(&mut cpu);
+            assert!(cpu.now_cycles() > 0, "{name} consumed no time");
+            assert!(cpu.instructions_retired() > 100, "{name} retired too little");
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        for name in ["gemm", "durbin", "correlation"] {
+            let run = || {
+                let mut cpu =
+                    CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
+                let mut w = by_name(name, PolySize::Mini).unwrap();
+                w.run(&mut cpu);
+                cpu.now_cycles()
+            };
+            assert_eq!(run(), run(), "{name} not deterministic");
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Stencil kernels.
+
+use easydram_cpu::CpuApi;
+
+use crate::polybench::poly_kernel;
+use crate::util::{Mat, Vect};
+use crate::PolySize;
+
+fn jacobi1d_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
+    let (n, tsteps) = match size {
+        PolySize::Mini => (1_000, 4),
+        PolySize::Small => (16_384, 6),
+    };
+    let a = Vect::alloc(cpu, n);
+    let b = Vect::alloc(cpu, n);
+    a.init_poly(cpu, 13);
+    b.init_poly(cpu, 17);
+    for _ in 0..tsteps {
+        cpu.stream_begin();
+        for i in 1..n - 1 {
+            let v = (a.get(cpu, i - 1) + a.get(cpu, i) + a.get(cpu, i + 1)) / 3.0;
+            b.set(cpu, i, v);
+            cpu.compute(5);
+        }
+        for i in 1..n - 1 {
+            let v = (b.get(cpu, i - 1) + b.get(cpu, i) + b.get(cpu, i + 1)) / 3.0;
+            a.set(cpu, i, v);
+            cpu.compute(5);
+        }
+        cpu.stream_end();
+    }
+    a.checksum(cpu)
+}
+
+fn jacobi2d_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
+    let (n, tsteps) = match size {
+        PolySize::Mini => (32, 3),
+        PolySize::Small => (96, 5),
+    };
+    let a = Mat::alloc(cpu, n, n);
+    let b = Mat::alloc(cpu, n, n);
+    a.init_poly(cpu, 3, 13);
+    b.init_poly(cpu, 5, 17);
+    for _ in 0..tsteps {
+        for i in 1..n - 1 {
+            cpu.stream_begin();
+            for j in 1..n - 1 {
+                let v = 0.2
+                    * (a.get(cpu, i, j)
+                        + a.get(cpu, i, j - 1)
+                        + a.get(cpu, i, j + 1)
+                        + a.get(cpu, i + 1, j)
+                        + a.get(cpu, i - 1, j));
+                b.set(cpu, i, j, v);
+                cpu.compute(7);
+            }
+            cpu.stream_end();
+        }
+        for i in 1..n - 1 {
+            cpu.stream_begin();
+            for j in 1..n - 1 {
+                let v = 0.2
+                    * (b.get(cpu, i, j)
+                        + b.get(cpu, i, j - 1)
+                        + b.get(cpu, i, j + 1)
+                        + b.get(cpu, i + 1, j)
+                        + b.get(cpu, i - 1, j));
+                a.set(cpu, i, j, v);
+                cpu.compute(7);
+            }
+            cpu.stream_end();
+        }
+    }
+    a.checksum(cpu)
+}
+
+fn seidel2d_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
+    let (n, tsteps) = match size {
+        PolySize::Mini => (32, 3),
+        PolySize::Small => (96, 5),
+    };
+    let a = Mat::alloc(cpu, n, n);
+    a.init_poly(cpu, 3, 13);
+    for _ in 0..tsteps {
+        for i in 1..n - 1 {
+            // Gauss-Seidel updates are serially dependent; no streaming.
+            for j in 1..n - 1 {
+                let v = (a.get(cpu, i - 1, j - 1)
+                    + a.get(cpu, i - 1, j)
+                    + a.get(cpu, i - 1, j + 1)
+                    + a.get(cpu, i, j - 1)
+                    + a.get(cpu, i, j)
+                    + a.get(cpu, i, j + 1)
+                    + a.get(cpu, i + 1, j - 1)
+                    + a.get(cpu, i + 1, j)
+                    + a.get(cpu, i + 1, j + 1))
+                    / 9.0;
+                a.set(cpu, i, j, v);
+                cpu.compute(12);
+            }
+        }
+    }
+    a.checksum(cpu)
+}
+
+fn fdtd2d_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
+    let (n, tsteps) = match size {
+        PolySize::Mini => (32, 3),
+        PolySize::Small => (80, 5),
+    };
+    let ex = Mat::alloc(cpu, n, n);
+    let ey = Mat::alloc(cpu, n, n);
+    let hz = Mat::alloc(cpu, n, n);
+    ex.init_poly(cpu, 3, 13);
+    ey.init_poly(cpu, 5, 17);
+    hz.init_poly(cpu, 7, 19);
+    for t in 0..tsteps {
+        cpu.stream_begin();
+        for j in 0..n {
+            ey.set(cpu, 0, j, t as f64);
+            cpu.compute(2);
+        }
+        cpu.stream_end();
+        for i in 1..n {
+            cpu.stream_begin();
+            for j in 0..n {
+                let v = ey.get(cpu, i, j) - 0.5 * (hz.get(cpu, i, j) - hz.get(cpu, i - 1, j));
+                ey.set(cpu, i, j, v);
+                cpu.compute(5);
+            }
+            cpu.stream_end();
+        }
+        for i in 0..n {
+            cpu.stream_begin();
+            for j in 1..n {
+                let v = ex.get(cpu, i, j) - 0.5 * (hz.get(cpu, i, j) - hz.get(cpu, i, j - 1));
+                ex.set(cpu, i, j, v);
+                cpu.compute(5);
+            }
+            cpu.stream_end();
+        }
+        for i in 0..n - 1 {
+            cpu.stream_begin();
+            for j in 0..n - 1 {
+                let v = hz.get(cpu, i, j)
+                    - 0.7
+                        * (ex.get(cpu, i, j + 1) - ex.get(cpu, i, j) + ey.get(cpu, i + 1, j)
+                            - ey.get(cpu, i, j));
+                hz.set(cpu, i, j, v);
+                cpu.compute(8);
+            }
+            cpu.stream_end();
+        }
+    }
+    hz.checksum(cpu)
+}
+
+fn heat3d_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
+    let (n, tsteps) = match size {
+        PolySize::Mini => (12, 2),
+        PolySize::Small => (24, 4),
+    };
+    // Flatten the n×n×n volumes as (n*n) × n matrices.
+    let a = Mat::alloc(cpu, n * n, n);
+    let b = Mat::alloc(cpu, n * n, n);
+    a.init_poly(cpu, 3, 13);
+    b.init_poly(cpu, 5, 17);
+    let idx = |i: u64, j: u64| i * n + j;
+    for _ in 0..tsteps {
+        for (src, dst) in [(&a, &b), (&b, &a)] {
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    cpu.stream_begin();
+                    for k in 1..n - 1 {
+                        let c = src.get(cpu, idx(i, j), k);
+                        let v = 0.125
+                            * (src.get(cpu, idx(i + 1, j), k) - 2.0 * c
+                                + src.get(cpu, idx(i - 1, j), k))
+                            + 0.125
+                                * (src.get(cpu, idx(i, j + 1), k) - 2.0 * c
+                                    + src.get(cpu, idx(i, j - 1), k))
+                            + 0.125
+                                * (src.get(cpu, idx(i, j), k + 1) - 2.0 * c
+                                    + src.get(cpu, idx(i, j), k - 1))
+                            + c;
+                        dst.set(cpu, idx(i, j), k, v);
+                        cpu.compute(15);
+                    }
+                    cpu.stream_end();
+                }
+            }
+        }
+    }
+    a.checksum(cpu)
+}
+
+fn adi_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
+    let (n, tsteps) = match size {
+        PolySize::Mini => (24, 2),
+        PolySize::Small => (48, 3),
+    };
+    let u = Mat::alloc(cpu, n, n);
+    let v = Mat::alloc(cpu, n, n);
+    let p = Mat::alloc(cpu, n, n);
+    let q = Mat::alloc(cpu, n, n);
+    u.init_poly(cpu, 3, 13);
+    let nf = n as f64;
+    let (dx, dy, dt) = (1.0 / nf, 1.0 / nf, 1.0 / tsteps as f64);
+    let b1 = 2.0;
+    let b2 = 1.0;
+    let mul1 = b1 * dt / (dx * dx);
+    let mul2 = b2 * dt / (dy * dy);
+    let a_c = -mul1 / 2.0;
+    let b_c = 1.0 + mul1;
+    let c_c = a_c;
+    let d_c = -mul2 / 2.0;
+    let e_c = 1.0 + mul2;
+    let f_c = d_c;
+    for _ in 0..tsteps {
+        // Column sweep.
+        for i in 1..n - 1 {
+            v.set(cpu, 0, i, 1.0);
+            p.set(cpu, i, 0, 0.0);
+            q.set(cpu, i, 0, 1.0);
+            cpu.stream_begin();
+            for j in 1..n - 1 {
+                let pv = p.get(cpu, i, j - 1);
+                let qv = q.get(cpu, i, j - 1);
+                let denom = a_c * pv + b_c;
+                p.set(cpu, i, j, -c_c / denom);
+                let rhs = -d_c * u.get(cpu, j, i - 1)
+                    + (1.0 + 2.0 * d_c) * u.get(cpu, j, i)
+                    - f_c * u.get(cpu, j, i + 1);
+                q.set(cpu, i, j, (rhs - a_c * qv) / denom);
+                cpu.compute(22);
+            }
+            cpu.stream_end();
+            v.set(cpu, n - 1, i, 1.0);
+            for jj in 1..n - 1 {
+                let j = n - 2 - (jj - 1);
+                let val = p.get(cpu, i, j) * v.get(cpu, j + 1, i) + q.get(cpu, i, j);
+                v.set(cpu, j, i, val);
+                cpu.compute(5);
+            }
+        }
+        // Row sweep.
+        for i in 1..n - 1 {
+            u.set(cpu, i, 0, 1.0);
+            p.set(cpu, i, 0, 0.0);
+            q.set(cpu, i, 0, 1.0);
+            cpu.stream_begin();
+            for j in 1..n - 1 {
+                let pv = p.get(cpu, i, j - 1);
+                let qv = q.get(cpu, i, j - 1);
+                let denom = d_c * pv + e_c;
+                p.set(cpu, i, j, -f_c / denom);
+                let rhs = -a_c * v.get(cpu, i - 1, j)
+                    + (1.0 + 2.0 * a_c) * v.get(cpu, i, j)
+                    - c_c * v.get(cpu, i + 1, j);
+                q.set(cpu, i, j, (rhs - d_c * qv) / denom);
+                cpu.compute(22);
+            }
+            cpu.stream_end();
+            u.set(cpu, i, n - 1, 1.0);
+            for jj in 1..n - 1 {
+                let j = n - 2 - (jj - 1);
+                let val = p.get(cpu, i, j) * u.get(cpu, i, j + 1) + q.get(cpu, i, j);
+                u.set(cpu, i, j, val);
+                cpu.compute(5);
+            }
+        }
+    }
+    u.checksum(cpu)
+}
+
+poly_kernel!(
+    /// `jacobi-1d`: 1-D Jacobi stencil.
+    Jacobi1d,
+    "jacobi-1d",
+    jacobi1d_body
+);
+poly_kernel!(
+    /// `jacobi-2d`: 2-D Jacobi stencil.
+    Jacobi2d,
+    "jacobi-2d",
+    jacobi2d_body
+);
+poly_kernel!(
+    /// `seidel-2d`: 2-D Gauss-Seidel stencil.
+    Seidel2d,
+    "seidel-2d",
+    seidel2d_body
+);
+poly_kernel!(
+    /// `fdtd-2d`: 2-D finite-difference time-domain kernel.
+    Fdtd2d,
+    "fdtd-2d",
+    fdtd2d_body
+);
+poly_kernel!(
+    /// `heat-3d`: 3-D heat equation stencil.
+    Heat3d,
+    "heat-3d",
+    heat3d_body
+);
+poly_kernel!(
+    /// `adi`: alternating-direction implicit solver.
+    Adi,
+    "adi",
+    adi_body
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use easydram_cpu::{CoreConfig, CoreModel, FixedLatencyBackend};
+
+    #[test]
+    fn stencils_converge_to_finite_values() {
+        for name in ["jacobi-1d", "jacobi-2d", "seidel-2d", "fdtd-2d", "heat-3d", "adi"] {
+            let mut cpu =
+                CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
+            let mut w = crate::polybench::by_name(name, PolySize::Mini).unwrap();
+            w.run(&mut cpu);
+            assert!(cpu.now_cycles() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn jacobi1d_smooths_towards_mean() {
+        let mut w = Jacobi1d::new(PolySize::Mini);
+        let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
+        w.run(&mut cpu);
+        // Averaging keeps values within the initial [0, 1) range.
+        assert!(w.checksum() >= 0.0);
+        assert!(w.checksum() <= 1_000.0);
+    }
+}

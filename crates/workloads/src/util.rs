@@ -1,0 +1,172 @@
+//! Shared helpers for writing kernels against [`CpuApi`]: typed array views
+//! over simulated memory and deterministic initialization.
+
+use easydram_cpu::CpuApi;
+
+/// A dense row-major `f64` matrix living in simulated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct Mat {
+    base: u64,
+    /// Number of rows.
+    pub rows: u64,
+    /// Number of columns.
+    pub cols: u64,
+}
+
+impl Mat {
+    /// Allocates an uninitialized `rows × cols` matrix.
+    pub fn alloc(cpu: &mut dyn CpuApi, rows: u64, cols: u64) -> Self {
+        let base = cpu.alloc(rows * cols * 8, 64);
+        Self { base, rows, cols }
+    }
+
+    /// Address of element `(i, j)`.
+    #[must_use]
+    pub fn addr(&self, i: u64, j: u64) -> u64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.base + (i * self.cols + j) * 8
+    }
+
+    /// Loads element `(i, j)`.
+    pub fn get(&self, cpu: &mut dyn CpuApi, i: u64, j: u64) -> f64 {
+        cpu.load_f64(self.addr(i, j))
+    }
+
+    /// Stores element `(i, j)`.
+    pub fn set(&self, cpu: &mut dyn CpuApi, i: u64, j: u64, v: f64) {
+        cpu.store_f64(self.addr(i, j), v);
+    }
+
+    /// Fills the matrix with the PolyBench-style deterministic pattern
+    /// `f(i, j) = ((i * scale + j) % mod) / mod`.
+    pub fn init_poly(&self, cpu: &mut dyn CpuApi, scale: u64, modulus: u64) {
+        cpu.stream_begin();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let v = ((i * scale + j) % modulus) as f64 / modulus as f64;
+                self.set(cpu, i, j, v);
+            }
+        }
+        cpu.stream_end();
+        cpu.fence();
+    }
+
+    /// Sums all elements (host-visible checksum; charges load time).
+    pub fn checksum(&self, cpu: &mut dyn CpuApi) -> f64 {
+        let mut acc = 0.0;
+        cpu.stream_begin();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                acc += self.get(cpu, i, j);
+            }
+        }
+        cpu.stream_end();
+        acc
+    }
+}
+
+/// A dense `f64` vector in simulated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct Vect {
+    base: u64,
+    /// Number of elements.
+    pub len: u64,
+}
+
+impl Vect {
+    /// Allocates an uninitialized vector.
+    pub fn alloc(cpu: &mut dyn CpuApi, len: u64) -> Self {
+        let base = cpu.alloc(len * 8, 64);
+        Self { base, len }
+    }
+
+    /// Address of element `i`.
+    #[must_use]
+    pub fn addr(&self, i: u64) -> u64 {
+        debug_assert!(i < self.len);
+        self.base + i * 8
+    }
+
+    /// Loads element `i`.
+    pub fn get(&self, cpu: &mut dyn CpuApi, i: u64) -> f64 {
+        cpu.load_f64(self.addr(i))
+    }
+
+    /// Stores element `i`.
+    pub fn set(&self, cpu: &mut dyn CpuApi, i: u64, v: f64) {
+        cpu.store_f64(self.addr(i), v);
+    }
+
+    /// Fills with `f(i) = (i % mod) / mod`.
+    pub fn init_poly(&self, cpu: &mut dyn CpuApi, modulus: u64) {
+        cpu.stream_begin();
+        for i in 0..self.len {
+            self.set(cpu, i, (i % modulus) as f64 / modulus as f64);
+        }
+        cpu.stream_end();
+        cpu.fence();
+    }
+
+    /// Sums all elements.
+    pub fn checksum(&self, cpu: &mut dyn CpuApi) -> f64 {
+        let mut acc = 0.0;
+        cpu.stream_begin();
+        for i in 0..self.len {
+            acc += self.get(cpu, i);
+        }
+        cpu.stream_end();
+        acc
+    }
+}
+
+/// Deterministic 64-bit pattern for microbenchmark payloads.
+#[must_use]
+pub fn pattern_word(i: u64) -> u64 {
+    i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5115_AD5E_ED15_EA5E
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easydram_cpu::{CoreConfig, CoreModel, FixedLatencyBackend};
+
+    fn cpu() -> CoreModel<FixedLatencyBackend> {
+        CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50))
+    }
+
+    #[test]
+    fn mat_round_trip() {
+        let mut c = cpu();
+        let m = Mat::alloc(&mut c, 4, 5);
+        m.set(&mut c, 2, 3, 1.25);
+        assert_eq!(m.get(&mut c, 2, 3), 1.25);
+        assert_eq!(m.addr(0, 1) - m.addr(0, 0), 8);
+        assert_eq!(m.addr(1, 0) - m.addr(0, 0), 40);
+    }
+
+    #[test]
+    fn init_and_checksum_deterministic() {
+        let mut c1 = cpu();
+        let mut c2 = cpu();
+        let m1 = Mat::alloc(&mut c1, 8, 8);
+        let m2 = Mat::alloc(&mut c2, 8, 8);
+        m1.init_poly(&mut c1, 3, 17);
+        m2.init_poly(&mut c2, 3, 17);
+        assert_eq!(m1.checksum(&mut c1), m2.checksum(&mut c2));
+    }
+
+    #[test]
+    fn vect_round_trip() {
+        let mut c = cpu();
+        let v = Vect::alloc(&mut c, 10);
+        v.init_poly(&mut c, 7);
+        assert_eq!(v.get(&mut c, 0), 0.0);
+        assert!(v.checksum(&mut c) > 0.0);
+    }
+
+    #[test]
+    fn pattern_words_differ() {
+        assert_ne!(pattern_word(0), pattern_word(1));
+        assert_eq!(pattern_word(5), pattern_word(5));
+    }
+}

@@ -1,0 +1,37 @@
+//! Quickstart: build an EasyDRAM system, run a workload end-to-end, and
+//! read the execution report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use easydram_suite::easydram::{System, SystemConfig, TimingMode};
+use easydram_suite::workloads::{polybench, PolySize, Workload};
+
+fn main() {
+    // The paper's main configuration: a Jetson-Nano-class system (Cortex-A57
+    // at 1.43 GHz) modeled on a slow FPGA prototype with time scaling.
+    let mut system = System::new(SystemConfig::jetson_nano(TimingMode::TimeScaling));
+
+    // Any workload is an ordinary program over the CpuApi; run PolyBench gemm.
+    let mut gemm = polybench::Gemm::new(PolySize::Mini);
+    let report = system.run(&mut gemm);
+
+    println!("{report}");
+    println!();
+    println!("checksum (keeps the computation honest): {:.6}", gemm.checksum());
+    println!(
+        "The same workload observed {} emulated cycles at {:.2} MHz simulation speed.",
+        report.emulated_cycles,
+        report.sim_speed_hz / 1e6
+    );
+
+    // Compare against the ground-truth reference system: time scaling should
+    // track it within a fraction of a percent (paper §6).
+    let mut reference = System::new(SystemConfig::jetson_nano(TimingMode::Reference));
+    let mut gemm2 = polybench::Gemm::new(PolySize::Mini);
+    let ref_report = reference.run(&mut gemm2);
+    let err = (report.emulated_cycles as f64 - ref_report.emulated_cycles as f64).abs()
+        / ref_report.emulated_cycles as f64;
+    println!("time-scaling error vs reference: {:.4}%", err * 100.0);
+}

@@ -1,0 +1,31 @@
+//! EasyDRAM-rs suite: umbrella crate for the reproduction of
+//! *EasyDRAM: An FPGA-based Infrastructure for Fast and Accurate End-to-End
+//! Evaluation of Emerging DRAM Techniques* (DSN 2025).
+//!
+//! This crate hosts the runnable examples and cross-crate integration tests
+//! and re-exports the member crates under one roof:
+//!
+//! * [`dram`] — DDR4 device model with real-chip variation
+//! * [`bender`] — DRAM Bender ISA and executor
+//! * [`cpu`] — execution-driven core and cache hierarchy
+//! * [`workloads`] — PolyBench / lmbench / copy-init workloads
+//! * [`easydram`] — EasyTile, time scaling, EasyAPI, software memory controllers
+//! * [`ramulator`] — cycle-level software-simulator baseline
+//!
+//! # Quickstart
+//!
+//! ```
+//! use easydram_suite::easydram::{System, SystemConfig, TimingMode};
+//! use easydram_suite::workloads::{Workload, lmbench::LatMemRd};
+//!
+//! let mut system = System::new(SystemConfig::jetson_nano(TimingMode::TimeScaling));
+//! let report = system.run(&mut LatMemRd::new(16 * 1024, 64));
+//! assert!(report.emulated_cycles > 0);
+//! ```
+
+pub use easydram;
+pub use easydram_bender as bender;
+pub use easydram_cpu as cpu;
+pub use easydram_dram as dram;
+pub use easydram_ramulator as ramulator;
+pub use easydram_workloads as workloads;

@@ -1,0 +1,228 @@
+//! Shape assertions for every reproduced experiment: the qualitative claims
+//! of each paper table/figure, enforced at test time on reduced problem
+//! sizes (the full harnesses live in `crates/bench/src/bin/`).
+
+use easydram_suite::cpu::Workload;
+use easydram_suite::easydram::{System, SystemConfig, TimingMode};
+use easydram_suite::ramulator::{RamulatorConfig, RamulatorSystem};
+use easydram_suite::workloads::lmbench::LatMemRd;
+use easydram_suite::workloads::micro::{CpuCopy, CpuInit, FlushMode, RowCloneCopy, RowCloneInit};
+use easydram_suite::workloads::{polybench, PolySize};
+
+fn quick_system(mode: TimingMode) -> System {
+    let mut cfg = SystemConfig::jetson_nano(mode);
+    cfg.rowclone_test_trials = 100;
+    System::new(cfg)
+}
+
+fn quick_pidram() -> System {
+    let mut cfg = SystemConfig::pidram_like();
+    cfg.rowclone_test_trials = 100;
+    System::new(cfg)
+}
+
+fn lmbench_cycles_per_load(mut sys: System, size: u64) -> f64 {
+    let mut w = LatMemRd::new(size, 64);
+    w.run(sys.cpu());
+    w.cycles_per_load().expect("ran")
+}
+
+/// §6 / Fig. 8: the time-scaled system tracks the reference latency profile;
+/// the No-TS system reports far fewer cycles per memory access.
+#[test]
+fn fig8_latency_profile_shape() {
+    let mem = 2 * 1024 * 1024; // beyond the 512 KiB L2
+    let reference = lmbench_cycles_per_load(quick_system(TimingMode::Reference), mem);
+    let ts = lmbench_cycles_per_load(quick_system(TimingMode::TimeScaling), mem);
+    let no_ts = lmbench_cycles_per_load(quick_pidram(), mem);
+    assert!(
+        (ts - reference).abs() / reference < 0.02,
+        "TS {ts} must track reference {reference}"
+    );
+    assert!(
+        no_ts * 1.5 < reference,
+        "No-TS ({no_ts}) must underestimate the real system ({reference})"
+    );
+    // Cache plateaus: L1 region ~ hit latency, L2 region in between.
+    let l1 = lmbench_cycles_per_load(quick_system(TimingMode::Reference), 8 * 1024);
+    let l2 = lmbench_cycles_per_load(quick_system(TimingMode::Reference), 128 * 1024);
+    assert!(l1 < 8.0, "L1 plateau {l1}");
+    assert!(l1 < l2 && l2 < reference, "{l1} < {l2} < {reference}");
+}
+
+/// §6 validation: time scaling within 1% of the native reference across a
+/// sample of PolyBench kernels.
+#[test]
+fn validation_time_scaling_accuracy() {
+    for name in ["gemm", "gemver", "durbin", "jacobi-1d"] {
+        let cycles = |mode| {
+            let mut sys = System::new(SystemConfig::validation_1ghz(mode));
+            let mut w = polybench::by_name(name, PolySize::Mini).expect("kernel");
+            sys.run(w.as_mut()).emulated_cycles
+        };
+        let reference = cycles(TimingMode::Reference);
+        let ts = cycles(TimingMode::TimeScaling);
+        let err = (ts as f64 - reference as f64).abs() / reference as f64;
+        assert!(err < 0.01, "{name}: TS {ts} vs reference {reference} ({err:.4})");
+    }
+}
+
+fn measure(sys: &mut System, w: &mut dyn Workload) -> u64 {
+    let r = sys.run(w);
+    w.measured_cycles().unwrap_or(r.emulated_cycles)
+}
+
+/// Fig. 10: RowClone No-Flush speedups — No-TS ≫ TS (the paper's headline
+/// skew), and both beat their CPU baselines on copy.
+#[test]
+fn fig10_rowclone_noflush_shape() {
+    let bytes = 64 * 1024;
+    let speedup = |mut sys: System| {
+        let cpu = measure(&mut sys, &mut CpuCopy::new(bytes));
+        let mut sys2 = quick_like(&sys);
+        let rc = measure(&mut sys2, &mut RowCloneCopy::new(bytes, FlushMode::NoFlush));
+        cpu as f64 / rc as f64
+    };
+    fn quick_like(sys: &System) -> System {
+        System::new(sys.tile().config().clone())
+    }
+    let ts = speedup(quick_system(TimingMode::TimeScaling));
+    let no_ts = speedup(quick_pidram());
+    assert!(ts > 5.0, "TS copy speedup {ts} must be material");
+    assert!(ts < 40.0, "TS copy speedup {ts} must stay in the paper's decade");
+    assert!(no_ts > 4.0 * ts, "No-TS ({no_ts}) must skew far above TS ({ts})");
+}
+
+/// Fig. 10(b): Init benefits are much smaller than Copy benefits, and the
+/// idealized Ramulator model over-reports Init (no fallback rows).
+#[test]
+fn fig10_init_ordering() {
+    let bytes = 256 * 1024;
+    let mut sys = quick_system(TimingMode::TimeScaling);
+    let cpu = measure(&mut sys, &mut CpuInit::new(bytes));
+    let mut sys = quick_system(TimingMode::TimeScaling);
+    let mut rc_init = RowCloneInit::new(bytes, FlushMode::NoFlush);
+    let rc = measure(&mut sys, &mut rc_init);
+    let ts_init = cpu as f64 / rc as f64;
+    assert!(rc_init.outcome().fallback_rows > 0, "real chips leave unclonable rows");
+    assert_eq!(rc_init.outcome().mismatches, 0, "fallback keeps init correct");
+
+    let mut ram = RamulatorSystem::new(RamulatorConfig::default());
+    let cpu_r = measure_ram(&mut ram, &mut CpuInit::new(bytes));
+    let mut ram = RamulatorSystem::new(RamulatorConfig::default());
+    let rc_r = measure_ram(&mut ram, &mut RowCloneInit::new(bytes, FlushMode::NoFlush));
+    let ram_init = cpu_r as f64 / rc_r as f64;
+    assert!(
+        ram_init > ts_init,
+        "idealized DRAM over-reports init: ramulator {ram_init} vs easydram {ts_init}"
+    );
+
+    // Copy beats init on the same system (paper: 15.0x vs 1.8x).
+    let mut sys = quick_system(TimingMode::TimeScaling);
+    let cpu_c = measure(&mut sys, &mut CpuCopy::new(bytes));
+    let mut sys = quick_system(TimingMode::TimeScaling);
+    let rc_c = measure(&mut sys, &mut RowCloneCopy::new(bytes, FlushMode::NoFlush));
+    let ts_copy = cpu_c as f64 / rc_c as f64;
+    assert!(ts_copy > ts_init, "copy ({ts_copy}) > init ({ts_init})");
+}
+
+fn measure_ram(sim: &mut RamulatorSystem, w: &mut dyn Workload) -> u64 {
+    let r = sim.run(w);
+    w.measured_cycles().unwrap_or(r.simulated_cycles)
+}
+
+/// Fig. 11: CLFLUSH coherence overheads shrink RowClone's benefit, hurting
+/// small sizes the most (the paper's Init degrades below ~256 KB).
+#[test]
+fn fig11_clflush_overheads() {
+    let bytes = 64 * 1024;
+    let mut sys = quick_system(TimingMode::TimeScaling);
+    let noflush = measure(&mut sys, &mut RowCloneCopy::new(bytes, FlushMode::NoFlush));
+    let mut sys = quick_system(TimingMode::TimeScaling);
+    let clflush = measure(&mut sys, &mut RowCloneCopy::new(bytes, FlushMode::ClFlush));
+    assert!(
+        clflush > noflush * 2,
+        "cache maintenance must dominate small copies: {clflush} vs {noflush}"
+    );
+    // Init at small sizes degrades versus the CPU baseline.
+    let mut sys = quick_system(TimingMode::TimeScaling);
+    let cpu = measure(&mut sys, &mut CpuInit::new(8 * 1024));
+    let mut sys = quick_system(TimingMode::TimeScaling);
+    let rc = measure(&mut sys, &mut RowCloneInit::new(8 * 1024, FlushMode::ClFlush));
+    assert!(rc > cpu / 2, "small CLFLUSH init must lose most of its benefit");
+}
+
+/// Fig. 12: every row operates below nominal tRCD; most are strong; weak
+/// rows exist and cluster.
+#[test]
+fn fig12_variation_statistics() {
+    let sys = quick_system(TimingMode::Reference);
+    let var = sys.tile().device().variation().clone();
+    let mut strong = 0;
+    let mut weak = 0;
+    for bank in 0..2 {
+        for row in 0..2048u32 {
+            let t = var.row_min_trcd_ps(bank, row);
+            assert!(t < 13_500, "all rows below nominal");
+            if t <= 9_000 {
+                strong += 1;
+            } else {
+                weak += 1;
+            }
+        }
+    }
+    let frac = f64::from(strong) / f64::from(strong + weak);
+    assert!(frac > 0.55, "strong majority, got {frac}");
+    assert!(weak > 0, "weak rows must exist");
+}
+
+/// Fig. 13: tRCD reduction never slows a workload down materially and the
+/// Bloom filter prevents all corruption.
+#[test]
+fn fig13_trcd_reduction_safety_and_benefit() {
+    for name in ["gemver", "mvt"] {
+        let run = |reduce: bool| {
+            let mut sys = quick_system(TimingMode::TimeScaling);
+            if reduce {
+                sys.enable_trcd_reduction(2_048, 9_000);
+            }
+            let mut w = polybench::by_name(name, PolySize::Mini).expect("kernel");
+            let r = sys.run(w.as_mut());
+            (r.emulated_cycles, r.dram.corrupted_reads)
+        };
+        let (nominal, _) = run(false);
+        let (reduced, corrupted) = run(true);
+        assert_eq!(corrupted, 0, "{name}: Bloom filter must prevent corruption");
+        let delta = reduced as f64 / nominal as f64;
+        assert!(delta < 1.005, "{name}: reduction must not slow down ({delta})");
+    }
+}
+
+/// Fig. 14: EasyDRAM's modeled simulation speed beats the software
+/// simulator's, most on the least memory-intensive workload.
+#[test]
+fn fig14_simulation_speed_shape() {
+    let speed = |name: &str| {
+        let mut sys = quick_system(TimingMode::TimeScaling);
+        let mut w = polybench::by_name(name, PolySize::Mini).expect("kernel");
+        let er = sys.run(w.as_mut());
+        let mut ram = RamulatorSystem::new(RamulatorConfig::default());
+        let mut w = polybench::by_name(name, PolySize::Mini).expect("kernel");
+        let rr = ram.run(w.as_mut());
+        (er.sim_speed_hz, rr.modeled_speed_hz, er.mem_reads_per_kilo_cycle)
+    };
+    let (easy_durbin, ram_durbin, mpkc_durbin) = speed("durbin");
+    let (easy_gesummv, ram_gesummv, mpkc_gesummv) = speed("gesummv");
+    assert!(easy_durbin > ram_durbin, "EasyDRAM faster than software simulation");
+    assert!(easy_gesummv > ram_gesummv);
+    assert!(mpkc_durbin < mpkc_gesummv, "durbin is the least memory-intensive");
+    let ratio_durbin = easy_durbin / ram_durbin;
+    let ratio_gesummv = easy_gesummv / ram_gesummv;
+    assert!(
+        ratio_durbin > ratio_gesummv,
+        "the advantage grows as memory intensity falls: {ratio_durbin} vs {ratio_gesummv}"
+    );
+    // Table 1: EasyDRAM in the ~10M cycles/s class, software sim in ~1M.
+    assert!(easy_durbin > 5e6, "EasyDRAM class: {easy_durbin}");
+    assert!(ram_durbin < 3e6, "software-simulator class: {ram_durbin}");
+}
