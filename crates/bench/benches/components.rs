@@ -17,10 +17,12 @@ fn bench_device_commands(c: &mut Criterion) {
             || DramDevice::new(DramConfig::small_for_tests()),
             |dev| {
                 let base = dev.now_ps() + t.t_rp_ps;
-                dev.issue_raw(DramCommand::Activate { bank: 0, row: 7 }, base).unwrap();
+                dev.issue_raw(DramCommand::Activate { bank: 0, row: 7 }, base)
+                    .unwrap();
                 dev.issue_raw(DramCommand::Read { bank: 0, col: 3 }, base + t.t_rcd_ps)
                     .unwrap();
-                dev.issue_raw(DramCommand::Precharge { bank: 0 }, base + t.t_ras_ps).unwrap();
+                dev.issue_raw(DramCommand::Precharge { bank: 0 }, base + t.t_ras_ps)
+                    .unwrap();
             },
             BatchSize::SmallInput,
         );
@@ -41,8 +43,10 @@ fn bench_bender(c: &mut Criterion) {
             |dev| {
                 let mut p = BenderProgram::new();
                 p.cmd(DramCommand::Activate { bank: 0, row: 1 }).unwrap();
-                p.cmd_after(DramCommand::Precharge { bank: 0 }, 3_000).unwrap();
-                p.cmd_after(DramCommand::Activate { bank: 0, row: 2 }, 3_000).unwrap();
+                p.cmd_after(DramCommand::Precharge { bank: 0 }, 3_000)
+                    .unwrap();
+                p.cmd_after(DramCommand::Activate { bank: 0, row: 2 }, 3_000)
+                    .unwrap();
                 p.cmd_auto(DramCommand::Precharge { bank: 0 }).unwrap();
                 ex.run(dev, &p, dev.now_ps()).unwrap();
             },

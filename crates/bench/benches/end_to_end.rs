@@ -11,7 +11,11 @@ use easydram_workloads::{polybench, PolySize};
 
 fn bench_easydram_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group("system-gemm-mini");
-    for mode in [TimingMode::Reference, TimingMode::TimeScaling, TimingMode::NoTimeScaling] {
+    for mode in [
+        TimingMode::Reference,
+        TimingMode::TimeScaling,
+        TimingMode::NoTimeScaling,
+    ] {
         g.bench_function(format!("{mode}"), |b| {
             b.iter_batched(
                 || {

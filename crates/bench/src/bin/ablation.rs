@@ -92,7 +92,7 @@ fn main() {
     let mut sys_a = System::new(with_ref);
     let mut sys_b = System::new(no_ref);
     // Long dependent chase so several tREFI windows elapse.
-    let mut chase = |sys: &mut System| {
+    let chase = |sys: &mut System| {
         let mut w = easydram_workloads::lmbench::LatMemRd::new(2 * 1024 * 1024, 64);
         w.run(sys.cpu());
         w.measured_cycles().expect("ran")
@@ -105,7 +105,10 @@ fn main() {
         &[
             vec!["refresh on".into(), a.to_string()],
             vec!["refresh off".into(), b.to_string()],
-            vec!["overhead".into(), format!("{:+.2}%", (a as f64 / b as f64 - 1.0) * 100.0)],
+            vec![
+                "overhead".into(),
+                format!("{:+.2}%", (a as f64 / b as f64 - 1.0) * 100.0),
+            ],
         ],
     );
     assert!(a > b, "refresh must cost time");

@@ -7,8 +7,14 @@ use easydram_workloads::{polybench, PolySize};
 
 fn main() {
     for (label, mut cfg) in [
-        ("small/xor", SystemConfig::small_for_tests(TimingMode::Reference)),
-        ("jetson/xor", SystemConfig::jetson_nano(TimingMode::Reference)),
+        (
+            "small/xor",
+            SystemConfig::small_for_tests(TimingMode::Reference),
+        ),
+        (
+            "jetson/xor",
+            SystemConfig::jetson_nano(TimingMode::Reference),
+        ),
     ] {
         for scheme in [
             MappingScheme::RowColBankXor,

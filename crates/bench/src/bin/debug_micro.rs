@@ -11,7 +11,10 @@ fn main() {
         let mut w = CpuCopy::new(bytes);
         let r1 = sys.run(&mut w);
         let c = w.measured_cycles().unwrap();
-        eprintln!("   cpu-copy smc: {:?} reqs {} stalls {}", r1.smc.serve, r1.smc.requests, r1.core.stall_cycles);
+        eprintln!(
+            "   cpu-copy smc: {:?} reqs {} stalls {}",
+            r1.smc.serve, r1.smc.requests, r1.core.stall_cycles
+        );
         let mut sys2 = jetson(TimingMode::TimeScaling);
         let mut w2 = RowCloneCopy::new(bytes, FlushMode::NoFlush);
         let r2 = sys2.run(&mut w2);

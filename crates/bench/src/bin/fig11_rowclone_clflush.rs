@@ -30,12 +30,21 @@ fn main() {
     let mut acc: [Vec<f64>; 6] = Default::default();
     for &bytes in &sizes {
         let c_nots = speedup_copy(|| Sim::Easy(Box::new(pidram())), bytes);
-        let c_ts = speedup_copy(|| Sim::Easy(Box::new(jetson(TimingMode::TimeScaling))), bytes);
+        let c_ts = speedup_copy(
+            || Sim::Easy(Box::new(jetson(TimingMode::TimeScaling))),
+            bytes,
+        );
         let c_ram = speedup_copy(|| Sim::Ram(Box::new(ramulator())), bytes);
         let i_nots = speedup_init(|| Sim::Easy(Box::new(pidram())), bytes);
-        let i_ts = speedup_init(|| Sim::Easy(Box::new(jetson(TimingMode::TimeScaling))), bytes);
+        let i_ts = speedup_init(
+            || Sim::Easy(Box::new(jetson(TimingMode::TimeScaling))),
+            bytes,
+        );
         let i_ram = speedup_init(|| Sim::Ram(Box::new(ramulator())), bytes);
-        for (v, x) in acc.iter_mut().zip([c_nots, c_ts, c_ram, i_nots, i_ts, i_ram]) {
+        for (v, x) in acc
+            .iter_mut()
+            .zip([c_nots, c_ts, c_ram, i_nots, i_ts, i_ram])
+        {
             v.push(x);
         }
         copy_rows.push(vec![
@@ -53,8 +62,16 @@ fn main() {
         eprintln!("  done {}", fmt_size(bytes));
     }
     let header = ["size", "EasyDRAM-NoTS", "EasyDRAM-TS", "Ramulator-2.0"];
-    print_table("Figure 11(a): RowClone - CLFLUSH Copy speedup", &header, &copy_rows);
-    print_table("Figure 11(b): RowClone - CLFLUSH Init speedup", &header, &init_rows);
+    print_table(
+        "Figure 11(a): RowClone - CLFLUSH Copy speedup",
+        &header,
+        &copy_rows,
+    );
+    print_table(
+        "Figure 11(b): RowClone - CLFLUSH Init speedup",
+        &header,
+        &init_rows,
+    );
     let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
     println!("\nAverages (maxima) over all sizes:");
     println!(

@@ -8,7 +8,7 @@
 //! core model.
 
 use easydram::{System, SystemConfig, TimingMode};
-use easydram_bench::{geomean, print_table, quick, ramulator};
+use easydram_bench::{geomean, print_table, quick};
 use easydram_workloads::{fig13_names, polybench, PolySize};
 
 /// Reduced tRCD applied to strong rows (paper §8.1: strong = 9.0 ns).
@@ -46,7 +46,11 @@ fn ramulator_speedup(name: &str, size: PolySize) -> f64 {
 }
 
 fn main() {
-    let size = if quick() { PolySize::Mini } else { PolySize::Small };
+    let size = if quick() {
+        PolySize::Mini
+    } else {
+        PolySize::Small
+    };
     let mut rows = Vec::new();
     let mut easy_all = Vec::new();
     let mut ram_all = Vec::new();

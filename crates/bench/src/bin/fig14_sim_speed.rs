@@ -13,7 +13,11 @@ use easydram_bench::{geomean, print_table, quick, ramulator};
 use easydram_workloads::{fig13_names, polybench, PolySize};
 
 fn main() {
-    let size = if quick() { PolySize::Mini } else { PolySize::Small };
+    let size = if quick() {
+        PolySize::Mini
+    } else {
+        PolySize::Small
+    };
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
     let mut best: Option<(String, f64)> = None;
@@ -33,7 +37,10 @@ fn main() {
             name.to_string(),
             format!("{:.2}", er.sim_speed_hz / 1e6),
             format!("{:.2}", rr.modeled_speed_hz / 1e6),
-            format!("{:.2}", rr.simulated_cycles as f64 / rr.host_wall_seconds.max(1e-9) / 1e6),
+            format!(
+                "{:.2}",
+                rr.simulated_cycles as f64 / rr.host_wall_seconds.max(1e-9) / 1e6
+            ),
             format!("{:.1}x", ratio),
             format!("{:.2}", er.mem_reads_per_kilo_cycle),
         ]);
@@ -41,7 +48,14 @@ fn main() {
     }
     print_table(
         "Figure 14: simulation speed (MHz = 1e6 simulated cycles / wall second)",
-        &["workload", "EasyDRAM", "Ramulator (modeled)", "Ramulator (host, this impl)", "ratio", "LLC-MPKC"],
+        &[
+            "workload",
+            "EasyDRAM",
+            "Ramulator (modeled)",
+            "Ramulator (host, this impl)",
+            "ratio",
+            "LLC-MPKC",
+        ],
         &rows,
     );
     let (best_name, best_ratio) = best.expect("workloads ran");

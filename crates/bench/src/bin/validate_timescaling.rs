@@ -23,16 +23,21 @@ fn run_pair(mk: impl Fn() -> Box<dyn Workload>) -> (u64, u64) {
 }
 
 fn main() {
-    let size = if quick() { PolySize::Mini } else { PolySize::Small };
-    let names: Vec<String> =
-        validation_suite(size).iter().map(|w| w.name().to_string()).collect();
+    let size = if quick() {
+        PolySize::Mini
+    } else {
+        PolySize::Small
+    };
+    let names: Vec<String> = validation_suite(size)
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect();
     let mut rows = Vec::new();
     let mut errors = Vec::new();
     for name in &names {
         let n = name.clone();
-        let (ts, reference) = run_pair(move || {
-            easydram_workloads::polybench::by_name(&n, size).expect("kernel")
-        });
+        let (ts, reference) =
+            run_pair(move || easydram_workloads::polybench::by_name(&n, size).expect("kernel"));
         let err = (ts as f64 - reference as f64).abs() / reference as f64 * 100.0;
         errors.push(err);
         rows.push(vec![
@@ -56,7 +61,12 @@ fn main() {
     ]);
     print_table(
         "Time-scaling validation: 100 MHz FPGA clock emulating 1 GHz vs native 1 GHz reference",
-        &["workload", "reference cycles", "time-scaled cycles", "error"],
+        &[
+            "workload",
+            "reference cycles",
+            "time-scaled cycles",
+            "error",
+        ],
         &rows,
     );
     let avg = errors.iter().sum::<f64>() / errors.len() as f64;
@@ -65,5 +75,8 @@ fn main() {
         "\nExecution-time inaccuracy across {} workloads: avg {avg:.4}% max {max:.4}%",
         errors.len()
     );
-    println!("Paper: < 0.1% average, < 1% maximum. PASS: {}", avg < 0.1 && max < 1.0);
+    println!(
+        "Paper: < 0.1% average, < 1% maximum. PASS: {}",
+        avg < 0.1 && max < 1.0
+    );
 }

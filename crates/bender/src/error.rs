@@ -25,7 +25,10 @@ impl fmt::Display for BenderError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BenderError::ProgramTooLong { capacity } => {
-                write!(f, "program exceeds command buffer capacity of {capacity} instructions")
+                write!(
+                    f,
+                    "program exceeds command buffer capacity of {capacity} instructions"
+                )
             }
             BenderError::ReadbackOverflow { capacity } => {
                 write!(f, "readback buffer capacity of {capacity} lines exceeded")
@@ -49,8 +52,12 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(BenderError::ProgramTooLong { capacity: 4 }.to_string().contains('4'));
-        assert!(BenderError::ReadbackOverflow { capacity: 9 }.to_string().contains('9'));
+        assert!(BenderError::ProgramTooLong { capacity: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(BenderError::ReadbackOverflow { capacity: 9 }
+            .to_string()
+            .contains('9'));
         assert!(BenderError::Device("x".into()).to_string().contains('x'));
     }
 }

@@ -47,13 +47,17 @@ impl Executor {
     /// Creates an executor with [`DEFAULT_READBACK_CAPACITY`].
     #[must_use]
     pub fn new() -> Self {
-        Self { readback_capacity: DEFAULT_READBACK_CAPACITY }
+        Self {
+            readback_capacity: DEFAULT_READBACK_CAPACITY,
+        }
     }
 
     /// Creates an executor with a custom readback-buffer capacity.
     #[must_use]
     pub fn with_readback_capacity(capacity: usize) -> Self {
-        Self { readback_capacity: capacity }
+        Self {
+            readback_capacity: capacity,
+        }
     }
 
     /// Runs `program` on `dev` starting no earlier than `start_ps`.
@@ -74,7 +78,9 @@ impl Executor {
         start_ps: u64,
     ) -> Result<BenderResult, BenderError> {
         if program.read_count() > self.readback_capacity {
-            return Err(BenderError::ReadbackOverflow { capacity: self.readback_capacity });
+            return Err(BenderError::ReadbackOverflow {
+                capacity: self.readback_capacity,
+            });
         }
         let t_ck = dev.timing().t_ck_ps;
         let start = start_ps.max(dev.now_ps());
@@ -176,10 +182,15 @@ mod tests {
         let mut d = dev();
         let mut p = BenderProgram::new();
         p.cmd(DramCommand::Activate { bank: 0, row: 5 }).unwrap();
-        p.cmd_after(DramCommand::Read { bank: 0, col: 0 }, 9_000).unwrap();
+        p.cmd_after(DramCommand::Read { bank: 0, col: 0 }, 9_000)
+            .unwrap();
         let r = Executor::new().run(&mut d, &p, 0).unwrap();
         assert!(r.violations.iter().any(|v| v.rule == TimingRule::Trcd));
-        let trcd_viol = r.violations.iter().find(|v| v.rule == TimingRule::Trcd).unwrap();
+        let trcd_viol = r
+            .violations
+            .iter()
+            .find(|v| v.rule == TimingRule::Trcd)
+            .unwrap();
         assert_eq!(trcd_viol.issued_ps, 9_000);
     }
 
@@ -191,7 +202,8 @@ mod tests {
         let min = d.variation().line_min_trcd_ps(0, 1, 0);
         let mut p = BenderProgram::new();
         p.cmd(DramCommand::Activate { bank: 0, row: 1 }).unwrap();
-        p.cmd_after(DramCommand::Read { bank: 0, col: 0 }, min).unwrap();
+        p.cmd_after(DramCommand::Read { bank: 0, col: 0 }, min)
+            .unwrap();
         let r = Executor::new().run(&mut d, &p, 0).unwrap();
         assert_eq!(r.reads[0], line);
         assert!(!r.read_corrupted[0]);
@@ -204,8 +216,10 @@ mod tests {
         d.write_row(1, 10, &pattern);
         let mut p = BenderProgram::new();
         p.cmd(DramCommand::Activate { bank: 1, row: 10 }).unwrap();
-        p.cmd_after(DramCommand::Precharge { bank: 1 }, 3_000).unwrap();
-        p.cmd_after(DramCommand::Activate { bank: 1, row: 11 }, 3_000).unwrap();
+        p.cmd_after(DramCommand::Precharge { bank: 1 }, 3_000)
+            .unwrap();
+        p.cmd_after(DramCommand::Activate { bank: 1, row: 11 }, 3_000)
+            .unwrap();
         p.cmd_auto(DramCommand::Precharge { bank: 1 }).unwrap();
         let r = Executor::new().run(&mut d, &p, 0).unwrap();
         assert_eq!(r.rowclones.len(), 1);
@@ -218,7 +232,8 @@ mod tests {
         let mut d = dev();
         let mut p = BenderProgram::new();
         p.sleep(50_000).unwrap();
-        p.cmd_after(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        p.cmd_after(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
         let r = Executor::new().run(&mut d, &p, 0).unwrap();
         // ACT issues at 50_000 and completes tRCD later.
         assert_eq!(r.end_ps, 50_000 + t().t_rcd_ps);
@@ -272,7 +287,9 @@ mod tests {
     #[test]
     fn empty_program_is_instant() {
         let mut d = dev();
-        let r = Executor::new().run(&mut d, &BenderProgram::new(), 500).unwrap();
+        let r = Executor::new()
+            .run(&mut d, &BenderProgram::new(), 500)
+            .unwrap();
         assert_eq!(r.elapsed_ps, 0);
         assert!(r.reads.is_empty());
     }

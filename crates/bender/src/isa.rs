@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn command_accessor() {
-        let i = BenderInstr::Cmd { cmd: DramCommand::Refresh, at: IssueAt::Auto };
+        let i = BenderInstr::Cmd {
+            cmd: DramCommand::Refresh,
+            at: IssueAt::Auto,
+        };
         assert_eq!(i.command(), Some(&DramCommand::Refresh));
         assert_eq!(BenderInstr::Sleep { ps: 10 }.command(), None);
     }

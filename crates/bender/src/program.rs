@@ -32,7 +32,11 @@ impl BenderProgram {
     /// Creates an empty program bounded to `capacity` instructions.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { instrs: Vec::new(), capacity, reads: 0 }
+        Self {
+            instrs: Vec::new(),
+            capacity,
+            reads: 0,
+        }
     }
 
     /// Appends `cmd` issued at the earliest JEDEC-legal time.
@@ -41,7 +45,10 @@ impl BenderProgram {
     ///
     /// Returns [`BenderError::ProgramTooLong`] when the buffer is full.
     pub fn cmd_auto(&mut self, cmd: DramCommand) -> Result<(), BenderError> {
-        self.push(BenderInstr::Cmd { cmd, at: IssueAt::Auto })
+        self.push(BenderInstr::Cmd {
+            cmd,
+            at: IssueAt::Auto,
+        })
     }
 
     /// Appends `cmd` issued at the earliest legal time (alias of
@@ -61,7 +68,10 @@ impl BenderProgram {
     ///
     /// Returns [`BenderError::ProgramTooLong`] when the buffer is full.
     pub fn cmd_after(&mut self, cmd: DramCommand, delay_ps: u64) -> Result<(), BenderError> {
-        self.push(BenderInstr::Cmd { cmd, at: IssueAt::After(delay_ps) })
+        self.push(BenderInstr::Cmd {
+            cmd,
+            at: IssueAt::After(delay_ps),
+        })
     }
 
     /// Appends an idle period of `ps` picoseconds.
@@ -75,9 +85,17 @@ impl BenderProgram {
 
     fn push(&mut self, instr: BenderInstr) -> Result<(), BenderError> {
         if self.instrs.len() >= self.capacity {
-            return Err(BenderError::ProgramTooLong { capacity: self.capacity });
+            return Err(BenderError::ProgramTooLong {
+                capacity: self.capacity,
+            });
         }
-        if matches!(instr, BenderInstr::Cmd { cmd: DramCommand::Read { .. }, .. }) {
+        if matches!(
+            instr,
+            BenderInstr::Cmd {
+                cmd: DramCommand::Read { .. },
+                ..
+            }
+        ) {
             self.reads += 1;
         }
         self.instrs.push(instr);
@@ -123,7 +141,8 @@ mod tests {
     fn builds_and_counts() {
         let mut p = BenderProgram::new();
         p.cmd(DramCommand::Activate { bank: 0, row: 1 }).unwrap();
-        p.cmd_after(DramCommand::Read { bank: 0, col: 0 }, 9_000).unwrap();
+        p.cmd_after(DramCommand::Read { bank: 0, col: 0 }, 9_000)
+            .unwrap();
         p.sleep(100).unwrap();
         assert_eq!(p.len(), 3);
         assert_eq!(p.read_count(), 1);

@@ -20,7 +20,11 @@ pub struct TransferCost {
 
 impl Default for TransferCost {
     fn default() -> Self {
-        Self { batch_overhead_cycles: 32, cycles_per_instr: 1, cycles_per_readback_line: 16 }
+        Self {
+            batch_overhead_cycles: 32,
+            cycles_per_instr: 1,
+            cycles_per_readback_line: 16,
+        }
     }
 }
 
@@ -54,7 +58,10 @@ mod tests {
         let c = TransferCost::default();
         assert!(c.program_cycles(10) > c.program_cycles(1));
         assert!(c.readback_cycles(4) > c.readback_cycles(1));
-        assert_eq!(c.batch_cycles(3, 2), c.program_cycles(3) + c.readback_cycles(2));
+        assert_eq!(
+            c.batch_cycles(3, 2),
+            c.program_cycles(3) + c.readback_cycles(2)
+        );
     }
 
     #[test]

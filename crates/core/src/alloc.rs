@@ -99,7 +99,10 @@ impl RowCloneAllocator {
             if top >= sub {
                 let first = top - sub;
                 self.next_subarray_top[bank] = first;
-                return Some(SubarrayBlock { bank: bank as u32, first_row: first });
+                return Some(SubarrayBlock {
+                    bank: bank as u32,
+                    first_row: first,
+                });
             }
         }
         None
@@ -222,7 +225,11 @@ impl RowCloneAllocator {
             let src_row = block.first_row + src_off;
             let src_vrow = src_cursor;
             src_cursor += 1;
-            plan.remaps.push(RemapEntry { vrow: src_vrow, bank: block.bank, row: src_row });
+            plan.remaps.push(RemapEntry {
+                vrow: src_vrow,
+                bank: block.bank,
+                row: src_row,
+            });
             plan.source_vrows.push(src_vrow);
             for j in 0..in_block {
                 let dst_row = block.first_row + Self::dst_offset(src_off, j as u32);
@@ -278,7 +285,11 @@ mod tests {
             let (sb, sr) = table[&i];
             let (db, dr) = table[&(n + i)];
             assert_eq!(sb, db, "pair {i} crosses banks");
-            assert_eq!(geo.subarray_of(sr), geo.subarray_of(dr), "pair {i} crosses subarrays");
+            assert_eq!(
+                geo.subarray_of(sr),
+                geo.subarray_of(dr),
+                "pair {i} crosses subarrays"
+            );
             assert_ne!(sr, dr);
         }
     }
@@ -308,7 +319,9 @@ mod tests {
                 let (b, sr) = table[&i];
                 let (_, dr) = table[&(n + i)];
                 // Re-test with fresh nonces: overwhelmingly reliable.
-                let fails = (0..200).filter(|&t| !var.rowclone_ok(b, sr, dr, 1_000_000 + t)).count();
+                let fails = (0..200)
+                    .filter(|&t| !var.rowclone_ok(b, sr, dr, 1_000_000 + t))
+                    .count();
                 assert!(fails <= 2, "qualified pair {i} failed {fails}/200 trials");
             }
         }
@@ -335,7 +348,10 @@ mod tests {
                 None => fallback += 1,
             }
         }
-        assert!(fallback < n as usize / 2, "most rows should be initializable: {fallback}");
+        assert!(
+            fallback < n as usize / 2,
+            "most rows should be initializable: {fallback}"
+        );
         assert!(fallback > 0, "real chips leave some rows unclonable");
     }
 

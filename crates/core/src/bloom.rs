@@ -31,7 +31,13 @@ impl BloomFilter {
         assert!(n_bits > 0, "filter needs at least one bit");
         assert!(n_hashes > 0, "filter needs at least one hash");
         let words = n_bits.div_ceil(64);
-        Self { bits: vec![0; words as usize], n_bits: words * 64, n_hashes, seed, inserted: 0 }
+        Self {
+            bits: vec![0; words as usize],
+            n_bits: words * 64,
+            n_hashes,
+            seed,
+            inserted: 0,
+        }
     }
 
     /// Sizes a filter for `n_keys` expected insertions at roughly 1 % false

@@ -125,7 +125,10 @@ impl SystemConfig {
     pub fn pidram_like() -> Self {
         Self {
             mode: TimingMode::NoTimeScaling,
-            fpga: FpgaConfig { proc_clk_hz: 50_000_000, ..FpgaConfig::default() },
+            fpga: FpgaConfig {
+                proc_clk_hz: 50_000_000,
+                ..FpgaConfig::default()
+            },
             core: CoreConfig::pidram_50mhz(),
             ..Self::jetson_nano(TimingMode::NoTimeScaling)
         }
@@ -136,10 +139,16 @@ impl SystemConfig {
     /// (`TimeScaling` for EasyDRAM, `Reference` for the RTL reference).
     #[must_use]
     pub fn validation_1ghz(mode: TimingMode) -> Self {
-        let core = CoreConfig { freq_hz: 1_000_000_000, ..CoreConfig::cortex_a57() };
+        let core = CoreConfig {
+            freq_hz: 1_000_000_000,
+            ..CoreConfig::cortex_a57()
+        };
         Self {
             mode,
-            fpga: FpgaConfig { proc_clk_hz: 100_000_000, ..FpgaConfig::default() },
+            fpga: FpgaConfig {
+                proc_clk_hz: 100_000_000,
+                ..FpgaConfig::default()
+            },
             core,
             ..Self::jetson_nano(mode)
         }
@@ -182,10 +191,16 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        SystemConfig::jetson_nano(TimingMode::TimeScaling).validate().unwrap();
+        SystemConfig::jetson_nano(TimingMode::TimeScaling)
+            .validate()
+            .unwrap();
         SystemConfig::pidram_like().validate().unwrap();
-        SystemConfig::validation_1ghz(TimingMode::Reference).validate().unwrap();
-        SystemConfig::small_for_tests(TimingMode::NoTimeScaling).validate().unwrap();
+        SystemConfig::validation_1ghz(TimingMode::Reference)
+            .validate()
+            .unwrap();
+        SystemConfig::small_for_tests(TimingMode::NoTimeScaling)
+            .validate()
+            .unwrap();
     }
 
     #[test]
@@ -193,7 +208,10 @@ mod tests {
         let c = SystemConfig::pidram_like();
         assert_eq!(c.mode, TimingMode::NoTimeScaling);
         assert_eq!(c.core.freq_hz, 50_000_000);
-        assert_eq!(c.fpga.proc_clk_hz, 50_000_000, "No-TS: processor runs at FPGA speed");
+        assert_eq!(
+            c.fpga.proc_clk_hz, 50_000_000,
+            "No-TS: processor runs at FPGA speed"
+        );
     }
 
     #[test]

@@ -56,8 +56,6 @@ pub use profiling::{ProfileOutcome, TrcdProfiler};
 pub use report::ExecutionReport;
 pub use request::{MemRequest, RequestKind};
 pub use smc::easyapi::EasyApi;
-pub use smc::{
-    FcfsController, FrFcfsController, RowPolicy, ServeResult, SoftwareMemoryController,
-};
+pub use smc::{FcfsController, FrFcfsController, RowPolicy, ServeResult, SoftwareMemoryController};
 pub use system::System;
 pub use timescale::TimeScalingCounters;

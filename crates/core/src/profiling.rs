@@ -26,8 +26,11 @@ impl ProfileOutcome {
         if self.rows.is_empty() {
             return 0.0;
         }
-        let strong =
-            self.rows.iter().filter(|&&(_, _, t)| t <= self.strong_threshold_ps).count();
+        let strong = self
+            .rows
+            .iter()
+            .filter(|&&(_, _, t)| t <= self.strong_threshold_ps)
+            .count();
         strong as f64 / self.rows.len() as f64
     }
 
@@ -106,8 +109,8 @@ impl TrcdProfiler {
                 let cpu = sys.cpu();
                 easydram_cpu::CpuApi::now_cycles(cpu)
             };
-            let ok = (0..self.trials)
-                .all(|_| sys.tile_mut().profile_line(bank, row, col, trcd, issue));
+            let ok =
+                (0..self.trials).all(|_| sys.tile_mut().profile_line(bank, row, col, trcd, issue));
             if ok {
                 return trcd;
             }
@@ -156,10 +159,17 @@ mod tests {
     #[test]
     fn profiled_minimum_matches_ground_truth() {
         let mut s = sys();
-        let profiler = TrcdProfiler { trials: 3, ..TrcdProfiler::default() };
+        let profiler = TrcdProfiler {
+            trials: 3,
+            ..TrcdProfiler::default()
+        };
         for (bank, row, col) in [(0u32, 3u32, 0u32), (1, 100, 5), (0, 700, 17)] {
             let measured = profiler.profile_line(&mut s, bank, row, col);
-            let truth = s.tile().device().variation().line_min_trcd_ps(bank, row, col);
+            let truth = s
+                .tile()
+                .device()
+                .variation()
+                .line_min_trcd_ps(bank, row, col);
             // The profiler sweeps in 500 ps steps and the flaky band is
             // stochastic: measured must bracket the truth from above within
             // one step + band.
@@ -182,7 +192,10 @@ mod tests {
         let nominal = s.tile().device().timing().t_rcd_ps;
         assert_eq!(out.rows.len(), 32);
         for &(_, row, t) in &out.rows {
-            assert!(t < nominal, "row {row}: {t} should be below nominal {nominal}");
+            assert!(
+                t < nominal,
+                "row {row}: {t} should be below nominal {nominal}"
+            );
         }
     }
 
@@ -199,7 +212,11 @@ mod tests {
     fn profiler_finds_known_weak_rows() {
         // Full-size geometry: weak blobs span the whole 64×64 grid.
         let mut s = System::new(SystemConfig::jetson_nano(TimingMode::Reference));
-        let profiler = TrcdProfiler { cols_sampled: 8, trials: 2, ..TrcdProfiler::default() };
+        let profiler = TrcdProfiler {
+            cols_sampled: 8,
+            trials: 2,
+            ..TrcdProfiler::default()
+        };
         // Use ground truth to locate weak and strong rows, then check the
         // profiler classifies them consistently.
         let geo = s.tile().config().dram.geometry.clone();
@@ -220,7 +237,10 @@ mod tests {
         assert!(!weak.is_empty(), "variation field should contain weak rows");
         for row in weak {
             let measured = profiler.profile_row(&mut s, 0, row);
-            assert!(measured > threshold, "row {row} should profile weak, got {measured}");
+            assert!(
+                measured > threshold,
+                "row {row} should profile weak, got {measured}"
+            );
         }
         for row in strong {
             let measured = profiler.profile_row(&mut s, 0, row);
@@ -234,7 +254,10 @@ mod tests {
     #[test]
     fn grid_has_values_in_range() {
         let mut s = sys();
-        let profiler = TrcdProfiler { cols_sampled: 1, ..TrcdProfiler::default() };
+        let profiler = TrcdProfiler {
+            cols_sampled: 1,
+            ..TrcdProfiler::default()
+        };
         let out = profiler.profile_region(&mut s, 1, 128);
         let grid = out.grid_ns(0);
         let mut nonzero = 0;

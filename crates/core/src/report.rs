@@ -108,7 +108,10 @@ impl std::fmt::Display for ExecutionReport {
         write!(
             f,
             "  smc: {} reqs, {} rocket cycles, {} batches, {} rowclone fallbacks",
-            self.smc.requests, self.smc.rocket_cycles, self.smc.batches, self.smc.rowclone_fallbacks,
+            self.smc.requests,
+            self.smc.rocket_cycles,
+            self.smc.batches,
+            self.smc.rowclone_fallbacks,
         )
     }
 }
@@ -132,7 +135,11 @@ mod tests {
             l2: None,
             dram: DeviceStats::default(),
             smc: SmcStats {
-                serve: ServeResult { row_hits: 3, row_misses: 1, ..ServeResult::default() },
+                serve: ServeResult {
+                    row_hits: 3,
+                    row_misses: 1,
+                    ..ServeResult::default()
+                },
                 ..SmcStats::default()
             },
         }

@@ -82,12 +82,19 @@ mod tests {
 
     #[test]
     fn addr_extraction() {
-        let r = MemRequest { id: 1, kind: RequestKind::Read { addr: 0x1000 }, arrival_cycle: 5 };
+        let r = MemRequest {
+            id: 1,
+            kind: RequestKind::Read { addr: 0x1000 },
+            arrival_cycle: 5,
+        };
         assert_eq!(r.addr(), 0x1000);
         assert!(r.is_read());
         let rc = MemRequest {
             id: 2,
-            kind: RequestKind::RowClone { src_addr: 0x2000, dst_addr: 0x4000 },
+            kind: RequestKind::RowClone {
+                src_addr: 0x2000,
+                dst_addr: 0x4000,
+            },
             arrival_cycle: 9,
         };
         assert_eq!(rc.addr(), 0x2000);

@@ -55,7 +55,12 @@ impl TrcdPlan {
                 weak_rows += 1;
             }
         }
-        Self { bloom, reduced_trcd_ps, covered_rows_per_bank, weak_rows }
+        Self {
+            bloom,
+            reduced_trcd_ps,
+            covered_rows_per_bank,
+            weak_rows,
+        }
     }
 
     /// Builds a plan directly from the device's variation field — the
@@ -128,7 +133,11 @@ fn serve_with_policy(
     api.set_scheduling_state(true);
     api.receive_all();
     loop {
-        let pick = if use_frfcfs { api.schedule_frfcfs() } else { api.schedule_fcfs() };
+        let pick = if use_frfcfs {
+            api.schedule_frfcfs()
+        } else {
+            api.schedule_fcfs()
+        };
         let Some(idx) = pick else { break };
         let req = api.take_request(idx);
         serve_one(api, policy, trcd, &req, &mut res);
@@ -360,7 +369,11 @@ mod tests {
     }
 
     fn read_req(id: u64, addr: u64) -> MemRequest {
-        MemRequest { id, kind: RequestKind::Read { addr }, arrival_cycle: 0 }
+        MemRequest {
+            id,
+            kind: RequestKind::Read { addr },
+            arrival_cycle: 0,
+        }
     }
 
     #[test]
@@ -394,7 +407,14 @@ mod tests {
         let mut ctrl = FrFcfsController::new();
         let mut line = [0u8; LINE_BYTES];
         line[7] = 0x99;
-        let w = MemRequest { id: 0, kind: RequestKind::Write { addr: 192, data: line }, arrival_cycle: 0 };
+        let w = MemRequest {
+            id: 0,
+            kind: RequestKind::Write {
+                addr: 192,
+                data: line,
+            },
+            arrival_cycle: 0,
+        };
         let mut api = f.api(vec![w, read_req(1, 192)]);
         ctrl.serve(&mut api);
         let ledger = api.into_ledger();
@@ -410,13 +430,19 @@ mod tests {
         // Nominal tRCD always reads correctly.
         let ok_req = MemRequest {
             id: 0,
-            kind: RequestKind::ProfileTrcd { addr: 0, trcd_ps: nominal },
+            kind: RequestKind::ProfileTrcd {
+                addr: 0,
+                trcd_ps: nominal,
+            },
             arrival_cycle: 0,
         };
         // A drastically reduced tRCD must fail.
         let bad_req = MemRequest {
             id: 1,
-            kind: RequestKind::ProfileTrcd { addr: 0, trcd_ps: 2_000 },
+            kind: RequestKind::ProfileTrcd {
+                addr: 0,
+                trcd_ps: 2_000,
+            },
             arrival_cycle: 0,
         };
         let mut api = f.api(vec![ok_req, bad_req]);
@@ -430,8 +456,7 @@ mod tests {
     fn trcd_plan_classifies_rows() {
         let f = Fix::new();
         let geo = f.dev.config().geometry.clone();
-        let plan =
-            TrcdPlan::from_variation(f.dev.variation(), &geo, geo.rows_per_bank, 9_000, 0);
+        let plan = TrcdPlan::from_variation(f.dev.variation(), &geo, geo.rows_per_bank, 9_000, 0);
         assert!(plan.weak_rows() > 0, "some rows must be weak");
         let mut strong = 0;
         let mut weak = 0;
@@ -474,19 +499,25 @@ mod tests {
     fn trcd_reduction_controller_uses_reduced_timing() {
         let mut f = Fix::new();
         let geo = f.dev.config().geometry.clone();
-        let plan =
-            TrcdPlan::from_variation(f.dev.variation(), &geo, geo.rows_per_bank, 9_000, 0);
+        let plan = TrcdPlan::from_variation(f.dev.variation(), &geo, geo.rows_per_bank, 9_000, 0);
         let mut ctrl = FrFcfsController::with_trcd_reduction(plan);
         // Find a strong row and read from it.
         let strong_row = (0..geo.rows_per_bank)
             .find(|&r| ctrl.trcd_plan().unwrap().trcd_for(0, r).is_some())
             .expect("a strong row exists");
-        let addr = f.map.to_phys(easydram_dram::DramAddress { bank: 0, row: strong_row, col: 0 });
+        let addr = f.map.to_phys(easydram_dram::DramAddress {
+            bank: 0,
+            row: strong_row,
+            col: 0,
+        });
         let mut api = f.api(vec![read_req(0, addr)]);
         let res = ctrl.serve(&mut api);
         assert_eq!(res.reduced_trcd_accesses, 1);
         let ledger = api.into_ledger();
-        assert!(!ledger.responses[0].corrupted, "strong row must read correctly at 9 ns");
+        assert!(
+            !ledger.responses[0].corrupted,
+            "strong row must read correctly at 9 ns"
+        );
     }
 
     #[test]
@@ -498,8 +529,16 @@ mod tests {
         f.dev = DramDevice::new(cfg);
         let pattern = vec![0xCDu8; 8192];
         f.dev.write_row(0, 1, &pattern);
-        let src_addr = f.map.to_phys(easydram_dram::DramAddress { bank: 0, row: 1, col: 0 });
-        let dst_addr = f.map.to_phys(easydram_dram::DramAddress { bank: 0, row: 2, col: 0 });
+        let src_addr = f.map.to_phys(easydram_dram::DramAddress {
+            bank: 0,
+            row: 1,
+            col: 0,
+        });
+        let dst_addr = f.map.to_phys(easydram_dram::DramAddress {
+            bank: 0,
+            row: 2,
+            col: 0,
+        });
         let req = MemRequest {
             id: 0,
             kind: RequestKind::RowClone { src_addr, dst_addr },

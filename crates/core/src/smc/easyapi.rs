@@ -9,9 +9,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use easydram_bender::{BenderProgram, BenderResult, Executor, TransferCost};
-use easydram_dram::{
-    AddressMapper, DramAddress, DramCommand, DramDevice, LINE_BYTES,
-};
+use easydram_dram::{AddressMapper, DramAddress, DramCommand, DramDevice, LINE_BYTES};
 
 use crate::costs::SmcCostModel;
 use crate::request::{MemRequest, MemResponse};
@@ -225,7 +223,11 @@ impl<'a> EasyApi<'a> {
     /// # Errors
     ///
     /// Returns an error when the command buffer is full.
-    pub fn ddr_activate(&mut self, bank: u32, row: u32) -> Result<(), easydram_bender::BenderError> {
+    pub fn ddr_activate(
+        &mut self,
+        bank: u32,
+        row: u32,
+    ) -> Result<(), easydram_bender::BenderError> {
         self.charge(self.costs.build_command);
         self.program.cmd_auto(DramCommand::Activate { bank, row })
     }
@@ -263,7 +265,8 @@ impl<'a> EasyApi<'a> {
         delay_ps: u64,
     ) -> Result<(), easydram_bender::BenderError> {
         self.charge(self.costs.build_command);
-        self.program.cmd_after(DramCommand::Read { bank, col }, delay_ps)
+        self.program
+            .cmd_after(DramCommand::Read { bank, col }, delay_ps)
     }
 
     /// Appends a `WR` at the earliest legal time (`ddr_write`).
@@ -278,7 +281,8 @@ impl<'a> EasyApi<'a> {
         data: [u8; LINE_BYTES],
     ) -> Result<(), easydram_bender::BenderError> {
         self.charge(self.costs.build_command);
-        self.program.cmd_auto(DramCommand::Write { bank, col, data })
+        self.program
+            .cmd_auto(DramCommand::Write { bank, col, data })
     }
 
     /// Appends a `REF` at the earliest legal time (`ddr_refresh`).
@@ -304,12 +308,21 @@ impl<'a> EasyApi<'a> {
         dst: DramAddress,
     ) -> Result<(), easydram_bender::BenderError> {
         self.charge(self.costs.build_rowclone);
-        self.program.cmd_auto(DramCommand::Activate { bank: src.bank, row: src.row })?;
+        self.program.cmd_auto(DramCommand::Activate {
+            bank: src.bank,
+            row: src.row,
+        })?;
         self.program
             .cmd_after(DramCommand::Precharge { bank: src.bank }, ROWCLONE_GAP_PS)?;
+        self.program.cmd_after(
+            DramCommand::Activate {
+                bank: dst.bank,
+                row: dst.row,
+            },
+            ROWCLONE_GAP_PS,
+        )?;
         self.program
-            .cmd_after(DramCommand::Activate { bank: dst.bank, row: dst.row }, ROWCLONE_GAP_PS)?;
-        self.program.cmd_auto(DramCommand::Precharge { bank: dst.bank })
+            .cmd_auto(DramCommand::Precharge { bank: dst.bank })
     }
 
     /// Number of commands staged in the command buffer.
@@ -366,7 +379,11 @@ impl<'a> EasyApi<'a> {
     /// Finalizes a response (`enqueue_response`, Table 2).
     pub fn enqueue_response(&mut self, id: u64, data: Option<[u8; LINE_BYTES]>, corrupted: bool) {
         self.charge(self.costs.enqueue_response);
-        self.ledger.responses.push(MemResponse { id, data, corrupted });
+        self.ledger.responses.push(MemResponse {
+            id,
+            data,
+            corrupted,
+        });
     }
 
     /// Pushes a request into the hardware FIFO (used by the system and by
@@ -437,15 +454,20 @@ impl<'a> EasyApi<'a> {
             self.ddr_activate(addr.bank, addr.row)?;
             if let Some(trcd) = trcd_override_ps {
                 self.charge(self.costs.build_command);
-                self.program
-                    .cmd_after(DramCommand::Write { bank: addr.bank, col: addr.col, data }, trcd)?;
+                self.program.cmd_after(
+                    DramCommand::Write {
+                        bank: addr.bank,
+                        col: addr.col,
+                        data,
+                    },
+                    trcd,
+                )?;
                 return Ok(outcome);
             }
         }
         self.ddr_write(addr.bank, addr.col, data)?;
         Ok(outcome)
     }
-
 }
 
 /// Row-buffer state a column access found.
@@ -465,7 +487,12 @@ mod tests {
     use crate::request::RequestKind;
     use easydram_dram::{DramConfig, MappingScheme};
 
-    fn fixtures() -> (DramDevice, Executor, AddressMapper, HashMap<u64, (u32, u32)>) {
+    fn fixtures() -> (
+        DramDevice,
+        Executor,
+        AddressMapper,
+        HashMap<u64, (u32, u32)>,
+    ) {
         let dev = DramDevice::new(DramConfig::small_for_tests());
         let geo = dev.config().geometry.clone();
         (
@@ -484,7 +511,17 @@ mod tests {
         costs: &'a SmcCostModel,
         transfer: &'a TransferCost,
     ) -> EasyApi<'a> {
-        EasyApi::new(dev, ex, map, remap, costs, transfer, 100_000_000, 0, VecDeque::new())
+        EasyApi::new(
+            dev,
+            ex,
+            map,
+            remap,
+            costs,
+            transfer,
+            100_000_000,
+            0,
+            VecDeque::new(),
+        )
     }
 
     #[test]
@@ -528,8 +565,16 @@ mod tests {
         let costs = SmcCostModel::default();
         let transfer = TransferCost::default();
         // Open row 5 of bank 0 so the second request is a hit.
-        let row5_addr = map.to_phys(DramAddress { bank: 0, row: 5, col: 0 });
-        let row9_addr = map.to_phys(DramAddress { bank: 0, row: 9, col: 0 });
+        let row5_addr = map.to_phys(DramAddress {
+            bank: 0,
+            row: 5,
+            col: 0,
+        });
+        let row9_addr = map.to_phys(DramAddress {
+            bank: 0,
+            row: 9,
+            col: 0,
+        });
         let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
         a.ddr_activate(0, 5).unwrap();
         a.flush_commands().unwrap();
@@ -545,7 +590,11 @@ mod tests {
         });
         a.receive_all();
         let pick = a.schedule_frfcfs().unwrap();
-        assert_eq!(a.request_table()[pick].id, 1, "FR-FCFS must pick the row hit");
+        assert_eq!(
+            a.request_table()[pick].id,
+            1,
+            "FR-FCFS must pick the row hit"
+        );
         // FCFS picks the oldest.
         let pick = a.schedule_fcfs().unwrap();
         assert_eq!(a.request_table()[pick].id, 0);
@@ -572,13 +621,24 @@ mod tests {
         let costs = SmcCostModel::default();
         let transfer = TransferCost::default();
         let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
-        let addr = DramAddress { bank: 0, row: 3, col: 1 };
+        let addr = DramAddress {
+            bank: 0,
+            row: 3,
+            col: 1,
+        };
         assert_eq!(a.read_sequence(addr, None).unwrap(), RowBufferOutcome::Miss);
         a.flush_commands().unwrap();
         assert_eq!(a.read_sequence(addr, None).unwrap(), RowBufferOutcome::Hit);
         a.flush_commands().unwrap();
-        let other = DramAddress { bank: 0, row: 4, col: 0 };
-        assert_eq!(a.read_sequence(other, None).unwrap(), RowBufferOutcome::Conflict);
+        let other = DramAddress {
+            bank: 0,
+            row: 4,
+            col: 0,
+        };
+        assert_eq!(
+            a.read_sequence(other, None).unwrap(),
+            RowBufferOutcome::Conflict
+        );
         a.flush_commands().unwrap();
     }
 
@@ -590,8 +650,16 @@ mod tests {
         let pattern = vec![0x5Au8; 8192];
         dev.write_row(0, 1, &pattern);
         let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
-        let src = DramAddress { bank: 0, row: 1, col: 0 };
-        let dst = DramAddress { bank: 0, row: 2, col: 0 };
+        let src = DramAddress {
+            bank: 0,
+            row: 1,
+            col: 0,
+        };
+        let dst = DramAddress {
+            bank: 0,
+            row: 2,
+            col: 0,
+        };
         a.rowclone(src, dst).unwrap();
         let result = a.flush_commands().unwrap();
         assert_eq!(result.rowclones.len(), 1);
@@ -608,7 +676,10 @@ mod tests {
         assert!(a.wall_now_ps() > w0, "rocket cycles advance the wall");
         a.ddr_activate(0, 0).unwrap();
         a.flush_commands().unwrap();
-        assert!(a.wall_now_ps() > w0 + 10_000, "bender time advances the wall");
+        assert!(
+            a.wall_now_ps() > w0 + 10_000,
+            "bender time advances the wall"
+        );
     }
 
     #[test]
@@ -619,7 +690,10 @@ mod tests {
         let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
         a.push_incoming(MemRequest {
             id: 3,
-            kind: RequestKind::ProfileTrcd { addr: 0, trcd_ps: 9_000 },
+            kind: RequestKind::ProfileTrcd {
+                addr: 0,
+                trcd_ps: 9_000,
+            },
             arrival_cycle: 0,
         });
         a.receive_all();

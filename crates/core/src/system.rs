@@ -157,7 +157,11 @@ impl Tile {
 
     /// Serves one request end-to-end and returns `(response data, corrupted,
     /// release cycle)`.
-    fn serve(&mut self, kind: RequestKind, issue_cycle: u64) -> (Option<[u8; LINE_BYTES]>, bool, u64) {
+    fn serve(
+        &mut self,
+        kind: RequestKind,
+        issue_cycle: u64,
+    ) -> (Option<[u8; LINE_BYTES]>, bool, u64) {
         let f_core = self.cfg.core.freq_hz;
         let mode = self.cfg.mode;
         let arrival_emul_ps = cycles_to_ps(issue_cycle, f_core);
@@ -165,7 +169,11 @@ impl Tile {
         let start_wall = self.wall_ps.max(base_wall);
         let id = self.next_req_id;
         self.next_req_id += 1;
-        let req = MemRequest { id, kind, arrival_cycle: issue_cycle };
+        let req = MemRequest {
+            id,
+            kind,
+            arrival_cycle: issue_cycle,
+        };
 
         if mode == TimingMode::TimeScaling {
             // Fig. 5 (b)-(c): tag, clock-gate, enter critical mode.
@@ -280,10 +288,12 @@ impl Tile {
             // counter; the response is tagged with its release cycle and the
             // processors resume.
             self.counters.advance_mc(release_cycle);
-            self.counters.advance_proc(issue_cycle.max(release_cycle.min(self.counters.mc_cycles)));
+            self.counters
+                .advance_proc(issue_cycle.max(release_cycle.min(self.counters.mc_cycles)));
             self.counters.exit_critical();
             let tile_period = 1_000_000_000_000 / self.cfg.fpga.tile_clk_hz;
-            self.counters.tick_global(ledger.rocket_cycles + ledger.hw_cycles);
+            self.counters
+                .tick_global(ledger.rocket_cycles + ledger.hw_cycles);
             let _ = tile_period;
         }
 
@@ -319,7 +329,9 @@ impl Tile {
         trcd_ps: u64,
         issue_cycle: u64,
     ) -> bool {
-        let addr = self.mapper.to_phys(easydram_dram::DramAddress { bank, row, col });
+        let addr = self
+            .mapper
+            .to_phys(easydram_dram::DramAddress { bank, row, col });
         let (_, corrupted, _) = self.serve(RequestKind::ProfileTrcd { addr, trcd_ps }, issue_cycle);
         !corrupted
     }
@@ -329,11 +341,20 @@ impl MemoryBackend for Tile {
     fn read_line(&mut self, line_addr: u64, issue_cycle: u64) -> LineFetch {
         let (data, _corrupted, release) =
             self.serve(RequestKind::Read { addr: line_addr }, issue_cycle);
-        LineFetch { data: data.expect("read returns data"), complete_cycle: release }
+        LineFetch {
+            data: data.expect("read returns data"),
+            complete_cycle: release,
+        }
     }
 
     fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
-        let (_, _, release) = self.serve(RequestKind::Write { addr: line_addr, data }, issue_cycle);
+        let (_, _, release) = self.serve(
+            RequestKind::Write {
+                addr: line_addr,
+                data,
+            },
+            issue_cycle,
+        );
         release
     }
 
@@ -355,7 +376,10 @@ impl MemoryBackend for Tile {
         dst_row_addr: u64,
         issue_cycle: u64,
     ) -> Option<RowCloneRequestResult> {
-        let key = (self.virtual_row(src_row_addr), self.virtual_row(dst_row_addr));
+        let key = (
+            self.virtual_row(src_row_addr),
+            self.virtual_row(dst_row_addr),
+        );
         let qualified = self.clonable.get(&key).copied().unwrap_or(false)
             || self.init_sources.get(&key.1) == Some(&key.0);
         if !qualified {
@@ -364,13 +388,22 @@ impl MemoryBackend for Tile {
             self.stats.rowclone_fallbacks += 1;
             let check = cycles_to_ps(self.cfg.smc_costs.bloom_check, self.cfg.mc_emul_hz);
             let done = issue_cycle + ps_to_cycles_round(check, self.cfg.core.freq_hz).max(1);
-            return Some(RowCloneRequestResult { complete_cycle: done, copied: false });
+            return Some(RowCloneRequestResult {
+                complete_cycle: done,
+                copied: false,
+            });
         }
         let (_, _, release) = self.serve(
-            RequestKind::RowClone { src_addr: src_row_addr, dst_addr: dst_row_addr },
+            RequestKind::RowClone {
+                src_addr: src_row_addr,
+                dst_addr: dst_row_addr,
+            },
             issue_cycle,
         );
-        Some(RowCloneRequestResult { complete_cycle: release, copied: true })
+        Some(RowCloneRequestResult {
+            complete_cycle: release,
+            copied: true,
+        })
     }
 
     fn rowclone_alloc_copy(&mut self, bytes: u64) -> Option<(u64, u64)> {
@@ -380,16 +413,21 @@ impl MemoryBackend for Tile {
         let dst_base = self.bump_alloc(n_rows * rb, rb);
         let plan = {
             let var = self.device.variation().clone();
-            self.allocator.plan_copy(&var, n_rows, src_base / rb, dst_base / rb)?
+            self.allocator
+                .plan_copy(&var, n_rows, src_base / rb, dst_base / rb)?
         };
         // Pool collision guard: remap rows live far above natural rows.
         let used = self.natural_rows_used();
         for b in 0..self.cfg.dram.geometry.banks() {
-            assert!(self.allocator.free_rows(b) > used, "remap pool collided with heap");
+            assert!(
+                self.allocator.free_rows(b) > used,
+                "remap pool collided with heap"
+            );
         }
         self.remap.extend(remap_table(&plan.remaps));
         for (i, &ok) in plan.clonable.iter().enumerate() {
-            self.clonable.insert((src_base / rb + i as u64, dst_base / rb + i as u64), ok);
+            self.clonable
+                .insert((src_base / rb + i as u64, dst_base / rb + i as u64), ok);
         }
         Some((src_base, dst_base))
     }
@@ -403,7 +441,8 @@ impl MemoryBackend for Tile {
         let src_base = self.bump_alloc(blocks * rb, rb);
         let plan = {
             let var = self.device.variation().clone();
-            self.allocator.plan_init(&var, n_rows, dst_base / rb, src_base / rb)?
+            self.allocator
+                .plan_init(&var, n_rows, dst_base / rb, src_base / rb)?
         };
         self.remap.extend(remap_table(&plan.remaps));
         for (j, src) in plan.sources.iter().enumerate() {
@@ -416,7 +455,9 @@ impl MemoryBackend for Tile {
     }
 
     fn rowclone_init_source(&mut self, dst_row_addr: u64) -> Option<u64> {
-        self.init_sources.get(&self.virtual_row(dst_row_addr)).map(|v| v * self.row_bytes)
+        self.init_sources
+            .get(&self.virtual_row(dst_row_addr))
+            .map(|v| v * self.row_bytes)
     }
 }
 
@@ -435,7 +476,9 @@ impl System {
     pub fn new(cfg: SystemConfig) -> Self {
         cfg.validate().expect("invalid system configuration");
         let core_cfg = cfg.core.clone();
-        Self { core: CoreModel::new(core_cfg, Tile::new(cfg)) }
+        Self {
+            core: CoreModel::new(core_cfg, Tile::new(cfg)),
+        }
     }
 
     /// The processor interface workloads run on.
@@ -518,7 +561,11 @@ impl System {
             emulated_seconds: emu_s,
             instructions: self.core.stats().instructions,
             fpga_wall_seconds: wall_s,
-            sim_speed_hz: if wall_s > 0.0 { cycles as f64 / wall_s } else { 0.0 },
+            sim_speed_hz: if wall_s > 0.0 {
+                cycles as f64 / wall_s
+            } else {
+                0.0
+            },
             mem_reads_per_kilo_cycle: self.core.stats().mem_reads_per_kilo_cycle(cycles),
             core: *self.core.stats(),
             l1: self.core.l1_stats(),
@@ -541,7 +588,11 @@ mod tests {
 
     #[test]
     fn data_round_trips_through_full_stack() {
-        for mode in [TimingMode::Reference, TimingMode::TimeScaling, TimingMode::NoTimeScaling] {
+        for mode in [
+            TimingMode::Reference,
+            TimingMode::TimeScaling,
+            TimingMode::NoTimeScaling,
+        ] {
             let mut s = sys(mode);
             let a = s.cpu().alloc(4096, 64);
             for i in 0..512u64 {
@@ -575,7 +626,10 @@ mod tests {
             diff * 100 <= reference.max(1),
             "TS ({ts}) must track Reference ({reference}) within 1%"
         );
-        assert!(reference > 50, "a 1.43 GHz core sees >50 cycles to DRAM, got {reference}");
+        assert!(
+            reference > 50,
+            "a 1.43 GHz core sees >50 cycles to DRAM, got {reference}"
+        );
     }
 
     #[test]
@@ -751,6 +805,9 @@ mod tests {
         };
         let with = run(&mut mk(true));
         let without = run(&mut mk(false));
-        assert!(with > without, "refresh must cost time: {with} vs {without}");
+        assert!(
+            with > without,
+            "refresh must cost time: {with} vs {without}"
+        );
     }
 }

@@ -2,9 +2,7 @@
 //! lifetimes, time-scaling counter behaviour under load, allocator stress,
 //! profiling-request semantics, and controller swapping.
 
-use easydram::{
-    FcfsController, System, SystemConfig, TimingMode,
-};
+use easydram::{FcfsController, System, SystemConfig, TimingMode};
 use easydram_cpu::{CpuApi, RowCloneStatus};
 use easydram_dram::MappingScheme;
 
@@ -32,7 +30,11 @@ fn every_mapping_scheme_round_trips_data() {
         }
         s.cpu().fence();
         for i in 0..2048u64 {
-            assert_eq!(s.cpu().load_u64(a + i * 8), i.rotate_left(17), "{scheme:?} word {i}");
+            assert_eq!(
+                s.cpu().load_u64(a + i * 8),
+                i.rotate_left(17),
+                "{scheme:?} word {i}"
+            );
         }
     }
 }
@@ -47,7 +49,10 @@ fn time_scaling_counters_track_request_traffic() {
     let c = *s.tile().counters();
     assert!(c.invariant_holds());
     assert!(!c.critical, "critical mode must end with each batch");
-    assert!(c.mc_cycles >= s.cpu().now_cycles() / 2, "MC counter tracks emulation");
+    assert!(
+        c.mc_cycles >= s.cpu().now_cycles() / 2,
+        "MC counter tracks emulation"
+    );
     assert!(c.global_cycles > 0, "global counter counts FPGA cycles");
 }
 
@@ -58,7 +63,11 @@ fn reference_mode_keeps_counters_idle() {
     for i in 0..16u64 {
         let _ = s.cpu().load_u64(a + i * 64);
     }
-    assert_eq!(s.tile().counters().mc_cycles, 0, "reference mode needs no time scaling");
+    assert_eq!(
+        s.tile().counters().mc_cycles,
+        0,
+        "reference mode needs no time scaling"
+    );
 }
 
 #[test]
@@ -116,11 +125,7 @@ fn rowclone_alloc_scales_to_many_rows() {
     assert_ne!(src, dst);
     assert!(!sources.is_empty());
     // All four regions are disjoint in virtual space.
-    let regions = [
-        (src, 96 * 8192u64),
-        (dst, 96 * 8192),
-        (init_dst, 64 * 8192),
-    ];
+    let regions = [(src, 96 * 8192u64), (dst, 96 * 8192), (init_dst, 64 * 8192)];
     for (i, &(a, la)) in regions.iter().enumerate() {
         for &(b, lb) in &regions[i + 1..] {
             assert!(a + la <= b || b + lb <= a, "regions overlap");
@@ -158,7 +163,11 @@ fn rowclone_row_requires_row_alignment_semantics() {
 
 #[test]
 fn profiling_requests_work_in_all_modes() {
-    for mode in [TimingMode::Reference, TimingMode::TimeScaling, TimingMode::NoTimeScaling] {
+    for mode in [
+        TimingMode::Reference,
+        TimingMode::TimeScaling,
+        TimingMode::NoTimeScaling,
+    ] {
         let mut s = sys(mode);
         let nominal = s.tile().device().timing().t_rcd_ps;
         let issue = s.cpu().now_cycles();
@@ -183,12 +192,21 @@ fn report_window_accounts_are_consistent() {
     let r = s.report("consistency");
     assert_eq!(r.mode, TimingMode::TimeScaling);
     assert!(r.emulated_seconds > 0.0);
-    assert!(r.fpga_wall_seconds > r.emulated_seconds, "25 MHz FPGA is slower than 1.43 GHz");
+    assert!(
+        r.fpga_wall_seconds > r.emulated_seconds,
+        "25 MHz FPGA is slower than 1.43 GHz"
+    );
     assert!(r.sim_speed_hz > 0.0);
     assert!(r.ipc() > 0.0);
     let smc = r.smc;
-    assert_eq!(smc.serve.served, smc.requests, "every request is served exactly once");
-    assert!(smc.rocket_cycles > smc.requests * 10, "API calls cost cycles");
+    assert_eq!(
+        smc.serve.served, smc.requests,
+        "every request is served exactly once"
+    );
+    assert!(
+        smc.rocket_cycles > smc.requests * 10,
+        "API calls cost cycles"
+    );
 }
 
 #[test]
@@ -209,7 +227,10 @@ fn emulated_latency_is_independent_of_fpga_clock_under_ts() {
     let (cycles_fast, wall_fast) = run(100_000_000);
     let (cycles_slow, wall_slow) = run(50_000_000);
     let drift = cycles_fast.abs_diff(cycles_slow) as f64 / cycles_fast as f64;
-    assert!(drift < 0.02, "emulated cycles must not track the FPGA clock: {drift}");
+    assert!(
+        drift < 0.02,
+        "emulated cycles must not track the FPGA clock: {drift}"
+    );
     assert!(wall_slow > wall_fast, "wall time must track the FPGA clock");
 }
 
@@ -243,7 +264,11 @@ fn device_violations_only_from_techniques() {
         s.cpu().store_u64(a + i * 64, i);
     }
     s.cpu().fence();
-    assert_eq!(s.tile().device().stats().violations, 0, "normal traffic is compliant");
+    assert_eq!(
+        s.tile().device().stats().violations,
+        0,
+        "normal traffic is compliant"
+    );
     let mut cfg = SystemConfig::small_for_tests(TimingMode::TimeScaling);
     cfg.dram.variation = easydram_dram::VariationConfig::ideal();
     cfg.rowclone_test_trials = 5;

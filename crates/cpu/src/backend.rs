@@ -97,7 +97,10 @@ mod tests {
     struct Nop(u64);
     impl MemoryBackend for Nop {
         fn read_line(&mut self, _: u64, issue_cycle: u64) -> LineFetch {
-            LineFetch { data: [0; LINE_BYTES], complete_cycle: issue_cycle }
+            LineFetch {
+                data: [0; LINE_BYTES],
+                complete_cycle: issue_cycle,
+            }
         }
         fn write_line(&mut self, _: u64, _: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
             issue_cycle

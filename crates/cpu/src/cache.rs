@@ -17,19 +17,31 @@ impl CacheConfig {
     /// 32 KiB, 4-way, 4-cycle L1D (Cortex-A57-class).
     #[must_use]
     pub fn l1d_32k() -> Self {
-        Self { size_bytes: 32 * 1024, ways: 4, hit_latency_cycles: 4 }
+        Self {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            hit_latency_cycles: 4,
+        }
     }
 
     /// 512 KiB, 16-way, 21-cycle L2 (the EasyDRAM system's L2, paper §6).
     #[must_use]
     pub fn l2_512k() -> Self {
-        Self { size_bytes: 512 * 1024, ways: 16, hit_latency_cycles: 21 }
+        Self {
+            size_bytes: 512 * 1024,
+            ways: 16,
+            hit_latency_cycles: 21,
+        }
     }
 
     /// 2 MiB, 16-way L2 (the Jetson Nano's actual L2, for comparison runs).
     #[must_use]
     pub fn l2_2m() -> Self {
-        Self { size_bytes: 2 * 1024 * 1024, ways: 16, hit_latency_cycles: 21 }
+        Self {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            hit_latency_cycles: 21,
+        }
     }
 
     /// Number of sets.
@@ -61,7 +73,13 @@ struct Line {
 
 impl Default for Line {
     fn default() -> Self {
-        Self { tag: 0, valid: false, dirty: false, lru: 0, data: [0; LINE_BYTES] }
+        Self {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            lru: 0,
+            data: [0; LINE_BYTES],
+        }
     }
 }
 
@@ -108,7 +126,10 @@ impl Cache {
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
         let n_sets = cfg.sets();
-        assert!(n_sets.is_power_of_two(), "set count {n_sets} must be a power of two");
+        assert!(
+            n_sets.is_power_of_two(),
+            "set count {n_sets} must be a power of two"
+        );
         Self {
             sets: vec![Line::default(); (n_sets * cfg.ways) as usize],
             n_sets,
@@ -138,7 +159,8 @@ impl Cache {
 
     fn find(&mut self, line_addr: u64) -> Option<usize> {
         let (base, tag) = self.set_of(line_addr);
-        (base..base + self.cfg.ways as usize).find(|&i| self.sets[i].valid && self.sets[i].tag == tag)
+        (base..base + self.cfg.ways as usize)
+            .find(|&i| self.sets[i].valid && self.sets[i].tag == tag)
     }
 
     /// Looks up a line, updating LRU and hit/miss statistics.
@@ -164,8 +186,7 @@ impl Cache {
     #[must_use]
     pub fn contains(&self, line_addr: u64) -> bool {
         let (base, tag) = self.set_of(line_addr);
-        (base..base + self.cfg.ways as usize)
-            .any(|i| self.sets[i].valid && self.sets[i].tag == tag)
+        (base..base + self.cfg.ways as usize).any(|i| self.sets[i].valid && self.sets[i].tag == tag)
     }
 
     /// Overwrites bytes within a resident line and marks it dirty.
@@ -217,10 +238,13 @@ impl Cache {
         }
         let evicted = if self.sets[victim].valid && self.sets[victim].tag != tag {
             let v = &self.sets[victim];
-            let victim_addr = (v.tag * u64::from(self.n_sets)
-                + (line_addr >> 6) % u64::from(self.n_sets))
-                << 6;
-            let ev = Eviction { line_addr: victim_addr, data: v.data, dirty: v.dirty };
+            let victim_addr =
+                (v.tag * u64::from(self.n_sets) + (line_addr >> 6) % u64::from(self.n_sets)) << 6;
+            let ev = Eviction {
+                line_addr: victim_addr,
+                data: v.data,
+                dirty: v.dirty,
+            };
             if ev.dirty {
                 self.stats.dirty_evictions += 1;
             }
@@ -228,7 +252,13 @@ impl Cache {
         } else {
             None
         };
-        self.sets[victim] = Line { tag, valid: true, dirty, lru: tick, data };
+        self.sets[victim] = Line {
+            tag,
+            valid: true,
+            dirty,
+            lru: tick,
+            data,
+        };
         evicted
     }
 
@@ -237,7 +267,11 @@ impl Cache {
         let i = self.find(line_addr)?;
         let line = &mut self.sets[i];
         line.valid = false;
-        Some(Eviction { line_addr, data: line.data, dirty: line.dirty })
+        Some(Eviction {
+            line_addr,
+            data: line.data,
+            dirty: line.dirty,
+        })
     }
 
     /// Iterates over every valid line as `(line_addr, data, dirty)`,
@@ -276,7 +310,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 8 sets x 2 ways x 64B = 1 KiB
-        Cache::new(CacheConfig { size_bytes: 1024, ways: 2, hit_latency_cycles: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            hit_latency_cycles: 2,
+        })
     }
 
     fn line(v: u8) -> [u8; LINE_BYTES] {
@@ -332,7 +370,10 @@ mod tests {
     fn reinsertion_updates_in_place() {
         let mut c = tiny();
         c.insert(0x0000, line(1), false);
-        assert!(c.insert(0x0000, line(4), true).is_none(), "same line: no eviction");
+        assert!(
+            c.insert(0x0000, line(4), true).is_none(),
+            "same line: no eviction"
+        );
         assert_eq!(c.lookup(0x0000), Some(line(4)));
         assert_eq!(c.resident_lines(), 1);
     }
@@ -364,7 +405,11 @@ mod tests {
     #[test]
     fn set_count_power_of_two_enforced() {
         let r = std::panic::catch_unwind(|| {
-            Cache::new(CacheConfig { size_bytes: 960, ways: 2, hit_latency_cycles: 1 })
+            Cache::new(CacheConfig {
+                size_bytes: 960,
+                ways: 2,
+                hit_latency_cycles: 1,
+            })
         });
         assert!(r.is_err());
     }

@@ -84,7 +84,11 @@ impl CoreConfig {
             compute_ipc: 1.0,
             mshrs: 8,
             l1: None,
-            l2: Some(CacheConfig { size_bytes: 512 * 1024, ways: 8, hit_latency_cycles: 18 }),
+            l2: Some(CacheConfig {
+                size_bytes: 512 * 1024,
+                ways: 8,
+                hit_latency_cycles: 18,
+            }),
             issue_cost_cycles: 1,
             clflush_cost_cycles: 4,
             // Software simulation does not model the MMIO driver interface.

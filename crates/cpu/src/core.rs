@@ -178,7 +178,9 @@ impl<B: MemoryBackend> CoreModel<B> {
     fn promote_to_l1(&mut self, line_addr: u64, data: [u8; LINE_BYTES], dirty: bool) {
         let now = self.now;
         let Some(l1) = &mut self.l1 else { return };
-        let Some(ev) = l1.insert(line_addr, data, dirty) else { return };
+        let Some(ev) = l1.insert(line_addr, data, dirty) else {
+            return;
+        };
         if !ev.dirty {
             return; // clean victims are dropped; L2/DRAM still hold them
         }
@@ -456,8 +458,14 @@ mod tests {
     #[test]
     fn mshr_limit_bounds_overlap() {
         // With bandwidth-limited memory, 1 MSHR must be slower than 6.
-        let cfg1 = CoreConfig { mshrs: 1, ..CoreConfig::cortex_a57() };
-        let cfg6 = CoreConfig { mshrs: 6, ..CoreConfig::cortex_a57() };
+        let cfg1 = CoreConfig {
+            mshrs: 1,
+            ..CoreConfig::cortex_a57()
+        };
+        let cfg6 = CoreConfig {
+            mshrs: 6,
+            ..CoreConfig::cortex_a57()
+        };
         let mut c1 = CoreModel::new(cfg1, FixedLatencyBackend::with_bandwidth(MEM_LAT, 10));
         let mut c6 = CoreModel::new(cfg6, FixedLatencyBackend::with_bandwidth(MEM_LAT, 10));
         for (c, out) in [(&mut c1, 0usize), (&mut c6, 1)] {
@@ -550,7 +558,10 @@ mod tests {
 
     #[test]
     fn compute_carry_accumulates() {
-        let cfg = CoreConfig { compute_ipc: 3.0, ..CoreConfig::cortex_a57() };
+        let cfg = CoreConfig {
+            compute_ipc: 3.0,
+            ..CoreConfig::cortex_a57()
+        };
         let mut c = CoreModel::new(cfg, FixedLatencyBackend::new(1));
         for _ in 0..3 {
             c.compute(1);
@@ -568,8 +579,10 @@ mod tests {
 
     #[test]
     fn llc_only_hierarchy_works() {
-        let mut c =
-            CoreModel::new(CoreConfig::ramulator_ooo(), FixedLatencyBackend::new(MEM_LAT));
+        let mut c = CoreModel::new(
+            CoreConfig::ramulator_ooo(),
+            FixedLatencyBackend::new(MEM_LAT),
+        );
         let a = c.alloc(4096, 64);
         c.store_u64(a, 9);
         assert_eq!(c.load_u64(a), 9);

@@ -55,7 +55,10 @@ impl MemoryBackend for FixedLatencyBackend {
         self.reads += 1;
         let complete_cycle = self.schedule(issue_cycle);
         let data = *self.mem.entry(line_addr & !63).or_insert([0; LINE_BYTES]);
-        LineFetch { data, complete_cycle }
+        LineFetch {
+            data,
+            complete_cycle,
+        }
     }
 
     fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {

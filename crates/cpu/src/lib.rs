@@ -40,13 +40,13 @@ pub mod stats;
 pub mod workload;
 
 pub use api::{CpuApi, RowCloneStatus};
-pub use workload::Workload;
 pub use backend::{LineFetch, MemoryBackend, RowCloneRequestResult};
 pub use cache::{Cache, CacheConfig, Eviction};
 pub use config::CoreConfig;
 pub use core::CoreModel;
 pub use fixed::FixedLatencyBackend;
 pub use stats::CoreStats;
+pub use workload::Workload;
 
 /// Cache-line size in bytes, shared with the DRAM substrate.
 pub const LINE_BYTES: usize = 64;

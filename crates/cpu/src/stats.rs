@@ -73,7 +73,11 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = CoreStats { instructions: 2000, mem_reads: 4, ..CoreStats::default() };
+        let s = CoreStats {
+            instructions: 2000,
+            mem_reads: 4,
+            ..CoreStats::default()
+        };
         assert!((s.mem_reads_per_kilo_instr() - 2.0).abs() < 1e-9);
         assert!((s.mem_reads_per_kilo_cycle(1000) - 4.0).abs() < 1e-9);
         assert_eq!(CoreStats::default().mem_reads_per_kilo_instr(), 0.0);

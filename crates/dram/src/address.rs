@@ -27,7 +27,11 @@ impl DramAddress {
 
 impl std::fmt::Display for DramAddress {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "<bank {}, row {}, col {}>", self.bank, self.row, self.col)
+        write!(
+            f,
+            "<bank {}, row {}, col {}>",
+            self.bank, self.row, self.col
+        )
     }
 }
 
@@ -68,7 +72,9 @@ impl AddressMapper {
     /// power-of-two dimensions.
     #[must_use]
     pub fn new(geometry: Geometry, scheme: MappingScheme) -> Self {
-        geometry.validate().expect("address mapper requires a valid geometry");
+        geometry
+            .validate()
+            .expect("address mapper requires a valid geometry");
         Self { geometry, scheme }
     }
 
@@ -140,7 +146,11 @@ impl AddressMapper {
                 (bank ^ (row % banks), row, col)
             }
         };
-        DramAddress { bank: bank as u32, row: row as u32, col: col as u32 }
+        DramAddress {
+            bank: bank as u32,
+            row: row as u32,
+            col: col as u32,
+        }
     }
 
     /// Translates a DRAM coordinate back to the canonical physical byte
@@ -151,9 +161,21 @@ impl AddressMapper {
     /// Panics if any coordinate is outside the geometry.
     #[must_use]
     pub fn to_phys(&self, addr: DramAddress) -> u64 {
-        assert!(addr.bank < self.geometry.banks(), "bank {} out of range", addr.bank);
-        assert!(addr.row < self.geometry.rows_per_bank, "row {} out of range", addr.row);
-        assert!(addr.col < self.geometry.cols_per_row(), "col {} out of range", addr.col);
+        assert!(
+            addr.bank < self.geometry.banks(),
+            "bank {} out of range",
+            addr.bank
+        );
+        assert!(
+            addr.row < self.geometry.rows_per_bank,
+            "row {} out of range",
+            addr.row
+        );
+        assert!(
+            addr.col < self.geometry.cols_per_row(),
+            "col {} out of range",
+            addr.col
+        );
         let cols = u64::from(self.geometry.cols_per_row());
         let banks = u64::from(self.geometry.banks());
         let rows = u64::from(self.geometry.rows_per_bank);
@@ -186,7 +208,10 @@ impl AddressMapper {
     /// [`MappingScheme::BankRowCol`]).
     #[must_use]
     pub fn rows_are_contiguous(&self) -> bool {
-        !matches!(self.scheme, MappingScheme::RowColBank | MappingScheme::RowColBankXor)
+        !matches!(
+            self.scheme,
+            MappingScheme::RowColBank | MappingScheme::RowColBankXor
+        )
     }
 
     /// Under XOR hashing, row-aligned address offsets land in different
@@ -208,9 +233,9 @@ mod tests {
             MappingScheme::BankRowCol,
             MappingScheme::RowColBankXor,
         ]
-            .into_iter()
-            .map(|s| AddressMapper::new(Geometry::default(), s))
-            .collect()
+        .into_iter()
+        .map(|s| AddressMapper::new(Geometry::default(), s))
+        .collect()
     }
 
     #[test]
@@ -253,8 +278,8 @@ mod tests {
     #[test]
     fn bank_row_col_is_contiguous_per_bank() {
         let m = AddressMapper::new(Geometry::default(), MappingScheme::BankRowCol);
-        let bank_span = u64::from(Geometry::default().rows_per_bank)
-            * u64::from(Geometry::default().row_bytes);
+        let bank_span =
+            u64::from(Geometry::default().rows_per_bank) * u64::from(Geometry::default().row_bytes);
         assert_eq!(m.to_dram(0).bank, 0);
         assert_eq!(m.to_dram(bank_span).bank, 1);
     }
@@ -269,7 +294,10 @@ mod tests {
         let same = (0..64u64)
             .filter(|i| m.to_dram(i * 64).bank == m.to_dram(i * 64 + row_span).bank)
             .count();
-        assert!(same < 16, "XOR hash should separate streams, {same}/64 collide");
+        assert!(
+            same < 16,
+            "XOR hash should separate streams, {same}/64 collide"
+        );
     }
 
     #[test]

@@ -134,8 +134,11 @@ impl RankTiming {
                 let group = self.geometry.group_of(bank) as usize;
                 for (g, &(time, valid)) in self.last_act_by_group.iter().enumerate() {
                     if valid {
-                        let spacing =
-                            if g == group { t.t_rrd_l_ps } else { t.t_rrd_s_ps };
+                        let spacing = if g == group {
+                            t.t_rrd_l_ps
+                        } else {
+                            t.t_rrd_s_ps
+                        };
                         earliest = earliest.max(time + spacing);
                     }
                 }
@@ -191,9 +194,15 @@ impl RankTiming {
     /// and data-bus burst occupancy).
     fn col_earliest(&self, bank: u32, is_write: bool) -> u64 {
         let t = &self.timing;
-        let Some((when, was_write, group)) = self.last_col else { return 0 };
+        let Some((when, was_write, group)) = self.last_col else {
+            return 0;
+        };
         let same_group = group == self.geometry.group_of(bank);
-        let ccd = if same_group { t.t_ccd_l_ps } else { t.t_ccd_s_ps };
+        let ccd = if same_group {
+            t.t_ccd_l_ps
+        } else {
+            t.t_ccd_s_ps
+        };
         let mut earliest = when + ccd.max(t.t_burst_ps);
         if was_write && !is_write {
             // Write-to-read turnaround: from the end of write data.
@@ -298,15 +307,27 @@ impl RankTiming {
                 if let Some((when, was_write, group)) = self.last_col {
                     let same = group == self.geometry.group_of(bank);
                     let ccd = if same { t.t_ccd_l_ps } else { t.t_ccd_s_ps };
-                    let rule = if same { TimingRule::TccdL } else { TimingRule::TccdS };
+                    let rule = if same {
+                        TimingRule::TccdL
+                    } else {
+                        TimingRule::TccdS
+                    };
                     push(&mut v, rule, when + ccd.max(t.t_burst_ps));
                     if was_write && !is_write {
-                        push(&mut v, TimingRule::Twtr, when + t.t_cwl_ps + t.t_burst_ps + t.t_wtr_ps);
+                        push(
+                            &mut v,
+                            TimingRule::Twtr,
+                            when + t.t_cwl_ps + t.t_burst_ps + t.t_wtr_ps,
+                        );
                     }
                 }
             }
             DramCommand::Refresh => {
-                if self.banks.iter().any(|b| matches!(b.state, BankState::Active { .. })) {
+                if self
+                    .banks
+                    .iter()
+                    .any(|b| matches!(b.state, BankState::Active { .. }))
+                {
                     v.push(TimingViolation {
                         rule: TimingRule::RefWithOpenRows,
                         earliest_legal_ps: now_ps,
@@ -402,8 +423,13 @@ mod tests {
     #[test]
     fn fresh_rank_accepts_activate() {
         let r = rank();
-        assert!(r.check(&DramCommand::Activate { bank: 0, row: 1 }, 0).is_empty());
-        assert_eq!(r.earliest_issue_ps(&DramCommand::Activate { bank: 0, row: 1 }), 0);
+        assert!(r
+            .check(&DramCommand::Activate { bank: 0, row: 1 }, 0)
+            .is_empty());
+        assert_eq!(
+            r.earliest_issue_ps(&DramCommand::Activate { bank: 0, row: 1 }),
+            0
+        );
     }
 
     #[test]
@@ -460,7 +486,13 @@ mod tests {
         let t = TimingParams::ddr4_1333();
         let mut now = 0;
         for (i, bank) in [0u32, 4, 8, 12].iter().enumerate() {
-            r.apply(&DramCommand::Activate { bank: *bank, row: 0 }, now);
+            r.apply(
+                &DramCommand::Activate {
+                    bank: *bank,
+                    row: 0,
+                },
+                now,
+            );
             now += t.t_rrd_s_ps;
             let _ = i;
         }
@@ -494,7 +526,10 @@ mod tests {
         let v = r.check(&DramCommand::Read { bank: 0, col: 1 }, t.t_rcd_ps + 1_000);
         assert!(v.iter().any(|x| x.rule == TimingRule::TccdL));
         // After tCCD_L it is fine.
-        let v = r.check(&DramCommand::Read { bank: 0, col: 1 }, t.t_rcd_ps + t.t_ccd_l_ps);
+        let v = r.check(
+            &DramCommand::Read { bank: 0, col: 1 },
+            t.t_rcd_ps + t.t_ccd_l_ps,
+        );
         assert!(v.is_empty());
     }
 
@@ -504,7 +539,14 @@ mod tests {
         let t = TimingParams::ddr4_1333();
         r.apply(&DramCommand::Activate { bank: 0, row: 0 }, 0);
         let wr_at = t.t_rcd_ps;
-        r.apply(&DramCommand::Write { bank: 0, col: 0, data: [0; 64] }, wr_at);
+        r.apply(
+            &DramCommand::Write {
+                bank: 0,
+                col: 0,
+                data: [0; 64],
+            },
+            wr_at,
+        );
         let too_soon = wr_at + t.t_ccd_l_ps;
         let v = r.check(&DramCommand::Read { bank: 0, col: 1 }, too_soon);
         assert!(v.iter().any(|x| x.rule == TimingRule::Twtr));

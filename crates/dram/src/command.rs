@@ -107,7 +107,11 @@ mod tests {
         assert_eq!(act.to_string(), "ACT b1 r42");
         assert_eq!(act.mnemonic(), "ACT");
         assert_eq!(DramCommand::Refresh.mnemonic(), "REF");
-        let wr = DramCommand::Write { bank: 0, col: 5, data: [0; LINE_BYTES] };
+        let wr = DramCommand::Write {
+            bank: 0,
+            col: 5,
+            data: [0; LINE_BYTES],
+        };
         assert_eq!(wr.to_string(), "WR b0 c5");
         assert!(wr.is_column());
         assert!(!DramCommand::PrechargeAll.is_column());

@@ -209,7 +209,11 @@ impl DramDevice {
     /// Panics if `bytes` is not exactly one row long.
     pub fn write_row(&mut self, bank: u32, row: u32, bytes: &[u8]) {
         let row_bytes = self.cfg.geometry.row_bytes as usize;
-        assert_eq!(bytes.len(), row_bytes, "row write must be exactly {row_bytes} bytes");
+        assert_eq!(
+            bytes.len(),
+            row_bytes,
+            "row write must be exactly {row_bytes} bytes"
+        );
         let now = self.now_ps;
         let entry = self.row_entry(bank, row);
         entry.bytes.copy_from_slice(bytes);
@@ -262,7 +266,10 @@ impl DramDevice {
                 let src = h.to_le_bytes();
                 chunk.copy_from_slice(&src[..chunk.len()]);
             }
-            RowData { bytes, last_restore_ps: 0 }
+            RowData {
+                bytes,
+                last_restore_ps: 0,
+            }
         })
     }
 
@@ -369,13 +376,21 @@ impl DramDevice {
         let violations = self.rank.check(&cmd, now_ps);
         self.stats.violations += violations.len() as u64;
         self.now_ps = now_ps;
-        let mut out = CmdOutcome { violations, completion_ps: now_ps, ..CmdOutcome::default() };
+        let mut out = CmdOutcome {
+            violations,
+            completion_ps: now_ps,
+            ..CmdOutcome::default()
+        };
         match cmd {
             DramCommand::Activate { bank, row } => {
                 self.stats.activates += 1;
                 out.completion_ps = now_ps + self.cfg.timing.t_rcd_ps;
                 // Implicit data loss if ACT lands on an open bank.
-                if out.violations.iter().any(|v| v.rule == TimingRule::BankOpen) {
+                if out
+                    .violations
+                    .iter()
+                    .any(|v| v.rule == TimingRule::BankOpen)
+                {
                     self.row_buffers[bank as usize] = None;
                 }
                 let track = self.rank.bank(bank);
@@ -395,8 +410,12 @@ impl DramDevice {
                 } else {
                     let decayed = self.apply_retention_decay(bank, row);
                     let data = self.row_entry(bank, row).bytes.clone();
-                    self.row_buffers[bank as usize] =
-                        Some(RowBuffer { row, data, act_ps: now_ps, dirty: false });
+                    self.row_buffers[bank as usize] = Some(RowBuffer {
+                        row,
+                        data,
+                        act_ps: now_ps,
+                        dirty: false,
+                    });
                     let _ = decayed;
                 }
                 self.rank.apply(&cmd, now_ps);
@@ -445,13 +464,7 @@ impl DramDevice {
         out
     }
 
-    fn perform_rowclone(
-        &mut self,
-        bank: u32,
-        src: u32,
-        dst: u32,
-        now_ps: u64,
-    ) -> RowCloneOutcome {
+    fn perform_rowclone(&mut self, bank: u32, src: u32, dst: u32, now_ps: u64) -> RowCloneOutcome {
         self.stats.rowclone_attempts += 1;
         let nonce = self.next_nonce();
         let seed = self.cfg.variation.seed;
@@ -471,13 +484,24 @@ impl DramDevice {
         }
         dst_entry.last_restore_ps = dst_entry_now;
         let data = dst_entry.bytes.clone();
-        self.row_buffers[bank as usize] =
-            Some(RowBuffer { row: dst, data, act_ps: now_ps, dirty: false });
-        RowCloneOutcome { bank, src_row: src, dst_row: dst, success }
+        self.row_buffers[bank as usize] = Some(RowBuffer {
+            row: dst,
+            data,
+            act_ps: now_ps,
+            dirty: false,
+        });
+        RowCloneOutcome {
+            bank,
+            src_row: src,
+            dst_row: dst,
+            success,
+        }
     }
 
     fn precharge_bank(&mut self, bank: u32, now_ps: u64, violations: &[TimingViolation]) {
-        let Some(buf) = self.row_buffers[bank as usize].take() else { return };
+        let Some(buf) = self.row_buffers[bank as usize].take() else {
+            return;
+        };
         if !buf.dirty {
             // Clean close: the array already holds this data (restoration of
             // a recently-activated row survives an early PRE).
@@ -569,8 +593,10 @@ mod tests {
 
     /// ACT + RD with legal timing, returning (outcome, completion time).
     fn read_legal(dev: &mut DramDevice, bank: u32, row: u32, col: u32, at: u64) -> CmdOutcome {
-        dev.issue_checked(DramCommand::Activate { bank, row }, at).unwrap();
-        dev.issue_checked(DramCommand::Read { bank, col }, at + t().t_rcd_ps).unwrap()
+        dev.issue_checked(DramCommand::Activate { bank, row }, at)
+            .unwrap();
+        dev.issue_checked(DramCommand::Read { bank, col }, at + t().t_rcd_ps)
+            .unwrap()
     }
 
     #[test]
@@ -599,14 +625,26 @@ mod tests {
     fn write_then_precharge_then_read_round_trips() {
         let mut d = dev();
         let timing = t();
-        d.issue_checked(DramCommand::Activate { bank: 0, row: 2 }, 0).unwrap();
+        d.issue_checked(DramCommand::Activate { bank: 0, row: 2 }, 0)
+            .unwrap();
         let mut line = [0x5Au8; LINE_BYTES];
         line[10] = 0x10;
         let wr_at = timing.t_rcd_ps;
-        d.issue_checked(DramCommand::Write { bank: 0, col: 4, data: line }, wr_at).unwrap();
+        d.issue_checked(
+            DramCommand::Write {
+                bank: 0,
+                col: 4,
+                data: line,
+            },
+            wr_at,
+        )
+        .unwrap();
         let pre_at = wr_at + timing.t_cwl_ps + timing.t_burst_ps + timing.t_wr_ps;
-        d.issue_checked(DramCommand::Precharge { bank: 0 }, pre_at.max(timing.t_ras_ps))
-            .unwrap();
+        d.issue_checked(
+            DramCommand::Precharge { bank: 0 },
+            pre_at.max(timing.t_ras_ps),
+        )
+        .unwrap();
         assert_eq!(d.line_data(0, 2, 4), line);
         // Re-open and read back through the DRAM path.
         let act2 = pre_at.max(timing.t_ras_ps) + timing.t_rp_ps;
@@ -617,10 +655,15 @@ mod tests {
     #[test]
     fn checked_rejects_trcd_violation_raw_executes_it() {
         let mut d = dev();
-        d.issue_checked(DramCommand::Activate { bank: 0, row: 1 }, 0).unwrap();
-        let err = d.issue_checked(DramCommand::Read { bank: 0, col: 0 }, 5_000).unwrap_err();
+        d.issue_checked(DramCommand::Activate { bank: 0, row: 1 }, 0)
+            .unwrap();
+        let err = d
+            .issue_checked(DramCommand::Read { bank: 0, col: 0 }, 5_000)
+            .unwrap_err();
         assert!(matches!(err, DramError::Timing(v) if v.rule == TimingRule::Trcd));
-        let out = d.issue_raw(DramCommand::Read { bank: 0, col: 0 }, 5_000).unwrap();
+        let out = d
+            .issue_raw(DramCommand::Read { bank: 0, col: 0 }, 5_000)
+            .unwrap();
         assert!(out.violations.iter().any(|v| v.rule == TimingRule::Trcd));
         assert_eq!(d.stats().reduced_trcd_reads, 1);
     }
@@ -632,8 +675,11 @@ mod tests {
         let mut line = [0x77u8; LINE_BYTES];
         line[1] = 0x42;
         d.write_line(0, 1, 0, &line);
-        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, 0).unwrap();
-        let out = d.issue_raw(DramCommand::Read { bank: 0, col: 0 }, min).unwrap();
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, 0)
+            .unwrap();
+        let out = d
+            .issue_raw(DramCommand::Read { bank: 0, col: 0 }, min)
+            .unwrap();
         assert_eq!(out.read_data, Some(line));
         assert!(!out.read_corrupted);
     }
@@ -644,9 +690,12 @@ mod tests {
         let min = d.variation().line_min_trcd_ps(0, 1, 0);
         let line = [0x33u8; LINE_BYTES];
         d.write_line(0, 1, 0, &line);
-        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, 0).unwrap();
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, 0)
+            .unwrap();
         let applied = min - d.variation().config().flaky_band_ps - 100;
-        let out = d.issue_raw(DramCommand::Read { bank: 0, col: 0 }, applied).unwrap();
+        let out = d
+            .issue_raw(DramCommand::Read { bank: 0, col: 0 }, applied)
+            .unwrap();
         assert!(out.read_corrupted);
         assert_ne!(out.read_data, Some(line));
         // The array itself is unharmed.
@@ -662,14 +711,22 @@ mod tests {
         d.write_row(0, 3, &pattern);
         let timing = t();
         // Fully open + restore src first (legal ACT), then the clone sequence:
-        d.issue_raw(DramCommand::Activate { bank: 0, row: 3 }, 0).unwrap();
-        d.issue_raw(DramCommand::Precharge { bank: 0 }, timing.t_ras_ps).unwrap();
-        d.issue_raw(DramCommand::Activate { bank: 0, row: 3 }, timing.t_ras_ps + timing.t_rp_ps)
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 3 }, 0)
             .unwrap();
+        d.issue_raw(DramCommand::Precharge { bank: 0 }, timing.t_ras_ps)
+            .unwrap();
+        d.issue_raw(
+            DramCommand::Activate { bank: 0, row: 3 },
+            timing.t_ras_ps + timing.t_rp_ps,
+        )
+        .unwrap();
         let base = timing.t_ras_ps + timing.t_rp_ps;
         // RowClone: PRE then ACT(dst) with tiny gaps.
-        d.issue_raw(DramCommand::Precharge { bank: 0 }, base + 3_000).unwrap();
-        let out = d.issue_raw(DramCommand::Activate { bank: 0, row: 9 }, base + 6_000).unwrap();
+        d.issue_raw(DramCommand::Precharge { bank: 0 }, base + 3_000)
+            .unwrap();
+        let out = d
+            .issue_raw(DramCommand::Activate { bank: 0, row: 9 }, base + 6_000)
+            .unwrap();
         let rc = out.rowclone.expect("should recognize rowclone");
         assert!(rc.success);
         assert_eq!((rc.src_row, rc.dst_row), (3, 9));
@@ -690,9 +747,13 @@ mod tests {
         let dst = sub + 1; // different subarray
         let stale = d.row_data(0, dst).to_vec();
         // The FPM sequence: ACT(src) interrupted quickly by PRE, then ACT(dst).
-        d.issue_raw(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
-        d.issue_raw(DramCommand::Precharge { bank: 0 }, 3_000).unwrap();
-        let out = d.issue_raw(DramCommand::Activate { bank: 0, row: dst }, 6_000).unwrap();
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        d.issue_raw(DramCommand::Precharge { bank: 0 }, 3_000)
+            .unwrap();
+        let out = d
+            .issue_raw(DramCommand::Activate { bank: 0, row: dst }, 6_000)
+            .unwrap();
         let rc = out.rowclone.expect("recognized as attempt");
         assert!(!rc.success);
         let now = d.row_data(0, dst).to_vec();
@@ -704,8 +765,10 @@ mod tests {
     fn slow_act_pre_act_is_not_rowclone() {
         let mut d = dev();
         let timing = t();
-        d.issue_checked(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
-        d.issue_checked(DramCommand::Precharge { bank: 0 }, timing.t_ras_ps).unwrap();
+        d.issue_checked(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
+        d.issue_checked(DramCommand::Precharge { bank: 0 }, timing.t_ras_ps)
+            .unwrap();
         let out = d
             .issue_checked(
                 DramCommand::Activate { bank: 0, row: 1 },
@@ -720,12 +783,22 @@ mod tests {
     fn early_precharge_loses_writes() {
         let mut d = dev();
         let before = d.line_data(0, 4, 0);
-        d.issue_raw(DramCommand::Activate { bank: 0, row: 4 }, 0).unwrap();
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 4 }, 0)
+            .unwrap();
         let line = [0xFFu8; LINE_BYTES];
         // Write immediately (violates tRCD badly) then precharge immediately
         // (violates tRAS and tWR): restore must be incomplete.
-        d.issue_raw(DramCommand::Write { bank: 0, col: 0, data: line }, 100).unwrap();
-        d.issue_raw(DramCommand::Precharge { bank: 0 }, 200).unwrap();
+        d.issue_raw(
+            DramCommand::Write {
+                bank: 0,
+                col: 0,
+                data: line,
+            },
+            100,
+        )
+        .unwrap();
+        d.issue_raw(DramCommand::Precharge { bank: 0 }, 200)
+            .unwrap();
         let after = d.line_data(0, 4, 0);
         assert_ne!(after, line, "write must not fully land");
         let _ = before;
@@ -741,7 +814,8 @@ mod tests {
         // Activate long after the refresh window without any REF: the charge
         // decays and the decayed contents stick in the array.
         let far = t().t_refw_ps * 3;
-        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, far).unwrap();
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, far)
+            .unwrap();
         assert_ne!(d.row_data(0, 1), row.as_slice(), "row should have decayed");
     }
 
@@ -755,36 +829,65 @@ mod tests {
         let half = t().t_refw_ps / 2;
         d.issue_raw(DramCommand::Refresh, half).unwrap();
         let at = half + t().t_refw_ps / 2 + 1_000_000; // within window of the REF
-        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, at).unwrap();
-        let out = d.issue_raw(DramCommand::Read { bank: 0, col: 0 }, at + t().t_rcd_ps).unwrap();
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 1 }, at)
+            .unwrap();
+        let out = d
+            .issue_raw(DramCommand::Read { bank: 0, col: 0 }, at + t().t_rcd_ps)
+            .unwrap();
         assert_eq!(out.read_data, Some(line));
     }
 
     #[test]
     fn out_of_range_rejected() {
         let mut d = dev();
-        let err = d.issue_raw(DramCommand::Activate { bank: 99, row: 0 }, 0).unwrap_err();
+        let err = d
+            .issue_raw(DramCommand::Activate { bank: 99, row: 0 }, 0)
+            .unwrap_err();
         assert!(matches!(err, DramError::OutOfRange { what: "bank", .. }));
-        let err = d.issue_raw(DramCommand::Activate { bank: 0, row: 1 << 30 }, 0).unwrap_err();
+        let err = d
+            .issue_raw(
+                DramCommand::Activate {
+                    bank: 0,
+                    row: 1 << 30,
+                },
+                0,
+            )
+            .unwrap_err();
         assert!(matches!(err, DramError::OutOfRange { what: "row", .. }));
-        let err = d.issue_raw(DramCommand::Read { bank: 0, col: 1 << 20 }, 0).unwrap_err();
+        let err = d
+            .issue_raw(
+                DramCommand::Read {
+                    bank: 0,
+                    col: 1 << 20,
+                },
+                0,
+            )
+            .unwrap_err();
         assert!(matches!(err, DramError::OutOfRange { what: "col", .. }));
     }
 
     #[test]
     fn time_cannot_go_backwards() {
         let mut d = dev();
-        d.issue_raw(DramCommand::Activate { bank: 0, row: 0 }, 1_000).unwrap();
-        let err = d.issue_raw(DramCommand::Precharge { bank: 0 }, 500).unwrap_err();
+        d.issue_raw(DramCommand::Activate { bank: 0, row: 0 }, 1_000)
+            .unwrap();
+        let err = d
+            .issue_raw(DramCommand::Precharge { bank: 0 }, 500)
+            .unwrap_err();
         assert!(matches!(err, DramError::TimeWentBackwards { .. }));
     }
 
     #[test]
     fn read_from_closed_bank_is_garbage() {
         let mut d = dev();
-        let out = d.issue_raw(DramCommand::Read { bank: 0, col: 0 }, 0).unwrap();
+        let out = d
+            .issue_raw(DramCommand::Read { bank: 0, col: 0 }, 0)
+            .unwrap();
         assert!(out.read_corrupted);
-        assert!(out.violations.iter().any(|v| v.rule == TimingRule::BankClosed));
+        assert!(out
+            .violations
+            .iter()
+            .any(|v| v.rule == TimingRule::BankClosed));
     }
 
     #[test]
@@ -799,9 +902,13 @@ mod tests {
     #[test]
     fn completion_times_reflect_timing() {
         let mut d = dev();
-        let out = d.issue_checked(DramCommand::Activate { bank: 0, row: 0 }, 0).unwrap();
+        let out = d
+            .issue_checked(DramCommand::Activate { bank: 0, row: 0 }, 0)
+            .unwrap();
         assert_eq!(out.completion_ps, t().t_rcd_ps);
-        let out = d.issue_checked(DramCommand::Read { bank: 0, col: 0 }, t().t_rcd_ps).unwrap();
+        let out = d
+            .issue_checked(DramCommand::Read { bank: 0, col: 0 }, t().t_rcd_ps)
+            .unwrap();
         assert_eq!(out.completion_ps, t().t_rcd_ps + t().read_latency_ps());
     }
 }

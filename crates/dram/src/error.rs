@@ -130,7 +130,10 @@ impl fmt::Display for DramError {
             DramError::OutOfRange { what, value, limit } => {
                 write!(f, "{what} {value} out of range (limit {limit})")
             }
-            DramError::TimeWentBackwards { now_ps, requested_ps } => write!(
+            DramError::TimeWentBackwards {
+                now_ps,
+                requested_ps,
+            } => write!(
                 f,
                 "command issued at {requested_ps} ps but device time is already {now_ps} ps"
             ),
@@ -147,7 +150,11 @@ mod tests {
 
     #[test]
     fn violation_margin() {
-        let v = TimingViolation { rule: TimingRule::Trcd, earliest_legal_ps: 100, issued_ps: 40 };
+        let v = TimingViolation {
+            rule: TimingRule::Trcd,
+            earliest_legal_ps: 100,
+            issued_ps: 40,
+        };
         assert_eq!(v.margin_ps(), 60);
         assert!(v.to_string().contains("tRCD"));
         assert!(v.to_string().contains("60 ps early"));
@@ -155,15 +162,26 @@ mod tests {
 
     #[test]
     fn margin_saturates_when_legal() {
-        let v = TimingViolation { rule: TimingRule::Trp, earliest_legal_ps: 10, issued_ps: 40 };
+        let v = TimingViolation {
+            rule: TimingRule::Trp,
+            earliest_legal_ps: 10,
+            issued_ps: 40,
+        };
         assert_eq!(v.margin_ps(), 0);
     }
 
     #[test]
     fn error_display_nonempty() {
-        let e = DramError::OutOfRange { what: "bank", value: 99, limit: 16 };
+        let e = DramError::OutOfRange {
+            what: "bank",
+            value: 99,
+            limit: 16,
+        };
         assert!(e.to_string().contains("bank 99"));
-        let e = DramError::TimeWentBackwards { now_ps: 5, requested_ps: 3 };
+        let e = DramError::TimeWentBackwards {
+            now_ps: 5,
+            requested_ps: 3,
+        };
         assert!(e.to_string().contains("5 ps"));
     }
 

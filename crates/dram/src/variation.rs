@@ -84,7 +84,10 @@ impl VariationConfig {
     /// An idealized configuration with variation disabled (Ramulator-style).
     #[must_use]
     pub fn ideal() -> Self {
-        Self { enabled: false, ..Self::default() }
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -135,11 +138,20 @@ impl VariationModel {
                         cfg.blob_extra_ps.0,
                         cfg.blob_extra_ps.1,
                     ) as f64;
-                    blobs.push(Blob { cx, cy, radius, extra_ps });
+                    blobs.push(Blob {
+                        cx,
+                        cy,
+                        radius,
+                        extra_ps,
+                    });
                 }
             }
         }
-        Self { cfg, geometry, blobs }
+        Self {
+            cfg,
+            geometry,
+            blobs,
+        }
     }
 
     /// The configuration this field was built from.
@@ -247,7 +259,11 @@ impl VariationModel {
             return PairClass::Always;
         }
         // Canonicalize so (a, b) and (b, a) share a class.
-        let (a, b) = if src_row <= dst_row { (src_row, dst_row) } else { (dst_row, src_row) };
+        let (a, b) = if src_row <= dst_row {
+            (src_row, dst_row)
+        } else {
+            (dst_row, src_row)
+        };
         let coords = [u64::from(bank), u64::from(a), u64::from(b)];
         let mut draw = (hash01(self.cfg.seed, b"pair-class", &coords) * 1000.0) as u32;
         // Weak-cluster bias: shift the draw towards the flaky/never region.
@@ -263,7 +279,9 @@ impl VariationModel {
                 1,
                 u64::from(self.cfg.pair_flaky_max_fail_milli),
             ) as u32;
-            PairClass::Flaky { fail_rate_milli: fail }
+            PairClass::Flaky {
+                fail_rate_milli: fail,
+            }
         } else {
             PairClass::Never
         }
@@ -277,8 +295,11 @@ impl VariationModel {
             PairClass::Always => true,
             PairClass::Never => false,
             PairClass::Flaky { fail_rate_milli } => {
-                let (a, b) =
-                    if src_row <= dst_row { (src_row, dst_row) } else { (dst_row, src_row) };
+                let (a, b) = if src_row <= dst_row {
+                    (src_row, dst_row)
+                } else {
+                    (dst_row, src_row)
+                };
                 hash01(
                     self.cfg.seed,
                     b"pair-trial",
@@ -346,7 +367,10 @@ mod tests {
             }
         }
         let p_adj = both as f64 / (weak.len() - 1) as f64;
-        assert!(p_adj > p * p * 2.0, "weakness not clustered: p={p}, p_adj={p_adj}");
+        assert!(
+            p_adj > p * p * 2.0,
+            "weakness not clustered: p={p}, p_adj={p_adj}"
+        );
     }
 
     #[test]
@@ -355,11 +379,19 @@ mod tests {
         let min = m.line_min_trcd_ps(1, 10, 3);
         assert!(m.read_ok(1, 10, 3, min, 0));
         assert!(m.read_ok(1, 10, 3, min + 1_000, 1));
-        assert!(!m.read_ok(1, 10, 3, min - 500, 2), "deep violation always fails");
+        assert!(
+            !m.read_ok(1, 10, 3, min - 500, 2),
+            "deep violation always fails"
+        );
         // Inside the flaky band: some trials fail, some succeed over many nonces.
         let shallow = min - 200;
-        let fails = (0..200).filter(|&n| !m.read_ok(1, 10, 3, shallow, n)).count();
-        assert!(fails > 0 && fails < 200, "band should be stochastic, got {fails}/200");
+        let fails = (0..200)
+            .filter(|&n| !m.read_ok(1, 10, 3, shallow, n))
+            .count();
+        assert!(
+            fails > 0 && fails < 200,
+            "band should be stochastic, got {fails}/200"
+        );
     }
 
     #[test]
@@ -404,7 +436,10 @@ mod tests {
                 PairClass::Never => never += 1,
             }
         }
-        assert!(always > flaky, "always {always} flaky {flaky} never {never}");
+        assert!(
+            always > flaky,
+            "always {always} flaky {flaky} never {never}"
+        );
         assert!(always > never, "always {always} never {never}");
         assert!(flaky + never > 0, "some pairs must be unreliable");
     }
@@ -449,7 +484,10 @@ mod tests {
                 if let PairClass::Flaky { fail_rate_milli } = m.pair_class(0, a, b) {
                     assert!(fail_rate_milli >= 1);
                     let fails = (0..5_000).filter(|&n| !m.rowclone_ok(0, a, b, n)).count();
-                    assert!(fails > 0, "flaky pair with rate {fail_rate_milli} never failed");
+                    assert!(
+                        fails > 0,
+                        "flaky pair with rate {fail_rate_milli} never failed"
+                    );
                     found = true;
                     break 'outer;
                 }

@@ -167,9 +167,11 @@ fn data_is_isolated_across_rows() {
     let mut now = dev.now_ps();
     for row in 0..32u32 {
         now += t.t_rc_ps();
-        dev.issue_raw(DramCommand::Activate { bank: 1, row }, now).unwrap();
+        dev.issue_raw(DramCommand::Activate { bank: 1, row }, now)
+            .unwrap();
         now += t.t_ras_ps;
-        dev.issue_raw(DramCommand::Precharge { bank: 1 }, now).unwrap();
+        dev.issue_raw(DramCommand::Precharge { bank: 1 }, now)
+            .unwrap();
     }
     assert_eq!(dev.row_data(1, 100), marker.as_slice());
     let m = AddressMapper::new(dev.config().geometry.clone(), MappingScheme::RowBankCol);

@@ -125,13 +125,20 @@ impl RamulatorBackend {
     }
 
     fn ps_to_cycles(&self, ps: u64) -> u64 {
-        ((u128::from(ps) * u128::from(self.cfg.core.freq_hz) + 500_000_000_000)
-            / 1_000_000_000_000) as u64
+        ((u128::from(ps) * u128::from(self.cfg.core.freq_hz) + 500_000_000_000) / 1_000_000_000_000)
+            as u64
     }
 
     fn issue_at_earliest(&mut self, cmd: DramCommand, not_before_ps: u64) -> u64 {
-        let t = self.rank.earliest_issue_ps(&cmd).max(not_before_ps).max(self.now_ps);
-        debug_assert!(self.rank.check(&cmd, t).is_empty(), "ramulator never violates timing");
+        let t = self
+            .rank
+            .earliest_issue_ps(&cmd)
+            .max(not_before_ps)
+            .max(self.now_ps);
+        debug_assert!(
+            self.rank.check(&cmd, t).is_empty(),
+            "ramulator never violates timing"
+        );
         self.rank.apply(&cmd, t);
         self.now_ps = t;
         t
@@ -167,20 +174,42 @@ impl RamulatorBackend {
             Some(r) if r == d.row => {}
             Some(_) => {
                 self.issue_at_earliest(DramCommand::Precharge { bank: d.bank }, arrival);
-                self.issue_at_earliest(DramCommand::Activate { bank: d.bank, row: d.row }, 0);
+                self.issue_at_earliest(
+                    DramCommand::Activate {
+                        bank: d.bank,
+                        row: d.row,
+                    },
+                    0,
+                );
             }
             None => {
-                self.issue_at_earliest(DramCommand::Activate { bank: d.bank, row: d.row }, arrival);
+                self.issue_at_earliest(
+                    DramCommand::Activate {
+                        bank: d.bank,
+                        row: d.row,
+                    },
+                    arrival,
+                );
             }
         }
         let t = if is_write {
             let at = self.issue_at_earliest(
-                DramCommand::Write { bank: d.bank, col: d.col, data: [0; LINE_BYTES] },
+                DramCommand::Write {
+                    bank: d.bank,
+                    col: d.col,
+                    data: [0; LINE_BYTES],
+                },
                 arrival,
             );
             at + self.cfg.timing.write_latency_ps()
         } else {
-            let at = self.issue_at_earliest(DramCommand::Read { bank: d.bank, col: d.col }, arrival);
+            let at = self.issue_at_earliest(
+                DramCommand::Read {
+                    bank: d.bank,
+                    col: d.col,
+                },
+                arrival,
+            );
             at + self.cfg.timing.read_latency_ps()
         };
         t + self.cfg.ctrl_latency_ps
@@ -191,7 +220,10 @@ impl MemoryBackend for RamulatorBackend {
     fn read_line(&mut self, line_addr: u64, issue_cycle: u64) -> LineFetch {
         let done_ps = self.access(line_addr, issue_cycle, false);
         let data = *self.mem.entry(line_addr & !63).or_insert([0; LINE_BYTES]);
-        LineFetch { data, complete_cycle: self.ps_to_cycles(done_ps).max(issue_cycle + 1) }
+        LineFetch {
+            data,
+            complete_cycle: self.ps_to_cycles(done_ps).max(issue_cycle + 1),
+        }
     }
 
     fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
@@ -204,7 +236,10 @@ impl MemoryBackend for RamulatorBackend {
         let align = align.max(1);
         let base = self.alloc_cursor.div_ceil(align) * align;
         self.alloc_cursor = base + bytes;
-        assert!(self.alloc_cursor < self.capacity_bytes(), "allocation exceeds capacity");
+        assert!(
+            self.alloc_cursor < self.capacity_bytes(),
+            "allocation exceeds capacity"
+        );
         base
     }
 
@@ -295,7 +330,10 @@ impl RamulatorSystem {
     #[must_use]
     pub fn new(cfg: RamulatorConfig) -> Self {
         let core_cfg = cfg.core.clone();
-        Self { core: CoreModel::new(core_cfg, RamulatorBackend::new(cfg.clone())), cfg }
+        Self {
+            core: CoreModel::new(core_cfg, RamulatorBackend::new(cfg.clone())),
+            cfg,
+        }
     }
 
     /// The processor interface.
@@ -422,7 +460,10 @@ mod tests {
         let (dst, sources) = s.cpu().rowclone_alloc_init(4 * 8192).unwrap();
         assert_eq!(sources.len(), 1, "idealized model needs one pattern row");
         for r in 0..4u64 {
-            assert_eq!(s.cpu().rowclone_init_source(dst + r * 8192), Some(sources[0]));
+            assert_eq!(
+                s.cpu().rowclone_init_source(dst + r * 8192),
+                Some(sources[0])
+            );
         }
     }
 
@@ -433,7 +474,10 @@ mod tests {
         let r = s.run(&mut w);
         assert!(r.simulated_cycles > 0);
         assert!(!r.capped);
-        assert!(r.modeled_speed_hz < 3_000_000.0, "software simulators are slow");
+        assert!(
+            r.modeled_speed_hz < 3_000_000.0,
+            "software simulators are slow"
+        );
         assert!(r.modeled_wall_seconds > 0.0);
         assert!(r.mem_events > 0);
     }

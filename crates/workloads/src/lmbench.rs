@@ -31,7 +31,10 @@ impl LatMemRd {
     #[must_use]
     pub fn new(size_bytes: u64, stride_bytes: u64) -> Self {
         assert!(stride_bytes >= 8, "stride must hold a pointer");
-        assert!(size_bytes >= stride_bytes, "working set must hold at least one element");
+        assert!(
+            size_bytes >= stride_bytes,
+            "working set must hold at least one element"
+        );
         Self {
             size_bytes,
             stride_bytes,
@@ -68,7 +71,10 @@ impl Workload for LatMemRd {
         cpu.stream_begin();
         for i in 0..n {
             let next = (i + 1) % n;
-            cpu.store_u64(base + i * self.stride_bytes, base + next * self.stride_bytes);
+            cpu.store_u64(
+                base + i * self.stride_bytes,
+                base + next * self.stride_bytes,
+            );
         }
         cpu.stream_end();
         cpu.fence();
@@ -102,8 +108,7 @@ mod tests {
     use easydram_cpu::{CoreConfig, CoreModel, FixedLatencyBackend};
 
     fn run_at(size: u64) -> f64 {
-        let mut cpu =
-            CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(150));
+        let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(150));
         let mut w = LatMemRd::new(size, 64);
         w.run(&mut cpu);
         w.cycles_per_load().unwrap()

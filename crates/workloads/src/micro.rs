@@ -101,7 +101,11 @@ impl CpuCopy {
     #[must_use]
     pub fn new(bytes: u64) -> Self {
         assert!(bytes >= 8 && bytes % 8 == 0);
-        Self { bytes, measured: None, mismatches: 0 }
+        Self {
+            bytes,
+            measured: None,
+            mismatches: 0,
+        }
     }
 
     /// Post-run verification mismatches (0 expected).
@@ -148,7 +152,11 @@ impl CpuInit {
     #[must_use]
     pub fn new(bytes: u64) -> Self {
         assert!(bytes >= 8 && bytes % 8 == 0);
-        Self { bytes, measured: None, mismatches: 0 }
+        Self {
+            bytes,
+            measured: None,
+            mismatches: 0,
+        }
     }
 
     /// Post-run verification mismatches (0 expected).
@@ -193,7 +201,12 @@ impl RowCloneCopy {
     #[must_use]
     pub fn new(bytes: u64, flush: FlushMode) -> Self {
         assert!(bytes >= 8 && bytes % 8 == 0);
-        Self { bytes, flush, measured: None, outcome: MicroOutcome::default() }
+        Self {
+            bytes,
+            flush,
+            measured: None,
+            outcome: MicroOutcome::default(),
+        }
     }
 
     /// Fallback/verification counters.
@@ -274,7 +287,12 @@ impl RowCloneInit {
     #[must_use]
     pub fn new(bytes: u64, flush: FlushMode) -> Self {
         assert!(bytes >= 8 && bytes % 8 == 0);
-        Self { bytes, flush, measured: None, outcome: MicroOutcome::default() }
+        Self {
+            bytes,
+            flush,
+            measured: None,
+            outcome: MicroOutcome::default(),
+        }
     }
 
     /// Fallback/verification counters.

@@ -560,7 +560,10 @@ mod tests {
         let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
         let mut w = Gemver::new(PolySize::Small);
         w.run(&mut cpu);
-        assert!(cpu.stats().mem_reads > 1000, "gemver(small) must stream past the caches");
+        assert!(
+            cpu.stats().mem_reads > 1000,
+            "gemver(small) must stream past the caches"
+        );
     }
 
     #[test]
@@ -583,6 +586,10 @@ mod tests {
         let expect: f64 = c_ref.iter().flatten().sum();
         let mut g = Gemm::new(PolySize::Mini);
         run(&mut g);
-        assert!((g.checksum() - expect).abs() < 1e-6, "{} vs {expect}", g.checksum());
+        assert!(
+            (g.checksum() - expect).abs() < 1e-6,
+            "{} vs {expect}",
+            g.checksum()
+        );
     }
 }

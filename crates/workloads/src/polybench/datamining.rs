@@ -8,7 +8,7 @@ use crate::PolySize;
 
 fn dims(size: PolySize) -> (u64, u64) {
     match size {
-        PolySize::Mini => (26, 22),     // (N observations, M attributes)
+        PolySize::Mini => (26, 22), // (N observations, M attributes)
         PolySize::Small => (100, 80),
     }
 }

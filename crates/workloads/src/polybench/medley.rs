@@ -17,7 +17,11 @@ fn floyd_warshall_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
     for i in 0..n {
         for j in 0..n {
             let base = (i * j % 7 + 1) as f64;
-            let v = if (i + j) % 13 == 0 || i == j { base } else { base + 999.0 };
+            let v = if (i + j) % 13 == 0 || i == j {
+                base
+            } else {
+                base + 999.0
+            };
             path.set(cpu, i, j, if i == j { 0.0 } else { v });
         }
     }

@@ -153,12 +153,14 @@ mod tests {
     #[test]
     fn every_kernel_runs_and_produces_finite_work() {
         for name in all_names() {
-            let mut cpu =
-                CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
+            let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
             let mut w = by_name(name, PolySize::Mini).unwrap();
             w.run(&mut cpu);
             assert!(cpu.now_cycles() > 0, "{name} consumed no time");
-            assert!(cpu.instructions_retired() > 100, "{name} retired too little");
+            assert!(
+                cpu.instructions_retired() > 100,
+                "{name} retired too little"
+            );
         }
     }
 

@@ -348,15 +348,17 @@ mod tests {
         let mem_reads = run(&mut w);
         assert!(w.checksum().is_finite());
         // Working set ~6 KiB: after warmup virtually no memory traffic.
-        assert!(mem_reads < 200, "durbin should stay in cache, saw {mem_reads} reads");
+        assert!(
+            mem_reads < 200,
+            "durbin should stay in cache, saw {mem_reads} reads"
+        );
     }
 
     #[test]
     fn solvers_produce_finite_checksums() {
         for name in ["gramschmidt", "lu", "ludcmp", "trisolv"] {
             let mut w = crate::polybench::by_name(name, PolySize::Mini).unwrap();
-            let mut cpu =
-                CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
+            let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
             w.run(&mut cpu);
         }
     }

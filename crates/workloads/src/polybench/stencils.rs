@@ -228,8 +228,7 @@ fn adi_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
                 let qv = q.get(cpu, i, j - 1);
                 let denom = a_c * pv + b_c;
                 p.set(cpu, i, j, -c_c / denom);
-                let rhs = -d_c * u.get(cpu, j, i - 1)
-                    + (1.0 + 2.0 * d_c) * u.get(cpu, j, i)
+                let rhs = -d_c * u.get(cpu, j, i - 1) + (1.0 + 2.0 * d_c) * u.get(cpu, j, i)
                     - f_c * u.get(cpu, j, i + 1);
                 q.set(cpu, i, j, (rhs - a_c * qv) / denom);
                 cpu.compute(22);
@@ -254,8 +253,7 @@ fn adi_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
                 let qv = q.get(cpu, i, j - 1);
                 let denom = d_c * pv + e_c;
                 p.set(cpu, i, j, -f_c / denom);
-                let rhs = -a_c * v.get(cpu, i - 1, j)
-                    + (1.0 + 2.0 * a_c) * v.get(cpu, i, j)
+                let rhs = -a_c * v.get(cpu, i - 1, j) + (1.0 + 2.0 * a_c) * v.get(cpu, i, j)
                     - c_c * v.get(cpu, i + 1, j);
                 q.set(cpu, i, j, (rhs - d_c * qv) / denom);
                 cpu.compute(22);
@@ -318,9 +316,15 @@ mod tests {
 
     #[test]
     fn stencils_converge_to_finite_values() {
-        for name in ["jacobi-1d", "jacobi-2d", "seidel-2d", "fdtd-2d", "heat-3d", "adi"] {
-            let mut cpu =
-                CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
+        for name in [
+            "jacobi-1d",
+            "jacobi-2d",
+            "seidel-2d",
+            "fdtd-2d",
+            "heat-3d",
+            "adi",
+        ] {
+            let mut cpu = CoreModel::new(CoreConfig::cortex_a57(), FixedLatencyBackend::new(50));
             let mut w = crate::polybench::by_name(name, PolySize::Mini).unwrap();
             w.run(&mut cpu);
             assert!(cpu.now_cycles() > 0, "{name}");

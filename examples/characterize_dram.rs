@@ -11,7 +11,11 @@ use easydram_suite::easydram::{System, SystemConfig, TimingMode};
 
 fn main() {
     let mut sys = System::new(SystemConfig::jetson_nano(TimingMode::Reference));
-    let profiler = TrcdProfiler { cols_sampled: 4, trials: 2, ..TrcdProfiler::default() };
+    let profiler = TrcdProfiler {
+        cols_sampled: 4,
+        trials: 2,
+        ..TrcdProfiler::default()
+    };
     let rows = 512;
     println!("profiling bank 0, rows 0..{rows} (4 sampled lines per row)...");
     let outcome = profiler.profile_region(&mut sys, 1, rows);
@@ -21,16 +25,26 @@ fn main() {
     for &(_, _, t) in &outcome.rows {
         *hist.entry(t / 500 * 500).or_insert(0u32) += 1;
     }
-    println!("\nmin reliable tRCD distribution ({} rows):", outcome.rows.len());
+    println!(
+        "\nmin reliable tRCD distribution ({} rows):",
+        outcome.rows.len()
+    );
     for (bucket, count) in &hist {
         let bar = "#".repeat((*count as usize).min(60));
         println!("  {:>5.2} ns | {bar} {count}", *bucket as f64 / 1000.0);
     }
-    println!("\nstrong fraction (<= 9.0 ns): {:.1}%", outcome.strong_fraction() * 100.0);
+    println!(
+        "\nstrong fraction (<= 9.0 ns): {:.1}%",
+        outcome.strong_fraction() * 100.0
+    );
 
     // Demonstrate what profiling protects against: read a weak row below
     // its threshold and watch the data corrupt.
-    let weak = outcome.rows.iter().max_by_key(|r| r.2).expect("rows profiled");
+    let weak = outcome
+        .rows
+        .iter()
+        .max_by_key(|r| r.2)
+        .expect("rows profiled");
     println!(
         "\nweakest profiled row: bank {} row {} needs {:.2} ns",
         weak.0,
@@ -41,8 +55,12 @@ fn main() {
         use easydram_suite::cpu::CpuApi;
         sys.cpu().now_cycles()
     };
-    let ok_at_nominal = sys.tile_mut().profile_line(weak.0, weak.1, 0, 13_500, issue);
-    let ok_below = sys.tile_mut().profile_line(weak.0, weak.1, 0, weak.2.saturating_sub(800), issue);
+    let ok_at_nominal = sys
+        .tile_mut()
+        .profile_line(weak.0, weak.1, 0, 13_500, issue);
+    let ok_below =
+        sys.tile_mut()
+            .profile_line(weak.0, weak.1, 0, weak.2.saturating_sub(800), issue);
     println!("  read at nominal 13.5 ns correct: {ok_at_nominal}");
     println!("  read 0.8 ns below its minimum correct: {ok_below}");
     assert!(ok_at_nominal);

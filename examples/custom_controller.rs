@@ -28,7 +28,9 @@ impl SoftwareMemoryController for ListingOneController {
         // when the system invokes us; the poll models Listing 1 line 3).
         while !api.req_empty() {
             // Move the request from buffer to scratchpad.
-            let Some(req) = api.receive_request() else { break };
+            let Some(req) = api.receive_request() else {
+                break;
+            };
             let idx = api.schedule_fcfs().expect("just received");
             let req2 = api.take_request(idx);
             assert_eq!(req.id, req2.id);

@@ -19,7 +19,10 @@ fn main() {
 
     println!("{report}");
     println!();
-    println!("checksum (keeps the computation honest): {:.6}", gemm.checksum());
+    println!(
+        "checksum (keeps the computation honest): {:.6}",
+        gemm.checksum()
+    );
     println!(
         "The same workload observed {} emulated cycles at {:.2} MHz simulation speed.",
         report.emulated_cycles,

@@ -14,7 +14,11 @@ fn main() {
     // Step 1 (§8.1): characterize part of the chip with real profiling
     // requests through the software memory controller and DRAM Bender.
     let mut probe = System::new(SystemConfig::jetson_nano(TimingMode::Reference));
-    let profiler = TrcdProfiler { cols_sampled: 2, trials: 2, ..TrcdProfiler::default() };
+    let profiler = TrcdProfiler {
+        cols_sampled: 2,
+        trials: 2,
+        ..TrcdProfiler::default()
+    };
     let outcome = profiler.profile_region(&mut probe, 2, 256);
     let (min, max) = outcome.min_max_ps().expect("profiled rows");
     println!(
@@ -34,13 +38,23 @@ fn main() {
         }
         let mut w = polybench::Gemver::new(PolySize::Mini);
         let report = sys.run(&mut w);
-        (report.emulated_cycles, report.smc.serve.reduced_trcd_accesses, report.dram.corrupted_reads)
+        (
+            report.emulated_cycles,
+            report.smc.serve.reduced_trcd_accesses,
+            report.dram.corrupted_reads,
+        )
     };
     let (nominal, _, _) = run(false);
     let (reduced, fast_accesses, corrupted) = run(true);
     println!("\ngemver at nominal tRCD: {nominal} cycles");
     println!("gemver with tRCD reduction: {reduced} cycles ({fast_accesses} reduced accesses)");
-    println!("speedup: {:+.2}%", (nominal as f64 / reduced as f64 - 1.0) * 100.0);
+    println!(
+        "speedup: {:+.2}%",
+        (nominal as f64 / reduced as f64 - 1.0) * 100.0
+    );
     println!("corrupted reads (the Bloom filter must keep this at zero): {corrupted}");
-    assert_eq!(corrupted, 0, "weak rows must never be accessed at reduced tRCD");
+    assert_eq!(
+        corrupted, 0,
+        "weak rows must never be accessed at reduced tRCD"
+    );
 }

@@ -20,7 +20,10 @@ fn main() {
 
     // The allocator solves §7.1's constraints: row alignment, granularity,
     // same-subarray placement with 1000-trial-qualified pairs.
-    let (src, dst) = sys.cpu().rowclone_alloc_copy(bytes).expect("allocation fits");
+    let (src, dst) = sys
+        .cpu()
+        .rowclone_alloc_copy(bytes)
+        .expect("allocation fits");
 
     // Fill the source and push it to DRAM (RowClone operates on the array,
     // not the caches — the "coherence problem").
@@ -80,6 +83,9 @@ fn main() {
     println!("  verification mismatches: {mismatches}");
     println!("  RowClone path: {rowclone_cycles} cycles");
     println!("  CPU copy:      {cpu_cycles} cycles");
-    println!("  speedup:       {:.1}x", cpu_cycles as f64 / rowclone_cycles as f64);
+    println!(
+        "  speedup:       {:.1}x",
+        cpu_cycles as f64 / rowclone_cycles as f64
+    );
     println!("\nDRAM device: {}", sys.tile().device().stats());
 }

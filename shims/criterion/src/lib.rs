@@ -1,0 +1,240 @@
+//! Offline shim for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! minimal wall-clock benchmark harness with the criterion API surface the
+//! workspace's benches use: `Criterion::default().sample_size(..)`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched,
+//! iter_batched_ref}`, [`Throughput`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. It reports mean
+//! iteration time (and derived throughput) on stdout — no statistics, plots,
+//! or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration inputs are batched (accepted for API compatibility; the
+/// shim sizes batches identically).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: large batches in real criterion.
+    SmallInput,
+    /// Large inputs: one input per batch.
+    LargeInput,
+    /// One fresh input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation used to derive per-element/byte rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single named benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&label, samples, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    // One warm-up pass whose timings are discarded, then the timed samples.
+    f(&mut b);
+    b.total = Duration::ZERO;
+    b.iters = 0;
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.total / u32::try_from(b.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+    };
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            "  {:.1} MiB/s",
+            n as f64 / per_iter.as_secs_f64().max(1e-12) / (1024.0 * 1024.0)
+        ),
+        Throughput::Elements(n) => format!(
+            "  {:.1} Melem/s",
+            n as f64 / per_iter.as_secs_f64().max(1e-12) / 1.0e6
+        ),
+    });
+    println!(
+        "bench {label:<48} {:>12.3} µs/iter{}",
+        per_iter.as_secs_f64() * 1.0e6,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Passed to each benchmark closure to time the routine under measurement.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` on a fresh `setup()` input, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        let start = Instant::now();
+        black_box(routine(&mut input));
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("iter", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3, 4], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.bench_function("batched_ref", |b| {
+            b.iter_batched_ref(|| vec![1u8; 8], |v| v.push(9), BatchSize::SmallInput)
+        });
+        g.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box(1)));
+    }
+}

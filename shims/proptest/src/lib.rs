@@ -1,0 +1,471 @@
+//! Offline shim for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! minimal, deterministic re-implementation of the proptest API surface the
+//! workspace's tests use: the [`proptest!`] macro, [`Strategy`] over integer
+//! ranges / tuples / `Just` / unions, `prop::collection::vec`,
+//! `prop::array::uniform32`, [`any`], and the `prop_assert*` / `prop_assume`
+//! macros. Generation is seeded per-test from the test name, so failures are
+//! reproducible run-to-run.
+
+/// Number of cases each `proptest!` test executes.
+pub const CASES: u32 = 96;
+
+/// Maximum rejected cases (via `prop_assume!`) before a test aborts.
+pub const MAX_REJECTS: u32 = 65_536;
+
+/// Error type carried out of a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; try another input.
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic random number generation for case inputs.
+
+    /// A splitmix64/xorshift-style deterministic RNG.
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Creates an RNG from a seed (zero is remapped to a constant).
+        pub fn new(seed: u64) -> Self {
+            Rng { state: seed | 1 }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Stable FNV-1a hash of a string, used to derive per-test seeds.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+}
+
+use test_runner::Rng;
+
+/// A generator of test-case values.
+///
+/// Unlike real proptest there is no shrinking: a failing input is reported
+/// as generated.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+}
+
+impl<T, S: Strategy<Value = T> + ?Sized> Strategy for Box<S> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<T, S: Strategy<Value = T> + ?Sized> Strategy for &S {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(::std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy: unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(::std::marker::PhantomData)
+}
+
+pub mod strategy {
+    //! Strategy combinators.
+
+    use super::{test_runner::Rng, Strategy};
+
+    /// Uniform choice among boxed strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy as a trait object (helper for `prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{test_runner::Rng, Strategy};
+
+    /// Strategy for `Vec<T>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: ::std::ops::Range<usize>,
+    }
+
+    /// `vec(element, 1..20)`: a vector of `element`-generated values.
+    pub fn vec<S: Strategy>(element: S, len: ::std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::{test_runner::Rng, Strategy};
+
+    /// Strategy for `[T; 32]` (backs `prop::array::uniform32`).
+    pub struct Uniform32<S>(S);
+
+    /// `uniform32(element)`: a 32-element array of `element`-generated values.
+    pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+        Uniform32(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+        fn generate(&self, rng: &mut Rng) -> [S::Value; 32] {
+            ::std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, Strategy, TestCaseError,
+    };
+}
+
+/// Defines deterministic property tests with proptest's `name(arg in strategy)`
+/// syntax. Each test runs [`CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::test_runner::Rng::new(
+                $crate::test_runner::seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let mut cases = 0u32;
+            let mut rejects = 0u32;
+            while cases < $crate::CASES {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => cases += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        rejects += 1;
+                        assert!(
+                            rejects < $crate::MAX_REJECTS,
+                            "prop_assume! rejected too many cases in {}",
+                            stringify!($name)
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case failed after {cases} cases: {msg}")
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among the listed strategies (all yielding the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// Like `assert!`, but reports the failing generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                ::std::format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports the failing generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?}; {}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                ::std::format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but reports the failing generated case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} != {}` (both: {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless `cond` holds; the runner retries with a
+/// fresh input.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Coin {
+        Heads,
+        Tails,
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -4i32..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..9).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_tuple_shapes(v in prop::collection::vec((0u8..4, any::<bool>()), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for (n, _) in v {
+                prop_assert!(n < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_and_assume(c in prop_oneof![Just(Coin::Heads), Just(Coin::Tails)], x in 0u32..10) {
+            prop_assume!(x != 0);
+            prop_assert_ne!(x, 0);
+            prop_assert!(c == Coin::Heads || c == Coin::Tails);
+        }
+
+        #[test]
+        fn arrays_fill(a in prop::array::uniform32(any::<u8>())) {
+            prop_assert_eq!(a.len(), 32);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        let a = crate::test_runner::seed_from_name("x");
+        let b = crate::test_runner::seed_from_name("x");
+        assert_eq!(a, b);
+        let mut r1 = crate::test_runner::Rng::new(a);
+        let mut r2 = crate::test_runner::Rng::new(b);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+}

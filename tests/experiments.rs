@@ -63,7 +63,10 @@ fn validation_time_scaling_accuracy() {
         let reference = cycles(TimingMode::Reference);
         let ts = cycles(TimingMode::TimeScaling);
         let err = (ts as f64 - reference as f64).abs() / reference as f64;
-        assert!(err < 0.01, "{name}: TS {ts} vs reference {reference} ({err:.4})");
+        assert!(
+            err < 0.01,
+            "{name}: TS {ts} vs reference {reference} ({err:.4})"
+        );
     }
 }
 
@@ -89,8 +92,14 @@ fn fig10_rowclone_noflush_shape() {
     let ts = speedup(quick_system(TimingMode::TimeScaling));
     let no_ts = speedup(quick_pidram());
     assert!(ts > 5.0, "TS copy speedup {ts} must be material");
-    assert!(ts < 40.0, "TS copy speedup {ts} must stay in the paper's decade");
-    assert!(no_ts > 4.0 * ts, "No-TS ({no_ts}) must skew far above TS ({ts})");
+    assert!(
+        ts < 40.0,
+        "TS copy speedup {ts} must stay in the paper's decade"
+    );
+    assert!(
+        no_ts > 4.0 * ts,
+        "No-TS ({no_ts}) must skew far above TS ({ts})"
+    );
 }
 
 /// Fig. 10(b): Init benefits are much smaller than Copy benefits, and the
@@ -104,8 +113,15 @@ fn fig10_init_ordering() {
     let mut rc_init = RowCloneInit::new(bytes, FlushMode::NoFlush);
     let rc = measure(&mut sys, &mut rc_init);
     let ts_init = cpu as f64 / rc as f64;
-    assert!(rc_init.outcome().fallback_rows > 0, "real chips leave unclonable rows");
-    assert_eq!(rc_init.outcome().mismatches, 0, "fallback keeps init correct");
+    assert!(
+        rc_init.outcome().fallback_rows > 0,
+        "real chips leave unclonable rows"
+    );
+    assert_eq!(
+        rc_init.outcome().mismatches,
+        0,
+        "fallback keeps init correct"
+    );
 
     let mut ram = RamulatorSystem::new(RamulatorConfig::default());
     let cpu_r = measure_ram(&mut ram, &mut CpuInit::new(bytes));
@@ -148,8 +164,14 @@ fn fig11_clflush_overheads() {
     let mut sys = quick_system(TimingMode::TimeScaling);
     let cpu = measure(&mut sys, &mut CpuInit::new(8 * 1024));
     let mut sys = quick_system(TimingMode::TimeScaling);
-    let rc = measure(&mut sys, &mut RowCloneInit::new(8 * 1024, FlushMode::ClFlush));
-    assert!(rc > cpu / 2, "small CLFLUSH init must lose most of its benefit");
+    let rc = measure(
+        &mut sys,
+        &mut RowCloneInit::new(8 * 1024, FlushMode::ClFlush),
+    );
+    assert!(
+        rc > cpu / 2,
+        "small CLFLUSH init must lose most of its benefit"
+    );
 }
 
 /// Fig. 12: every row operates below nominal tRCD; most are strong; weak
@@ -194,7 +216,10 @@ fn fig13_trcd_reduction_safety_and_benefit() {
         let (reduced, corrupted) = run(true);
         assert_eq!(corrupted, 0, "{name}: Bloom filter must prevent corruption");
         let delta = reduced as f64 / nominal as f64;
-        assert!(delta < 1.005, "{name}: reduction must not slow down ({delta})");
+        assert!(
+            delta < 1.005,
+            "{name}: reduction must not slow down ({delta})"
+        );
     }
 }
 
@@ -209,13 +234,23 @@ fn fig14_simulation_speed_shape() {
         let mut ram = RamulatorSystem::new(RamulatorConfig::default());
         let mut w = polybench::by_name(name, PolySize::Mini).expect("kernel");
         let rr = ram.run(w.as_mut());
-        (er.sim_speed_hz, rr.modeled_speed_hz, er.mem_reads_per_kilo_cycle)
+        (
+            er.sim_speed_hz,
+            rr.modeled_speed_hz,
+            er.mem_reads_per_kilo_cycle,
+        )
     };
     let (easy_durbin, ram_durbin, mpkc_durbin) = speed("durbin");
     let (easy_gesummv, ram_gesummv, mpkc_gesummv) = speed("gesummv");
-    assert!(easy_durbin > ram_durbin, "EasyDRAM faster than software simulation");
+    assert!(
+        easy_durbin > ram_durbin,
+        "EasyDRAM faster than software simulation"
+    );
     assert!(easy_gesummv > ram_gesummv);
-    assert!(mpkc_durbin < mpkc_gesummv, "durbin is the least memory-intensive");
+    assert!(
+        mpkc_durbin < mpkc_gesummv,
+        "durbin is the least memory-intensive"
+    );
     let ratio_durbin = easy_durbin / ram_durbin;
     let ratio_gesummv = easy_gesummv / ram_gesummv;
     assert!(

@@ -18,7 +18,8 @@ fn all_28_kernels_compute_identical_results_on_every_memory_system() {
             let mut sys = System::new(SystemConfig::small_for_tests(mode));
             let mut w = polybench::by_name(name, PolySize::Mini).expect("kernel");
             sys.run(w.as_mut());
-            w.result_checksum().unwrap_or_else(|| panic!("{name}: no checksum"))
+            w.result_checksum()
+                .unwrap_or_else(|| panic!("{name}: no checksum"))
         };
         let ts = checksum_easy(TimingMode::TimeScaling);
         let reference = checksum_easy(TimingMode::Reference);
@@ -26,7 +27,8 @@ fn all_28_kernels_compute_identical_results_on_every_memory_system() {
             let mut sim = RamulatorSystem::new(RamulatorConfig::default());
             let mut w = polybench::by_name(name, PolySize::Mini).expect("kernel");
             sim.run(w.as_mut());
-            w.result_checksum().unwrap_or_else(|| panic!("{name}: no checksum"))
+            w.result_checksum()
+                .unwrap_or_else(|| panic!("{name}: no checksum"))
         };
         assert_eq!(ts, reference, "{name}: timing mode must not change results");
         assert_eq!(ts, ram, "{name}: EasyDRAM vs Ramulator results differ");
@@ -105,7 +107,10 @@ fn timing_modes_order_full_kernels() {
         let mut sys = System::new(cfg);
         let mut w = polybench::Gesummv::new(PolySize::Mini);
         let r = sys.run(&mut w);
-        (r.emulated_cycles as f64, r.core.stall_cycles as f64 / r.core.mem_reads.max(1) as f64)
+        (
+            r.emulated_cycles as f64,
+            r.core.stall_cycles as f64 / r.core.mem_reads.max(1) as f64,
+        )
     };
     let (reference, ref_stall) = run(SystemConfig::small_for_tests(TimingMode::Reference));
     let (ts, _) = run(SystemConfig::small_for_tests(TimingMode::TimeScaling));
