@@ -30,7 +30,7 @@ fn main() {
         let rr = ram.run(w.as_mut());
         let ratio = er.sim_speed_hz / rr.modeled_speed_hz.max(1.0);
         ratios.push(ratio);
-        if best.as_ref().is_none_or(|(_, b)| ratio > *b) {
+        if best.as_ref().map_or(true, |(_, b)| ratio > *b) {
             best = Some((name.to_string(), ratio));
         }
         rows.push(vec![

@@ -1,9 +1,12 @@
-//! Runs every table/figure harness in sequence (respects `EASYDRAM_QUICK`).
+//! Runs every table/figure harness in sequence (respects `EASYDRAM_QUICK`)
+//! and writes a machine-readable record to `target/bench-report.json` so the
+//! perf trajectory can be tracked across commits.
 //!
 //! Equivalent to running each `figNN_*`/`table1_*`/`validate_*` binary; see
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
 
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
     let exe = std::env::current_exe().expect("own path");
@@ -18,22 +21,31 @@ fn main() {
         "fig13_trcd_speedup",
         "fig14_sim_speed",
     ];
-    let mut failures = Vec::new();
+    let mut runs: Vec<(String, bool, f64)> = Vec::new();
     for bin in bins {
         println!("\n########## {bin} ##########");
+        let t0 = Instant::now();
         let status = Command::new(dir.join(bin)).status();
-        match status {
-            Ok(s) if s.success() => {}
-            other => {
-                eprintln!("{bin} failed: {other:?}");
-                failures.push(bin);
-            }
+        let ok = matches!(status, Ok(s) if s.success());
+        if !ok {
+            eprintln!("{bin} failed: {status:?}");
         }
+        runs.push((bin.to_string(), ok, t0.elapsed().as_secs_f64()));
     }
+    let report_path = "target/bench-report.json";
+    match easydram_bench::write_bench_report(report_path, &runs) {
+        Ok(()) => println!("\nwrote {report_path}"),
+        Err(e) => eprintln!("\ncould not write {report_path}: {e}"),
+    }
+    let failures: Vec<&str> = runs
+        .iter()
+        .filter(|(_, ok, _)| !ok)
+        .map(|(name, _, _)| name.as_str())
+        .collect();
     if failures.is_empty() {
-        println!("\nAll experiment harnesses completed.");
+        println!("All experiment harnesses completed.");
     } else {
-        eprintln!("\nFailed harnesses: {failures:?}");
+        eprintln!("Failed harnesses: {failures:?}");
         std::process::exit(1);
     }
 }

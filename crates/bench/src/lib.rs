@@ -144,6 +144,32 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Writes the machine-readable harness report consumed by CI and future
+/// perf-trajectory tooling: one JSON object per harness with its name,
+/// pass/fail, and wall seconds, plus run metadata. The JSON is hand-rolled
+/// (no serde in the offline build) and kept to a stable, flat schema.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (missing parent directory is created).
+pub fn write_bench_report(path: &str, runs: &[(String, bool, f64)]) -> Result<(), std::io::Error> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut s = String::from("{\n  \"schema\": 1,\n");
+    s.push_str(&format!("  \"quick\": {},\n", quick()));
+    s.push_str("  \"harnesses\": [\n");
+    for (i, (name, ok, secs)) in runs.iter().enumerate() {
+        let name = name.replace('\\', "\\\\").replace('"', "\\\"");
+        s.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"ok\": {ok}, \"wall_seconds\": {secs:.3}}}{}\n",
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
 /// Geometric mean of a slice (for the paper's geomean rows).
 #[must_use]
 pub fn geomean(xs: &[f64]) -> f64 {
@@ -179,6 +205,27 @@ mod tests {
     fn size_formatting() {
         assert_eq!(fmt_size(8 * KIB), "8K");
         assert_eq!(fmt_size(16 * MIB), "16M");
+    }
+
+    #[test]
+    fn bench_report_is_valid_flat_json() {
+        let path = std::env::temp_dir().join("easydram-bench-report-test.json");
+        let path = path.to_str().unwrap();
+        let runs = vec![
+            ("fig8".to_string(), true, 1.25),
+            ("fig\"quoted\"".to_string(), false, 0.5),
+        ];
+        write_bench_report(path, &runs).unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert!(s.contains("\"schema\": 1"));
+        assert!(s.contains("\"name\": \"fig8\", \"ok\": true, \"wall_seconds\": 1.250"));
+        assert!(s.contains("fig\\\"quoted\\\""), "quotes must be escaped");
+        assert_eq!(
+            s.matches('{').count(),
+            s.matches('}').count(),
+            "balanced braces"
+        );
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

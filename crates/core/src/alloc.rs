@@ -215,9 +215,11 @@ impl RowCloneAllocator {
                     })
                     .collect();
                 let score = ok.iter().filter(|&&b| b).count();
-                if best.as_ref().is_none_or(|(bc, bok)| {
-                    score > bok.iter().filter(|&&b| b).count() || (*bc == c && false)
-                }) {
+                let better = match &best {
+                    None => true,
+                    Some((_, bok)) => score > bok.iter().filter(|&&b| b).count(),
+                };
+                if better {
                     best = Some((c, ok));
                 }
             }

@@ -88,6 +88,10 @@ pub struct SystemConfig {
     /// Whether the emulated timeline charges periodic refresh (tRFC every
     /// tREFI).
     pub refresh_enabled: bool,
+    /// Depth of the tile's posted-write buffer: how many writes/writebacks
+    /// the pending-request stream accumulates before a serve pass is forced.
+    /// Reads and fences always drain the stream regardless of depth.
+    pub write_buffer_depth: usize,
     /// Number of RowClone trials the allocator uses to qualify a pair
     /// (paper §7.1: 1000).
     pub rowclone_test_trials: u32,
@@ -114,6 +118,7 @@ impl SystemConfig {
             // spread across banks instead of thrashing one row buffer.
             mapping: MappingScheme::RowColBankXor,
             refresh_enabled: true,
+            write_buffer_depth: 8,
             rowclone_test_trials: 1_000,
             trcd_margin_ps: 0,
         }
@@ -181,6 +186,9 @@ impl SystemConfig {
         if self.rowclone_test_trials == 0 {
             return Err("pair qualification needs at least one trial".into());
         }
+        if self.write_buffer_depth == 0 {
+            return Err("the posted-write buffer needs at least one slot".into());
+        }
         Ok(())
     }
 }
@@ -236,6 +244,9 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = SystemConfig::jetson_nano(TimingMode::Reference);
         c.mc_emul_hz = 0;
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::jetson_nano(TimingMode::Reference);
+        c.write_buffer_depth = 0;
         assert!(c.validate().is_err());
     }
 }

@@ -46,6 +46,7 @@ pub mod report;
 pub mod request;
 pub mod smc;
 pub mod system;
+pub mod timeline;
 pub mod timescale;
 
 pub use alloc::RowCloneAllocator;
@@ -54,8 +55,9 @@ pub use config::{FpgaConfig, SystemConfig, TimingMode};
 pub use costs::SmcCostModel;
 pub use profiling::{ProfileOutcome, TrcdProfiler};
 pub use report::ExecutionReport;
-pub use request::{MemRequest, RequestKind};
-pub use smc::easyapi::EasyApi;
+pub use request::{MemRequest, MemResponse, RequestKind, ResponseSlice};
+pub use smc::easyapi::{ApiSession, EasyApi, TileCtx};
 pub use smc::{FcfsController, FrFcfsController, RowPolicy, ServeResult, SoftwareMemoryController};
 pub use system::System;
+pub use timeline::{EmulatedTimeline, TimelineDemand};
 pub use timescale::TimeScalingCounters;

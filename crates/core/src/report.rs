@@ -18,6 +18,13 @@ pub struct SmcStats {
     pub hw_cycles: u64,
     /// DRAM Bender batches executed.
     pub batches: u64,
+    /// Writes accepted into the pending-request stream without blocking.
+    pub posted_writes: u64,
+    /// Serve passes forced by a full posted-write buffer (as opposed to
+    /// read- or fence-triggered drains).
+    pub forced_drains: u64,
+    /// Largest request batch one serve pass has carried.
+    pub peak_batch: u64,
     /// Scheduling outcomes.
     pub serve: ServeResult,
     /// RowClone requests refused because the pair was not qualified
@@ -84,6 +91,23 @@ impl ExecutionReport {
     }
 }
 
+impl SmcStats {
+    /// Rebases every cumulative counter against a window-start snapshot, so
+    /// the result describes just that window. `peak_batch` is excluded: it
+    /// is a maximum, not a sum — `System::run` windows it separately via the
+    /// tile's peak-window mechanism.
+    pub fn subtract_baseline(&mut self, start: &SmcStats) {
+        self.requests -= start.requests;
+        self.rocket_cycles -= start.rocket_cycles;
+        self.hw_cycles -= start.hw_cycles;
+        self.batches -= start.batches;
+        self.posted_writes -= start.posted_writes;
+        self.forced_drains -= start.forced_drains;
+        self.serve -= start.serve;
+        self.rowclone_fallbacks -= start.rowclone_fallbacks;
+    }
+}
+
 impl std::fmt::Display for ExecutionReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -107,10 +131,11 @@ impl std::fmt::Display for ExecutionReport {
         writeln!(f, "  dram: {}", self.dram)?;
         write!(
             f,
-            "  smc: {} reqs, {} rocket cycles, {} batches, {} rowclone fallbacks",
+            "  smc: {} reqs, {} rocket cycles, {} batches, peak batch {}, {} rowclone fallbacks",
             self.smc.requests,
             self.smc.rocket_cycles,
             self.smc.batches,
+            self.smc.peak_batch,
             self.smc.rowclone_fallbacks,
         )
     }

@@ -45,6 +45,38 @@ pub struct MemRequest {
     pub arrival_cycle: u64,
 }
 
+/// The share of a serve pass attributable to one response: everything the
+/// controller spent between finalizing the previous response and finalizing
+/// this one. The tile prices each slice independently on the emulated
+/// timeline, so every request in a batch gets its own release cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResponseSlice {
+    /// Rocket cycles of controller code charged to this response (feeds its
+    /// scheduling latency via time scaling).
+    pub rocket_cycles: u64,
+    /// DRAM bank/bus occupancy of this response's command batches, in ps.
+    pub dram_occupancy_ps: u64,
+    /// Column (RD/WR) commands — each occupies the data bus for one burst.
+    pub column_ops: u64,
+    /// Command batches flushed for this response.
+    pub batches: u64,
+}
+
+impl std::ops::Sub for ResponseSlice {
+    type Output = Self;
+
+    /// Field-wise difference — how EasyAPI attributes "totals now minus
+    /// totals at the previous response" to one slice.
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            rocket_cycles: self.rocket_cycles - rhs.rocket_cycles,
+            dram_occupancy_ps: self.dram_occupancy_ps - rhs.dram_occupancy_ps,
+            column_ops: self.column_ops - rhs.column_ops,
+            batches: self.batches - rhs.batches,
+        }
+    }
+}
+
 /// A response produced by the software memory controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemResponse {
@@ -54,6 +86,9 @@ pub struct MemResponse {
     pub data: Option<[u8; LINE_BYTES]>,
     /// Whether the data is known-corrupt (reduced-tRCD failure).
     pub corrupted: bool,
+    /// This response's share of the serve pass (its emulated-timeline finish
+    /// slice), attributed by EasyAPI at `enqueue_response` time.
+    pub slice: ResponseSlice,
 }
 
 impl MemRequest {

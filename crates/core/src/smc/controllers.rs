@@ -322,9 +322,10 @@ mod tests {
     use super::*;
     use easydram_bender::{Executor, TransferCost};
     use easydram_dram::{AddressMapper, DramConfig, DramDevice, MappingScheme};
-    use std::collections::{HashMap, VecDeque};
+    use std::collections::HashMap;
 
     use crate::costs::SmcCostModel;
+    use crate::smc::easyapi::{ApiSession, TileCtx};
 
     struct Fix {
         dev: DramDevice,
@@ -333,6 +334,7 @@ mod tests {
         remap: HashMap<u64, (u32, u32)>,
         costs: SmcCostModel,
         transfer: TransferCost,
+        session: ApiSession,
     }
 
     impl Fix {
@@ -346,25 +348,26 @@ mod tests {
                 remap: HashMap::new(),
                 costs: SmcCostModel::default(),
                 transfer: TransferCost::default(),
+                session: ApiSession::new(16),
             }
         }
 
         fn api(&mut self, reqs: Vec<MemRequest>) -> EasyApi<'_> {
-            let mut api = EasyApi::new(
-                &mut self.dev,
-                &self.ex,
-                &self.map,
-                &self.remap,
-                &self.costs,
-                &self.transfer,
-                100_000_000,
-                0,
-                VecDeque::new(),
-            );
             for r in reqs {
-                api.push_incoming(r);
+                self.session.post(r.kind, r.arrival_cycle);
             }
-            api
+            self.session.begin(
+                TileCtx {
+                    device: &mut self.dev,
+                    executor: &self.ex,
+                    mapper: &self.map,
+                    remap: &self.remap,
+                    costs: &self.costs,
+                    transfer: &self.transfer,
+                    tile_clk_hz: 100_000_000,
+                },
+                0,
+            )
         }
     }
 

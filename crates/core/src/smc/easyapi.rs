@@ -1,10 +1,20 @@
 //! EasyAPI: the hardware-abstraction and software library surface that
 //! software memory controllers program against (paper §5.2, Table 2).
 //!
+//! The system↔controller boundary is a **request stream**: the tile posts
+//! requests into a persistent [`ApiSession`] (the hardware FIFO of paper
+//! Listing 1), and each serve pass opens an [`EasyApi`] handle over a
+//! [`TileCtx`] borrow-bundle. The handle exposes a multi-entry request table,
+//! so FR-FCFS and critical-mode scheduling see every in-flight request at
+//! once.
+//!
 //! Every call charges Rocket cycles from the [`SmcCostModel`] to the
 //! controller's ledger. The ledger feeds (a) the FPGA wall clock — how long
 //! the slow programmable core really took — and (b), through time scaling,
-//! the modeled system's scheduling latency.
+//! the modeled system's scheduling latency. Cycles are *attributed*: each
+//! [`MemResponse`] carries the slice of the pass spent on it
+//! ([`crate::request::ResponseSlice`]), which is what lets the tile give
+//! every request in a batch its own release cycle.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -12,11 +22,117 @@ use easydram_bender::{BenderProgram, BenderResult, Executor, TransferCost};
 use easydram_dram::{AddressMapper, DramAddress, DramCommand, DramDevice, LINE_BYTES};
 
 use crate::costs::SmcCostModel;
-use crate::request::{MemRequest, MemResponse};
+use crate::request::{MemRequest, MemResponse, RequestKind, ResponseSlice};
 
 /// Gap used between the ACT→PRE→ACT commands of a RowClone sequence (well
 /// below tRAS/tRP, comfortably inside the device's recognition window).
 pub const ROWCLONE_GAP_PS: u64 = 3_000;
+
+/// Everything an EasyAPI handle borrows from the tile for one serve pass:
+/// the device, the command substrate, address translation state, and the
+/// cost models. Bundling the borrows replaces the former nine-argument
+/// `EasyApi::new`.
+#[derive(Debug)]
+pub struct TileCtx<'a> {
+    /// The DRAM device behind DRAM Bender.
+    pub device: &'a mut DramDevice,
+    /// The DRAM Bender executor.
+    pub executor: &'a Executor,
+    /// Physical-to-DRAM address mapper.
+    pub mapper: &'a AddressMapper,
+    /// OS-style row remapping installed by the RowClone allocator.
+    pub remap: &'a HashMap<u64, (u32, u32)>,
+    /// Per-EasyAPI-call Rocket-cycle costs.
+    pub costs: &'a SmcCostModel,
+    /// Command/readback transfer cost model.
+    pub transfer: &'a TransferCost,
+    /// Clock of the tile domain (Rocket + tile control logic), Hz.
+    pub tile_clk_hz: u64,
+}
+
+/// The persistent controller session owned by the tile: the hardware
+/// request FIFO requests are posted into, the request-id allocator, and the
+/// serve-pass counter. One session lives as long as the tile; each serve
+/// pass borrows the tile state as a [`TileCtx`] and opens an [`EasyApi`]
+/// over the accumulated stream via [`ApiSession::begin`].
+#[derive(Debug, Clone)]
+pub struct ApiSession {
+    pending: VecDeque<MemRequest>,
+    capacity: usize,
+    next_req_id: u64,
+    passes: u64,
+}
+
+impl ApiSession {
+    /// Creates an empty session whose FIFO admits `capacity` posted
+    /// requests before the tile must drain it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "the request FIFO needs at least one slot");
+        Self {
+            pending: VecDeque::with_capacity(capacity + 1),
+            capacity,
+            next_req_id: 0,
+            passes: 0,
+        }
+    }
+
+    /// Posts a request into the FIFO, tagging it with the arrival cycle
+    /// (paper Fig. 5 ①), and returns its assigned id.
+    pub fn post(&mut self, kind: RequestKind, arrival_cycle: u64) -> u64 {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        self.pending.push_back(MemRequest {
+            id,
+            kind,
+            arrival_cycle,
+        });
+        id
+    }
+
+    /// Whether the FIFO has reached its capacity (posting more would exceed
+    /// the bounded write buffer; the tile drains first).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.pending.len() >= self.capacity
+    }
+
+    /// Number of requests waiting in the FIFO.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the FIFO is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The requests currently pending, oldest first.
+    #[must_use]
+    pub fn pending(&self) -> &VecDeque<MemRequest> {
+        &self.pending
+    }
+
+    /// Serve passes run so far.
+    #[must_use]
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Opens an API handle for one serve pass over everything pending,
+    /// leaving the FIFO empty. `wall_base_ps` is the absolute FPGA/DRAM time
+    /// at which the controller starts executing.
+    pub fn begin<'a>(&mut self, ctx: TileCtx<'a>, wall_base_ps: u64) -> EasyApi<'a> {
+        self.passes += 1;
+        EasyApi::open(ctx, wall_base_ps, std::mem::take(&mut self.pending))
+    }
+}
 
 /// Everything the system needs back from one controller invocation.
 #[derive(Debug, Clone, Default)]
@@ -36,63 +152,58 @@ pub struct ApiLedger {
     /// Column (RD/WR) commands executed — each occupies the data bus for
     /// one burst.
     pub column_ops: u64,
-    /// Responses produced.
+    /// Responses produced, in service order, each carrying its slice of the
+    /// pass.
     pub responses: Vec<MemResponse>,
 }
 
-/// The EasyAPI handle passed to [`crate::SoftwareMemoryController::serve`].
+impl ApiLedger {
+    /// The running totals of every quantity that gets attributed to
+    /// responses as a [`ResponseSlice`].
+    fn attributable_totals(&self) -> ResponseSlice {
+        ResponseSlice {
+            rocket_cycles: self.rocket_cycles,
+            dram_occupancy_ps: self.dram_occupancy_ps,
+            column_ops: self.column_ops,
+            batches: self.batches,
+        }
+    }
+}
+
+/// The EasyAPI handle passed to [`crate::SoftwareMemoryController::serve`]:
+/// one serve pass over a batch of pending requests.
 #[derive(Debug)]
 pub struct EasyApi<'a> {
-    device: &'a mut DramDevice,
-    executor: &'a Executor,
-    mapper: &'a AddressMapper,
-    remap: &'a HashMap<u64, (u32, u32)>,
-    costs: &'a SmcCostModel,
-    transfer: &'a TransferCost,
-    row_bytes: u64,
+    ctx: TileCtx<'a>,
     wall_base_ps: u64,
     tile_period_ps: u64,
     incoming: VecDeque<MemRequest>,
     table: Vec<MemRequest>,
     program: BenderProgram,
     ledger: ApiLedger,
+    /// Watermark of ledger quantities already attributed to a response.
+    attributed: ResponseSlice,
     extra_wall_ps: u64,
     last_flush: Option<BenderResult>,
     critical: bool,
 }
 
 impl<'a> EasyApi<'a> {
-    /// Creates an API handle for one controller invocation.
-    ///
-    /// `wall_base_ps` is the absolute FPGA/DRAM time at which the controller
-    /// starts executing.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
-        device: &'a mut DramDevice,
-        executor: &'a Executor,
-        mapper: &'a AddressMapper,
-        remap: &'a HashMap<u64, (u32, u32)>,
-        costs: &'a SmcCostModel,
-        transfer: &'a TransferCost,
-        tile_clk_hz: u64,
-        wall_base_ps: u64,
-        incoming: VecDeque<MemRequest>,
-    ) -> Self {
-        let row_bytes = u64::from(device.config().geometry.row_bytes);
+    /// Creates an API handle for one serve pass. Prefer opening passes
+    /// through [`ApiSession::begin`]; this direct constructor exists for
+    /// controller unit tests that hand-build the incoming stream.
+    #[must_use]
+    pub fn open(ctx: TileCtx<'a>, wall_base_ps: u64, incoming: VecDeque<MemRequest>) -> Self {
+        let tile_period_ps = 1_000_000_000_000 / ctx.tile_clk_hz;
         Self {
-            device,
-            executor,
-            mapper,
-            remap,
-            costs,
-            transfer,
-            row_bytes,
+            ctx,
             wall_base_ps,
-            tile_period_ps: 1_000_000_000_000 / tile_clk_hz,
+            tile_period_ps,
             incoming,
             table: Vec::new(),
             program: BenderProgram::new(),
             ledger: ApiLedger::default(),
+            attributed: ResponseSlice::default(),
             extra_wall_ps: 0,
             last_flush: None,
             critical: false,
@@ -120,7 +231,7 @@ impl<'a> EasyApi<'a> {
 
     /// Sets critical mode (`set_scheduling_state`, Table 2).
     pub fn set_scheduling_state(&mut self, critical: bool) {
-        self.charge(self.costs.set_scheduling_state);
+        self.charge(self.ctx.costs.set_scheduling_state);
         self.critical = critical;
     }
 
@@ -134,24 +245,39 @@ impl<'a> EasyApi<'a> {
     /// empty (the `req_empty()` poll of paper Listing 1).
     #[must_use = "polling has a purpose only if the result is inspected"]
     pub fn req_empty(&mut self) -> bool {
-        self.charge(self.costs.poll);
+        self.charge(self.ctx.costs.poll);
         self.incoming.is_empty() && self.table.is_empty()
     }
 
     /// Moves one request from the hardware FIFO into the software request
     /// table (`receive_request` / `add_request`, Table 2) and returns a copy.
     pub fn receive_request(&mut self) -> Option<MemRequest> {
-        self.charge(self.costs.receive_request);
+        self.charge(self.ctx.costs.receive_request);
         let req = self.incoming.pop_front()?;
         self.table.push(req);
         Some(req)
     }
 
-    /// Drains the entire hardware FIFO into the request table.
-    pub fn receive_all(&mut self) {
-        while !self.incoming.is_empty() {
+    /// Drains the entire hardware FIFO into the request table — the
+    /// `while (!req_empty()) add_request(receive_request())` loop of paper
+    /// Listing 1. Returns the number of requests moved.
+    ///
+    /// Cost model (pinned by a unit test): one `poll` charge per FIFO
+    /// emptiness check — `n + 1` checks for `n` pending requests, since the
+    /// final check observes the FIFO empty — plus one `receive_request`
+    /// charge per request moved. Total: `(n + 1) * poll +
+    /// n * receive_request` Rocket cycles.
+    pub fn receive_all(&mut self) -> usize {
+        let mut moved = 0;
+        loop {
+            self.charge(self.ctx.costs.poll);
+            if self.incoming.is_empty() {
+                break;
+            }
             let _ = self.receive_request();
+            moved += 1;
         }
+        moved
     }
 
     /// The software request table (scratchpad memory).
@@ -162,20 +288,20 @@ impl<'a> EasyApi<'a> {
 
     /// FCFS scheduling decision: the oldest request (`FCFS::schedule`).
     pub fn schedule_fcfs(&mut self) -> Option<usize> {
-        self.charge(self.costs.schedule_fcfs);
+        self.charge(self.ctx.costs.schedule_fcfs);
         (!self.table.is_empty()).then_some(0)
     }
 
     /// FR-FCFS scheduling decision: the oldest row-hit if any, else the
     /// oldest request (`FRFCFS::schedule`).
     pub fn schedule_frfcfs(&mut self) -> Option<usize> {
-        self.charge(self.costs.schedule_frfcfs);
+        self.charge(self.ctx.costs.schedule_frfcfs);
         if self.table.is_empty() {
             return None;
         }
         let hit = self.table.iter().position(|r| {
-            let addr = self.map_addr(r.addr());
-            self.device.open_row(addr.bank) == Some(addr.row)
+            let addr = self.ctx.mapper.to_dram_remapped(self.ctx.remap, r.addr());
+            self.ctx.device.open_row(addr.bank) == Some(addr.row)
         });
         Some(hit.unwrap_or(0))
     }
@@ -189,33 +315,24 @@ impl<'a> EasyApi<'a> {
         self.table.remove(idx)
     }
 
-    fn map_addr(&self, phys: u64) -> DramAddress {
-        let vrow = phys / self.row_bytes;
-        let col = (phys % self.row_bytes) as u32 / LINE_BYTES as u32;
-        match self.remap.get(&vrow) {
-            Some(&(bank, row)) => DramAddress { bank, row, col },
-            None => self.mapper.to_dram(phys),
-        }
-    }
-
     /// Translates a physical address to a DRAM coordinate
     /// (`get_addr_mapping`, Table 2), honouring OS-level row remapping
     /// installed by the RowClone allocator.
     pub fn get_addr_mapping(&mut self, phys: u64) -> DramAddress {
-        self.charge(self.costs.addr_mapping);
-        self.map_addr(phys)
+        self.charge(self.ctx.costs.addr_mapping);
+        self.ctx.mapper.to_dram_remapped(self.ctx.remap, phys)
     }
 
     /// The row currently open in `bank` (tile shadow state; free).
     #[must_use]
     pub fn open_row(&self, bank: u32) -> Option<u32> {
-        self.device.open_row(bank)
+        self.ctx.device.open_row(bank)
     }
 
     /// Queries the weak-row Bloom filter cost point (§8.2). The filter
     /// itself lives in the controller; this only charges the lookup.
     pub fn charge_bloom_check(&mut self) {
-        self.charge(self.costs.bloom_check);
+        self.charge(self.ctx.costs.bloom_check);
     }
 
     /// Appends an `ACT` at the earliest legal time (`ddr_activate`).
@@ -228,7 +345,7 @@ impl<'a> EasyApi<'a> {
         bank: u32,
         row: u32,
     ) -> Result<(), easydram_bender::BenderError> {
-        self.charge(self.costs.build_command);
+        self.charge(self.ctx.costs.build_command);
         self.program.cmd_auto(DramCommand::Activate { bank, row })
     }
 
@@ -238,7 +355,7 @@ impl<'a> EasyApi<'a> {
     ///
     /// Returns an error when the command buffer is full.
     pub fn ddr_precharge(&mut self, bank: u32) -> Result<(), easydram_bender::BenderError> {
-        self.charge(self.costs.build_command);
+        self.charge(self.ctx.costs.build_command);
         self.program.cmd_auto(DramCommand::Precharge { bank })
     }
 
@@ -248,7 +365,7 @@ impl<'a> EasyApi<'a> {
     ///
     /// Returns an error when the command buffer is full.
     pub fn ddr_read(&mut self, bank: u32, col: u32) -> Result<(), easydram_bender::BenderError> {
-        self.charge(self.costs.build_command);
+        self.charge(self.ctx.costs.build_command);
         self.program.cmd_auto(DramCommand::Read { bank, col })
     }
 
@@ -264,7 +381,7 @@ impl<'a> EasyApi<'a> {
         col: u32,
         delay_ps: u64,
     ) -> Result<(), easydram_bender::BenderError> {
-        self.charge(self.costs.build_command);
+        self.charge(self.ctx.costs.build_command);
         self.program
             .cmd_after(DramCommand::Read { bank, col }, delay_ps)
     }
@@ -280,7 +397,7 @@ impl<'a> EasyApi<'a> {
         col: u32,
         data: [u8; LINE_BYTES],
     ) -> Result<(), easydram_bender::BenderError> {
-        self.charge(self.costs.build_command);
+        self.charge(self.ctx.costs.build_command);
         self.program
             .cmd_auto(DramCommand::Write { bank, col, data })
     }
@@ -291,7 +408,7 @@ impl<'a> EasyApi<'a> {
     ///
     /// Returns an error when the command buffer is full.
     pub fn ddr_refresh(&mut self) -> Result<(), easydram_bender::BenderError> {
-        self.charge(self.costs.build_command);
+        self.charge(self.ctx.costs.build_command);
         self.program.cmd_auto(DramCommand::Refresh)
     }
 
@@ -307,7 +424,7 @@ impl<'a> EasyApi<'a> {
         src: DramAddress,
         dst: DramAddress,
     ) -> Result<(), easydram_bender::BenderError> {
-        self.charge(self.costs.build_rowclone);
+        self.charge(self.ctx.costs.build_rowclone);
         self.program.cmd_auto(DramCommand::Activate {
             bank: src.bank,
             row: src.row,
@@ -340,16 +457,19 @@ impl<'a> EasyApi<'a> {
     /// Propagates readback overflow or device addressing errors.
     pub fn flush_commands(&mut self) -> Result<&BenderResult, easydram_bender::BenderError> {
         let n_instrs = self.program.len();
-        self.ledger.hw_cycles += self.transfer.program_cycles(n_instrs);
+        self.ledger.hw_cycles += self.ctx.transfer.program_cycles(n_instrs);
         let start = self.wall_now_ps();
-        let result = self.executor.run(self.device, &self.program, start)?;
-        self.ledger.hw_cycles += self.transfer.readback_cycles(result.reads.len());
+        let result = self
+            .ctx
+            .executor
+            .run(self.ctx.device, &self.program, start)?;
+        self.ledger.hw_cycles += self.ctx.transfer.readback_cycles(result.reads.len());
         self.ledger.batches += 1;
         self.ledger.dram_elapsed_ps += result.elapsed_ps;
         // Occupancy: the bus/bank time the batch holds the channel; the CAS
         // pipeline latency of the final read overlaps with later batches in
         // a real controller.
-        let t_cl = self.device.timing().t_cl_ps;
+        let t_cl = self.ctx.device.timing().t_cl_ps;
         let columns = self
             .program
             .instrs()
@@ -357,8 +477,7 @@ impl<'a> EasyApi<'a> {
             .filter(|i| i.command().is_some_and(DramCommand::is_column))
             .count() as u64;
         self.ledger.column_ops += columns;
-        let had_columns = columns > 0;
-        let occupancy = if had_columns {
+        let occupancy = if columns > 0 {
             result.elapsed_ps.saturating_sub(t_cl)
         } else {
             result.elapsed_ps
@@ -376,18 +495,24 @@ impl<'a> EasyApi<'a> {
         self.last_flush.as_ref()
     }
 
-    /// Finalizes a response (`enqueue_response`, Table 2).
+    /// Finalizes a response (`enqueue_response`, Table 2) and attributes to
+    /// it everything the pass spent since the previous response was
+    /// finalized — its [`ResponseSlice`].
     pub fn enqueue_response(&mut self, id: u64, data: Option<[u8; LINE_BYTES]>, corrupted: bool) {
-        self.charge(self.costs.enqueue_response);
+        self.charge(self.ctx.costs.enqueue_response);
+        let totals = self.ledger.attributable_totals();
+        let slice = totals - self.attributed;
+        self.attributed = totals;
         self.ledger.responses.push(MemResponse {
             id,
             data,
             corrupted,
+            slice,
         });
     }
 
-    /// Pushes a request into the hardware FIFO (used by the system and by
-    /// controller unit tests).
+    /// Pushes a request into the hardware FIFO (used by controller unit
+    /// tests to hand-build a stream mid-pass).
     pub fn push_incoming(&mut self, req: MemRequest) {
         self.incoming.push_back(req);
     }
@@ -410,7 +535,7 @@ impl<'a> EasyApi<'a> {
         addr: DramAddress,
         trcd_override_ps: Option<u64>,
     ) -> Result<RowBufferOutcome, easydram_bender::BenderError> {
-        let outcome = match self.device.open_row(addr.bank) {
+        let outcome = match self.ctx.device.open_row(addr.bank) {
             Some(r) if r == addr.row => RowBufferOutcome::Hit,
             Some(_) => RowBufferOutcome::Conflict,
             None => RowBufferOutcome::Miss,
@@ -442,7 +567,7 @@ impl<'a> EasyApi<'a> {
         data: [u8; LINE_BYTES],
         trcd_override_ps: Option<u64>,
     ) -> Result<RowBufferOutcome, easydram_bender::BenderError> {
-        let outcome = match self.device.open_row(addr.bank) {
+        let outcome = match self.ctx.device.open_row(addr.bank) {
             Some(r) if r == addr.row => RowBufferOutcome::Hit,
             Some(_) => RowBufferOutcome::Conflict,
             None => RowBufferOutcome::Miss,
@@ -453,7 +578,7 @@ impl<'a> EasyApi<'a> {
         if outcome != RowBufferOutcome::Hit {
             self.ddr_activate(addr.bank, addr.row)?;
             if let Some(trcd) = trcd_override_ps {
-                self.charge(self.costs.build_command);
+                self.charge(self.ctx.costs.build_command);
                 self.program.cmd_after(
                     DramCommand::Write {
                         bank: addr.bank,
@@ -511,16 +636,17 @@ mod tests {
         costs: &'a SmcCostModel,
         transfer: &'a TransferCost,
     ) -> EasyApi<'a> {
-        EasyApi::new(
-            dev,
-            ex,
-            map,
-            remap,
-            costs,
-            transfer,
-            100_000_000,
+        ApiSession::new(16).begin(
+            TileCtx {
+                device: dev,
+                executor: ex,
+                mapper: map,
+                remap,
+                costs,
+                transfer,
+                tile_clk_hz: 100_000_000,
+            },
             0,
-            VecDeque::new(),
         )
     }
 
@@ -557,6 +683,106 @@ mod tests {
         assert!(ledger.rocket_cycles > 20, "API calls must cost cycles");
         assert!(ledger.dram_elapsed_ps > 0);
         assert_eq!(ledger.batches, 1);
+    }
+
+    #[test]
+    fn session_posts_assign_monotonic_ids_and_drain_into_a_pass() {
+        let (mut dev, ex, map, remap) = fixtures();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        let mut session = ApiSession::new(4);
+        assert_eq!(session.post(RequestKind::Read { addr: 0 }, 5), 0);
+        assert_eq!(session.post(RequestKind::Read { addr: 64 }, 6), 1);
+        assert_eq!(session.len(), 2);
+        assert!(!session.is_full());
+        assert_eq!(session.pending()[0].arrival_cycle, 5);
+        let mut a = session.begin(
+            TileCtx {
+                device: &mut dev,
+                executor: &ex,
+                mapper: &map,
+                remap: &remap,
+                costs: &costs,
+                transfer: &transfer,
+                tile_clk_hz: 100_000_000,
+            },
+            0,
+        );
+        assert_eq!(a.receive_all(), 2, "the pass sees the whole stream");
+        assert_eq!(a.request_table().len(), 2);
+        assert!(session.is_empty(), "begin drains the FIFO");
+        assert_eq!(session.passes(), 1);
+        // Ids keep growing across passes.
+        assert_eq!(session.post(RequestKind::Read { addr: 128 }, 9), 2);
+    }
+
+    #[test]
+    fn receive_all_cost_model_is_pinned() {
+        // Documented model: (n + 1) * poll + n * receive_request.
+        let (mut dev, ex, map, remap) = fixtures();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        for n in [0u64, 1, 4] {
+            let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
+            for i in 0..n {
+                a.push_incoming(MemRequest {
+                    id: i,
+                    kind: RequestKind::Read { addr: i * 64 },
+                    arrival_cycle: 0,
+                });
+            }
+            let before = a.cycles_spent();
+            assert_eq!(a.receive_all() as u64, n);
+            let charged = a.cycles_spent() - before;
+            assert_eq!(
+                charged,
+                (n + 1) * costs.poll + n * costs.receive_request,
+                "receive_all cost for n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_carry_disjoint_slices_that_sum_to_the_ledger() {
+        let (mut dev, ex, map, remap) = fixtures();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
+        for (id, addr) in [(0u64, 0u64), (1, 8192 * 2)] {
+            a.push_incoming(MemRequest {
+                id,
+                kind: RequestKind::Read { addr },
+                arrival_cycle: 0,
+            });
+        }
+        a.receive_all();
+        for idx in [0, 0] {
+            let req = a.take_request(idx);
+            let d = a.get_addr_mapping(req.addr());
+            a.read_sequence(d, None).unwrap();
+            let data = a.flush_commands().unwrap().reads[0];
+            a.enqueue_response(req.id, Some(data), false);
+        }
+        let trailing = costs.set_scheduling_state;
+        a.set_scheduling_state(false);
+        let ledger = a.into_ledger();
+        assert_eq!(ledger.responses.len(), 2);
+        let sum_rocket: u64 = ledger.responses.iter().map(|r| r.slice.rocket_cycles).sum();
+        let sum_occ: u64 = ledger
+            .responses
+            .iter()
+            .map(|r| r.slice.dram_occupancy_ps)
+            .sum();
+        let sum_cols: u64 = ledger.responses.iter().map(|r| r.slice.column_ops).sum();
+        assert_eq!(
+            sum_rocket + trailing,
+            ledger.rocket_cycles,
+            "slices partition the pass (trailing work stays unattributed)"
+        );
+        assert_eq!(sum_occ, ledger.dram_occupancy_ps);
+        assert_eq!(sum_cols, ledger.column_ops);
+        assert!(ledger.responses.iter().all(|r| r.slice.batches == 1));
+        assert!(ledger.responses.iter().all(|r| r.slice.rocket_cycles > 0));
     }
 
     #[test]

@@ -2,14 +2,19 @@
 //!
 //! A software memory controller is an ordinary program — here a Rust type
 //! implementing [`SoftwareMemoryController`] — that serves memory requests
-//! through the [`easyapi::EasyApi`] surface of paper Table 2. The
-//! system invokes it whenever requests are pending; every API call charges
+//! through the [`easyapi::EasyApi`] surface of paper Table 2. The tile
+//! accumulates posted requests in a persistent [`easyapi::ApiSession`] and
+//! invokes the controller in **batched serve passes**: one pass may carry
+//! many in-flight requests (posted writebacks plus the read that forced the
+//! drain), which is what makes FR-FCFS reordering, critical-mode
+//! scheduling, and request batching meaningful. Every API call charges
 //! Rocket cycles, and the accumulated ledger feeds time scaling.
 
 pub mod controllers;
 pub mod easyapi;
 
 pub use controllers::{FcfsController, FrFcfsController, RowPolicy, TrcdPlan};
+pub use easyapi::{ApiSession, TileCtx};
 
 use crate::smc::easyapi::EasyApi;
 
@@ -38,12 +43,34 @@ impl std::ops::AddAssign for ServeResult {
     }
 }
 
+impl std::ops::SubAssign for ServeResult {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.served -= rhs.served;
+        self.row_hits -= rhs.row_hits;
+        self.row_misses -= rhs.row_misses;
+        self.row_conflicts -= rhs.row_conflicts;
+        self.reduced_trcd_accesses -= rhs.reduced_trcd_accesses;
+    }
+}
+
 /// A software memory controller: the C++ program of paper Listing 1,
 /// expressed as a trait.
 ///
-/// Implementations must drain every pending request (`api.req_empty()`
-/// becomes true) before returning; the system converts the cycles charged to
-/// the API ledger into modeled scheduling latency.
+/// The contract of one serve pass:
+///
+/// * The incoming stream may hold **many** requests (posted writes plus the
+///   read or fence that forced the drain). Implementations must drain every
+///   pending request (`api.req_empty()` becomes true) and enqueue exactly
+///   one response per request before returning.
+/// * Requests to the **same address** must be served in arrival order (the
+///   table is arrival-ordered; both shipped schedulers pick the earliest
+///   request among equals, which preserves this). Reordering across
+///   different addresses — e.g. FR-FCFS pulling row hits forward — is the
+///   point of batching.
+/// * The cycles charged between one `enqueue_response` and the next are
+///   attributed to that response ([`crate::request::ResponseSlice`]); the
+///   system prices each slice independently on the emulated timeline and
+///   releases every request at its own cycle.
 pub trait SoftwareMemoryController {
     /// Controller name for reports.
     fn name(&self) -> &str;

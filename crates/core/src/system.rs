@@ -14,7 +14,7 @@
 //! * `NoTimeScaling` — raw FPGA wall latency at the slow processor clock
 //!   (the PiDRAM-style skew of §7.2).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use easydram_bender::Executor;
 use easydram_cpu::backend::{LineFetch, MemoryBackend, RowCloneRequestResult};
@@ -24,10 +24,21 @@ use easydram_dram::{AddressMapper, DramDevice, LINE_BYTES};
 use crate::alloc::{remap_table, RowCloneAllocator};
 use crate::config::{SystemConfig, TimingMode};
 use crate::report::{ExecutionReport, SmcStats};
-use crate::request::{MemRequest, RequestKind};
-use crate::smc::easyapi::EasyApi;
+use crate::request::RequestKind;
+use crate::smc::easyapi::{ApiSession, TileCtx};
 use crate::smc::{FrFcfsController, SoftwareMemoryController, TrcdPlan};
+use crate::timeline::{EmulatedTimeline, TimelineDemand};
 use crate::timescale::{cycles_to_ps, ps_to_cycles_round, TimeScalingCounters};
+
+/// One served request as the tile hands it back to the core: response data
+/// plus the emulated processor cycle at which the core may observe it.
+#[derive(Debug, Clone, Copy)]
+struct Served {
+    id: u64,
+    data: Option<[u8; LINE_BYTES]>,
+    corrupted: bool,
+    release_cycle: u64,
+}
 
 /// The EasyTile plus DRAM: the memory system behind the core.
 pub struct Tile {
@@ -48,14 +59,12 @@ pub struct Tile {
     wall_ps: u64,
     /// Total wall time the processor domain spent clock-gated, ps.
     frozen_ps: u64,
-    /// Emulated-timeline availability of each bank (row prep overlaps
-    /// across banks in a real controller), ps.
-    bank_free_emul_ps: Vec<u64>,
-    /// Emulated-timeline availability of the shared data bus, ps.
-    bus_free_emul_ps: u64,
-    /// Next periodic refresh on the emulated timeline, ps.
-    next_ref_emul_ps: u64,
-    next_req_id: u64,
+    /// The modeled memory system's emulated timeline (per-bank and bus
+    /// availability, periodic refresh).
+    timeline: EmulatedTimeline,
+    /// The persistent controller session: the pending-request stream posted
+    /// writes accumulate in, drained by batched serve passes.
+    session: ApiSession,
     counters: TimeScalingCounters,
     stats: SmcStats,
     row_bytes: u64,
@@ -67,9 +76,10 @@ impl Tile {
         let geometry = cfg.dram.geometry.clone();
         let mapper = AddressMapper::new(geometry.clone(), cfg.mapping);
         let allocator = RowCloneAllocator::new(geometry.clone(), cfg.rowclone_test_trials);
-        let next_ref = cfg.dram.timing.t_refi_ps;
         let row_bytes = u64::from(geometry.row_bytes);
         let n_banks = geometry.banks() as usize;
+        let timeline = EmulatedTimeline::new(n_banks, &cfg.dram.timing, cfg.refresh_enabled);
+        let session = ApiSession::new(cfg.write_buffer_depth);
         Self {
             cfg,
             device,
@@ -83,10 +93,8 @@ impl Tile {
             alloc_cursor: 0x1_0000,
             wall_ps: 0,
             frozen_ps: 0,
-            bank_free_emul_ps: vec![0; n_banks],
-            bus_free_emul_ps: 0,
-            next_ref_emul_ps: next_ref,
-            next_req_id: 0,
+            timeline,
+            session,
             counters: TimeScalingCounters::new(),
             stats: SmcStats::default(),
             row_bytes,
@@ -144,160 +152,181 @@ impl Tile {
         addr / self.row_bytes
     }
 
-    /// Remap-aware physical-to-DRAM translation (same logic as EasyAPI's
-    /// `get_addr_mapping`, used here for per-bank timeline bookkeeping).
-    fn map_addr(&self, phys: u64) -> easydram_dram::DramAddress {
-        let vrow = phys / self.row_bytes;
-        let col = (phys % self.row_bytes) as u32 / LINE_BYTES as u32;
-        match self.remap.get(&vrow) {
-            Some(&(bank, row)) => easydram_dram::DramAddress { bank, row, col },
-            None => self.mapper.to_dram(phys),
-        }
+    /// Starts a fresh `peak_batch` observation window, returning the prior
+    /// peak. `System::run` uses this so a run's report carries the window's
+    /// own peak rather than the lifetime one.
+    pub(crate) fn begin_peak_window(&mut self) -> u64 {
+        std::mem::take(&mut self.stats.peak_batch)
     }
 
-    /// Serves one request end-to-end and returns `(response data, corrupted,
-    /// release cycle)`.
-    fn serve(
+    /// Ends a `peak_batch` window, folding the prior peak back into the
+    /// lifetime statistic.
+    pub(crate) fn end_peak_window(&mut self, prior_peak: u64) {
+        self.stats.peak_batch = self.stats.peak_batch.max(prior_peak);
+    }
+
+    /// Remaining capacity-independent drain: serves everything pending in
+    /// one batched pass and returns the latest release cycle (or
+    /// `trigger_cycle` when nothing was pending).
+    fn drain(&mut self, trigger_cycle: u64) -> u64 {
+        self.serve_pass(trigger_cycle)
+            .iter()
+            .map(|s| s.release_cycle)
+            .max()
+            .unwrap_or(trigger_cycle)
+    }
+
+    /// Posts one request and immediately drains the stream, returning that
+    /// request's response (host-side single-request path: reads, RowClone,
+    /// profiling).
+    fn serve_one(
         &mut self,
         kind: RequestKind,
         issue_cycle: u64,
     ) -> (Option<[u8; LINE_BYTES]>, bool, u64) {
+        let id = self.session.post(kind, issue_cycle);
+        let served = self.serve_pass(issue_cycle);
+        let s = served
+            .iter()
+            .find(|s| s.id == id)
+            .expect("controller must respond to every request");
+        (s.data, s.corrupted, s.release_cycle)
+    }
+
+    /// One batched serve pass over the whole pending stream (paper §4.1,
+    /// Listing 1): the controller sees a multi-entry request table, and
+    /// every response is priced independently on the emulated timeline from
+    /// its own [`crate::request::ResponseSlice`], in controller service
+    /// order — so FR-FCFS reordering really changes per-request latency.
+    ///
+    /// `trigger_cycle` is the emulated cycle of whatever forced the drain
+    /// (the read, fence, or the posted write that found the buffer full).
+    fn serve_pass(&mut self, trigger_cycle: u64) -> Vec<Served> {
+        if self.session.is_empty() {
+            return Vec::new();
+        }
         let f_core = self.cfg.core.freq_hz;
         let mode = self.cfg.mode;
-        let arrival_emul_ps = cycles_to_ps(issue_cycle, f_core);
-        let base_wall = self.wall_ps_at(issue_cycle);
+        let base_wall = self.wall_ps_at(trigger_cycle);
         let start_wall = self.wall_ps.max(base_wall);
-        let id = self.next_req_id;
-        self.next_req_id += 1;
-        let req = MemRequest {
-            id,
-            kind,
-            arrival_cycle: issue_cycle,
-        };
+        let batch = self.session.len() as u64;
 
         if mode == TimingMode::TimeScaling {
             // Fig. 5 (b)-(c): tag, clock-gate, enter critical mode.
-            self.counters.advance_proc(issue_cycle);
+            self.counters.advance_proc(trigger_cycle);
             self.counters.enter_critical();
         }
 
-        let mut incoming = VecDeque::with_capacity(1);
-        incoming.push_back(req);
-        let mut api = EasyApi::new(
-            &mut self.device,
-            &self.executor,
-            &self.mapper,
-            &self.remap,
-            &self.cfg.smc_costs,
-            &self.cfg.fpga.transfer,
-            self.cfg.fpga.tile_clk_hz,
+        // Arrival cycle and target bank per request id, for pricing the
+        // responses after the controller has reordered them.
+        let meta: HashMap<u64, (u64, usize)> = self
+            .session
+            .pending()
+            .iter()
+            .map(|r| {
+                let bank = self.mapper.to_dram_remapped(&self.remap, r.addr()).bank;
+                (r.id, (r.arrival_cycle, bank as usize))
+            })
+            .collect();
+
+        let mut api = self.session.begin(
+            TileCtx {
+                device: &mut self.device,
+                executor: &self.executor,
+                mapper: &self.mapper,
+                remap: &self.remap,
+                costs: &self.cfg.smc_costs,
+                transfer: &self.cfg.fpga.transfer,
+                tile_clk_hz: self.cfg.fpga.tile_clk_hz,
+            },
             start_wall,
-            incoming,
         );
         let serve_res = self.controller.serve(&mut api);
         let end_wall = api.wall_now_ps();
         let ledger = api.into_ledger();
+        assert_eq!(
+            ledger.responses.len(),
+            meta.len(),
+            "controller must respond to every request exactly once"
+        );
 
-        self.stats.requests += 1;
+        self.stats.requests += batch;
         self.stats.rocket_cycles += ledger.rocket_cycles;
         self.stats.hw_cycles += ledger.hw_cycles;
         self.stats.batches += ledger.batches;
+        self.stats.peak_batch = self.stats.peak_batch.max(batch);
         self.stats.serve += serve_res;
 
         self.wall_ps = end_wall.max(self.wall_ps);
         self.frozen_ps += end_wall.saturating_sub(base_wall);
-
-        let response = ledger
-            .responses
-            .iter()
-            .find(|r| r.id == id)
-            .copied()
-            .expect("controller must respond to every request");
+        let wall_latency = end_wall.saturating_sub(base_wall);
 
         // --- Emulated-timeline service (Reference / TimeScaling). ---
-        //
-        // The modeled single-channel memory system has bank-level
-        // parallelism: row preparation (PRE/ACT) proceeds per bank while the
-        // data bus serializes one burst per column command.
         let timing = self.device.timing();
-        let t_rfc = timing.t_rfc_ps;
-        let t_refi = timing.t_refi_ps;
-        let t_cl = timing.t_cl_ps;
         let t_burst = timing.t_burst_ps;
-        let sched_emul_ps = cycles_to_ps(ledger.rocket_cycles, self.cfg.mc_emul_hz);
+        let t_ck = timing.t_ck_ps;
         let fixed_ps = self.cfg.mc_fixed_latency_ps;
-        let bank = self.map_addr(req.addr()).bank as usize;
-        let burst_total = ledger.column_ops * t_burst;
-        let prep_ps = ledger.dram_occupancy_ps.saturating_sub(burst_total);
 
-        let mut start_bank = arrival_emul_ps.max(self.bank_free_emul_ps[bank]);
-        if self.cfg.refresh_enabled {
-            while self.next_ref_emul_ps <= start_bank {
-                // All-bank refresh: every bank stalls for tRFC.
-                let ref_end = self.next_ref_emul_ps + t_rfc;
-                for b in &mut self.bank_free_emul_ps {
-                    *b = (*b).max(ref_end);
+        let mut served = Vec::with_capacity(ledger.responses.len());
+        let mut latest_release = trigger_cycle;
+        for resp in &ledger.responses {
+            let (arrival_cycle, bank) = *meta
+                .get(&resp.id)
+                .expect("every response answers a posted request");
+            let burst_ps = resp.slice.column_ops * t_burst;
+            let finish_mem_ps = self.timeline.price(&TimelineDemand {
+                arrival_ps: cycles_to_ps(arrival_cycle, f_core),
+                bank,
+                prep_ps: resp.slice.dram_occupancy_ps.saturating_sub(burst_ps),
+                burst_ps,
+                has_columns: resp.slice.column_ops > 0,
+            });
+            let sched_emul_ps = cycles_to_ps(resp.slice.rocket_cycles, self.cfg.mc_emul_hz);
+            let release_cycle = match mode {
+                TimingMode::Reference => {
+                    let done = finish_mem_ps + sched_emul_ps + fixed_ps;
+                    ps_to_cycles_round(done, f_core)
                 }
-                start_bank = start_bank.max(ref_end);
-                self.next_ref_emul_ps += t_refi;
-            }
+                TimingMode::TimeScaling => {
+                    // Each component crosses a clock-domain counter and is
+                    // quantized: DRAM Bender reports whole DRAM-clock cycles
+                    // back to the controller (Fig. 5 ④), and every component
+                    // is converted to whole processor cycles separately
+                    // (§4.3).
+                    let finish_q = (finish_mem_ps + t_ck / 2) / t_ck * t_ck;
+                    ps_to_cycles_round(finish_q, f_core)
+                        + ps_to_cycles_round(sched_emul_ps, f_core)
+                        + ps_to_cycles_round(fixed_ps, f_core)
+                }
+                TimingMode::NoTimeScaling => {
+                    // The processor observes the raw wall latency of the
+                    // whole frozen pass at its own (FPGA) clock — no scaling.
+                    trigger_cycle + ps_to_cycles_round(wall_latency, f_core).max(1)
+                }
+            };
+            let release_cycle = release_cycle.max(arrival_cycle + 1);
+            latest_release = latest_release.max(release_cycle);
+            served.push(Served {
+                id: resp.id,
+                data: resp.data,
+                corrupted: resp.corrupted,
+                release_cycle,
+            });
         }
-        let start_bus = (start_bank + prep_ps).max(self.bus_free_emul_ps);
-        let finish_mem_ps = if ledger.column_ops > 0 {
-            start_bus + burst_total + t_cl
-        } else {
-            // Row-only batches (RowClone) occupy the bank, not the bus.
-            start_bank + ledger.dram_occupancy_ps
-        };
-        self.bank_free_emul_ps[bank] = if ledger.column_ops > 0 {
-            start_bus + burst_total
-        } else {
-            finish_mem_ps
-        };
-        if ledger.column_ops > 0 {
-            self.bus_free_emul_ps = start_bus + burst_total;
-        }
-
-        let release_cycle = match mode {
-            TimingMode::Reference => {
-                let done = finish_mem_ps + sched_emul_ps + fixed_ps;
-                ps_to_cycles_round(done, f_core)
-            }
-            TimingMode::TimeScaling => {
-                // Each component crosses a clock-domain counter and is
-                // quantized: DRAM Bender reports whole DRAM-clock cycles
-                // back to the controller (Fig. 5 ④), and every component is
-                // converted to whole processor cycles separately (§4.3).
-                let t_ck = timing.t_ck_ps;
-                let finish_q = (finish_mem_ps + t_ck / 2) / t_ck * t_ck;
-                ps_to_cycles_round(finish_q, f_core)
-                    + ps_to_cycles_round(sched_emul_ps, f_core)
-                    + ps_to_cycles_round(fixed_ps, f_core)
-            }
-            TimingMode::NoTimeScaling => {
-                // The processor observes the raw wall latency at its own
-                // (FPGA) clock — no scaling.
-                let wall_latency = end_wall.saturating_sub(base_wall);
-                issue_cycle + ps_to_cycles_round(wall_latency, f_core).max(1)
-            }
-        };
-        let release_cycle = release_cycle.max(issue_cycle + 1);
 
         if mode == TimingMode::TimeScaling {
-            // Fig. 5 ⑤/⑪: convert the batch duration and advance the MC
-            // counter; the response is tagged with its release cycle and the
-            // processors resume.
-            self.counters.advance_mc(release_cycle);
+            // Fig. 5 ⑤/⑪: convert the pass duration and advance the MC
+            // counter; each response is tagged with its release cycle and
+            // the processors resume.
+            self.counters.advance_mc(latest_release);
             self.counters
-                .advance_proc(issue_cycle.max(release_cycle.min(self.counters.mc_cycles)));
+                .advance_proc(trigger_cycle.max(latest_release.min(self.counters.mc_cycles)));
             self.counters.exit_critical();
-            let tile_period = 1_000_000_000_000 / self.cfg.fpga.tile_clk_hz;
             self.counters
                 .tick_global(ledger.rocket_cycles + ledger.hw_cycles);
-            let _ = tile_period;
         }
 
-        (response.data, response.corrupted, release_cycle)
+        served
     }
 
     fn bump_alloc(&mut self, bytes: u64, align: u64) -> u64 {
@@ -332,30 +361,47 @@ impl Tile {
         let addr = self
             .mapper
             .to_phys(easydram_dram::DramAddress { bank, row, col });
-        let (_, corrupted, _) = self.serve(RequestKind::ProfileTrcd { addr, trcd_ps }, issue_cycle);
+        let (_, corrupted, _) =
+            self.serve_one(RequestKind::ProfileTrcd { addr, trcd_ps }, issue_cycle);
         !corrupted
     }
 }
 
 impl MemoryBackend for Tile {
     fn read_line(&mut self, line_addr: u64, issue_cycle: u64) -> LineFetch {
+        // Reads force a drain: the pending posted writes and this read are
+        // scheduled together in one batched pass, so the controller can
+        // reorder across the whole stream while same-address ordering keeps
+        // the read coherent.
         let (data, _corrupted, release) =
-            self.serve(RequestKind::Read { addr: line_addr }, issue_cycle);
+            self.serve_one(RequestKind::Read { addr: line_addr }, issue_cycle);
         LineFetch {
             data: data.expect("read returns data"),
             complete_cycle: release,
         }
     }
 
-    fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
-        let (_, _, release) = self.serve(
+    fn post_write(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
+        self.stats.posted_writes += 1;
+        let accepted = if self.session.is_full() {
+            // Bounded write buffer: make room by draining what accumulated.
+            self.stats.forced_drains += 1;
+            self.drain(issue_cycle)
+        } else {
+            issue_cycle
+        };
+        self.session.post(
             RequestKind::Write {
                 addr: line_addr,
                 data,
             },
             issue_cycle,
         );
-        release
+        accepted
+    }
+
+    fn drain_writes(&mut self, issue_cycle: u64) -> u64 {
+        self.drain(issue_cycle)
     }
 
     fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
@@ -393,7 +439,7 @@ impl MemoryBackend for Tile {
                 copied: false,
             });
         }
-        let (_, _, release) = self.serve(
+        let (_, _, release) = self.serve_one(
             RequestKind::RowClone {
                 src_addr: src_row_addr,
                 dst_addr: dst_row_addr,
@@ -526,8 +572,10 @@ impl System {
         let instr0 = self.core.stats().instructions;
         let reads0 = self.core.stats().mem_reads;
         let smc0 = *self.tile().smc_stats();
+        let prior_peak = self.tile_mut().begin_peak_window();
         workload.run(&mut self.core);
         let mut r = self.report(workload.name());
+        self.tile_mut().end_peak_window(prior_peak);
         r.emulated_cycles = self.core.now_cycles() - cycles0;
         r.instructions = self.core.stats().instructions - instr0;
         r.emulated_seconds = r.emulated_cycles as f64 / self.core.config().freq_hz as f64;
@@ -536,10 +584,7 @@ impl System {
         } else {
             (self.core.stats().mem_reads - reads0) as f64 * 1000.0 / r.emulated_cycles as f64
         };
-        r.smc.requests -= smc0.requests;
-        r.smc.rocket_cycles -= smc0.rocket_cycles;
-        r.smc.hw_cycles -= smc0.hw_cycles;
-        r.smc.batches -= smc0.batches;
+        r.smc.subtract_baseline(&smc0);
         if r.fpga_wall_seconds > 0.0 {
             r.sim_speed_hz = r.emulated_cycles as f64 / r.fpga_wall_seconds;
         }
@@ -785,6 +830,54 @@ mod tests {
         // Second run is a fresh window, not cumulative.
         assert!(r2.emulated_cycles < r1.emulated_cycles * 3);
         assert_eq!(r1.name, "tiny");
+    }
+
+    #[test]
+    fn run_reports_window_peak_batch_not_lifetime() {
+        struct FlushBurst;
+        impl Workload for FlushBurst {
+            fn name(&self) -> &str {
+                "flush-burst"
+            }
+            fn run(&mut self, cpu: &mut dyn CpuApi) {
+                let a = cpu.alloc(64 * 6, 64);
+                for i in 0..6u64 {
+                    cpu.store_u64(a + i * 64, i);
+                }
+                for i in 0..6u64 {
+                    cpu.clflush(a + i * 64);
+                }
+                cpu.fence();
+            }
+        }
+        struct LoneLoads;
+        impl Workload for LoneLoads {
+            fn name(&self) -> &str {
+                "lone-loads"
+            }
+            fn run(&mut self, cpu: &mut dyn CpuApi) {
+                let a = cpu.alloc(64 * 4, 64);
+                for i in 0..4u64 {
+                    let _ = cpu.load_u64(a + i * 64);
+                }
+            }
+        }
+        let mut s = sys(TimingMode::Reference);
+        let burst = s.run(&mut FlushBurst);
+        assert!(burst.smc.peak_batch >= 4, "the flush burst batches");
+        let lone = s.run(&mut LoneLoads);
+        assert!(
+            lone.smc.peak_batch < burst.smc.peak_batch,
+            "a later window must not inherit the earlier peak: {} vs {}",
+            lone.smc.peak_batch,
+            burst.smc.peak_batch
+        );
+        // The lifetime statistic still remembers the burst.
+        assert_eq!(s.tile().smc_stats().peak_batch, burst.smc.peak_batch);
+        // Scheduling outcomes are windowed too: the second run's serve
+        // stats describe only its own 4 loads, not the earlier burst.
+        assert_eq!(lone.smc.serve.served, lone.smc.requests);
+        assert_eq!(lone.smc.serve.served, 4);
     }
 
     #[test]

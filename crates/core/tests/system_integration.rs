@@ -115,6 +115,88 @@ fn fcfs_is_slower_than_frfcfs_on_streaming() {
 }
 
 #[test]
+fn frfcfs_reorders_a_batched_request_stream() {
+    // The regression the persistent-session redesign exists for: a 4+-deep
+    // pending stream reaches the controller as ONE batch, so FR-FCFS can
+    // pull row hits forward. Before the redesign every request was served
+    // from a one-element table and this was structurally impossible.
+    use easydram_dram::{AddressMapper, DramAddress};
+
+    let run = |fcfs: bool| {
+        let mut cfg = SystemConfig::small_for_tests(TimingMode::Reference);
+        // Consecutive lines walk a row: maximal row locality.
+        cfg.mapping = MappingScheme::RowBankCol;
+        let geometry = cfg.dram.geometry.clone();
+        let mut s = System::new(cfg);
+        if fcfs {
+            s.install_controller(Box::new(FcfsController::new()));
+        }
+        let mapper = AddressMapper::new(geometry, MappingScheme::RowBankCol);
+        let line = |row, col| mapper.to_phys(DramAddress { bank: 0, row, col });
+        // Dirty six lines alternating between two rows of the same bank,
+        // then flush them all without an intervening fence: the writebacks
+        // accumulate in the tile's pending stream.
+        let spots: Vec<u64> = (0..3u32)
+            .flat_map(|col| [line(2, col), line(3, col)])
+            .collect();
+        for (i, &a) in spots.iter().enumerate() {
+            s.cpu().store_u64(a, i as u64);
+        }
+        for &a in &spots {
+            s.cpu().clflush(a);
+        }
+        // The fence forces the drain: one serve pass over all six writes.
+        s.cpu().fence();
+        let stats = *s.tile().smc_stats();
+        (s.cpu().now_cycles(), stats)
+    };
+    let (frfcfs_cycles, frfcfs) = run(false);
+    let (fcfs_cycles, fcfs) = run(true);
+    assert!(
+        frfcfs.peak_batch >= 4,
+        "the flush burst must reach the controller as one batch, got {}",
+        frfcfs.peak_batch
+    );
+    assert!(
+        frfcfs.serve.row_hits >= 1,
+        "FR-FCFS must find row hits inside the batch, got {:?}",
+        frfcfs.serve
+    );
+    assert_eq!(fcfs.serve.row_hits, 0, "closed-page FCFS never hits");
+    assert!(
+        frfcfs_cycles < fcfs_cycles,
+        "reordering the same stream must be faster: FR-FCFS {frfcfs_cycles} vs FCFS {fcfs_cycles}"
+    );
+}
+
+#[test]
+fn posted_writes_do_not_block_and_fence_drains() {
+    let mut s = sys(TimingMode::Reference);
+    let a = s.cpu().alloc(64 * 6, 64);
+    for i in 0..6u64 {
+        s.cpu().store_u64(a + i * 64, i);
+    }
+    for i in 0..6u64 {
+        s.cpu().clflush(a + i * 64);
+    }
+    let stats_before = *s.tile().smc_stats();
+    assert_eq!(
+        stats_before.posted_writes, 6,
+        "flushes are posted, not served inline"
+    );
+    s.cpu().fence();
+    let stats = *s.tile().smc_stats();
+    assert!(
+        stats.requests >= stats_before.requests + 6,
+        "the fence must drain every posted write"
+    );
+    // The data really is in DRAM now.
+    for i in 0..6u64 {
+        assert_eq!(s.cpu().load_u64(a + i * 64), i);
+    }
+}
+
+#[test]
 fn rowclone_alloc_scales_to_many_rows() {
     let mut cfg = SystemConfig::small_for_tests(TimingMode::TimeScaling);
     cfg.rowclone_test_trials = 20;

@@ -30,6 +30,19 @@ pub struct RowCloneRequestResult {
 
 /// A memory system that serves cache-line traffic from the core.
 ///
+/// The interface is a **request stream**, not a call-per-request RPC:
+///
+/// * [`MemoryBackend::post_write`] hands a write/writeback to the memory
+///   system without waiting for service (a *posted* write). Backends with a
+///   pending-request buffer accumulate posted writes and serve them in
+///   batches.
+/// * [`MemoryBackend::read_line`] is ordering-critical: the backend must
+///   serve (or order after) every previously posted write, so a read always
+///   observes the newest data (in the EasyDRAM tile, a read *drains* the
+///   pending stream and is scheduled together with it in one batch).
+/// * [`MemoryBackend::drain_writes`] forces every pending posted write to
+///   completion — the backend half of a fence.
+///
 /// Functional effects (data movement) happen at call time; the returned
 /// completion cycles carry the timing. `issue_cycle` is the emulated
 /// processor cycle at which the request leaves the core.
@@ -38,12 +51,30 @@ pub struct RowCloneRequestResult {
 /// (row alignment, same-subarray tested pairs, per-subarray init source
 /// rows — paper §7.1) is a property of the memory system, not the core.
 pub trait MemoryBackend {
-    /// Fetches one cache line.
+    /// Fetches one cache line. Must observe every write posted before it.
     fn read_line(&mut self, line_addr: u64, issue_cycle: u64) -> LineFetch;
 
-    /// Writes one cache line back to memory. Returns the completion cycle
-    /// (the core does not usually wait on it, but fences may).
-    fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64;
+    /// Posts one cache-line write into the memory system's pending stream
+    /// without waiting for service. Returns the cycle at which the write was
+    /// *accepted* (posting never blocks the core for the service latency,
+    /// but a full write buffer may force a drain first, in which case the
+    /// returned cycle is that drain's completion).
+    fn post_write(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64;
+
+    /// Forces every pending posted write to completion and returns the cycle
+    /// at which the last of them finished (`issue_cycle` when none were
+    /// pending). Backends without a write buffer keep the default no-op.
+    fn drain_writes(&mut self, issue_cycle: u64) -> u64 {
+        issue_cycle
+    }
+
+    /// Synchronous write: posts the line and drains the pending stream.
+    /// Returns the completion cycle. Host-side tooling and tests use this;
+    /// the core's hot path posts asynchronously instead.
+    fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
+        let accepted = self.post_write(line_addr, data, issue_cycle);
+        self.drain_writes(issue_cycle).max(accepted)
+    }
 
     /// Allocates `bytes` of physical memory at the given alignment.
     fn alloc(&mut self, bytes: u64, align: u64) -> u64;
@@ -102,7 +133,7 @@ mod tests {
                 complete_cycle: issue_cycle,
             }
         }
-        fn write_line(&mut self, _: u64, _: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
+        fn post_write(&mut self, _: u64, _: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
             issue_cycle
         }
         fn alloc(&mut self, bytes: u64, _align: u64) -> u64 {
@@ -123,5 +154,12 @@ mod tests {
         assert!(n.rowclone_alloc_init(8192).is_none());
         assert!(n.rowclone_init_source(0).is_none());
         assert_eq!(n.row_bytes(), 8192);
+    }
+
+    #[test]
+    fn write_line_defaults_to_post_plus_drain() {
+        let mut n = Nop(0);
+        assert_eq!(n.drain_writes(7), 7, "no pending stream by default");
+        assert_eq!(n.write_line(0, [0; LINE_BYTES], 9), 9);
     }
 }

@@ -106,7 +106,7 @@ impl CoreConfig {
         if self.freq_hz == 0 {
             return Err("frequency must be non-zero".into());
         }
-        if !(self.compute_ipc > 0.0) {
+        if self.compute_ipc.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("IPC must be positive".into());
         }
         if self.mshrs == 0 {

@@ -160,7 +160,7 @@ impl<B: MemoryBackend> CoreModel<B> {
             if let Some(ev) = l2.insert(line_addr, data, dirty && self.l1.is_none()) {
                 if ev.dirty {
                     self.stats.mem_writes += 1;
-                    self.backend.write_line(ev.line_addr, ev.data, now);
+                    self.backend.post_write(ev.line_addr, ev.data, now);
                 }
             }
         }
@@ -169,7 +169,7 @@ impl<B: MemoryBackend> CoreModel<B> {
             // No caches: writes go straight to memory.
             if dirty {
                 self.stats.mem_writes += 1;
-                self.backend.write_line(line_addr, data, now);
+                self.backend.post_write(line_addr, data, now);
             }
         }
     }
@@ -188,12 +188,12 @@ impl<B: MemoryBackend> CoreModel<B> {
             if let Some(ev2) = l2.insert(ev.line_addr, ev.data, true) {
                 if ev2.dirty {
                     self.stats.mem_writes += 1;
-                    self.backend.write_line(ev2.line_addr, ev2.data, now);
+                    self.backend.post_write(ev2.line_addr, ev2.data, now);
                 }
             }
         } else {
             self.stats.mem_writes += 1;
-            self.backend.write_line(ev.line_addr, ev.data, now);
+            self.backend.post_write(ev.line_addr, ev.data, now);
         }
     }
 
@@ -269,7 +269,7 @@ impl<B: MemoryBackend> CpuApi for CoreModel<B> {
         } else {
             let now = self.now;
             self.stats.mem_writes += 1;
-            self.backend.write_line(line_addr, data, now);
+            self.backend.post_write(line_addr, data, now);
         }
     }
 
@@ -297,11 +297,11 @@ impl<B: MemoryBackend> CpuApi for CoreModel<B> {
         };
         if let Some(ev) = newest {
             self.stats.mem_writes += 1;
-            let done = self.backend.write_line(line_addr, ev.data, now);
-            // The flush register write is synchronous enough that a burst of
-            // flushes is paced by the memory system: track it like a miss.
+            // The flush lands in the memory system's pending stream as a
+            // posted write; a later fence (or any read) orders after it.
+            let accepted = self.backend.post_write(line_addr, ev.data, now);
             self.reserve_mshr();
-            self.outstanding.push(done);
+            self.outstanding.push(accepted);
         }
     }
 
@@ -311,6 +311,9 @@ impl<B: MemoryBackend> CpuApi for CoreModel<B> {
             self.stall_until(max);
         }
         self.outstanding.clear();
+        // Fences also drain the memory system's posted-write stream.
+        let drained = self.backend.drain_writes(self.now);
+        self.stall_until(drained);
     }
 
     fn stream_begin(&mut self) {

@@ -61,7 +61,8 @@ impl MemoryBackend for FixedLatencyBackend {
         }
     }
 
-    fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
+    fn post_write(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
+        // No write buffer: posted writes are served immediately.
         self.writes += 1;
         self.mem.insert(line_addr & !63, data);
         self.schedule(issue_cycle)

@@ -197,6 +197,31 @@ impl AddressMapper {
         line << 6
     }
 
+    /// Remap-aware physical-to-DRAM translation: virtual rows with an
+    /// OS-style remap entry (installed by the RowClone allocator, paper §7.1)
+    /// go to their remapped `(bank, row)` keeping the in-row column; all
+    /// other addresses use the plain scheme.
+    ///
+    /// This is the one shared decode path of EasyAPI's `get_addr_mapping`
+    /// (Table 2) and the tile's per-bank timeline bookkeeping.
+    #[must_use]
+    pub fn to_dram_remapped(
+        &self,
+        remap: &std::collections::HashMap<u64, (u32, u32)>,
+        phys: u64,
+    ) -> DramAddress {
+        let row_bytes = u64::from(self.geometry.row_bytes);
+        let vrow = phys / row_bytes;
+        match remap.get(&vrow) {
+            Some(&(bank, row)) => DramAddress {
+                bank,
+                row,
+                col: ((phys % row_bytes) / crate::LINE_BYTES as u64) as u32,
+            },
+            None => self.to_dram(phys),
+        }
+    }
+
     /// Physical address of the first byte of a whole row (column 0).
     #[must_use]
     pub fn row_base_phys(&self, bank: u32, row: u32) -> u64 {
@@ -305,6 +330,18 @@ mod tests {
         let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
         let cap = Geometry::default().capacity_bytes();
         assert_eq!(m.to_dram(0), m.to_dram(cap));
+    }
+
+    #[test]
+    fn remapped_rows_override_the_scheme() {
+        let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
+        let mut remap = std::collections::HashMap::new();
+        remap.insert(0u64, (1u32, 77u32)); // virtual row 0 -> bank 1 row 77
+        let d = m.to_dram_remapped(&remap, 128); // third line of virtual row 0
+        assert_eq!((d.bank, d.row, d.col), (1, 77, 2));
+        // Unmapped rows fall through to the plain mapper.
+        let far = 10 * u64::from(Geometry::default().row_bytes);
+        assert_eq!(m.to_dram_remapped(&remap, far), m.to_dram(far));
     }
 
     #[test]

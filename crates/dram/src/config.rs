@@ -181,16 +181,22 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_geometry() {
-        let mut g = Geometry::default();
-        g.row_bytes = 100;
+        let g = Geometry {
+            row_bytes: 100,
+            ..Geometry::default()
+        };
         assert!(g.validate().is_err());
 
-        let mut g = Geometry::default();
-        g.subarray_rows = 500; // does not divide 32768
+        let g = Geometry {
+            subarray_rows: 500, // does not divide 32768
+            ..Geometry::default()
+        };
         assert!(g.validate().is_err());
 
-        let mut g = Geometry::default();
-        g.rows_per_bank = 0;
+        let g = Geometry {
+            rows_per_bank: 0,
+            ..Geometry::default()
+        };
         assert!(g.validate().is_err());
     }
 

@@ -226,7 +226,9 @@ impl MemoryBackend for RamulatorBackend {
         }
     }
 
-    fn write_line(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
+    fn post_write(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
+        // The cycle-level simulator services writes inline (no posted-write
+        // buffer to batch from — a structural simplification vs the tile).
         let done_ps = self.access(line_addr, issue_cycle, true);
         self.mem.insert(line_addr & !63, data);
         self.ps_to_cycles(done_ps).max(issue_cycle + 1)
@@ -484,8 +486,10 @@ mod tests {
 
     #[test]
     fn instruction_cap_truncates_measurement() {
-        let mut cfg = RamulatorConfig::default();
-        cfg.instruction_cap = 1_000;
+        let cfg = RamulatorConfig {
+            instruction_cap: 1_000,
+            ..RamulatorConfig::default()
+        };
         let mut s = RamulatorSystem::new(cfg);
         let mut w = easydram_workloads::polybench::Gemm::new(easydram_workloads::PolySize::Mini);
         let r = s.run(&mut w);

@@ -82,7 +82,7 @@ fn durbin_body(size: PolySize, cpu: &mut dyn CpuApi) -> f64 {
     let mut beta = 1.0;
     y.set(cpu, 0, alpha);
     for k in 1..n {
-        beta = (1.0 - alpha * alpha) * beta;
+        beta *= 1.0 - alpha * alpha;
         cpu.compute(4);
         let mut sum = 0.0;
         cpu.stream_begin();
@@ -364,6 +364,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index loops mirror the math
     fn trisolv_solves_the_system() {
         // L x = b with our init; verify residual on the host.
         let n = 64usize;

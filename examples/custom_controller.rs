@@ -2,6 +2,15 @@
 //! implement `SoftwareMemoryController` against EasyAPI and install it in a
 //! running system — no HDL involved.
 //!
+//! The system↔controller boundary is a **request stream**: the core posts
+//! writes and writebacks into the tile's pending FIFO without blocking, and
+//! a read (or fence, or a full write buffer) forces a drain. Your `serve`
+//! is then invoked over the whole accumulated batch at once — the request
+//! table can hold many in-flight requests, and everything you spend between
+//! one `enqueue_response` and the next is attributed to that response, so
+//! every request gets its own release cycle. See `docs/API.md` for the full
+//! lifecycle and the migration notes.
+//!
 //! ```sh
 //! cargo run --release --example custom_controller
 //! ```
@@ -24,16 +33,16 @@ impl SoftwareMemoryController for ListingOneController {
     fn serve(&mut self, api: &mut EasyApi<'_>) -> ServeResult {
         let mut result = ServeResult::default();
         api.set_scheduling_state(true);
-        // Wait for a request to arrive (the hardware FIFO is already full
-        // when the system invokes us; the poll models Listing 1 line 3).
-        while !api.req_empty() {
-            // Move the request from buffer to scratchpad.
-            let Some(req) = api.receive_request() else {
-                break;
-            };
-            let idx = api.schedule_fcfs().expect("just received");
-            let req2 = api.take_request(idx);
-            assert_eq!(req.id, req2.id);
+        // Drain the hardware FIFO into the request table (Listing 1 line 3:
+        // `while (!req_empty()) add_request(receive_request())`). The batch
+        // may hold one read plus every writeback posted before it.
+        api.receive_all();
+        // Serve the table to empty. FCFS keeps arrival order; a smarter
+        // controller would scan `api.request_table()` for row hits here
+        // (see `FrFcfsController`) — with a multi-entry table that genuinely
+        // changes per-request latency.
+        while let Some(idx) = api.schedule_fcfs() {
+            let req = api.take_request(idx);
             // Translate physical address to DRAM address.
             let addr = api.get_addr_mapping(req.addr());
             match req.kind {
@@ -46,7 +55,9 @@ impl SoftwareMemoryController for ListingOneController {
                         let r = api.flush_commands().unwrap();
                         (r.reads[0], r.read_corrupted[0])
                     };
-                    // Send request response to the processor.
+                    // Send request response to the processor; the cycles
+                    // spent since the previous response become this one's
+                    // timing slice.
                     api.enqueue_response(req.id, Some(data), corrupted);
                     result.row_misses += 1;
                 }
@@ -93,7 +104,14 @@ fn main() {
     let report = sys.report("custom-controller");
     println!("round-trip mismatches: {bad}");
     println!("{report}");
+    println!(
+        "posted writes: {} | forced drains: {} | peak batch: {}",
+        report.smc.posted_writes, report.smc.forced_drains, report.smc.peak_batch
+    );
 
+    // The flush burst above reaches the controller as multi-request batches
+    // through the bounded write buffer.
+    assert!(report.smc.peak_batch > 1, "batching must happen");
     // Closed-page FCFS leaves row-hit opportunities on the table; the
     // shipped FR-FCFS controller is faster on the same access pattern.
     assert_eq!(bad, 0);

@@ -6,7 +6,7 @@
 //! ```
 
 use easydram_suite::easydram::{System, SystemConfig, TimingMode};
-use easydram_suite::workloads::{polybench, PolySize, Workload};
+use easydram_suite::workloads::{polybench, PolySize};
 
 fn main() {
     // The paper's main configuration: a Jetson-Nano-class system (Cortex-A57
