@@ -20,7 +20,10 @@ fn main() {
         "fig12_trcd_heatmap",
         "fig13_trcd_speedup",
         "fig14_sim_speed",
+        "fig_channel_sweep",
     ];
+    // Stale sweep records must not masquerade as this run's numbers.
+    std::fs::remove_file("target/channel-sweep.json").ok();
     let mut runs: Vec<(String, bool, f64)> = Vec::new();
     for bin in bins {
         println!("\n########## {bin} ##########");
@@ -33,7 +36,19 @@ fn main() {
         runs.push((bin.to_string(), ok, t0.elapsed().as_secs_f64()));
     }
     let report_path = "target/bench-report.json";
-    match easydram_bench::write_bench_report(report_path, &runs) {
+    // The channel sweep leaves a per-channel record behind; embed it so the
+    // bench report carries the scaling trajectory alongside pass/fail. Only
+    // a record produced by a *successful* run of this sequence qualifies.
+    let sweep_ok = runs
+        .iter()
+        .any(|(name, ok, _)| name == "fig_channel_sweep" && *ok);
+    let sections: Vec<(&str, String)> = std::fs::read_to_string("target/channel-sweep.json")
+        .ok()
+        .filter(|_| sweep_ok)
+        .map(|json| ("channel_sweep", json))
+        .into_iter()
+        .collect();
+    match easydram_bench::write_bench_report_with_sections(report_path, &runs, &sections) {
         Ok(()) => println!("\nwrote {report_path}"),
         Err(e) => eprintln!("\ncould not write {report_path}: {e}"),
     }

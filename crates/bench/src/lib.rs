@@ -153,17 +153,65 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 ///
 /// Propagates filesystem errors (missing parent directory is created).
 pub fn write_bench_report(path: &str, runs: &[(String, bool, f64)]) -> Result<(), std::io::Error> {
+    write_bench_report_with_sections(path, runs, &[])
+}
+
+/// Like [`write_bench_report`], with extra named top-level sections whose
+/// values are already-serialized JSON (e.g. the `channel_sweep` record the
+/// `fig_channel_sweep` harness leaves behind — see
+/// [`write_channel_sweep_json`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors (missing parent directory is created).
+pub fn write_bench_report_with_sections(
+    path: &str,
+    runs: &[(String, bool, f64)],
+    sections: &[(&str, String)],
+) -> Result<(), std::io::Error> {
     if let Some(parent) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut s = String::from("{\n  \"schema\": 1,\n");
+    let mut s = String::from("{\n  \"schema\": 2,\n");
     s.push_str(&format!("  \"quick\": {},\n", quick()));
+    for (key, json) in sections {
+        s.push_str(&format!("  \"{key}\": {},\n", json.trim()));
+    }
     s.push_str("  \"harnesses\": [\n");
     for (i, (name, ok, secs)) in runs.iter().enumerate() {
         let name = name.replace('\\', "\\\\").replace('"', "\\\"");
         s.push_str(&format!(
             "    {{\"name\": \"{name}\", \"ok\": {ok}, \"wall_seconds\": {secs:.3}}}{}\n",
             if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+/// Writes the `fig_channel_sweep` harness's machine-readable record: one
+/// object per swept channel count with the interleaved-stream cycles and
+/// speedup (the per-channel fields of the bench-report schema). `repro_all`
+/// embeds this file into `target/bench-report.json` under `channel_sweep`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (missing parent directory is created).
+pub fn write_channel_sweep_json(
+    path: &str,
+    stream_reads: u64,
+    entries: &[(u32, u64, f64)],
+) -> Result<(), std::io::Error> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"stream_reads\": {stream_reads},\n"));
+    s.push_str("  \"channels\": [\n");
+    for (i, (channels, cycles, speedup)) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"channels\": {channels}, \"stream_cycles\": {cycles}, \"speedup\": {speedup:.3}}}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -217,7 +265,7 @@ mod tests {
         ];
         write_bench_report(path, &runs).unwrap();
         let s = std::fs::read_to_string(path).unwrap();
-        assert!(s.contains("\"schema\": 1"));
+        assert!(s.contains("\"schema\": 2"));
         assert!(s.contains("\"name\": \"fig8\", \"ok\": true, \"wall_seconds\": 1.250"));
         assert!(s.contains("fig\\\"quoted\\\""), "quotes must be escaped");
         assert_eq!(
@@ -226,6 +274,31 @@ mod tests {
             "balanced braces"
         );
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_report_embeds_channel_sweep_section() {
+        let dir = std::env::temp_dir().join("easydram-channel-sweep-test");
+        let sweep_path = dir.join("channel-sweep.json");
+        let sweep_path = sweep_path.to_str().unwrap();
+        write_channel_sweep_json(sweep_path, 256, &[(1, 5250, 1.0), (2, 2687, 1.954)]).unwrap();
+        let sweep = std::fs::read_to_string(sweep_path).unwrap();
+        assert!(sweep.contains("\"stream_reads\": 256"));
+        assert!(sweep.contains("\"channels\": 2, \"stream_cycles\": 2687, \"speedup\": 1.954"));
+
+        let report_path = dir.join("bench-report.json");
+        let report_path = report_path.to_str().unwrap();
+        let runs = vec![("fig_channel_sweep".to_string(), true, 0.4)];
+        write_bench_report_with_sections(report_path, &runs, &[("channel_sweep", sweep)]).unwrap();
+        let s = std::fs::read_to_string(report_path).unwrap();
+        assert!(s.contains("\"channel_sweep\": {"));
+        assert!(s.contains("\"speedup\": 1.954"));
+        assert_eq!(
+            s.matches('{').count(),
+            s.matches('}').count(),
+            "balanced braces"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

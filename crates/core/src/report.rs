@@ -32,6 +32,45 @@ pub struct SmcStats {
     pub rowclone_fallbacks: u64,
 }
 
+/// Per-channel controller counters of a sharded memory system. The tile
+/// keeps one record per channel, cumulative over its lifetime; `System::run`
+/// rebases them against a window-start snapshot exactly like the global
+/// [`SmcStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Requests served by this channel's controller.
+    pub requests: u64,
+    /// Rocket cycles executed by this channel's controller code.
+    pub rocket_cycles: u64,
+    /// Tile-control/transfer FPGA cycles of this channel.
+    pub hw_cycles: u64,
+    /// DRAM Bender batches executed on this channel.
+    pub batches: u64,
+    /// Scheduling outcomes of this channel's serve passes.
+    pub serve: ServeResult,
+    /// Refreshes charged on this channel's emulated timeline, per rank.
+    pub refreshes_per_rank: Vec<u64>,
+}
+
+impl ChannelStats {
+    /// Rebases every cumulative counter against a window-start snapshot, so
+    /// the result describes just that window.
+    pub fn subtract_baseline(&mut self, start: &ChannelStats) {
+        self.requests -= start.requests;
+        self.rocket_cycles -= start.rocket_cycles;
+        self.hw_cycles -= start.hw_cycles;
+        self.batches -= start.batches;
+        self.serve -= start.serve;
+        for (r, r0) in self
+            .refreshes_per_rank
+            .iter_mut()
+            .zip(&start.refreshes_per_rank)
+        {
+            *r -= r0;
+        }
+    }
+}
+
 /// A complete account of one workload execution on an EasyDRAM system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
@@ -65,6 +104,9 @@ pub struct ExecutionReport {
     pub dram: DeviceStats,
     /// Controller statistics for the run window.
     pub smc: SmcStats,
+    /// Per-channel controller statistics for the run window (one entry per
+    /// channel; single-channel systems have exactly one).
+    pub channels: Vec<ChannelStats>,
 }
 
 impl ExecutionReport {
@@ -137,7 +179,26 @@ impl std::fmt::Display for ExecutionReport {
             self.smc.batches,
             self.smc.peak_batch,
             self.smc.rowclone_fallbacks,
-        )
+        )?;
+        // Per-channel breakdown only when there is something to break down —
+        // single-channel reports stay byte-identical to the pre-sharding
+        // format.
+        if self.channels.len() > 1 {
+            for (ch, c) in self.channels.iter().enumerate() {
+                write!(
+                    f,
+                    "\n  ch{ch}: {} reqs, {} rocket cycles, {} batches, {}/{}/{} hit/miss/conflict, refreshes {:?}",
+                    c.requests,
+                    c.rocket_cycles,
+                    c.batches,
+                    c.serve.row_hits,
+                    c.serve.row_misses,
+                    c.serve.row_conflicts,
+                    c.refreshes_per_rank,
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -167,6 +228,7 @@ mod tests {
                 },
                 ..SmcStats::default()
             },
+            channels: vec![ChannelStats::default()],
         }
     }
 
@@ -183,6 +245,68 @@ mod tests {
         assert!(s.contains("time-scaling"));
         assert!(s.contains("1000 emulated cycles"));
         assert!(s.contains("sim speed 10.00 MHz"));
+    }
+
+    #[test]
+    fn single_channel_display_omits_channel_lines() {
+        let s = report().to_string();
+        assert!(
+            !s.contains("ch0:"),
+            "single-channel reports keep the pre-sharding format"
+        );
+    }
+
+    #[test]
+    fn multi_channel_display_breaks_down_channels() {
+        let mut r = report();
+        r.channels = vec![
+            ChannelStats {
+                requests: 10,
+                refreshes_per_rank: vec![3, 1],
+                ..ChannelStats::default()
+            },
+            ChannelStats {
+                requests: 7,
+                ..ChannelStats::default()
+            },
+        ];
+        let s = r.to_string();
+        assert!(s.contains("ch0: 10 reqs"));
+        assert!(s.contains("ch1: 7 reqs"));
+        assert!(s.contains("refreshes [3, 1]"));
+    }
+
+    #[test]
+    fn channel_stats_rebase_subtracts_window_start() {
+        let mut c = ChannelStats {
+            requests: 10,
+            rocket_cycles: 500,
+            hw_cycles: 80,
+            batches: 12,
+            serve: ServeResult {
+                served: 10,
+                row_hits: 6,
+                ..ServeResult::default()
+            },
+            refreshes_per_rank: vec![5, 2],
+        };
+        let start = ChannelStats {
+            requests: 4,
+            rocket_cycles: 200,
+            hw_cycles: 30,
+            batches: 5,
+            serve: ServeResult {
+                served: 4,
+                row_hits: 1,
+                ..ServeResult::default()
+            },
+            refreshes_per_rank: vec![1, 2],
+        };
+        c.subtract_baseline(&start);
+        assert_eq!(c.requests, 6);
+        assert_eq!(c.rocket_cycles, 300);
+        assert_eq!(c.serve.row_hits, 5);
+        assert_eq!(c.refreshes_per_rank, vec![4, 0]);
     }
 
     #[test]

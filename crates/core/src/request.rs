@@ -91,17 +91,26 @@ pub struct MemResponse {
     pub slice: ResponseSlice,
 }
 
-impl MemRequest {
-    /// The physical line/row address this request targets (source row for
-    /// RowClone).
+impl RequestKind {
+    /// The physical line/row address this operation targets (source row for
+    /// RowClone) — the address the tile routes on.
     #[must_use]
     pub fn addr(&self) -> u64 {
-        match self.kind {
+        match *self {
             RequestKind::Read { addr }
             | RequestKind::Write { addr, .. }
             | RequestKind::ProfileTrcd { addr, .. } => addr,
             RequestKind::RowClone { src_addr, .. } => src_addr,
         }
+    }
+}
+
+impl MemRequest {
+    /// The physical line/row address this request targets (source row for
+    /// RowClone).
+    #[must_use]
+    pub fn addr(&self) -> u64 {
+        self.kind.addr()
     }
 
     /// Whether this is a plain cache-line read.

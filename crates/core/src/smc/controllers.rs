@@ -508,11 +508,9 @@ mod tests {
         let strong_row = (0..geo.rows_per_bank)
             .find(|&r| ctrl.trcd_plan().unwrap().trcd_for(0, r).is_some())
             .expect("a strong row exists");
-        let addr = f.map.to_phys(easydram_dram::DramAddress {
-            bank: 0,
-            row: strong_row,
-            col: 0,
-        });
+        let addr = f
+            .map
+            .to_phys(easydram_dram::DramAddress::new(0, strong_row, 0));
         let mut api = f.api(vec![read_req(0, addr)]);
         let res = ctrl.serve(&mut api);
         assert_eq!(res.reduced_trcd_accesses, 1);
@@ -532,16 +530,8 @@ mod tests {
         f.dev = DramDevice::new(cfg);
         let pattern = vec![0xCDu8; 8192];
         f.dev.write_row(0, 1, &pattern);
-        let src_addr = f.map.to_phys(easydram_dram::DramAddress {
-            bank: 0,
-            row: 1,
-            col: 0,
-        });
-        let dst_addr = f.map.to_phys(easydram_dram::DramAddress {
-            bank: 0,
-            row: 2,
-            col: 0,
-        });
+        let src_addr = f.map.to_phys(easydram_dram::DramAddress::new(0, 1, 0));
+        let dst_addr = f.map.to_phys(easydram_dram::DramAddress::new(0, 2, 0));
         let req = MemRequest {
             id: 0,
             kind: RequestKind::RowClone { src_addr, dst_addr },

@@ -85,13 +85,21 @@ impl ApiSession {
     /// (paper Fig. 5 ①), and returns its assigned id.
     pub fn post(&mut self, kind: RequestKind, arrival_cycle: u64) -> u64 {
         let id = self.next_req_id;
-        self.next_req_id += 1;
+        self.post_with_id(id, kind, arrival_cycle);
+        id
+    }
+
+    /// Posts a request under a caller-assigned id. The tile uses this to
+    /// keep request ids globally unique across the per-channel sessions of a
+    /// sharded memory system; ids assigned by [`ApiSession::post`] afterwards
+    /// continue above the highest id seen.
+    pub fn post_with_id(&mut self, id: u64, kind: RequestKind, arrival_cycle: u64) {
+        self.next_req_id = self.next_req_id.max(id + 1);
         self.pending.push_back(MemRequest {
             id,
             kind,
             arrival_cycle,
         });
-        id
     }
 
     /// Whether the FIFO has reached its capacity (posting more would exceed
@@ -791,16 +799,8 @@ mod tests {
         let costs = SmcCostModel::default();
         let transfer = TransferCost::default();
         // Open row 5 of bank 0 so the second request is a hit.
-        let row5_addr = map.to_phys(DramAddress {
-            bank: 0,
-            row: 5,
-            col: 0,
-        });
-        let row9_addr = map.to_phys(DramAddress {
-            bank: 0,
-            row: 9,
-            col: 0,
-        });
+        let row5_addr = map.to_phys(DramAddress::new(0, 5, 0));
+        let row9_addr = map.to_phys(DramAddress::new(0, 9, 0));
         let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
         a.ddr_activate(0, 5).unwrap();
         a.flush_commands().unwrap();
@@ -847,20 +847,12 @@ mod tests {
         let costs = SmcCostModel::default();
         let transfer = TransferCost::default();
         let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
-        let addr = DramAddress {
-            bank: 0,
-            row: 3,
-            col: 1,
-        };
+        let addr = DramAddress::new(0, 3, 1);
         assert_eq!(a.read_sequence(addr, None).unwrap(), RowBufferOutcome::Miss);
         a.flush_commands().unwrap();
         assert_eq!(a.read_sequence(addr, None).unwrap(), RowBufferOutcome::Hit);
         a.flush_commands().unwrap();
-        let other = DramAddress {
-            bank: 0,
-            row: 4,
-            col: 0,
-        };
+        let other = DramAddress::new(0, 4, 0);
         assert_eq!(
             a.read_sequence(other, None).unwrap(),
             RowBufferOutcome::Conflict
@@ -876,16 +868,8 @@ mod tests {
         let pattern = vec![0x5Au8; 8192];
         dev.write_row(0, 1, &pattern);
         let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
-        let src = DramAddress {
-            bank: 0,
-            row: 1,
-            col: 0,
-        };
-        let dst = DramAddress {
-            bank: 0,
-            row: 2,
-            col: 0,
-        };
+        let src = DramAddress::new(0, 1, 0);
+        let dst = DramAddress::new(0, 2, 0);
         a.rowclone(src, dst).unwrap();
         let result = a.flush_commands().unwrap();
         assert_eq!(result.rowclones.len(), 1);

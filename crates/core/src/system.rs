@@ -23,7 +23,7 @@ use easydram_dram::{AddressMapper, DramDevice, LINE_BYTES};
 
 use crate::alloc::{remap_table, RowCloneAllocator};
 use crate::config::{SystemConfig, TimingMode};
-use crate::report::{ExecutionReport, SmcStats};
+use crate::report::{ChannelStats, ExecutionReport, SmcStats};
 use crate::request::RequestKind;
 use crate::smc::easyapi::{ApiSession, TileCtx};
 use crate::smc::{FrFcfsController, SoftwareMemoryController, TrcdPlan};
@@ -40,13 +40,28 @@ struct Served {
     release_cycle: u64,
 }
 
-/// The EasyTile plus DRAM: the memory system behind the core.
+/// One memory channel of the sharded tile: a private device (all ranks of
+/// the channel, rank-folded), a private pending-request FIFO, one software
+/// memory controller instance, and the channel's emulated timeline. Serve
+/// passes run each lane's batch independently — channels overlap freely,
+/// which is where multi-channel speedup comes from.
+struct Lane {
+    device: DramDevice,
+    session: ApiSession,
+    timeline: EmulatedTimeline,
+    controller: Box<dyn SoftwareMemoryController>,
+    /// Cumulative per-channel counters (refresh counts live on the
+    /// timeline; see [`Tile::channel_stats`]).
+    stats: ChannelStats,
+}
+
+/// The EasyTile plus DRAM: the memory system behind the core, sharded into
+/// one lane (device + session + controller + timeline) per memory channel.
 pub struct Tile {
     cfg: SystemConfig,
-    device: DramDevice,
+    lanes: Vec<Lane>,
     executor: Executor,
     mapper: AddressMapper,
-    controller: Box<dyn SoftwareMemoryController>,
     /// OS-style row remapping installed by the RowClone allocator.
     remap: HashMap<u64, (u32, u32)>,
     allocator: RowCloneAllocator,
@@ -59,12 +74,8 @@ pub struct Tile {
     wall_ps: u64,
     /// Total wall time the processor domain spent clock-gated, ps.
     frozen_ps: u64,
-    /// The modeled memory system's emulated timeline (per-bank and bus
-    /// availability, periodic refresh).
-    timeline: EmulatedTimeline,
-    /// The persistent controller session: the pending-request stream posted
-    /// writes accumulate in, drained by batched serve passes.
-    session: ApiSession,
+    /// Globally unique request ids across every lane's session.
+    next_req_id: u64,
     counters: TimeScalingCounters,
     stats: SmcStats,
     row_bytes: u64,
@@ -72,20 +83,47 @@ pub struct Tile {
 
 impl Tile {
     fn new(cfg: SystemConfig) -> Self {
-        let device = DramDevice::new(cfg.dram.clone());
         let geometry = cfg.dram.geometry.clone();
         let mapper = AddressMapper::new(geometry.clone(), cfg.mapping);
-        let allocator = RowCloneAllocator::new(geometry.clone(), cfg.rowclone_test_trials);
+        // RowClone placement (remap pools, pair qualification) lives on
+        // channel 0: operands must share a subarray, so pools never span
+        // channels. The allocator plans against one rank's bank array.
+        let allocator = RowCloneAllocator::new(
+            easydram_dram::Geometry {
+                channels: 1,
+                ranks: 1,
+                ..geometry.clone()
+            },
+            cfg.rowclone_test_trials,
+        );
         let row_bytes = u64::from(geometry.row_bytes);
-        let n_banks = geometry.banks() as usize;
-        let timeline = EmulatedTimeline::new(n_banks, &cfg.dram.timing, cfg.refresh_enabled);
-        let session = ApiSession::new(cfg.write_buffer_depth);
+        let lanes = (0..geometry.channels)
+            .map(|ch| {
+                let mut dram = cfg.dram.clone();
+                dram.geometry = geometry.per_channel();
+                // Each channel is a distinct physical module: its variation
+                // field derives from a per-channel seed (channel 0 keeps the
+                // configured seed, so single-channel systems are unchanged).
+                dram.variation.seed = dram.variation.seed.wrapping_add(u64::from(ch));
+                Lane {
+                    device: DramDevice::new(dram),
+                    session: ApiSession::new(cfg.write_buffer_depth),
+                    timeline: EmulatedTimeline::with_ranks(
+                        geometry.ranks as usize,
+                        geometry.banks() as usize,
+                        &cfg.dram.timing,
+                        cfg.refresh_enabled,
+                    ),
+                    controller: Box::new(FrFcfsController::new()),
+                    stats: ChannelStats::default(),
+                }
+            })
+            .collect();
         Self {
             cfg,
-            device,
+            lanes,
             executor: Executor::new(),
             mapper,
-            controller: Box::new(FrFcfsController::new()),
             remap: HashMap::new(),
             allocator,
             clonable: HashMap::new(),
@@ -93,8 +131,7 @@ impl Tile {
             alloc_cursor: 0x1_0000,
             wall_ps: 0,
             frozen_ps: 0,
-            timeline,
-            session,
+            next_req_id: 0,
             counters: TimeScalingCounters::new(),
             stats: SmcStats::default(),
             row_bytes,
@@ -107,21 +144,71 @@ impl Tile {
         &self.cfg
     }
 
-    /// The DRAM device (host-side access for verification and setup).
+    /// Channel 0's DRAM device (host-side access for verification and
+    /// setup). Multi-channel tooling uses [`Tile::channel_device_mut`].
     pub fn device_mut(&mut self) -> &mut DramDevice {
-        &mut self.device
+        &mut self.lanes[0].device
     }
 
-    /// The DRAM device.
+    /// Channel 0's DRAM device.
     #[must_use]
     pub fn device(&self) -> &DramDevice {
-        &self.device
+        &self.lanes[0].device
     }
 
-    /// Accumulated controller statistics.
+    /// The DRAM device behind one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is outside the configured geometry.
+    #[must_use]
+    pub fn channel_device(&self, channel: u32) -> &DramDevice {
+        &self.lanes[channel as usize].device
+    }
+
+    /// Mutable access to one channel's DRAM device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is outside the configured geometry.
+    pub fn channel_device_mut(&mut self, channel: u32) -> &mut DramDevice {
+        &mut self.lanes[channel as usize].device
+    }
+
+    /// Number of memory channels the tile is sharded into.
+    #[must_use]
+    pub fn channels(&self) -> u32 {
+        self.lanes.len() as u32
+    }
+
+    /// Device statistics aggregated across every channel.
+    #[must_use]
+    pub fn device_stats(&self) -> easydram_dram::DeviceStats {
+        let mut total = easydram_dram::DeviceStats::default();
+        for lane in &self.lanes {
+            total += *lane.device.stats();
+        }
+        total
+    }
+
+    /// Accumulated controller statistics (system-wide totals).
     #[must_use]
     pub fn smc_stats(&self) -> &SmcStats {
         &self.stats
+    }
+
+    /// Cumulative per-channel controller statistics, one entry per channel.
+    /// Refresh counts come from each channel's emulated timeline, per rank.
+    #[must_use]
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.lanes
+            .iter()
+            .map(|lane| {
+                let mut s = lane.stats.clone();
+                s.refreshes_per_rank = lane.timeline.refreshes_per_rank().to_vec();
+                s
+            })
+            .collect()
     }
 
     /// The time-scaling counters.
@@ -138,14 +225,37 @@ impl Tile {
     }
 
     /// Installs a different software memory controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on multi-channel systems — every channel runs its own
+    /// controller instance, so use [`Tile::install_controllers`] there.
     pub fn install_controller(&mut self, controller: Box<dyn SoftwareMemoryController>) {
-        self.controller = controller;
+        assert_eq!(
+            self.lanes.len(),
+            1,
+            "multi-channel tiles need one controller per channel; use install_controllers"
+        );
+        self.lanes[0].controller = controller;
     }
 
-    /// The installed controller's name.
+    /// Installs one software memory controller instance per channel: `make`
+    /// is called with each channel index and returns that channel's
+    /// instance.
+    pub fn install_controllers<F>(&mut self, mut make: F)
+    where
+        F: FnMut(u32) -> Box<dyn SoftwareMemoryController>,
+    {
+        for (ch, lane) in self.lanes.iter_mut().enumerate() {
+            lane.controller = make(ch as u32);
+        }
+    }
+
+    /// The installed controller's name (channel 0; every channel runs the
+    /// same controller type under both install paths in practice).
     #[must_use]
     pub fn controller_name(&self) -> &str {
-        self.controller.name()
+        self.lanes[0].controller.name()
     }
 
     fn virtual_row(&self, addr: u64) -> u64 {
@@ -163,6 +273,30 @@ impl Tile {
     /// lifetime statistic.
     pub(crate) fn end_peak_window(&mut self, prior_peak: u64) {
         self.stats.peak_batch = self.stats.peak_batch.max(prior_peak);
+    }
+
+    /// The channel a physical address routes to, honouring RowClone row
+    /// remaps (remapped rows live on channel 0).
+    fn route(&self, addr: u64) -> usize {
+        self.mapper.to_dram_remapped(&self.remap, addr).channel as usize
+    }
+
+    /// Posts one request into its channel's pending stream under a globally
+    /// unique id, without serving it. Returns the id. Host-side tooling and
+    /// scaling experiments use this to build multi-channel batches; the
+    /// normal request paths go through [`MemoryBackend`].
+    pub fn post_request(&mut self, kind: RequestKind, issue_cycle: u64) -> u64 {
+        let ch = self.route(kind.addr());
+        self.post_to_channel(ch, kind, issue_cycle)
+    }
+
+    /// Posts a request to an already-routed channel (single address decode
+    /// on the hot posted-write path).
+    fn post_to_channel(&mut self, ch: usize, kind: RequestKind, issue_cycle: u64) -> u64 {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        self.lanes[ch].session.post_with_id(id, kind, issue_cycle);
+        id
     }
 
     /// Remaining capacity-independent drain: serves everything pending in
@@ -184,7 +318,7 @@ impl Tile {
         kind: RequestKind,
         issue_cycle: u64,
     ) -> (Option<[u8; LINE_BYTES]>, bool, u64) {
-        let id = self.session.post(kind, issue_cycle);
+        let id = self.post_request(kind, issue_cycle);
         let served = self.serve_pass(issue_cycle);
         let s = served
             .iter()
@@ -194,22 +328,24 @@ impl Tile {
     }
 
     /// One batched serve pass over the whole pending stream (paper §4.1,
-    /// Listing 1): the controller sees a multi-entry request table, and
-    /// every response is priced independently on the emulated timeline from
-    /// its own [`crate::request::ResponseSlice`], in controller service
-    /// order — so FR-FCFS reordering really changes per-request latency.
+    /// Listing 1), sharded by channel: each lane with pending requests runs
+    /// its own controller over its own device, and every response is priced
+    /// independently on that lane's emulated timeline from its own
+    /// [`crate::request::ResponseSlice`], in controller service order — so
+    /// FR-FCFS reordering really changes per-request latency *within* a
+    /// channel, while channels overlap freely (the pass's frozen wall time
+    /// is the slowest lane's, not the sum).
     ///
     /// `trigger_cycle` is the emulated cycle of whatever forced the drain
     /// (the read, fence, or the posted write that found the buffer full).
     fn serve_pass(&mut self, trigger_cycle: u64) -> Vec<Served> {
-        if self.session.is_empty() {
+        if self.lanes.iter().all(|l| l.session.is_empty()) {
             return Vec::new();
         }
         let f_core = self.cfg.core.freq_hz;
         let mode = self.cfg.mode;
         let base_wall = self.wall_ps_at(trigger_cycle);
         let start_wall = self.wall_ps.max(base_wall);
-        let batch = self.session.len() as u64;
 
         if mode == TimingMode::TimeScaling {
             // Fig. 5 (b)-(c): tag, clock-gate, enter critical mode.
@@ -217,113 +353,156 @@ impl Tile {
             self.counters.enter_critical();
         }
 
-        // Arrival cycle and target bank per request id, for pricing the
-        // responses after the controller has reordered them.
-        let meta: HashMap<u64, (u64, usize)> = self
-            .session
-            .pending()
+        // --- Execute every lane's controller over its own batch. ---
+        struct LanePass {
+            lane: usize,
+            batch: u64,
+            /// Arrival cycle and target bank per request id, for pricing the
+            /// responses after the controller has reordered them.
+            meta: HashMap<u64, (u64, usize)>,
+            ledger: crate::smc::easyapi::ApiLedger,
+            serve_res: crate::smc::ServeResult,
+            end_wall: u64,
+        }
+        let mut passes: Vec<LanePass> = Vec::new();
+        for (idx, lane) in self.lanes.iter_mut().enumerate() {
+            if lane.session.is_empty() {
+                continue;
+            }
+            let batch = lane.session.len() as u64;
+            let meta: HashMap<u64, (u64, usize)> = lane
+                .session
+                .pending()
+                .iter()
+                .map(|r| {
+                    let bank = self.mapper.to_dram_remapped(&self.remap, r.addr()).bank;
+                    (r.id, (r.arrival_cycle, bank as usize))
+                })
+                .collect();
+            let mut api = lane.session.begin(
+                TileCtx {
+                    device: &mut lane.device,
+                    executor: &self.executor,
+                    mapper: &self.mapper,
+                    remap: &self.remap,
+                    costs: &self.cfg.smc_costs,
+                    transfer: &self.cfg.fpga.transfer,
+                    tile_clk_hz: self.cfg.fpga.tile_clk_hz,
+                },
+                start_wall,
+            );
+            let serve_res = lane.controller.serve(&mut api);
+            let end_wall = api.wall_now_ps();
+            let ledger = api.into_ledger();
+            assert_eq!(
+                ledger.responses.len(),
+                meta.len(),
+                "controller must respond to every request exactly once"
+            );
+            passes.push(LanePass {
+                lane: idx,
+                batch,
+                meta,
+                ledger,
+                serve_res,
+                end_wall,
+            });
+        }
+
+        // --- Wall-clock accounting: lanes ran concurrently, so the frozen
+        // interval is the slowest lane's. ---
+        let max_end_wall = passes
             .iter()
-            .map(|r| {
-                let bank = self.mapper.to_dram_remapped(&self.remap, r.addr()).bank;
-                (r.id, (r.arrival_cycle, bank as usize))
-            })
-            .collect();
+            .map(|p| p.end_wall)
+            .max()
+            .unwrap_or(start_wall);
+        self.wall_ps = max_end_wall.max(self.wall_ps);
+        let wall_latency = max_end_wall.saturating_sub(base_wall);
+        self.frozen_ps += wall_latency;
 
-        let mut api = self.session.begin(
-            TileCtx {
-                device: &mut self.device,
-                executor: &self.executor,
-                mapper: &self.mapper,
-                remap: &self.remap,
-                costs: &self.cfg.smc_costs,
-                transfer: &self.cfg.fpga.transfer,
-                tile_clk_hz: self.cfg.fpga.tile_clk_hz,
-            },
-            start_wall,
-        );
-        let serve_res = self.controller.serve(&mut api);
-        let end_wall = api.wall_now_ps();
-        let ledger = api.into_ledger();
-        assert_eq!(
-            ledger.responses.len(),
-            meta.len(),
-            "controller must respond to every request exactly once"
-        );
-
-        self.stats.requests += batch;
-        self.stats.rocket_cycles += ledger.rocket_cycles;
-        self.stats.hw_cycles += ledger.hw_cycles;
-        self.stats.batches += ledger.batches;
-        self.stats.peak_batch = self.stats.peak_batch.max(batch);
-        self.stats.serve += serve_res;
-
-        self.wall_ps = end_wall.max(self.wall_ps);
-        self.frozen_ps += end_wall.saturating_sub(base_wall);
-        let wall_latency = end_wall.saturating_sub(base_wall);
-
-        // --- Emulated-timeline service (Reference / TimeScaling). ---
-        let timing = self.device.timing();
+        // --- Per-lane stats and emulated-timeline pricing. ---
+        let timing = self.lanes[0].device.timing();
         let t_burst = timing.t_burst_ps;
         let t_ck = timing.t_ck_ps;
         let fixed_ps = self.cfg.mc_fixed_latency_ps;
 
-        let mut served = Vec::with_capacity(ledger.responses.len());
+        let mut served = Vec::new();
         let mut latest_release = trigger_cycle;
-        for resp in &ledger.responses {
-            let (arrival_cycle, bank) = *meta
-                .get(&resp.id)
-                .expect("every response answers a posted request");
-            let burst_ps = resp.slice.column_ops * t_burst;
-            let finish_mem_ps = self.timeline.price(&TimelineDemand {
-                arrival_ps: cycles_to_ps(arrival_cycle, f_core),
-                bank,
-                prep_ps: resp.slice.dram_occupancy_ps.saturating_sub(burst_ps),
-                burst_ps,
-                has_columns: resp.slice.column_ops > 0,
-            });
-            let sched_emul_ps = cycles_to_ps(resp.slice.rocket_cycles, self.cfg.mc_emul_hz);
-            let release_cycle = match mode {
-                TimingMode::Reference => {
-                    let done = finish_mem_ps + sched_emul_ps + fixed_ps;
-                    ps_to_cycles_round(done, f_core)
-                }
-                TimingMode::TimeScaling => {
-                    // Each component crosses a clock-domain counter and is
-                    // quantized: DRAM Bender reports whole DRAM-clock cycles
-                    // back to the controller (Fig. 5 ④), and every component
-                    // is converted to whole processor cycles separately
-                    // (§4.3).
-                    let finish_q = (finish_mem_ps + t_ck / 2) / t_ck * t_ck;
-                    ps_to_cycles_round(finish_q, f_core)
-                        + ps_to_cycles_round(sched_emul_ps, f_core)
-                        + ps_to_cycles_round(fixed_ps, f_core)
-                }
-                TimingMode::NoTimeScaling => {
-                    // The processor observes the raw wall latency of the
-                    // whole frozen pass at its own (FPGA) clock — no scaling.
-                    trigger_cycle + ps_to_cycles_round(wall_latency, f_core).max(1)
-                }
-            };
-            let release_cycle = release_cycle.max(arrival_cycle + 1);
-            latest_release = latest_release.max(release_cycle);
-            served.push(Served {
-                id: resp.id,
-                data: resp.data,
-                corrupted: resp.corrupted,
-                release_cycle,
-            });
+        let mut max_lane_cycles = 0u64;
+        for p in &passes {
+            self.stats.requests += p.batch;
+            self.stats.rocket_cycles += p.ledger.rocket_cycles;
+            self.stats.hw_cycles += p.ledger.hw_cycles;
+            self.stats.batches += p.ledger.batches;
+            self.stats.peak_batch = self.stats.peak_batch.max(p.batch);
+            self.stats.serve += p.serve_res;
+            max_lane_cycles = max_lane_cycles.max(p.ledger.rocket_cycles + p.ledger.hw_cycles);
+
+            let lane = &mut self.lanes[p.lane];
+            lane.stats.requests += p.batch;
+            lane.stats.rocket_cycles += p.ledger.rocket_cycles;
+            lane.stats.hw_cycles += p.ledger.hw_cycles;
+            lane.stats.batches += p.ledger.batches;
+            lane.stats.serve += p.serve_res;
+
+            for resp in &p.ledger.responses {
+                let (arrival_cycle, bank) = *p
+                    .meta
+                    .get(&resp.id)
+                    .expect("every response answers a posted request");
+                let burst_ps = resp.slice.column_ops * t_burst;
+                let finish_mem_ps = lane.timeline.price(&TimelineDemand {
+                    arrival_ps: cycles_to_ps(arrival_cycle, f_core),
+                    bank,
+                    prep_ps: resp.slice.dram_occupancy_ps.saturating_sub(burst_ps),
+                    burst_ps,
+                    has_columns: resp.slice.column_ops > 0,
+                });
+                let sched_emul_ps = cycles_to_ps(resp.slice.rocket_cycles, self.cfg.mc_emul_hz);
+                let release_cycle = match mode {
+                    TimingMode::Reference => {
+                        let done = finish_mem_ps + sched_emul_ps + fixed_ps;
+                        ps_to_cycles_round(done, f_core)
+                    }
+                    TimingMode::TimeScaling => {
+                        // Each component crosses a clock-domain counter and
+                        // is quantized: DRAM Bender reports whole DRAM-clock
+                        // cycles back to the controller (Fig. 5 ④), and
+                        // every component is converted to whole processor
+                        // cycles separately (§4.3).
+                        let finish_q = (finish_mem_ps + t_ck / 2) / t_ck * t_ck;
+                        ps_to_cycles_round(finish_q, f_core)
+                            + ps_to_cycles_round(sched_emul_ps, f_core)
+                            + ps_to_cycles_round(fixed_ps, f_core)
+                    }
+                    TimingMode::NoTimeScaling => {
+                        // The processor observes the raw wall latency of the
+                        // whole frozen pass at its own (FPGA) clock — no
+                        // scaling.
+                        trigger_cycle + ps_to_cycles_round(wall_latency, f_core).max(1)
+                    }
+                };
+                let release_cycle = release_cycle.max(arrival_cycle + 1);
+                latest_release = latest_release.max(release_cycle);
+                served.push(Served {
+                    id: resp.id,
+                    data: resp.data,
+                    corrupted: resp.corrupted,
+                    release_cycle,
+                });
+            }
         }
 
         if mode == TimingMode::TimeScaling {
             // Fig. 5 ⑤/⑪: convert the pass duration and advance the MC
             // counter; each response is tagged with its release cycle and
-            // the processors resume.
+            // the processors resume. The global FPGA counter advances by the
+            // slowest lane (lanes run on concurrent per-channel hardware).
             self.counters.advance_mc(latest_release);
             self.counters
                 .advance_proc(trigger_cycle.max(latest_release.min(self.counters.mc_cycles)));
             self.counters.exit_critical();
-            self.counters
-                .tick_global(ledger.rocket_cycles + ledger.hw_cycles);
+            self.counters.tick_global(max_lane_cycles);
         }
 
         served
@@ -341,10 +520,12 @@ impl Tile {
     }
 
     /// Highest natural row index the bump allocator has touched in any bank
-    /// (used to keep remap pools collision-free).
+    /// (used to keep remap pools collision-free). Allocations interleave
+    /// across every channel and rank, so the per-bank row footprint shrinks
+    /// with the total bank count.
     fn natural_rows_used(&self) -> u32 {
         let geo = &self.cfg.dram.geometry;
-        let span = u64::from(geo.row_bytes) * u64::from(geo.banks());
+        let span = u64::from(geo.row_bytes) * u64::from(geo.total_banks());
         (self.alloc_cursor / span + 2) as u32
     }
 
@@ -360,7 +541,7 @@ impl Tile {
     ) -> bool {
         let addr = self
             .mapper
-            .to_phys(easydram_dram::DramAddress { bank, row, col });
+            .to_phys(easydram_dram::DramAddress::new(bank, row, col));
         let (_, corrupted, _) =
             self.serve_one(RequestKind::ProfileTrcd { addr, trcd_ps }, issue_cycle);
         !corrupted
@@ -383,14 +564,17 @@ impl MemoryBackend for Tile {
 
     fn post_write(&mut self, line_addr: u64, data: [u8; LINE_BYTES], issue_cycle: u64) -> u64 {
         self.stats.posted_writes += 1;
-        let accepted = if self.session.is_full() {
-            // Bounded write buffer: make room by draining what accumulated.
+        let ch = self.route(line_addr);
+        let accepted = if self.lanes[ch].session.is_full() {
+            // Bounded per-channel write buffer: make room by draining what
+            // accumulated (all lanes — the pass overlaps them anyway).
             self.stats.forced_drains += 1;
             self.drain(issue_cycle)
         } else {
             issue_cycle
         };
-        self.session.post(
+        self.post_to_channel(
+            ch,
             RequestKind::Write {
                 addr: line_addr,
                 data,
@@ -458,7 +642,7 @@ impl MemoryBackend for Tile {
         let src_base = self.bump_alloc(n_rows * rb, rb);
         let dst_base = self.bump_alloc(n_rows * rb, rb);
         let plan = {
-            let var = self.device.variation().clone();
+            let var = self.lanes[0].device.variation().clone();
             self.allocator
                 .plan_copy(&var, n_rows, src_base / rb, dst_base / rb)?
         };
@@ -486,7 +670,7 @@ impl MemoryBackend for Tile {
         let dst_base = self.bump_alloc(n_rows * rb, rb);
         let src_base = self.bump_alloc(blocks * rb, rb);
         let plan = {
-            let var = self.device.variation().clone();
+            let var = self.lanes[0].device.variation().clone();
             self.allocator
                 .plan_init(&var, n_rows, dst_base / rb, src_base / rb)?
         };
@@ -550,20 +734,32 @@ impl System {
 
     /// Switches the controller to FR-FCFS with tRCD reduction, building the
     /// weak-row Bloom filter from profiling results over the first
-    /// `covered_rows_per_bank` rows of every bank (paper §8.2).
+    /// `covered_rows_per_bank` rows of every bank (paper §8.2). On
+    /// multi-channel systems each channel's controller gets a plan profiled
+    /// from that channel's own device (channels are distinct modules with
+    /// distinct variation fields).
     pub fn enable_trcd_reduction(&mut self, covered_rows_per_bank: u32, reduced_trcd_ps: u64) {
         let margin = self.tile().config().trcd_margin_ps;
-        let plan = {
+        let plans: Vec<TrcdPlan> = {
             let tile = self.tile();
-            TrcdPlan::from_variation(
-                tile.device().variation(),
-                &tile.config().dram.geometry,
-                covered_rows_per_bank,
-                reduced_trcd_ps,
-                margin,
-            )
+            (0..tile.channels())
+                .map(|ch| {
+                    let device = tile.channel_device(ch);
+                    TrcdPlan::from_variation(
+                        device.variation(),
+                        &device.config().geometry,
+                        covered_rows_per_bank,
+                        reduced_trcd_ps,
+                        margin,
+                    )
+                })
+                .collect()
         };
-        self.install_controller(Box::new(FrFcfsController::with_trcd_reduction(plan)));
+        self.tile_mut().install_controllers(|ch| {
+            Box::new(FrFcfsController::with_trcd_reduction(
+                plans[ch as usize].clone(),
+            ))
+        });
     }
 
     /// Runs a workload to completion and reports on its window.
@@ -572,6 +768,7 @@ impl System {
         let instr0 = self.core.stats().instructions;
         let reads0 = self.core.stats().mem_reads;
         let smc0 = *self.tile().smc_stats();
+        let channels0 = self.tile().channel_stats();
         let prior_peak = self.tile_mut().begin_peak_window();
         workload.run(&mut self.core);
         let mut r = self.report(workload.name());
@@ -585,6 +782,9 @@ impl System {
             (self.core.stats().mem_reads - reads0) as f64 * 1000.0 / r.emulated_cycles as f64
         };
         r.smc.subtract_baseline(&smc0);
+        for (c, c0) in r.channels.iter_mut().zip(&channels0) {
+            c.subtract_baseline(c0);
+        }
         if r.fpga_wall_seconds > 0.0 {
             r.sim_speed_hz = r.emulated_cycles as f64 / r.fpga_wall_seconds;
         }
@@ -615,8 +815,9 @@ impl System {
             core: *self.core.stats(),
             l1: self.core.l1_stats(),
             l2: self.core.l2_stats(),
-            dram: *tile.device().stats(),
+            dram: tile.device_stats(),
             smc: *tile.smc_stats(),
+            channels: tile.channel_stats(),
         }
     }
 }

@@ -1,11 +1,13 @@
-//! The emulated-timeline model of the modeled single-channel memory system.
+//! The emulated-timeline model of one channel of the modeled memory system.
 //!
 //! The modeled system has bank-level parallelism: row preparation (PRE/ACT)
-//! proceeds per bank while the data bus serializes one burst per column
-//! command, and all-bank refresh stalls every bank for tRFC once per tREFI.
-//! [`EmulatedTimeline`] owns that bookkeeping and prices each request of a
+//! proceeds per bank while the channel's data bus serializes one burst per
+//! column command, and all-bank refresh stalls every bank *of one rank* for
+//! tRFC once per tREFI (ranks refresh independently). [`EmulatedTimeline`]
+//! owns that bookkeeping for a single channel and prices each request of a
 //! serve-pass batch independently, so batched requests overlap across banks
-//! exactly as they would under a real controller.
+//! exactly as they would under a real controller. Multi-channel systems hold
+//! one timeline per channel; channels share nothing and overlap freely.
 
 use easydram_dram::TimingParams;
 
@@ -15,7 +17,8 @@ use easydram_dram::TimingParams;
 pub struct TimelineDemand {
     /// Emulated arrival time (the request's arrival cycle converted to ps).
     pub arrival_ps: u64,
-    /// Flat bank index the request targets.
+    /// Flat bank index the request targets, within this channel
+    /// (`rank * banks_per_rank + bank_in_rank`).
     pub bank: usize,
     /// Row-preparation time before the first burst (occupancy minus bursts).
     pub prep_ps: u64,
@@ -26,37 +29,98 @@ pub struct TimelineDemand {
     pub has_columns: bool,
 }
 
-/// Per-bank and bus availability on the emulated timeline, plus periodic
-/// refresh. Prices requests one at a time, in controller service order.
+/// Per-bank and bus availability on one channel's emulated timeline, plus
+/// per-rank periodic refresh. Prices requests one at a time, in controller
+/// service order.
 #[derive(Debug, Clone)]
 pub struct EmulatedTimeline {
     /// Availability of each bank (row prep overlaps across banks), ps.
+    /// Indexed by flat within-channel bank (`rank * banks_per_rank + bank`).
     bank_free_ps: Vec<u64>,
-    /// Availability of the shared data bus, ps.
+    /// Availability of the channel's shared data bus, ps.
     bus_free_ps: u64,
-    /// Next periodic refresh, ps (`u64::MAX` when refresh is disabled).
-    next_ref_ps: u64,
+    /// Next periodic refresh of each rank, ps (`u64::MAX` when refresh is
+    /// disabled).
+    next_ref_ps: Vec<u64>,
+    /// Refreshes charged so far, per rank (reported per-rank counters).
+    refreshes: Vec<u64>,
+    banks_per_rank: usize,
     t_refi_ps: u64,
     t_rfc_ps: u64,
     t_cl_ps: u64,
 }
 
 impl EmulatedTimeline {
-    /// Creates an idle timeline for `n_banks` banks.
+    /// Creates an idle single-rank timeline for `n_banks` banks.
     #[must_use]
     pub fn new(n_banks: usize, timing: &TimingParams, refresh_enabled: bool) -> Self {
+        Self::with_ranks(1, n_banks, timing, refresh_enabled)
+    }
+
+    /// Creates an idle timeline for `ranks` ranks of `banks_per_rank` banks
+    /// each. Each rank refreshes independently (tRFC every tREFI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` or `banks_per_rank` is zero.
+    #[must_use]
+    pub fn with_ranks(
+        ranks: usize,
+        banks_per_rank: usize,
+        timing: &TimingParams,
+        refresh_enabled: bool,
+    ) -> Self {
+        assert!(ranks > 0 && banks_per_rank > 0, "empty timeline geometry");
+        let next_ref = if refresh_enabled {
+            timing.t_refi_ps
+        } else {
+            u64::MAX
+        };
         Self {
-            bank_free_ps: vec![0; n_banks],
+            bank_free_ps: vec![0; ranks * banks_per_rank],
             bus_free_ps: 0,
-            next_ref_ps: if refresh_enabled {
-                timing.t_refi_ps
-            } else {
-                u64::MAX
-            },
+            next_ref_ps: vec![next_ref; ranks],
+            refreshes: vec![0; ranks],
+            banks_per_rank,
             t_refi_ps: timing.t_refi_ps,
             t_rfc_ps: timing.t_rfc_ps,
             t_cl_ps: timing.t_cl_ps,
         }
+    }
+
+    /// Number of ranks this timeline models.
+    #[must_use]
+    pub fn ranks(&self) -> usize {
+        self.next_ref_ps.len()
+    }
+
+    /// Refreshes charged so far, per rank.
+    #[must_use]
+    pub fn refreshes_per_rank(&self) -> &[u64] {
+        &self.refreshes
+    }
+
+    /// All-bank refresh of `rank`: every bank of that rank stalls until
+    /// `ref_end`.
+    fn stall_rank(&mut self, rank: usize, ref_end: u64) {
+        let base = rank * self.banks_per_rank;
+        for b in &mut self.bank_free_ps[base..base + self.banks_per_rank] {
+            *b = (*b).max(ref_end);
+        }
+    }
+
+    /// Charges every tREFI boundary at or before `t_end` (refreshes that
+    /// interrupt an in-flight request): each one slides the remaining work
+    /// past its tRFC stall. Returns the extended end time.
+    fn charge_refresh_crossings(&mut self, rank: usize, mut t_end: u64) -> u64 {
+        while self.next_ref_ps[rank] <= t_end {
+            let ref_end = self.next_ref_ps[rank] + self.t_rfc_ps;
+            self.stall_rank(rank, ref_end);
+            t_end += self.t_rfc_ps;
+            self.next_ref_ps[rank] += self.t_refi_ps;
+            self.refreshes[rank] += 1;
+        }
+        t_end
     }
 
     /// Prices one request on the timeline and returns the emulated time at
@@ -66,19 +130,21 @@ impl EmulatedTimeline {
     ///
     /// Panics if `demand.bank` is outside the configured geometry.
     pub fn price(&mut self, demand: &TimelineDemand) -> u64 {
+        let rank = demand.bank / self.banks_per_rank;
         let mut start_bank = demand.arrival_ps.max(self.bank_free_ps[demand.bank]);
-        while self.next_ref_ps <= start_bank {
-            // All-bank refresh: every bank stalls for tRFC.
-            let ref_end = self.next_ref_ps + self.t_rfc_ps;
-            for b in &mut self.bank_free_ps {
-                *b = (*b).max(ref_end);
-            }
+        // Refreshes due before the request starts delay the start itself.
+        while self.next_ref_ps[rank] <= start_bank {
+            let ref_end = self.next_ref_ps[rank] + self.t_rfc_ps;
+            self.stall_rank(rank, ref_end);
             start_bank = start_bank.max(ref_end);
-            self.next_ref_ps += self.t_refi_ps;
+            self.next_ref_ps[rank] += self.t_refi_ps;
+            self.refreshes[rank] += 1;
         }
         if demand.has_columns {
             let start_bus = (start_bank + demand.prep_ps).max(self.bus_free_ps);
-            let bus_done = start_bus + demand.burst_ps;
+            // A tREFI boundary inside the prep/burst interval interrupts the
+            // request mid-flight: the tail of its work pays the tRFC stall.
+            let bus_done = self.charge_refresh_crossings(rank, start_bus + demand.burst_ps);
             self.bank_free_ps[demand.bank] = bus_done;
             self.bus_free_ps = bus_done;
             // The CAS pipeline latency of the final read overlaps with later
@@ -86,7 +152,7 @@ impl EmulatedTimeline {
             bus_done + self.t_cl_ps
         } else {
             // Row-only sequences (RowClone) occupy the bank, not the bus.
-            let finish = start_bank + demand.prep_ps;
+            let finish = self.charge_refresh_crossings(rank, start_bank + demand.prep_ps);
             self.bank_free_ps[demand.bank] = finish;
             finish
         }
@@ -164,12 +230,101 @@ mod tests {
         let t = timing();
         let mut on = EmulatedTimeline::new(2, &t, true);
         let mut off = EmulatedTimeline::new(2, &t, false);
+        // Arrives 1 ps after the tREFI boundary: the refresh has already
+        // begun, so the request's start slides to the end of the tRFC stall —
+        // exactly (tRFC − 1) ps later than the refresh-free timeline.
         let late = demand(1, t.t_refi_ps + 1);
         let with = on.price(&late);
         let without = off.price(&late);
-        assert!(
-            with + 1 >= without + t.t_rfc_ps,
-            "a request arriving after tREFI pays the refresh: {with} vs {without}"
+        assert_eq!(
+            with,
+            without + t.t_rfc_ps - 1,
+            "a request arriving 1 ps into the refresh pays the remaining stall exactly"
         );
+        assert_eq!(on.refreshes_per_rank(), &[1]);
+        // The *other* bank of the rank is stalled too.
+        assert!(on.bank_free_ps(0) >= t.t_refi_ps + t.t_rfc_ps);
+    }
+
+    #[test]
+    fn refresh_crossing_mid_request_pays_trfc() {
+        // Regression: a long row-only (RowClone-style) sequence that starts
+        // before a tREFI boundary and finishes after it must be interrupted
+        // by the refresh and pay tRFC — and `next_ref_ps` must keep pace.
+        let t = timing();
+        let mut tl = EmulatedTimeline::new(2, &t, true);
+        let long = TimelineDemand {
+            arrival_ps: 0,
+            bank: 0,
+            prep_ps: t.t_refi_ps + 5_000,
+            burst_ps: 0,
+            has_columns: false,
+        };
+        let done = tl.price(&long);
+        assert_eq!(
+            done,
+            t.t_refi_ps + 5_000 + t.t_rfc_ps,
+            "the crossing charges exactly one tRFC"
+        );
+        assert_eq!(tl.refreshes_per_rank(), &[1]);
+        // The refresh schedule advanced past the priced interval: a short
+        // follow-up request well before the *next* boundary pays nothing.
+        let short = TimelineDemand {
+            arrival_ps: done,
+            bank: 1,
+            prep_ps: 10_000,
+            burst_ps: 0,
+            has_columns: false,
+        };
+        assert_eq!(tl.price(&short), done + 10_000);
+        assert_eq!(tl.refreshes_per_rank(), &[1], "no double-charge later");
+    }
+
+    #[test]
+    fn burst_crossing_extends_bus_and_bank() {
+        // A column request whose burst straddles the boundary pays tRFC and
+        // leaves both the bank and the bus busy until the extended finish.
+        let t = timing();
+        let mut tl = EmulatedTimeline::new(2, &t, true);
+        let d = TimelineDemand {
+            arrival_ps: t.t_refi_ps - 10_000,
+            bank: 0,
+            prep_ps: 30_000,
+            burst_ps: 6_000,
+            has_columns: true,
+        };
+        let done = tl.price(&d);
+        let unrefreshed_bus_done = t.t_refi_ps - 10_000 + 30_000 + 6_000;
+        assert_eq!(done, unrefreshed_bus_done + t.t_rfc_ps + t.t_cl_ps);
+        assert_eq!(tl.bank_free_ps(0), unrefreshed_bus_done + t.t_rfc_ps);
+        assert_eq!(tl.bus_free_ps(), unrefreshed_bus_done + t.t_rfc_ps);
+    }
+
+    #[test]
+    fn ranks_refresh_independently() {
+        let t = timing();
+        // 2 ranks × 2 banks: banks 0-1 are rank 0, banks 2-3 are rank 1.
+        let mut tl = EmulatedTimeline::with_ranks(2, 2, &t, true);
+        assert_eq!(tl.ranks(), 2);
+        // A request on rank 0 that crosses the boundary charges rank 0 only.
+        let long = TimelineDemand {
+            arrival_ps: 0,
+            bank: 0,
+            prep_ps: t.t_refi_ps + 5_000,
+            burst_ps: 0,
+            has_columns: false,
+        };
+        let _ = tl.price(&long);
+        assert_eq!(tl.refreshes_per_rank(), &[1, 0]);
+        // Rank 1's banks were not stalled by rank 0's refresh.
+        assert_eq!(tl.bank_free_ps(2), 0);
+        assert_eq!(tl.bank_free_ps(3), 0);
+        // But rank 1 still owes its own refresh when a request arrives late.
+        let late = demand(2, t.t_refi_ps + 1);
+        let mut off = EmulatedTimeline::with_ranks(2, 2, &t, false);
+        let with = tl.price(&late);
+        let without = off.price(&late);
+        assert_eq!(with, without + t.t_rfc_ps - 1);
+        assert_eq!(tl.refreshes_per_rank(), &[1, 1]);
     }
 }

@@ -12,15 +12,16 @@
 
 /// Converts a picosecond duration to clock cycles at `hz`, rounding to
 /// nearest (the quantization the FPGA counters introduce).
+///
+/// This is the **single** ps→cycles policy of the crate. Both conversion
+/// directions round half-up, which makes `cycles → ps → cycles` an identity
+/// for every `hz` below 1 THz: the ps-side rounding error is at most 0.5 ps,
+/// which converts back to strictly less than half a cycle. (An earlier
+/// truncating variant could drift one cycle low on exactly-half-grid values;
+/// the property test below pins the identity.)
 #[must_use]
 pub fn ps_to_cycles_round(ps: u64, hz: u64) -> u64 {
     ((u128::from(ps) * u128::from(hz) + 500_000_000_000) / 1_000_000_000_000) as u64
-}
-
-/// Converts a picosecond duration to clock cycles at `hz`, truncating.
-#[must_use]
-pub fn ps_to_cycles_floor(ps: u64, hz: u64) -> u64 {
-    ((u128::from(ps) * u128::from(hz)) / 1_000_000_000_000) as u64
 }
 
 /// Converts clock cycles at `hz` to picoseconds, rounding to nearest.
@@ -122,11 +123,34 @@ mod tests {
     }
 
     #[test]
-    fn round_vs_floor() {
+    fn rounding_is_half_up() {
         // 1 cycle at 1 GHz = 1000 ps.
-        assert_eq!(ps_to_cycles_floor(1_999, 1_000_000_000), 1);
         assert_eq!(ps_to_cycles_round(1_999, 1_000_000_000), 2);
+        assert_eq!(ps_to_cycles_round(1_500, 1_000_000_000), 2);
         assert_eq!(ps_to_cycles_round(1_499, 1_000_000_000), 1);
+    }
+
+    proptest::proptest! {
+        /// The unified rounding policy makes cycles → ps → cycles an exact
+        /// identity at every clock the system models (processor, tile, MC
+        /// emulation, DRAM-period grid). A truncating ps→cycles leg would
+        /// drift one cycle low whenever cycles_to_ps rounded downward.
+        #[test]
+        fn round_trip_is_identity(
+            cycles in 0u64..4_000_000_000,
+            hz_idx in 0usize..6,
+        ) {
+            let hz = [
+                25_000_000u64,   // FPGA processor domain
+                50_000_000,      // PiDRAM-like clock
+                100_000_000,     // tile / Rocket domain
+                1_430_000_000,   // Cortex-A57 target
+                2_000_000_000,   // MC emulation clock
+                4_000_000_000,   // fast hypothetical target
+            ][hz_idx];
+            let ps = cycles_to_ps(cycles, hz);
+            proptest::prop_assert_eq!(ps_to_cycles_round(ps, hz), cycles);
+        }
     }
 
     #[test]

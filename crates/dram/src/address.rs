@@ -3,13 +3,25 @@
 //! EasyAPI exposes these mappers to both the processor-side allocator and the
 //! software memory controller so RowClone operands can be placed on row
 //! boundaries within one subarray (paper §7.1, "alignment problem").
+//!
+//! Multi-channel/multi-rank geometries add two interleave fields to the
+//! decode: the **channel** is taken from the lowest line-address bits
+//! (`line % channels`), so consecutive cache lines rotate channels — the
+//! standard layout for maximal channel-level parallelism — and the **rank**
+//! is folded into the bank field (`bank = rank * banks_per_rank +
+//! bank_in_rank`), so every [`MappingScheme`] transparently spreads traffic
+//! across ranks exactly as it already spreads it across banks.
 
 use crate::config::Geometry;
 
-/// A fully decoded DRAM location: flat bank, row, and cache-line column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// A fully decoded DRAM location: channel, flat within-channel bank
+/// (rank-folded), row, and cache-line column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct DramAddress {
-    /// Flat bank index (`group * banks_per_group + bank_in_group`).
+    /// Memory channel.
+    pub channel: u32,
+    /// Flat within-channel bank index
+    /// (`rank * banks_per_rank + group * banks_per_group + bank_in_group`).
     pub bank: u32,
     /// Row within the bank.
     pub row: u32,
@@ -18,10 +30,27 @@ pub struct DramAddress {
 }
 
 impl DramAddress {
-    /// Creates an address from its components.
+    /// Creates a channel-0 address from its components (the single-channel
+    /// common case).
     #[must_use]
     pub fn new(bank: u32, row: u32, col: u32) -> Self {
-        Self { bank, row, col }
+        Self {
+            channel: 0,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Creates an address on an explicit channel.
+    #[must_use]
+    pub fn on_channel(channel: u32, bank: u32, row: u32, col: u32) -> Self {
+        Self {
+            channel,
+            bank,
+            row,
+            col,
+        }
     }
 }
 
@@ -29,25 +58,27 @@ impl std::fmt::Display for DramAddress {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "<bank {}, row {}, col {}>",
-            self.bank, self.row, self.col
+            "<ch {}, bank {}, row {}, col {}>",
+            self.channel, self.bank, self.row, self.col
         )
     }
 }
 
-/// How physical address bits map onto DRAM coordinates.
+/// How physical address bits map onto DRAM coordinates (channel bits are
+/// always the lowest line-address bits; the scheme governs the per-channel
+/// remainder, with ranks folded into the bank dimension).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MappingScheme {
-    /// `[row | bank | col | offset]`: consecutive cache lines walk a row
-    /// (maximal row-buffer locality), consecutive rows rotate banks.
+    /// `[row | bank | col | channel | offset]`: consecutive cache lines walk
+    /// a row (maximal row-buffer locality), consecutive rows rotate banks.
     #[default]
     RowBankCol,
-    /// `[row | col | bank | offset]`: consecutive cache lines rotate banks
-    /// (maximal bank-level parallelism).
+    /// `[row | col | bank | channel | offset]`: consecutive cache lines
+    /// rotate banks (maximal bank-level parallelism).
     RowColBank,
-    /// `[bank | row | col | offset]`: a bank owns one contiguous region of
-    /// the physical address space (simplest to reason about; used by the
-    /// RowClone allocator tests).
+    /// `[bank | row | col | channel | offset]`: a bank owns one contiguous
+    /// region of the physical address space (simplest to reason about; used
+    /// by the RowClone allocator tests).
     BankRowCol,
     /// [`MappingScheme::RowColBank`] with the bank index XOR-hashed by the
     /// low row bits, the standard trick real controllers use so that
@@ -95,30 +126,38 @@ impl AddressMapper {
     }
 
     fn bank_bits(&self) -> u32 {
-        self.geometry.banks().trailing_zeros()
+        self.geometry.banks_per_channel().trailing_zeros()
     }
 
     fn row_bits(&self) -> u32 {
         self.geometry.rows_per_bank.trailing_zeros()
     }
 
+    fn channel_bits(&self) -> u32 {
+        self.geometry.channels.trailing_zeros()
+    }
+
     /// Number of physical-address bits consumed by the mapping
-    /// (including the 6 line-offset bits).
+    /// (including the 6 line-offset bits). The bank field covers the rank
+    /// bits; the channel bits sit just above the line offset.
     #[must_use]
     pub fn addr_bits(&self) -> u32 {
-        6 + self.col_bits() + self.bank_bits() + self.row_bits()
+        6 + self.channel_bits() + self.col_bits() + self.bank_bits() + self.row_bits()
     }
 
     /// Translates a physical byte address to a DRAM coordinate.
     ///
-    /// The 6 low bits (line offset) are ignored; addresses beyond the rank
-    /// capacity wrap, which mirrors how a real single-rank controller decodes
-    /// only the low address bits.
+    /// The 6 low bits (line offset) are ignored; addresses beyond the system
+    /// capacity wrap, which mirrors how a real controller decodes only the
+    /// low address bits.
     #[must_use]
     pub fn to_dram(&self, phys: u64) -> DramAddress {
         let line = phys >> 6;
+        let channels = u64::from(self.geometry.channels);
+        let channel = line % channels;
+        let line = line / channels;
         let cols = u64::from(self.geometry.cols_per_row());
-        let banks = u64::from(self.geometry.banks());
+        let banks = u64::from(self.geometry.banks_per_channel());
         let rows = u64::from(self.geometry.rows_per_bank);
         let (bank, row, col) = match self.scheme {
             MappingScheme::RowBankCol => {
@@ -147,6 +186,7 @@ impl AddressMapper {
             }
         };
         DramAddress {
+            channel: channel as u32,
             bank: bank as u32,
             row: row as u32,
             col: col as u32,
@@ -162,7 +202,12 @@ impl AddressMapper {
     #[must_use]
     pub fn to_phys(&self, addr: DramAddress) -> u64 {
         assert!(
-            addr.bank < self.geometry.banks(),
+            addr.channel < self.geometry.channels,
+            "channel {} out of range",
+            addr.channel
+        );
+        assert!(
+            addr.bank < self.geometry.banks_per_channel(),
             "bank {} out of range",
             addr.bank
         );
@@ -177,7 +222,7 @@ impl AddressMapper {
             addr.col
         );
         let cols = u64::from(self.geometry.cols_per_row());
-        let banks = u64::from(self.geometry.banks());
+        let banks = u64::from(self.geometry.banks_per_channel());
         let rows = u64::from(self.geometry.rows_per_bank);
         let line = match self.scheme {
             MappingScheme::RowBankCol => {
@@ -194,6 +239,7 @@ impl AddressMapper {
                 (u64::from(addr.row) * cols + u64::from(addr.col)) * banks + bank
             }
         };
+        let line = line * u64::from(self.geometry.channels) + u64::from(addr.channel);
         line << 6
     }
 
@@ -201,6 +247,11 @@ impl AddressMapper {
     /// OS-style remap entry (installed by the RowClone allocator, paper §7.1)
     /// go to their remapped `(bank, row)` keeping the in-row column; all
     /// other addresses use the plain scheme.
+    ///
+    /// Remapped rows always live on **channel 0**: RowClone operands must
+    /// share a subarray, so the allocator places every remap pool in one
+    /// channel's device and the remap entry overrides the channel interleave
+    /// along with the bank/row decode.
     ///
     /// This is the one shared decode path of EasyAPI's `get_addr_mapping`
     /// (Table 2) and the tile's per-bank timeline bookkeeping.
@@ -214,6 +265,7 @@ impl AddressMapper {
         let vrow = phys / row_bytes;
         match remap.get(&vrow) {
             Some(&(bank, row)) => DramAddress {
+                channel: 0,
                 bank,
                 row,
                 col: ((phys % row_bytes) / crate::LINE_BYTES as u64) as u32,
@@ -222,21 +274,24 @@ impl AddressMapper {
         }
     }
 
-    /// Physical address of the first byte of a whole row (column 0).
+    /// Physical address of the first byte of a whole row (column 0) on
+    /// channel 0.
     #[must_use]
     pub fn row_base_phys(&self, bank: u32, row: u32) -> u64 {
-        self.to_phys(DramAddress { bank, row, col: 0 })
+        self.to_phys(DramAddress::new(bank, row, 0))
     }
 
     /// Whether a whole row occupies contiguous physical addresses under this
     /// scheme (true for [`MappingScheme::RowBankCol`] and
-    /// [`MappingScheme::BankRowCol`]).
+    /// [`MappingScheme::BankRowCol`] on single-channel geometries; channel
+    /// interleaving spreads every row across the channels).
     #[must_use]
     pub fn rows_are_contiguous(&self) -> bool {
-        !matches!(
-            self.scheme,
-            MappingScheme::RowColBank | MappingScheme::RowColBankXor
-        )
+        self.geometry.channels == 1
+            && !matches!(
+                self.scheme,
+                MappingScheme::RowColBank | MappingScheme::RowColBankXor
+            )
     }
 
     /// Under XOR hashing, row-aligned address offsets land in different
@@ -251,16 +306,32 @@ impl AddressMapper {
 mod tests {
     use super::*;
 
-    fn mappers() -> Vec<AddressMapper> {
+    fn all_schemes() -> [MappingScheme; 4] {
         [
             MappingScheme::RowBankCol,
             MappingScheme::RowColBank,
             MappingScheme::BankRowCol,
             MappingScheme::RowColBankXor,
         ]
-        .into_iter()
-        .map(|s| AddressMapper::new(Geometry::default(), s))
-        .collect()
+    }
+
+    fn mappers() -> Vec<AddressMapper> {
+        all_schemes()
+            .into_iter()
+            .map(|s| AddressMapper::new(Geometry::default(), s))
+            .collect()
+    }
+
+    fn multi_mappers() -> Vec<AddressMapper> {
+        let geometry = Geometry {
+            channels: 2,
+            ranks: 2,
+            ..Geometry::default()
+        };
+        all_schemes()
+            .into_iter()
+            .map(|s| AddressMapper::new(geometry.clone(), s))
+            .collect()
     }
 
     #[test]
@@ -274,8 +345,47 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_multi_channel_rank() {
+        for m in multi_mappers() {
+            for phys in (0u64..4096).map(|i| i * 64) {
+                let d = m.to_dram(phys);
+                assert!(d.channel < 2);
+                assert!(d.bank < 32, "bank field covers both ranks");
+                assert_eq!(m.to_phys(d), phys, "{:?} {phys:#x}", m.scheme());
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_rotate_channels() {
+        for m in multi_mappers() {
+            let a = m.to_dram(0);
+            let b = m.to_dram(64);
+            let c = m.to_dram(128);
+            assert_eq!(a.channel, 0);
+            assert_eq!(b.channel, 1, "{:?}", m.scheme());
+            assert_eq!(c.channel, 0);
+        }
+    }
+
+    #[test]
+    fn rank_bits_ride_the_bank_field() {
+        let geometry = Geometry {
+            ranks: 2,
+            ..Geometry::default()
+        };
+        let m = AddressMapper::new(geometry.clone(), MappingScheme::RowColBank);
+        // Under RowColBank the bank field rotates fastest: 32 consecutive
+        // lines cover both ranks' 16-bank arrays.
+        let banks: std::collections::HashSet<u32> =
+            (0..32u64).map(|i| m.to_dram(i * 64).bank).collect();
+        assert_eq!(banks.len(), 32);
+        assert!(banks.iter().any(|&b| geometry.rank_of(b) == 1));
+    }
+
+    #[test]
     fn offset_bits_ignored() {
-        for m in mappers() {
+        for m in mappers().into_iter().chain(multi_mappers()) {
             assert_eq!(m.to_dram(0x1234 << 6), m.to_dram((0x1234 << 6) | 0x3F));
         }
     }
@@ -310,6 +420,16 @@ mod tests {
     }
 
     #[test]
+    fn channel_interleave_breaks_row_contiguity() {
+        let geometry = Geometry {
+            channels: 2,
+            ..Geometry::default()
+        };
+        let m = AddressMapper::new(geometry, MappingScheme::RowBankCol);
+        assert!(!m.rows_are_contiguous());
+    }
+
+    #[test]
     fn xor_hashing_separates_row_aligned_streams() {
         let m = AddressMapper::new(Geometry::default(), MappingScheme::RowColBankXor);
         assert!(m.uses_bank_hashing());
@@ -327,9 +447,10 @@ mod tests {
 
     #[test]
     fn addresses_wrap_at_capacity() {
-        let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
-        let cap = Geometry::default().capacity_bytes();
-        assert_eq!(m.to_dram(0), m.to_dram(cap));
+        for m in mappers().into_iter().chain(multi_mappers()) {
+            let cap = m.geometry().capacity_bytes();
+            assert_eq!(m.to_dram(0), m.to_dram(cap));
+        }
     }
 
     #[test]
@@ -345,6 +466,30 @@ mod tests {
     }
 
     #[test]
+    fn remapped_rows_pin_channel_zero() {
+        let geometry = Geometry {
+            channels: 4,
+            ..Geometry::default()
+        };
+        let m = AddressMapper::new(geometry, MappingScheme::RowColBankXor);
+        let mut remap = std::collections::HashMap::new();
+        remap.insert(3u64, (2u32, 99u32));
+        // Every line of the remapped virtual row decodes to channel 0, even
+        // though the plain interleave would spread the lines across channels.
+        for line in 0..4u64 {
+            let phys = 3 * 8192 + line * 64;
+            let d = m.to_dram_remapped(&remap, phys);
+            assert_eq!(
+                (d.channel, d.bank, d.row, d.col),
+                (0, 2, 99, line as u32),
+                "line {line}"
+            );
+        }
+        // The plain interleave really would have spread those lines.
+        assert_eq!(m.to_dram(3 * 8192 + 64).channel, 1);
+    }
+
+    #[test]
     fn row_base_is_col_zero() {
         for m in mappers() {
             let p = m.row_base_phys(3, 77);
@@ -355,8 +500,17 @@ mod tests {
 
     #[test]
     fn addr_bits_covers_capacity() {
-        let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
-        assert_eq!(1u64 << m.addr_bits(), Geometry::default().capacity_bytes());
+        for geometry in [
+            Geometry::default(),
+            Geometry {
+                channels: 4,
+                ranks: 2,
+                ..Geometry::default()
+            },
+        ] {
+            let m = AddressMapper::new(geometry.clone(), MappingScheme::RowBankCol);
+            assert_eq!(1u64 << m.addr_bits(), geometry.capacity_bytes());
+        }
     }
 
     #[test]
@@ -364,5 +518,12 @@ mod tests {
     fn to_phys_validates() {
         let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
         let _ = m.to_phys(DramAddress::new(0, 40_000, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel 1 out of range")]
+    fn to_phys_validates_channel() {
+        let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
+        let _ = m.to_phys(DramAddress::on_channel(1, 0, 0, 0));
     }
 }

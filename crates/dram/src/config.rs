@@ -3,14 +3,21 @@
 use crate::timing::TimingParams;
 use crate::variation::VariationConfig;
 
-/// Physical organization of the modeled DRAM rank (paper §2.1, Figure 1).
+/// Physical organization of the modeled DRAM system (paper §2.1, Figure 1).
 ///
 /// The default matches the paper's evaluation system (§7.2 footnote 5):
 /// a single channel and single rank of DDR4 with 4 bank groups × 4 banks,
-/// 32 K rows per bank, and 8 KiB rows.
+/// 32 K rows per bank, and 8 KiB rows. Setting `channels`/`ranks` above 1
+/// generalizes the model: each channel has a private data bus and command
+/// stream, and each rank of a channel has its own bank array and refresh
+/// schedule.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Geometry {
-    /// Number of bank groups in the rank.
+    /// Independent memory channels (each with its own bus and controller).
+    pub channels: u32,
+    /// Ranks per channel (each with its own bank array and refresh).
+    pub ranks: u32,
+    /// Number of bank groups in one rank.
     pub bank_groups: u32,
     /// Banks per bank group.
     pub banks_per_group: u32,
@@ -24,10 +31,46 @@ pub struct Geometry {
 }
 
 impl Geometry {
-    /// Total number of banks (`bank_groups * banks_per_group`).
+    /// Number of banks in one rank (`bank_groups * banks_per_group`).
     #[must_use]
     pub fn banks(&self) -> u32 {
         self.bank_groups * self.banks_per_group
+    }
+
+    /// Banks per channel across all of its ranks (`ranks * banks()`). This
+    /// is the size of the flat within-channel bank index used by
+    /// [`crate::DramAddress::bank`].
+    #[must_use]
+    pub fn banks_per_channel(&self) -> u32 {
+        self.ranks * self.banks()
+    }
+
+    /// Banks in the whole memory system (`channels * ranks * banks()`).
+    #[must_use]
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.banks_per_channel()
+    }
+
+    /// Rank of a flat within-channel bank index.
+    #[must_use]
+    pub fn rank_of(&self, bank: u32) -> u32 {
+        bank / self.banks()
+    }
+
+    /// The single-channel single-rank geometry one channel's device models:
+    /// the ranks of the channel are folded into the bank-group dimension, so
+    /// a flat within-channel bank index (`rank * banks() + bank_in_rank`)
+    /// addresses the folded device directly, and banks in different ranks
+    /// never share a bank group (their timing constraints are the relaxed
+    /// cross-group ones, as on real modules).
+    #[must_use]
+    pub fn per_channel(&self) -> Geometry {
+        Geometry {
+            channels: 1,
+            ranks: 1,
+            bank_groups: self.bank_groups * self.ranks,
+            ..self.clone()
+        }
     }
 
     /// Cache-line columns per row (`row_bytes / 64`).
@@ -36,10 +79,10 @@ impl Geometry {
         self.row_bytes / crate::command::LINE_BYTES as u32
     }
 
-    /// Total capacity of the rank in bytes.
+    /// Total capacity of the memory system in bytes (all channels/ranks).
     #[must_use]
     pub fn capacity_bytes(&self) -> u64 {
-        u64::from(self.banks()) * u64::from(self.rows_per_bank) * u64::from(self.row_bytes)
+        u64::from(self.total_banks()) * u64::from(self.rows_per_bank) * u64::from(self.row_bytes)
     }
 
     /// Subarray index of a row.
@@ -68,6 +111,12 @@ impl Geometry {
     /// dimension, row size not a multiple of the line size, or a subarray
     /// size that does not divide the bank).
     pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || !self.channels.is_power_of_two() {
+            return Err("channel count must be a non-zero power of two".into());
+        }
+        if self.ranks == 0 || !self.ranks.is_power_of_two() {
+            return Err("rank count must be a non-zero power of two".into());
+        }
         if self.bank_groups == 0 || self.banks_per_group == 0 {
             return Err("geometry must have at least one bank".into());
         }
@@ -93,6 +142,8 @@ impl Geometry {
 impl Default for Geometry {
     fn default() -> Self {
         Self {
+            channels: 1,
+            ranks: 1,
             bank_groups: 4,
             banks_per_group: 4,
             rows_per_bank: 32_768,
@@ -123,6 +174,8 @@ impl DramConfig {
     pub fn small_for_tests() -> Self {
         Self {
             geometry: Geometry {
+                channels: 1,
+                ranks: 1,
                 bank_groups: 1,
                 banks_per_group: 2,
                 rows_per_bank: 1_024,
@@ -203,5 +256,52 @@ mod tests {
     #[test]
     fn small_test_config_is_valid() {
         DramConfig::small_for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn multi_channel_geometry_scales_capacity() {
+        let g = Geometry {
+            channels: 2,
+            ranks: 2,
+            ..Geometry::default()
+        };
+        g.validate().unwrap();
+        assert_eq!(g.banks(), 16, "banks() stays per-rank");
+        assert_eq!(g.banks_per_channel(), 32);
+        assert_eq!(g.total_banks(), 64);
+        assert_eq!(g.capacity_bytes(), 4 * Geometry::default().capacity_bytes());
+        assert_eq!(g.rank_of(0), 0);
+        assert_eq!(g.rank_of(15), 0);
+        assert_eq!(g.rank_of(16), 1);
+    }
+
+    #[test]
+    fn per_channel_folds_ranks_into_groups() {
+        let g = Geometry {
+            channels: 4,
+            ranks: 2,
+            ..Geometry::default()
+        };
+        let pc = g.per_channel();
+        pc.validate().unwrap();
+        assert_eq!(pc.channels, 1);
+        assert_eq!(pc.ranks, 1);
+        assert_eq!(pc.banks(), g.banks_per_channel());
+        // Banks of different ranks never share a folded bank group.
+        assert_ne!(pc.group_of(0), pc.group_of(g.banks()));
+        // Folding is the identity for the default single-rank geometry.
+        assert_eq!(Geometry::default().per_channel(), Geometry::default());
+    }
+
+    #[test]
+    fn validation_rejects_non_pow2_channels_and_ranks() {
+        for (channels, ranks) in [(0, 1), (3, 1), (1, 0), (1, 6)] {
+            let g = Geometry {
+                channels,
+                ranks,
+                ..Geometry::default()
+            };
+            assert!(g.validate().is_err(), "{channels} ch / {ranks} ranks");
+        }
     }
 }

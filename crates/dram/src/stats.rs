@@ -25,6 +25,23 @@ pub struct DeviceStats {
     pub corrupted_reads: u64,
 }
 
+impl std::ops::AddAssign for DeviceStats {
+    /// Field-wise accumulation — how a multi-channel system folds its
+    /// per-channel device counters into one system-wide record.
+    fn add_assign(&mut self, rhs: Self) {
+        self.activates += rhs.activates;
+        self.precharges += rhs.precharges;
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.refreshes += rhs.refreshes;
+        self.violations += rhs.violations;
+        self.rowclone_attempts += rhs.rowclone_attempts;
+        self.rowclone_successes += rhs.rowclone_successes;
+        self.reduced_trcd_reads += rhs.reduced_trcd_reads;
+        self.corrupted_reads += rhs.corrupted_reads;
+    }
+}
+
 impl DeviceStats {
     /// Total commands issued.
     #[must_use]

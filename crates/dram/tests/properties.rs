@@ -38,6 +38,56 @@ proptest! {
         prop_assert_ne!(m.to_dram(a << 6), m.to_dram(b << 6));
     }
 
+    /// Address mapping stays a bijection with channel and rank interleave
+    /// bits in play: every scheme × {1,2,4} channels × {1,2} ranks
+    /// round-trips, stays in range, and rotates consecutive lines across
+    /// channels.
+    #[test]
+    fn mapper_round_trips_multi_channel_rank(
+        scheme in any_scheme(),
+        ch_idx in 0usize..3,
+        rank_idx in 0usize..2,
+        line in 0u64..(1 << 22),
+    ) {
+        let channels = [1u32, 2, 4][ch_idx];
+        let ranks = [1u32, 2][rank_idx];
+        let g = Geometry { channels, ranks, ..Geometry::default() };
+        let m = AddressMapper::new(g.clone(), scheme);
+        let phys = line << 6;
+        let d = m.to_dram(phys);
+        prop_assert!(d.channel < channels);
+        prop_assert!(d.bank < g.banks_per_channel());
+        prop_assert!(d.row < g.rows_per_bank);
+        prop_assert!(d.col < g.cols_per_row());
+        prop_assert_eq!(d.channel as u64, line % u64::from(channels), "line interleave");
+        prop_assert_eq!(m.to_phys(d), phys);
+    }
+
+    /// The remap-aware decode agrees with the plain decode off-table and
+    /// pins remapped virtual rows to channel 0 with the in-row column kept —
+    /// on every scheme and multi-channel geometry.
+    #[test]
+    fn remapped_decode_round_trips(
+        scheme in any_scheme(),
+        ch_idx in 0usize..3,
+        vrow in 0u64..4096,
+        col in 0u32..128,
+        bank in 0u32..16,
+        row in 0u32..32_768,
+    ) {
+        let channels = [1u32, 2, 4][ch_idx];
+        let g = Geometry { channels, ..Geometry::default() };
+        let m = AddressMapper::new(g, scheme);
+        let mut remap = std::collections::HashMap::new();
+        remap.insert(vrow, (bank, row));
+        let phys = vrow * 8192 + u64::from(col) * 64;
+        let d = m.to_dram_remapped(&remap, phys);
+        prop_assert_eq!((d.channel, d.bank, d.row, d.col), (0, bank, row, col));
+        // One row over is off-table: the plain scheme decides.
+        let other = (vrow + 1) * 8192 + u64::from(col) * 64;
+        prop_assert_eq!(m.to_dram_remapped(&remap, other), m.to_dram(other));
+    }
+
     /// `earliest_issue_ps` is exactly the legality boundary: legal at the
     /// returned time, illegal one picosecond earlier (when constrained).
     #[test]
