@@ -21,9 +21,11 @@ fn main() {
         "fig13_trcd_speedup",
         "fig14_sim_speed",
         "fig_channel_sweep",
+        "fig_multicore_contention",
     ];
     // Stale sweep records must not masquerade as this run's numbers.
     std::fs::remove_file("target/channel-sweep.json").ok();
+    std::fs::remove_file("target/multicore-contention.json").ok();
     let mut runs: Vec<(String, bool, f64)> = Vec::new();
     for bin in bins {
         println!("\n########## {bin} ##########");
@@ -39,15 +41,27 @@ fn main() {
     // The channel sweep leaves a per-channel record behind; embed it so the
     // bench report carries the scaling trajectory alongside pass/fail. Only
     // a record produced by a *successful* run of this sequence qualifies.
-    let sweep_ok = runs
-        .iter()
-        .any(|(name, ok, _)| name == "fig_channel_sweep" && *ok);
-    let sections: Vec<(&str, String)> = std::fs::read_to_string("target/channel-sweep.json")
-        .ok()
-        .filter(|_| sweep_ok)
-        .map(|json| ("channel_sweep", json))
-        .into_iter()
-        .collect();
+    let section_ok = |bin: &str| runs.iter().any(|(name, ok, _)| name == bin && *ok);
+    let sections: Vec<(&str, String)> = [
+        (
+            "channel_sweep",
+            "fig_channel_sweep",
+            "target/channel-sweep.json",
+        ),
+        (
+            "multicore_contention",
+            "fig_multicore_contention",
+            "target/multicore-contention.json",
+        ),
+    ]
+    .into_iter()
+    .filter_map(|(key, bin, path)| {
+        std::fs::read_to_string(path)
+            .ok()
+            .filter(|_| section_ok(bin))
+            .map(|json| (key, json))
+    })
+    .collect();
     match easydram_bench::write_bench_report_with_sections(report_path, &runs, &sections) {
         Ok(()) => println!("\nwrote {report_path}"),
         Err(e) => eprintln!("\ncould not write {report_path}: {e}"),

@@ -172,7 +172,7 @@ pub fn write_bench_report_with_sections(
     if let Some(parent) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut s = String::from("{\n  \"schema\": 2,\n");
+    let mut s = String::from("{\n  \"schema\": 3,\n");
     s.push_str(&format!("  \"quick\": {},\n", quick()));
     for (key, json) in sections {
         s.push_str(&format!("  \"{key}\": {},\n", json.trim()));
@@ -211,6 +211,37 @@ pub fn write_channel_sweep_json(
     for (i, (channels, cycles, speedup)) in entries.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"channels\": {channels}, \"stream_cycles\": {cycles}, \"speedup\": {speedup:.3}}}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+/// Writes the `fig_multicore_contention` harness's machine-readable record:
+/// one object per swept channel count with the chase's solo and co-run
+/// cycles/load and the degradation ratio (the `multicore_contention` fields
+/// of bench-report schema 3). `repro_all` embeds this file into
+/// `target/bench-report.json` under `multicore_contention`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (missing parent directory is created).
+pub fn write_multicore_contention_json(
+    path: &str,
+    chase_loads: u64,
+    entries: &[(u32, f64, f64, f64)],
+) -> Result<(), std::io::Error> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"chase_loads\": {chase_loads},\n"));
+    s.push_str("  \"channels\": [\n");
+    for (i, (channels, solo, corun, degradation)) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"channels\": {channels}, \"solo_cycles_per_load\": {solo:.3}, \
+             \"corun_cycles_per_load\": {corun:.3}, \"degradation\": {degradation:.3}}}{}\n",
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
@@ -265,7 +296,7 @@ mod tests {
         ];
         write_bench_report(path, &runs).unwrap();
         let s = std::fs::read_to_string(path).unwrap();
-        assert!(s.contains("\"schema\": 2"));
+        assert!(s.contains("\"schema\": 3"));
         assert!(s.contains("\"name\": \"fig8\", \"ok\": true, \"wall_seconds\": 1.250"));
         assert!(s.contains("fig\\\"quoted\\\""), "quotes must be escaped");
         assert_eq!(

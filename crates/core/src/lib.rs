@@ -41,6 +41,7 @@ pub mod alloc;
 pub mod bloom;
 pub mod config;
 pub mod costs;
+pub mod multicore;
 pub mod profiling;
 pub mod report;
 pub mod request;
@@ -53,8 +54,9 @@ pub use alloc::RowCloneAllocator;
 pub use bloom::BloomFilter;
 pub use config::{FpgaConfig, SystemConfig, TimingMode};
 pub use costs::SmcCostModel;
+pub use multicore::{CoRunReport, CoreRun, MultiCoreSystem};
 pub use profiling::{ProfileOutcome, TrcdProfiler};
-pub use report::ExecutionReport;
+pub use report::{ExecutionReport, RequestorStats};
 pub use request::{MemRequest, MemResponse, RequestKind, ResponseSlice};
 pub use smc::easyapi::{ApiSession, EasyApi, TileCtx};
 pub use smc::{FcfsController, FrFcfsController, RowPolicy, ServeResult, SoftwareMemoryController};

@@ -1,0 +1,402 @@
+//! Multi-core execution over one shared EasyDRAM tile.
+//!
+//! [`MultiCoreSystem`] co-schedules N [`CoreModel`] instances over a single
+//! multi-channel [`Tile`]: every core owns a [`SharedBackend`] handle tagged
+//! with its requestor id, so the tile's serve passes interleave the cores'
+//! request streams through the same per-channel controllers, devices, and
+//! emulated timelines — real contention, measurable per requestor.
+//!
+//! # Determinism
+//!
+//! Workloads are ordinary run-to-completion programs, so each core executes
+//! on its own thread — but never concurrently. A [`CoScheduler`] passes a
+//! baton at memory-operation boundaries, always to the core with the
+//! smallest emulated `now` (ties by core id), quantum-bounded: the running
+//! core yields once it is more than [`MultiCoreSystem::quantum`] emulated
+//! cycles ahead of the laggard. Every scheduling decision depends only on
+//! emulated cycle counts, so a co-run reproduces **byte-identically** across
+//! repetitions and hosts. The trade-off is interleaving granularity: a core
+//! that computes without touching memory holds the baton until its next
+//! memory operation.
+
+use std::sync::{Arc, Mutex};
+
+use easydram_cpu::{CoScheduler, CoreModel, CoreStats, CpuApi, SharedBackend, Workload};
+
+use crate::config::SystemConfig;
+use crate::report::ExecutionReport;
+use crate::system::Tile;
+
+/// Default co-scheduling quantum, in emulated processor cycles.
+///
+/// The quantum bounds the **emulation-order skew**: the running core may
+/// issue (and price on the shared timelines) requests up to one quantum
+/// ahead of the laggard core's emulation point, so a large quantum lets an
+/// aggressor reserve the bus ahead of a victim request with an earlier
+/// arrival tag. 50 cycles is well under one DRAM round trip at the default
+/// 1.43 GHz target, keeping that skew below the noise floor of latency
+/// measurements while baton hand-offs stay cheap.
+pub const DEFAULT_QUANTUM_CYCLES: u64 = 50;
+
+/// Per-core summary of one co-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreRun {
+    /// The core / requestor id.
+    pub requestor: u32,
+    /// The workload this core executed.
+    pub workload: String,
+    /// Emulated cycles this core consumed in the run window.
+    pub emulated_cycles: u64,
+    /// The workload's own measured region, when it defines one.
+    pub measured_cycles: Option<u64>,
+    /// This core's counters for the run window.
+    pub core: CoreStats,
+}
+
+/// Everything a fairness/interference study needs from one co-run: the
+/// tile-wide aggregate (whose `requestors` break the memory traffic down
+/// per core) plus per-core execution summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoRunReport {
+    /// Aggregate report over the shared tile. `emulated_cycles` is the
+    /// slowest core's window (the co-run's makespan); `core` sums every
+    /// core's counters; `requestors` carries the per-core memory-system
+    /// breakdown with `stall_cycles` filled in from each core.
+    pub aggregate: ExecutionReport,
+    /// One summary per core, in requestor order.
+    pub cores: Vec<CoreRun>,
+}
+
+impl std::fmt::Display for CoRunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.aggregate)?;
+        for c in &self.cores {
+            write!(
+                f,
+                "\n  core{} [{}]: {} cycles | {}",
+                c.requestor, c.workload, c.emulated_cycles, c.core
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// N cores co-scheduled over one shared tile.
+pub struct MultiCoreSystem {
+    tile: Arc<Mutex<Tile>>,
+    cores: Vec<CoreModel<SharedBackend<Tile>>>,
+    quantum: u64,
+}
+
+impl MultiCoreSystem {
+    /// Builds `n_cores` identical cores (per `cfg.core`) over one shared
+    /// tile built from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation or `n_cores` is zero.
+    #[must_use]
+    pub fn new(cfg: SystemConfig, n_cores: usize) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        assert!(n_cores > 0, "a multi-core system needs at least one core");
+        let core_cfg = cfg.core.clone();
+        let handles = SharedBackend::fan_out(Tile::new(cfg), n_cores);
+        let tile = handles[0].shared();
+        let cores = handles
+            .into_iter()
+            .map(|h| CoreModel::new(core_cfg.clone(), h))
+            .collect();
+        Self {
+            tile,
+            cores,
+            quantum: DEFAULT_QUANTUM_CYCLES,
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The co-scheduling quantum, in emulated cycles.
+    #[must_use]
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Sets the co-scheduling quantum (emulated cycles a core may run ahead
+    /// of the laggard before yielding).
+    pub fn set_quantum(&mut self, quantum: u64) {
+        self.quantum = quantum;
+    }
+
+    /// Runs `f` over the shared tile (host-side tooling: controller
+    /// installation, device setup, statistics).
+    pub fn with_tile<R>(&self, f: impl FnOnce(&mut Tile) -> R) -> R {
+        f(&mut self.tile.lock().expect("shared tile"))
+    }
+
+    /// One core's model, for pre/post-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn core(&self, core: usize) -> &CoreModel<SharedBackend<Tile>> {
+        &self.cores[core]
+    }
+
+    /// Co-runs one workload per core to completion and reports on the
+    /// window. Core `i` executes `workloads[i]` as requestor `i`; the cores
+    /// interleave deterministically (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len() != n_cores()`, or propagates the first
+    /// workload panic.
+    pub fn co_run(&mut self, workloads: &mut [&mut dyn Workload]) -> CoRunReport {
+        assert_eq!(
+            workloads.len(),
+            self.cores.len(),
+            "one workload per core; pad with idle workloads if needed"
+        );
+        let n = self.cores.len();
+
+        // --- Window-start snapshots (mirrors `System::run`). ---
+        let cycles0: Vec<u64> = self.cores.iter().map(|c| c.now_cycles()).collect();
+        let stats0: Vec<CoreStats> = self.cores.iter().map(|c| *c.stats()).collect();
+        let (smc0, channels0, requestors0, prior_peak, wall0) = {
+            let mut tile = self.tile.lock().expect("shared tile");
+            let max_now = cycles0.iter().copied().max().unwrap_or(0);
+            (
+                *tile.smc_stats(),
+                tile.channel_stats(),
+                tile.requestor_stats(),
+                tile.begin_peak_window(),
+                tile.wall_ps_at(max_now),
+            )
+        };
+
+        // --- The co-run itself: one thread per core, baton-scheduled. ---
+        let sched = CoScheduler::new(n, self.quantum);
+        for core in &mut self.cores {
+            core.backend_mut().attach_scheduler(Arc::clone(&sched));
+        }
+        std::thread::scope(|scope| {
+            for (i, (core, workload)) in self.cores.iter_mut().zip(workloads.iter_mut()).enumerate()
+            {
+                let sched = Arc::clone(&sched);
+                scope.spawn(move || {
+                    sched.start(i);
+                    // Release the baton even if the workload panics, so the
+                    // other cores can finish and the panic propagates
+                    // through the scope instead of deadlocking it.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        workload.run(core);
+                    }));
+                    sched.finish(i, core.now_cycles());
+                    if let Err(panic) = result {
+                        std::panic::resume_unwind(panic);
+                    }
+                });
+            }
+        });
+        for core in &mut self.cores {
+            core.backend_mut().detach_scheduler();
+        }
+
+        // --- Window accounting. ---
+        let mut cores_out = Vec::with_capacity(n);
+        let mut agg_core = CoreStats::default();
+        let mut makespan = 0u64;
+        let mut instructions = 0u64;
+        let mut reads = 0u64;
+        for (i, core) in self.cores.iter().enumerate() {
+            let mut window = *core.stats();
+            window -= stats0[i];
+            let cycles = core.now_cycles() - cycles0[i];
+            makespan = makespan.max(cycles);
+            instructions += window.instructions;
+            reads += window.mem_reads;
+            cores_out.push(CoreRun {
+                requestor: i as u32,
+                workload: workloads[i].name().to_string(),
+                emulated_cycles: cycles,
+                measured_cycles: workloads[i].measured_cycles(),
+                core: window,
+            });
+            agg_core += window;
+        }
+
+        let mut tile = self.tile.lock().expect("shared tile");
+        tile.end_peak_window(prior_peak);
+        let mut smc = *tile.smc_stats();
+        smc.subtract_baseline(&smc0);
+        let mut channels = tile.channel_stats();
+        for (c, c0) in channels.iter_mut().zip(&channels0) {
+            c.subtract_baseline(c0);
+        }
+        let mut requestors = tile.requestor_stats();
+        for (q, q0) in requestors.iter_mut().zip(&requestors0) {
+            q.subtract_baseline(q0);
+        }
+        // Per-requestor stall cycles are core-side state.
+        for q in &mut requestors {
+            if let Some(c) = cores_out.get(q.requestor as usize) {
+                q.stall_cycles = c.core.stall_cycles;
+            }
+        }
+        let max_now: u64 = self.cores.iter().map(CpuApi::now_cycles).max().unwrap_or(0);
+        let wall_ps = tile.wall_ps_at(max_now).saturating_sub(wall0);
+        let wall_s = wall_ps as f64 / 1e12;
+        let freq = tile.config().core.freq_hz;
+        let name = cores_out
+            .iter()
+            .map(|c| c.workload.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        let aggregate = ExecutionReport {
+            name,
+            mode: tile.config().mode,
+            emulated_cycles: makespan,
+            emulated_seconds: makespan as f64 / freq as f64,
+            instructions,
+            fpga_wall_seconds: wall_s,
+            sim_speed_hz: if wall_s > 0.0 {
+                makespan as f64 / wall_s
+            } else {
+                0.0
+            },
+            mem_reads_per_kilo_cycle: if makespan == 0 {
+                0.0
+            } else {
+                reads as f64 * 1000.0 / makespan as f64
+            },
+            core: agg_core,
+            // Cache hierarchies are per core; see each `CoreRun` instead.
+            l1: None,
+            l2: None,
+            dram: tile.device_stats(),
+            smc,
+            channels,
+            controllers: tile.controller_names(),
+            requestors,
+        };
+        CoRunReport {
+            aggregate,
+            cores: cores_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TimingMode;
+
+    struct Touch {
+        lines: u64,
+        name: &'static str,
+    }
+    impl Workload for Touch {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn run(&mut self, cpu: &mut dyn CpuApi) {
+            let a = cpu.alloc(self.lines * 64, 64);
+            for i in 0..self.lines {
+                cpu.store_u64(a + i * 64, i);
+            }
+            for i in 0..self.lines {
+                cpu.clflush(a + i * 64);
+            }
+            cpu.fence();
+            for i in 0..self.lines {
+                assert_eq!(cpu.load_u64(a + i * 64), i);
+            }
+        }
+    }
+
+    #[test]
+    fn two_cores_share_one_tile_and_stay_correct() {
+        let mut sys = MultiCoreSystem::new(SystemConfig::small_for_tests(TimingMode::Reference), 2);
+        let mut a = Touch {
+            lines: 32,
+            name: "a",
+        };
+        let mut b = Touch {
+            lines: 32,
+            name: "b",
+        };
+        let r = sys.co_run(&mut [&mut a, &mut b]);
+        assert_eq!(r.cores.len(), 2);
+        assert_eq!(r.aggregate.name, "a+b");
+        assert!(r.aggregate.emulated_cycles > 0);
+        // Both requestors really reached the memory system.
+        assert_eq!(r.aggregate.requestors.len(), 2);
+        for q in &r.aggregate.requestors {
+            assert!(q.requests > 0, "requestor {} starved", q.requestor);
+            assert!(q.reads >= 32, "each core read its own lines back");
+        }
+    }
+
+    #[test]
+    fn requestor_stats_partition_the_aggregate() {
+        let mut sys =
+            MultiCoreSystem::new(SystemConfig::small_for_tests(TimingMode::TimeScaling), 2);
+        let mut a = Touch {
+            lines: 24,
+            name: "a",
+        };
+        let mut b = Touch {
+            lines: 40,
+            name: "b",
+        };
+        let r = sys.co_run(&mut [&mut a, &mut b]);
+        let q = &r.aggregate.requestors;
+        assert_eq!(
+            q.iter().map(|q| q.requests).sum::<u64>(),
+            r.aggregate.smc.requests
+        );
+        assert_eq!(
+            q.iter().map(|q| q.row_hits).sum::<u64>(),
+            r.aggregate.smc.serve.row_hits,
+            "slice-attributed row hits partition the controller totals"
+        );
+        let shares: f64 = q
+            .iter()
+            .map(|q| {
+                q.bandwidth_share(
+                    r.aggregate
+                        .requestors
+                        .iter()
+                        .map(|x| x.dram_occupancy_ps)
+                        .sum(),
+                )
+            })
+            .sum();
+        assert!((shares - 1.0).abs() < 1e-9, "bandwidth shares sum to 1");
+    }
+
+    #[test]
+    fn single_core_multicore_matches_plain_system() {
+        // One core over a SharedBackend must time exactly like the plain
+        // System path: the handle adds attribution, never cycles.
+        let cfg = SystemConfig::small_for_tests(TimingMode::TimeScaling);
+        let mut plain = crate::System::new(cfg.clone());
+        let mut multi = MultiCoreSystem::new(cfg, 1);
+        let mut w1 = Touch {
+            lines: 48,
+            name: "solo",
+        };
+        let mut w2 = Touch {
+            lines: 48,
+            name: "solo",
+        };
+        let rp = plain.run(&mut w1);
+        let rm = multi.co_run(&mut [&mut w2]);
+        assert_eq!(rp.emulated_cycles, rm.aggregate.emulated_cycles);
+        assert_eq!(rp.smc, rm.aggregate.smc);
+    }
+}

@@ -71,6 +71,91 @@ impl ChannelStats {
     }
 }
 
+/// Per-requestor (per-core) counters of a shared-tile memory system. The
+/// tile keeps one record per requestor id, cumulative over its lifetime;
+/// run harnesses rebase them against a window-start snapshot exactly like
+/// [`ChannelStats`]. Summed over all requestors, these partition the
+/// tile-wide totals — the property multi-core fairness studies rely on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestorStats {
+    /// The requestor (core) id this record describes.
+    pub requestor: u32,
+    /// Requests this requestor had served.
+    pub requests: u64,
+    /// Line reads (including profiling reads).
+    pub reads: u64,
+    /// Line writes / writebacks.
+    pub writes: u64,
+    /// RowClone operations.
+    pub rowclones: u64,
+    /// Row-buffer hits among this requestor's column sequences.
+    pub row_hits: u64,
+    /// Row misses among this requestor's column sequences.
+    pub row_misses: u64,
+    /// Row conflicts among this requestor's column sequences.
+    pub row_conflicts: u64,
+    /// Rocket (controller) cycles attributed to this requestor's responses.
+    pub rocket_cycles: u64,
+    /// DRAM bank/bus occupancy attributed to this requestor, in ps — the
+    /// numerator of [`RequestorStats::bandwidth_share`].
+    pub dram_occupancy_ps: u64,
+    /// Column (RD/WR) commands issued for this requestor.
+    pub column_ops: u64,
+    /// Cycles this requestor's core spent stalled on memory. Core-side
+    /// state: the tile reports 0 and the multi-core harness fills it in
+    /// from each core's own statistics.
+    pub stall_cycles: u64,
+}
+
+impl RequestorStats {
+    /// A zeroed record for requestor `id`.
+    #[must_use]
+    pub fn new(requestor: u32) -> Self {
+        Self {
+            requestor,
+            ..Self::default()
+        }
+    }
+
+    /// This requestor's share of the given total DRAM occupancy (its
+    /// bandwidth share of the run window). 0 when the total is 0.
+    #[must_use]
+    pub fn bandwidth_share(&self, total_occupancy_ps: u64) -> f64 {
+        if total_occupancy_ps == 0 {
+            0.0
+        } else {
+            self.dram_occupancy_ps as f64 / total_occupancy_ps as f64
+        }
+    }
+
+    /// Row-buffer hit rate among this requestor's column sequences.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Rebases every cumulative counter against a window-start snapshot, so
+    /// the result describes just that window.
+    pub fn subtract_baseline(&mut self, start: &RequestorStats) {
+        self.requests -= start.requests;
+        self.reads -= start.reads;
+        self.writes -= start.writes;
+        self.rowclones -= start.rowclones;
+        self.row_hits -= start.row_hits;
+        self.row_misses -= start.row_misses;
+        self.row_conflicts -= start.row_conflicts;
+        self.rocket_cycles -= start.rocket_cycles;
+        self.dram_occupancy_ps -= start.dram_occupancy_ps;
+        self.column_ops -= start.column_ops;
+        self.stall_cycles -= start.stall_cycles;
+    }
+}
+
 /// A complete account of one workload execution on an EasyDRAM system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
@@ -107,6 +192,14 @@ pub struct ExecutionReport {
     /// Per-channel controller statistics for the run window (one entry per
     /// channel; single-channel systems have exactly one).
     pub channels: Vec<ChannelStats>,
+    /// The installed software memory controller's name on every channel, in
+    /// channel order (heterogeneous per-channel controllers each report
+    /// their own name, so sweep outputs stay correctly labeled).
+    pub controllers: Vec<String>,
+    /// Per-requestor (per-core) statistics for the run window. Single-core
+    /// systems carry at most one entry (requestor 0); multi-core shared-tile
+    /// runs carry one per core.
+    pub requestors: Vec<RequestorStats>,
 }
 
 impl ExecutionReport {
@@ -197,6 +290,31 @@ impl std::fmt::Display for ExecutionReport {
                     c.refreshes_per_rank,
                 )?;
             }
+            // Heterogeneous per-channel controllers would mislabel a sweep
+            // if left implicit; call them out whenever they differ.
+            if self.controllers.iter().any(|n| n != &self.controllers[0]) {
+                write!(f, "\n  controllers: {:?}", self.controllers)?;
+            }
+        }
+        // Per-requestor breakdown only for multi-core shared-tile runs —
+        // single-core reports stay byte-identical to the historical format.
+        if self.requestors.len() > 1 {
+            let total_occ: u64 = self.requestors.iter().map(|q| q.dram_occupancy_ps).sum();
+            for q in &self.requestors {
+                write!(
+                    f,
+                    "\n  req{}: {} reqs (rd {} wr {}), {}/{}/{} hit/miss/conflict, bw {:.0}%, stalls {}",
+                    q.requestor,
+                    q.requests,
+                    q.reads,
+                    q.writes,
+                    q.row_hits,
+                    q.row_misses,
+                    q.row_conflicts,
+                    q.bandwidth_share(total_occ) * 100.0,
+                    q.stall_cycles,
+                )?;
+            }
         }
         Ok(())
     }
@@ -229,6 +347,8 @@ mod tests {
                 ..SmcStats::default()
             },
             channels: vec![ChannelStats::default()],
+            controllers: vec!["fr-fcfs".into()],
+            requestors: Vec::new(),
         }
     }
 

@@ -38,6 +38,10 @@ pub enum RequestKind {
 pub struct MemRequest {
     /// Monotonic request identifier.
     pub id: u64,
+    /// The core (hart) that issued the request. Single-core systems tag
+    /// everything 0; shared-tile systems thread each core's id through the
+    /// serve passes so responses and statistics stay attributable.
+    pub requestor: u32,
     /// The operation.
     pub kind: RequestKind,
     /// Processor-cycle tag at arrival (paper Fig. 5 ①: "the request is
@@ -60,6 +64,12 @@ pub struct ResponseSlice {
     pub column_ops: u64,
     /// Command batches flushed for this response.
     pub batches: u64,
+    /// Row-buffer hits among this response's column sequences.
+    pub row_hits: u64,
+    /// Row misses (bank idle) among this response's column sequences.
+    pub row_misses: u64,
+    /// Row conflicts (other row open) among this response's sequences.
+    pub row_conflicts: u64,
 }
 
 impl std::ops::Sub for ResponseSlice {
@@ -73,6 +83,9 @@ impl std::ops::Sub for ResponseSlice {
             dram_occupancy_ps: self.dram_occupancy_ps - rhs.dram_occupancy_ps,
             column_ops: self.column_ops - rhs.column_ops,
             batches: self.batches - rhs.batches,
+            row_hits: self.row_hits - rhs.row_hits,
+            row_misses: self.row_misses - rhs.row_misses,
+            row_conflicts: self.row_conflicts - rhs.row_conflicts,
         }
     }
 }
@@ -82,6 +95,9 @@ impl std::ops::Sub for ResponseSlice {
 pub struct MemResponse {
     /// The request this answers.
     pub id: u64,
+    /// The core that issued the answered request (copied from the request
+    /// by EasyAPI, so per-requestor attribution survives reordering).
+    pub requestor: u32,
     /// Line data for reads / profiling reads.
     pub data: Option<[u8; LINE_BYTES]>,
     /// Whether the data is known-corrupt (reduced-tRCD failure).
@@ -128,6 +144,7 @@ mod tests {
     fn addr_extraction() {
         let r = MemRequest {
             id: 1,
+            requestor: 0,
             kind: RequestKind::Read { addr: 0x1000 },
             arrival_cycle: 5,
         };
@@ -135,6 +152,7 @@ mod tests {
         assert!(r.is_read());
         let rc = MemRequest {
             id: 2,
+            requestor: 3,
             kind: RequestKind::RowClone {
                 src_addr: 0x2000,
                 dst_addr: 0x4000,
@@ -143,5 +161,6 @@ mod tests {
         };
         assert_eq!(rc.addr(), 0x2000);
         assert!(!rc.is_read());
+        assert_eq!(rc.requestor, 3);
     }
 }

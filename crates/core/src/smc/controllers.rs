@@ -374,6 +374,7 @@ mod tests {
     fn read_req(id: u64, addr: u64) -> MemRequest {
         MemRequest {
             id,
+            requestor: 0,
             kind: RequestKind::Read { addr },
             arrival_cycle: 0,
         }
@@ -412,6 +413,7 @@ mod tests {
         line[7] = 0x99;
         let w = MemRequest {
             id: 0,
+            requestor: 0,
             kind: RequestKind::Write {
                 addr: 192,
                 data: line,
@@ -433,6 +435,7 @@ mod tests {
         // Nominal tRCD always reads correctly.
         let ok_req = MemRequest {
             id: 0,
+            requestor: 0,
             kind: RequestKind::ProfileTrcd {
                 addr: 0,
                 trcd_ps: nominal,
@@ -442,6 +445,7 @@ mod tests {
         // A drastically reduced tRCD must fail.
         let bad_req = MemRequest {
             id: 1,
+            requestor: 0,
             kind: RequestKind::ProfileTrcd {
                 addr: 0,
                 trcd_ps: 2_000,
@@ -534,6 +538,7 @@ mod tests {
         let dst_addr = f.map.to_phys(easydram_dram::DramAddress::new(0, 2, 0));
         let req = MemRequest {
             id: 0,
+            requestor: 0,
             kind: RequestKind::RowClone { src_addr, dst_addr },
             arrival_cycle: 0,
         };

@@ -82,21 +82,23 @@ impl ApiSession {
     }
 
     /// Posts a request into the FIFO, tagging it with the arrival cycle
-    /// (paper Fig. 5 ①), and returns its assigned id.
+    /// (paper Fig. 5 ①) and requestor 0, and returns its assigned id.
     pub fn post(&mut self, kind: RequestKind, arrival_cycle: u64) -> u64 {
         let id = self.next_req_id;
-        self.post_with_id(id, kind, arrival_cycle);
+        self.post_with_id(id, 0, kind, arrival_cycle);
         id
     }
 
-    /// Posts a request under a caller-assigned id. The tile uses this to
-    /// keep request ids globally unique across the per-channel sessions of a
-    /// sharded memory system; ids assigned by [`ApiSession::post`] afterwards
+    /// Posts a request under a caller-assigned id and requestor. The tile
+    /// uses this to keep request ids globally unique across the per-channel
+    /// sessions of a sharded memory system and to tag each request with the
+    /// core that issued it; ids assigned by [`ApiSession::post`] afterwards
     /// continue above the highest id seen.
-    pub fn post_with_id(&mut self, id: u64, kind: RequestKind, arrival_cycle: u64) {
+    pub fn post_with_id(&mut self, id: u64, requestor: u32, kind: RequestKind, arrival_cycle: u64) {
         self.next_req_id = self.next_req_id.max(id + 1);
         self.pending.push_back(MemRequest {
             id,
+            requestor,
             kind,
             arrival_cycle,
         });
@@ -160,6 +162,12 @@ pub struct ApiLedger {
     /// Column (RD/WR) commands executed — each occupies the data bus for
     /// one burst.
     pub column_ops: u64,
+    /// Row-buffer hits observed by the read/write sequence helpers.
+    pub row_hits: u64,
+    /// Row misses observed by the read/write sequence helpers.
+    pub row_misses: u64,
+    /// Row conflicts observed by the read/write sequence helpers.
+    pub row_conflicts: u64,
     /// Responses produced, in service order, each carrying its slice of the
     /// pass.
     pub responses: Vec<MemResponse>,
@@ -174,6 +182,9 @@ impl ApiLedger {
             dram_occupancy_ps: self.dram_occupancy_ps,
             column_ops: self.column_ops,
             batches: self.batches,
+            row_hits: self.row_hits,
+            row_misses: self.row_misses,
+            row_conflicts: self.row_conflicts,
         }
     }
 }
@@ -189,6 +200,9 @@ pub struct EasyApi<'a> {
     table: Vec<MemRequest>,
     program: BenderProgram,
     ledger: ApiLedger,
+    /// Requestor id of every request this pass has seen, so responses stay
+    /// attributable after the table reorders/drops requests.
+    requestors: HashMap<u64, u32>,
     /// Watermark of ledger quantities already attributed to a response.
     attributed: ResponseSlice,
     extra_wall_ps: u64,
@@ -203,6 +217,7 @@ impl<'a> EasyApi<'a> {
     #[must_use]
     pub fn open(ctx: TileCtx<'a>, wall_base_ps: u64, incoming: VecDeque<MemRequest>) -> Self {
         let tile_period_ps = 1_000_000_000_000 / ctx.tile_clk_hz;
+        let requestors = incoming.iter().map(|r| (r.id, r.requestor)).collect();
         Self {
             ctx,
             wall_base_ps,
@@ -211,6 +226,7 @@ impl<'a> EasyApi<'a> {
             table: Vec::new(),
             program: BenderProgram::new(),
             ledger: ApiLedger::default(),
+            requestors,
             attributed: ResponseSlice::default(),
             extra_wall_ps: 0,
             last_flush: None,
@@ -511,8 +527,10 @@ impl<'a> EasyApi<'a> {
         let totals = self.ledger.attributable_totals();
         let slice = totals - self.attributed;
         self.attributed = totals;
+        let requestor = self.requestors.get(&id).copied().unwrap_or(0);
         self.ledger.responses.push(MemResponse {
             id,
+            requestor,
             data,
             corrupted,
             slice,
@@ -522,6 +540,7 @@ impl<'a> EasyApi<'a> {
     /// Pushes a request into the hardware FIFO (used by controller unit
     /// tests to hand-build a stream mid-pass).
     pub fn push_incoming(&mut self, req: MemRequest) {
+        self.requestors.insert(req.id, req.requestor);
         self.incoming.push_back(req);
     }
 
@@ -529,6 +548,17 @@ impl<'a> EasyApi<'a> {
     #[must_use]
     pub fn into_ledger(self) -> ApiLedger {
         self.ledger
+    }
+
+    /// Records a row-buffer outcome in the ledger, so the slice attributed
+    /// to the current response carries its own hit/miss/conflict counts
+    /// (per-requestor row-hit accounting reads these off the slices).
+    fn note_outcome(&mut self, outcome: RowBufferOutcome) {
+        match outcome {
+            RowBufferOutcome::Hit => self.ledger.row_hits += 1,
+            RowBufferOutcome::Miss => self.ledger.row_misses += 1,
+            RowBufferOutcome::Conflict => self.ledger.row_conflicts += 1,
+        }
     }
 
     /// Convenience: a standard read sequence for `addr` under an open-row
@@ -560,6 +590,7 @@ impl<'a> EasyApi<'a> {
         } else {
             self.ddr_read(addr.bank, addr.col)?;
         }
+        self.note_outcome(outcome);
         Ok(outcome)
     }
 
@@ -595,10 +626,12 @@ impl<'a> EasyApi<'a> {
                     },
                     trcd,
                 )?;
+                self.note_outcome(outcome);
                 return Ok(outcome);
             }
         }
         self.ddr_write(addr.bank, addr.col, data)?;
+        self.note_outcome(outcome);
         Ok(outcome)
     }
 }
@@ -670,6 +703,7 @@ mod tests {
         let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
         a.push_incoming(MemRequest {
             id: 7,
+            requestor: 0,
             kind: RequestKind::Read { addr: 0 },
             arrival_cycle: 0,
         });
@@ -735,6 +769,7 @@ mod tests {
             for i in 0..n {
                 a.push_incoming(MemRequest {
                     id: i,
+                    requestor: 0,
                     kind: RequestKind::Read { addr: i * 64 },
                     arrival_cycle: 0,
                 });
@@ -759,6 +794,7 @@ mod tests {
         for (id, addr) in [(0u64, 0u64), (1, 8192 * 2)] {
             a.push_incoming(MemRequest {
                 id,
+                requestor: id as u32,
                 kind: RequestKind::Read { addr },
                 arrival_cycle: 0,
             });
@@ -806,11 +842,13 @@ mod tests {
         a.flush_commands().unwrap();
         a.push_incoming(MemRequest {
             id: 0,
+            requestor: 0,
             kind: RequestKind::Read { addr: row9_addr },
             arrival_cycle: 0,
         });
         a.push_incoming(MemRequest {
             id: 1,
+            requestor: 0,
             kind: RequestKind::Read { addr: row5_addr },
             arrival_cycle: 1,
         });
@@ -900,6 +938,7 @@ mod tests {
         let mut a = api(&mut dev, &ex, &map, &remap, &costs, &transfer);
         a.push_incoming(MemRequest {
             id: 3,
+            requestor: 0,
             kind: RequestKind::ProfileTrcd {
                 addr: 0,
                 trcd_ps: 9_000,

@@ -71,7 +71,11 @@ impl std::ops::SubAssign for ServeResult {
 ///   attributed to that response ([`crate::request::ResponseSlice`]); the
 ///   system prices each slice independently on the emulated timeline and
 ///   releases every request at its own cycle.
-pub trait SoftwareMemoryController {
+///
+/// `Send` is a supertrait so a tile holding controller instances can be
+/// shared between the threads of a co-scheduled multi-core run; shipped
+/// controllers are plain data structures.
+pub trait SoftwareMemoryController: Send {
     /// Controller name for reports.
     fn name(&self) -> &str;
 

@@ -23,7 +23,7 @@ use easydram_dram::{AddressMapper, DramDevice, LINE_BYTES};
 
 use crate::alloc::{remap_table, RowCloneAllocator};
 use crate::config::{SystemConfig, TimingMode};
-use crate::report::{ChannelStats, ExecutionReport, SmcStats};
+use crate::report::{ChannelStats, ExecutionReport, RequestorStats, SmcStats};
 use crate::request::RequestKind;
 use crate::smc::easyapi::{ApiSession, TileCtx};
 use crate::smc::{FrFcfsController, SoftwareMemoryController, TrcdPlan};
@@ -76,13 +76,19 @@ pub struct Tile {
     frozen_ps: u64,
     /// Globally unique request ids across every lane's session.
     next_req_id: u64,
+    /// The core id tagged onto subsequently posted requests
+    /// ([`MemoryBackend::set_requestor`]); 0 outside multi-core runs.
+    current_requestor: u32,
+    /// Cumulative per-requestor counters, indexed by requestor id (grown on
+    /// demand; single-core systems only ever populate entry 0).
+    requestor_stats: Vec<RequestorStats>,
     counters: TimeScalingCounters,
     stats: SmcStats,
     row_bytes: u64,
 }
 
 impl Tile {
-    fn new(cfg: SystemConfig) -> Self {
+    pub(crate) fn new(cfg: SystemConfig) -> Self {
         let geometry = cfg.dram.geometry.clone();
         let mapper = AddressMapper::new(geometry.clone(), cfg.mapping);
         // RowClone placement (remap pools, pair qualification) lives on
@@ -132,6 +138,8 @@ impl Tile {
             wall_ps: 0,
             frozen_ps: 0,
             next_req_id: 0,
+            current_requestor: 0,
+            requestor_stats: Vec::new(),
             counters: TimeScalingCounters::new(),
             stats: SmcStats::default(),
             row_bytes,
@@ -251,11 +259,52 @@ impl Tile {
         }
     }
 
-    /// The installed controller's name (channel 0; every channel runs the
-    /// same controller type under both install paths in practice).
+    /// The installed controller's name when every channel runs the same
+    /// controller type, or `"mixed"` when [`Tile::install_controllers`]
+    /// installed heterogeneous per-channel controllers (reporting channel
+    /// 0's name for a mixed tile would mislabel sweep outputs). Per-channel
+    /// names are available from [`Tile::controller_names`].
     #[must_use]
     pub fn controller_name(&self) -> &str {
-        self.lanes[0].controller.name()
+        let first = self.lanes[0].controller.name();
+        if self
+            .lanes
+            .iter()
+            .all(|lane| lane.controller.name() == first)
+        {
+            first
+        } else {
+            "mixed"
+        }
+    }
+
+    /// The installed controller's name on every channel, in channel order.
+    #[must_use]
+    pub fn controller_names(&self) -> Vec<String> {
+        self.lanes
+            .iter()
+            .map(|lane| lane.controller.name().to_string())
+            .collect()
+    }
+
+    /// Cumulative per-requestor counters, indexed by requestor id. Entry `i`
+    /// describes everything core `i` has asked of the memory system; the
+    /// entries partition the tile-wide totals. `stall_cycles` is core-side
+    /// state and stays 0 here — the multi-core harness fills it in from each
+    /// core's own statistics.
+    #[must_use]
+    pub fn requestor_stats(&self) -> Vec<RequestorStats> {
+        self.requestor_stats.clone()
+    }
+
+    /// The cumulative counter slot of one requestor, grown on demand.
+    fn requestor_slot(&mut self, requestor: u32) -> &mut RequestorStats {
+        let idx = requestor as usize;
+        while self.requestor_stats.len() <= idx {
+            let id = self.requestor_stats.len() as u32;
+            self.requestor_stats.push(RequestorStats::new(id));
+        }
+        &mut self.requestor_stats[idx]
     }
 
     fn virtual_row(&self, addr: u64) -> u64 {
@@ -295,7 +344,9 @@ impl Tile {
     fn post_to_channel(&mut self, ch: usize, kind: RequestKind, issue_cycle: u64) -> u64 {
         let id = self.next_req_id;
         self.next_req_id += 1;
-        self.lanes[ch].session.post_with_id(id, kind, issue_cycle);
+        self.lanes[ch]
+            .session
+            .post_with_id(id, self.current_requestor, kind, issue_cycle);
         id
     }
 
@@ -354,12 +405,26 @@ impl Tile {
         }
 
         // --- Execute every lane's controller over its own batch. ---
+        /// What the tile remembers about a posted request while the
+        /// controller reorders the batch: arrival tag, target bank, and the
+        /// operation class (for per-requestor read/write accounting).
+        struct ReqMeta {
+            arrival_cycle: u64,
+            bank: usize,
+            kind: ReqClass,
+        }
+        #[derive(Clone, Copy)]
+        enum ReqClass {
+            Read,
+            Write,
+            RowClone,
+        }
         struct LanePass {
             lane: usize,
             batch: u64,
-            /// Arrival cycle and target bank per request id, for pricing the
-            /// responses after the controller has reordered them.
-            meta: HashMap<u64, (u64, usize)>,
+            /// Pricing/attribution metadata per request id, for after the
+            /// controller has reordered the batch.
+            meta: HashMap<u64, ReqMeta>,
             ledger: crate::smc::easyapi::ApiLedger,
             serve_res: crate::smc::ServeResult,
             end_wall: u64,
@@ -370,13 +435,29 @@ impl Tile {
                 continue;
             }
             let batch = lane.session.len() as u64;
-            let meta: HashMap<u64, (u64, usize)> = lane
+            let meta: HashMap<u64, ReqMeta> = lane
                 .session
                 .pending()
                 .iter()
                 .map(|r| {
                     let bank = self.mapper.to_dram_remapped(&self.remap, r.addr()).bank;
-                    (r.id, (r.arrival_cycle, bank as usize))
+                    let kind = match r.kind {
+                        // Profiling requests move line data to the host just
+                        // like reads; RowClone never touches the bus.
+                        RequestKind::Read { .. } | RequestKind::ProfileTrcd { .. } => {
+                            ReqClass::Read
+                        }
+                        RequestKind::Write { .. } => ReqClass::Write,
+                        RequestKind::RowClone { .. } => ReqClass::RowClone,
+                    };
+                    (
+                        r.id,
+                        ReqMeta {
+                            arrival_cycle: r.arrival_cycle,
+                            bank: bank as usize,
+                            kind,
+                        },
+                    )
                 })
                 .collect();
             let mut api = lane.session.begin(
@@ -446,10 +527,30 @@ impl Tile {
             lane.stats.serve += p.serve_res;
 
             for resp in &p.ledger.responses {
-                let (arrival_cycle, bank) = *p
+                let ReqMeta {
+                    arrival_cycle,
+                    bank,
+                    kind,
+                } = *p
                     .meta
                     .get(&resp.id)
                     .expect("every response answers a posted request");
+                // Per-requestor attribution: the response's slice carries
+                // exactly this request's share of the pass.
+                let rs = self.requestor_slot(resp.requestor);
+                rs.requests += 1;
+                match kind {
+                    ReqClass::Read => rs.reads += 1,
+                    ReqClass::Write => rs.writes += 1,
+                    ReqClass::RowClone => rs.rowclones += 1,
+                }
+                rs.row_hits += resp.slice.row_hits;
+                rs.row_misses += resp.slice.row_misses;
+                rs.row_conflicts += resp.slice.row_conflicts;
+                rs.rocket_cycles += resp.slice.rocket_cycles;
+                rs.dram_occupancy_ps += resp.slice.dram_occupancy_ps;
+                rs.column_ops += resp.slice.column_ops;
+                let lane = &mut self.lanes[p.lane];
                 let burst_ps = resp.slice.column_ops * t_burst;
                 let finish_mem_ps = lane.timeline.price(&TimelineDemand {
                     arrival_ps: cycles_to_ps(arrival_cycle, f_core),
@@ -549,6 +650,10 @@ impl Tile {
 }
 
 impl MemoryBackend for Tile {
+    fn set_requestor(&mut self, requestor: u32) {
+        self.current_requestor = requestor;
+    }
+
     fn read_line(&mut self, line_addr: u64, issue_cycle: u64) -> LineFetch {
         // Reads force a drain: the pending posted writes and this read are
         // scheduled together in one batched pass, so the controller can
@@ -769,6 +874,7 @@ impl System {
         let reads0 = self.core.stats().mem_reads;
         let smc0 = *self.tile().smc_stats();
         let channels0 = self.tile().channel_stats();
+        let requestors0 = self.tile().requestor_stats();
         let prior_peak = self.tile_mut().begin_peak_window();
         workload.run(&mut self.core);
         let mut r = self.report(workload.name());
@@ -784,6 +890,9 @@ impl System {
         r.smc.subtract_baseline(&smc0);
         for (c, c0) in r.channels.iter_mut().zip(&channels0) {
             c.subtract_baseline(c0);
+        }
+        for (q, q0) in r.requestors.iter_mut().zip(&requestors0) {
+            q.subtract_baseline(q0);
         }
         if r.fpga_wall_seconds > 0.0 {
             r.sim_speed_hz = r.emulated_cycles as f64 / r.fpga_wall_seconds;
@@ -818,6 +927,8 @@ impl System {
             dram: tile.device_stats(),
             smc: *tile.smc_stats(),
             channels: tile.channel_stats(),
+            controllers: tile.controller_names(),
+            requestors: tile.requestor_stats(),
         }
     }
 }

@@ -10,25 +10,12 @@
 //! into emulated cycles, advances the MC counter, and tags the response with
 //! the processor-cycle value at which it may be consumed.
 
-/// Converts a picosecond duration to clock cycles at `hz`, rounding to
-/// nearest (the quantization the FPGA counters introduce).
-///
-/// This is the **single** ps→cycles policy of the crate. Both conversion
-/// directions round half-up, which makes `cycles → ps → cycles` an identity
-/// for every `hz` below 1 THz: the ps-side rounding error is at most 0.5 ps,
-/// which converts back to strictly less than half a cycle. (An earlier
-/// truncating variant could drift one cycle low on exactly-half-grid values;
-/// the property test below pins the identity.)
-#[must_use]
-pub fn ps_to_cycles_round(ps: u64, hz: u64) -> u64 {
-    ((u128::from(ps) * u128::from(hz) + 500_000_000_000) / 1_000_000_000_000) as u64
-}
-
-/// Converts clock cycles at `hz` to picoseconds, rounding to nearest.
-#[must_use]
-pub fn cycles_to_ps(cycles: u64, hz: u64) -> u64 {
-    ((u128::from(cycles) * 1_000_000_000_000 + u128::from(hz) / 2) / u128::from(hz)) as u64
-}
+// The conversion helpers live in `easydram_cpu::timescale` — the bottom of
+// the dependency stack — so the core model's own wall-time conversions (the
+// MMIO round-trip of a RowClone trigger) share the exact same half-up policy
+// as the memory system. Re-exported here so controller and tile code keeps
+// its historical import path.
+pub use easydram_cpu::timescale::{cycles_to_ps, ns_to_cycles_round, ps_to_cycles_round};
 
 /// The three time-scaling counters (paper Fig. 5, right side).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -362,6 +362,42 @@ fn default_single_channel_report_matches_snapshot() {
 }
 
 #[test]
+fn heterogeneous_controllers_are_not_mislabeled() {
+    use easydram::FrFcfsController;
+
+    let mut cfg = SystemConfig::small_for_tests(TimingMode::Reference);
+    cfg.dram.geometry.channels = 2;
+    let mut s = System::new(cfg);
+    // Homogeneous install: the tile-wide name is the per-channel name.
+    assert_eq!(s.tile().controller_name(), "frfcfs");
+    assert_eq!(s.tile().controller_names(), vec!["frfcfs", "frfcfs"]);
+    // Heterogeneous install: channel 0 FCFS, channel 1 FR-FCFS. The old
+    // accessor silently reported channel 0's name; it must say "mixed" now.
+    s.tile_mut().install_controllers(|ch| {
+        if ch == 0 {
+            Box::new(FcfsController::new())
+        } else {
+            Box::new(FrFcfsController::new())
+        }
+    });
+    assert_eq!(s.tile().controller_name(), "mixed");
+    assert_eq!(s.tile().controller_names(), vec!["fcfs", "frfcfs"]);
+    // The report surfaces the per-channel names (and flags the mix in its
+    // rendered form) so sweep outputs carry correct labels.
+    let a = s.cpu().alloc(64 * 16, 64);
+    for i in 0..16u64 {
+        let _ = s.cpu().load_u64(a + i * 64);
+    }
+    let r = s.report("mixed-controllers");
+    assert_eq!(r.controllers, vec!["fcfs", "frfcfs"]);
+    let text = r.to_string();
+    assert!(
+        text.contains("controllers: [\"fcfs\", \"frfcfs\"]"),
+        "mixed controllers must be called out:\n{text}"
+    );
+}
+
+#[test]
 fn multi_channel_multi_rank_data_round_trips() {
     for (channels, ranks) in [(2u32, 1u32), (2, 2), (4, 1)] {
         let mut cfg = SystemConfig::small_for_tests(TimingMode::Reference);

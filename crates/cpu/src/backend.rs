@@ -51,6 +51,14 @@ pub struct RowCloneRequestResult {
 /// (row alignment, same-subarray tested pairs, per-subarray init source
 /// rows — paper §7.1) is a property of the memory system, not the core.
 pub trait MemoryBackend {
+    /// Identifies the requestor (core id) of every subsequent request, for
+    /// backends shared by several cores. [`crate::SharedBackend`] calls this
+    /// before each delegated operation; single-requestor backends keep the
+    /// default no-op and attribute everything to requestor 0.
+    fn set_requestor(&mut self, requestor: u32) {
+        let _ = requestor;
+    }
+
     /// Fetches one cache line. Must observe every write posted before it.
     fn read_line(&mut self, line_addr: u64, issue_cycle: u64) -> LineFetch;
 

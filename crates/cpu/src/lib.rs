@@ -36,7 +36,9 @@ pub mod cache;
 pub mod config;
 pub mod core;
 pub mod fixed;
+pub mod shared;
 pub mod stats;
+pub mod timescale;
 pub mod workload;
 
 pub use api::{CpuApi, RowCloneStatus};
@@ -45,6 +47,7 @@ pub use cache::{Cache, CacheConfig, Eviction};
 pub use config::CoreConfig;
 pub use core::CoreModel;
 pub use fixed::FixedLatencyBackend;
+pub use shared::{CoScheduler, SharedBackend};
 pub use stats::CoreStats;
 pub use workload::Workload;
 

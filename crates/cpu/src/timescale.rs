@@ -1,0 +1,63 @@
+//! Clock-domain duration↔cycle conversions shared by every crate.
+//!
+//! The whole workspace uses **one** rounding policy: half-up to the nearest
+//! cycle in both directions. A single truncating conversion anywhere would
+//! re-introduce the systematic one-cycle-low drift the emulated timeline
+//! work purged (see `easydram::timescale` for the round-trip identity
+//! property). These helpers live in the CPU crate — the bottom of the
+//! dependency stack — so the core model's own wall-time conversions (e.g.
+//! the MMIO round-trip of a RowClone trigger) go through the same policy as
+//! the memory system's.
+
+/// Converts a picosecond duration to clock cycles at `hz`, rounding to
+/// nearest (half-up — the quantization the FPGA counters introduce).
+///
+/// This is the **single** ps→cycles policy of the workspace. Both conversion
+/// directions round half-up, which makes `cycles → ps → cycles` an identity
+/// for every `hz` below 1 THz: the ps-side rounding error is at most 0.5 ps,
+/// which converts back to strictly less than half a cycle. (An earlier
+/// truncating variant could drift one cycle low on exactly-half-grid values;
+/// a property test in `easydram::timescale` pins the identity.)
+#[must_use]
+pub fn ps_to_cycles_round(ps: u64, hz: u64) -> u64 {
+    ((u128::from(ps) * u128::from(hz) + 500_000_000_000) / 1_000_000_000_000) as u64
+}
+
+/// Converts clock cycles at `hz` to picoseconds, rounding to nearest.
+#[must_use]
+pub fn cycles_to_ps(cycles: u64, hz: u64) -> u64 {
+    ((u128::from(cycles) * 1_000_000_000_000 + u128::from(hz) / 2) / u128::from(hz)) as u64
+}
+
+/// Converts a nanosecond duration to clock cycles at `hz`, rounding to
+/// nearest (half-up). `120 ns × 1.43 GHz = 171.6` rounds to 172 cycles, not
+/// the 171 a truncating division would report.
+#[must_use]
+pub fn ns_to_cycles_round(ns: u64, hz: u64) -> u64 {
+    ps_to_cycles_round(ns.saturating_mul(1_000), hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_conversion_rounds_half_up() {
+        // 120 ns at 1.43 GHz = 171.6 cycles → 172 (floor would say 171).
+        assert_eq!(ns_to_cycles_round(120, 1_430_000_000), 172);
+        // 1.5 cycles rounds up.
+        assert_eq!(ns_to_cycles_round(3, 500_000_000), 2);
+        // Exact grid stays exact.
+        assert_eq!(ns_to_cycles_round(10, 1_000_000_000), 10);
+        assert_eq!(ns_to_cycles_round(0, 1_430_000_000), 0);
+    }
+
+    #[test]
+    fn ps_round_trip_on_grid() {
+        let hz = 1_430_000_000;
+        for c in [0u64, 1, 7, 100, 12_345] {
+            let ps = cycles_to_ps(c, hz);
+            assert_eq!(ps_to_cycles_round(ps, hz), c, "cycle {c}");
+        }
+    }
+}

@@ -7,7 +7,11 @@
 use crate::api::CpuApi;
 
 /// An execution-driven benchmark program.
-pub trait Workload {
+///
+/// `Send` is a supertrait so multi-programmed harnesses can hand each
+/// workload to its core's scheduler thread; workloads are plain data
+/// structures, so this costs implementors nothing.
+pub trait Workload: Send {
     /// Short machine-friendly name (matches the paper's figure labels).
     fn name(&self) -> &str;
 

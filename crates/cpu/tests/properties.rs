@@ -2,7 +2,57 @@
 
 use proptest::prelude::*;
 
+use easydram_cpu::backend::{LineFetch, MemoryBackend};
 use easydram_cpu::{Cache, CacheConfig, CoreConfig, CoreModel, CpuApi, FixedLatencyBackend};
+
+/// A fixed-latency backend with an explicit posted-write buffer, so tests
+/// can observe whether fences really drain the pending stream.
+struct BufferedBackend {
+    inner: FixedLatencyBackend,
+    pending: Vec<(u64, [u8; 64], u64)>,
+}
+
+impl BufferedBackend {
+    fn new(latency: u64) -> Self {
+        Self {
+            inner: FixedLatencyBackend::new(latency),
+            pending: Vec::new(),
+        }
+    }
+
+    fn flush_pending(&mut self, issue_cycle: u64) -> u64 {
+        let mut last = issue_cycle;
+        for (addr, data, posted) in self.pending.drain(..) {
+            last = last.max(self.inner.post_write(addr, data, posted.max(issue_cycle)));
+        }
+        last
+    }
+}
+
+impl MemoryBackend for BufferedBackend {
+    fn read_line(&mut self, line_addr: u64, issue_cycle: u64) -> LineFetch {
+        // Reads must observe every posted write: drain first.
+        self.flush_pending(issue_cycle);
+        self.inner.read_line(line_addr, issue_cycle)
+    }
+
+    fn post_write(&mut self, line_addr: u64, data: [u8; 64], issue_cycle: u64) -> u64 {
+        self.pending.push((line_addr, data, issue_cycle));
+        issue_cycle
+    }
+
+    fn drain_writes(&mut self, issue_cycle: u64) -> u64 {
+        self.flush_pending(issue_cycle)
+    }
+
+    fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        self.inner.alloc(bytes, align)
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+}
 
 proptest! {
     /// The cache never lies: a sequence of inserts/writes/lookups agrees
@@ -75,6 +125,49 @@ proptest! {
         for (slot, val) in shadow {
             prop_assert_eq!(core.load_u64(base + slot * 8), val, "slot {}", slot);
         }
+    }
+
+    /// Under random mixed load/store/clflush/fence/stream sequences, the
+    /// MSHR file never exceeds its configured capacity, a fence always
+    /// leaves the outstanding set empty with the posted-write stream
+    /// drained, and stall cycles grow monotonically.
+    #[test]
+    fn mshr_and_fence_invariants_hold_under_random_ops(
+        mshrs in 1usize..8,
+        ops in prop::collection::vec((0u8..6, 0u64..512, 1u64..64), 1..250),
+    ) {
+        let cfg = CoreConfig {
+            mshrs,
+            l1: Some(CacheConfig { size_bytes: 1024, ways: 2, hit_latency_cycles: 1 }),
+            l2: Some(CacheConfig { size_bytes: 4096, ways: 4, hit_latency_cycles: 4 }),
+            ..CoreConfig::cortex_a57()
+        };
+        let mut core = CoreModel::new(cfg, BufferedBackend::new(40));
+        let base = core.alloc(512 * 64, 64);
+        let mut last_stalls = 0;
+        for (op, slot, n) in ops {
+            match op {
+                0 => { let _ = core.load_u64(base + slot * 8 % (512 * 64 - 8)); }
+                1 => core.store_u64(base + slot * 8 % (512 * 64 - 8), slot),
+                2 => core.compute(n),
+                3 => core.clflush(base + slot * 64 % (512 * 64)),
+                4 => core.fence(),
+                _ => if slot % 2 == 0 { core.stream_begin() } else { core.stream_end() },
+            }
+            prop_assert!(
+                core.mshr_occupancy() <= mshrs,
+                "MSHR occupancy {} exceeded the configured {} after op {}",
+                core.mshr_occupancy(), mshrs, op
+            );
+            prop_assert!(core.stats().stall_cycles >= last_stalls, "stalls are monotone");
+            last_stalls = core.stats().stall_cycles;
+        }
+        core.fence();
+        prop_assert_eq!(core.mshr_occupancy(), 0, "fence empties the MSHR file");
+        prop_assert!(
+            core.backend().pending.is_empty(),
+            "fence drains the posted-write stream"
+        );
     }
 
     /// Time is monotone and instructions are conserved across any op mix.

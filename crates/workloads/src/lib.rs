@@ -24,10 +24,12 @@
 
 pub mod lmbench;
 pub mod micro;
+pub mod multiprog;
 pub mod polybench;
 pub mod util;
 
 pub use easydram_cpu::Workload;
+pub use multiprog::StreamWriter;
 
 /// Problem-size class for PolyBench kernels.
 ///

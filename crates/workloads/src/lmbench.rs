@@ -15,6 +15,8 @@ use crate::Workload;
 pub struct LatMemRd {
     size_bytes: u64,
     stride_bytes: u64,
+    loads_override: Option<u64>,
+    shuffled: bool,
     measured_loads: u64,
     measured_cycles: Option<u64>,
     cycles_per_load: Option<f64>,
@@ -38,9 +40,46 @@ impl LatMemRd {
         Self {
             size_bytes,
             stride_bytes,
+            loads_override: None,
+            shuffled: false,
             measured_loads: 0,
             measured_cycles: None,
             cycles_per_load: None,
+        }
+    }
+
+    /// Like [`LatMemRd::new`], but with an explicit measured-region length
+    /// (dependent loads) instead of the default `max(2·n, 1024)` — co-run
+    /// interference studies use this to bound the victim's runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid geometry as [`LatMemRd::new`], or when
+    /// `loads` is zero.
+    #[must_use]
+    pub fn with_loads(size_bytes: u64, stride_bytes: u64, loads: u64) -> Self {
+        assert!(loads > 0, "the measured region needs at least one load");
+        Self {
+            loads_override: Some(loads),
+            ..Self::new(size_bytes, stride_bytes)
+        }
+    }
+
+    /// Like [`LatMemRd::with_loads`], but the chain visits the working set
+    /// in a deterministic pseudo-random order instead of a forward stride —
+    /// lmbench's locality-defeating configuration. A shuffled chase has no
+    /// row-buffer locality of its own, which makes it the right victim for
+    /// interference studies: its solo latency already pays row activation,
+    /// so any co-run slowdown is genuine queueing, not just lost locality.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid inputs as [`LatMemRd::with_loads`].
+    #[must_use]
+    pub fn shuffled_with_loads(size_bytes: u64, stride_bytes: u64, loads: u64) -> Self {
+        Self {
+            shuffled: true,
+            ..Self::with_loads(size_bytes, stride_bytes, loads)
         }
     }
 
@@ -65,14 +104,29 @@ impl Workload for LatMemRd {
     fn run(&mut self, cpu: &mut dyn CpuApi) {
         let n = self.size_bytes / self.stride_bytes;
         let base = cpu.alloc(self.size_bytes, 64);
-        // Build the chain: element i points to element i+1, last wraps to 0.
-        // (lmbench walks a strided chain; with no prefetcher in the model a
-        // forward stride measures raw dependent-load latency.)
+        // Build the chain. Default: element i points to element i+1, last
+        // wraps to 0 (lmbench walks a strided chain; with no prefetcher in
+        // the model a forward stride measures raw dependent-load latency).
+        // Shuffled: a deterministic Fisher–Yates permutation cycle, so the
+        // walk has no spatial or row-buffer locality.
+        let order: Vec<u64> = if self.shuffled {
+            let mut order: Vec<u64> = (0..n).collect();
+            let mut state = 0x9E37_79B9_7F4A_7C15u64;
+            for i in (1..n as usize).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                order.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+            order
+        } else {
+            (0..n).collect()
+        };
         cpu.stream_begin();
-        for i in 0..n {
-            let next = (i + 1) % n;
+        for k in 0..n as usize {
+            let next = order[(k + 1) % n as usize];
             cpu.store_u64(
-                base + i * self.stride_bytes,
+                base + order[k] * self.stride_bytes,
                 base + next * self.stride_bytes,
             );
         }
@@ -84,7 +138,7 @@ impl Workload for LatMemRd {
             p = cpu.load_u64(p);
         }
         // Measured region: chase the chain with dependent loads.
-        let loads = (2 * n).max(1_024);
+        let loads = self.loads_override.unwrap_or((2 * n).max(1_024));
         let t0 = cpu.now_cycles();
         for _ in 0..loads {
             p = cpu.load_u64(p);
