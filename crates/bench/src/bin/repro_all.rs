@@ -22,10 +22,14 @@ fn main() {
         "fig14_sim_speed",
         "fig_channel_sweep",
         "fig_multicore_contention",
+        "fig_rowhammer",
     ];
-    // Stale sweep records must not masquerade as this run's numbers.
+    // Stale sweep records must not masquerade as this run's numbers — the
+    // aggregate report included.
     std::fs::remove_file("target/channel-sweep.json").ok();
     std::fs::remove_file("target/multicore-contention.json").ok();
+    std::fs::remove_file("target/rowhammer.json").ok();
+    std::fs::remove_file("target/bench-report.json").ok();
     let mut runs: Vec<(String, bool, f64)> = Vec::new();
     for bin in bins {
         println!("\n########## {bin} ##########");
@@ -53,6 +57,7 @@ fn main() {
             "fig_multicore_contention",
             "target/multicore-contention.json",
         ),
+        ("rowhammer", "fig_rowhammer", "target/rowhammer.json"),
     ]
     .into_iter()
     .filter_map(|(key, bin, path)| {
@@ -62,9 +67,43 @@ fn main() {
             .map(|json| (key, json))
     })
     .collect();
-    match easydram_bench::write_bench_report_with_sections(report_path, &runs, &sections) {
-        Ok(()) => println!("\nwrote {report_path}"),
-        Err(e) => eprintln!("\ncould not write {report_path}: {e}"),
+    let wrote =
+        match easydram_bench::write_bench_report_with_sections(report_path, &runs, &sections) {
+            Ok(()) => {
+                println!("\nwrote {report_path}");
+                true
+            }
+            Err(e) => {
+                eprintln!("\ncould not write {report_path}: {e}");
+                false
+            }
+        };
+    // Schema-4 contract: the report written by *this* run must self-identify
+    // as schema 4 and, when the rowhammer harness succeeded, carry its
+    // section with the per-cell fields downstream tooling keys on. (The file
+    // was removed up front, so a failed write cannot validate stale data.)
+    if wrote {
+        let report = std::fs::read_to_string(report_path).expect("just wrote the report");
+        assert!(
+            report.contains("\"schema\": 4"),
+            "bench report must declare schema 4"
+        );
+        if section_ok("fig_rowhammer") {
+            for field in [
+                "\"rowhammer\": {",
+                "\"defense\"",
+                "\"iterations\"",
+                "\"flips\"",
+                "\"targeted_refreshes\"",
+                "\"overhead\"",
+            ] {
+                assert!(
+                    report.contains(field),
+                    "schema-4 rowhammer section is missing {field}"
+                );
+            }
+        }
+        println!("bench-report schema 4 validated.");
     }
     let failures: Vec<&str> = runs
         .iter()

@@ -172,7 +172,7 @@ pub fn write_bench_report_with_sections(
     if let Some(parent) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut s = String::from("{\n  \"schema\": 3,\n");
+    let mut s = String::from("{\n  \"schema\": 4,\n");
     s.push_str(&format!("  \"quick\": {},\n", quick()));
     for (key, json) in sections {
         s.push_str(&format!("  \"{key}\": {},\n", json.trim()));
@@ -249,6 +249,56 @@ pub fn write_multicore_contention_json(
     std::fs::write(path, s)
 }
 
+/// One measured cell of the `fig_rowhammer` sweep: an attack intensity
+/// against one defense.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowhammerPoint {
+    /// Installed defense: `"none"`, `"para"`, or `"graphene"`.
+    pub defense: String,
+    /// Activations issued per aggressor row.
+    pub iterations: u64,
+    /// Net victim bits the integrity checker found flipped.
+    pub flips: u64,
+    /// Emulated cycles of the hammer loop.
+    pub cycles: u64,
+    /// Targeted (per-row) refreshes the defense spent.
+    pub targeted_refreshes: u64,
+    /// Emulated-cycle overhead relative to the unmitigated run at the same
+    /// intensity.
+    pub overhead: f64,
+}
+
+/// Writes the `fig_rowhammer` harness's machine-readable record: one object
+/// per (defense × intensity) cell (the `rowhammer` fields of bench-report
+/// schema 4). `repro_all` embeds this file into `target/bench-report.json`
+/// under `rowhammer`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (missing parent directory is created).
+pub fn write_rowhammer_json(path: &str, points: &[RowhammerPoint]) -> Result<(), std::io::Error> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut s = String::from("{\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let defense = p.defense.replace('\\', "\\\\").replace('"', "\\\"");
+        s.push_str(&format!(
+            "    {{\"defense\": \"{}\", \"iterations\": {}, \"flips\": {}, \"cycles\": {}, \
+             \"targeted_refreshes\": {}, \"overhead\": {:.3}}}{}\n",
+            defense,
+            p.iterations,
+            p.flips,
+            p.cycles,
+            p.targeted_refreshes,
+            p.overhead,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
 /// Geometric mean of a slice (for the paper's geomean rows).
 #[must_use]
 pub fn geomean(xs: &[f64]) -> f64 {
@@ -296,7 +346,7 @@ mod tests {
         ];
         write_bench_report(path, &runs).unwrap();
         let s = std::fs::read_to_string(path).unwrap();
-        assert!(s.contains("\"schema\": 3"));
+        assert!(s.contains("\"schema\": 4"));
         assert!(s.contains("\"name\": \"fig8\", \"ok\": true, \"wall_seconds\": 1.250"));
         assert!(s.contains("fig\\\"quoted\\\""), "quotes must be escaped");
         assert_eq!(
@@ -329,6 +379,38 @@ mod tests {
             s.matches('}').count(),
             "balanced braces"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rowhammer_json_is_balanced_and_carries_schema4_fields() {
+        let dir = std::env::temp_dir().join("easydram-rowhammer-json-test");
+        let path = dir.join("rowhammer.json");
+        let path = path.to_str().unwrap();
+        let points = vec![
+            RowhammerPoint {
+                defense: "none".into(),
+                iterations: 5000,
+                flips: 42,
+                cycles: 1_000_000,
+                targeted_refreshes: 0,
+                overhead: 1.0,
+            },
+            RowhammerPoint {
+                defense: "graphene".into(),
+                iterations: 5000,
+                flips: 0,
+                cycles: 1_050_000,
+                targeted_refreshes: 17,
+                overhead: 1.05,
+            },
+        ];
+        write_rowhammer_json(path, &points).unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert!(s.contains("\"defense\": \"graphene\""));
+        assert!(s.contains("\"targeted_refreshes\": 17"));
+        assert!(s.contains("\"overhead\": 1.050"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -29,6 +29,10 @@ pub struct SmcCostModel {
     pub build_rowclone: u64,
     /// Querying the weak-row Bloom filter (§8.2).
     pub bloom_check: u64,
+    /// Per-activation RowHammer-mitigation bookkeeping: a PARA coin flip or
+    /// a Graphene activation-table update (both are a few ALU/scratchpad
+    /// operations on the hot path).
+    pub mitigation_track: u64,
     /// Finalizing and enqueueing a response (`enqueue_response`).
     pub enqueue_response: u64,
     /// Entering/leaving critical mode (`set_scheduling_state`).
@@ -51,6 +55,7 @@ impl Default for SmcCostModel {
             // A Bloom lookup is a handful of hash+mask ALU ops on the
             // scratchpad-resident filter.
             bloom_check: 4,
+            mitigation_track: 6,
             enqueue_response: 20,
             set_scheduling_state: 4,
         }

@@ -59,7 +59,10 @@ pub use profiling::{ProfileOutcome, TrcdProfiler};
 pub use report::{ExecutionReport, RequestorStats};
 pub use request::{MemRequest, MemResponse, RequestKind, ResponseSlice};
 pub use smc::easyapi::{ApiSession, EasyApi, TileCtx};
-pub use smc::{FcfsController, FrFcfsController, RowPolicy, ServeResult, SoftwareMemoryController};
+pub use smc::{
+    FcfsController, FrFcfsController, GrapheneController, MitigationStats, ParaController,
+    RowPolicy, ServeResult, SoftwareMemoryController,
+};
 pub use system::System;
 pub use timeline::{EmulatedTimeline, TimelineDemand};
 pub use timescale::TimeScalingCounters;

@@ -166,13 +166,14 @@ impl MultiCoreSystem {
         // --- Window-start snapshots (mirrors `System::run`). ---
         let cycles0: Vec<u64> = self.cores.iter().map(|c| c.now_cycles()).collect();
         let stats0: Vec<CoreStats> = self.cores.iter().map(|c| *c.stats()).collect();
-        let (smc0, channels0, requestors0, prior_peak, wall0) = {
+        let (smc0, channels0, requestors0, mitigation0, prior_peak, wall0) = {
             let mut tile = self.tile.lock().expect("shared tile");
             let max_now = cycles0.iter().copied().max().unwrap_or(0);
             (
                 *tile.smc_stats(),
                 tile.channel_stats(),
                 tile.requestor_stats(),
+                tile.mitigation_stats(),
                 tile.begin_peak_window(),
                 tile.wall_ps_at(max_now),
             )
@@ -241,6 +242,10 @@ impl MultiCoreSystem {
         for (q, q0) in requestors.iter_mut().zip(&requestors0) {
             q.subtract_baseline(q0);
         }
+        let mut mitigation = tile.mitigation_stats();
+        if let (Some(m), Some(m0)) = (mitigation.as_mut(), mitigation0.as_ref()) {
+            m.subtract_baseline(m0);
+        }
         // Per-requestor stall cycles are core-side state.
         for q in &mut requestors {
             if let Some(c) = cores_out.get(q.requestor as usize) {
@@ -282,6 +287,7 @@ impl MultiCoreSystem {
             channels,
             controllers: tile.controller_names(),
             requestors,
+            mitigation,
         };
         CoRunReport {
             aggregate,

@@ -5,7 +5,7 @@ use easydram_cpu::CoreStats;
 use easydram_dram::DeviceStats;
 
 use crate::config::TimingMode;
-use crate::smc::ServeResult;
+use crate::smc::{MitigationStats, ServeResult};
 
 /// Software-memory-controller counters accumulated by the tile.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,6 +50,10 @@ pub struct ChannelStats {
     pub serve: ServeResult,
     /// Refreshes charged on this channel's emulated timeline, per rank.
     pub refreshes_per_rank: Vec<u64>,
+    /// ACT commands issued per bank of this channel's device (flat
+    /// within-channel bank index). Skewed distributions expose both
+    /// bank-contention hot spots and hammered rows' home banks.
+    pub acts_per_bank: Vec<u64>,
 }
 
 impl ChannelStats {
@@ -67,6 +71,9 @@ impl ChannelStats {
             .zip(&start.refreshes_per_rank)
         {
             *r -= r0;
+        }
+        for (a, a0) in self.acts_per_bank.iter_mut().zip(&start.acts_per_bank) {
+            *a -= a0;
         }
     }
 }
@@ -200,6 +207,12 @@ pub struct ExecutionReport {
     /// systems carry at most one entry (requestor 0); multi-core shared-tile
     /// runs carry one per core.
     pub requestors: Vec<RequestorStats>,
+    /// RowHammer-mitigation counters for the run window, summed over every
+    /// channel whose controller runs a mitigation policy, with
+    /// `flips_observed` filled in from the device statistics. `None` when no
+    /// installed controller mitigates (the default — reports stay
+    /// byte-identical to the pre-disturbance format).
+    pub mitigation: Option<MitigationStats>,
 }
 
 impl ExecutionReport {
@@ -280,7 +293,7 @@ impl std::fmt::Display for ExecutionReport {
             for (ch, c) in self.channels.iter().enumerate() {
                 write!(
                     f,
-                    "\n  ch{ch}: {} reqs, {} rocket cycles, {} batches, {}/{}/{} hit/miss/conflict, refreshes {:?}",
+                    "\n  ch{ch}: {} reqs, {} rocket cycles, {} batches, {}/{}/{} hit/miss/conflict, refreshes {:?}, acts/bank {:?}",
                     c.requests,
                     c.rocket_cycles,
                     c.batches,
@@ -288,6 +301,7 @@ impl std::fmt::Display for ExecutionReport {
                     c.serve.row_misses,
                     c.serve.row_conflicts,
                     c.refreshes_per_rank,
+                    c.acts_per_bank,
                 )?;
             }
             // Heterogeneous per-channel controllers would mislabel a sweep
@@ -315,6 +329,15 @@ impl std::fmt::Display for ExecutionReport {
                     q.stall_cycles,
                 )?;
             }
+        }
+        // Mitigation line only when a mitigation policy is installed —
+        // default reports keep the historical (snapshot-pinned) format.
+        if let Some(m) = &self.mitigation {
+            write!(
+                f,
+                "\n  mitigation: {} targeted refreshes, {} rocket cycles, {} flips observed",
+                m.targeted_refreshes, m.rocket_cycles, m.flips_observed,
+            )?;
         }
         Ok(())
     }
@@ -349,6 +372,7 @@ mod tests {
             channels: vec![ChannelStats::default()],
             controllers: vec!["fr-fcfs".into()],
             requestors: Vec::new(),
+            mitigation: None,
         }
     }
 
@@ -409,6 +433,7 @@ mod tests {
                 ..ServeResult::default()
             },
             refreshes_per_rank: vec![5, 2],
+            acts_per_bank: vec![9, 4],
         };
         let start = ChannelStats {
             requests: 4,
@@ -421,12 +446,41 @@ mod tests {
                 ..ServeResult::default()
             },
             refreshes_per_rank: vec![1, 2],
+            acts_per_bank: vec![3, 4],
         };
         c.subtract_baseline(&start);
         assert_eq!(c.requests, 6);
         assert_eq!(c.rocket_cycles, 300);
         assert_eq!(c.serve.row_hits, 5);
         assert_eq!(c.refreshes_per_rank, vec![4, 0]);
+        assert_eq!(c.acts_per_bank, vec![6, 0]);
+    }
+
+    #[test]
+    fn mitigation_line_renders_only_when_present() {
+        let mut r = report();
+        assert!(!r.to_string().contains("mitigation:"));
+        r.mitigation = Some(MitigationStats {
+            targeted_refreshes: 12,
+            rocket_cycles: 340,
+            flips_observed: 0,
+        });
+        assert!(r
+            .to_string()
+            .contains("mitigation: 12 targeted refreshes, 340 rocket cycles, 0 flips observed"));
+    }
+
+    #[test]
+    fn multi_channel_display_includes_bank_act_spread() {
+        let mut r = report();
+        r.channels = vec![
+            ChannelStats {
+                acts_per_bank: vec![7, 1],
+                ..ChannelStats::default()
+            },
+            ChannelStats::default(),
+        ];
+        assert!(r.to_string().contains("acts/bank [7, 1]"));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use easydram_dram::{Geometry, VariationModel, LINE_BYTES};
 use crate::bloom::BloomFilter;
 use crate::request::{MemRequest, RequestKind};
 use crate::smc::easyapi::{EasyApi, RowBufferOutcome};
+use crate::smc::mitigation::RowHammerMitigator;
 use crate::smc::{ServeResult, SoftwareMemoryController};
 
 /// Row-buffer management policy.
@@ -122,12 +123,17 @@ fn profile_pattern(id: u64) -> [u8; LINE_BYTES] {
     p
 }
 
-/// Shared request-serving engine for both shipped controllers.
-fn serve_with_policy(
+/// Shared request-serving engine for every shipped controller. An optional
+/// RowHammer mitigation hook observes each demand activation (the stream an
+/// attacker controls) and may spend targeted refreshes before the
+/// triggering request's response is finalized — so mitigation overhead is
+/// attributed to, and priced against, the request that caused it.
+pub(crate) fn serve_with_policy(
     api: &mut EasyApi<'_>,
     policy: RowPolicy,
     trcd: Option<&TrcdPlan>,
     use_frfcfs: bool,
+    mut mitigator: Option<&mut dyn RowHammerMitigator>,
 ) -> ServeResult {
     let mut res = ServeResult::default();
     api.set_scheduling_state(true);
@@ -140,7 +146,7 @@ fn serve_with_policy(
         };
         let Some(idx) = pick else { break };
         let req = api.take_request(idx);
-        serve_one(api, policy, trcd, &req, &mut res);
+        serve_one(api, policy, trcd, &req, &mut res, &mut mitigator);
         res.served += 1;
     }
     api.set_scheduling_state(false);
@@ -161,6 +167,7 @@ fn serve_one(
     trcd: Option<&TrcdPlan>,
     req: &MemRequest,
     res: &mut ServeResult,
+    mitigator: &mut Option<&mut dyn RowHammerMitigator>,
 ) {
     const BUF: &str = "command buffer sized for a single request";
     match req.kind {
@@ -191,6 +198,11 @@ fn serve_one(
                 let r = api.flush_commands().expect(BUF);
                 (r.reads[0], r.read_corrupted[0])
             };
+            if will_activate {
+                if let Some(m) = mitigator.as_deref_mut() {
+                    m.on_activate(api, d.bank, d.row);
+                }
+            }
             api.enqueue_response(req.id, Some(data), corrupted);
         }
         RequestKind::Write { addr, data } => {
@@ -213,6 +225,11 @@ fn serve_one(
                 api.ddr_precharge(d.bank).expect(BUF);
             }
             api.flush_commands().expect(BUF);
+            if will_activate {
+                if let Some(m) = mitigator.as_deref_mut() {
+                    m.on_activate(api, d.bank, d.row);
+                }
+            }
             api.enqueue_response(req.id, None, false);
         }
         RequestKind::RowClone { src_addr, dst_addr } => {
@@ -225,6 +242,14 @@ fn serve_one(
             }
             api.rowclone(s, d).expect(BUF);
             api.flush_commands().expect(BUF);
+            // RowClone activates both operand rows — an attacker-reachable
+            // stream (CpuApi exposes it), so mitigation policies must see
+            // these activations too or in-DRAM copies become a hammer
+            // side channel.
+            if let Some(m) = mitigator.as_deref_mut() {
+                m.on_activate(api, s.bank, s.row);
+                m.on_activate(api, d.bank, d.row);
+            }
             api.enqueue_response(req.id, None, false);
         }
         RequestKind::ProfileTrcd { addr, trcd_ps } => {
@@ -245,6 +270,12 @@ fn serve_one(
                 let r = api.flush_commands().expect(BUF);
                 r.reads[0]
             };
+            // Profiling activates the row twice; both count toward its
+            // hammer window, so both are reported to the mitigation hook.
+            if let Some(m) = mitigator.as_deref_mut() {
+                m.on_activate(api, d.bank, d.row);
+                m.on_activate(api, d.bank, d.row);
+            }
             // 3) report whether the reduced value read correctly.
             let ok = data == pattern;
             api.enqueue_response(req.id, Some(data), !ok);
@@ -290,7 +321,7 @@ impl SoftwareMemoryController for FrFcfsController {
     }
 
     fn serve(&mut self, api: &mut EasyApi<'_>) -> ServeResult {
-        serve_with_policy(api, RowPolicy::Open, self.trcd.as_ref(), true)
+        serve_with_policy(api, RowPolicy::Open, self.trcd.as_ref(), true, None)
     }
 }
 
@@ -313,7 +344,7 @@ impl SoftwareMemoryController for FcfsController {
     }
 
     fn serve(&mut self, api: &mut EasyApi<'_>) -> ServeResult {
-        serve_with_policy(api, RowPolicy::Closed, None, false)
+        serve_with_policy(api, RowPolicy::Closed, None, false, None)
     }
 }
 

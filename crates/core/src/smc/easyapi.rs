@@ -353,6 +353,21 @@ impl<'a> EasyApi<'a> {
         self.ctx.device.open_row(bank)
     }
 
+    /// Rows per bank of the channel's device (tile shadow state; free).
+    /// Mitigation policies use this to clamp victim-row arithmetic.
+    #[must_use]
+    pub fn rows_per_bank(&self) -> u32 {
+        self.ctx.device.config().geometry.rows_per_bank
+    }
+
+    /// The device's timing bin (tile shadow state; free). Mitigation
+    /// policies read `t_refw_ps` off this to align their tracking epochs
+    /// with the refresh window.
+    #[must_use]
+    pub fn timing(&self) -> &easydram_dram::TimingParams {
+        self.ctx.device.timing()
+    }
+
     /// Queries the weak-row Bloom filter cost point (§8.2). The filter
     /// itself lives in the controller; this only charges the lookup.
     pub fn charge_bloom_check(&mut self) {
@@ -434,6 +449,28 @@ impl<'a> EasyApi<'a> {
     pub fn ddr_refresh(&mut self) -> Result<(), easydram_bender::BenderError> {
         self.charge(self.ctx.costs.build_command);
         self.program.cmd_auto(DramCommand::Refresh)
+    }
+
+    /// Appends a targeted per-row refresh (`RFM`) at the earliest legal
+    /// time — the victim-refresh primitive RowHammer mitigations issue. The
+    /// bank must be precharged when the command lands.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the command buffer is full.
+    pub fn ddr_refresh_row(
+        &mut self,
+        bank: u32,
+        row: u32,
+    ) -> Result<(), easydram_bender::BenderError> {
+        self.charge(self.ctx.costs.build_command);
+        self.program.cmd_auto(DramCommand::RefreshRow { bank, row })
+    }
+
+    /// Charges the per-activation mitigation-tracking cost point (a PARA
+    /// coin flip or a Graphene table update).
+    pub fn charge_mitigation_track(&mut self) {
+        self.charge(self.ctx.costs.mitigation_track);
     }
 
     /// Appends a RowClone command sequence: open the source row, interrupt

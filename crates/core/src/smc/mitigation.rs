@@ -1,0 +1,410 @@
+//! RowHammer mitigation as software-memory-controller policy.
+//!
+//! Read-disturbance mitigation is the canonical "emerging DRAM technique"
+//! the EasyDRAM lineage (SoftMC, DRAM Bender) was built to study: a
+//! mitigation is nothing but controller code that watches the activation
+//! stream and spends targeted refreshes ([`EasyApi::ddr_refresh_row`]) to
+//! keep every row's hammer count below its `HCfirst` threshold. Two shipped
+//! policies wrap the FR-FCFS scheduler:
+//!
+//! * [`ParaController`] — PARA (probabilistic adjacent-row activation):
+//!   stateless; on every activation, with probability `1/p_inverse`, the
+//!   controller closes the bank and refreshes both adjacent rows. Cheap and
+//!   unconditionally secure in expectation, at the cost of random refresh
+//!   traffic.
+//! * [`GrapheneController`] — Graphene-style deterministic tracking: a
+//!   Misra–Gries top-k activation table per bank; when a tracked row's
+//!   estimated count reaches the configured threshold, every row in its
+//!   ±[`easydram_dram::BLAST_RADIUS`] blast radius is refreshed and the
+//!   count resets. No false negatives as long as the threshold is set below
+//!   the device's minimum `HCfirst` with margin for the table's
+//!   undercounting.
+//!
+//! Both observe every controller-issued activation an attacker can reach —
+//! demand reads/writes, RowClone operand rows, and tRCD-profiling accesses
+//! — and account their overhead into [`MitigationStats`], which the tile
+//! threads into `ExecutionReport::mitigation`.
+
+use std::collections::HashMap;
+
+use easydram_dram::det::DetRng;
+use easydram_dram::BLAST_RADIUS;
+
+use crate::smc::controllers::serve_with_policy;
+use crate::smc::easyapi::EasyApi;
+use crate::smc::{RowPolicy, ServeResult, SoftwareMemoryController};
+
+/// Counters a RowHammer mitigation policy accumulates, reported alongside
+/// the per-channel/per-requestor statistics in `ExecutionReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MitigationStats {
+    /// Targeted (per-row) refreshes issued to victim rows.
+    pub targeted_refreshes: u64,
+    /// Rocket cycles spent on mitigation work: per-activation tracking plus
+    /// building/issuing the refresh sequences (the controller-side overhead
+    /// of the defense).
+    pub rocket_cycles: u64,
+    /// Victim bits the device observed flipping despite (or without) the
+    /// mitigation. Filled in from the device statistics at report time; 0
+    /// for a defense that held.
+    pub flips_observed: u64,
+}
+
+impl MitigationStats {
+    /// Rebases every cumulative counter against a window-start snapshot.
+    pub fn subtract_baseline(&mut self, start: &MitigationStats) {
+        self.targeted_refreshes -= start.targeted_refreshes;
+        self.rocket_cycles -= start.rocket_cycles;
+        self.flips_observed -= start.flips_observed;
+    }
+}
+
+impl std::ops::AddAssign for MitigationStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.targeted_refreshes += rhs.targeted_refreshes;
+        self.rocket_cycles += rhs.rocket_cycles;
+        self.flips_observed += rhs.flips_observed;
+    }
+}
+
+/// The hook a mitigation policy installs into the serve loop: called once
+/// per request-issued activation (demand read/write row opens, RowClone
+/// operand rows, profiling accesses), after the request's own commands
+/// executed and before its response is finalized, so any refresh traffic
+/// the policy adds is attributed to (and priced against) the triggering
+/// request.
+pub(crate) trait RowHammerMitigator: Send {
+    /// Observes the activation of `(bank, row)` and optionally issues
+    /// mitigation commands through `api`.
+    fn on_activate(&mut self, api: &mut EasyApi<'_>, bank: u32, row: u32);
+
+    /// Cumulative mitigation counters (without device-side flip counts).
+    fn stats(&self) -> MitigationStats;
+}
+
+/// Closes `bank` and refreshes every same-bank row within `radius` of
+/// `aggressor`, charging the work to `stats`.
+fn refresh_neighborhood(
+    api: &mut EasyApi<'_>,
+    stats: &mut MitigationStats,
+    bank: u32,
+    aggressor: u32,
+    radius: u32,
+) {
+    const BUF: &str = "command buffer sized for a mitigation burst";
+    let rows = api.rows_per_bank();
+    let before = api.cycles_spent();
+    // The serve loop leaves the row open (open-page policy); victim
+    // refreshes need the bank precharged, so the mitigation pays a real
+    // row-buffer penalty: the next access to the hammered row misses.
+    if api.open_row(bank).is_some() {
+        api.ddr_precharge(bank).expect(BUF);
+    }
+    for victim in easydram_dram::blast_neighbors(aggressor, rows, radius) {
+        api.ddr_refresh_row(bank, victim).expect(BUF);
+        stats.targeted_refreshes += 1;
+    }
+    api.flush_commands().expect(BUF);
+    stats.rocket_cycles += api.cycles_spent() - before;
+}
+
+/// PARA: on each activation, with probability `1 / p_inverse`, refresh the
+/// two adjacent rows. Draws come from a seeded [`DetRng`] stream, so runs
+/// reproduce exactly.
+#[derive(Debug, Clone)]
+struct ParaMitigator {
+    p_inverse: u64,
+    rng: DetRng,
+    stats: MitigationStats,
+}
+
+impl RowHammerMitigator for ParaMitigator {
+    fn on_activate(&mut self, api: &mut EasyApi<'_>, bank: u32, row: u32) {
+        let before = api.cycles_spent();
+        api.charge_mitigation_track();
+        let fire = self.rng.next01() < 1.0 / self.p_inverse as f64;
+        self.stats.rocket_cycles += api.cycles_spent() - before;
+        if fire {
+            refresh_neighborhood(api, &mut self.stats, bank, row, 1);
+        }
+    }
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+}
+
+/// A Misra–Gries top-k frequent-row summary for one bank: at most `k`
+/// tracked rows; an untracked activation with a full table decrements every
+/// counter (classic heavy-hitters bookkeeping), so a row activated `n`
+/// times is undercounted by at most `acts_in_window / k`.
+#[derive(Debug, Clone, Default)]
+struct MisraGries {
+    entries: Vec<(u32, u64)>,
+}
+
+impl MisraGries {
+    /// Records one activation of `row` and returns its estimated count
+    /// (0 when the row could not be tracked this round).
+    fn observe(&mut self, row: u32, k: usize) -> u64 {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == row) {
+            e.1 += 1;
+            return e.1;
+        }
+        if self.entries.len() < k {
+            self.entries.push((row, 1));
+            return 1;
+        }
+        for e in &mut self.entries {
+            e.1 -= 1;
+        }
+        self.entries.retain(|e| e.1 > 0);
+        0
+    }
+
+    fn reset(&mut self, row: u32) {
+        self.entries.retain(|e| e.0 != row);
+    }
+}
+
+/// Graphene-style deterministic tracker: per-bank Misra–Gries tables; a
+/// tracked row reaching `threshold` estimated activations triggers a
+/// blast-radius refresh and resets its entry. Tables reset wholesale every
+/// `tREFW` of wall time — the device's hammer windows close on the same
+/// period, so estimates stay per-window quantities (lifetime counts would
+/// eventually trip the threshold on arbitrarily slow benign traffic).
+#[derive(Debug, Clone)]
+struct GrapheneMitigator {
+    threshold: u64,
+    table_k: usize,
+    tables: HashMap<u32, MisraGries>,
+    /// Start of the current tracking epoch, ps of controller wall time.
+    epoch_start_ps: u64,
+    stats: MitigationStats,
+}
+
+impl RowHammerMitigator for GrapheneMitigator {
+    fn on_activate(&mut self, api: &mut EasyApi<'_>, bank: u32, row: u32) {
+        let before = api.cycles_spent();
+        api.charge_mitigation_track();
+        let now = api.wall_now_ps();
+        if now.saturating_sub(self.epoch_start_ps) >= api.timing().t_refw_ps {
+            self.tables.clear();
+            self.epoch_start_ps = now;
+        }
+        let count = self
+            .tables
+            .entry(bank)
+            .or_default()
+            .observe(row, self.table_k);
+        self.stats.rocket_cycles += api.cycles_spent() - before;
+        if count >= self.threshold {
+            refresh_neighborhood(api, &mut self.stats, bank, row, BLAST_RADIUS);
+            self.tables
+                .get_mut(&bank)
+                .expect("just inserted")
+                .reset(row);
+        }
+    }
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+}
+
+/// FR-FCFS (open page) wrapped with the PARA probabilistic mitigation.
+#[derive(Debug, Clone)]
+pub struct ParaController {
+    mitigator: ParaMitigator,
+}
+
+impl ParaController {
+    /// Creates a PARA controller refreshing adjacent rows with probability
+    /// `1 / p_inverse` per activation; `seed` drives the coin-flip stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_inverse` is zero.
+    #[must_use]
+    pub fn new(p_inverse: u64, seed: u64) -> Self {
+        assert!(p_inverse > 0, "PARA needs a non-zero refresh probability");
+        Self {
+            mitigator: ParaMitigator {
+                p_inverse,
+                rng: DetRng::new(seed),
+                stats: MitigationStats::default(),
+            },
+        }
+    }
+}
+
+impl SoftwareMemoryController for ParaController {
+    fn name(&self) -> &str {
+        "frfcfs+para"
+    }
+
+    fn serve(&mut self, api: &mut EasyApi<'_>) -> ServeResult {
+        serve_with_policy(api, RowPolicy::Open, None, true, Some(&mut self.mitigator))
+    }
+
+    fn mitigation_stats(&self) -> Option<MitigationStats> {
+        Some(self.mitigator.stats())
+    }
+}
+
+/// FR-FCFS (open page) wrapped with Graphene-style deterministic tracking.
+#[derive(Debug, Clone)]
+pub struct GrapheneController {
+    mitigator: GrapheneMitigator,
+}
+
+impl GrapheneController {
+    /// Creates a Graphene controller that refreshes a tracked row's blast
+    /// radius once its estimated window count reaches `threshold`, using a
+    /// `table_k`-entry Misra–Gries table per bank.
+    ///
+    /// The table resets every `tREFW` of wall time, so estimates are
+    /// per-refresh-window quantities like the device's own counters.
+    ///
+    /// **Sizing for a guarantee.** Misra–Gries undercounts a row by at most
+    /// `window_acts / table_k` (every untracked activation with a full
+    /// table decrements all entries), so the no-false-negative condition is
+    /// `threshold + window_acts / table_k <= min effective HCfirst` — the
+    /// table must be sized against the worst-case activations per refresh
+    /// window, as the Graphene paper does. Note the *effective* minimum:
+    /// `VariationModel::hc_first` halves thresholds of rows in weak
+    /// clusters, so the floor is `hc_first.0 / 2`, not `hc_first.0`. A
+    /// small table with `threshold = effective minimum / 2` (the shipped
+    /// harness config) defeats concentrated patterns like double-/many-
+    /// sided hammering but **can be decayed** by an attacker interleaving
+    /// each aggressor activation with `table_k`+ distinct cold rows in the
+    /// same bank; use PARA or a window-sized table when the access pattern
+    /// is adversarially diverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` or `table_k` is zero.
+    #[must_use]
+    pub fn new(threshold: u64, table_k: usize) -> Self {
+        assert!(threshold > 0, "a zero threshold would refresh on every ACT");
+        assert!(table_k > 0, "the activation table needs at least one entry");
+        Self {
+            mitigator: GrapheneMitigator {
+                threshold,
+                table_k,
+                tables: HashMap::new(),
+                epoch_start_ps: 0,
+                stats: MitigationStats::default(),
+            },
+        }
+    }
+}
+
+impl SoftwareMemoryController for GrapheneController {
+    fn name(&self) -> &str {
+        "frfcfs+graphene"
+    }
+
+    fn serve(&mut self, api: &mut EasyApi<'_>) -> ServeResult {
+        serve_with_policy(api, RowPolicy::Open, None, true, Some(&mut self.mitigator))
+    }
+
+    fn mitigation_stats(&self) -> Option<MitigationStats> {
+        Some(self.mitigator.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::SmcCostModel;
+    use crate::request::RequestKind;
+    use crate::smc::easyapi::{ApiSession, TileCtx};
+    use easydram_bender::{Executor, TransferCost};
+    use easydram_dram::{AddressMapper, DramAddress, DramConfig, DramDevice, MappingScheme};
+    use std::collections::HashMap;
+
+    #[test]
+    fn mitigation_observes_rowclone_and_profiling_activations() {
+        // An always-firing PARA (p_inverse = 1) must spend refreshes on the
+        // RowClone / ProfileTrcd streams too — otherwise in-DRAM copies
+        // would be a mitigation-bypassing hammer channel.
+        let mut dev = DramDevice::new(DramConfig::small_for_tests());
+        let geo = dev.config().geometry.clone();
+        let ex = Executor::new();
+        let map = AddressMapper::new(geo, MappingScheme::RowBankCol);
+        let remap = HashMap::new();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        let mut session = ApiSession::new(16);
+        session.post(
+            RequestKind::RowClone {
+                src_addr: map.to_phys(DramAddress::new(0, 10, 0)),
+                dst_addr: map.to_phys(DramAddress::new(0, 12, 0)),
+            },
+            0,
+        );
+        session.post(
+            RequestKind::ProfileTrcd {
+                addr: map.to_phys(DramAddress::new(0, 30, 0)),
+                trcd_ps: 13_500,
+            },
+            0,
+        );
+        let mut api = session.begin(
+            TileCtx {
+                device: &mut dev,
+                executor: &ex,
+                mapper: &map,
+                remap: &remap,
+                costs: &costs,
+                transfer: &transfer,
+                tile_clk_hz: 100_000_000,
+            },
+            0,
+        );
+        let mut ctrl = ParaController::new(1, 7);
+        let res = ctrl.serve(&mut api);
+        assert_eq!(res.served, 2);
+        let m = ctrl.mitigation_stats().expect("PARA reports stats");
+        // 2 RowClone activations + 2 profiling activations, each firing a
+        // ±1 refresh pair.
+        assert_eq!(m.targeted_refreshes, 8);
+        assert!(dev.stats().targeted_refreshes >= 8);
+    }
+
+    #[test]
+    fn misra_gries_tracks_heavy_hitters() {
+        let mut mg = MisraGries::default();
+        // A hot row interleaved with a spray of cold rows stays tracked and
+        // its estimate grows (undercounted, never overcounted).
+        let mut hot_estimate = 0;
+        for i in 0..200u32 {
+            hot_estimate = mg.observe(7, 4);
+            mg.observe(1_000 + i, 4);
+        }
+        assert!(
+            hot_estimate >= 100,
+            "hot row undercounted too far: {hot_estimate}"
+        );
+        assert!(hot_estimate <= 200, "estimates never exceed the true count");
+        mg.reset(7);
+        assert_eq!(mg.observe(7, 4), 1, "reset forgets the row");
+    }
+
+    #[test]
+    fn misra_gries_bounds_table_size() {
+        let mut mg = MisraGries::default();
+        for i in 0..100u32 {
+            mg.observe(i, 4);
+        }
+        assert!(mg.entries.len() <= 4);
+    }
+
+    #[test]
+    fn para_coin_fires_at_roughly_the_configured_rate() {
+        let mut rng = DetRng::new(0xEA5D);
+        let fires = (0..10_000).filter(|_| rng.next01() < 1.0 / 512.0).count();
+        assert!((5..=50).contains(&fires), "~20 expected, got {fires}");
+    }
+}

@@ -12,9 +12,11 @@
 
 pub mod controllers;
 pub mod easyapi;
+pub mod mitigation;
 
 pub use controllers::{FcfsController, FrFcfsController, RowPolicy, TrcdPlan};
 pub use easyapi::{ApiSession, TileCtx};
+pub use mitigation::{GrapheneController, MitigationStats, ParaController};
 
 use crate::smc::easyapi::EasyApi;
 
@@ -82,4 +84,13 @@ pub trait SoftwareMemoryController: Send {
     /// One scheduling pass: receive pending requests, issue DRAM commands,
     /// enqueue responses.
     fn serve(&mut self, api: &mut EasyApi<'_>) -> ServeResult;
+
+    /// Cumulative RowHammer-mitigation counters, for controllers that run a
+    /// mitigation policy ([`mitigation::ParaController`],
+    /// [`mitigation::GrapheneController`]). `None` — the default — means
+    /// the controller mitigates nothing, and keeps reports byte-identical
+    /// to the pre-disturbance format.
+    fn mitigation_stats(&self) -> Option<MitigationStats> {
+        None
+    }
 }

@@ -214,9 +214,28 @@ impl Tile {
             .map(|lane| {
                 let mut s = lane.stats.clone();
                 s.refreshes_per_rank = lane.timeline.refreshes_per_rank().to_vec();
+                s.acts_per_bank = lane.device.acts_per_bank().to_vec();
                 s
             })
             .collect()
+    }
+
+    /// Cumulative RowHammer-mitigation counters summed over every channel
+    /// whose controller runs a mitigation policy, with `flips_observed`
+    /// filled in from the device statistics. `None` when no installed
+    /// controller mitigates.
+    #[must_use]
+    pub fn mitigation_stats(&self) -> Option<crate::smc::MitigationStats> {
+        let mut total: Option<crate::smc::MitigationStats> = None;
+        for lane in &self.lanes {
+            if let Some(m) = lane.controller.mitigation_stats() {
+                *total.get_or_insert_with(Default::default) += m;
+            }
+        }
+        total.map(|mut m| {
+            m.flips_observed = self.device_stats().disturbance_flips;
+            m
+        })
     }
 
     /// The time-scaling counters.
@@ -875,6 +894,7 @@ impl System {
         let smc0 = *self.tile().smc_stats();
         let channels0 = self.tile().channel_stats();
         let requestors0 = self.tile().requestor_stats();
+        let mitigation0 = self.tile().mitigation_stats();
         let prior_peak = self.tile_mut().begin_peak_window();
         workload.run(&mut self.core);
         let mut r = self.report(workload.name());
@@ -893,6 +913,9 @@ impl System {
         }
         for (q, q0) in r.requestors.iter_mut().zip(&requestors0) {
             q.subtract_baseline(q0);
+        }
+        if let (Some(m), Some(m0)) = (r.mitigation.as_mut(), mitigation0.as_ref()) {
+            m.subtract_baseline(m0);
         }
         if r.fpga_wall_seconds > 0.0 {
             r.sim_speed_hz = r.emulated_cycles as f64 / r.fpga_wall_seconds;
@@ -929,6 +952,7 @@ impl System {
             channels: tile.channel_stats(),
             controllers: tile.controller_names(),
             requestors: tile.requestor_stats(),
+            mitigation: tile.mitigation_stats(),
         }
     }
 }

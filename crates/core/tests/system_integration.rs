@@ -362,6 +362,44 @@ fn default_single_channel_report_matches_snapshot() {
 }
 
 #[test]
+fn channel_stats_surface_per_bank_activation_counts() {
+    let mut cfg = SystemConfig::small_for_tests(TimingMode::Reference);
+    cfg.dram.geometry.channels = 2;
+    let mut s = System::new(cfg);
+    let a = s.cpu().alloc(64 * 128, 64);
+    for i in 0..128u64 {
+        let _ = s.cpu().load_u64(a + i * 64);
+    }
+    let r = s.report("acts");
+    let banks = s.tile().channel_device(0).config().geometry.banks() as usize;
+    assert!(r.channels.iter().all(|c| c.acts_per_bank.len() == banks));
+    // The per-bank spread partitions the device-wide ACT total exactly.
+    let spread: u64 = r.channels.iter().flat_map(|c| &c.acts_per_bank).sum();
+    assert_eq!(spread, r.dram.activates);
+    assert!(spread > 0);
+    // Windowed like every other channel counter: a fresh run's report
+    // carries only its own activations.
+    struct Touch;
+    impl easydram_cpu::Workload for Touch {
+        fn name(&self) -> &str {
+            "touch"
+        }
+        fn run(&mut self, cpu: &mut dyn CpuApi) {
+            let a = cpu.alloc(64 * 4, 64);
+            for i in 0..4u64 {
+                let _ = cpu.load_u64(a + i * 64);
+            }
+        }
+    }
+    let window = s.run(&mut Touch);
+    let window_spread: u64 = window.channels.iter().flat_map(|c| &c.acts_per_bank).sum();
+    assert!(
+        window_spread <= 8,
+        "windowed acts must not include the earlier traffic: {window_spread}"
+    );
+}
+
+#[test]
 fn heterogeneous_controllers_are_not_mislabeled() {
     use easydram::FrFcfsController;
 

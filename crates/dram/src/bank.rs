@@ -186,6 +186,12 @@ impl RankTiming {
                     }
                 }
             }
+            DramCommand::RefreshRow { bank, .. } => {
+                let b = &self.banks[bank as usize];
+                if b.pre_valid {
+                    earliest = earliest.max(b.last_pre_ps + t.t_rp_ps);
+                }
+            }
         }
         earliest
     }
@@ -340,6 +346,19 @@ impl RankTiming {
                     }
                 }
             }
+            DramCommand::RefreshRow { bank, .. } => {
+                let b = &self.banks[bank as usize];
+                if matches!(b.state, BankState::Active { .. }) {
+                    v.push(TimingViolation {
+                        rule: TimingRule::RefWithOpenRows,
+                        earliest_legal_ps: now_ps,
+                        issued_ps: now_ps,
+                    });
+                }
+                if b.pre_valid {
+                    push(&mut v, TimingRule::Trp, b.last_pre_ps + t.t_rp_ps);
+                }
+            }
         }
         v
     }
@@ -400,6 +419,20 @@ impl RankTiming {
             }
             DramCommand::Refresh => {
                 self.ref_busy_until_ps = now_ps + t.t_rfc_ps;
+            }
+            DramCommand::RefreshRow { bank, .. } => {
+                // The bank internally activates and restores the row, then
+                // returns to the precharged state `t_rfm` later. Folding the
+                // busy interval into the precharge timestamp makes every
+                // tRP-gated successor (ACT, REF, another RFM) wait until
+                // `now + t_rfm` without a dedicated busy field; the cleared
+                // `prev_open_row` also stops an intervening RFM from being
+                // misread as part of a RowClone ACT→PRE→ACT sequence.
+                let b = &mut self.banks[bank as usize];
+                b.state = BankState::Idle;
+                b.prev_open_row = None;
+                b.last_pre_ps = now_ps + t.t_rfm_ps.saturating_sub(t.t_rp_ps);
+                b.pre_valid = true;
             }
         }
     }
@@ -601,6 +634,49 @@ mod tests {
             assert!(r.check(&cmd, e).is_empty(), "{cmd}");
             assert!(!r.check(&cmd, e - 1).is_empty(), "{cmd}");
         }
+    }
+
+    #[test]
+    fn refresh_row_requires_precharged_bank_and_holds_it_busy() {
+        let mut r = rank();
+        let t = TimingParams::ddr4_1333();
+        // On an open bank the targeted refresh is flagged.
+        r.apply(&DramCommand::Activate { bank: 0, row: 7 }, 0);
+        let v = r.check(&DramCommand::RefreshRow { bank: 0, row: 8 }, 1_000_000);
+        assert!(v.iter().any(|x| x.rule == TimingRule::RefWithOpenRows));
+        // Close the bank; after tRP the RFM is legal and occupies the bank
+        // for t_rfm: the next ACT (or RFM) must wait exactly that long.
+        r.apply(&DramCommand::Precharge { bank: 0 }, t.t_ras_ps);
+        let rfm_at = t.t_ras_ps + t.t_rp_ps;
+        assert!(r
+            .check(&DramCommand::RefreshRow { bank: 0, row: 8 }, rfm_at)
+            .is_empty());
+        r.apply(&DramCommand::RefreshRow { bank: 0, row: 8 }, rfm_at);
+        let act = DramCommand::Activate { bank: 0, row: 7 };
+        assert_eq!(r.earliest_issue_ps(&act), rfm_at + t.t_rfm_ps);
+        assert!(!r.check(&act, rfm_at + t.t_rfm_ps - 1).is_empty());
+        assert!(r.check(&act, rfm_at + t.t_rfm_ps).is_empty());
+        // Other banks are unaffected.
+        assert!(r
+            .check(
+                &DramCommand::Activate { bank: 1, row: 0 },
+                rfm_at + t.t_rrd_l_ps
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn refresh_row_breaks_rowclone_detection() {
+        let mut r = rank();
+        let t = TimingParams::ddr4_1333();
+        r.apply(&DramCommand::Activate { bank: 2, row: 9 }, 0);
+        r.apply(&DramCommand::Precharge { bank: 2 }, t.t_ras_ps);
+        assert_eq!(r.bank(2).prev_open_row, Some(9));
+        r.apply(
+            &DramCommand::RefreshRow { bank: 2, row: 10 },
+            t.t_ras_ps + t.t_rp_ps,
+        );
+        assert_eq!(r.bank(2).prev_open_row, None);
     }
 
     #[test]

@@ -41,6 +41,17 @@ pub enum DramCommand {
     },
     /// Refresh the rank (all banks must be precharged).
     Refresh,
+    /// Targeted per-row refresh (RFM-style): internally activate and restore
+    /// `row` of `bank`, neutralizing the read disturbance its neighborhood
+    /// has accumulated. The bank must be precharged and is busy for
+    /// `t_rfm_ps`. This is the command RowHammer mitigations issue to victim
+    /// rows.
+    RefreshRow {
+        /// Flat bank index.
+        bank: u32,
+        /// Row to refresh.
+        row: u32,
+    },
 }
 
 impl DramCommand {
@@ -51,7 +62,8 @@ impl DramCommand {
             DramCommand::Activate { bank, .. }
             | DramCommand::Precharge { bank }
             | DramCommand::Read { bank, .. }
-            | DramCommand::Write { bank, .. } => Some(bank),
+            | DramCommand::Write { bank, .. }
+            | DramCommand::RefreshRow { bank, .. } => Some(bank),
             DramCommand::PrechargeAll | DramCommand::Refresh => None,
         }
     }
@@ -66,6 +78,7 @@ impl DramCommand {
             DramCommand::Read { .. } => "RD",
             DramCommand::Write { .. } => "WR",
             DramCommand::Refresh => "REF",
+            DramCommand::RefreshRow { .. } => "RFM",
         }
     }
 
@@ -85,6 +98,7 @@ impl std::fmt::Display for DramCommand {
             DramCommand::Read { bank, col } => write!(f, "RD b{bank} c{col}"),
             DramCommand::Write { bank, col, .. } => write!(f, "WR b{bank} c{col}"),
             DramCommand::Refresh => write!(f, "REF"),
+            DramCommand::RefreshRow { bank, row } => write!(f, "RFM b{bank} r{row}"),
         }
     }
 }
@@ -115,5 +129,14 @@ mod tests {
         assert_eq!(wr.to_string(), "WR b0 c5");
         assert!(wr.is_column());
         assert!(!DramCommand::PrechargeAll.is_column());
+    }
+
+    #[test]
+    fn refresh_row_is_bank_scoped() {
+        let rfm = DramCommand::RefreshRow { bank: 2, row: 17 };
+        assert_eq!(rfm.bank(), Some(2));
+        assert_eq!(rfm.mnemonic(), "RFM");
+        assert_eq!(rfm.to_string(), "RFM b2 r17");
+        assert!(!rfm.is_column());
     }
 }

@@ -80,6 +80,64 @@ pub fn hash_range(seed: u64, tag: &[u8], coords: &[u64], lo: u64, hi: u64) -> u6
     lo + hash_coords(seed, tag, coords) % span
 }
 
+/// A small deterministic sequential RNG (xorshift64) for the places that
+/// need a *stream* of draws rather than order-independent coordinate hashes:
+/// workload shuffles, probabilistic controller policies (PARA coin flips),
+/// and similar. Every probabilistic draw in the suite routes through either
+/// this stream or the coordinate hashes above — never an ad-hoc inline
+/// generator — so whole-system runs stay reproducible.
+///
+/// # Example
+///
+/// ```
+/// use easydram_dram::det::DetRng;
+/// let mut a = DetRng::new(7);
+/// let mut b = DetRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// The historical default stream seed (golden-ratio constant) used by
+    /// the suite's shuffled workloads.
+    pub const DEFAULT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// Creates a stream from `seed`. A zero seed is remapped through
+    /// [`splitmix64`] (xorshift has a zero fixed point; mapping it to a
+    /// hash rather than to [`DetRng::DEFAULT_SEED`] keeps seed 0 from
+    /// silently aliasing another valid seed's stream).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { splitmix64(0) } else { seed },
+        }
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+
+    /// The next draw mapped to `[0, 1)`.
+    pub fn next01(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fisher–Yates shuffles `xs` in place using this stream.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +199,39 @@ mod tests {
     #[test]
     fn hash_range_single_value() {
         assert_eq!(hash_range(7, b"hr", &[1], 5, 5), 5);
+    }
+
+    #[test]
+    fn det_rng_streams_reproduce_and_separate_by_seed() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        let mut c = DetRng::new(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        assert!((0.0..1.0).contains(&DetRng::new(9).next01()));
+    }
+
+    #[test]
+    fn det_rng_shuffle_is_a_permutation() {
+        let mut rng = DetRng::new(DetRng::DEFAULT_SEED);
+        let mut xs: Vec<u64> = (0..64).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(xs, (0..64).collect::<Vec<_>>(), "shuffle must move things");
+    }
+
+    #[test]
+    fn zero_seed_is_remapped_without_aliasing() {
+        assert_ne!(DetRng::new(0).next_u64(), 0);
+        assert_ne!(
+            DetRng::new(0).next_u64(),
+            DetRng::new(DetRng::DEFAULT_SEED).next_u64(),
+            "seed 0 must not silently share another seed's stream"
+        );
     }
 }

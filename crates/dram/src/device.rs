@@ -74,6 +74,23 @@ struct RowBuffer {
     dirty: bool,
 }
 
+/// Number of rows on each side of a hammered row that can flip (paper-lineage
+/// blast radius: RowHammer disturbs up to two physically adjacent rows).
+pub const BLAST_RADIUS: u32 = 2;
+
+/// In-bounds rows within `radius` of `row` on both sides, nearest first
+/// (the row itself excluded). The one neighbor enumeration shared by flip
+/// injection, RFM counter bookkeeping, and controller mitigation policies,
+/// so the neighborhood semantics stay coherent across layers.
+pub fn blast_neighbors(row: u32, rows_per_bank: u32, radius: u32) -> impl Iterator<Item = u32> {
+    (1..=radius).flat_map(move |d| {
+        [row.checked_sub(d), row.checked_add(d)]
+            .into_iter()
+            .flatten()
+            .filter(move |&v| v < rows_per_bank)
+    })
+}
+
 /// The modeled DDR4 rank.
 #[derive(Debug, Clone)]
 pub struct DramDevice {
@@ -86,6 +103,16 @@ pub struct DramDevice {
     nonce: u64,
     rank_last_ref_ps: u64,
     stats: DeviceStats,
+    /// Activation count of each row within the current refresh window,
+    /// keyed `(bank, row)`. Only populated when disturbance modeling is on;
+    /// cleared by `REF` (or by `t_refw` elapsing — see
+    /// [`DramDevice::note_hammer`]), pruned per-neighborhood by `RFM`.
+    hammer_counts: HashMap<(u32, u32), u64>,
+    /// Start of the current hammer window, ps.
+    hammer_window_start_ps: u64,
+    /// Lifetime ACT count per bank (surfaced into per-channel reports so
+    /// contention and hammering hot spots are visible).
+    acts_per_bank: Vec<u64>,
 }
 
 impl DramDevice {
@@ -111,6 +138,9 @@ impl DramDevice {
             nonce: 0,
             rank_last_ref_ps: 0,
             stats: DeviceStats::default(),
+            hammer_counts: HashMap::new(),
+            hammer_window_start_ps: 0,
+            acts_per_bank: vec![0; banks],
         }
     }
 
@@ -150,6 +180,19 @@ impl DramDevice {
         self.rank.open_row(bank)
     }
 
+    /// Activations of `(bank, row)` within the current refresh window.
+    /// Always 0 when disturbance modeling is off.
+    #[must_use]
+    pub fn hammer_count(&self, bank: u32, row: u32) -> u64 {
+        self.hammer_counts.get(&(bank, row)).copied().unwrap_or(0)
+    }
+
+    /// Lifetime ACT count of every bank, indexed by flat bank.
+    #[must_use]
+    pub fn acts_per_bank(&self) -> &[u64] {
+        &self.acts_per_bank
+    }
+
     /// Earliest time `cmd` would satisfy all timing rules.
     #[must_use]
     pub fn earliest_issue_ps(&self, cmd: &DramCommand) -> u64 {
@@ -173,7 +216,9 @@ impl DramDevice {
             }
         }
         match *cmd {
-            DramCommand::Activate { row, .. } if row >= g.rows_per_bank => {
+            DramCommand::Activate { row, .. } | DramCommand::RefreshRow { row, .. }
+                if row >= g.rows_per_bank =>
+            {
                 Err(DramError::OutOfRange {
                     what: "row",
                     value: u64::from(row),
@@ -384,6 +429,8 @@ impl DramDevice {
         match cmd {
             DramCommand::Activate { bank, row } => {
                 self.stats.activates += 1;
+                self.acts_per_bank[bank as usize] += 1;
+                self.note_hammer(bank, row);
                 out.completion_ps = now_ps + self.cfg.timing.t_rcd_ps;
                 // Implicit data loss if ACT lands on an open bank.
                 if out
@@ -458,10 +505,117 @@ impl DramDevice {
                 // controller timeline charges tRFC every tREFI either way;
                 // retention tests only distinguish refreshed vs. not.
                 self.rank_last_ref_ps = now_ps;
+                // Refreshing every row closes the disturbance window: all
+                // per-row activation counters reset. (This device models one
+                // rank-folded channel, so a rank-level REF covers everything
+                // it holds; ranks of a multi-rank channel share the fold.)
+                self.hammer_counts.clear();
+                self.hammer_window_start_ps = now_ps;
+                self.rank.apply(&cmd, now_ps);
+            }
+            DramCommand::RefreshRow { bank, row } => {
+                self.stats.targeted_refreshes += 1;
+                out.completion_ps = now_ps + self.cfg.timing.t_rfm_ps;
+                // An RFM on an open bank tramples the sense amplifiers with
+                // its internal activation: the open buffer is lost without
+                // restore, mirroring the illegal-ACT consequence.
+                if out
+                    .violations
+                    .iter()
+                    .any(|v| v.rule == TimingRule::RefWithOpenRows)
+                {
+                    self.row_buffers[bank as usize] = None;
+                }
+                let now = self.now_ps;
+                self.row_entry(bank, row).last_restore_ps = now;
+                // Restoring the row's cells neutralizes the disturbance its
+                // neighborhood accumulated: the window counters of `row` and
+                // of every row whose blast radius covers it reset.
+                // Mitigations refresh every victim of a detected aggressor
+                // in one action, so this conservative neighborhood reset
+                // matches RFM-style bookkeeping.
+                if self.cfg.variation.disturb_enabled {
+                    let rows = self.cfg.geometry.rows_per_bank;
+                    self.hammer_counts.remove(&(bank, row));
+                    for r in blast_neighbors(row, rows, BLAST_RADIUS) {
+                        self.hammer_counts.remove(&(bank, r));
+                    }
+                }
                 self.rank.apply(&cmd, now_ps);
             }
         }
         out
+    }
+
+    /// Read-disturbance bookkeeping for one ACT: counts the activation in
+    /// the refresh window and, once the row's count exceeds its seeded
+    /// `HCfirst`, deterministically flips victim bits within the
+    /// ±[`BLAST_RADIUS`]-row, same-subarray neighborhood (sense-amplifier
+    /// stripes isolate subarrays). Flips are sticky array corruption — a
+    /// later refresh restores whatever (corrupt) value is stored, exactly
+    /// like real RowHammer — so mitigation must refresh victims *before*
+    /// the threshold is reached.
+    fn note_hammer(&mut self, bank: u32, row: u32) {
+        if !self.cfg.variation.disturb_enabled {
+            return;
+        }
+        // Windows also close by time: real refresh walks every row once per
+        // tREFW, so counters older than one refresh window encode damage
+        // that periodic refresh has already undone. Controllers never relay
+        // the timeline's periodic REF to the device, so without this expiry
+        // a long benign run would accumulate phantom hammer pressure across
+        // refresh windows. (Like the explicit REF path, expiry closes the
+        // whole rank-folded window at once.)
+        if self.now_ps.saturating_sub(self.hammer_window_start_ps) >= self.cfg.timing.t_refw_ps {
+            self.hammer_counts.clear();
+            self.hammer_window_start_ps = self.now_ps;
+        }
+        let count = {
+            let c = self.hammer_counts.entry((bank, row)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if count <= self.variation.hc_first(bank, row) {
+            return;
+        }
+        let g = self.cfg.geometry.clone();
+        let seed = self.cfg.variation.seed;
+        let window = self.hammer_window_start_ps;
+        for victim in blast_neighbors(row, g.rows_per_bank, BLAST_RADIUS) {
+            // Sense-amplifier stripes isolate subarrays: disturbance never
+            // crosses a subarray boundary.
+            if g.subarray_of(victim) != g.subarray_of(row) {
+                continue;
+            }
+            if !self
+                .variation
+                .disturb_flips(bank, victim, row, count, window)
+            {
+                continue;
+            }
+            let h = hash_coords(
+                seed,
+                b"rh-bit",
+                &[
+                    u64::from(bank),
+                    u64::from(victim),
+                    u64::from(row),
+                    count,
+                    window,
+                ],
+            );
+            let entry = self.row_entry(bank, victim);
+            let byte = (h as usize / 8) % entry.bytes.len();
+            let bit = 1u8 << (h % 8);
+            entry.bytes[byte] ^= bit;
+            // Keep an open buffer on this row coherent with the array.
+            if let Some(buf) = &mut self.row_buffers[bank as usize] {
+                if buf.row == victim {
+                    buf.data[byte] ^= bit;
+                }
+            }
+            self.stats.disturbance_flips += 1;
+        }
     }
 
     fn perform_rowclone(&mut self, bank: u32, src: u32, dst: u32, now_ps: u64) -> RowCloneOutcome {
@@ -835,6 +989,159 @@ mod tests {
             .issue_raw(DramCommand::Read { bank: 0, col: 0 }, at + t().t_rcd_ps)
             .unwrap();
         assert_eq!(out.read_data, Some(line));
+    }
+
+    fn disturb_dev(hc: (u64, u64), flip_milli: u32) -> DramDevice {
+        let mut cfg = DramConfig::small_for_tests();
+        cfg.variation.disturb_enabled = true;
+        cfg.variation.hc_first = hc;
+        cfg.variation.disturb_flip_milli = flip_milli;
+        DramDevice::new(cfg)
+    }
+
+    /// ACT/PRE `row` of bank 0 `n` times with legal spacing, from `start`.
+    /// Returns the device time after the last precharge.
+    fn hammer(d: &mut DramDevice, row: u32, n: u64, start: u64) -> u64 {
+        let t = t();
+        let mut now = start.max(d.now_ps());
+        for _ in 0..n {
+            d.issue_raw(DramCommand::Activate { bank: 0, row }, now)
+                .unwrap();
+            now += t.t_ras_ps;
+            d.issue_raw(DramCommand::Precharge { bank: 0 }, now)
+                .unwrap();
+            now += t.t_rp_ps;
+        }
+        now
+    }
+
+    #[test]
+    fn hammering_beyond_hc_first_flips_only_the_blast_radius() {
+        let mut d = disturb_dev((8, 16), 500);
+        let victim_rows: Vec<u32> = (60..=70).collect();
+        let pattern = vec![0u8; 8192];
+        for &r in &victim_rows {
+            d.write_row(0, r, &pattern);
+        }
+        let hc = d.variation().hc_first(0, 65);
+        assert!(hc <= 16);
+        hammer(&mut d, 65, hc + 200, 0);
+        assert!(
+            d.stats().disturbance_flips > 0,
+            "sustained over-threshold hammering must flip victim bits"
+        );
+        for &r in &victim_rows {
+            let dirty = d.row_data(0, r).iter().any(|&b| b != 0);
+            if r.abs_diff(65) == 0 || r.abs_diff(65) > BLAST_RADIUS {
+                assert!(!dirty, "row {r} is outside the blast radius");
+            }
+        }
+        // The adjacent victims took the damage.
+        let near_dirty = [64u32, 66]
+            .iter()
+            .any(|&r| d.row_data(0, r).iter().any(|&b| b != 0));
+        assert!(near_dirty, "±1 rows must carry flips");
+    }
+
+    #[test]
+    fn refresh_resets_the_hammer_window() {
+        let mut d = disturb_dev((8, 16), 500);
+        let hc = d.variation().hc_first(0, 65);
+        let now = hammer(&mut d, 65, hc, 0);
+        assert_eq!(d.hammer_count(0, 65), hc);
+        d.issue_raw(DramCommand::Refresh, now).unwrap();
+        assert_eq!(d.hammer_count(0, 65), 0, "REF closes the window");
+        // Post-refresh hammering starts a fresh count: staying at or below
+        // the threshold flips nothing.
+        let pattern = vec![0u8; 8192];
+        for r in 63..=67 {
+            d.write_row(0, r, &pattern);
+        }
+        hammer(&mut d, 65, hc, now + t().t_rfc_ps);
+        assert_eq!(d.stats().disturbance_flips, 0);
+    }
+
+    #[test]
+    fn targeted_refresh_resets_the_neighborhood_and_occupies_the_bank() {
+        let mut d = disturb_dev((8, 16), 500);
+        let hc = d.variation().hc_first(0, 65);
+        let now = hammer(&mut d, 65, hc, 0);
+        // RFM on the adjacent victim resets the aggressor's counter (the
+        // aggressor sits inside the victim's ±2 neighborhood)…
+        let out = d
+            .issue_raw(DramCommand::RefreshRow { bank: 0, row: 66 }, now)
+            .unwrap();
+        assert!(out.violations.is_empty());
+        assert_eq!(out.completion_ps, now + t().t_rfm_ps);
+        assert_eq!(d.hammer_count(0, 65), 0);
+        assert_eq!(d.stats().targeted_refreshes, 1);
+        // …and a far row's counter survives.
+        let far = hammer(&mut d, 200, 5, now + t().t_rfm_ps);
+        d.issue_raw(DramCommand::RefreshRow { bank: 0, row: 100 }, far)
+            .unwrap();
+        assert_eq!(d.hammer_count(0, 200), 5);
+    }
+
+    #[test]
+    fn hammer_window_expires_after_t_refw_without_an_explicit_ref() {
+        // Controllers charge periodic refresh on the emulated timeline
+        // without relaying REF commands to the device; the window must
+        // still close once tREFW of device time elapses, or long benign
+        // runs would accumulate phantom hammer pressure.
+        let mut d = disturb_dev((8, 16), 500);
+        let now = hammer(&mut d, 65, 5, 0);
+        assert_eq!(d.hammer_count(0, 65), 5);
+        let past_window = now + t().t_refw_ps;
+        hammer(&mut d, 65, 1, past_window);
+        assert_eq!(
+            d.hammer_count(0, 65),
+            1,
+            "the stale window must expire, counting only the fresh ACT"
+        );
+    }
+
+    #[test]
+    fn refresh_row_bounds_checked_like_activate() {
+        let mut d = dev();
+        let err = d
+            .issue_raw(
+                DramCommand::RefreshRow {
+                    bank: 0,
+                    row: 1 << 30,
+                },
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DramError::OutOfRange { what: "row", .. }));
+        assert_eq!(d.stats().targeted_refreshes, 0, "nothing executed");
+    }
+
+    #[test]
+    fn blast_neighbors_clamp_to_the_bank() {
+        let xs: Vec<u32> = blast_neighbors(0, 1_024, BLAST_RADIUS).collect();
+        assert_eq!(xs, vec![1, 2], "low edge keeps only the high side");
+        let xs: Vec<u32> = blast_neighbors(1_023, 1_024, BLAST_RADIUS).collect();
+        assert_eq!(xs, vec![1_022, 1_021], "high edge keeps only the low side");
+        let xs: Vec<u32> = blast_neighbors(10, 1_024, 1).collect();
+        assert_eq!(xs, vec![9, 11], "radius 1 covers exactly the adjacent rows");
+    }
+
+    #[test]
+    fn disturbance_off_keeps_no_counters() {
+        let mut d = dev();
+        hammer(&mut d, 65, 50, 0);
+        assert_eq!(d.hammer_count(0, 65), 0);
+        assert_eq!(d.stats().disturbance_flips, 0);
+    }
+
+    #[test]
+    fn acts_per_bank_tracks_activates() {
+        let mut d = dev();
+        hammer(&mut d, 3, 4, 0);
+        let now = d.now_ps();
+        d.issue_raw(DramCommand::Activate { bank: 1, row: 0 }, now + 1_000)
+            .unwrap();
+        assert_eq!(d.acts_per_bank(), &[4, 1]);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod variation;
 pub use address::{AddressMapper, DramAddress, MappingScheme};
 pub use command::{DramCommand, LINE_BYTES};
 pub use config::{DramConfig, Geometry};
-pub use device::{CmdOutcome, DramDevice, RowCloneOutcome};
+pub use device::{blast_neighbors, CmdOutcome, DramDevice, RowCloneOutcome, BLAST_RADIUS};
 pub use error::{DramError, TimingRule, TimingViolation};
 pub use stats::DeviceStats;
 pub use timing::TimingParams;

@@ -23,6 +23,10 @@ pub struct DeviceStats {
     pub reduced_trcd_reads: u64,
     /// RD commands that returned corrupted data (for any reason).
     pub corrupted_reads: u64,
+    /// Targeted per-row refresh (RFM) commands issued.
+    pub targeted_refreshes: u64,
+    /// Victim bits flipped by read disturbance (RowHammer).
+    pub disturbance_flips: u64,
 }
 
 impl std::ops::AddAssign for DeviceStats {
@@ -39,6 +43,8 @@ impl std::ops::AddAssign for DeviceStats {
         self.rowclone_successes += rhs.rowclone_successes;
         self.reduced_trcd_reads += rhs.reduced_trcd_reads;
         self.corrupted_reads += rhs.corrupted_reads;
+        self.targeted_refreshes += rhs.targeted_refreshes;
+        self.disturbance_flips += rhs.disturbance_flips;
     }
 }
 
@@ -46,7 +52,12 @@ impl DeviceStats {
     /// Total commands issued.
     #[must_use]
     pub fn commands(&self) -> u64 {
-        self.activates + self.precharges + self.reads + self.writes + self.refreshes
+        self.activates
+            + self.precharges
+            + self.reads
+            + self.writes
+            + self.refreshes
+            + self.targeted_refreshes
     }
 
     /// Fraction of RowClone attempts that succeeded, or `None` if there were
@@ -72,7 +83,17 @@ impl std::fmt::Display for DeviceStats {
             self.rowclone_successes,
             self.rowclone_attempts,
             self.corrupted_reads,
-        )
+        )?;
+        // Disturbance counters appear only when the model is exercised, so
+        // default-config reports stay byte-identical (snapshot-pinned).
+        if self.disturbance_flips > 0 || self.targeted_refreshes > 0 {
+            write!(
+                f,
+                " | rh flips {} rfm {}",
+                self.disturbance_flips, self.targeted_refreshes,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -96,5 +117,21 @@ mod tests {
         assert_eq!(s.rowclone_success_rate(), Some(0.75));
         assert_eq!(DeviceStats::default().rowclone_success_rate(), None);
         assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn disturbance_counters_render_only_when_exercised() {
+        let mut s = DeviceStats {
+            activates: 1,
+            ..DeviceStats::default()
+        };
+        assert!(
+            !s.to_string().contains("rh flips"),
+            "quiet devices keep the historical format"
+        );
+        s.disturbance_flips = 3;
+        s.targeted_refreshes = 2;
+        assert!(s.to_string().contains("rh flips 3 rfm 2"));
+        assert_eq!(s.commands(), 3, "RFM counts as a command");
     }
 }

@@ -43,6 +43,10 @@ pub struct TimingParams {
     pub t_faw_ps: u64,
     /// Refresh command duration.
     pub t_rfc_ps: u64,
+    /// Targeted per-row refresh duration (RFM-style victim refresh): the
+    /// bank internally activates and restores one row, so the cost is on
+    /// the order of one row cycle, not a full all-bank tRFC.
+    pub t_rfm_ps: u64,
     /// Average refresh command interval (7.8 µs for DDR4, §2.2).
     pub t_refi_ps: u64,
     /// Refresh window: every row must be refreshed at least this often
@@ -72,6 +76,7 @@ impl TimingParams {
             t_rrd_s_ps: 6_000,
             t_faw_ps: 35_000,
             t_rfc_ps: 350_000,
+            t_rfm_ps: 60_000,
             t_refi_ps: 7_800_000,
             t_refw_ps: 64_000_000_000,
             t_burst_ps: 6_000,
@@ -97,6 +102,7 @@ impl TimingParams {
             t_rrd_s_ps: 3_300,
             t_faw_ps: 21_000,
             t_rfc_ps: 350_000,
+            t_rfm_ps: 50_000,
             t_refi_ps: 7_800_000,
             t_refw_ps: 64_000_000_000,
             t_burst_ps: 3_332,
@@ -152,6 +158,9 @@ impl TimingParams {
         }
         if self.t_burst_ps == 0 {
             return Err("burst duration must be non-zero".into());
+        }
+        if self.t_rfm_ps == 0 {
+            return Err("targeted-refresh duration must be non-zero".into());
         }
         Ok(())
     }

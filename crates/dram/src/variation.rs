@@ -60,6 +60,21 @@ pub struct VariationConfig {
     pub pair_flaky_milli: u32,
     /// Maximum per-trial failure rate (in 1/1000) of a flaky pair.
     pub pair_flaky_max_fail_milli: u32,
+    /// When `true`, the device models read disturbance (RowHammer): every
+    /// activation counts against the row's [`VariationModel::hc_first`]
+    /// threshold within the current refresh window, and exceeding it injects
+    /// bit flips into the ±2-row blast radius. Off by default so existing
+    /// reports stay byte-identical.
+    pub disturb_enabled: bool,
+    /// Range of the seed-derived per-row disturbance threshold `HCfirst`
+    /// (activations within one refresh window before neighbors start
+    /// flipping). Real DDR4 rows sit in the tens of thousands; evaluation
+    /// rigs shrink the range so attacks stay cheap to emulate.
+    pub hc_first: (u64, u64),
+    /// Probability (in 1/1000) that one over-threshold activation flips a
+    /// bit in an adjacent (±1) victim row; ±2 rows flip at a quarter of
+    /// this rate.
+    pub disturb_flip_milli: u32,
 }
 
 impl Default for VariationConfig {
@@ -76,6 +91,9 @@ impl Default for VariationConfig {
             pair_always_milli: 800,
             pair_flaky_milli: 150,
             pair_flaky_max_fail_milli: 200,
+            disturb_enabled: false,
+            hc_first: (16_384, 65_536),
+            disturb_flip_milli: 100,
         }
     }
 }
@@ -241,6 +259,62 @@ impl VariationModel {
             b"trcd-trial",
             &[u64::from(bank), u64::from(row), u64::from(col), nonce],
         ) >= 1.0 - p_fail
+    }
+
+    /// The row's read-disturbance threshold `HCfirst`: how many activations
+    /// of this row within one refresh window its neighborhood tolerates
+    /// before victim bits start flipping. `u64::MAX` (never) when
+    /// disturbance modeling is off.
+    ///
+    /// Rows inside weak clusters tolerate up to 50 % fewer activations,
+    /// mirroring the observed spatial correlation between retention/tRCD
+    /// weakness and hammer susceptibility.
+    #[must_use]
+    pub fn hc_first(&self, bank: u32, row: u32) -> u64 {
+        if !self.cfg.disturb_enabled {
+            return u64::MAX;
+        }
+        let base = hash_range(
+            self.cfg.seed,
+            b"hc-first",
+            &[u64::from(bank), u64::from(row)],
+            self.cfg.hc_first.0,
+            self.cfg.hc_first.1,
+        );
+        let weakness = self.blob_extra_ps(bank, row).min(1_000);
+        (base - base * weakness / 2_000).max(1)
+    }
+
+    /// Decides whether one over-threshold activation flips a bit in the
+    /// victim at `distance` rows from the hammered row. `count` is the
+    /// aggressor's window activation count and `window` identifies the
+    /// refresh window (the device passes its start time): the draw differs
+    /// per overage activation *and* per window, so sustained hammering
+    /// accumulates flips deterministically without a later window replaying
+    /// — and thereby XOR-cancelling — an earlier window's exact bit set.
+    #[must_use]
+    pub fn disturb_flips(
+        &self,
+        bank: u32,
+        victim: u32,
+        aggressor: u32,
+        count: u64,
+        window: u64,
+    ) -> bool {
+        let distance = u64::from(victim.abs_diff(aggressor));
+        debug_assert!((1..=2).contains(&distance), "outside the blast radius");
+        let p = f64::from(self.cfg.disturb_flip_milli) / 1_000.0 / ((distance * distance) as f64);
+        hash01(
+            self.cfg.seed,
+            b"rh-flip",
+            &[
+                u64::from(bank),
+                u64::from(victim),
+                u64::from(aggressor),
+                count,
+                window,
+            ],
+        ) < p
     }
 
     /// Reliability class of a RowClone pair `(src → dst)` in `bank`.
@@ -460,6 +534,48 @@ mod tests {
             }
         }
         assert!(checked > 50);
+    }
+
+    #[test]
+    fn hc_first_defaults_off_and_is_bounded_when_enabled() {
+        let m = model();
+        assert_eq!(m.hc_first(0, 10), u64::MAX, "disturbance is off by default");
+        let cfg = VariationConfig {
+            disturb_enabled: true,
+            hc_first: (1_000, 4_000),
+            ..VariationConfig::default()
+        };
+        let m = VariationModel::new(cfg, Geometry::default());
+        for row in (0..4096).step_by(31) {
+            let hc = m.hc_first(0, row);
+            assert!(hc >= 500, "weak-cluster bias halves at most: {hc}");
+            assert!(hc <= 4_000, "threshold above the configured ceiling: {hc}");
+            assert_eq!(hc, m.hc_first(0, row), "deterministic");
+        }
+    }
+
+    #[test]
+    fn disturb_flip_draws_favor_near_victims() {
+        let cfg = VariationConfig {
+            disturb_enabled: true,
+            disturb_flip_milli: 200,
+            ..VariationConfig::default()
+        };
+        let m = VariationModel::new(cfg, Geometry::default());
+        let near = (0..5_000)
+            .filter(|&c| m.disturb_flips(0, 101, 100, c, 0))
+            .count();
+        let far = (0..5_000)
+            .filter(|&c| m.disturb_flips(0, 102, 100, c, 0))
+            .count();
+        assert!(
+            near > 0,
+            "adjacent victims must flip under sustained hammering"
+        );
+        assert!(
+            near > 2 * far,
+            "±1 rows must flip well above the ±2 rate: {near} vs {far}"
+        );
     }
 
     #[test]

@@ -181,6 +181,87 @@ proptest! {
         prop_assert!(!v.rowclone_ok(bank, src, dst, nonce));
     }
 
+    /// Hammer-window counters count every ACT and reset exactly at each
+    /// refresh boundary: k activations before a REF leave a count of k, the
+    /// REF zeroes it, and m activations after leave exactly m.
+    #[test]
+    fn hammer_window_resets_exactly_at_refresh(
+        row in 5u32..120,
+        k in 1u64..40,
+        m in 1u64..40,
+    ) {
+        let mut cfg = DramConfig::small_for_tests();
+        cfg.variation.disturb_enabled = true;
+        cfg.variation.hc_first = (1_000, 2_000); // never exceeded here
+        let mut dev = DramDevice::new(cfg);
+        let t = dev.timing().clone();
+        let mut now = 0u64;
+        let act_pre = |dev: &mut DramDevice, n: u64, now: &mut u64| {
+            for _ in 0..n {
+                dev.issue_raw(DramCommand::Activate { bank: 0, row }, *now).unwrap();
+                *now += t.t_ras_ps;
+                dev.issue_raw(DramCommand::Precharge { bank: 0 }, *now).unwrap();
+                *now += t.t_rp_ps;
+            }
+        };
+        act_pre(&mut dev, k, &mut now);
+        prop_assert_eq!(dev.hammer_count(0, row), k);
+        dev.issue_raw(DramCommand::Refresh, now).unwrap();
+        now += t.t_rfc_ps;
+        prop_assert_eq!(dev.hammer_count(0, row), 0, "REF closes the window");
+        act_pre(&mut dev, m, &mut now);
+        prop_assert_eq!(dev.hammer_count(0, row), m, "fresh window counts from zero");
+    }
+
+    /// Blast-radius safety: hammering one row never flips bits outside its
+    /// ±2-row neighborhood, and flips nothing anywhere while the window
+    /// count stays at or below the row's `HCfirst`.
+    #[test]
+    fn blast_radius_never_exceeds_two_rows_or_fires_below_threshold(
+        row in 10u32..110,
+        extra in 0u64..40,
+    ) {
+        let mut cfg = DramConfig::small_for_tests();
+        cfg.variation.disturb_enabled = true;
+        cfg.variation.hc_first = (8, 16);
+        cfg.variation.disturb_flip_milli = 400; // flips arrive fast past HCfirst
+        let mut dev = DramDevice::new(cfg);
+        let t = dev.timing().clone();
+        let hc = dev.variation().hc_first(0, row);
+        let zero = vec![0u8; 8192];
+        let lo = row - 5;
+        let hi = row + 5;
+        for r in lo..=hi {
+            dev.write_row(0, r, &zero);
+        }
+        // Phase 1: stay at the threshold — nothing may flip anywhere.
+        let mut now = 0u64;
+        for _ in 0..hc {
+            dev.issue_raw(DramCommand::Activate { bank: 0, row }, now).unwrap();
+            now += t.t_ras_ps;
+            dev.issue_raw(DramCommand::Precharge { bank: 0 }, now).unwrap();
+            now += t.t_rp_ps;
+        }
+        prop_assert_eq!(dev.stats().disturbance_flips, 0, "at-threshold is safe");
+        for r in lo..=hi {
+            prop_assert!(dev.row_data(0, r).iter().all(|&b| b == 0), "row {} clean", r);
+        }
+        // Phase 2: exceed it — damage stays inside ±2 rows (and inside the
+        // hammered row's subarray).
+        for _ in 0..extra {
+            dev.issue_raw(DramCommand::Activate { bank: 0, row }, now).unwrap();
+            now += t.t_ras_ps;
+            dev.issue_raw(DramCommand::Precharge { bank: 0 }, now).unwrap();
+            now += t.t_rp_ps;
+        }
+        for r in lo..=hi {
+            let clean = dev.row_data(0, r).iter().all(|&b| b == 0);
+            if r.abs_diff(row) == 0 || r.abs_diff(row) > easydram_dram::BLAST_RADIUS {
+                prop_assert!(clean, "row {} outside the blast radius was flipped", r);
+            }
+        }
+    }
+
     /// Raw issue never panics and always reports violations consistently
     /// with the checker.
     #[test]

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hammer;
 pub mod lmbench;
 pub mod micro;
 pub mod multiprog;
@@ -29,6 +30,7 @@ pub mod polybench;
 pub mod util;
 
 pub use easydram_cpu::Workload;
+pub use hammer::{HammerKernel, HammerPattern, HammerPlan};
 pub use multiprog::StreamWriter;
 
 /// Problem-size class for PolyBench kernels.

@@ -7,6 +7,7 @@
 //! the working set grows — exactly the profile Fig. 8 plots.
 
 use easydram_cpu::CpuApi;
+use easydram_dram::det::DetRng;
 
 use crate::Workload;
 
@@ -107,17 +108,12 @@ impl Workload for LatMemRd {
         // Build the chain. Default: element i points to element i+1, last
         // wraps to 0 (lmbench walks a strided chain; with no prefetcher in
         // the model a forward stride measures raw dependent-load latency).
-        // Shuffled: a deterministic Fisher–Yates permutation cycle, so the
-        // walk has no spatial or row-buffer locality.
+        // Shuffled: a deterministic Fisher–Yates permutation cycle (drawn
+        // from the suite-wide `DetRng` stream, same permutation as ever),
+        // so the walk has no spatial or row-buffer locality.
         let order: Vec<u64> = if self.shuffled {
             let mut order: Vec<u64> = (0..n).collect();
-            let mut state = 0x9E37_79B9_7F4A_7C15u64;
-            for i in (1..n as usize).rev() {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                order.swap(i, (state % (i as u64 + 1)) as usize);
-            }
+            DetRng::new(DetRng::DEFAULT_SEED).shuffle(&mut order);
             order
         } else {
             (0..n).collect()

@@ -13,7 +13,9 @@
 //! * [`co_run_set`] — builds a named multi-programmed set.
 
 use easydram_cpu::CpuApi;
+use easydram_dram::{DramConfig, MappingScheme};
 
+use crate::hammer::{HammerKernel, HammerPattern};
 use crate::{lmbench::LatMemRd, micro, polybench, PolySize, Workload};
 
 /// A streaming-store bandwidth aggressor.
@@ -119,9 +121,36 @@ pub const WRITER_BYTES: u64 = 2 * 1024 * 1024;
 /// Default emulated-cycle budget of the named `stream-writer` aggressor.
 pub const WRITER_TARGET_CYCLES: u64 = 20_000_000;
 
+/// Bank the named hammer kernels attack (channel 0).
+pub const HAMMER_BANK: u32 = 0;
+
+/// Victim row of the named hammer kernels: high in the small test
+/// geometry's bank, far above the bump allocator's working region, so a
+/// co-running victim workload's heap never collides with the attack rows.
+pub const HAMMER_VICTIM_ROW: u32 = 900;
+
+/// Activations per aggressor the named hammer kernels issue.
+pub const HAMMER_ITERATIONS: u64 = 2_000;
+
+/// The named hammer kernels plan against the small test rig
+/// (`DramConfig::small_for_tests` geometry, the default `RowColBankXor`
+/// mapping); attack studies on other rigs build [`HammerKernel::in_bank`]
+/// explicitly.
+fn hammer_by_pattern(pattern: HammerPattern) -> Box<dyn Workload> {
+    Box::new(HammerKernel::in_bank(
+        &DramConfig::small_for_tests().geometry,
+        MappingScheme::RowColBankXor,
+        HAMMER_BANK,
+        HAMMER_VICTIM_ROW,
+        pattern,
+        HAMMER_ITERATIONS,
+    ))
+}
+
 /// Builds any workload of the suite by name: all 28 PolyBench kernels (at
-/// `size`), `lat_mem_rd`, `cpu-copy`, `cpu-init`, and `stream-writer` (at
-/// their default shapes). `None` for unknown names.
+/// `size`), `lat_mem_rd`, `cpu-copy`, `cpu-init`, `stream-writer`, and the
+/// RowHammer attack kernels `hammer-single` / `hammer-double` /
+/// `hammer-many` (at their default shapes). `None` for unknown names.
 #[must_use]
 pub fn by_name(name: &str, size: PolySize) -> Option<Box<dyn Workload>> {
     match name {
@@ -132,6 +161,9 @@ pub fn by_name(name: &str, size: PolySize) -> Option<Box<dyn Workload>> {
             WRITER_BYTES,
             WRITER_TARGET_CYCLES,
         ))),
+        "hammer-single" => Some(hammer_by_pattern(HammerPattern::SingleSided)),
+        "hammer-double" => Some(hammer_by_pattern(HammerPattern::DoubleSided)),
+        "hammer-many" => Some(hammer_by_pattern(HammerPattern::ManySided(6))),
         _ => polybench::by_name(name, size),
     }
 }
@@ -185,10 +217,20 @@ mod tests {
             "cpu-copy",
             "cpu-init",
             "stream-writer",
+            "hammer-single",
+            "hammer-double",
+            "hammer-many",
         ] {
             assert!(by_name(name, PolySize::Mini).is_some(), "{name} missing");
         }
         assert!(by_name("nonexistent", PolySize::Mini).is_none());
+    }
+
+    #[test]
+    fn hammer_co_run_set_builds_attacker_victim_pairs() {
+        let pair = co_run_set(&["hammer-double", "lat_mem_rd"], PolySize::Mini).unwrap();
+        assert_eq!(pair.len(), 2);
+        assert_eq!(pair[0].name(), "hammer-double");
     }
 
     #[test]
