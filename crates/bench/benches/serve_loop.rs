@@ -1,0 +1,48 @@
+//! Criterion benches for the serve loop's timing back ends: the precomputed
+//! timing-table hot path vs the rule-based oracle checker it replaced.
+//!
+//! The offline criterion shim reports wall-clock means but keeps no saved
+//! baselines, so the ≥[`SIM_SPEED_THRESHOLD`]× regression threshold is
+//! enforced here directly on median timings (same gate as the
+//! `fig14_sim_speed` harness).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use easydram_bench::{
+    median_ns_per_cmd, run_oracle_kernel, run_table_kernel, sim_speed_geometry, sim_speed_stream,
+    SIM_SPEED_THRESHOLD,
+};
+use easydram_dram::TimingParams;
+
+fn serve_loop(c: &mut Criterion) {
+    let commands = 20_000;
+    let geometry = sim_speed_geometry();
+    let timing = TimingParams::ddr4_1333();
+    let stream = sim_speed_stream(commands, &geometry, &timing);
+
+    let mut g = c.benchmark_group("serve_loop");
+    g.throughput(Throughput::Elements(commands as u64));
+    g.bench_function("timing_table", |b| {
+        b.iter(|| black_box(run_table_kernel(&geometry, &timing, &stream)));
+    });
+    g.bench_function("rule_oracle", |b| {
+        b.iter(|| black_box(run_oracle_kernel(&geometry, &timing, &stream)));
+    });
+    g.finish();
+
+    let table_ns = median_ns_per_cmd(5, commands, || {
+        run_table_kernel(&geometry, &timing, &stream)
+    });
+    let oracle_ns = median_ns_per_cmd(5, commands, || {
+        run_oracle_kernel(&geometry, &timing, &stream)
+    });
+    let speedup = oracle_ns / table_ns;
+    println!("serve_loop speedup: {speedup:.2}x (threshold {SIM_SPEED_THRESHOLD:.1}x)");
+    assert!(
+        speedup >= SIM_SPEED_THRESHOLD,
+        "serve-loop regression: timing table is only {speedup:.2}x faster than the oracle \
+         (threshold {SIM_SPEED_THRESHOLD:.1}x)"
+    );
+}
+
+criterion_group!(benches, serve_loop);
+criterion_main!(benches);

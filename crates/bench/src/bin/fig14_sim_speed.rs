@@ -7,9 +7,20 @@
 //! (processor-domain execution + frozen SMC/DRAM-Bender intervals);
 //! Ramulator's is the documented software-simulator cost model, with this
 //! Rust implementation's actually measured host speed printed alongside.
+//!
+//! The harness additionally races the serve loop's two timing back ends —
+//! the precomputed timing-table hot path against the rule-based oracle
+//! checker it replaced — over an identical deterministic command stream,
+//! writes the medians to `target/sim-speed.json`, and **fails (exit 1)**
+//! if the table path is less than [`SIM_SPEED_THRESHOLD`]× faster. This is
+//! the CI regression gate for the hot-path rewrite.
 
 use easydram::{System, SystemConfig, TimingMode};
-use easydram_bench::{geomean, print_table, quick, ramulator};
+use easydram_bench::{
+    geomean, median_ns_per_cmd, print_table, quick, ramulator, run_oracle_kernel, run_table_kernel,
+    sim_speed_geometry, sim_speed_stream, write_sim_speed_json, SIM_SPEED_THRESHOLD,
+};
+use easydram_dram::TimingParams;
 use easydram_workloads::{fig13_names, polybench, PolySize};
 
 fn main() {
@@ -68,4 +79,64 @@ fn main() {
     println!(
         "Shape check: the advantage should peak on the least memory-intensive workload (durbin)."
     );
+
+    serve_loop_regression_gate();
+}
+
+/// Races the timing-table serve-loop kernel against the rule-based oracle
+/// on the same stream, records the result, and exits non-zero when the
+/// speedup regresses below the threshold.
+fn serve_loop_regression_gate() {
+    let (commands, samples) = if quick() { (40_000, 5) } else { (200_000, 7) };
+    let geometry = sim_speed_geometry();
+    let timing = TimingParams::ddr4_1333();
+    let stream = sim_speed_stream(commands, &geometry, &timing);
+
+    // Digest equality doubles as an online differential check: if the table
+    // path ever disagrees with the oracle, the speedup number is meaningless.
+    assert_eq!(
+        run_table_kernel(&geometry, &timing, &stream),
+        run_oracle_kernel(&geometry, &timing, &stream),
+        "table and oracle kernels diverged on the shared stream"
+    );
+
+    let table_ns = median_ns_per_cmd(samples, commands, || {
+        run_table_kernel(&geometry, &timing, &stream)
+    });
+    let oracle_ns = median_ns_per_cmd(samples, commands, || {
+        run_oracle_kernel(&geometry, &timing, &stream)
+    });
+    let speedup = oracle_ns / table_ns;
+    print_table(
+        "Serve-loop kernel: timing table vs rule-based oracle",
+        &["kernel", "ns/cmd (median)", "speedup"],
+        &[
+            vec!["table".into(), format!("{table_ns:.1}"), "1.0x".into()],
+            vec![
+                "oracle".into(),
+                format!("{oracle_ns:.1}"),
+                format!("{speedup:.2}x slower"),
+            ],
+        ],
+    );
+    println!(
+        "\nTiming-table hot path is {speedup:.2}x faster than the rule-based oracle \
+         ({commands} commands, median of {samples} samples; threshold {SIM_SPEED_THRESHOLD:.1}x)."
+    );
+    if let Err(e) = write_sim_speed_json(
+        "target/sim-speed.json",
+        commands,
+        samples,
+        table_ns,
+        oracle_ns,
+    ) {
+        eprintln!("warning: could not write target/sim-speed.json: {e}");
+    }
+    if speedup < SIM_SPEED_THRESHOLD {
+        eprintln!(
+            "FAIL: serve-loop speedup {speedup:.2}x is below the {SIM_SPEED_THRESHOLD:.1}x \
+             regression threshold"
+        );
+        std::process::exit(1);
+    }
 }

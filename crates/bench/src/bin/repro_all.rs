@@ -29,6 +29,7 @@ fn main() {
     std::fs::remove_file("target/channel-sweep.json").ok();
     std::fs::remove_file("target/multicore-contention.json").ok();
     std::fs::remove_file("target/rowhammer.json").ok();
+    std::fs::remove_file("target/sim-speed.json").ok();
     std::fs::remove_file("target/bench-report.json").ok();
     let mut runs: Vec<(String, bool, f64)> = Vec::new();
     for bin in bins {
@@ -58,6 +59,7 @@ fn main() {
             "target/multicore-contention.json",
         ),
         ("rowhammer", "fig_rowhammer", "target/rowhammer.json"),
+        ("sim_speed", "fig14_sim_speed", "target/sim-speed.json"),
     ]
     .into_iter()
     .filter_map(|(key, bin, path)| {
@@ -78,15 +80,15 @@ fn main() {
                 false
             }
         };
-    // Schema-4 contract: the report written by *this* run must self-identify
-    // as schema 4 and, when the rowhammer harness succeeded, carry its
-    // section with the per-cell fields downstream tooling keys on. (The file
-    // was removed up front, so a failed write cannot validate stale data.)
+    // Schema-5 contract: the report written by *this* run must self-identify
+    // as schema 5 and, when the relevant harness succeeded, carry its
+    // section with the fields downstream tooling keys on. (The files were
+    // removed up front, so a failed write cannot validate stale data.)
     if wrote {
         let report = std::fs::read_to_string(report_path).expect("just wrote the report");
         assert!(
-            report.contains("\"schema\": 4"),
-            "bench report must declare schema 4"
+            report.contains("\"schema\": 5"),
+            "bench report must declare schema 5"
         );
         if section_ok("fig_rowhammer") {
             for field in [
@@ -99,11 +101,26 @@ fn main() {
             ] {
                 assert!(
                     report.contains(field),
-                    "schema-4 rowhammer section is missing {field}"
+                    "schema-5 rowhammer section is missing {field}"
                 );
             }
         }
-        println!("bench-report schema 4 validated.");
+        if section_ok("fig14_sim_speed") {
+            for field in [
+                "\"sim_speed\": {",
+                "\"table_ns_per_cmd\"",
+                "\"oracle_ns_per_cmd\"",
+                "\"speedup\"",
+                "\"threshold\"",
+                "\"commands\"",
+            ] {
+                assert!(
+                    report.contains(field),
+                    "schema-5 sim_speed section is missing {field}"
+                );
+            }
+        }
+        println!("bench-report schema 5 validated.");
     }
     let failures: Vec<&str> = runs
         .iter()

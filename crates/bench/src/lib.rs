@@ -12,6 +12,8 @@
 
 use easydram::{System, SystemConfig, TimingMode};
 use easydram_cpu::Workload;
+use easydram_dram::bank::RankTiming;
+use easydram_dram::{DramCommand, Geometry, OracleRankTiming, TimingParams};
 use easydram_ramulator::{RamulatorConfig, RamulatorSystem};
 
 /// KiB.
@@ -172,7 +174,7 @@ pub fn write_bench_report_with_sections(
     if let Some(parent) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut s = String::from("{\n  \"schema\": 4,\n");
+    let mut s = String::from("{\n  \"schema\": 5,\n");
     s.push_str(&format!("  \"quick\": {},\n", quick()));
     for (key, json) in sections {
         s.push_str(&format!("  \"{key}\": {},\n", json.trim()));
@@ -270,7 +272,7 @@ pub struct RowhammerPoint {
 
 /// Writes the `fig_rowhammer` harness's machine-readable record: one object
 /// per (defense × intensity) cell (the `rowhammer` fields of bench-report
-/// schema 4). `repro_all` embeds this file into `target/bench-report.json`
+/// schema 5). `repro_all` embeds this file into `target/bench-report.json`
 /// under `rowhammer`.
 ///
 /// # Errors
@@ -296,6 +298,320 @@ pub fn write_rowhammer_json(path: &str, points: &[RowhammerPoint]) -> Result<(),
         ));
     }
     s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+/// Serve-loop regression threshold enforced by `fig14_sim_speed` and the
+/// `serve_loop` criterion bench: the precomputed timing-table kernel must
+/// stay at least this many times faster than the rule-based oracle checker.
+pub const SIM_SPEED_THRESHOLD: f64 = 2.0;
+
+/// The geometry the sim-speed kernels run on: two ranks folded into the
+/// bank-group dimension ([`Geometry::per_channel`]), i.e. 32 banks across
+/// 8 groups — the largest timing-table scope mix a single channel device
+/// exercises (channel, rank, cross/same bank group, bank, same row).
+#[must_use]
+pub fn sim_speed_geometry() -> Geometry {
+    Geometry {
+        ranks: 2,
+        ..Geometry::default()
+    }
+    .per_channel()
+}
+
+/// One pre-scheduled command of the sim-speed stream, packed to 24 bytes.
+///
+/// A full `(DramCommand, u64)` pair is ~80 bytes (the `Write` variant
+/// carries its 64-byte payload), so a 200 k-command replay buffer would
+/// stream ~16 MB from memory per pass — a shared cost that hides the
+/// legality-decision difference the kernels are racing. The packed form
+/// keeps the buffer cache-resident; both kernels pay the same few-cycle
+/// [`ScheduledCmd::decode`], mirroring the serve loop's own hot decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledCmd {
+    kind: u8,
+    bank: u32,
+    arg: u32,
+    at: u64,
+}
+
+impl ScheduledCmd {
+    const ACT: u8 = 0;
+    const PRE: u8 = 1;
+    const PREA: u8 = 2;
+    const RD: u8 = 3;
+    const WR: u8 = 4;
+    const REF: u8 = 5;
+    const RFM: u8 = 6;
+
+    fn encode(cmd: &DramCommand, at: u64) -> Self {
+        let (kind, bank, arg) = match *cmd {
+            DramCommand::Activate { bank, row } => (Self::ACT, bank, row),
+            DramCommand::Precharge { bank } => (Self::PRE, bank, 0),
+            DramCommand::PrechargeAll => (Self::PREA, 0, 0),
+            DramCommand::Read { bank, col } => (Self::RD, bank, col),
+            DramCommand::Write { bank, col, .. } => (Self::WR, bank, col),
+            DramCommand::Refresh => (Self::REF, 0, 0),
+            DramCommand::RefreshRow { bank, row } => (Self::RFM, bank, row),
+        };
+        Self {
+            kind,
+            bank,
+            arg,
+            at,
+        }
+    }
+
+    /// The command this entry schedules (writes carry a fixed pattern; the
+    /// timing trackers never look at payload bytes).
+    #[must_use]
+    #[inline]
+    pub fn decode(&self) -> DramCommand {
+        match self.kind {
+            Self::ACT => DramCommand::Activate {
+                bank: self.bank,
+                row: self.arg,
+            },
+            Self::PRE => DramCommand::Precharge { bank: self.bank },
+            Self::PREA => DramCommand::PrechargeAll,
+            Self::RD => DramCommand::Read {
+                bank: self.bank,
+                col: self.arg,
+            },
+            Self::WR => DramCommand::Write {
+                bank: self.bank,
+                col: self.arg,
+                data: [0xA5; easydram_dram::LINE_BYTES],
+            },
+            Self::REF => DramCommand::Refresh,
+            _ => DramCommand::RefreshRow {
+                bank: self.bank,
+                row: self.arg,
+            },
+        }
+    }
+
+    /// The issue time the scheduler stamped on this command.
+    #[must_use]
+    #[inline]
+    pub fn issue_ps(&self) -> u64 {
+        self.at
+    }
+}
+
+/// A deterministic pre-scheduled command stream for the sim-speed kernels:
+/// a fixed-seed LCG draws a DDR4-like mix (ACT/RD/WR heavy, occasional
+/// PRE/PREA/REF/RFM) over the whole bank array, inserting the PRE/ACT
+/// commands the protocol's bank state machine requires — a legal stream,
+/// like the ones the SMC's serve loop actually emits. Each command is
+/// stamped with its issue time (`max(prev + tCK, earliest_issue_ps)` — the
+/// scheduler's job, paid once here). Both kernels replay the identical
+/// `(command, issue_ps)` pairs, so their measured work is exactly the
+/// per-command legality decision `DramDevice::execute` makes: an O(1)
+/// table lookup on one side, the full rule walk on the other.
+#[must_use]
+pub fn sim_speed_stream(
+    commands: usize,
+    geometry: &Geometry,
+    timing: &TimingParams,
+) -> Vec<ScheduledCmd> {
+    let banks = u64::from(geometry.banks());
+    let rows = u64::from(geometry.rows_per_bank);
+    let cols = u64::from(geometry.cols_per_row());
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    let mut scheduler = RankTiming::new(geometry.clone(), timing.clone());
+    let mut now = 0u64;
+    let mut out = Vec::with_capacity(commands + commands / 2);
+    let push = |cmd: DramCommand, scheduler: &mut RankTiming, now: &mut u64| {
+        *now = (*now + timing.t_ck_ps).max(scheduler.earliest_issue_ps(&cmd));
+        scheduler.apply(&cmd, *now);
+        ScheduledCmd::encode(&cmd, *now)
+    };
+    // Column-dominant mix with rare refreshes, like real serve-loop traffic
+    // (tREFI is thousands of commands at DDR4 rates; row hits dominate).
+    while out.len() < commands {
+        let kind = next() % 64;
+        let bank = (next() % banks) as u32;
+        let row = (next() % rows) as u32;
+        let col = (next() % cols) as u32;
+        match kind {
+            0..=7 => {
+                if scheduler.open_row(bank).is_some() {
+                    out.push(push(
+                        DramCommand::Precharge { bank },
+                        &mut scheduler,
+                        &mut now,
+                    ));
+                }
+                out.push(push(
+                    DramCommand::Activate { bank, row },
+                    &mut scheduler,
+                    &mut now,
+                ));
+            }
+            8..=33 => {
+                if scheduler.open_row(bank).is_none() {
+                    out.push(push(
+                        DramCommand::Activate { bank, row },
+                        &mut scheduler,
+                        &mut now,
+                    ));
+                }
+                out.push(push(
+                    DramCommand::Read { bank, col },
+                    &mut scheduler,
+                    &mut now,
+                ));
+            }
+            34..=53 => {
+                if scheduler.open_row(bank).is_none() {
+                    out.push(push(
+                        DramCommand::Activate { bank, row },
+                        &mut scheduler,
+                        &mut now,
+                    ));
+                }
+                let wr = DramCommand::Write {
+                    bank,
+                    col,
+                    data: [0xA5; easydram_dram::LINE_BYTES],
+                };
+                out.push(push(wr, &mut scheduler, &mut now));
+            }
+            54..=60 => {
+                out.push(push(
+                    DramCommand::Precharge { bank },
+                    &mut scheduler,
+                    &mut now,
+                ));
+            }
+            61 => {
+                out.push(push(DramCommand::PrechargeAll, &mut scheduler, &mut now));
+            }
+            62 => {
+                out.push(push(DramCommand::PrechargeAll, &mut scheduler, &mut now));
+                out.push(push(DramCommand::Refresh, &mut scheduler, &mut now));
+            }
+            _ => {
+                if scheduler.open_row(bank).is_some() {
+                    out.push(push(
+                        DramCommand::Precharge { bank },
+                        &mut scheduler,
+                        &mut now,
+                    ));
+                }
+                out.push(push(
+                    DramCommand::RefreshRow { bank, row },
+                    &mut scheduler,
+                    &mut now,
+                ));
+            }
+        }
+    }
+    out.truncate(commands);
+    out
+}
+
+/// Replays `stream` through the timing-table hot path ([`RankTiming`]):
+/// each command pays one O(1) [`RankTiming::is_legal`] lookup and only
+/// falls back to enumerating [`RankTiming::check`] violations when illegal
+/// — exactly what `DramDevice::execute` does per command. Returns a state
+/// digest (issue-time XOR plus violation counts) so the optimizer cannot
+/// elide the walk; the digest is bit-identical to [`run_oracle_kernel`]'s
+/// on the same stream.
+#[must_use]
+pub fn run_table_kernel(
+    geometry: &Geometry,
+    timing: &TimingParams,
+    stream: &[ScheduledCmd],
+) -> u64 {
+    let mut rank = RankTiming::new(geometry.clone(), timing.clone());
+    let mut acc = 0u64;
+    for sc in stream {
+        let cmd = sc.decode();
+        let at = sc.issue_ps();
+        if !rank.is_legal(&cmd, at) {
+            acc = acc.wrapping_add(rank.check(&cmd, at).len() as u64);
+        }
+        rank.apply(&cmd, at);
+        acc ^= at;
+    }
+    acc
+}
+
+/// Replays `stream` through the rule-based oracle checker
+/// ([`OracleRankTiming`]): every command enumerates the full
+/// [`OracleRankTiming::check`] rule walk — the pre-table hot path this
+/// rewrite replaced. Returns the same state digest as
+/// [`run_table_kernel`].
+#[must_use]
+pub fn run_oracle_kernel(
+    geometry: &Geometry,
+    timing: &TimingParams,
+    stream: &[ScheduledCmd],
+) -> u64 {
+    let mut rank = OracleRankTiming::new(geometry.clone(), timing.clone());
+    let mut acc = 0u64;
+    for sc in stream {
+        let cmd = sc.decode();
+        let at = sc.issue_ps();
+        acc = acc.wrapping_add(rank.check(&cmd, at).len() as u64);
+        rank.apply(&cmd, at);
+        acc ^= at;
+    }
+    acc
+}
+
+/// Times `kernel` `samples` times and returns the median wall nanoseconds
+/// per command — the robust summary both the fig14 harness and the
+/// `serve_loop` bench report (the criterion shim keeps no baselines, so
+/// regression thresholds are enforced on these medians directly).
+pub fn median_ns_per_cmd(samples: usize, commands: usize, mut kernel: impl FnMut() -> u64) -> f64 {
+    let mut ns: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            std::hint::black_box(kernel());
+            start.elapsed().as_nanos() as f64 / commands.max(1) as f64
+        })
+        .collect();
+    ns.sort_by(f64::total_cmp);
+    ns[ns.len() / 2]
+}
+
+/// Writes the `fig14_sim_speed` harness's machine-readable serve-loop
+/// record (the `sim_speed` fields of bench-report schema 5): stream size,
+/// per-kernel median ns/command, the table-over-oracle speedup, and the
+/// enforced threshold. `repro_all` embeds this file into
+/// `target/bench-report.json` under `sim_speed`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (missing parent directory is created).
+pub fn write_sim_speed_json(
+    path: &str,
+    commands: usize,
+    samples: usize,
+    table_ns_per_cmd: f64,
+    oracle_ns_per_cmd: f64,
+) -> Result<(), std::io::Error> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let speedup = oracle_ns_per_cmd / table_ns_per_cmd;
+    let s = format!(
+        "{{\n  \"commands\": {commands},\n  \"samples\": {samples},\n  \
+         \"table_ns_per_cmd\": {table_ns_per_cmd:.3},\n  \
+         \"oracle_ns_per_cmd\": {oracle_ns_per_cmd:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \"threshold\": {SIM_SPEED_THRESHOLD:.1},\n  \
+         \"pass\": {}\n}}\n",
+        speedup >= SIM_SPEED_THRESHOLD
+    );
     std::fs::write(path, s)
 }
 
@@ -346,7 +662,7 @@ mod tests {
         ];
         write_bench_report(path, &runs).unwrap();
         let s = std::fs::read_to_string(path).unwrap();
-        assert!(s.contains("\"schema\": 4"));
+        assert!(s.contains("\"schema\": 5"));
         assert!(s.contains("\"name\": \"fig8\", \"ok\": true, \"wall_seconds\": 1.250"));
         assert!(s.contains("fig\\\"quoted\\\""), "quotes must be escaped");
         assert_eq!(
@@ -412,6 +728,93 @@ mod tests {
         assert!(s.contains("\"overhead\": 1.050"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sim_speed_kernels_agree_on_the_same_stream() {
+        // The table kernel's digest must be bit-identical to the oracle's:
+        // `is_legal` agrees with "check() is empty" and both sides share the
+        // earliest-issue and state-update math, so any divergence here is a
+        // hot-path correctness bug, not a perf artifact.
+        let geometry = sim_speed_geometry();
+        assert_eq!(geometry.banks(), 32, "two ranks folded into 8 groups");
+        let timing = TimingParams::ddr4_1333();
+        let stream = sim_speed_stream(4_000, &geometry, &timing);
+        assert_eq!(stream.len(), 4_000);
+        assert_eq!(
+            run_table_kernel(&geometry, &timing, &stream),
+            run_oracle_kernel(&geometry, &timing, &stream),
+        );
+        // Determinism: the same arguments always yield the same stream.
+        assert_eq!(stream, sim_speed_stream(4_000, &geometry, &timing));
+    }
+
+    #[test]
+    fn sim_speed_stream_mixes_all_command_kinds() {
+        let geometry = sim_speed_geometry();
+        let timing = TimingParams::ddr4_1333();
+        let stream = sim_speed_stream(2_000, &geometry, &timing);
+        let count = |m: &str| {
+            stream
+                .iter()
+                .filter(|sc| sc.decode().mnemonic() == m)
+                .count()
+        };
+        assert!(
+            stream.windows(2).all(|w| w[0].issue_ps() < w[1].issue_ps()),
+            "issue times are strictly increasing"
+        );
+        assert!(
+            std::mem::size_of::<ScheduledCmd>() <= 24,
+            "the replay buffer must stay cache-resident"
+        );
+        for mnemonic in ["ACT", "RD", "WR", "PRE", "PREA", "REF", "RFM"] {
+            assert!(count(mnemonic) > 0, "stream must exercise {mnemonic}");
+        }
+        assert!(
+            count("ACT") + count("RD") + count("WR") > stream.len() / 2,
+            "the mix stays hot-path heavy"
+        );
+    }
+
+    #[test]
+    fn sim_speed_json_carries_schema5_fields() {
+        let dir = std::env::temp_dir().join("easydram-sim-speed-json-test");
+        let path = dir.join("sim-speed.json");
+        let path = path.to_str().unwrap();
+        write_sim_speed_json(path, 200_000, 7, 10.0, 45.5).unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert!(s.contains("\"commands\": 200000"));
+        assert!(s.contains("\"table_ns_per_cmd\": 10.000"));
+        assert!(s.contains("\"oracle_ns_per_cmd\": 45.500"));
+        assert!(s.contains("\"speedup\": 4.550"));
+        assert!(s.contains("\"threshold\": 2.0"));
+        assert!(s.contains("\"pass\": true"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        write_sim_speed_json(path, 100, 3, 10.0, 15.0).unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert!(
+            s.contains("\"pass\": false"),
+            "sub-threshold speedups must be flagged"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut calls = 0u64;
+        let ns = median_ns_per_cmd(3, 1_000, || {
+            calls += 1;
+            if calls == 2 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            calls
+        });
+        assert_eq!(calls, 3);
+        assert!(
+            ns < 5_000.0,
+            "median must shrug off the one slept sample, got {ns}"
+        );
     }
 
     #[test]

@@ -50,14 +50,14 @@ pub mod system;
 pub mod timeline;
 pub mod timescale;
 
-pub use alloc::RowCloneAllocator;
+pub use alloc::{RowCloneAllocator, Slab};
 pub use bloom::BloomFilter;
 pub use config::{FpgaConfig, SystemConfig, TimingMode};
 pub use costs::SmcCostModel;
 pub use multicore::{CoRunReport, CoreRun, MultiCoreSystem};
 pub use profiling::{ProfileOutcome, TrcdProfiler};
 pub use report::{ExecutionReport, RequestorStats};
-pub use request::{MemRequest, MemResponse, RequestKind, ResponseSlice};
+pub use request::{MemRequest, MemResponse, RequestArena, RequestKind, ResponseSlice};
 pub use smc::easyapi::{ApiSession, EasyApi, TileCtx};
 pub use smc::{
     FcfsController, FrFcfsController, GrapheneController, MitigationStats, ParaController,

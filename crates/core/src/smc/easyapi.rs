@@ -55,12 +55,44 @@ pub struct TileCtx<'a> {
 /// serve-pass counter. One session lives as long as the tile; each serve
 /// pass borrows the tile state as a [`TileCtx`] and opens an [`EasyApi`]
 /// over the accumulated stream via [`ApiSession::begin`].
+///
+/// The session also owns the pass-scratch buffers (request table,
+/// requestor map, command program, response vector). A
+/// [`ApiSession::begin`] → [`ApiSession::finish`] →
+/// [`ApiSession::recycle_responses`] cycle hands the same buffers to every
+/// pass, so steady-state serving allocates nothing once the buffers have
+/// grown to the high-water batch size.
 #[derive(Debug, Clone)]
 pub struct ApiSession {
     pending: VecDeque<MemRequest>,
     capacity: usize,
     next_req_id: u64,
     passes: u64,
+    scratch: PassScratch,
+}
+
+/// The recyclable per-pass buffers of an [`ApiSession`] while no pass is
+/// running. [`ApiSession::begin`] moves them into the [`EasyApi`] handle;
+/// [`ApiSession::finish`] moves them back.
+#[derive(Debug, Clone)]
+struct PassScratch {
+    table: Vec<MemRequest>,
+    requestors: HashMap<u64, u32>,
+    program: BenderProgram,
+    responses: Vec<MemResponse>,
+}
+
+impl Default for PassScratch {
+    fn default() -> Self {
+        Self {
+            table: Vec::new(),
+            requestors: HashMap::new(),
+            // The derived `BenderProgram::default()` has zero capacity;
+            // scratch programs must admit real command batches.
+            program: BenderProgram::new(),
+            responses: Vec::new(),
+        }
+    }
 }
 
 impl ApiSession {
@@ -78,6 +110,7 @@ impl ApiSession {
             capacity,
             next_req_id: 0,
             passes: 0,
+            scratch: PassScratch::default(),
         }
     }
 
@@ -138,9 +171,74 @@ impl ApiSession {
     /// Opens an API handle for one serve pass over everything pending,
     /// leaving the FIFO empty. `wall_base_ps` is the absolute FPGA/DRAM time
     /// at which the controller starts executing.
+    ///
+    /// The handle runs on the session's recycled scratch buffers; return
+    /// them with [`ApiSession::finish`] so the next pass stays
+    /// allocation-free.
     pub fn begin<'a>(&mut self, ctx: TileCtx<'a>, wall_base_ps: u64) -> EasyApi<'a> {
         self.passes += 1;
-        EasyApi::open(ctx, wall_base_ps, std::mem::take(&mut self.pending))
+        let mut s = std::mem::take(&mut self.scratch);
+        s.table.clear();
+        s.program.clear();
+        s.responses.clear();
+        s.requestors.clear();
+        s.requestors
+            .extend(self.pending.iter().map(|r| (r.id, r.requestor)));
+        EasyApi {
+            tile_period_ps: 1_000_000_000_000 / ctx.tile_clk_hz,
+            ctx,
+            wall_base_ps,
+            incoming: std::mem::take(&mut self.pending),
+            table: s.table,
+            program: s.program,
+            ledger: ApiLedger {
+                responses: s.responses,
+                ..ApiLedger::default()
+            },
+            requestors: s.requestors,
+            attributed: ResponseSlice::default(),
+            extra_wall_ps: 0,
+            last_flush: None,
+            critical: false,
+        }
+    }
+
+    /// Tears a pass's handle down into its ledger (the counterpart of
+    /// [`EasyApi::into_ledger`] for session-opened passes), reclaiming the
+    /// handle's buffers so the next [`ApiSession::begin`] reuses them. The
+    /// returned ledger still owns the pass's response vector; hand it back
+    /// through [`ApiSession::recycle_responses`] once processed to close
+    /// the loop.
+    pub fn finish(&mut self, api: EasyApi<'_>) -> ApiLedger {
+        let EasyApi {
+            mut incoming,
+            table,
+            program,
+            ledger,
+            requestors,
+            ..
+        } = api;
+        // Un-received requests are dropped, exactly as `into_ledger` drops
+        // them; only the deque's storage survives — and only if nothing was
+        // posted mid-pass, so FIFO order stays authoritative.
+        incoming.clear();
+        if self.pending.is_empty() {
+            self.pending = incoming;
+        }
+        self.scratch = PassScratch {
+            table,
+            requestors,
+            program,
+            responses: Vec::new(),
+        };
+        ledger
+    }
+
+    /// Returns a processed pass's response buffer for reuse by the next
+    /// [`ApiSession::begin`].
+    pub fn recycle_responses(&mut self, mut responses: Vec<MemResponse>) {
+        responses.clear();
+        self.scratch.responses = responses;
     }
 }
 
@@ -793,6 +891,77 @@ mod tests {
         assert_eq!(session.passes(), 1);
         // Ids keep growing across passes.
         assert_eq!(session.post(RequestKind::Read { addr: 128 }, 9), 2);
+    }
+
+    #[test]
+    fn session_passes_recycle_their_buffers() {
+        let (mut dev, ex, map, remap) = fixtures();
+        let costs = SmcCostModel::default();
+        let transfer = TransferCost::default();
+        let mut session = ApiSession::new(8);
+        let mut first_ledger = None;
+        for pass in 0..3u64 {
+            for i in 0..4u64 {
+                session.post(RequestKind::Read { addr: i * 64 }, pass);
+            }
+            let mut a = session.begin(
+                TileCtx {
+                    device: &mut dev,
+                    executor: &ex,
+                    mapper: &map,
+                    remap: &remap,
+                    costs: &costs,
+                    transfer: &transfer,
+                    tile_clk_hz: 100_000_000,
+                },
+                0,
+            );
+            a.receive_all();
+            while let Some(idx) = a.schedule_fcfs() {
+                let req = a.take_request(idx);
+                let d = a.get_addr_mapping(req.addr());
+                a.read_sequence(d, None).unwrap();
+                let data = a.flush_commands().unwrap().reads[0];
+                a.enqueue_response(req.id, Some(data), false);
+            }
+            let ledger = session.finish(a);
+            assert_eq!(ledger.responses.len(), 4);
+            // Recycled passes must behave exactly like fresh ones: once the
+            // row buffers are warm (pass 0 pays the activates), every pass
+            // over the same stream charges the same cycles.
+            if pass > 0 {
+                match first_ledger {
+                    None => first_ledger = Some(ledger.rocket_cycles),
+                    Some(c) => assert_eq!(ledger.rocket_cycles, c, "pass {pass}"),
+                }
+            }
+            session.recycle_responses(ledger.responses);
+            assert!(session.is_empty(), "finish leaves the FIFO drained");
+            assert!(
+                session.pending.capacity() > 0,
+                "finish hands the FIFO storage back"
+            );
+            assert_eq!(session.scratch.responses.capacity(), 4);
+            assert!(session.scratch.table.capacity() >= 4);
+        }
+        // Posts that race a pass survive `finish` untouched.
+        let mut a = session.begin(
+            TileCtx {
+                device: &mut dev,
+                executor: &ex,
+                mapper: &map,
+                remap: &remap,
+                costs: &costs,
+                transfer: &transfer,
+                tile_clk_hz: 100_000_000,
+            },
+            0,
+        );
+        a.receive_all();
+        session.post(RequestKind::Read { addr: 640 }, 9);
+        let _ = session.finish(a);
+        assert_eq!(session.len(), 1);
+        assert_eq!(session.pending()[0].addr(), 640);
     }
 
     #[test]

@@ -30,14 +30,79 @@ use crate::smc::{FrFcfsController, SoftwareMemoryController, TrcdPlan};
 use crate::timeline::{EmulatedTimeline, TimelineDemand};
 use crate::timescale::{cycles_to_ps, ps_to_cycles_round, TimeScalingCounters};
 
-/// One served request as the tile hands it back to the core: response data
-/// plus the emulated processor cycle at which the core may observe it.
-#[derive(Debug, Clone, Copy)]
-struct Served {
-    id: u64,
-    data: Option<[u8; LINE_BYTES]>,
-    corrupted: bool,
-    release_cycle: u64,
+/// One serve pass's responses as the tile hands them back to the core,
+/// structure-of-arrays: entry `i` of every column describes the same
+/// response (data plus the emulated processor cycle at which the core may
+/// observe it). The batch lives in the tile's [`ServeScratch`] and is
+/// cleared — never reallocated — between passes.
+#[derive(Debug, Default)]
+struct ServedBatch {
+    ids: Vec<u64>,
+    data: Vec<Option<[u8; LINE_BYTES]>>,
+    corrupted: Vec<bool>,
+    release_cycles: Vec<u64>,
+}
+
+impl ServedBatch {
+    fn clear(&mut self) {
+        self.ids.clear();
+        self.data.clear();
+        self.corrupted.clear();
+        self.release_cycles.clear();
+    }
+
+    fn push(
+        &mut self,
+        id: u64,
+        data: Option<[u8; LINE_BYTES]>,
+        corrupted: bool,
+        release_cycle: u64,
+    ) {
+        self.ids.push(id);
+        self.data.push(data);
+        self.corrupted.push(corrupted);
+        self.release_cycles.push(release_cycle);
+    }
+
+    fn index_of(&self, id: u64) -> Option<usize> {
+        self.ids.iter().position(|&x| x == id)
+    }
+}
+
+/// What the tile remembers about a posted request while the controller
+/// reorders the batch: arrival tag, target bank, and the operation class
+/// (for per-requestor read/write accounting).
+struct ReqMeta {
+    arrival_cycle: u64,
+    bank: usize,
+    kind: ReqClass,
+}
+
+#[derive(Clone, Copy)]
+enum ReqClass {
+    Read,
+    Write,
+    RowClone,
+}
+
+/// One lane's finished controller invocation, pending pricing.
+struct LanePass {
+    lane: usize,
+    batch: u64,
+    ledger: crate::smc::easyapi::ApiLedger,
+    serve_res: crate::smc::ServeResult,
+    end_wall: u64,
+}
+
+/// Buffers the serve pass reuses across invocations so the steady-state
+/// serve loop allocates nothing: the per-lane pass records, the
+/// pricing/attribution metadata (one tile-wide map — request ids are
+/// globally unique across lanes), and the outgoing response batch.
+#[derive(Default)]
+struct ServeScratch {
+    passes: Vec<LanePass>,
+    meta: HashMap<u64, ReqMeta>,
+    served: ServedBatch,
 }
 
 /// One memory channel of the sharded tile: a private device (all ranks of
@@ -85,6 +150,8 @@ pub struct Tile {
     counters: TimeScalingCounters,
     stats: SmcStats,
     row_bytes: u64,
+    /// Recycled serve-pass buffers (see [`ServeScratch`]).
+    scratch: ServeScratch,
 }
 
 impl Tile {
@@ -143,6 +210,7 @@ impl Tile {
             counters: TimeScalingCounters::new(),
             stats: SmcStats::default(),
             row_bytes,
+            scratch: ServeScratch::default(),
         }
     }
 
@@ -374,8 +442,9 @@ impl Tile {
     /// `trigger_cycle` when nothing was pending).
     fn drain(&mut self, trigger_cycle: u64) -> u64 {
         self.serve_pass(trigger_cycle)
+            .release_cycles
             .iter()
-            .map(|s| s.release_cycle)
+            .copied()
             .max()
             .unwrap_or(trigger_cycle)
     }
@@ -390,11 +459,14 @@ impl Tile {
     ) -> (Option<[u8; LINE_BYTES]>, bool, u64) {
         let id = self.post_request(kind, issue_cycle);
         let served = self.serve_pass(issue_cycle);
-        let s = served
-            .iter()
-            .find(|s| s.id == id)
+        let i = served
+            .index_of(id)
             .expect("controller must respond to every request");
-        (s.data, s.corrupted, s.release_cycle)
+        (
+            served.data[i],
+            served.corrupted[i],
+            served.release_cycles[i],
+        )
     }
 
     /// One batched serve pass over the whole pending stream (paper §4.1,
@@ -408,9 +480,16 @@ impl Tile {
     ///
     /// `trigger_cycle` is the emulated cycle of whatever forced the drain
     /// (the read, fence, or the posted write that found the buffer full).
-    fn serve_pass(&mut self, trigger_cycle: u64) -> Vec<Served> {
+    fn serve_pass(&mut self, trigger_cycle: u64) -> &ServedBatch {
+        // Swap the recycled buffers out of `self` for the duration of the
+        // pass, so lane/stat mutation below never fights the borrow.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.served.clear();
+        scratch.meta.clear();
+        debug_assert!(scratch.passes.is_empty());
         if self.lanes.iter().all(|l| l.session.is_empty()) {
-            return Vec::new();
+            self.scratch = scratch;
+            return &self.scratch.served;
         }
         let f_core = self.cfg.core.freq_hz;
         let mode = self.cfg.mode;
@@ -424,61 +503,29 @@ impl Tile {
         }
 
         // --- Execute every lane's controller over its own batch. ---
-        /// What the tile remembers about a posted request while the
-        /// controller reorders the batch: arrival tag, target bank, and the
-        /// operation class (for per-requestor read/write accounting).
-        struct ReqMeta {
-            arrival_cycle: u64,
-            bank: usize,
-            kind: ReqClass,
-        }
-        #[derive(Clone, Copy)]
-        enum ReqClass {
-            Read,
-            Write,
-            RowClone,
-        }
-        struct LanePass {
-            lane: usize,
-            batch: u64,
-            /// Pricing/attribution metadata per request id, for after the
-            /// controller has reordered the batch.
-            meta: HashMap<u64, ReqMeta>,
-            ledger: crate::smc::easyapi::ApiLedger,
-            serve_res: crate::smc::ServeResult,
-            end_wall: u64,
-        }
-        let mut passes: Vec<LanePass> = Vec::new();
         for (idx, lane) in self.lanes.iter_mut().enumerate() {
             if lane.session.is_empty() {
                 continue;
             }
             let batch = lane.session.len() as u64;
-            let meta: HashMap<u64, ReqMeta> = lane
-                .session
-                .pending()
-                .iter()
-                .map(|r| {
-                    let bank = self.mapper.to_dram_remapped(&self.remap, r.addr()).bank;
-                    let kind = match r.kind {
-                        // Profiling requests move line data to the host just
-                        // like reads; RowClone never touches the bus.
-                        RequestKind::Read { .. } | RequestKind::ProfileTrcd { .. } => {
-                            ReqClass::Read
-                        }
-                        RequestKind::Write { .. } => ReqClass::Write,
-                        RequestKind::RowClone { .. } => ReqClass::RowClone,
-                    };
-                    (
-                        r.id,
-                        ReqMeta {
-                            arrival_cycle: r.arrival_cycle,
-                            bank: bank as usize,
-                            kind,
-                        },
-                    )
-                })
-                .collect();
+            for r in lane.session.pending() {
+                let bank = self.mapper.to_dram_remapped(&self.remap, r.addr()).bank;
+                let kind = match r.kind {
+                    // Profiling requests move line data to the host just
+                    // like reads; RowClone never touches the bus.
+                    RequestKind::Read { .. } | RequestKind::ProfileTrcd { .. } => ReqClass::Read,
+                    RequestKind::Write { .. } => ReqClass::Write,
+                    RequestKind::RowClone { .. } => ReqClass::RowClone,
+                };
+                scratch.meta.insert(
+                    r.id,
+                    ReqMeta {
+                        arrival_cycle: r.arrival_cycle,
+                        bank: bank as usize,
+                        kind,
+                    },
+                );
+            }
             let mut api = lane.session.begin(
                 TileCtx {
                     device: &mut lane.device,
@@ -493,16 +540,15 @@ impl Tile {
             );
             let serve_res = lane.controller.serve(&mut api);
             let end_wall = api.wall_now_ps();
-            let ledger = api.into_ledger();
+            let ledger = lane.session.finish(api);
             assert_eq!(
-                ledger.responses.len(),
-                meta.len(),
+                ledger.responses.len() as u64,
+                batch,
                 "controller must respond to every request exactly once"
             );
-            passes.push(LanePass {
+            scratch.passes.push(LanePass {
                 lane: idx,
                 batch,
-                meta,
                 ledger,
                 serve_res,
                 end_wall,
@@ -511,7 +557,8 @@ impl Tile {
 
         // --- Wall-clock accounting: lanes ran concurrently, so the frozen
         // interval is the slowest lane's. ---
-        let max_end_wall = passes
+        let max_end_wall = scratch
+            .passes
             .iter()
             .map(|p| p.end_wall)
             .max()
@@ -526,10 +573,9 @@ impl Tile {
         let t_ck = timing.t_ck_ps;
         let fixed_ps = self.cfg.mc_fixed_latency_ps;
 
-        let mut served = Vec::new();
         let mut latest_release = trigger_cycle;
         let mut max_lane_cycles = 0u64;
-        for p in &passes {
+        for p in &scratch.passes {
             self.stats.requests += p.batch;
             self.stats.rocket_cycles += p.ledger.rocket_cycles;
             self.stats.hw_cycles += p.ledger.hw_cycles;
@@ -550,7 +596,7 @@ impl Tile {
                     arrival_cycle,
                     bank,
                     kind,
-                } = *p
+                } = *scratch
                     .meta
                     .get(&resp.id)
                     .expect("every response answers a posted request");
@@ -604,12 +650,9 @@ impl Tile {
                 };
                 let release_cycle = release_cycle.max(arrival_cycle + 1);
                 latest_release = latest_release.max(release_cycle);
-                served.push(Served {
-                    id: resp.id,
-                    data: resp.data,
-                    corrupted: resp.corrupted,
-                    release_cycle,
-                });
+                scratch
+                    .served
+                    .push(resp.id, resp.data, resp.corrupted, release_cycle);
             }
         }
 
@@ -625,7 +668,15 @@ impl Tile {
             self.counters.tick_global(max_lane_cycles);
         }
 
-        served
+        // Give every pass's response buffer back to its lane's session and
+        // stow the scratch for the next pass.
+        for p in scratch.passes.drain(..) {
+            self.lanes[p.lane]
+                .session
+                .recycle_responses(p.ledger.responses);
+        }
+        self.scratch = scratch;
+        &self.scratch.served
     }
 
     fn bump_alloc(&mut self, bytes: u64, align: u64) -> u64 {

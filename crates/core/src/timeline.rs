@@ -112,15 +112,27 @@ impl EmulatedTimeline {
     /// Charges every tREFI boundary at or before `t_end` (refreshes that
     /// interrupt an in-flight request): each one slides the remaining work
     /// past its tRFC stall. Returns the extended end time.
-    fn charge_refresh_crossings(&mut self, rank: usize, mut t_end: u64) -> u64 {
-        while self.next_ref_ps[rank] <= t_end {
-            let ref_end = self.next_ref_ps[rank] + self.t_rfc_ps;
-            self.stall_rank(rank, ref_end);
-            t_end += self.t_rfc_ps;
-            self.next_ref_ps[rank] += self.t_refi_ps;
-            self.refreshes[rank] += 1;
+    ///
+    /// Closed form of the boundary-by-boundary walk: each crossing extends
+    /// the work by tRFC while the next boundary advances by tREFI, so the
+    /// `j`-th crossing fires iff `(j-1)·(tREFI − tRFC) ≤ t_end − next_ref`,
+    /// giving `n = (t_end − next_ref) / (tREFI − tRFC) + 1` crossings in one
+    /// step. Only the last crossing's stall matters for bank availability
+    /// (stalls accumulate by max), so a single `stall_rank` suffices.
+    fn charge_refresh_crossings(&mut self, rank: usize, t_end: u64) -> u64 {
+        let next_ref = self.next_ref_ps[rank];
+        if t_end < next_ref {
+            return t_end;
         }
-        t_end
+        // tREFI == tRFC (validation allows equality) would make the walk
+        // non-terminating — every extension lands on the next boundary; the
+        // guard prices that degenerate bin as back-to-back refreshes instead.
+        let gain = (self.t_refi_ps - self.t_rfc_ps).max(1);
+        let n = (t_end - next_ref) / gain + 1;
+        self.stall_rank(rank, next_ref + (n - 1) * self.t_refi_ps + self.t_rfc_ps);
+        self.next_ref_ps[rank] = next_ref + n * self.t_refi_ps;
+        self.refreshes[rank] += n;
+        t_end + n * self.t_rfc_ps
     }
 
     /// Prices one request on the timeline and returns the emulated time at
@@ -133,12 +145,18 @@ impl EmulatedTimeline {
         let rank = demand.bank / self.banks_per_rank;
         let mut start_bank = demand.arrival_ps.max(self.bank_free_ps[demand.bank]);
         // Refreshes due before the request starts delay the start itself.
-        while self.next_ref_ps[rank] <= start_bank {
-            let ref_end = self.next_ref_ps[rank] + self.t_rfc_ps;
-            self.stall_rank(rank, ref_end);
-            start_bank = start_bank.max(ref_end);
-            self.next_ref_ps[rank] += self.t_refi_ps;
-            self.refreshes[rank] += 1;
+        // Closed form: a later overdue boundary exists iff it is ≤ the
+        // *original* start (each stall only reaches tRFC < tREFI past its
+        // boundary), so k = (start − next_ref) / tREFI + 1 refreshes are
+        // overdue and only the last one's stall can move the start.
+        let next_ref = self.next_ref_ps[rank];
+        if start_bank >= next_ref {
+            let k = (start_bank - next_ref) / self.t_refi_ps + 1;
+            let last_ref_end = next_ref + (k - 1) * self.t_refi_ps + self.t_rfc_ps;
+            self.stall_rank(rank, last_ref_end);
+            start_bank = start_bank.max(last_ref_end);
+            self.next_ref_ps[rank] = next_ref + k * self.t_refi_ps;
+            self.refreshes[rank] += k;
         }
         if demand.has_columns {
             let start_bus = (start_bank + demand.prep_ps).max(self.bus_free_ps);
@@ -298,6 +316,99 @@ mod tests {
         assert_eq!(done, unrefreshed_bus_done + t.t_rfc_ps + t.t_cl_ps);
         assert_eq!(tl.bank_free_ps(0), unrefreshed_bus_done + t.t_rfc_ps);
         assert_eq!(tl.bus_free_ps(), unrefreshed_bus_done + t.t_rfc_ps);
+    }
+
+    #[test]
+    fn refresh_exactly_at_request_start() {
+        // A request arriving *exactly* on the tREFI boundary finds the
+        // refresh due and pays the full tRFC before starting; one ps
+        // earlier it starts cleanly (the boundary then interrupts the
+        // in-flight work instead, charging tRFC at the end).
+        let t = timing();
+        let mut tl = EmulatedTimeline::new(2, &t, true);
+        let on_boundary = TimelineDemand {
+            arrival_ps: t.t_refi_ps,
+            bank: 0,
+            prep_ps: 10_000,
+            burst_ps: 0,
+            has_columns: false,
+        };
+        assert_eq!(tl.price(&on_boundary), t.t_refi_ps + t.t_rfc_ps + 10_000);
+        assert_eq!(tl.refreshes_per_rank(), &[1]);
+
+        let mut tl = EmulatedTimeline::new(2, &t, true);
+        let just_before = TimelineDemand {
+            arrival_ps: t.t_refi_ps - 1,
+            ..on_boundary
+        };
+        assert_eq!(
+            tl.price(&just_before),
+            t.t_refi_ps - 1 + 10_000 + t.t_rfc_ps
+        );
+        assert_eq!(tl.refreshes_per_rank(), &[1], "mid-flight crossing");
+    }
+
+    #[test]
+    fn zero_length_pass_is_free() {
+        // A serve pass that demands no prep and no bursts must not advance
+        // any availability and must not charge refreshes ahead of schedule.
+        let t = timing();
+        let mut tl = EmulatedTimeline::new(2, &t, true);
+        let nothing = TimelineDemand {
+            arrival_ps: 5_000,
+            bank: 1,
+            prep_ps: 0,
+            burst_ps: 0,
+            has_columns: false,
+        };
+        assert_eq!(tl.price(&nothing), 5_000);
+        assert_eq!(tl.bank_free_ps(1), 5_000);
+        assert_eq!(tl.bus_free_ps(), 0);
+        assert_eq!(tl.refreshes_per_rank(), &[0]);
+        // A zero-burst column request still pays the CAS pipeline latency
+        // but leaves the bus at its start point.
+        let empty_col = TimelineDemand {
+            arrival_ps: 5_000,
+            bank: 0,
+            prep_ps: 0,
+            burst_ps: 0,
+            has_columns: true,
+        };
+        assert_eq!(tl.price(&empty_col), 5_000 + t.t_cl_ps);
+        assert_eq!(tl.bus_free_ps(), 5_000);
+    }
+
+    #[test]
+    fn zero_length_demand_on_boundary_still_pays_overdue_refresh() {
+        let t = timing();
+        let mut tl = EmulatedTimeline::new(2, &t, true);
+        let nothing = TimelineDemand {
+            arrival_ps: t.t_refi_ps,
+            bank: 0,
+            prep_ps: 0,
+            burst_ps: 0,
+            has_columns: false,
+        };
+        assert_eq!(tl.price(&nothing), t.t_refi_ps + t.t_rfc_ps);
+        assert_eq!(tl.refreshes_per_rank(), &[1]);
+    }
+
+    #[test]
+    fn far_future_arrival_charges_every_missed_refresh() {
+        // The closed form must count exactly the boundaries the old
+        // boundary-by-boundary walk would have visited.
+        let t = timing();
+        let mut tl = EmulatedTimeline::new(2, &t, true);
+        let k = 1_000u64;
+        let late = TimelineDemand {
+            arrival_ps: k * t.t_refi_ps + 1,
+            bank: 0,
+            prep_ps: 1,
+            burst_ps: 0,
+            has_columns: false,
+        };
+        let _ = tl.price(&late);
+        assert_eq!(tl.refreshes_per_rank(), &[k]);
     }
 
     #[test]

@@ -141,6 +141,33 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_at_extreme_ps_values() {
+        // A day of emulated time in ps at the fastest modeled clock: the
+        // half-up policy must stay an exact identity, and the intermediate
+        // u128 products must not saturate.
+        for hz in [25_000_000u64, 1_430_000_000, 4_000_000_000] {
+            for cycles in [
+                1u64,
+                (1 << 40) - 1,
+                86_400 * 4_000_000_000, // a day at 4 GHz
+            ] {
+                let ps = cycles_to_ps(cycles, hz);
+                assert_eq!(ps_to_cycles_round(ps, hz), cycles, "hz {hz} c {cycles}");
+                // Half-up boundary behaviour survives at scale: half a
+                // cycle below maps back, half a cycle above maps forward.
+                let half = cycles_to_ps(1, hz) / 2;
+                if half > 1 {
+                    assert!(ps_to_cycles_round(ps + half - 1, hz) <= cycles + 1);
+                    assert!(ps_to_cycles_round(ps.saturating_sub(half + 1), hz) < cycles + 1);
+                }
+            }
+        }
+        // Degenerate extremes must not panic or overflow.
+        assert_eq!(ps_to_cycles_round(u64::MAX, 1), 18_446_744);
+        assert_eq!(ps_to_cycles_round(0, u64::MAX), 0);
+    }
+
+    #[test]
     fn no_overflow_at_large_times() {
         // One hour of ps at 4 GHz.
         let ps = 3_600 * 1_000_000_000_000u64;

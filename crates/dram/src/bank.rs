@@ -5,10 +5,21 @@
 //! ([`RankTiming::earliest_issue_ps`]). Commands may still be *executed* when
 //! illegal — that is how DRAM techniques work — so checking and execution are
 //! deliberately separate.
+//!
+//! All minimum distances come from a [`TimingTable`] precomputed once at
+//! construction; the per-command hot path is last-event lookups plus a few
+//! rolled-up scalars (latest ACT anywhere, open-bank count), so the common
+//! "is this command legal right now?" question ([`RankTiming::is_legal`])
+//! allocates nothing and touches O(1) state. The enumerating [`check`]
+//! (rule names, one violation per broken constraint) is the slow path, kept
+//! byte-compatible with the frozen rule-based oracle in [`crate::oracle`].
+//!
+//! [`check`]: RankTiming::check
 
 use crate::command::DramCommand;
 use crate::config::Geometry;
 use crate::error::{TimingRule, TimingViolation};
+use crate::table::{CmdClass, Scope, TimingTable};
 use crate::timing::TimingParams;
 
 /// The row-buffer state of one bank.
@@ -24,45 +35,62 @@ pub enum BankState {
     },
 }
 
-/// Timestamps of the most recent commands affecting one bank.
-///
-/// `u64::MAX / 4` is used as "never" so that subtractions cannot overflow
-/// while additions stay far from wrap-around.
+/// All tracker timestamps are stored *biased* by this amount: a stored value
+/// of `t + BIAS` means "the event happened at `t` picoseconds", while
+/// [`NEVER`] (zero) means "it never happened". `BIAS` (~1.1e12 ps) exceeds
+/// every distance in the timing table (the largest, the tREFW refresh
+/// window, is ~6.4e10 ps), so `NEVER + dist < BIAS <= now + BIAS` always
+/// holds: a never-recorded event can never constrain a command, and the hot
+/// path needs no validity flags or branches to say so.
+const BIAS: u64 = 1 << 40;
+
+/// Biased timestamp meaning "this event has not happened".
 const NEVER: u64 = 0;
 
-#[derive(Debug, Clone, Copy)]
+/// Biased timestamps of the most recent commands affecting one bank
+/// (`*_bps` = biased picoseconds; see [`BIAS`]).
+#[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct BankTrack {
     pub state: BankState,
-    /// Issue time of the last ACT (valid when `act_valid`).
-    pub last_act_ps: u64,
-    pub act_valid: bool,
-    /// Issue time of the last PRE.
-    pub last_pre_ps: u64,
-    pub pre_valid: bool,
-    /// Issue time of the previous ACT before the last PRE (RowClone detection).
+    /// This bank's bank-group index, cached at construction: `group_of` is
+    /// an integer division by a runtime value, far too slow for a field the
+    /// hot path reads once or twice per command.
+    pub group: u32,
+    /// Biased issue time of the last ACT.
+    pub last_act_bps: u64,
+    /// Biased issue time of the last PRE.
+    pub last_pre_bps: u64,
+    /// Row open before the last PRE (RowClone detection).
     pub prev_open_row: Option<u32>,
-    /// Last read issue time.
-    pub last_rd_ps: u64,
-    /// Completion time of the last write's final data beat.
-    pub last_wr_end_ps: u64,
-    pub rd_valid: bool,
-    pub wr_valid: bool,
+    /// Biased issue time of the last read.
+    pub last_rd_bps: u64,
+    /// Biased completion time of the last write's final data beat.
+    pub last_wr_end_bps: u64,
 }
 
-impl Default for BankTrack {
-    fn default() -> Self {
-        Self {
-            state: BankState::Idle,
-            last_act_ps: NEVER,
-            act_valid: false,
-            last_pre_ps: NEVER,
-            pre_valid: false,
-            prev_open_row: None,
-            last_rd_ps: NEVER,
-            last_wr_end_ps: NEVER,
-            rd_valid: false,
-            wr_valid: false,
-        }
+impl BankTrack {
+    /// True once an ACT has been recorded on this bank.
+    #[inline]
+    pub fn act_valid(&self) -> bool {
+        self.last_act_bps != NEVER
+    }
+
+    /// True once a PRE has been recorded on this bank.
+    #[inline]
+    pub fn pre_valid(&self) -> bool {
+        self.last_pre_bps != NEVER
+    }
+
+    /// Unbiased issue time of the last ACT, if one happened.
+    #[inline]
+    pub fn last_act_event_ps(&self) -> Option<u64> {
+        self.act_valid().then(|| self.last_act_bps - BIAS)
+    }
+
+    /// Unbiased issue time of the last PRE, if one happened.
+    #[inline]
+    pub fn last_pre_event_ps(&self) -> Option<u64> {
+        self.pre_valid().then(|| self.last_pre_bps - BIAS)
     }
 }
 
@@ -70,35 +98,63 @@ impl Default for BankTrack {
 #[derive(Debug, Clone)]
 pub struct RankTiming {
     geometry: Geometry,
-    timing: TimingParams,
+    /// Precomputed per-scope minimum-distance matrices; the only place
+    /// timing parameters survive construction.
+    table: TimingTable,
     banks: Vec<BankTrack>,
-    /// Sliding window of the last four ACT issue times (tFAW).
+    /// Circular window of the last four biased ACT issue times (tFAW); the
+    /// oldest entry sits at `act_ptr`, and [`NEVER`] fills not-yet-used
+    /// slots so a not-yet-full window can never constrain.
     act_window: [u64; 4],
-    act_window_len: usize,
-    /// Issue time of the most recent ACT anywhere in the rank, per group.
-    last_act_by_group: Vec<(u64, bool)>,
-    /// Last column command anywhere (time, was_write, group).
-    last_col: Option<(u64, bool, u32)>,
-    /// End of the most recent refresh (tRFC).
-    ref_busy_until_ps: u64,
+    act_ptr: usize,
+    /// Biased issue time of the most recent ACT in the rank, per group.
+    last_act_by_group: Vec<u64>,
+    /// Biased issue time of the most recent ACT in any group (rolled-up tRRD_S).
+    last_act_any: u64,
+    /// Number of banks currently holding an open row (rolled-up REF gate).
+    open_banks: u32,
+    /// Biased issue time of the last column command anywhere.
+    last_col_bps: u64,
+    /// Whether that column command was a write.
+    last_col_was_write: bool,
+    /// Bank group of that column command.
+    last_col_group: u32,
+    /// Biased end of the most recent refresh (tRFC).
+    ref_busy_until_bps: u64,
 }
 
 impl RankTiming {
-    /// Creates a tracker for the given geometry and timing bin.
+    /// Creates a tracker for the given geometry and timing bin. The timing
+    /// table is computed here, once; every later legality question is
+    /// answered from it.
     #[must_use]
     pub fn new(geometry: Geometry, timing: TimingParams) -> Self {
-        let banks = vec![BankTrack::default(); geometry.banks() as usize];
+        let mut banks = vec![BankTrack::default(); geometry.banks() as usize];
+        for (i, b) in banks.iter_mut().enumerate() {
+            b.group = geometry.group_of(i as u32);
+        }
         let groups = geometry.bank_groups as usize;
+        let table = TimingTable::new(&timing);
         Self {
             geometry,
-            timing,
+            table,
             banks,
             act_window: [NEVER; 4],
-            act_window_len: 0,
-            last_act_by_group: vec![(NEVER, false); groups],
-            last_col: None,
-            ref_busy_until_ps: 0,
+            act_ptr: 0,
+            last_act_by_group: vec![NEVER; groups],
+            last_act_any: NEVER,
+            open_banks: 0,
+            last_col_bps: NEVER,
+            last_col_was_write: false,
+            last_col_group: 0,
+            ref_busy_until_bps: NEVER,
         }
+    }
+
+    /// The precomputed distance table this tracker answers from.
+    #[must_use]
+    pub fn table(&self) -> &TimingTable {
+        &self.table
     }
 
     pub(crate) fn bank(&self, bank: u32) -> &BankTrack {
@@ -107,6 +163,7 @@ impl RankTiming {
 
     /// The row currently open in `bank`, if any.
     #[must_use]
+    #[inline]
     pub fn open_row(&self, bank: u32) -> Option<u32> {
         match self.banks[bank as usize].state {
             BankState::Active { row } => Some(row),
@@ -116,135 +173,241 @@ impl RankTiming {
 
     /// Earliest time `cmd` satisfies every timing rule, given current state.
     ///
-    /// Out-of-range banks are reported as unconstrained; the device rejects
-    /// them with a proper error at issue time.
+    /// Answered entirely from the precomputed table and last-event state:
+    /// O(1) for every per-bank command (ACT spacing uses the rolled-up
+    /// same-group/any-group pair when the bin allows it). Out-of-range banks
+    /// are reported as unconstrained; the device rejects them with a proper
+    /// error at issue time.
     #[must_use]
+    #[inline]
     pub fn earliest_issue_ps(&self, cmd: &DramCommand) -> u64 {
+        self.earliest_issue_bps(cmd).saturating_sub(BIAS)
+    }
+
+    /// Biased-timeline core of [`earliest_issue_ps`]: every term is a biased
+    /// timestamp plus a table distance, so never-happened events ([`NEVER`])
+    /// fall below `BIAS` and drop out of the `max` chain without a branch.
+    ///
+    /// [`earliest_issue_ps`]: RankTiming::earliest_issue_ps
+    #[inline]
+    fn earliest_issue_bps(&self, cmd: &DramCommand) -> u64 {
         if cmd.bank().is_some_and(|b| b >= self.geometry.banks()) {
             return 0;
         }
-        let mut earliest = self.ref_busy_until_ps;
-        let t = &self.timing;
+        let mut earliest = self.ref_busy_until_bps;
+        let tt = &self.table;
         match *cmd {
             DramCommand::Activate { bank, .. } => {
                 let b = &self.banks[bank as usize];
-                if b.pre_valid {
-                    earliest = earliest.max(b.last_pre_ps + t.t_rp_ps);
-                }
-                let group = self.geometry.group_of(bank) as usize;
-                for (g, &(time, valid)) in self.last_act_by_group.iter().enumerate() {
-                    if valid {
-                        let spacing = if g == group {
-                            t.t_rrd_l_ps
+                earliest = earliest
+                    .max(b.last_pre_bps + tt.dist_ps(Scope::Bank, CmdClass::Pre, CmdClass::Act));
+                let group = b.group as usize;
+                if tt.rrd_rolled_ok {
+                    // tRRD_L ≥ tRRD_S: the per-group walk collapses to two
+                    // lookups — the latest same-group ACT and the latest ACT
+                    // anywhere.
+                    earliest = earliest
+                        .max(
+                            self.last_act_by_group[group]
+                                + tt.dist_ps(Scope::BankGroup, CmdClass::Act, CmdClass::Act),
+                        )
+                        .max(
+                            self.last_act_any
+                                + tt.dist_ps(Scope::Rank, CmdClass::Act, CmdClass::Act),
+                        );
+                } else {
+                    for (g, &t_bps) in self.last_act_by_group.iter().enumerate() {
+                        let scope = if g == group {
+                            Scope::BankGroup
                         } else {
-                            t.t_rrd_s_ps
+                            Scope::Rank
                         };
-                        earliest = earliest.max(time + spacing);
+                        earliest =
+                            earliest.max(t_bps + tt.dist_ps(scope, CmdClass::Act, CmdClass::Act));
                     }
                 }
-                if self.act_window_len == 4 {
-                    earliest = earliest.max(self.act_window[0] + t.t_faw_ps);
-                }
+                earliest = earliest.max(self.act_window[self.act_ptr] + tt.t_faw_ps);
             }
             DramCommand::Precharge { bank } => {
-                let b = &self.banks[bank as usize];
-                if b.act_valid {
-                    earliest = earliest.max(b.last_act_ps + t.t_ras_ps);
-                }
-                if b.rd_valid {
-                    earliest = earliest.max(b.last_rd_ps + t.t_rtp_ps);
-                }
-                if b.wr_valid {
-                    earliest = earliest.max(b.last_wr_end_ps + t.t_wr_ps);
-                }
+                earliest = earliest.max(self.pre_earliest_bps(bank));
             }
             DramCommand::PrechargeAll => {
                 for bank in 0..self.geometry.banks() {
-                    earliest =
-                        earliest.max(self.earliest_issue_ps(&DramCommand::Precharge { bank }));
+                    earliest = earliest.max(self.pre_earliest_bps(bank));
                 }
             }
             DramCommand::Read { bank, .. } => {
                 let b = &self.banks[bank as usize];
-                if b.act_valid {
-                    earliest = earliest.max(b.last_act_ps + t.t_rcd_ps);
-                }
-                earliest = earliest.max(self.col_earliest(bank, false));
+                earliest = earliest
+                    .max(b.last_act_bps + tt.dist_ps(Scope::Bank, CmdClass::Act, CmdClass::Rd))
+                    .max(self.col_earliest_bps(bank, false));
             }
             DramCommand::Write { bank, .. } => {
                 let b = &self.banks[bank as usize];
-                if b.act_valid {
-                    earliest = earliest.max(b.last_act_ps + t.t_rcd_ps);
-                }
-                earliest = earliest.max(self.col_earliest(bank, true));
+                earliest = earliest
+                    .max(b.last_act_bps + tt.dist_ps(Scope::Bank, CmdClass::Act, CmdClass::Wr))
+                    .max(self.col_earliest_bps(bank, true));
             }
             DramCommand::Refresh => {
                 // All banks must be precharged; rely on check() for state.
+                let d = tt.dist_ps(Scope::Bank, CmdClass::Pre, CmdClass::Ref);
                 for b in &self.banks {
-                    if b.pre_valid {
-                        earliest = earliest.max(b.last_pre_ps + t.t_rp_ps);
-                    }
+                    earliest = earliest.max(b.last_pre_bps + d);
                 }
             }
             DramCommand::RefreshRow { bank, .. } => {
                 let b = &self.banks[bank as usize];
-                if b.pre_valid {
-                    earliest = earliest.max(b.last_pre_ps + t.t_rp_ps);
-                }
+                earliest = earliest
+                    .max(b.last_pre_bps + tt.dist_ps(Scope::Bank, CmdClass::Pre, CmdClass::Rfm));
             }
         }
         earliest
     }
 
+    /// Per-bank precharge readiness (tRAS, tRTP, tWR), excluding tRFC.
+    /// Biased like everything else; never-happened events drop out.
+    #[inline]
+    fn pre_earliest_bps(&self, bank: u32) -> u64 {
+        let tt = &self.table;
+        let b = &self.banks[bank as usize];
+        (b.last_act_bps + tt.dist_ps(Scope::Bank, CmdClass::Act, CmdClass::Pre))
+            .max(b.last_rd_bps + tt.dist_ps(Scope::Bank, CmdClass::Rd, CmdClass::Pre))
+            .max(b.last_wr_end_bps + tt.dist_ps(Scope::Bank, CmdClass::Wr, CmdClass::Pre))
+    }
+
     /// Column-command spacing from the previous column command (tCCD, tWTR,
-    /// and data-bus burst occupancy).
-    fn col_earliest(&self, bank: u32, is_write: bool) -> u64 {
-        let t = &self.timing;
-        let Some((when, was_write, group)) = self.last_col else {
-            return 0;
-        };
-        let same_group = group == self.geometry.group_of(bank);
-        let ccd = if same_group {
-            t.t_ccd_l_ps
+    /// and data-bus burst occupancy), resolved through the table. Biased.
+    #[inline]
+    fn col_earliest_bps(&self, bank: u32, is_write: bool) -> u64 {
+        let tt = &self.table;
+        let prev = if self.last_col_was_write {
+            CmdClass::Wr
         } else {
-            t.t_ccd_s_ps
+            CmdClass::Rd
         };
-        let mut earliest = when + ccd.max(t.t_burst_ps);
-        if was_write && !is_write {
-            // Write-to-read turnaround: from the end of write data.
-            earliest = earliest.max(when + t.t_cwl_ps + t.t_burst_ps + t.t_wtr_ps);
+        let next = if is_write { CmdClass::Wr } else { CmdClass::Rd };
+        let same_group = self.last_col_group == self.banks[bank as usize].group;
+        let when = self.last_col_bps;
+        // Direction turnarounds (write→read tWTR fold, read→write bus drain)
+        // are rank-scope entries on top of the column spacing; same-direction
+        // pairs have no such entry and the lookup contributes `when + 0`.
+        (when + tt.col_to_col(same_group, prev, next).dist_ps)
+            .max(when + tt.dist_ps(Scope::Rank, prev, next))
+    }
+
+    /// Fast legality test: true iff `check` would return no violations.
+    ///
+    /// This is the hot-path entry point: no allocation, no rule
+    /// enumeration — a state check plus an [`earliest_issue_ps`] lookup.
+    /// One asymmetry is handled conservatively: the scheduling-only
+    /// read→write bus-drain gap is part of `earliest_issue_ps` but is never
+    /// reported by `check`, so a command inside that gap returns `false`
+    /// here while `check` still enumerates nothing; callers treat a `false`
+    /// as "run the enumerating checker", which preserves exact behaviour.
+    ///
+    /// [`earliest_issue_ps`]: RankTiming::earliest_issue_ps
+    #[must_use]
+    #[inline]
+    pub fn is_legal(&self, cmd: &DramCommand, now_ps: u64) -> bool {
+        if cmd.bank().is_some_and(|b| b >= self.geometry.banks()) {
+            return true;
         }
-        if !was_write && is_write {
-            // Read-to-write: data bus must drain the read burst.
-            earliest = earliest.max(when + t.t_cl_ps + t.t_burst_ps);
+        let tt = &self.table;
+        let now_b = now_ps + BIAS;
+        if now_b < self.ref_busy_until_bps {
+            return false;
         }
-        earliest
+        match *cmd {
+            DramCommand::Activate { bank, .. } => {
+                let b = &self.banks[bank as usize];
+                if !matches!(b.state, BankState::Idle) {
+                    return false;
+                }
+                let mut legal =
+                    b.last_pre_bps + tt.dist_ps(Scope::Bank, CmdClass::Pre, CmdClass::Act);
+                let group = b.group as usize;
+                if tt.rrd_rolled_ok {
+                    legal = legal
+                        .max(
+                            self.last_act_by_group[group]
+                                + tt.dist_ps(Scope::BankGroup, CmdClass::Act, CmdClass::Act),
+                        )
+                        .max(
+                            self.last_act_any
+                                + tt.dist_ps(Scope::Rank, CmdClass::Act, CmdClass::Act),
+                        );
+                } else {
+                    for (g, &t_bps) in self.last_act_by_group.iter().enumerate() {
+                        let scope = if g == group {
+                            Scope::BankGroup
+                        } else {
+                            Scope::Rank
+                        };
+                        legal = legal.max(t_bps + tt.dist_ps(scope, CmdClass::Act, CmdClass::Act));
+                    }
+                }
+                legal = legal.max(self.act_window[self.act_ptr] + tt.t_faw_ps);
+                now_b >= legal
+            }
+            DramCommand::Precharge { bank } => now_b >= self.pre_earliest_bps(bank),
+            DramCommand::PrechargeAll => {
+                (0..self.geometry.banks()).all(|bank| now_b >= self.pre_earliest_bps(bank))
+            }
+            DramCommand::Read { bank, .. } => {
+                let b = &self.banks[bank as usize];
+                matches!(b.state, BankState::Active { .. })
+                    && now_b
+                        >= (b.last_act_bps + tt.dist_ps(Scope::Bank, CmdClass::Act, CmdClass::Rd))
+                            .max(self.col_earliest_bps(bank, false))
+            }
+            DramCommand::Write { bank, .. } => {
+                let b = &self.banks[bank as usize];
+                matches!(b.state, BankState::Active { .. })
+                    && now_b
+                        >= (b.last_act_bps + tt.dist_ps(Scope::Bank, CmdClass::Act, CmdClass::Wr))
+                            .max(self.col_earliest_bps(bank, true))
+            }
+            DramCommand::Refresh => {
+                let d = tt.dist_ps(Scope::Bank, CmdClass::Pre, CmdClass::Ref);
+                self.open_banks == 0 && self.banks.iter().all(|b| now_b >= b.last_pre_bps + d)
+            }
+            DramCommand::RefreshRow { bank, .. } => {
+                let b = &self.banks[bank as usize];
+                matches!(b.state, BankState::Idle)
+                    && now_b
+                        >= b.last_pre_bps + tt.dist_ps(Scope::Bank, CmdClass::Pre, CmdClass::Rfm)
+            }
+        }
     }
 
     /// Checks every applicable rule for `cmd` at time `now_ps`.
     ///
     /// Returns all violations (possibly several). An empty vector means the
-    /// command is legal.
+    /// command is legal. This is the enumerating slow path; the order and
+    /// multiplicity of the returned violations are part of the contract
+    /// (they feed violation statistics) and match the rule-based oracle.
     #[must_use]
     pub fn check(&self, cmd: &DramCommand, now_ps: u64) -> Vec<TimingViolation> {
         let mut v = Vec::new();
         if cmd.bank().is_some_and(|b| b >= self.geometry.banks()) {
             return v;
         }
-        let t = &self.timing;
-        fn mk(rule: TimingRule, legal: u64, now_ps: u64) -> Option<TimingViolation> {
-            (now_ps < legal).then_some(TimingViolation {
-                rule,
-                earliest_legal_ps: legal,
-                issued_ps: now_ps,
-            })
-        }
-        let push = |v: &mut Vec<TimingViolation>, rule: TimingRule, legal: u64| {
-            v.extend(mk(rule, legal, now_ps));
+        let tt = &self.table;
+        let now_b = now_ps + BIAS;
+        // Biased push: emits only when `now_b < legal_b`. A never-happened
+        // event yields `legal_b < BIAS <= now_b`, so the same compare that
+        // filters satisfied rules also filters absent ones — mirroring the
+        // old `*_valid` guards exactly.
+        let push = |v: &mut Vec<TimingViolation>, rule: TimingRule, legal_b: u64| {
+            if now_b < legal_b {
+                v.push(TimingViolation {
+                    rule,
+                    earliest_legal_ps: legal_b - BIAS,
+                    issued_ps: now_ps,
+                });
+            }
         };
-        if now_ps < self.ref_busy_until_ps {
-            push(&mut v, TimingRule::Trfc, self.ref_busy_until_ps);
-        }
+        push(&mut v, TimingRule::Trfc, self.ref_busy_until_bps);
         match *cmd {
             DramCommand::Activate { bank, .. } => {
                 let b = &self.banks[bank as usize];
@@ -255,50 +418,65 @@ impl RankTiming {
                         issued_ps: now_ps,
                     });
                 }
-                if b.pre_valid {
-                    push(&mut v, TimingRule::Trp, b.last_pre_ps + t.t_rp_ps);
+                push(
+                    &mut v,
+                    TimingRule::Trp,
+                    b.last_pre_bps + tt.dist_ps(Scope::Bank, CmdClass::Pre, CmdClass::Act),
+                );
+                // The enumerating path keeps the per-group walk: the
+                // contract is one violation per constraining group.
+                let group = b.group as usize;
+                for (g, &t_bps) in self.last_act_by_group.iter().enumerate() {
+                    let scope = if g == group {
+                        Scope::BankGroup
+                    } else {
+                        Scope::Rank
+                    };
+                    let e = tt
+                        .entry(scope, CmdClass::Act, CmdClass::Act)
+                        .expect("ACT spacing is always constrained");
+                    push(
+                        &mut v,
+                        e.rule.expect("tRRD names a rule"),
+                        t_bps + e.dist_ps,
+                    );
                 }
-                let group = self.geometry.group_of(bank) as usize;
-                for (g, &(time, valid)) in self.last_act_by_group.iter().enumerate() {
-                    if valid {
-                        if g == group {
-                            push(&mut v, TimingRule::TrrdL, time + t.t_rrd_l_ps);
-                        } else {
-                            push(&mut v, TimingRule::TrrdS, time + t.t_rrd_s_ps);
-                        }
-                    }
-                }
-                if self.act_window_len == 4 {
-                    push(&mut v, TimingRule::Tfaw, self.act_window[0] + t.t_faw_ps);
-                }
+                push(
+                    &mut v,
+                    TimingRule::Tfaw,
+                    self.act_window[self.act_ptr] + tt.t_faw_ps,
+                );
             }
             DramCommand::Precharge { bank } => {
                 let b = &self.banks[bank as usize];
-                if b.act_valid && matches!(b.state, BankState::Active { .. }) {
-                    push(&mut v, TimingRule::Tras, b.last_act_ps + t.t_ras_ps);
+                if matches!(b.state, BankState::Active { .. }) {
+                    push(
+                        &mut v,
+                        TimingRule::Tras,
+                        b.last_act_bps + tt.dist_ps(Scope::Bank, CmdClass::Act, CmdClass::Pre),
+                    );
                 }
-                if b.rd_valid {
-                    push(&mut v, TimingRule::Trtp, b.last_rd_ps + t.t_rtp_ps);
-                }
-                if b.wr_valid {
-                    push(&mut v, TimingRule::Twr, b.last_wr_end_ps + t.t_wr_ps);
-                }
+                push(
+                    &mut v,
+                    TimingRule::Trtp,
+                    b.last_rd_bps + tt.dist_ps(Scope::Bank, CmdClass::Rd, CmdClass::Pre),
+                );
+                push(
+                    &mut v,
+                    TimingRule::Twr,
+                    b.last_wr_end_bps + tt.dist_ps(Scope::Bank, CmdClass::Wr, CmdClass::Pre),
+                );
             }
             DramCommand::PrechargeAll => {
                 for bank in 0..self.geometry.banks() {
                     v.extend(self.check(&DramCommand::Precharge { bank }, now_ps));
                 }
                 v.retain(|viol| viol.rule != TimingRule::Trfc);
-                if now_ps < self.ref_busy_until_ps {
-                    v.push(TimingViolation {
-                        rule: TimingRule::Trfc,
-                        earliest_legal_ps: self.ref_busy_until_ps,
-                        issued_ps: now_ps,
-                    });
-                }
+                push(&mut v, TimingRule::Trfc, self.ref_busy_until_bps);
             }
             DramCommand::Read { bank, .. } | DramCommand::Write { bank, .. } => {
                 let is_write = matches!(cmd, DramCommand::Write { .. });
+                let next = if is_write { CmdClass::Wr } else { CmdClass::Rd };
                 let b = &self.banks[bank as usize];
                 if !matches!(b.state, BankState::Active { .. }) {
                     v.push(TimingViolation {
@@ -307,43 +485,44 @@ impl RankTiming {
                         issued_ps: now_ps,
                     });
                 }
-                if b.act_valid {
-                    push(&mut v, TimingRule::Trcd, b.last_act_ps + t.t_rcd_ps);
-                }
-                if let Some((when, was_write, group)) = self.last_col {
-                    let same = group == self.geometry.group_of(bank);
-                    let ccd = if same { t.t_ccd_l_ps } else { t.t_ccd_s_ps };
-                    let rule = if same {
-                        TimingRule::TccdL
+                push(
+                    &mut v,
+                    TimingRule::Trcd,
+                    b.last_act_bps + tt.dist_ps(Scope::Bank, CmdClass::Act, next),
+                );
+                if self.last_col_bps != NEVER {
+                    let prev = if self.last_col_was_write {
+                        CmdClass::Wr
                     } else {
-                        TimingRule::TccdS
+                        CmdClass::Rd
                     };
-                    push(&mut v, rule, when + ccd.max(t.t_burst_ps));
-                    if was_write && !is_write {
+                    let same = self.last_col_group == b.group;
+                    let ccd = tt.col_to_col(same, prev, next);
+                    push(
+                        &mut v,
+                        ccd.rule.expect("tCCD names a rule"),
+                        self.last_col_bps + ccd.dist_ps,
+                    );
+                    if self.last_col_was_write && !is_write {
                         push(
                             &mut v,
                             TimingRule::Twtr,
-                            when + t.t_cwl_ps + t.t_burst_ps + t.t_wtr_ps,
+                            self.last_col_bps + tt.dist_ps(Scope::Rank, CmdClass::Wr, CmdClass::Rd),
                         );
                     }
                 }
             }
             DramCommand::Refresh => {
-                if self
-                    .banks
-                    .iter()
-                    .any(|b| matches!(b.state, BankState::Active { .. }))
-                {
+                if self.open_banks > 0 {
                     v.push(TimingViolation {
                         rule: TimingRule::RefWithOpenRows,
                         earliest_legal_ps: now_ps,
                         issued_ps: now_ps,
                     });
                 }
+                let d = tt.dist_ps(Scope::Bank, CmdClass::Pre, CmdClass::Ref);
                 for b in &self.banks {
-                    if b.pre_valid {
-                        push(&mut v, TimingRule::Trp, b.last_pre_ps + t.t_rp_ps);
-                    }
+                    push(&mut v, TimingRule::Trp, b.last_pre_bps + d);
                 }
             }
             DramCommand::RefreshRow { bank, .. } => {
@@ -355,9 +534,11 @@ impl RankTiming {
                         issued_ps: now_ps,
                     });
                 }
-                if b.pre_valid {
-                    push(&mut v, TimingRule::Trp, b.last_pre_ps + t.t_rp_ps);
-                }
+                push(
+                    &mut v,
+                    TimingRule::Trp,
+                    b.last_pre_bps + tt.dist_ps(Scope::Bank, CmdClass::Pre, CmdClass::Rfm),
+                );
             }
         }
         v
@@ -367,58 +548,74 @@ impl RankTiming {
     ///
     /// Public so that timing-only simulators (the Ramulator baseline) can
     /// reuse the rule tracker without a data-carrying device.
+    #[inline]
     pub fn apply(&mut self, cmd: &DramCommand, now_ps: u64) {
-        let t = self.timing.clone();
+        let now_b = now_ps + BIAS;
         match *cmd {
             DramCommand::Activate { bank, row } => {
-                let group = self.geometry.group_of(bank) as usize;
                 let b = &mut self.banks[bank as usize];
-                b.state = BankState::Active { row };
-                b.last_act_ps = now_ps;
-                b.act_valid = true;
-                b.rd_valid = false;
-                b.wr_valid = false;
-                self.last_act_by_group[group] = (now_ps, true);
-                if self.act_window_len == 4 {
-                    self.act_window.rotate_left(1);
-                    self.act_window[3] = now_ps;
-                } else {
-                    self.act_window[self.act_window_len] = now_ps;
-                    self.act_window_len += 1;
+                let group = b.group as usize;
+                if matches!(b.state, BankState::Idle) {
+                    self.open_banks += 1;
                 }
+                b.state = BankState::Active { row };
+                b.last_act_bps = now_b;
+                b.last_rd_bps = NEVER;
+                b.last_wr_end_bps = NEVER;
+                self.last_act_by_group[group] = now_b;
+                self.last_act_any = now_b;
+                // Overwrite the oldest slot and advance: the window is
+                // circular from the start, with NEVER in unused slots.
+                self.act_window[self.act_ptr] = now_b;
+                self.act_ptr = (self.act_ptr + 1) & 3;
             }
             DramCommand::Precharge { bank } => {
                 let b = &mut self.banks[bank as usize];
                 b.prev_open_row = match b.state {
-                    BankState::Active { row } => Some(row),
+                    BankState::Active { row } => {
+                        self.open_banks -= 1;
+                        Some(row)
+                    }
                     BankState::Idle => None,
                 };
                 b.state = BankState::Idle;
-                b.last_pre_ps = now_ps;
-                b.pre_valid = true;
+                b.last_pre_bps = now_b;
             }
             DramCommand::PrechargeAll => {
-                for bank in 0..self.geometry.banks() {
-                    self.apply(&DramCommand::Precharge { bank }, now_ps);
+                for b in &mut self.banks {
+                    b.prev_open_row = match b.state {
+                        BankState::Active { row } => Some(row),
+                        BankState::Idle => None,
+                    };
+                    b.state = BankState::Idle;
+                    b.last_pre_bps = now_b;
                 }
+                self.open_banks = 0;
             }
             DramCommand::Read { bank, .. } => {
-                let group = self.geometry.group_of(bank);
                 let b = &mut self.banks[bank as usize];
-                b.last_rd_ps = now_ps;
-                b.rd_valid = true;
-                self.last_col = Some((now_ps, false, group));
+                b.last_rd_bps = now_b;
+                let group = b.group;
+                self.last_col_bps = now_b;
+                self.last_col_was_write = false;
+                self.last_col_group = group;
             }
             DramCommand::Write { bank, .. } => {
-                let group = self.geometry.group_of(bank);
-                let end = now_ps + t.t_cwl_ps + t.t_burst_ps;
+                // Record the write at the end of its data burst; every
+                // `Wr`-row table distance is relative to that event.
+                let end_b = now_b + self.table.wr_event_offset_ps;
                 let b = &mut self.banks[bank as usize];
-                b.last_wr_end_ps = end;
-                b.wr_valid = true;
-                self.last_col = Some((now_ps, true, group));
+                b.last_wr_end_bps = end_b;
+                let group = b.group;
+                self.last_col_bps = now_b;
+                self.last_col_was_write = true;
+                self.last_col_group = group;
             }
             DramCommand::Refresh => {
-                self.ref_busy_until_ps = now_ps + t.t_rfc_ps;
+                self.ref_busy_until_bps = now_b
+                    + self
+                        .table
+                        .dist_ps(Scope::Channel, CmdClass::Ref, CmdClass::Act);
             }
             DramCommand::RefreshRow { bank, .. } => {
                 // The bank internally activates and restores the row, then
@@ -428,11 +625,14 @@ impl RankTiming {
                 // `now + t_rfm` without a dedicated busy field; the cleared
                 // `prev_open_row` also stops an intervening RFM from being
                 // misread as part of a RowClone ACT→PRE→ACT sequence.
+                let pre_b = now_b + self.table.rfm_pre_offset_ps;
                 let b = &mut self.banks[bank as usize];
+                if matches!(b.state, BankState::Active { .. }) {
+                    self.open_banks -= 1;
+                }
                 b.state = BankState::Idle;
                 b.prev_open_row = None;
-                b.last_pre_ps = now_ps + t.t_rfm_ps.saturating_sub(t.t_rp_ps);
-                b.pre_valid = true;
+                b.last_pre_bps = pre_b;
             }
         }
     }
@@ -440,8 +640,9 @@ impl RankTiming {
     /// Time since the last ACT on `bank`, if one happened.
     #[must_use]
     pub fn since_last_act_ps(&self, bank: u32, now_ps: u64) -> Option<u64> {
-        let b = &self.banks[bank as usize];
-        b.act_valid.then(|| now_ps.saturating_sub(b.last_act_ps))
+        self.banks[bank as usize]
+            .last_act_event_ps()
+            .map(|act_ps| now_ps.saturating_sub(act_ps))
     }
 }
 

@@ -188,14 +188,24 @@ impl DramConfig {
         }
     }
 
-    /// Validates geometry and timing together.
+    /// Validates geometry and timing together, plus cross-cutting
+    /// constraints neither can see alone.
     ///
     /// # Errors
     ///
-    /// Propagates the first geometry or timing inconsistency.
+    /// Propagates the first geometry or timing inconsistency. Additionally
+    /// rejects `t_rfm_ps == 0` (RFM unsupported) when read-disturbance
+    /// modeling is enabled: every mitigation issues targeted refreshes, and
+    /// a zero-duration RFM would make them silently free.
     pub fn validate(&self) -> Result<(), String> {
         self.geometry.validate()?;
         self.timing.validate()?;
+        if self.variation.disturb_enabled && self.timing.t_rfm_ps == 0 {
+            return Err(
+                "disturbance mitigation requires targeted refresh: t_rfm_ps must be non-zero"
+                    .into(),
+            );
+        }
         Ok(())
     }
 }
@@ -203,6 +213,18 @@ impl DramConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_trfm_rejected_only_with_mitigation() {
+        let mut cfg = DramConfig::default();
+        cfg.timing.t_rfm_ps = 0;
+        cfg.validate().unwrap(); // RFM unsupported, mitigation off: fine
+        cfg.variation.disturb_enabled = true;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("t_rfm_ps"), "{err}");
+        cfg.timing.t_rfm_ps = 60_000;
+        cfg.validate().unwrap();
+    }
 
     #[test]
     fn default_geometry_matches_paper() {

@@ -392,8 +392,10 @@ impl DramDevice {
                 requested_ps: now_ps,
             });
         }
-        if let Some(v) = self.rank.check(&cmd, now_ps).first() {
-            return Err(DramError::Timing(*v));
+        if !self.rank.is_legal(&cmd, now_ps) {
+            if let Some(v) = self.rank.check(&cmd, now_ps).first() {
+                return Err(DramError::Timing(*v));
+            }
         }
         Ok(self.execute(cmd, now_ps))
     }
@@ -418,7 +420,14 @@ impl DramDevice {
     }
 
     fn execute(&mut self, cmd: DramCommand, now_ps: u64) -> CmdOutcome {
-        let violations = self.rank.check(&cmd, now_ps);
+        // Hot path: a legal command needs no rule enumeration and no
+        // allocation — `Vec::new()` does not touch the heap. Only illegal
+        // (or drain-gapped) commands fall back to the enumerating checker.
+        let violations = if self.rank.is_legal(&cmd, now_ps) {
+            Vec::new()
+        } else {
+            self.rank.check(&cmd, now_ps)
+        };
         self.stats.violations += violations.len() as u64;
         self.now_ps = now_ps;
         let mut out = CmdOutcome {
@@ -441,10 +450,14 @@ impl DramDevice {
                     self.row_buffers[bank as usize] = None;
                 }
                 let track = self.rank.bank(bank);
-                let clone_src = match (track.prev_open_row, track.pre_valid, track.act_valid) {
-                    (Some(src), true, true) => {
-                        let pre_gap = now_ps.saturating_sub(track.last_pre_ps);
-                        let act_pre_gap = track.last_pre_ps.saturating_sub(track.last_act_ps);
+                let clone_src = match (
+                    track.prev_open_row,
+                    track.last_pre_event_ps(),
+                    track.last_act_event_ps(),
+                ) {
+                    (Some(src), Some(pre_ps), Some(act_ps)) => {
+                        let pre_gap = now_ps.saturating_sub(pre_ps);
+                        let act_pre_gap = pre_ps.saturating_sub(act_ps);
                         (pre_gap <= ROWCLONE_GAP_MAX_PS
                             && act_pre_gap <= ROWCLONE_GAP_MAX_PS
                             && src != row)

@@ -46,7 +46,10 @@ pub mod config;
 pub mod det;
 pub mod device;
 pub mod error;
+#[cfg(any(test, feature = "oracle"))]
+pub mod oracle;
 pub mod stats;
+pub mod table;
 pub mod timing;
 pub mod variation;
 
@@ -55,6 +58,9 @@ pub use command::{DramCommand, LINE_BYTES};
 pub use config::{DramConfig, Geometry};
 pub use device::{blast_neighbors, CmdOutcome, DramDevice, RowCloneOutcome, BLAST_RADIUS};
 pub use error::{DramError, TimingRule, TimingViolation};
+#[cfg(any(test, feature = "oracle"))]
+pub use oracle::OracleRankTiming;
 pub use stats::DeviceStats;
+pub use table::{CmdClass, MinDistance, Scope, TimingTable};
 pub use timing::TimingParams;
 pub use variation::{PairClass, VariationConfig, VariationModel};

@@ -159,9 +159,10 @@ impl TimingParams {
         if self.t_burst_ps == 0 {
             return Err("burst duration must be non-zero".into());
         }
-        if self.t_rfm_ps == 0 {
-            return Err("targeted-refresh duration must be non-zero".into());
-        }
+        // t_rfm_ps == 0 is allowed here and means "the module does not
+        // support targeted refresh"; configurations that *rely* on RFM
+        // (disturbance mitigation) reject it in `DramConfig::validate`,
+        // where the mitigation flag is visible.
         Ok(())
     }
 }
@@ -210,6 +211,16 @@ mod tests {
         let mut t = TimingParams::ddr4_1333();
         t.t_refi_ps = 1;
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn zero_trfm_is_valid_standalone() {
+        // "RFM unsupported" is a legal parameter set on its own; only a
+        // configuration that enables disturbance mitigation rejects it
+        // (see `DramConfig::validate`).
+        let mut t = TimingParams::ddr4_1333();
+        t.t_rfm_ps = 0;
+        t.validate().unwrap();
     }
 
     #[test]
