@@ -11,7 +11,7 @@
 //! Physical rows for remapping are taken from the top of each bank, far
 //! above the rows the natural (bump-allocated) address range ever touches.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use easydram_dram::{Geometry, VariationModel};
 
@@ -258,9 +258,11 @@ impl RowCloneAllocator {
     }
 }
 
-/// Builds a remap lookup from plan entries.
+/// Builds a remap lookup from plan entries. Ordered map: remaps are
+/// installed on the cold allocation path, and an ordered structure keeps
+/// any traversal of remap state deterministic by construction.
 #[must_use]
-pub fn remap_table(entries: &[RemapEntry]) -> HashMap<u64, (u32, u32)> {
+pub fn remap_table(entries: &[RemapEntry]) -> BTreeMap<u64, (u32, u32)> {
     entries.iter().map(|e| (e.vrow, (e.bank, e.row))).collect()
 }
 
@@ -316,6 +318,8 @@ impl<T> Slab<T> {
 
     /// Stores `value`, returning its key. Reuses the most recently vacated
     /// slot when one exists; grows the slab otherwise.
+    // lint: no_alloc — steady-state inserts must land in recycled slots
+    // (`slots.push` only runs while growing to the high-water mark).
     pub fn insert(&mut self, value: T) -> usize {
         self.len += 1;
         match self.free_head {

@@ -176,7 +176,10 @@ impl SystemConfig {
     /// Returns the first inconsistency found in any component.
     pub fn validate(&self) -> Result<(), String> {
         self.core.validate()?;
-        self.dram.validate()?;
+        // DRAM validation is typed (`DramError::InvalidTiming` carries the
+        // contradiction rule id); the system-level validator flattens it
+        // into the same string channel as the other components.
+        self.dram.validate().map_err(|e| e.to_string())?;
         if self.fpga.tile_clk_hz == 0 || self.fpga.proc_clk_hz == 0 {
             return Err("FPGA clocks must be non-zero".into());
         }

@@ -353,7 +353,7 @@ mod tests {
     use super::*;
     use easydram_bender::{Executor, TransferCost};
     use easydram_dram::{AddressMapper, DramConfig, DramDevice, MappingScheme};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     use crate::costs::SmcCostModel;
     use crate::smc::easyapi::{ApiSession, TileCtx};
@@ -362,7 +362,7 @@ mod tests {
         dev: DramDevice,
         ex: Executor,
         map: AddressMapper,
-        remap: HashMap<u64, (u32, u32)>,
+        remap: BTreeMap<u64, (u32, u32)>,
         costs: SmcCostModel,
         transfer: TransferCost,
         session: ApiSession,
@@ -376,7 +376,7 @@ mod tests {
                 dev,
                 ex: Executor::new(),
                 map: AddressMapper::new(geo, MappingScheme::RowBankCol),
-                remap: HashMap::new(),
+                remap: BTreeMap::new(),
                 costs: SmcCostModel::default(),
                 transfer: TransferCost::default(),
                 session: ApiSession::new(16),

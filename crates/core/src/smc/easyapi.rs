@@ -16,7 +16,9 @@
 //! ([`crate::request::ResponseSlice`]), which is what lets the tile give
 //! every request in a batch its own release cycle.
 
-use std::collections::{HashMap, VecDeque};
+// lint: allow(det/hash-order) — HashMap is imported only for the pass
+// scratch's lookup-only requestor maps (see `PassScratch::requestors`).
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use easydram_bender::{BenderProgram, BenderResult, Executor, TransferCost};
 use easydram_dram::{AddressMapper, DramAddress, DramCommand, DramDevice, LINE_BYTES};
@@ -41,7 +43,7 @@ pub struct TileCtx<'a> {
     /// Physical-to-DRAM address mapper.
     pub mapper: &'a AddressMapper,
     /// OS-style row remapping installed by the RowClone allocator.
-    pub remap: &'a HashMap<u64, (u32, u32)>,
+    pub remap: &'a BTreeMap<u64, (u32, u32)>,
     /// Per-EasyAPI-call Rocket-cycle costs.
     pub costs: &'a SmcCostModel,
     /// Command/readback transfer cost model.
@@ -77,6 +79,10 @@ pub struct ApiSession {
 #[derive(Debug, Clone)]
 struct PassScratch {
     table: Vec<MemRequest>,
+    // lint: allow(det/hash-order) — lookup-only (insert/get, never
+    // iterated), and recycled across passes: HashMap keeps its capacity
+    // through `clear()`, so the steady-state serve loop stays
+    // allocation-free where a BTreeMap would allocate nodes per insert.
     requestors: HashMap<u64, u32>,
     program: BenderProgram,
     responses: Vec<MemResponse>,
@@ -86,7 +92,8 @@ impl Default for PassScratch {
     fn default() -> Self {
         Self {
             table: Vec::new(),
-            requestors: HashMap::new(),
+            requestors: HashMap::new(), // lint: allow(det/hash-order) — see the field's justification
+
             // The derived `BenderProgram::default()` has zero capacity;
             // scratch programs must admit real command batches.
             program: BenderProgram::new(),
@@ -300,6 +307,8 @@ pub struct EasyApi<'a> {
     ledger: ApiLedger,
     /// Requestor id of every request this pass has seen, so responses stay
     /// attributable after the table reorders/drops requests.
+    // lint: allow(det/hash-order) — same allocation-free recycled map as
+    // `PassScratch::requestors`; moved here for the pass, moved back after.
     requestors: HashMap<u64, u32>,
     /// Watermark of ledger quantities already attributed to a response.
     attributed: ResponseSlice,
@@ -792,7 +801,7 @@ mod tests {
         DramDevice,
         Executor,
         AddressMapper,
-        HashMap<u64, (u32, u32)>,
+        BTreeMap<u64, (u32, u32)>,
     ) {
         let dev = DramDevice::new(DramConfig::small_for_tests());
         let geo = dev.config().geometry.clone();
@@ -800,7 +809,7 @@ mod tests {
             dev,
             Executor::new(),
             AddressMapper::new(geo, MappingScheme::RowBankCol),
-            HashMap::new(),
+            BTreeMap::new(),
         )
     }
 
@@ -808,7 +817,7 @@ mod tests {
         dev: &'a mut DramDevice,
         ex: &'a Executor,
         map: &'a AddressMapper,
-        remap: &'a HashMap<u64, (u32, u32)>,
+        remap: &'a BTreeMap<u64, (u32, u32)>,
         costs: &'a SmcCostModel,
         transfer: &'a TransferCost,
     ) -> EasyApi<'a> {
@@ -1073,7 +1082,7 @@ mod tests {
     #[test]
     fn remap_overrides_mapper() {
         let (mut dev, ex, map, _) = fixtures();
-        let mut remap = HashMap::new();
+        let mut remap = BTreeMap::new();
         remap.insert(0u64, (1u32, 77u32)); // virtual row 0 -> bank 1 row 77
         let costs = SmcCostModel::default();
         let transfer = TransferCost::default();

@@ -25,7 +25,7 @@
 //! — and account their overhead into [`MitigationStats`], which the tile
 //! threads into `ExecutionReport::mitigation`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use easydram_dram::det::DetRng;
 use easydram_dram::BLAST_RADIUS;
@@ -177,7 +177,7 @@ impl MisraGries {
 struct GrapheneMitigator {
     threshold: u64,
     table_k: usize,
-    tables: HashMap<u32, MisraGries>,
+    tables: BTreeMap<u32, MisraGries>,
     /// Start of the current tracking epoch, ps of controller wall time.
     epoch_start_ps: u64,
     stats: MitigationStats,
@@ -292,7 +292,7 @@ impl GrapheneController {
             mitigator: GrapheneMitigator {
                 threshold,
                 table_k,
-                tables: HashMap::new(),
+                tables: BTreeMap::new(),
                 epoch_start_ps: 0,
                 stats: MitigationStats::default(),
             },
@@ -322,7 +322,7 @@ mod tests {
     use crate::smc::easyapi::{ApiSession, TileCtx};
     use easydram_bender::{Executor, TransferCost};
     use easydram_dram::{AddressMapper, DramAddress, DramConfig, DramDevice, MappingScheme};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     #[test]
     fn mitigation_observes_rowclone_and_profiling_activations() {
@@ -333,7 +333,7 @@ mod tests {
         let geo = dev.config().geometry.clone();
         let ex = Executor::new();
         let map = AddressMapper::new(geo, MappingScheme::RowBankCol);
-        let remap = HashMap::new();
+        let remap = BTreeMap::new();
         let costs = SmcCostModel::default();
         let transfer = TransferCost::default();
         let mut session = ApiSession::new(16);

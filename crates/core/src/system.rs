@@ -14,7 +14,9 @@
 //! * `NoTimeScaling` — raw FPGA wall latency at the slow processor clock
 //!   (the PiDRAM-style skew of §7.2).
 
-use std::collections::HashMap;
+// lint: allow(det/hash-order) — HashMap is imported only for the pass
+// scratch's lookup-only metadata map (see `ServeScratch::meta`).
+use std::collections::{BTreeMap, HashMap};
 
 use easydram_bender::Executor;
 use easydram_cpu::backend::{LineFetch, MemoryBackend, RowCloneRequestResult};
@@ -101,6 +103,10 @@ struct LanePass {
 #[derive(Default)]
 struct ServeScratch {
     passes: Vec<LanePass>,
+    // lint: allow(det/hash-order) — lookup-only (clear/insert/get, never
+    // iterated), and it must stay a HashMap: it is cleared and refilled
+    // every serve pass, and HashMap retains capacity across `clear()`
+    // while a BTreeMap would allocate nodes per insert on the hot path.
     meta: HashMap<u64, ReqMeta>,
     served: ServedBatch,
 }
@@ -127,13 +133,15 @@ pub struct Tile {
     lanes: Vec<Lane>,
     executor: Executor,
     mapper: AddressMapper,
-    /// OS-style row remapping installed by the RowClone allocator.
-    remap: HashMap<u64, (u32, u32)>,
+    /// OS-style row remapping installed by the RowClone allocator. Ordered
+    /// maps: remap state is written on the cold allocation path only, and
+    /// ordering keeps any traversal deterministic by construction.
+    remap: BTreeMap<u64, (u32, u32)>,
     allocator: RowCloneAllocator,
     /// Qualified copy pairs: `(src_vrow, dst_vrow) → passed the trial test`.
-    clonable: HashMap<(u64, u64), bool>,
+    clonable: BTreeMap<(u64, u64), bool>,
     /// Init sources: destination vrow → pattern-source vrow.
-    init_sources: HashMap<u64, u64>,
+    init_sources: BTreeMap<u64, u64>,
     alloc_cursor: u64,
     /// Absolute FPGA/DRAM wall clock, ps.
     wall_ps: u64,
@@ -197,10 +205,10 @@ impl Tile {
             lanes,
             executor: Executor::new(),
             mapper,
-            remap: HashMap::new(),
+            remap: BTreeMap::new(),
             allocator,
-            clonable: HashMap::new(),
-            init_sources: HashMap::new(),
+            clonable: BTreeMap::new(),
+            init_sources: BTreeMap::new(),
             alloc_cursor: 0x1_0000,
             wall_ps: 0,
             frozen_ps: 0,
@@ -480,6 +488,8 @@ impl Tile {
     ///
     /// `trigger_cycle` is the emulated cycle of whatever forced the drain
     /// (the read, fence, or the posted write that found the buffer full).
+    // lint: no_alloc — the steady-state serve loop runs on recycled
+    // session/scratch buffers; any per-pass allocation is a regression.
     fn serve_pass(&mut self, trigger_cycle: u64) -> &ServedBatch {
         // Swap the recycled buffers out of `self` for the duration of the
         // pass, so lane/stat mutation below never fights the borrow.

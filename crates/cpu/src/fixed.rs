@@ -1,6 +1,8 @@
 //! A fixed-latency, bandwidth-limited memory backend for unit tests and as
 //! an idealized reference memory.
 
+// lint: allow(det/hash-order) — the line store is lookup-only (entry/insert
+// by line address, never iterated).
 use std::collections::HashMap;
 
 use crate::backend::{LineFetch, MemoryBackend};
@@ -10,6 +12,7 @@ use crate::LINE_BYTES;
 /// minimum spacing between service completions (a crude bandwidth model).
 #[derive(Debug, Clone)]
 pub struct FixedLatencyBackend {
+    // lint: allow(det/hash-order) — keyed line store, lookup-only.
     mem: HashMap<u64, [u8; LINE_BYTES]>,
     latency_cycles: u64,
     service_interval_cycles: u64,
@@ -33,7 +36,7 @@ impl FixedLatencyBackend {
     #[must_use]
     pub fn with_bandwidth(latency_cycles: u64, service_interval_cycles: u64) -> Self {
         Self {
-            mem: HashMap::new(),
+            mem: HashMap::new(), // lint: allow(det/hash-order) — see the field's justification
             latency_cycles,
             service_interval_cycles,
             server_free: 0,

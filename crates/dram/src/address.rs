@@ -258,7 +258,7 @@ impl AddressMapper {
     #[must_use]
     pub fn to_dram_remapped(
         &self,
-        remap: &std::collections::HashMap<u64, (u32, u32)>,
+        remap: &std::collections::BTreeMap<u64, (u32, u32)>,
         phys: u64,
     ) -> DramAddress {
         let row_bytes = u64::from(self.geometry.row_bytes);
@@ -456,7 +456,7 @@ mod tests {
     #[test]
     fn remapped_rows_override_the_scheme() {
         let m = AddressMapper::new(Geometry::default(), MappingScheme::RowBankCol);
-        let mut remap = std::collections::HashMap::new();
+        let mut remap = std::collections::BTreeMap::new();
         remap.insert(0u64, (1u32, 77u32)); // virtual row 0 -> bank 1 row 77
         let d = m.to_dram_remapped(&remap, 128); // third line of virtual row 0
         assert_eq!((d.bank, d.row, d.col), (1, 77, 2));
@@ -472,7 +472,7 @@ mod tests {
             ..Geometry::default()
         };
         let m = AddressMapper::new(geometry, MappingScheme::RowColBankXor);
-        let mut remap = std::collections::HashMap::new();
+        let mut remap = std::collections::BTreeMap::new();
         remap.insert(3u64, (2u32, 99u32));
         // Every line of the remapped virtual row decodes to channel 0, even
         // though the plain interleave would spread the lines across channels.

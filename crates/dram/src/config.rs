@@ -1,5 +1,6 @@
 //! Device geometry and top-level configuration.
 
+use crate::error::DramError;
 use crate::timing::TimingParams;
 use crate::variation::VariationConfig;
 
@@ -193,18 +194,29 @@ impl DramConfig {
     ///
     /// # Errors
     ///
-    /// Propagates the first geometry or timing inconsistency. Additionally
-    /// rejects `t_rfm_ps == 0` (RFM unsupported) when read-disturbance
-    /// modeling is enabled: every mitigation issues targeted refreshes, and
-    /// a zero-duration RFM would make them silently free.
-    pub fn validate(&self) -> Result<(), String> {
-        self.geometry.validate()?;
+    /// Propagates the first geometry inconsistency as
+    /// [`DramError::InvalidConfig`] and the first timing contradiction as
+    /// [`DramError::InvalidTiming`] (typed: stable `cfg/...` rule id,
+    /// offending parameters, implied contradiction). Additionally rejects
+    /// `t_rfm_ps == 0` (RFM unsupported) when read-disturbance modeling is
+    /// enabled — rule [`ConfigRule::RfmRequired`] — because every
+    /// mitigation issues targeted refreshes, and a zero-duration RFM would
+    /// make them silently free.
+    ///
+    /// [`ConfigRule::RfmRequired`]: crate::consistency::ConfigRule::RfmRequired
+    pub fn validate(&self) -> Result<(), DramError> {
+        self.geometry.validate().map_err(DramError::InvalidConfig)?;
         self.timing.validate()?;
         if self.variation.disturb_enabled && self.timing.t_rfm_ps == 0 {
-            return Err(
-                "disturbance mitigation requires targeted refresh: t_rfm_ps must be non-zero"
-                    .into(),
-            );
+            return Err(DramError::InvalidTiming(
+                crate::consistency::TimingContradiction {
+                    rule: crate::consistency::ConfigRule::RfmRequired,
+                    params: vec![("t_rfm_ps", 0)],
+                    implied: "disturbance mitigation requires targeted refresh: \
+                              t_rfm_ps must be non-zero"
+                        .into(),
+                },
+            ));
         }
         Ok(())
     }
@@ -221,7 +233,14 @@ mod tests {
         cfg.validate().unwrap(); // RFM unsupported, mitigation off: fine
         cfg.variation.disturb_enabled = true;
         let err = cfg.validate().unwrap_err();
-        assert!(err.contains("t_rfm_ps"), "{err}");
+        match &err {
+            DramError::InvalidTiming(c) => {
+                assert_eq!(c.rule.id(), "cfg/rfm-required");
+                assert!(c.params.contains(&("t_rfm_ps", 0)));
+            }
+            other => panic!("expected a typed timing contradiction, got {other:?}"),
+        }
+        assert!(err.to_string().contains("t_rfm_ps"), "{err}");
         cfg.timing.t_rfm_ps = 60_000;
         cfg.validate().unwrap();
     }

@@ -13,6 +13,8 @@
 //! * Early `PRE` with dirty row buffer: the incomplete restore loses writes.
 //! * Unrefreshed rows decay when retention enforcement is enabled.
 
+// lint: allow(det/hash-order) — both device maps are keyed sparse stores
+// (entry/get/remove/clear by (bank, row)), never iterated.
 use std::collections::HashMap;
 
 use crate::bank::RankTiming;
@@ -97,6 +99,7 @@ pub struct DramDevice {
     cfg: DramConfig,
     rank: RankTiming,
     variation: VariationModel,
+    // lint: allow(det/hash-order) — sparse row store, keyed access only.
     rows: HashMap<(u32, u32), RowData>,
     row_buffers: Vec<Option<RowBuffer>>,
     now_ps: u64,
@@ -107,6 +110,7 @@ pub struct DramDevice {
     /// keyed `(bank, row)`. Only populated when disturbance modeling is on;
     /// cleared by `REF` (or by `t_refw` elapsing — see
     /// [`DramDevice::note_hammer`]), pruned per-neighborhood by `RFM`.
+    // lint: allow(det/hash-order) — keyed counters, never iterated.
     hammer_counts: HashMap<(u32, u32), u64>,
     /// Start of the current hammer window, ps.
     hammer_window_start_ps: u64,
@@ -132,13 +136,13 @@ impl DramDevice {
             cfg,
             rank,
             variation,
-            rows: HashMap::new(),
+            rows: HashMap::new(), // lint: allow(det/hash-order) — see the field's justification
             row_buffers: vec![None; banks],
             now_ps: 0,
             nonce: 0,
             rank_last_ref_ps: 0,
             stats: DeviceStats::default(),
-            hammer_counts: HashMap::new(),
+            hammer_counts: HashMap::new(), // lint: allow(det/hash-order) — see the field's justification
             hammer_window_start_ps: 0,
             acts_per_bank: vec![0; banks],
         }

@@ -121,6 +121,10 @@ pub enum DramError {
     },
     /// The configuration failed validation.
     InvalidConfig(String),
+    /// The timing parameter set failed the static contradiction checker
+    /// ([`crate::consistency`]): the diagnostic carries the violated rule
+    /// id, the offending parameters, and the implied contradiction.
+    InvalidTiming(crate::consistency::TimingContradiction),
 }
 
 impl fmt::Display for DramError {
@@ -138,6 +142,7 @@ impl fmt::Display for DramError {
                 "command issued at {requested_ps} ps but device time is already {now_ps} ps"
             ),
             DramError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DramError::InvalidTiming(c) => write!(f, "contradictory timing configuration: {c}"),
         }
     }
 }

@@ -43,6 +43,7 @@ pub mod address;
 pub mod bank;
 pub mod command;
 pub mod config;
+pub mod consistency;
 pub mod det;
 pub mod device;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod variation;
 pub use address::{AddressMapper, DramAddress, MappingScheme};
 pub use command::{DramCommand, LINE_BYTES};
 pub use config::{DramConfig, Geometry};
+pub use consistency::{ConfigRule, TimingContradiction};
 pub use device::{blast_neighbors, CmdOutcome, DramDevice, RowCloneOutcome, BLAST_RADIUS};
 pub use error::{DramError, TimingRule, TimingViolation};
 #[cfg(any(test, feature = "oracle"))]

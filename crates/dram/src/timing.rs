@@ -134,36 +134,25 @@ impl TimingParams {
         self.t_rcd_ps + self.read_latency_ps()
     }
 
-    /// Validates internal consistency of the parameter set.
+    /// Validates internal consistency of the parameter set against the
+    /// closed [`crate::consistency::ConfigRule`] set, returning the first
+    /// contradiction as a typed diagnostic. Use
+    /// [`TimingParams::check_consistency`] to collect every contradiction.
+    ///
+    /// `t_rfm_ps == 0` is allowed here and means "the module does not
+    /// support targeted refresh"; configurations that *rely* on RFM
+    /// (disturbance mitigation) reject it in
+    /// [`crate::DramConfig::validate`], where the mitigation flag is
+    /// visible.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated sanity
-    /// rule (e.g. `tRAS < tRCD`).
-    pub fn validate(&self) -> Result<(), String> {
-        if self.t_ck_ps == 0 {
-            return Err("t_ck must be non-zero".into());
-        }
-        if self.t_ras_ps < self.t_rcd_ps {
-            return Err(format!(
-                "tRAS ({}) must cover tRCD ({})",
-                self.t_ras_ps, self.t_rcd_ps
-            ));
-        }
-        if self.t_refi_ps < self.t_rfc_ps {
-            return Err("tREFI must exceed tRFC".into());
-        }
-        if self.t_refw_ps < self.t_refi_ps {
-            return Err("tREFW must exceed tREFI".into());
-        }
-        if self.t_burst_ps == 0 {
-            return Err("burst duration must be non-zero".into());
-        }
-        // t_rfm_ps == 0 is allowed here and means "the module does not
-        // support targeted refresh"; configurations that *rely* on RFM
-        // (disturbance mitigation) reject it in `DramConfig::validate`,
-        // where the mitigation flag is visible.
-        Ok(())
+    /// Returns the first violated rule's [`TimingContradiction`] (stable
+    /// rule id, offending parameters, implied contradiction).
+    ///
+    /// [`TimingContradiction`]: crate::consistency::TimingContradiction
+    pub fn validate(&self) -> Result<(), crate::consistency::TimingContradiction> {
+        self.check_consistency().map_err(|mut errs| errs.remove(0))
     }
 }
 
@@ -202,7 +191,17 @@ mod tests {
     fn validate_rejects_inconsistent_sets() {
         let mut t = TimingParams::ddr4_1333();
         t.t_ras_ps = 1_000; // below tRCD
-        assert!(t.validate().is_err());
+        let c = t.validate().unwrap_err();
+        assert_eq!(c.rule.id(), "cfg/ras-vs-rcd");
+
+        // Regression (ISSUE 7 satellite): a four-activate window shorter
+        // than four minimally-spaced activates is rejected with the right
+        // rule id, as a typed error — not a panic, not a bare string.
+        let mut t = TimingParams::ddr4_1333();
+        t.t_faw_ps = 4 * t.t_rrd_s_ps - 1;
+        let c = t.validate().unwrap_err();
+        assert_eq!(c.rule, crate::consistency::ConfigRule::FawWindow);
+        assert_eq!(c.rule.id(), "cfg/faw-window");
 
         let mut t = TimingParams::ddr4_1333();
         t.t_ck_ps = 0;

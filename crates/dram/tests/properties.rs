@@ -78,7 +78,7 @@ proptest! {
         let channels = [1u32, 2, 4][ch_idx];
         let g = Geometry { channels, ..Geometry::default() };
         let m = AddressMapper::new(g, scheme);
-        let mut remap = std::collections::HashMap::new();
+        let mut remap = std::collections::BTreeMap::new();
         remap.insert(vrow, (bank, row));
         let phys = vrow * 8192 + u64::from(col) * 64;
         let d = m.to_dram_remapped(&remap, phys);
@@ -283,6 +283,80 @@ proptest! {
             };
             let out = dev.issue_raw(cmd, t).unwrap();
             prop_assert!(out.completion_ps >= t);
+        }
+    }
+
+    /// The static contradiction checker is sound on generated configs: a
+    /// verdict of Ok means the closed-rule inequalities really hold (and the
+    /// checked table builds); every rejection names a rule whose inequality
+    /// genuinely fails for the offending parameters.
+    #[test]
+    fn consistency_checker_is_sound_on_generated_configs(
+        base in 0usize..2,
+        field in 0usize..8,
+        scale in 0usize..4,
+    ) {
+        use easydram_dram::{ConfigRule, TimingTable};
+        let mut t = if base == 0 {
+            TimingParams::ddr4_1333()
+        } else {
+            TimingParams::ddr4_2400()
+        };
+        {
+            let f = [
+                &mut t.t_faw_ps,
+                &mut t.t_rrd_l_ps,
+                &mut t.t_ccd_l_ps,
+                &mut t.t_refi_ps,
+                &mut t.t_refw_ps,
+                &mut t.t_ras_ps,
+                &mut t.t_rfm_ps,
+                &mut t.t_ck_ps,
+            ];
+            let v = *f[field];
+            *f[field] = match scale {
+                0 => 0,
+                1 => v / 4,
+                2 => v,
+                _ => v.saturating_mul(16),
+            };
+        }
+        let verdict = t.check_consistency();
+        // Deterministic: same params, same verdict.
+        prop_assert_eq!(&verdict, &t.check_consistency());
+        match verdict {
+            Ok(()) => {
+                prop_assert!(t.t_ck_ps > 0 && t.t_burst_ps > 0);
+                prop_assert!(t.t_ras_ps >= t.t_rcd_ps);
+                prop_assert!(t.t_faw_ps >= 4 * t.t_rrd_s_ps);
+                prop_assert!(t.t_rrd_l_ps >= t.t_rrd_s_ps);
+                prop_assert!(t.t_ccd_l_ps >= t.t_ccd_s_ps);
+                prop_assert!(t.t_refi_ps >= t.t_rfc_ps);
+                prop_assert!(t.t_refw_ps >= t.t_refi_ps);
+                prop_assert!(t.t_rfm_ps == 0 || t.t_rfm_ps >= t.t_rp_ps);
+                prop_assert!(TimingTable::checked(&t).is_ok());
+            }
+            Err(errs) => {
+                prop_assert!(!errs.is_empty());
+                for c in errs {
+                    let holds = match c.rule {
+                        ConfigRule::ZeroClock => t.t_ck_ps == 0 || t.t_burst_ps == 0,
+                        ConfigRule::RasVsRcd => t.t_ras_ps < t.t_rcd_ps,
+                        ConfigRule::FawWindow => t.t_faw_ps < 4 * t.t_rrd_s_ps,
+                        ConfigRule::RrdScope => t.t_rrd_l_ps < t.t_rrd_s_ps,
+                        ConfigRule::CcdScope => t.t_ccd_l_ps < t.t_ccd_s_ps,
+                        ConfigRule::RefreshInterval => t.t_refi_ps < t.t_rfc_ps,
+                        ConfigRule::RefreshWindow => t.t_refw_ps < t.t_refi_ps,
+                        ConfigRule::RfmVsRp => t.t_rfm_ps != 0 && t.t_rfm_ps < t.t_rp_ps,
+                        // Overflow/coverage rules are unreachable from the
+                        // saturating perturbations above.
+                        other => return Err(TestCaseError::fail(format!(
+                            "unexpected rule {other:?} from a bounded perturbation"
+                        ))),
+                    };
+                    prop_assert!(holds, "{} reported but its inequality holds", c.rule.id());
+                }
+            }
         }
     }
 }

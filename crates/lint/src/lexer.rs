@@ -1,0 +1,337 @@
+//! A small hand-rolled Rust lexer: strips comments and string/char literals,
+//! emits a line-tagged token stream, and captures `// lint:` pragma comments.
+//!
+//! The rules engine pattern-matches on token *sequences* (e.g. `Vec`, `::`,
+//! `new`), so the lexer only needs to be faithful about four things: token
+//! boundaries, line numbers, what is and is not a comment/literal, and the
+//! lifetime-vs-char-literal ambiguity. It does not parse Rust.
+
+/// One source token: an identifier/keyword, a number, `::`, or a single
+/// punctuation character — never comment or literal text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// Token text (identifiers verbatim; punctuation as itself).
+    pub text: String,
+}
+
+/// A `// lint: ...` pragma comment, grammar-checked by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based source line of the comment.
+    pub line: u32,
+    /// Whether the comment is the first non-whitespace on its line (an
+    /// own-line pragma applies to the *next* code line / item; a trailing
+    /// pragma applies to its own line).
+    pub own_line: bool,
+    /// The pragma body after `lint:`, trimmed (e.g. `no_alloc`,
+    /// `allow(det/hash-order) — lookup-only`).
+    pub body: String,
+}
+
+/// The lexer's output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Line-tagged tokens, comments and literals stripped.
+    pub tokens: Vec<Token>,
+    /// Captured `// lint:` pragmas in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Lexes one file's source text.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Whether any token has been emitted on the current line (decides
+    // `own_line` for pragmas).
+    let mut line_has_code = false;
+    let is_ident_start = |c: u8| c.is_ascii_alphabetic() || c == b'_';
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Line comment: capture `// lint:` pragmas, drop the rest.
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let text = src[start..j].trim_start();
+                // Doc comments (`///`, `//!`) are never pragmas.
+                let body = text
+                    .strip_prefix("lint:")
+                    .filter(|_| !src[start..].starts_with(['/', '!']));
+                if let Some(body) = body {
+                    out.pragmas.push(Pragma {
+                        line,
+                        own_line: !line_has_code,
+                        body: body.trim().to_string(),
+                    });
+                }
+                i = j;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested.
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        line_has_code = false;
+                        j += 1;
+                    } else if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                i = skip_string(b, i + 1, &mut line);
+                line_has_code = true;
+            }
+            b'r' | b'b' if starts_raw_string(b, i) => {
+                // r"..." / r#"..."# / br"..." / rb-prefix variants: find the
+                // `#` count, then scan for `"` followed by that many `#`.
+                let mut j = i + 1;
+                if b[j] == b'r' {
+                    j += 1; // the `b` of `br`
+                }
+                let mut hashes = 0usize;
+                while b.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                j += 1; // opening quote
+                'raw: while j < b.len() {
+                    if b[j] == b'\n' {
+                        line += 1;
+                    } else if b[j] == b'"' {
+                        let mut k = 0usize;
+                        while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+                line_has_code = true;
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'_`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): a backslash or a non-identifier means char; an
+                // identifier char followed by a closing quote means char
+                // (`'a'`); otherwise it's a lifetime and only the quote is
+                // consumed (the identifier lexes as a normal token).
+                let next = b.get(i + 1).copied();
+                match next {
+                    Some(b'\\') => {
+                        let mut j = i + 2;
+                        if j < b.len() {
+                            j += 1; // the escaped character
+                        }
+                        while j < b.len() && b[j] != b'\'' {
+                            j += 1; // \u{...} and friends
+                        }
+                        i = j + 1;
+                    }
+                    Some(n) if is_ident_start(n) && b.get(i + 2) != Some(&b'\'') => {
+                        i += 1; // lifetime: drop the quote, keep the ident
+                    }
+                    Some(_) => {
+                        // '<single char>'
+                        let mut j = i + 1;
+                        if b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                        while j < b.len() && b[j] != b'\'' {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    }
+                    None => i += 1,
+                }
+                line_has_code = true;
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                out.tokens.push(Token {
+                    line,
+                    text: "::".to_string(),
+                });
+                line_has_code = true;
+                i += 2;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+                line_has_code = true;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (is_ident(b[i])) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+                line_has_code = true;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    line,
+                    text: (c as char).to_string(),
+                });
+                line_has_code = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` starts a raw (or raw-byte) string literal: `r"`,
+/// `r#`, `br"`, `br#`.
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    let after_r = |r: &[u8]| matches!(r.first(), Some(b'"' | b'#'));
+    match rest.first() {
+        Some(b'r') => after_r(&rest[1..]),
+        Some(b'b') => rest.get(1) == Some(&b'r') && after_r(&rest[2..]),
+        _ => false,
+    }
+}
+
+/// Skips a normal string literal body starting *after* the opening quote;
+/// returns the index just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = r#"
+            // a HashMap in a comment
+            let x = "HashMap in a string"; /* Instant
+               in a block comment */ let y = 1;
+        "#;
+        let t = texts(src);
+        assert!(!t.contains(&"HashMap".to_string()));
+        assert!(!t.contains(&"Instant".to_string()));
+        assert!(t.contains(&"let".to_string()));
+        assert!(t.contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let src = "a\nb\n  c";
+        let toks = lex(src).tokens;
+        assert_eq!(
+            toks.iter()
+                .map(|t| (t.line, t.text.as_str()))
+                .collect::<Vec<_>>(),
+            [(1, "a"), (2, "b"), (3, "c")]
+        );
+    }
+
+    #[test]
+    fn captures_pragmas_with_own_line_flag() {
+        let src = "// lint: no_alloc\nfn f() {}\nlet x = 1; // lint: allow(det/hash-order) — ok\n";
+        let p = lex(src).pragmas;
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            (p[0].line, p[0].own_line, p[0].body.as_str()),
+            (1, true, "no_alloc")
+        );
+        assert_eq!(p[1].line, 3);
+        assert!(!p[1].own_line);
+        assert!(p[1].body.starts_with("allow(det/hash-order)"));
+    }
+
+    #[test]
+    fn doc_comments_are_not_pragmas() {
+        let src = "/// lint: no_alloc\n//! lint: no_alloc\nfn f() {}\n";
+        assert!(lex(src).pragmas.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_literals() {
+        let src = r##"let a = r#"HashMap "quoted" inside"#; let b = 'I'; let c = '\n';"##;
+        let t = texts(src);
+        assert!(!t.contains(&"HashMap".to_string()));
+        assert!(!t.contains(&"I".to_string()));
+        assert!(t.contains(&"b".to_string()));
+        assert!(t.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_keep_their_identifier() {
+        let t = texts("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(t.iter().filter(|s| s.as_str() == "a").count(), 3);
+        // and `'a'` is consumed as a char literal, not a lifetime:
+        let t = texts("let x = 'a';");
+        assert!(!t.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let t = texts("Vec::new()");
+        assert_eq!(t, ["Vec", "::", "new", "(", ")"]);
+    }
+
+    #[test]
+    fn multiline_strings_count_lines() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let toks = lex(src).tokens;
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

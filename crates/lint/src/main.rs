@@ -1,0 +1,96 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p easydram-lint -- [--root <dir>] [--deny] [--list-rules]
+//!                               [--disable <rule-id>]...
+//! ```
+//!
+//! `--deny` exits non-zero when any finding survives; CI's `static-analysis`
+//! job runs exactly that.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use easydram_lint::{run, LintConfig, Rule};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut disabled = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--disable" => {
+                let Some(id) = args.next() else {
+                    eprintln!("--disable needs a rule id");
+                    return ExitCode::from(2);
+                };
+                let Some(rule) = Rule::from_id(&id) else {
+                    eprintln!("unknown rule `{id}`; see --list-rules");
+                    return ExitCode::from(2);
+                };
+                disabled.insert(rule);
+            }
+            "--list-rules" => {
+                for r in Rule::all() {
+                    println!("{:<28} {}", r.id(), r.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "easydram-lint: workspace invariant linter\n\n\
+                     USAGE: easydram-lint [--root <dir>] [--deny] \
+                     [--list-rules] [--disable <rule-id>]...\n\n\
+                     --root <dir>        workspace root (default: .)\n\
+                     --deny              exit 1 if any finding survives\n\
+                     --disable <rule>    switch one rule off (repeatable)\n\
+                     --list-rules        print the rule catalog and exit"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = LintConfig { root, disabled };
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "lint clean: {} files, {} rules",
+            report.files.len(),
+            cfg.enabled().len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("{} finding(s)", report.diagnostics.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

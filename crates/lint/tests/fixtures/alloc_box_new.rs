@@ -1,0 +1,4 @@
+// lint: no_alloc
+pub fn hot() -> Box<u8> {
+    Box::new(7)
+}

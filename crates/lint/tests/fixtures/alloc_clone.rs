@@ -1,0 +1,4 @@
+// lint: no_alloc
+pub fn hot(v: &[u64; 4]) -> [u64; 4] {
+    v.clone()
+}

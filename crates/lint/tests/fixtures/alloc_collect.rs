@@ -1,0 +1,5 @@
+// lint: no_alloc
+pub fn hot(n: u32) -> usize {
+    let v: Vec<u32> = (0..n).collect();
+    v.len()
+}

@@ -1,0 +1,4 @@
+// lint: no_alloc
+pub fn hot() -> Vec<u8> {
+    Vec::new()
+}

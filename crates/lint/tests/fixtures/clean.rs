@@ -1,0 +1,25 @@
+//! A clean file: ordered maps, seeded determinism, no hot-path allocation,
+//! and hash maps only inside test code (which is out of lint scope).
+use std::collections::BTreeMap;
+
+// lint: no_alloc
+pub fn total(m: &BTreeMap<u64, u32>) -> u64 {
+    let mut sum = 0u64;
+    for (k, v) in m {
+        sum += k + u64::from(*v);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_maps_in_tests_are_fine() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u32);
+        let copy = m.clone();
+        assert_eq!(copy.len(), 1);
+    }
+}

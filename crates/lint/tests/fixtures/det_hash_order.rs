@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn order(m: &HashMap<u64, u32>) -> u64 {
+    m.keys().sum()
+}

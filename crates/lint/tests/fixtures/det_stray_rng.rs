@@ -1,0 +1,4 @@
+pub fn seed() -> u64 {
+    let mut r = thread_rng();
+    r.next_u64()
+}

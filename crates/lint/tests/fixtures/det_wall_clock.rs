@@ -1,0 +1,4 @@
+pub fn now_ms() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis()
+}

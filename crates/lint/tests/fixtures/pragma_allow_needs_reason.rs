@@ -1,0 +1,4 @@
+pub struct Cache {
+    // lint: allow(det/hash-order)
+    map: std::collections::HashMap<u64, u32>,
+}

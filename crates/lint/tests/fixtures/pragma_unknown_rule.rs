@@ -1,0 +1,4 @@
+// lint: allow(det/no-such-rule) — justified at length, but not a real rule
+pub fn f() -> u32 {
+    7
+}

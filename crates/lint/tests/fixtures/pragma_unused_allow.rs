@@ -1,0 +1,4 @@
+// lint: allow(det/wall-clock) — paranoia: nothing on the next line reads a clock
+pub fn f() -> u32 {
+    7
+}

@@ -1,0 +1,57 @@
+//! The workspace integration gate: the real source tree must be lint-clean
+//! with every rule enabled. This is the same check CI's `static-analysis`
+//! job runs via `cargo run -p easydram-lint -- --deny`.
+
+use easydram_lint::{run, LintConfig};
+
+fn workspace_root() -> std::path::PathBuf {
+    // crates/lint/ -> workspace root
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = run(&LintConfig::new(workspace_root())).expect("lint walk");
+    assert!(
+        report.files.len() > 20,
+        "walker must visit the whole workspace, saw {} files",
+        report.files.len()
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must be lint-clean, got {} finding(s):\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn walker_visits_known_hot_files_and_skips_exclusions() {
+    let report = run(&LintConfig::new(workspace_root())).expect("lint walk");
+    for must_see in [
+        "crates/core/src/system.rs",
+        "crates/dram/src/table.rs",
+        "crates/dram/src/det.rs",
+        "src/lib.rs",
+    ] {
+        assert!(
+            report.files.iter().any(|f| f == must_see),
+            "walker must visit {must_see}"
+        );
+    }
+    for skipped in ["shims/", "crates/lint/", "target/"] {
+        assert!(
+            !report.files.iter().any(|f| f.starts_with(skipped)),
+            "walker must not visit {skipped}"
+        );
+    }
+}

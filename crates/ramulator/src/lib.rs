@@ -32,7 +32,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// lint: allow(det/hash-order) — the line store is lookup-only (entry/insert
+// by line address, never iterated).
 use std::collections::HashMap;
+// lint: allow(det/wall-clock) — Instant measures *host* simulation speed,
+// reported out-of-band; it never feeds simulated state.
 use std::time::Instant;
 
 use easydram_cpu::backend::{LineFetch, MemoryBackend, RowCloneRequestResult};
@@ -91,6 +95,7 @@ pub struct RamulatorBackend {
     /// One rank-folded timing tracker per channel.
     channels: Vec<RankTiming>,
     mapper: AddressMapper,
+    // lint: allow(det/hash-order) — keyed line store, lookup-only.
     mem: HashMap<u64, [u8; LINE_BYTES]>,
     /// Per-channel device timeline in simulated ps.
     now_ps: Vec<u64>,
@@ -117,7 +122,7 @@ impl RamulatorBackend {
             cfg,
             channels,
             mapper,
-            mem: HashMap::new(),
+            mem: HashMap::new(), // lint: allow(det/hash-order) — see the field's justification
             now_ps: vec![0; n],
             alloc_cursor: 0x1_0000,
             next_ref_ps: vec![next_ref; n],
@@ -362,6 +367,8 @@ impl RamulatorSystem {
         let cycles0 = self.core.now_cycles();
         let instr0 = self.core.stats().instructions;
         let events0 = self.core.backend().mem_events;
+        // lint: allow(det/wall-clock) — host-speed measurement only; the
+        // value lands in `RamReport::host_wall_seconds`, never in timing.
         let host0 = Instant::now();
         workload.run(&mut self.core);
         let host_wall_seconds = host0.elapsed().as_secs_f64();
