@@ -32,7 +32,11 @@ fn copy_cycles(cfg: SystemConfig) -> u64 {
 }
 
 fn main() {
-    let base = || SystemConfig::jetson_nano(TimingMode::TimeScaling);
+    let base = || {
+        let cfg = SystemConfig::jetson_nano(TimingMode::TimeScaling);
+        easydram_bench::validate_system_timing("ablation config", &cfg);
+        cfg
+    };
 
     // 1. Scheduler / page policy.
     let mut rows = Vec::new();

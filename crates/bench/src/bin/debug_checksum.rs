@@ -16,6 +16,7 @@ fn main() {
             SystemConfig::jetson_nano(TimingMode::Reference),
         ),
     ] {
+        easydram_bench::validate_system_timing(label, &cfg);
         for scheme in [
             MappingScheme::RowColBankXor,
             MappingScheme::RowColBank,

@@ -19,7 +19,9 @@ const COVERED_ROWS: u32 = 2_048;
 
 fn easydram_speedup(name: &str, size: PolySize) -> f64 {
     let run = |reduce: bool| {
-        let mut sys = System::new(SystemConfig::jetson_nano(TimingMode::TimeScaling));
+        let cfg = SystemConfig::jetson_nano(TimingMode::TimeScaling);
+        easydram_bench::validate_system_timing("fig13 EasyDRAM config", &cfg);
+        let mut sys = System::new(cfg);
         if reduce {
             sys.enable_trcd_reduction(COVERED_ROWS, REDUCED_TRCD_PS);
         }
@@ -35,6 +37,9 @@ fn ramulator_speedup(name: &str, size: PolySize) -> f64 {
     let run = |trcd_ps: u64| {
         let mut cfg = easydram_ramulator::RamulatorConfig::default();
         cfg.timing.t_rcd_ps = trcd_ps;
+        // The sweep mutates tRCD, so validate the *mutated* bin: a reduced
+        // tRCD that contradicts tRAS/tRC must fail fast, not mis-simulate.
+        easydram_bench::validate_timing("fig13 Ramulator tRCD sweep", &cfg.timing);
         let mut sim = easydram_ramulator::RamulatorSystem::new(cfg);
         let mut w = polybench::by_name(name, size).expect("kernel");
         sim.run(w.as_mut()).simulated_cycles

@@ -33,7 +33,9 @@ fn main() {
     let mut ratios = Vec::new();
     let mut best: Option<(String, f64)> = None;
     for name in fig13_names() {
-        let mut sys = System::new(SystemConfig::jetson_nano(TimingMode::TimeScaling));
+        let cfg = SystemConfig::jetson_nano(TimingMode::TimeScaling);
+        easydram_bench::validate_system_timing("fig14 EasyDRAM config", &cfg);
+        let mut sys = System::new(cfg);
         let mut w = polybench::by_name(name, size).expect("kernel");
         let er = sys.run(w.as_mut());
         let mut ram = ramulator();
@@ -90,6 +92,7 @@ fn serve_loop_regression_gate() {
     let (commands, samples) = if quick() { (40_000, 5) } else { (200_000, 7) };
     let geometry = sim_speed_geometry();
     let timing = TimingParams::ddr4_1333();
+    easydram_bench::validate_timing("fig14 serve-loop timing", &timing);
     let stream = sim_speed_stream(commands, &geometry, &timing);
 
     // Digest equality doubles as an online differential check: if the table

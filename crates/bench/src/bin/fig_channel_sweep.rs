@@ -28,6 +28,7 @@ fn jetson_with_channels(channels: u32, mode: TimingMode) -> System {
     if quick() {
         cfg.rowclone_test_trials = 100;
     }
+    easydram_bench::validate_system_timing("channel-sweep config", &cfg);
     System::new(cfg)
 }
 

@@ -52,6 +52,7 @@ fn rig(channels: u32) -> SystemConfig {
         ways: 4,
         hit_latency_cycles: 12,
     });
+    easydram_bench::validate_system_timing("multicore-contention rig", &cfg);
     cfg
 }
 

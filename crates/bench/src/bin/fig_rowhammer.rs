@@ -43,6 +43,7 @@ fn rig() -> SystemConfig {
     let mut cfg = SystemConfig::small_for_tests(TimingMode::Reference);
     cfg.dram.variation.disturb_enabled = true;
     cfg.dram.variation.hc_first = HC_FIRST;
+    easydram_bench::validate_system_timing("rowhammer rig", &cfg);
     cfg
 }
 

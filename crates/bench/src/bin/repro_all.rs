@@ -8,7 +8,38 @@
 use std::process::Command;
 use std::time::Instant;
 
+use easydram::{SystemConfig, TimingMode};
+use easydram_bench::validate_system_timing;
+use easydram_ramulator::RamulatorConfig;
+
+/// Fail-fast gate over every canonical timing bin the harnesses below will
+/// build, before any of them spends wall-clock: a contradictory bin aborts
+/// the whole reproduction with structured `TimingContradiction` diagnostics
+/// instead of surfacing as one harness's mystery failure mid-sequence.
+fn validate_all_timing_configs() {
+    validate_system_timing(
+        "jetson-nano (time scaling)",
+        &SystemConfig::jetson_nano(TimingMode::TimeScaling),
+    );
+    validate_system_timing(
+        "jetson-nano (reference)",
+        &SystemConfig::jetson_nano(TimingMode::Reference),
+    );
+    validate_system_timing("pidram-like", &SystemConfig::pidram_like());
+    validate_system_timing(
+        "validation-1ghz",
+        &SystemConfig::validation_1ghz(TimingMode::TimeScaling),
+    );
+    validate_system_timing(
+        "small-for-tests",
+        &SystemConfig::small_for_tests(TimingMode::Reference),
+    );
+    easydram_bench::validate_timing("ramulator baseline", &RamulatorConfig::default().timing);
+    println!("timing configurations validated (check_consistency clean).");
+}
+
 fn main() {
+    validate_all_timing_configs();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     let bins = [

@@ -57,6 +57,31 @@ pub fn lmbench_sizes() -> Vec<u64> {
     sizes
 }
 
+/// Fail-fast timing gate every figure harness passes its configuration
+/// through before measuring anything: runs [`TimingParams::check_consistency`]
+/// and, on failure, prints **every** structured
+/// [`TimingContradiction`](easydram_dram::TimingContradiction) (rule id,
+/// offending parameters by name/value, and the implied contradiction in
+/// words) to stderr and exits non-zero. A sweep that drives a parameter into
+/// a self-contradictory bin must die here, not publish numbers from a table
+/// built on nonsense.
+pub fn validate_timing(label: &str, timing: &TimingParams) {
+    if let Err(contradictions) = timing.check_consistency() {
+        eprintln!("{label}: timing configuration is self-contradictory:");
+        for c in &contradictions {
+            eprintln!("  {c}");
+        }
+        eprintln!("{label}: refusing to run on a contradictory timing bin");
+        std::process::exit(1);
+    }
+}
+
+/// [`validate_timing`] over a full [`SystemConfig`] (validates the DRAM
+/// timing bin the system will build its table from).
+pub fn validate_system_timing(label: &str, cfg: &SystemConfig) {
+    validate_timing(label, &cfg.dram.timing);
+}
+
 /// Builds the paper's main EasyDRAM system in the given mode.
 #[must_use]
 pub fn jetson(mode: TimingMode) -> System {
@@ -64,6 +89,7 @@ pub fn jetson(mode: TimingMode) -> System {
     if quick() {
         cfg.rowclone_test_trials = 100;
     }
+    validate_system_timing("jetson-nano config", &cfg);
     System::new(cfg)
 }
 
@@ -74,13 +100,16 @@ pub fn pidram() -> System {
     if quick() {
         cfg.rowclone_test_trials = 100;
     }
+    validate_system_timing("pidram-like config", &cfg);
     System::new(cfg)
 }
 
 /// Builds the Ramulator 2.0 baseline.
 #[must_use]
 pub fn ramulator() -> RamulatorSystem {
-    RamulatorSystem::new(RamulatorConfig::default())
+    let cfg = RamulatorConfig::default();
+    validate_timing("ramulator baseline config", &cfg.timing);
+    RamulatorSystem::new(cfg)
 }
 
 /// A simulator under measurement (EasyDRAM or the software baseline).

@@ -119,8 +119,10 @@ pub struct RankTiming {
     last_col_was_write: bool,
     /// Bank group of that column command.
     last_col_group: u32,
-    /// Biased end of the most recent refresh (tRFC).
-    ref_busy_until_bps: u64,
+    /// Biased issue time of the last all-bank refresh; every command class
+    /// is gated by its own `Channel` `Ref→class` entry (all tRFC on DDR4),
+    /// so each of those matrix entries is load-bearing.
+    last_ref_bps: u64,
 }
 
 impl RankTiming {
@@ -129,12 +131,15 @@ impl RankTiming {
     /// answered from it.
     #[must_use]
     pub fn new(geometry: Geometry, timing: TimingParams) -> Self {
+        Self::from_table(geometry, TimingTable::new(&timing))
+    }
+
+    fn from_table(geometry: Geometry, table: TimingTable) -> Self {
         let mut banks = vec![BankTrack::default(); geometry.banks() as usize];
         for (i, b) in banks.iter_mut().enumerate() {
             b.group = geometry.group_of(i as u32);
         }
         let groups = geometry.bank_groups as usize;
-        let table = TimingTable::new(&timing);
         Self {
             geometry,
             table,
@@ -147,7 +152,7 @@ impl RankTiming {
             last_col_bps: NEVER,
             last_col_was_write: false,
             last_col_group: 0,
-            ref_busy_until_bps: NEVER,
+            last_ref_bps: NEVER,
         }
     }
 
@@ -196,8 +201,9 @@ impl RankTiming {
         if cmd.bank().is_some_and(|b| b >= self.geometry.banks()) {
             return 0;
         }
-        let mut earliest = self.ref_busy_until_bps;
         let tt = &self.table;
+        let mut earliest =
+            self.last_ref_bps + tt.dist_ps(Scope::Channel, CmdClass::Ref, CmdClass::of(cmd));
         match *cmd {
             DramCommand::Activate { bank, .. } => {
                 let b = &self.banks[bank as usize];
@@ -320,7 +326,8 @@ impl RankTiming {
         }
         let tt = &self.table;
         let now_b = now_ps + BIAS;
-        if now_b < self.ref_busy_until_bps {
+        if now_b < self.last_ref_bps + tt.dist_ps(Scope::Channel, CmdClass::Ref, CmdClass::of(cmd))
+        {
             return false;
         }
         match *cmd {
@@ -413,7 +420,11 @@ impl RankTiming {
                 });
             }
         };
-        push(&mut v, TimingRule::Trfc, self.ref_busy_until_bps);
+        push(
+            &mut v,
+            TimingRule::Trfc,
+            self.last_ref_bps + tt.dist_ps(Scope::Channel, CmdClass::Ref, CmdClass::of(cmd)),
+        );
         match *cmd {
             DramCommand::Activate { bank, .. } => {
                 let b = &self.banks[bank as usize];
@@ -478,7 +489,11 @@ impl RankTiming {
                     v.extend(self.check(&DramCommand::Precharge { bank }, now_ps));
                 }
                 v.retain(|viol| viol.rule != TimingRule::Trfc);
-                push(&mut v, TimingRule::Trfc, self.ref_busy_until_bps);
+                push(
+                    &mut v,
+                    TimingRule::Trfc,
+                    self.last_ref_bps + tt.dist_ps(Scope::Channel, CmdClass::Ref, CmdClass::Pre),
+                );
             }
             DramCommand::Read { bank, .. } | DramCommand::Write { bank, .. } => {
                 let is_write = matches!(cmd, DramCommand::Write { .. });
@@ -619,10 +634,7 @@ impl RankTiming {
                 self.last_col_group = group;
             }
             DramCommand::Refresh => {
-                self.ref_busy_until_bps = now_b
-                    + self
-                        .table
-                        .dist_ps(Scope::Channel, CmdClass::Ref, CmdClass::Act);
+                self.last_ref_bps = now_b;
             }
             DramCommand::RefreshRow { bank, .. } => {
                 // The bank internally activates and restores the row, then
@@ -650,6 +662,74 @@ impl RankTiming {
         self.banks[bank as usize]
             .last_act_event_ps()
             .map(|act_ps| now_ps.saturating_sub(act_ps))
+    }
+}
+
+/// Model-checker hooks, compiled for tests and the `oracle` feature only.
+#[cfg(any(test, feature = "oracle"))]
+impl RankTiming {
+    /// Builds a tracker around a caller-supplied (possibly deliberately
+    /// corrupted) distance table — the mutation harness's entry point.
+    #[must_use]
+    pub fn with_table(geometry: Geometry, table: TimingTable) -> Self {
+        Self::from_table(geometry, table)
+    }
+
+    /// Appends a delta-normalized canonical fingerprint of the tracker state
+    /// at `now_ps` to `out`.
+    ///
+    /// Two states with equal fingerprints are behaviorally equivalent for
+    /// every future command sequence issued at or after `now_ps`: legality is
+    /// a conjunction of `now' >= event + dist` comparisons, which only
+    /// depends on `event - now` differences (translation invariance on the
+    /// biased timeline), and any event older than `now -`
+    /// [`TimingTable::max_distance_ps`] — including a never-recorded
+    /// one — can never constrain again, so all such timestamps are clamped
+    /// to one canonical "ancient" value. This is what makes the bounded
+    /// model checker's reachable state space finite.
+    pub fn canonical_key(&self, now_ps: u64, out: &mut Vec<u64>) {
+        let now_b = now_ps + BIAS;
+        let horizon = self.table.max_distance_ps();
+        // Everything at or before the horizon floor is equivalent; emit
+        // timestamps relative to it so two time-shifted histories collide.
+        let floor = now_b.saturating_sub(horizon);
+        let norm = |ts: u64| ts.max(floor) - floor;
+        for b in &self.banks {
+            out.push(match b.state {
+                BankState::Idle => 0,
+                BankState::Active { row } => 1 + u64::from(row),
+            });
+            out.push(b.prev_open_row.map_or(0, |r| 1 + u64::from(r)));
+            out.push(norm(b.last_act_bps));
+            out.push(norm(b.last_pre_bps));
+            out.push(norm(b.last_rd_bps));
+            out.push(norm(b.last_wr_end_bps));
+        }
+        // The tFAW window is circular; emit it oldest-first so rotation
+        // state does not split otherwise-identical states.
+        for i in 0..4 {
+            out.push(norm(self.act_window[(self.act_ptr + i) & 3]));
+        }
+        for &t in &self.last_act_by_group {
+            out.push(norm(t));
+        }
+        out.push(norm(self.last_act_any));
+        out.push(u64::from(self.open_banks));
+        let col = norm(self.last_col_bps);
+        out.push(col);
+        // Direction/group of the last column command only matter while that
+        // event can still constrain; once clamped ancient they are noise.
+        out.push(if col > 0 {
+            1 + u64::from(self.last_col_was_write)
+        } else {
+            0
+        });
+        out.push(if col > 0 {
+            u64::from(self.last_col_group)
+        } else {
+            0
+        });
+        out.push(norm(self.last_ref_bps));
     }
 }
 

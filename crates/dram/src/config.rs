@@ -140,6 +140,48 @@ impl Geometry {
     }
 }
 
+/// Mini geometries for the exhaustive protocol model checker
+/// (`easydram-model`). Tiny on purpose: the bounded state-space enumeration
+/// is exponential in the command alphabet, and these shapes keep every
+/// interesting constraint class reachable (same-group and cross-group pairs,
+/// tFAW with exactly four banks) at a tractable size. Compiled with the
+/// `oracle` feature, alongside the frozen checker the model compares against.
+#[cfg(any(test, feature = "oracle"))]
+impl Geometry {
+    /// The model checker's base shape: 1 channel × 1 rank, 2 bank groups of
+    /// 2 banks, 4 rows of 2 cache lines. Satisfies [`Geometry::validate`].
+    #[must_use]
+    pub fn model_small() -> Geometry {
+        Geometry {
+            channels: 1,
+            ranks: 1,
+            bank_groups: 2,
+            banks_per_group: 2,
+            rows_per_bank: 4,
+            row_bytes: 128,
+            subarray_rows: 4,
+        }
+    }
+
+    /// The rank-folded variant: 2 ranks × 2 groups × 1 bank, folded through
+    /// [`Geometry::per_channel`] into 4 single-bank groups — every
+    /// cross-bank constraint resolves at the relaxed cross-group scope, the
+    /// opposite extreme from [`Geometry::model_small`].
+    #[must_use]
+    pub fn model_rank_folded() -> Geometry {
+        Geometry {
+            channels: 1,
+            ranks: 2,
+            bank_groups: 2,
+            banks_per_group: 1,
+            rows_per_bank: 4,
+            row_bytes: 128,
+            subarray_rows: 4,
+        }
+        .per_channel()
+    }
+}
+
 impl Default for Geometry {
     fn default() -> Self {
         Self {

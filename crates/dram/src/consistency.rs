@@ -164,8 +164,14 @@ fn contra(
 /// Cross-checks every scope of the built table against the raw parameters.
 /// Returns the first mismatch as a coverage contradiction.
 fn check_table_coverage(t: &TimingParams) -> Result<(), TimingContradiction> {
+    check_table_against(t, &TimingTable::new(t))
+}
+
+/// Cross-checks an already-built table instance against the raw parameters.
+/// Separated from [`check_table_coverage`] so the model checker's mutation
+/// harness can statically convict a corrupted table without rebuilding it.
+fn check_table_against(t: &TimingParams, tt: &TimingTable) -> Result<(), TimingContradiction> {
     use CmdClass::{Act, Pre, Rd, Ref, Rfm, Wr};
-    let tt = TimingTable::new(t);
     let ccd_s = t.t_ccd_s_ps.max(t.t_burst_ps);
     let ccd_l = t.t_ccd_l_ps.max(t.t_burst_ps);
     // (scope, prev, next, expected distance) — one row per matrix entry the
@@ -374,6 +380,23 @@ impl TimingTable {
     pub fn checked(t: &TimingParams) -> Result<Self, Vec<TimingContradiction>> {
         t.check_consistency()?;
         Ok(Self::new(t))
+    }
+}
+
+/// Model-checker hook, compiled for tests and the `oracle` feature only.
+#[cfg(any(test, feature = "oracle"))]
+impl TimingTable {
+    /// Cross-checks this table instance — which may have been perturbed via
+    /// [`TimingTable::set_entry`] — against the raw parameters, scope by
+    /// scope. This is the static tier of the model checker: any corrupted
+    /// entry is convicted as a [`ConfigRule::TableCoverage`] contradiction
+    /// even before the dynamic exploration finds a diverging trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatching entry as a structured contradiction.
+    pub fn verify_against(&self, t: &TimingParams) -> Result<(), TimingContradiction> {
+        check_table_against(t, self)
     }
 }
 

@@ -34,6 +34,7 @@
 //! `earliest_issue_ps` honours them but the rule checker does not enumerate
 //! them (the read→write bus-drain gap, which no JEDEC rule names).
 
+use crate::command::DramCommand;
 use crate::error::TimingRule;
 use crate::timing::TimingParams;
 
@@ -57,6 +58,34 @@ pub enum CmdClass {
     Rfm = 5,
 }
 
+impl CmdClass {
+    /// All classes, in matrix-index order.
+    pub const ALL: [CmdClass; N_CMD] = [
+        CmdClass::Act,
+        CmdClass::Pre,
+        CmdClass::Rd,
+        CmdClass::Wr,
+        CmdClass::Ref,
+        CmdClass::Rfm,
+    ];
+
+    /// The class a command is tracked under. `PrechargeAll` is per-bank
+    /// precharges, `RefreshRow` is the targeted-refresh (RFM) class.
+    #[must_use]
+    #[inline]
+    // lint: no_alloc
+    pub fn of(cmd: &DramCommand) -> CmdClass {
+        match cmd {
+            DramCommand::Activate { .. } => CmdClass::Act,
+            DramCommand::Precharge { .. } | DramCommand::PrechargeAll => CmdClass::Pre,
+            DramCommand::Read { .. } => CmdClass::Rd,
+            DramCommand::Write { .. } => CmdClass::Wr,
+            DramCommand::Refresh => CmdClass::Ref,
+            DramCommand::RefreshRow { .. } => CmdClass::Rfm,
+        }
+    }
+}
+
 /// Number of command classes (the matrix dimension).
 pub const N_CMD: usize = 6;
 
@@ -73,6 +102,17 @@ pub enum Scope {
     Bank,
     /// Within one row of one bank (reserved; no DDR4 entries).
     SameRow,
+}
+
+impl Scope {
+    /// All scopes, broadest first.
+    pub const ALL: [Scope; 5] = [
+        Scope::Channel,
+        Scope::Rank,
+        Scope::BankGroup,
+        Scope::Bank,
+        Scope::SameRow,
+    ];
 }
 
 /// One precomputed minimum distance: the candidate command must issue at
@@ -214,6 +254,33 @@ impl TimingTable {
         }
     }
 
+    /// The largest distance any entry (or the tFAW window, or an
+    /// event-recording offset) can project into the future. An event older
+    /// than `now - max_distance_ps()` can never constrain any later command,
+    /// which is what makes the model checker's delta-normalized state
+    /// canonicalization finite.
+    #[must_use]
+    pub fn max_distance_ps(&self) -> u64 {
+        let mut max = self
+            .t_faw_ps
+            .max(self.wr_event_offset_ps)
+            .max(self.rfm_pre_offset_ps);
+        for m in [
+            &self.channel,
+            &self.rank,
+            &self.group,
+            &self.bank,
+            &self.same_row,
+        ] {
+            for row in m {
+                for e in row.iter().flatten() {
+                    max = max.max(e.dist_ps);
+                }
+            }
+        }
+        max
+    }
+
     /// The column-to-column spacing entry for a pair of column commands,
     /// resolved by whether they share a bank group: same group hits the
     /// tCCD_L entry at [`Scope::BankGroup`], cross group the tCCD_S entry
@@ -230,6 +297,47 @@ impl TimingTable {
         };
         self.entry(scope, prev, next)
             .expect("column pairs are always constrained")
+    }
+}
+
+/// Model-checker hooks: enumerate and perturb individual matrix entries.
+/// Compiled for tests and the `oracle` feature only — production code never
+/// mutates a built table.
+#[cfg(any(test, feature = "oracle"))]
+impl TimingTable {
+    /// Every populated `(scope, prev, next, entry)` in a stable order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(Scope, CmdClass, CmdClass, MinDistance)> {
+        let mut out = Vec::new();
+        for scope in Scope::ALL {
+            for prev in CmdClass::ALL {
+                for next in CmdClass::ALL {
+                    if let Some(e) = self.entry(scope, prev, next) {
+                        out.push((scope, prev, next, e));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Overwrites (or clears) one matrix entry — the mutation harness's
+    /// fault-injection hook.
+    pub fn set_entry(
+        &mut self,
+        scope: Scope,
+        prev: CmdClass,
+        next: CmdClass,
+        entry: Option<MinDistance>,
+    ) {
+        let m = match scope {
+            Scope::Channel => &mut self.channel,
+            Scope::Rank => &mut self.rank,
+            Scope::BankGroup => &mut self.group,
+            Scope::Bank => &mut self.bank,
+            Scope::SameRow => &mut self.same_row,
+        };
+        m[prev as usize][next as usize] = entry;
     }
 }
 

@@ -47,6 +47,9 @@ pub struct FileScope {
     /// Whether `det/stray-rng` is exempt (`easydram_dram::det` itself — the
     /// one place allowed to construct RNG state).
     pub rng_exempt: bool,
+    /// Whether `det/thread-spawn` is exempt (`easydram_core::par` — the one
+    /// place allowed to own OS threads, behind a deterministic scheduler).
+    pub par_exempt: bool,
 }
 
 /// Lints one file's source text. `path` is only used for labeling
@@ -88,7 +91,7 @@ pub fn lint_source(
     // 4. Token scans.
     let mut raw: Vec<Diagnostic> = Vec::new();
     if scope.sim {
-        scan_determinism(path, &tokens, &live, scope.rng_exempt, enabled, &mut raw);
+        scan_determinism(path, &tokens, &live, scope, enabled, &mut raw);
     }
     scan_allocations(path, &tokens, &live, &no_alloc_regions, enabled, &mut raw);
     raw.sort();
@@ -332,10 +335,15 @@ fn scan_determinism(
     path: &str,
     tokens: &[Token],
     live: &[bool],
-    rng_exempt: bool,
+    scope: FileScope,
     enabled: &BTreeSet<Rule>,
     out: &mut Vec<Diagnostic>,
 ) {
+    let FileScope {
+        rng_exempt,
+        par_exempt,
+        ..
+    } = scope;
     let mut emit = |rule: Rule, line: u32, message: String| {
         if enabled.contains(&rule) {
             out.push(Diagnostic {
@@ -370,6 +378,40 @@ fn scan_determinism(
                     t.text
                 ),
             ),
+            // `thread::spawn`/`scope`/`Builder` (paths like `std::thread::scope`
+            // land here at the `thread` segment); bare `scope.spawn(..)` inside
+            // an already-flagged `thread::scope` block stays quiet — the lint
+            // fires once, where the OS thread machinery is entered.
+            "thread"
+                if !par_exempt
+                    && tokens.get(i + 1).map(|n| n.text.as_str()) == Some("::")
+                    && matches!(
+                        tokens.get(i + 2).map(|n| n.text.as_str()),
+                        Some("spawn" | "scope" | "Builder")
+                    ) =>
+            {
+                emit(
+                    Rule::DetThreadSpawn,
+                    t.line,
+                    format!(
+                        "thread::{} in simulation code: OS scheduling order is \
+                         nondeterministic — route parallelism through the \
+                         baton-scheduled harness, or justify with an allow \
+                         pragma",
+                        tokens[i + 2].text
+                    ),
+                );
+            }
+            "rayon" if !par_exempt && tokens.get(i + 1).map(|n| n.text.as_str()) == Some("::") => {
+                emit(
+                    Rule::DetThreadSpawn,
+                    t.line,
+                    "rayon in simulation code: work-stealing order is \
+                     nondeterministic — route parallelism through the \
+                     baton-scheduled harness"
+                        .to_string(),
+                );
+            }
             name if !rng_exempt
                 && (RNG_IDENTS.contains(&name)
                     || (name == "rand"

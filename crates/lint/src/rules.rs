@@ -14,6 +14,10 @@ pub enum Rule {
     /// Randomness constructed outside `easydram_dram::det` in simulation
     /// code: all stochastic behaviour must derive from the config seed.
     DetStrayRng,
+    /// `std::thread::spawn`/`scope`/`Builder` or `rayon::...` in simulation
+    /// code: OS scheduling order leaks into simulated state unless the
+    /// parallelism is baton-scheduled through a sanctioned harness.
+    DetThreadSpawn,
     /// `Vec::new`/`vec!`/`String::from`/`format!`/`.to_vec()`/… in a
     /// `// lint: no_alloc` region.
     AllocVecNew,
@@ -41,6 +45,7 @@ impl Rule {
             Rule::DetHashOrder,
             Rule::DetWallClock,
             Rule::DetStrayRng,
+            Rule::DetThreadSpawn,
             Rule::AllocVecNew,
             Rule::AllocBoxNew,
             Rule::AllocClone,
@@ -58,6 +63,7 @@ impl Rule {
             Rule::DetHashOrder => "det/hash-order",
             Rule::DetWallClock => "det/wall-clock",
             Rule::DetStrayRng => "det/stray-rng",
+            Rule::DetThreadSpawn => "det/thread-spawn",
             Rule::AllocVecNew => "alloc/vec-new",
             Rule::AllocBoxNew => "alloc/box-new",
             Rule::AllocClone => "alloc/clone",
@@ -85,6 +91,12 @@ impl Rule {
                 "randomness constructed outside easydram_dram::det in \
                  simulation code (all stochastic behaviour must derive from \
                  the config seed)"
+            }
+            Rule::DetThreadSpawn => {
+                "std::thread::spawn/scope/Builder or rayon in simulation code \
+                 (OS scheduling order is nondeterministic; parallelism must \
+                 go through a baton-scheduled harness, justified with an \
+                 allow pragma)"
             }
             Rule::AllocVecNew => {
                 "Vec/String/format! construction inside a `// lint: no_alloc` \
@@ -131,7 +143,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len(), "duplicate rule id");
-        assert_eq!(Rule::all().len(), 10);
+        assert_eq!(Rule::all().len(), 11);
         for r in Rule::all() {
             assert_eq!(Rule::from_id(r.id()), Some(*r));
         }

@@ -9,6 +9,7 @@ use easydram_lint::{lint_source, FileScope, Rule};
 const SIM: FileScope = FileScope {
     sim: true,
     rng_exempt: false,
+    par_exempt: false,
 };
 
 fn all_rules() -> BTreeSet<Rule> {
@@ -74,6 +75,16 @@ fixture!(
     [("det/stray-rng", 2)]
 );
 fixture!(
+    det_thread_spawn,
+    "det_thread_spawn.rs",
+    Rule::DetThreadSpawn,
+    [
+        ("det/thread-spawn", 2),
+        ("det/thread-spawn", 3),
+        ("det/thread-spawn", 6)
+    ]
+);
+fixture!(
     alloc_vec_new,
     "alloc_vec_new.rs",
     Rule::AllocVecNew,
@@ -130,6 +141,7 @@ fn every_rule_has_a_seeded_fixture() {
         "det/hash-order",
         "det/wall-clock",
         "det/stray-rng",
+        "det/thread-spawn",
         "alloc/vec-new",
         "alloc/box-new",
         "alloc/clone",
@@ -150,6 +162,7 @@ fn det_rules_only_fire_in_sim_scope() {
     let host = FileScope {
         sim: false,
         rng_exempt: false,
+        par_exempt: false,
     };
     let diags = lint_source("crates/bench/src/x.rs", src, host, &all_rules());
     assert!(
@@ -164,9 +177,22 @@ fn rng_home_is_exempt_from_stray_rng() {
     let det_home = FileScope {
         sim: true,
         rng_exempt: true,
+        par_exempt: false,
     };
     let diags = lint_source("crates/dram/src/det.rs", src, det_home, &all_rules());
     assert!(diags.is_empty(), "det.rs may construct RNG state");
+}
+
+#[test]
+fn par_home_is_exempt_from_thread_spawn() {
+    let src = include_str!("fixtures/det_thread_spawn.rs");
+    let par_home = FileScope {
+        sim: true,
+        rng_exempt: false,
+        par_exempt: true,
+    };
+    let diags = lint_source("crates/core/src/par.rs", src, par_home, &all_rules());
+    assert!(diags.is_empty(), "par.rs may own OS threads: {diags:?}");
 }
 
 #[test]

@@ -1,0 +1,8 @@
+pub fn fan_out() {
+    let t = std::thread::spawn(|| 42u32);
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    let _ = rayon::join(|| 1, || 2);
+    let _ = t.join();
+}

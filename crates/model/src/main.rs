@@ -1,0 +1,155 @@
+//! `easydram-model` CLI: the `model-check` CI gate.
+//!
+//! ```text
+//! cargo run -p easydram-model -- --depth 6 --deny
+//! ```
+//!
+//! Runs the bounded exhaustive checker on both mini-geometries, with and
+//! without the RFM mitigation command in the alphabet, then the ±1-tick
+//! mutation self-validation harness. With `--deny`, any property violation
+//! or any surviving mutant exits non-zero. `EASYDRAM_QUICK=1` (or
+//! `--quick`) shrinks the alphabet to one ACT row and disables jitter for
+//! CI-speed runs.
+
+#![forbid(unsafe_code)]
+
+use easydram_model::{explore, run_mutation_harness, ModelConfig};
+
+struct Args {
+    depth: usize,
+    deny: bool,
+    quick: bool,
+    skip_mutants: bool,
+    max_violations: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        depth: 6,
+        deny: false,
+        quick: std::env::var("EASYDRAM_QUICK").is_ok_and(|v| v == "1"),
+        skip_mutants: false,
+        max_violations: 5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--depth" => {
+                let v = it.next().ok_or("--depth needs a value")?;
+                args.depth = v.parse().map_err(|e| format!("--depth {v}: {e}"))?;
+            }
+            "--max-violations" => {
+                let v = it.next().ok_or("--max-violations needs a value")?;
+                args.max_violations = v
+                    .parse()
+                    .map_err(|e| format!("--max-violations {v}: {e}"))?;
+            }
+            "--deny" => args.deny = true,
+            "--quick" => args.quick = true,
+            "--skip-mutants" => args.skip_mutants = true,
+            "--help" | "-h" => {
+                println!(
+                    "easydram-model: exhaustive bounded protocol model checker\n\n\
+                     USAGE: easydram-model [--depth N] [--deny] [--quick] \
+                     [--skip-mutants] [--max-violations N]\n\n\
+                     --depth N           sequence length bound (default 6)\n\
+                     --deny              exit non-zero on any violation or surviving mutant\n\
+                     --quick             single ACT row, no jitter (also via EASYDRAM_QUICK=1)\n\
+                     --skip-mutants      skip the mutation self-validation harness\n\
+                     --max-violations N  distinct violations to collect per run (default 5)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.depth == 0 || args.depth > 8 {
+        return Err(format!(
+            "--depth {} out of the tractable range 1..=8",
+            args.depth
+        ));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut failed = false;
+    let mut total_states = 0u64;
+    let mut total_edges = 0u64;
+
+    let geometries = [("small", false), ("rank-folded", true)];
+    for (name, folded) in geometries {
+        for with_rfm in [true, false] {
+            let mut cfg = if folded {
+                ModelConfig::rank_folded(args.depth)
+            } else {
+                ModelConfig::small(args.depth)
+            };
+            cfg.with_rfm = with_rfm;
+            cfg.max_violations = args.max_violations;
+            if args.quick {
+                cfg.act_rows = 1;
+                cfg.jitter = false;
+            }
+            let label = format!(
+                "{name} geometry, mitigation {}",
+                if with_rfm { "on" } else { "off" }
+            );
+            let report = explore(&cfg);
+            total_states += report.stats.states;
+            total_edges += report.stats.edges;
+            println!(
+                "[{label}] depth {}: {} states, {} edges ({} dedup hits), {} probes, {} violation(s)",
+                args.depth,
+                report.stats.states,
+                report.stats.edges,
+                report.stats.dedup_hits,
+                report.stats.probes,
+                report.violations.len()
+            );
+            for v in &report.violations {
+                failed = true;
+                println!("{v}");
+            }
+        }
+    }
+    println!("total: {total_states} deduplicated states, {total_edges} transitions");
+
+    if !args.skip_mutants {
+        let cfg = ModelConfig::small(args.depth);
+        let verdicts = run_mutation_harness(&cfg);
+        let killed = verdicts.iter().filter(|v| v.killed()).count();
+        println!(
+            "mutation harness: {killed}/{} mutants killed (static + dynamic)",
+            verdicts.len()
+        );
+        for v in &verdicts {
+            if !v.killed() {
+                failed = true;
+                println!(
+                    "  SURVIVED {} (static {}, dynamic {})",
+                    v.label,
+                    if v.static_caught { "caught" } else { "missed" },
+                    if v.dynamic_caught { "caught" } else { "missed" },
+                );
+            }
+        }
+    }
+
+    if failed {
+        println!("model check: FAIL");
+        if args.deny {
+            std::process::exit(1);
+        }
+    } else {
+        println!("model check: PASS");
+    }
+}

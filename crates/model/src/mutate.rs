@@ -1,0 +1,262 @@
+//! Self-validation mutation harness.
+//!
+//! A model checker that never fires is indistinguishable from one that
+//! cannot fire. This module proves the checker's teeth: every populated
+//! [`TimingTable`] matrix entry — and each of the three event-recording
+//! scalars (`t_faw_ps`, `wr_event_offset_ps`, `rfm_pre_offset_ps`) — is
+//! perturbed by ±1 tick (1 ps, the table's resolution), and each mutant must
+//! be convicted twice:
+//!
+//! * **statically**, by [`TimingTable::verify_against`] reporting a
+//!   `cfg/table-coverage` contradiction, and
+//! * **dynamically**, by the bounded explorer finding a diverging trace
+//!   against the pristine oracle and shrinking it to a minimal replayable
+//!   counterexample.
+//!
+//! Three named coarse mutants ([`corrupt_tfaw_window`],
+//! [`swap_bank_group_act_spacing`], [`zero_rfm_fold`]) back the pinned
+//! golden counterexamples in the workspace snapshot tests.
+//!
+//! [`TimingTable::verify_against`]: easydram_dram::TimingTable::verify_against
+
+use easydram_dram::{CmdClass, MinDistance, Scope, TimingParams, TimingTable};
+
+use crate::explore::explore_with_table;
+use crate::trace::Step;
+use crate::ModelConfig;
+
+/// One deliberately corrupted table, with a human-readable label.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// What was perturbed, e.g. `Bank Act->Rd -1`.
+    pub label: String,
+    /// The corrupted table (the oracle stays pristine).
+    pub table: TimingTable,
+}
+
+/// The checker's verdict on one mutant.
+#[derive(Debug, Clone)]
+pub struct MutantVerdict {
+    /// The mutant's label.
+    pub label: String,
+    /// Whether the static tier (`verify_against`) convicted it.
+    pub static_caught: bool,
+    /// Whether the dynamic tier (bounded exploration) convicted it.
+    pub dynamic_caught: bool,
+    /// Minimized replayable counterexample from the dynamic tier (empty if
+    /// the mutant escaped it).
+    pub counterexample: Vec<Step>,
+    /// The first dynamic violation's description (empty if escaped).
+    pub detail: String,
+}
+
+impl MutantVerdict {
+    /// A mutant is killed only when both tiers convict it.
+    #[must_use]
+    pub fn killed(&self) -> bool {
+        self.static_caught && self.dynamic_caught
+    }
+}
+
+fn perturb(base: u64, delta: i64) -> u64 {
+    if delta < 0 {
+        base.saturating_sub(delta.unsigned_abs())
+    } else {
+        base + delta.unsigned_abs()
+    }
+}
+
+/// Every ±1-tick mutant of the table built from `timing`: two per populated
+/// matrix entry plus two per event-recording scalar (58 on a DDR4 bin).
+#[must_use]
+pub fn all_mutants(timing: &TimingParams) -> Vec<Mutant> {
+    let base = TimingTable::new(timing);
+    let mut out = Vec::new();
+    for (scope, prev, next, e) in base.entries() {
+        for delta in [-1i64, 1] {
+            let mut table = base.clone();
+            table.set_entry(
+                scope,
+                prev,
+                next,
+                Some(MinDistance {
+                    dist_ps: perturb(e.dist_ps, delta),
+                    rule: e.rule,
+                }),
+            );
+            out.push(Mutant {
+                label: format!("{scope:?} {prev:?}->{next:?} {delta:+}"),
+                table,
+            });
+        }
+    }
+    type ScalarField = fn(&mut TimingTable) -> &mut u64;
+    let scalars: [(&str, ScalarField); 3] = [
+        ("t_faw_ps", |t| &mut t.t_faw_ps),
+        ("wr_event_offset_ps", |t| &mut t.wr_event_offset_ps),
+        ("rfm_pre_offset_ps", |t| &mut t.rfm_pre_offset_ps),
+    ];
+    for (name, field) in scalars {
+        for delta in [-1i64, 1] {
+            let mut table = base.clone();
+            *field(&mut table) = perturb(*field(&mut table), delta);
+            out.push(Mutant {
+                label: format!("{name} {delta:+}"),
+                table,
+            });
+        }
+    }
+    out
+}
+
+/// Named coarse mutant: a four-activate window one full clock too short —
+/// the table would admit a fifth ACT one tick inside the real window.
+#[must_use]
+pub fn corrupt_tfaw_window(timing: &TimingParams) -> Mutant {
+    let mut table = TimingTable::new(timing);
+    table.t_faw_ps = timing.t_faw_ps.saturating_sub(timing.t_ck_ps);
+    Mutant {
+        label: "corrupted tFAW window (one clock short)".to_owned(),
+        table,
+    }
+}
+
+/// Named coarse mutant: same-group and cross-group ACT spacings swapped
+/// (tRRD_L entry holds tRRD_S and vice versa) — a scope-resolution bug.
+#[must_use]
+pub fn swap_bank_group_act_spacing(timing: &TimingParams) -> Mutant {
+    let mut table = TimingTable::new(timing);
+    let long = table
+        .entry(Scope::BankGroup, CmdClass::Act, CmdClass::Act)
+        .expect("tRRD_L entry exists");
+    let short = table
+        .entry(Scope::Rank, CmdClass::Act, CmdClass::Act)
+        .expect("tRRD_S entry exists");
+    table.set_entry(
+        Scope::BankGroup,
+        CmdClass::Act,
+        CmdClass::Act,
+        Some(MinDistance {
+            dist_ps: short.dist_ps,
+            rule: long.rule,
+        }),
+    );
+    table.set_entry(
+        Scope::Rank,
+        CmdClass::Act,
+        CmdClass::Act,
+        Some(MinDistance {
+            dist_ps: long.dist_ps,
+            rule: short.rule,
+        }),
+    );
+    Mutant {
+        label: "swapped bank-group ACT spacing (tRRD_L <-> tRRD_S)".to_owned(),
+        table,
+    }
+}
+
+/// Named coarse mutant: the RFM busy-time fold zeroed with mitigation on —
+/// targeted refreshes become free and the mitigation silently stops
+/// protecting anything.
+#[must_use]
+pub fn zero_rfm_fold(timing: &TimingParams) -> Mutant {
+    let mut table = TimingTable::new(timing);
+    table.rfm_pre_offset_ps = 0;
+    Mutant {
+        label: "zeroed t_rfm fold with mitigation on".to_owned(),
+        table,
+    }
+}
+
+/// Depth the dynamic tier needs: four ACTs arm the tFAW window and the
+/// fifth-ACT probe happens in the state sweep, so depth 4 reaches every
+/// mutant class; deeper adds nothing but time across 58 mutants.
+pub const MUTANT_DEPTH: usize = 4;
+
+/// Runs both tiers over every ±1-tick mutant. The exploration config is
+/// derived from `cfg` but fail-fast, jitter-free, single-row, and capped at
+/// [`MUTANT_DEPTH`] — the cheapest configuration that still reaches every
+/// mutant class.
+#[must_use]
+pub fn run_mutation_harness(cfg: &ModelConfig) -> Vec<MutantVerdict> {
+    let mcfg = ModelConfig {
+        depth: cfg.depth.min(MUTANT_DEPTH),
+        act_rows: 1,
+        with_rfm: true,
+        jitter: false,
+        fail_fast: true,
+        max_violations: 1,
+        ..cfg.clone()
+    };
+    all_mutants(&cfg.timing)
+        .into_iter()
+        .map(|m| verdict(&mcfg, m))
+        .collect()
+}
+
+/// Runs both tiers on a single mutant.
+#[must_use]
+pub fn verdict(cfg: &ModelConfig, m: Mutant) -> MutantVerdict {
+    let static_caught = m.table.verify_against(&cfg.timing).is_err();
+    let report = explore_with_table(cfg, m.table);
+    let (counterexample, detail) = report
+        .violations
+        .first()
+        .map(|v| (v.trace.clone(), v.detail.clone()))
+        .unwrap_or_default();
+    MutantVerdict {
+        label: m.label,
+        static_caught,
+        dynamic_caught: !report.violations.is_empty(),
+        counterexample,
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig {
+            fail_fast: true,
+            max_violations: 1,
+            jitter: false,
+            act_rows: 1,
+            ..ModelConfig::small(MUTANT_DEPTH)
+        }
+    }
+
+    #[test]
+    fn mutant_count_covers_every_entry_and_scalar() {
+        // 26 populated DDR4 entries x 2 deltas + 3 scalars x 2 deltas.
+        assert_eq!(all_mutants(&TimingParams::ddr4_1333()).len(), 58);
+    }
+
+    #[test]
+    fn every_mutant_is_statically_convicted() {
+        let t = TimingParams::ddr4_1333();
+        for m in all_mutants(&t) {
+            assert!(
+                m.table.verify_against(&t).is_err(),
+                "static tier missed {}",
+                m.label
+            );
+        }
+    }
+
+    #[test]
+    fn named_mutants_are_killed_with_counterexamples() {
+        let cfg = cfg();
+        for m in [
+            corrupt_tfaw_window(&cfg.timing),
+            swap_bank_group_act_spacing(&cfg.timing),
+            zero_rfm_fold(&cfg.timing),
+        ] {
+            let v = verdict(&cfg, m);
+            assert!(v.killed(), "{}: {v:?}", v.label);
+            assert!(!v.counterexample.is_empty(), "{}", v.label);
+        }
+    }
+}

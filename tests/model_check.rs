@@ -1,0 +1,107 @@
+//! Workspace gate for the bounded protocol model checker (`crates/model`).
+//!
+//! Mirrors the CI `model-check` job at a test-sized depth: the pristine
+//! table must survive exhaustive exploration on both mini-geometries with
+//! zero violations, and the mutation harness must kill every ±1-tick table
+//! mutant with a minimized, replayable counterexample.
+
+use easydram_model::{
+    corrupt_tfaw_window, explore, run_mutation_harness, swap_bank_group_act_spacing, verdict,
+    zero_rfm_fold, ModelConfig, Step,
+};
+use easydram_suite::dram::bank::RankTiming;
+use easydram_suite::dram::TimingTable;
+
+fn quick(depth: usize) -> ModelConfig {
+    let mut cfg = ModelConfig::small(depth);
+    cfg.act_rows = 1;
+    cfg.jitter = false;
+    cfg
+}
+
+#[test]
+fn pristine_table_survives_exhaustive_exploration() {
+    for mut cfg in [quick(4), {
+        let mut c = ModelConfig::rank_folded(4);
+        c.act_rows = 1;
+        c.jitter = false;
+        c
+    }] {
+        for with_rfm in [true, false] {
+            cfg.with_rfm = with_rfm;
+            let report = explore(&cfg);
+            assert!(
+                report.violations.is_empty(),
+                "rfm={with_rfm}: {:#?}",
+                report.violations
+            );
+            assert!(report.stats.states > 1_000, "{:?}", report.stats);
+            assert_eq!(report.stats.deepest, 4);
+        }
+    }
+}
+
+/// A counterexample is replayable iff its issue times are non-decreasing
+/// and every step before the final probe is accepted by the corrupted
+/// table itself (the probe is where the divergence is observed, so it may
+/// legitimately be a rejected or mistimed command).
+fn assert_replayable(cfg: &ModelConfig, table: &TimingTable, trace: &[Step]) {
+    let mut tracker = RankTiming::with_table(cfg.geometry.clone(), table.clone());
+    let mut now = 0u64;
+    for (i, s) in trace.iter().enumerate() {
+        assert!(s.at_ps >= now, "time went backwards at step {i}: {s}");
+        now = s.at_ps;
+        if i + 1 < trace.len() {
+            assert!(
+                tracker.check(&s.cmd, s.at_ps).is_empty(),
+                "replay step {i} rejected: {s}"
+            );
+            tracker.apply(&s.cmd, s.at_ps);
+        }
+    }
+}
+
+#[test]
+fn named_mutants_die_with_minimized_replayable_counterexamples() {
+    let cfg = ModelConfig {
+        fail_fast: true,
+        max_violations: 1,
+        ..quick(4)
+    };
+    for m in [
+        corrupt_tfaw_window(&cfg.timing),
+        swap_bank_group_act_spacing(&cfg.timing),
+        zero_rfm_fold(&cfg.timing),
+    ] {
+        let table = m.table.clone();
+        let label = m.label.clone();
+        let v = verdict(&cfg, m);
+        assert!(v.killed(), "{label}: {v:?}");
+        assert!(
+            !v.counterexample.is_empty() && v.counterexample.len() <= 6,
+            "{label}: not minimized: {:?}",
+            v.counterexample
+        );
+        assert_replayable(&cfg, &table, &v.counterexample);
+    }
+}
+
+#[test]
+fn every_tick_mutant_is_killed() {
+    let cfg = ModelConfig::small(4);
+    let verdicts = run_mutation_harness(&cfg);
+    assert_eq!(verdicts.len(), 58);
+    let survivors: Vec<&str> = verdicts
+        .iter()
+        .filter(|v| !v.killed())
+        .map(|v| v.label.as_str())
+        .collect();
+    assert!(survivors.is_empty(), "surviving mutants: {survivors:?}");
+    for v in &verdicts {
+        assert!(
+            !v.counterexample.is_empty(),
+            "{}: dynamic kill without a counterexample",
+            v.label
+        );
+    }
+}

@@ -312,6 +312,47 @@ fn snapshot_fig_multicore_contention() {
 }
 
 #[test]
+fn snapshot_model_counterexamples() {
+    // Model-checker self-validation: the minimized counterexamples for the
+    // three named coarse table mutants are pinned byte-for-byte. The
+    // explorer and minimizer are fully deterministic (DFS in alphabet
+    // order, greedy left-to-right delta debugging), so any change to the
+    // timing tables, the trackers, or the checker's search order shows up
+    // as a diff here.
+    use easydram_model::{
+        corrupt_tfaw_window, format_trace, swap_bank_group_act_spacing, verdict, zero_rfm_fold,
+        ModelConfig,
+    };
+    let mut cfg = ModelConfig::small(4);
+    cfg.act_rows = 1;
+    cfg.jitter = false;
+    cfg.fail_fast = true;
+    cfg.max_violations = 1;
+    let mut out = String::new();
+    for m in [
+        corrupt_tfaw_window(&cfg.timing),
+        swap_bank_group_act_spacing(&cfg.timing),
+        zero_rfm_fold(&cfg.timing),
+    ] {
+        let v = verdict(&cfg, m);
+        let _ = writeln!(&mut out, "== {} ==", v.label);
+        let _ = writeln!(
+            &mut out,
+            "static: {}\ndynamic: {}",
+            if v.static_caught { "caught" } else { "missed" },
+            if v.dynamic_caught { "caught" } else { "missed" },
+        );
+        let _ = writeln!(&mut out, "detail: {}", v.detail);
+        let _ = writeln!(
+            &mut out,
+            "minimized trace:\n{}",
+            format_trace(&v.counterexample)
+        );
+    }
+    check_snapshot("model_counterexamples", &out);
+}
+
+#[test]
 fn snapshot_fig_rowhammer() {
     // RowHammer attack/defense: unmitigated vs. Graphene at one intensity.
     let mut out = String::new();
