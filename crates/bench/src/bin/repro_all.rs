@@ -111,15 +111,15 @@ fn main() {
                 false
             }
         };
-    // Schema-5 contract: the report written by *this* run must self-identify
-    // as schema 5 and, when the relevant harness succeeded, carry its
+    // Schema-6 contract: the report written by *this* run must self-identify
+    // as schema 6 and, when the relevant harness succeeded, carry its
     // section with the fields downstream tooling keys on. (The files were
     // removed up front, so a failed write cannot validate stale data.)
     if wrote {
         let report = std::fs::read_to_string(report_path).expect("just wrote the report");
         assert!(
-            report.contains("\"schema\": 5"),
-            "bench report must declare schema 5"
+            report.contains("\"schema\": 6"),
+            "bench report must declare schema 6"
         );
         if section_ok("fig_rowhammer") {
             for field in [
@@ -144,14 +144,18 @@ fn main() {
                 "\"speedup\"",
                 "\"threshold\"",
                 "\"commands\"",
+                "\"threads\": [",
+                "\"corun_wall_seconds\"",
+                "\"parallel_speedup\"",
+                "\"parallel_threshold\"",
             ] {
                 assert!(
                     report.contains(field),
-                    "schema-5 sim_speed section is missing {field}"
+                    "schema-6 sim_speed section is missing {field}"
                 );
             }
         }
-        println!("bench-report schema 5 validated.");
+        println!("bench-report schema 6 validated.");
     }
     let failures: Vec<&str> = runs
         .iter()

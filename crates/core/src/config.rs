@@ -98,6 +98,12 @@ pub struct SystemConfig {
     /// Extra tRCD margin (ps) the tRCD-reduction controller adds on top of
     /// each row's profiled minimum.
     pub trcd_margin_ps: u64,
+    /// Engine thread count override. `None` (the default everywhere) defers
+    /// to the `EASYDRAM_THREADS` environment variable and then the machine's
+    /// available parallelism; `Some(1)` pins the exact sequential path.
+    /// Whatever the resolved width, reports are byte-identical — threads
+    /// only change wall-clock time (see `crate::par`).
+    pub threads: Option<u32>,
 }
 
 impl SystemConfig {
@@ -121,6 +127,7 @@ impl SystemConfig {
             write_buffer_depth: 8,
             rowclone_test_trials: 1_000,
             trcd_margin_ps: 0,
+            threads: None,
         }
     }
 

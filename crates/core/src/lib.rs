@@ -42,6 +42,7 @@ pub mod bloom;
 pub mod config;
 pub mod costs;
 pub mod multicore;
+pub mod par;
 pub mod profiling;
 pub mod report;
 pub mod request;
@@ -55,6 +56,7 @@ pub use bloom::BloomFilter;
 pub use config::{FpgaConfig, SystemConfig, TimingMode};
 pub use costs::SmcCostModel;
 pub use multicore::{CoRunReport, CoreRun, MultiCoreSystem};
+pub use par::{configured_threads, effective_threads, WorkerPool};
 pub use profiling::{ProfileOutcome, TrcdProfiler};
 pub use report::{ExecutionReport, RequestorStats};
 pub use request::{MemRequest, MemResponse, RequestArena, RequestKind, ResponseSlice};

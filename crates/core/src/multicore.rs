@@ -179,14 +179,21 @@ impl MultiCoreSystem {
             )
         };
 
-        // --- The co-run itself: one thread per core, baton-scheduled. ---
-        let sched = CoScheduler::new(n, self.quantum);
+        // --- The co-run itself: one thread per core, baton-scheduled. With
+        // an engine width above 1 the scheduler runs in run-ahead mode:
+        // cores compute concurrently where the baton order leaves windows
+        // free (initial and memory-free segments), while every memory
+        // operation still executes in exact baton order — byte-identical
+        // reports at every thread count. ---
+        let run_ahead = self.with_tile(|t| t.threads()) > 1;
+        let sched = CoScheduler::with_run_ahead(n, self.quantum, run_ahead);
         for core in &mut self.cores {
             core.backend_mut().attach_scheduler(Arc::clone(&sched));
         }
         // lint: allow(det/thread-spawn) — baton-scheduled: CoScheduler admits
-        // exactly one runnable core at a time, so interleaving is a pure
-        // function of simulated cycle counts, not OS scheduling.
+        // exactly one runnable core at a time (run-ahead mode only overlaps
+        // memory-free compute), so interleaving is a pure function of
+        // simulated cycle counts, not OS scheduling.
         std::thread::scope(|scope| {
             for (i, (core, workload)) in self.cores.iter_mut().zip(workloads.iter_mut()).enumerate()
             {

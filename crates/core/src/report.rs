@@ -57,6 +57,37 @@ pub struct ChannelStats {
 }
 
 impl ChannelStats {
+    /// Folds an independently-accumulated shard (one thread's, or one
+    /// pass's, share of this channel's activity) into `self`. Every field
+    /// is a sum — including the per-rank/per-bank vectors, merged
+    /// element-wise after growing to the longer length — so the merge is
+    /// commutative and associative: any shard order reduces to the same
+    /// totals. The parallel serve engine relies on exactly that.
+    pub fn merge(&mut self, shard: &ChannelStats) {
+        self.requests += shard.requests;
+        self.rocket_cycles += shard.rocket_cycles;
+        self.hw_cycles += shard.hw_cycles;
+        self.batches += shard.batches;
+        self.serve += shard.serve;
+        if self.refreshes_per_rank.len() < shard.refreshes_per_rank.len() {
+            self.refreshes_per_rank
+                .resize(shard.refreshes_per_rank.len(), 0);
+        }
+        for (r, r0) in self
+            .refreshes_per_rank
+            .iter_mut()
+            .zip(&shard.refreshes_per_rank)
+        {
+            *r += r0;
+        }
+        if self.acts_per_bank.len() < shard.acts_per_bank.len() {
+            self.acts_per_bank.resize(shard.acts_per_bank.len(), 0);
+        }
+        for (a, a0) in self.acts_per_bank.iter_mut().zip(&shard.acts_per_bank) {
+            *a += a0;
+        }
+    }
+
     /// Rebases every cumulative counter against a window-start snapshot, so
     /// the result describes just that window.
     pub fn subtract_baseline(&mut self, start: &ChannelStats) {
@@ -144,6 +175,32 @@ impl RequestorStats {
         } else {
             self.row_hits as f64 / total as f64
         }
+    }
+
+    /// Folds an independently-accumulated shard for the **same requestor**
+    /// into `self`. Every counter is a sum, so shard order cannot change
+    /// the reduced record.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that both records describe the same requestor id —
+    /// merging across requestors would silently misattribute traffic.
+    pub fn merge(&mut self, shard: &RequestorStats) {
+        debug_assert_eq!(
+            self.requestor, shard.requestor,
+            "shards merge per requestor"
+        );
+        self.requests += shard.requests;
+        self.reads += shard.reads;
+        self.writes += shard.writes;
+        self.rowclones += shard.rowclones;
+        self.row_hits += shard.row_hits;
+        self.row_misses += shard.row_misses;
+        self.row_conflicts += shard.row_conflicts;
+        self.rocket_cycles += shard.rocket_cycles;
+        self.dram_occupancy_ps += shard.dram_occupancy_ps;
+        self.column_ops += shard.column_ops;
+        self.stall_cycles += shard.stall_cycles;
     }
 
     /// Rebases every cumulative counter against a window-start snapshot, so
@@ -240,6 +297,26 @@ impl ExecutionReport {
 }
 
 impl SmcStats {
+    /// Folds an independently-accumulated shard into `self`. Every counter
+    /// is a sum except `peak_batch`, which is a **maximum** — summing it
+    /// across shards would fabricate a batch size no pass ever carried
+    /// (the max-vs-sum windowing trap `subtract_baseline` documents). Both
+    /// sums and max are commutative and associative, so any shard order
+    /// reduces to the same record: the property the parallel engine's
+    /// deterministic reduction rests on, proven by the permutation test in
+    /// `tests/stats_merge.rs`.
+    pub fn merge(&mut self, shard: &SmcStats) {
+        self.requests += shard.requests;
+        self.rocket_cycles += shard.rocket_cycles;
+        self.hw_cycles += shard.hw_cycles;
+        self.batches += shard.batches;
+        self.posted_writes += shard.posted_writes;
+        self.forced_drains += shard.forced_drains;
+        self.peak_batch = self.peak_batch.max(shard.peak_batch);
+        self.serve += shard.serve;
+        self.rowclone_fallbacks += shard.rowclone_fallbacks;
+    }
+
     /// Rebases every cumulative counter against a window-start snapshot, so
     /// the result describes just that window. `peak_batch` is excluded: it
     /// is a maximum, not a sum — `System::run` windows it separately via the

@@ -17,14 +17,17 @@
 // lint: allow(det/hash-order) — HashMap is imported only for the pass
 // scratch's lookup-only metadata map (see `ServeScratch::meta`).
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
-use easydram_bender::Executor;
+use easydram_bender::{Executor, TransferCost};
 use easydram_cpu::backend::{LineFetch, MemoryBackend, RowCloneRequestResult};
 use easydram_cpu::{CoreModel, CpuApi, Workload};
 use easydram_dram::{AddressMapper, DramDevice, LINE_BYTES};
 
 use crate::alloc::{remap_table, RowCloneAllocator};
 use crate::config::{SystemConfig, TimingMode};
+use crate::costs::SmcCostModel;
+use crate::par::{self, WorkerPool};
 use crate::report::{ChannelStats, ExecutionReport, RequestorStats, SmcStats};
 use crate::request::RequestKind;
 use crate::smc::easyapi::{ApiSession, TileCtx};
@@ -126,17 +129,32 @@ struct Lane {
     stats: ChannelStats,
 }
 
+/// Immutable per-tile context a parallel serve pass shares with its worker
+/// threads: everything a lane job needs to assemble a [`TileCtx`] lives
+/// behind one `Arc`, so lane jobs are `'static` without per-pass cloning.
+/// Nothing here is ever written after [`Tile::new`].
+struct TileStatics {
+    executor: Executor,
+    mapper: AddressMapper,
+    costs: SmcCostModel,
+    transfer: TransferCost,
+    tile_clk_hz: u64,
+}
+
 /// The EasyTile plus DRAM: the memory system behind the core, sharded into
 /// one lane (device + session + controller + timeline) per memory channel.
 pub struct Tile {
     cfg: SystemConfig,
     lanes: Vec<Lane>,
-    executor: Executor,
-    mapper: AddressMapper,
+    /// Shared immutable context (executor, mapper, cost models); see
+    /// [`TileStatics`].
+    statics: Arc<TileStatics>,
     /// OS-style row remapping installed by the RowClone allocator. Ordered
-    /// maps: remap state is written on the cold allocation path only, and
-    /// ordering keeps any traversal deterministic by construction.
-    remap: BTreeMap<u64, (u32, u32)>,
+    /// maps: remap state is written on the cold allocation path only (via
+    /// `Arc::make_mut` — the refcount is 1 outside serve passes, so the
+    /// write never copies), and ordering keeps any traversal deterministic
+    /// by construction. Parallel serve jobs hold read-only clones.
+    remap: Arc<BTreeMap<u64, (u32, u32)>>,
     allocator: RowCloneAllocator,
     /// Qualified copy pairs: `(src_vrow, dst_vrow) → passed the trial test`.
     clonable: BTreeMap<(u64, u64), bool>,
@@ -158,6 +176,14 @@ pub struct Tile {
     counters: TimeScalingCounters,
     stats: SmcStats,
     row_bytes: u64,
+    /// Resolved engine width: `cfg.threads`, else `EASYDRAM_THREADS`, else
+    /// the machine's available parallelism (see [`crate::par`]). `1` pins
+    /// the exact sequential serve path.
+    threads: u32,
+    /// Worker pool for parallel serve passes, built lazily on the first
+    /// pass that has more than one live lane (so single-channel systems
+    /// never spawn a thread).
+    pool: Option<WorkerPool>,
     /// Recycled serve-pass buffers (see [`ServeScratch`]).
     scratch: ServeScratch,
 }
@@ -200,12 +226,19 @@ impl Tile {
                 }
             })
             .collect();
+        let threads = par::effective_threads(cfg.threads);
+        let statics = Arc::new(TileStatics {
+            executor: Executor::new(),
+            mapper,
+            costs: cfg.smc_costs,
+            transfer: cfg.fpga.transfer,
+            tile_clk_hz: cfg.fpga.tile_clk_hz,
+        });
         Self {
             cfg,
             lanes,
-            executor: Executor::new(),
-            mapper,
-            remap: BTreeMap::new(),
+            statics,
+            remap: Arc::new(BTreeMap::new()),
             allocator,
             clonable: BTreeMap::new(),
             init_sources: BTreeMap::new(),
@@ -218,8 +251,16 @@ impl Tile {
             counters: TimeScalingCounters::new(),
             stats: SmcStats::default(),
             row_bytes,
+            threads,
+            pool: None,
             scratch: ServeScratch::default(),
         }
+    }
+
+    /// The resolved engine thread count this tile serves passes with.
+    #[must_use]
+    pub fn threads(&self) -> u32 {
+        self.threads
     }
 
     /// The system configuration.
@@ -422,7 +463,10 @@ impl Tile {
     /// The channel a physical address routes to, honouring RowClone row
     /// remaps (remapped rows live on channel 0).
     fn route(&self, addr: u64) -> usize {
-        self.mapper.to_dram_remapped(&self.remap, addr).channel as usize
+        self.statics
+            .mapper
+            .to_dram_remapped(&self.remap, addr)
+            .channel as usize
     }
 
     /// Posts one request into its channel's pending stream under a globally
@@ -512,14 +556,22 @@ impl Tile {
             self.counters.enter_critical();
         }
 
-        // --- Execute every lane's controller over its own batch. ---
-        for (idx, lane) in self.lanes.iter_mut().enumerate() {
+        // --- Attribution metadata for every pending request, hoisted ahead
+        // of any controller execution: a pure function of the mapper, remap
+        // table, and posted streams, so it is identical however the lanes
+        // run. ---
+        let mut live_lanes = 0usize;
+        for lane in &self.lanes {
             if lane.session.is_empty() {
                 continue;
             }
-            let batch = lane.session.len() as u64;
+            live_lanes += 1;
             for r in lane.session.pending() {
-                let bank = self.mapper.to_dram_remapped(&self.remap, r.addr()).bank;
+                let bank = self
+                    .statics
+                    .mapper
+                    .to_dram_remapped(&self.remap, r.addr())
+                    .bank;
                 let kind = match r.kind {
                     // Profiling requests move line data to the host just
                     // like reads; RowClone never touches the bus.
@@ -536,33 +588,17 @@ impl Tile {
                     },
                 );
             }
-            let mut api = lane.session.begin(
-                TileCtx {
-                    device: &mut lane.device,
-                    executor: &self.executor,
-                    mapper: &self.mapper,
-                    remap: &self.remap,
-                    costs: &self.cfg.smc_costs,
-                    transfer: &self.cfg.fpga.transfer,
-                    tile_clk_hz: self.cfg.fpga.tile_clk_hz,
-                },
-                start_wall,
-            );
-            let serve_res = lane.controller.serve(&mut api);
-            let end_wall = api.wall_now_ps();
-            let ledger = lane.session.finish(api);
-            assert_eq!(
-                ledger.responses.len() as u64,
-                batch,
-                "controller must respond to every request exactly once"
-            );
-            scratch.passes.push(LanePass {
-                lane: idx,
-                batch,
-                ledger,
-                serve_res,
-                end_wall,
-            });
+        }
+
+        // --- Execute every lane's controller over its own batch. Lanes are
+        // architecturally independent, so with threads and multiple live
+        // lanes the invocations fan out to the worker pool; either path
+        // fills `scratch.passes` in lane order, so the pricing reduction
+        // below is byte-identical at every thread count. ---
+        if self.threads > 1 && live_lanes > 1 {
+            self.serve_lanes_parallel(&mut scratch, start_wall);
+        } else {
+            self.serve_lanes_sequential(&mut scratch, start_wall);
         }
 
         // --- Wall-clock accounting: lanes ran concurrently, so the frozen
@@ -586,20 +622,30 @@ impl Tile {
         let mut latest_release = trigger_cycle;
         let mut max_lane_cycles = 0u64;
         for p in &scratch.passes {
-            self.stats.requests += p.batch;
-            self.stats.rocket_cycles += p.ledger.rocket_cycles;
-            self.stats.hw_cycles += p.ledger.hw_cycles;
-            self.stats.batches += p.ledger.batches;
-            self.stats.peak_batch = self.stats.peak_batch.max(p.batch);
-            self.stats.serve += p.serve_res;
+            // Fold each lane's pass into the tile-wide and per-channel stats
+            // through the order-invariant shard merges (sums plus a max for
+            // `peak_batch`; see `report.rs`) — the deterministic reduction
+            // the parallel engine's byte-identity contract rests on.
+            self.stats.merge(&SmcStats {
+                requests: p.batch,
+                rocket_cycles: p.ledger.rocket_cycles,
+                hw_cycles: p.ledger.hw_cycles,
+                batches: p.ledger.batches,
+                peak_batch: p.batch,
+                serve: p.serve_res,
+                ..SmcStats::default()
+            });
             max_lane_cycles = max_lane_cycles.max(p.ledger.rocket_cycles + p.ledger.hw_cycles);
 
             let lane = &mut self.lanes[p.lane];
-            lane.stats.requests += p.batch;
-            lane.stats.rocket_cycles += p.ledger.rocket_cycles;
-            lane.stats.hw_cycles += p.ledger.hw_cycles;
-            lane.stats.batches += p.ledger.batches;
-            lane.stats.serve += p.serve_res;
+            lane.stats.merge(&ChannelStats {
+                requests: p.batch,
+                rocket_cycles: p.ledger.rocket_cycles,
+                hw_cycles: p.ledger.hw_cycles,
+                batches: p.ledger.batches,
+                serve: p.serve_res,
+                ..ChannelStats::default()
+            });
 
             for resp in &p.ledger.responses {
                 let ReqMeta {
@@ -689,6 +735,107 @@ impl Tile {
         &self.scratch.served
     }
 
+    /// Serve-pass phase A, sequential reference path: run each live lane's
+    /// controller in lane order on the calling thread.
+    // lint: no_alloc — the steady-state lane serve runs on recycled
+    // session buffers; any per-pass allocation here is a regression.
+    fn serve_lanes_sequential(&mut self, scratch: &mut ServeScratch, start_wall: u64) {
+        for (idx, lane) in self.lanes.iter_mut().enumerate() {
+            if lane.session.is_empty() {
+                continue;
+            }
+            let batch = lane.session.len() as u64;
+            let mut api = lane.session.begin(
+                TileCtx {
+                    device: &mut lane.device,
+                    executor: &self.statics.executor,
+                    mapper: &self.statics.mapper,
+                    remap: &self.remap,
+                    costs: &self.statics.costs,
+                    transfer: &self.statics.transfer,
+                    tile_clk_hz: self.statics.tile_clk_hz,
+                },
+                start_wall,
+            );
+            let serve_res = lane.controller.serve(&mut api);
+            let end_wall = api.wall_now_ps();
+            let ledger = lane.session.finish(api);
+            assert_eq!(
+                ledger.responses.len() as u64,
+                batch,
+                "controller must respond to every request exactly once"
+            );
+            scratch.passes.push(LanePass {
+                lane: idx,
+                batch,
+                ledger,
+                serve_res,
+                end_wall,
+            });
+        }
+    }
+
+    /// Serve-pass phase A, parallel path: fan the lanes' controller
+    /// invocations out to the worker pool. Each job owns its lane for the
+    /// duration of the pass (the lane vector is taken out of `self` and
+    /// rebuilt from the results); the pool returns results in job order ==
+    /// lane order, so the reassembled `scratch.passes` is byte-identical to
+    /// [`Tile::serve_lanes_sequential`]'s, whatever the steal interleaving.
+    fn serve_lanes_parallel(&mut self, scratch: &mut ServeScratch, start_wall: u64) {
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(self.threads));
+        }
+        type LaneJob = Box<dyn FnOnce() -> (Lane, Option<LanePass>) + Send>;
+        let remap = Arc::clone(&self.remap);
+        let lanes = std::mem::take(&mut self.lanes);
+        let mut jobs: Vec<LaneJob> = Vec::with_capacity(lanes.len());
+        for (idx, mut lane) in lanes.into_iter().enumerate() {
+            let statics = Arc::clone(&self.statics);
+            let remap = Arc::clone(&remap);
+            jobs.push(Box::new(move || {
+                if lane.session.is_empty() {
+                    return (lane, None);
+                }
+                let batch = lane.session.len() as u64;
+                let mut api = lane.session.begin(
+                    TileCtx {
+                        device: &mut lane.device,
+                        executor: &statics.executor,
+                        mapper: &statics.mapper,
+                        remap: &remap,
+                        costs: &statics.costs,
+                        transfer: &statics.transfer,
+                        tile_clk_hz: statics.tile_clk_hz,
+                    },
+                    start_wall,
+                );
+                let serve_res = lane.controller.serve(&mut api);
+                let end_wall = api.wall_now_ps();
+                let ledger = lane.session.finish(api);
+                assert_eq!(
+                    ledger.responses.len() as u64,
+                    batch,
+                    "controller must respond to every request exactly once"
+                );
+                let pass = LanePass {
+                    lane: idx,
+                    batch,
+                    ledger,
+                    serve_res,
+                    end_wall,
+                };
+                (lane, Some(pass))
+            }));
+        }
+        let results = self.pool.as_ref().expect("pool built above").run(jobs);
+        for (lane, pass) in results {
+            self.lanes.push(lane);
+            if let Some(p) = pass {
+                scratch.passes.push(p);
+            }
+        }
+    }
+
     fn bump_alloc(&mut self, bytes: u64, align: u64) -> u64 {
         let align = align.max(1);
         let base = self.alloc_cursor.div_ceil(align) * align;
@@ -721,6 +868,7 @@ impl Tile {
         issue_cycle: u64,
     ) -> bool {
         let addr = self
+            .statics
             .mapper
             .to_phys(easydram_dram::DramAddress::new(bank, row, col));
         let (_, corrupted, _) =
@@ -839,7 +987,7 @@ impl MemoryBackend for Tile {
                 "remap pool collided with heap"
             );
         }
-        self.remap.extend(remap_table(&plan.remaps));
+        Arc::make_mut(&mut self.remap).extend(remap_table(&plan.remaps));
         for (i, &ok) in plan.clonable.iter().enumerate() {
             self.clonable
                 .insert((src_base / rb + i as u64, dst_base / rb + i as u64), ok);
@@ -859,7 +1007,7 @@ impl MemoryBackend for Tile {
             self.allocator
                 .plan_init(&var, n_rows, dst_base / rb, src_base / rb)?
         };
-        self.remap.extend(remap_table(&plan.remaps));
+        Arc::make_mut(&mut self.remap).extend(remap_table(&plan.remaps));
         for (j, src) in plan.sources.iter().enumerate() {
             if let Some(s) = src {
                 self.init_sources.insert(dst_base / rb + j as u64, *s);

@@ -402,6 +402,18 @@ fn scan_determinism(
                     ),
                 );
             }
+            // Owning a join handle is owning an OS thread: every
+            // `JoinHandle` site outside the reserved pool module needs a
+            // justified allow, so stray thread ownership cannot hide behind
+            // a handle passed in from elsewhere.
+            "JoinHandle" if !par_exempt => emit(
+                Rule::DetThreadSpawn,
+                t.line,
+                "JoinHandle in simulation code: owning an OS thread outside \
+                 crates/core/src/par.rs — route parallelism through the \
+                 deterministic pool, or justify with an allow pragma"
+                    .to_string(),
+            ),
             "rayon" if !par_exempt && tokens.get(i + 1).map(|n| n.text.as_str()) == Some("::") => {
                 emit(
                     Rule::DetThreadSpawn,

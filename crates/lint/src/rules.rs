@@ -14,9 +14,12 @@ pub enum Rule {
     /// Randomness constructed outside `easydram_dram::det` in simulation
     /// code: all stochastic behaviour must derive from the config seed.
     DetStrayRng,
-    /// `std::thread::spawn`/`scope`/`Builder` or `rayon::...` in simulation
-    /// code: OS scheduling order leaks into simulated state unless the
-    /// parallelism is baton-scheduled through a sanctioned harness.
+    /// `std::thread::spawn`/`scope`/`Builder`, `rayon::...`, or a
+    /// `JoinHandle` in simulation code: OS scheduling order leaks into
+    /// simulated state unless the parallelism goes through the deterministic
+    /// pool reserved at `crates/core/src/par.rs` or a baton-scheduled
+    /// harness. Every join-handle site outside that module needs a justified
+    /// allow pragma.
     DetThreadSpawn,
     /// `Vec::new`/`vec!`/`String::from`/`format!`/`.to_vec()`/… in a
     /// `// lint: no_alloc` region.
@@ -93,10 +96,11 @@ impl Rule {
                  the config seed)"
             }
             Rule::DetThreadSpawn => {
-                "std::thread::spawn/scope/Builder or rayon in simulation code \
-                 (OS scheduling order is nondeterministic; parallelism must \
-                 go through a baton-scheduled harness, justified with an \
-                 allow pragma)"
+                "std::thread::spawn/scope/Builder, rayon, or a JoinHandle in \
+                 simulation code (OS scheduling order is nondeterministic; \
+                 parallelism must go through the deterministic pool in \
+                 crates/core/src/par.rs or a baton-scheduled harness, \
+                 justified with an allow pragma)"
             }
             Rule::AllocVecNew => {
                 "Vec/String/format! construction inside a `// lint: no_alloc` \

@@ -81,7 +81,8 @@ fixture!(
     [
         ("det/thread-spawn", 2),
         ("det/thread-spawn", 3),
-        ("det/thread-spawn", 6)
+        ("det/thread-spawn", 6),
+        ("det/thread-spawn", 7)
     ]
 );
 fixture!(
@@ -193,6 +194,41 @@ fn par_home_is_exempt_from_thread_spawn() {
     };
     let diags = lint_source("crates/core/src/par.rs", src, par_home, &all_rules());
     assert!(diags.is_empty(), "par.rs may own OS threads: {diags:?}");
+}
+
+#[test]
+fn stray_spawn_elsewhere_in_core_still_fires() {
+    // End-to-end through the walker's own scope derivation: the identical
+    // source fires in any other crates/core module (both the spawn and the
+    // held JoinHandle) and is exempt only at the reserved par.rs path — the
+    // exemption is a single exact file, not a prefix.
+    let src = include_str!("fixtures/det_thread_spawn_core.rs");
+    let stray_path = "crates/core/src/smc/mod.rs";
+    let diags = lint_source(
+        stray_path,
+        src,
+        easydram_lint::scope_for(stray_path),
+        &all_rules(),
+    );
+    let got: Vec<(&str, u32)> = diags.iter().map(|d| (d.rule.id(), d.line)).collect();
+    assert_eq!(
+        got,
+        [("det/thread-spawn", 2), ("det/thread-spawn", 6)],
+        "stray thread ownership in core must fire"
+    );
+    let par_path = "crates/core/src/par.rs";
+    let par_diags = lint_source(
+        par_path,
+        src,
+        easydram_lint::scope_for(par_path),
+        &all_rules(),
+    );
+    assert!(par_diags.is_empty(), "{par_diags:?}");
+    let near_miss = "crates/core/src/par/mod.rs";
+    assert!(
+        !easydram_lint::scope_for(near_miss).par_exempt,
+        "the exemption must not widen to sibling paths"
+    );
 }
 
 #[test]

@@ -4,5 +4,7 @@ pub fn fan_out() {
         s.spawn(|| ());
     });
     let _ = rayon::join(|| 1, || 2);
+    let held: Option<std::thread::JoinHandle<()>> = None;
+    drop(held);
     let _ = t.join();
 }

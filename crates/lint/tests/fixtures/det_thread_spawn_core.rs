@@ -1,0 +1,10 @@
+pub struct Stray {
+    worker: Option<std::thread::JoinHandle<u64>>,
+}
+
+pub fn stray() -> Stray {
+    let worker = std::thread::spawn(|| 7u64);
+    Stray {
+        worker: Some(worker),
+    }
+}

@@ -13,6 +13,12 @@
 //! timeline that shifts a single counter in any figure's pipeline shows up
 //! as a byte diff here, pretty-printed at the first divergent field.
 //!
+//! Every figure render additionally runs at `EASYDRAM_THREADS=1`, `2`, and
+//! `4` and the three renders are asserted byte-identical **before** the
+//! 1-thread render is pinned against the golden: the parallel serve engine
+//! and the run-ahead co-scheduler must be invisible in every report, at any
+//! thread count.
+//!
 //! Regenerate the goldens with:
 //!
 //! ```text
@@ -22,9 +28,11 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use easydram_suite::cpu::backend::MemoryBackend;
 use easydram_suite::cpu::{CacheConfig, CpuApi};
+use easydram_suite::easydram::par::THREADS_ENV;
 use easydram_suite::easydram::{
     GrapheneController, MultiCoreSystem, RequestKind, System, SystemConfig, TimingMode,
 };
@@ -58,6 +66,47 @@ fn check_snapshot(name: &str, actual: &str) {
     if expected != actual {
         panic!("{}", first_divergence(name, &expected, actual));
     }
+}
+
+/// `EASYDRAM_THREADS` is process-global and the tests in this binary run
+/// concurrently, so every render sweep serializes behind this lock and
+/// restores the variable before releasing it.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores `EASYDRAM_THREADS` to its pre-sweep value on drop, so a
+/// panicking render cannot leak a pinned thread count into later tests.
+struct ThreadsEnvGuard(Option<std::ffi::OsString>);
+
+impl Drop for ThreadsEnvGuard {
+    fn drop(&mut self) {
+        match self.0.take() {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+    }
+}
+
+/// Renders the figure at `EASYDRAM_THREADS=1`, `2`, and `4`, asserts the
+/// three snapshots are byte-identical, then pins the 1-thread (exact
+/// sequential path) render against the golden. A divergence between thread
+/// counts is reported at the first divergent field, exactly like a golden
+/// mismatch — it means the parallel engine's deterministic reduction broke.
+fn check_snapshot_at_all_thread_counts(name: &str, render: impl Fn() -> String) {
+    let _serial = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = ThreadsEnvGuard(std::env::var_os(THREADS_ENV));
+    std::env::set_var(THREADS_ENV, "1");
+    let sequential = render();
+    for threads in ["2", "4"] {
+        std::env::set_var(THREADS_ENV, threads);
+        let parallel = render();
+        assert!(
+            parallel == sequential,
+            "figure '{name}' is not thread-count independent \
+             (EASYDRAM_THREADS=1 vs {threads}):\n{}",
+            first_divergence(name, &sequential, &parallel)
+        );
+    }
+    check_snapshot(name, &sequential);
 }
 
 /// Renders the first divergent line of two snapshots with surrounding
@@ -106,209 +155,233 @@ fn snapshot_table1_platforms() {
     // Table 1: the platform classes. One report per platform archetype on
     // the same kernel: EasyDRAM (time-scaled) and a PiDRAM-class No-TS
     // system, both on the small test geometry.
-    let mut out = String::new();
-    let mut sys = System::new(small(TimingMode::TimeScaling));
-    let mut w = polybench::by_name("durbin", PolySize::Mini).expect("kernel");
-    section(&mut out, "easydram durbin", &sys.run(w.as_mut()));
-    let mut cfg = SystemConfig::pidram_like();
-    cfg.dram = easydram_suite::dram::DramConfig::small_for_tests();
-    cfg.rowclone_test_trials = 100;
-    let mut sys = System::new(cfg);
-    let mut w = polybench::by_name("durbin", PolySize::Mini).expect("kernel");
-    section(&mut out, "pidram durbin", &sys.run(w.as_mut()));
-    check_snapshot("table1_platforms", &out);
+    check_snapshot_at_all_thread_counts("table1_platforms", || {
+        let mut out = String::new();
+        let mut sys = System::new(small(TimingMode::TimeScaling));
+        let mut w = polybench::by_name("durbin", PolySize::Mini).expect("kernel");
+        section(&mut out, "easydram durbin", &sys.run(w.as_mut()));
+        let mut cfg = SystemConfig::pidram_like();
+        cfg.dram = easydram_suite::dram::DramConfig::small_for_tests();
+        cfg.rowclone_test_trials = 100;
+        let mut sys = System::new(cfg);
+        let mut w = polybench::by_name("durbin", PolySize::Mini).expect("kernel");
+        section(&mut out, "pidram durbin", &sys.run(w.as_mut()));
+        out
+    });
 }
 
 #[test]
 fn snapshot_validate_timescaling() {
     // §6 validation: the TS and Reference systems on the same kernel.
-    let mut out = String::new();
-    for mode in [TimingMode::Reference, TimingMode::TimeScaling] {
-        let mut cfg = SystemConfig::validation_1ghz(mode);
-        cfg.dram = easydram_suite::dram::DramConfig::small_for_tests();
-        cfg.rowclone_test_trials = 100;
-        let mut sys = System::new(cfg);
-        let mut w = polybench::by_name("jacobi-1d", PolySize::Mini).expect("kernel");
-        section(&mut out, &format!("{mode}"), &sys.run(w.as_mut()));
-    }
-    check_snapshot("validate_timescaling", &out);
+    check_snapshot_at_all_thread_counts("validate_timescaling", || {
+        let mut out = String::new();
+        for mode in [TimingMode::Reference, TimingMode::TimeScaling] {
+            let mut cfg = SystemConfig::validation_1ghz(mode);
+            cfg.dram = easydram_suite::dram::DramConfig::small_for_tests();
+            cfg.rowclone_test_trials = 100;
+            let mut sys = System::new(cfg);
+            let mut w = polybench::by_name("jacobi-1d", PolySize::Mini).expect("kernel");
+            section(&mut out, &format!("{mode}"), &sys.run(w.as_mut()));
+        }
+        out
+    });
 }
 
 #[test]
 fn snapshot_fig8_latency_profile() {
     // Fig. 8: dependent-load latency through the full hierarchy.
-    let mut out = String::new();
-    for (label, mode) in [
-        ("reference", TimingMode::Reference),
-        ("time-scaling", TimingMode::TimeScaling),
-    ] {
-        let mut sys = System::new(small(mode));
-        let mut w = LatMemRd::new(64 * 1024, 64);
-        let r = sys.run(&mut w);
-        let _ = writeln!(
-            &mut out,
-            "== {label} cycles/load ==\n{:?}\n",
-            w.cycles_per_load()
-        );
-        section(&mut out, &format!("{label} report"), &r);
-    }
-    check_snapshot("fig8_latency_profile", &out);
+    check_snapshot_at_all_thread_counts("fig8_latency_profile", || {
+        let mut out = String::new();
+        for (label, mode) in [
+            ("reference", TimingMode::Reference),
+            ("time-scaling", TimingMode::TimeScaling),
+        ] {
+            let mut sys = System::new(small(mode));
+            let mut w = LatMemRd::new(64 * 1024, 64);
+            let r = sys.run(&mut w);
+            let _ = writeln!(
+                &mut out,
+                "== {label} cycles/load ==\n{:?}\n",
+                w.cycles_per_load()
+            );
+            section(&mut out, &format!("{label} report"), &r);
+        }
+        out
+    });
 }
 
 #[test]
 fn snapshot_fig10_rowclone_noflush() {
     // Fig. 10: RowClone copy vs. CPU copy, no cache maintenance.
-    let bytes = 16 * 1024;
-    let mut out = String::new();
-    let mut sys = System::new(small(TimingMode::TimeScaling));
-    section(&mut out, "cpu copy", &sys.run(&mut CpuCopy::new(bytes)));
-    let mut sys = System::new(small(TimingMode::TimeScaling));
-    section(
-        &mut out,
-        "rowclone copy noflush",
-        &sys.run(&mut RowCloneCopy::new(bytes, FlushMode::NoFlush)),
-    );
-    check_snapshot("fig10_rowclone_noflush", &out);
+    check_snapshot_at_all_thread_counts("fig10_rowclone_noflush", || {
+        let bytes = 16 * 1024;
+        let mut out = String::new();
+        let mut sys = System::new(small(TimingMode::TimeScaling));
+        section(&mut out, "cpu copy", &sys.run(&mut CpuCopy::new(bytes)));
+        let mut sys = System::new(small(TimingMode::TimeScaling));
+        section(
+            &mut out,
+            "rowclone copy noflush",
+            &sys.run(&mut RowCloneCopy::new(bytes, FlushMode::NoFlush)),
+        );
+        out
+    });
 }
 
 #[test]
 fn snapshot_fig11_rowclone_clflush() {
     // Fig. 11: the CLFLUSH coherence variant, plus the small-size init case.
-    let mut out = String::new();
-    let mut sys = System::new(small(TimingMode::TimeScaling));
-    section(
-        &mut out,
-        "rowclone copy clflush",
-        &sys.run(&mut RowCloneCopy::new(16 * 1024, FlushMode::ClFlush)),
-    );
-    let mut sys = System::new(small(TimingMode::TimeScaling));
-    section(
-        &mut out,
-        "rowclone init clflush",
-        &sys.run(&mut RowCloneInit::new(8 * 1024, FlushMode::ClFlush)),
-    );
-    let mut sys = System::new(small(TimingMode::TimeScaling));
-    section(&mut out, "cpu init", &sys.run(&mut CpuInit::new(8 * 1024)));
-    check_snapshot("fig11_rowclone_clflush", &out);
+    check_snapshot_at_all_thread_counts("fig11_rowclone_clflush", || {
+        let mut out = String::new();
+        let mut sys = System::new(small(TimingMode::TimeScaling));
+        section(
+            &mut out,
+            "rowclone copy clflush",
+            &sys.run(&mut RowCloneCopy::new(16 * 1024, FlushMode::ClFlush)),
+        );
+        let mut sys = System::new(small(TimingMode::TimeScaling));
+        section(
+            &mut out,
+            "rowclone init clflush",
+            &sys.run(&mut RowCloneInit::new(8 * 1024, FlushMode::ClFlush)),
+        );
+        let mut sys = System::new(small(TimingMode::TimeScaling));
+        section(&mut out, "cpu init", &sys.run(&mut CpuInit::new(8 * 1024)));
+        out
+    });
 }
 
 #[test]
 fn snapshot_fig12_trcd_heatmap() {
     // Fig. 12: the seeded tRCD variation surface plus the profiling path.
-    let mut sys = System::new(small(TimingMode::Reference));
-    let mut out = String::new();
-    {
-        let var = sys.tile().device().variation().clone();
-        let grid: Vec<u64> = (0..2u32)
-            .flat_map(|bank| (0..2048).step_by(97).map(move |row| (bank, row)))
-            .map(|(bank, row)| var.row_min_trcd_ps(bank, row))
-            .collect();
-        section(&mut out, "row min tRCD grid (stride 97)", &grid);
-    }
-    // Profile two rows at two tRCD points through the real command path.
-    let issue = sys.cpu().now_cycles();
-    let probes: Vec<(u32, u64, bool)> = [(0u32, 13_500u64), (0, 8_000), (7, 13_500), (7, 8_000)]
-        .iter()
-        .map(|&(row, trcd)| {
-            (
-                row,
-                trcd,
-                sys.tile_mut().profile_line(0, row, 0, trcd, issue),
-            )
-        })
-        .collect();
-    section(&mut out, "profile_line probes (row, trcd_ps, ok)", &probes);
-    section(&mut out, "report", &sys.report("fig12"));
-    check_snapshot("fig12_trcd_heatmap", &out);
+    check_snapshot_at_all_thread_counts("fig12_trcd_heatmap", || {
+        let mut sys = System::new(small(TimingMode::Reference));
+        let mut out = String::new();
+        {
+            let var = sys.tile().device().variation().clone();
+            let grid: Vec<u64> = (0..2u32)
+                .flat_map(|bank| (0..2048).step_by(97).map(move |row| (bank, row)))
+                .map(|(bank, row)| var.row_min_trcd_ps(bank, row))
+                .collect();
+            section(&mut out, "row min tRCD grid (stride 97)", &grid);
+        }
+        // Profile two rows at two tRCD points through the real command path.
+        let issue = sys.cpu().now_cycles();
+        let probes: Vec<(u32, u64, bool)> =
+            [(0u32, 13_500u64), (0, 8_000), (7, 13_500), (7, 8_000)]
+                .iter()
+                .map(|&(row, trcd)| {
+                    (
+                        row,
+                        trcd,
+                        sys.tile_mut().profile_line(0, row, 0, trcd, issue),
+                    )
+                })
+                .collect();
+        section(&mut out, "profile_line probes (row, trcd_ps, ok)", &probes);
+        section(&mut out, "report", &sys.report("fig12"));
+        out
+    });
 }
 
 #[test]
 fn snapshot_fig13_trcd_speedup() {
     // Fig. 13: tRCD reduction on a kernel, Bloom-filter-protected.
-    let mut out = String::new();
-    for reduce in [false, true] {
-        let mut sys = System::new(small(TimingMode::TimeScaling));
-        if reduce {
-            sys.enable_trcd_reduction(2_048, 9_000);
-        }
-        let mut w = polybench::by_name("mvt", PolySize::Mini).expect("kernel");
-        section(
-            &mut out,
+    check_snapshot_at_all_thread_counts("fig13_trcd_speedup", || {
+        let mut out = String::new();
+        for reduce in [false, true] {
+            let mut sys = System::new(small(TimingMode::TimeScaling));
             if reduce {
-                "reduced trcd"
-            } else {
-                "nominal trcd"
-            },
-            &sys.run(w.as_mut()),
-        );
-    }
-    check_snapshot("fig13_trcd_speedup", &out);
+                sys.enable_trcd_reduction(2_048, 9_000);
+            }
+            let mut w = polybench::by_name("mvt", PolySize::Mini).expect("kernel");
+            section(
+                &mut out,
+                if reduce {
+                    "reduced trcd"
+                } else {
+                    "nominal trcd"
+                },
+                &sys.run(w.as_mut()),
+            );
+        }
+        out
+    });
 }
 
 #[test]
 fn snapshot_fig14_sim_speed() {
     // Fig. 14: EasyDRAM vs. the software-simulator baseline on one kernel.
     // `host_wall_seconds` is measured host time — zeroed before pinning.
-    let mut out = String::new();
-    let mut sys = System::new(small(TimingMode::TimeScaling));
-    let mut w = polybench::by_name("durbin", PolySize::Mini).expect("kernel");
-    section(&mut out, "easydram durbin", &sys.run(w.as_mut()));
-    let mut ram = RamulatorSystem::new(RamulatorConfig::default());
-    let mut w = polybench::by_name("durbin", PolySize::Mini).expect("kernel");
-    let mut r = ram.run(w.as_mut());
-    r.host_wall_seconds = 0.0;
-    section(&mut out, "ramulator durbin", &r);
-    check_snapshot("fig14_sim_speed", &out);
+    check_snapshot_at_all_thread_counts("fig14_sim_speed", || {
+        let mut out = String::new();
+        let mut sys = System::new(small(TimingMode::TimeScaling));
+        let mut w = polybench::by_name("durbin", PolySize::Mini).expect("kernel");
+        section(&mut out, "easydram durbin", &sys.run(w.as_mut()));
+        let mut ram = RamulatorSystem::new(RamulatorConfig::default());
+        let mut w = polybench::by_name("durbin", PolySize::Mini).expect("kernel");
+        let mut r = ram.run(w.as_mut());
+        r.host_wall_seconds = 0.0;
+        section(&mut out, "ramulator durbin", &r);
+        out
+    });
 }
 
 #[test]
 fn snapshot_fig_channel_sweep() {
     // Channel sweep: an interleaved read batch on a 2-channel small system.
-    let mut cfg = small(TimingMode::Reference);
-    cfg.dram.geometry.channels = 2;
-    let mut sys = System::new(cfg);
-    let tile = sys.tile_mut();
-    for i in 0..64u64 {
-        tile.post_request(
-            RequestKind::Read {
-                addr: 0x4_0000 + i * 64,
-            },
-            0,
-        );
-    }
-    let release = tile.drain_writes(0);
-    let mut out = String::new();
-    section(&mut out, "last release cycle", &release);
-    section(&mut out, "report", &sys.report("channel_sweep"));
-    check_snapshot("fig_channel_sweep", &out);
+    // The multi-lane geometry is exactly what the parallel serve engine
+    // fans out, so this figure is the sharpest thread-sweep probe.
+    check_snapshot_at_all_thread_counts("fig_channel_sweep", || {
+        let mut cfg = small(TimingMode::Reference);
+        cfg.dram.geometry.channels = 2;
+        let mut sys = System::new(cfg);
+        let tile = sys.tile_mut();
+        for i in 0..64u64 {
+            tile.post_request(
+                RequestKind::Read {
+                    addr: 0x4_0000 + i * 64,
+                },
+                0,
+            );
+        }
+        let release = tile.drain_writes(0);
+        let mut out = String::new();
+        section(&mut out, "last release cycle", &release);
+        section(&mut out, "report", &sys.report("channel_sweep"));
+        out
+    });
 }
 
 #[test]
 fn snapshot_fig_multicore_contention() {
     // Multi-core contention: a shuffled chase co-run against a streaming
-    // writer on one shared channel.
-    let mut cfg = small(TimingMode::Reference);
-    cfg.dram.geometry.bank_groups = 2;
-    cfg.dram.geometry.banks_per_group = 4;
-    cfg.core.l1 = Some(CacheConfig {
-        size_bytes: 4 * 1024,
-        ways: 2,
-        hit_latency_cycles: 4,
+    // writer on one shared channel. Exercises the run-ahead co-scheduler
+    // (threads > 1) against baton order (threads = 1).
+    check_snapshot_at_all_thread_counts("fig_multicore_contention", || {
+        let mut cfg = small(TimingMode::Reference);
+        cfg.dram.geometry.bank_groups = 2;
+        cfg.dram.geometry.banks_per_group = 4;
+        cfg.core.l1 = Some(CacheConfig {
+            size_bytes: 4 * 1024,
+            ways: 2,
+            hit_latency_cycles: 4,
+        });
+        cfg.core.l2 = Some(CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            hit_latency_cycles: 12,
+        });
+        let mut mc = MultiCoreSystem::new(cfg, 2);
+        mc.set_quantum(40);
+        let mut chase = LatMemRd::shuffled_with_loads(16 * 1024, 64, 2_000);
+        let mut writer = StreamWriter::new(64 * 1024, 50_000);
+        let r = mc.co_run(&mut [&mut chase, &mut writer]);
+        let mut out = String::new();
+        section(&mut out, "chase cycles/load", &chase.cycles_per_load());
+        section(&mut out, "co-run aggregate", &r.aggregate);
+        out
     });
-    cfg.core.l2 = Some(CacheConfig {
-        size_bytes: 32 * 1024,
-        ways: 4,
-        hit_latency_cycles: 12,
-    });
-    let mut mc = MultiCoreSystem::new(cfg, 2);
-    mc.set_quantum(40);
-    let mut chase = LatMemRd::shuffled_with_loads(16 * 1024, 64, 2_000);
-    let mut writer = StreamWriter::new(64 * 1024, 50_000);
-    let r = mc.co_run(&mut [&mut chase, &mut writer]);
-    let mut out = String::new();
-    section(&mut out, "chase cycles/load", &chase.cycles_per_load());
-    section(&mut out, "co-run aggregate", &r.aggregate);
-    check_snapshot("fig_multicore_contention", &out);
 }
 
 #[test]
@@ -318,7 +391,8 @@ fn snapshot_model_counterexamples() {
     // explorer and minimizer are fully deterministic (DFS in alphabet
     // order, greedy left-to-right delta debugging), so any change to the
     // timing tables, the trackers, or the checker's search order shows up
-    // as a diff here.
+    // as a diff here. No tile is involved, so this snapshot stays outside
+    // the thread sweep.
     use easydram_model::{
         corrupt_tfaw_window, format_trace, swap_bank_group_act_spacing, verdict, zero_rfm_fold,
         ModelConfig,
@@ -355,26 +429,28 @@ fn snapshot_model_counterexamples() {
 #[test]
 fn snapshot_fig_rowhammer() {
     // RowHammer attack/defense: unmitigated vs. Graphene at one intensity.
-    let mut out = String::new();
-    for defense in ["none", "graphene"] {
-        let mut cfg = small(TimingMode::Reference);
-        cfg.dram.variation.disturb_enabled = true;
-        cfg.dram.variation.hc_first = (2_048, 4_096);
-        let mut sys = System::new(cfg.clone());
-        if defense == "graphene" {
-            sys.install_controller(Box::new(GrapheneController::new(512, 8)));
+    check_snapshot_at_all_thread_counts("fig_rowhammer", || {
+        let mut out = String::new();
+        for defense in ["none", "graphene"] {
+            let mut cfg = small(TimingMode::Reference);
+            cfg.dram.variation.disturb_enabled = true;
+            cfg.dram.variation.hc_first = (2_048, 4_096);
+            let mut sys = System::new(cfg.clone());
+            if defense == "graphene" {
+                sys.install_controller(Box::new(GrapheneController::new(512, 8)));
+            }
+            let mut kernel = HammerKernel::in_bank(
+                &cfg.dram.geometry,
+                cfg.mapping,
+                0,
+                500,
+                HammerPattern::DoubleSided,
+                1_200,
+            );
+            sys.run(&mut kernel);
+            section(&mut out, &format!("{defense} flips"), &kernel.bit_flips());
+            section(&mut out, &format!("{defense} report"), &sys.report(defense));
         }
-        let mut kernel = HammerKernel::in_bank(
-            &cfg.dram.geometry,
-            cfg.mapping,
-            0,
-            500,
-            HammerPattern::DoubleSided,
-            1_200,
-        );
-        sys.run(&mut kernel);
-        section(&mut out, &format!("{defense} flips"), &kernel.bit_flips());
-        section(&mut out, &format!("{defense} report"), &sys.report(defense));
-    }
-    check_snapshot("fig_rowhammer", &out);
+        out
+    });
 }

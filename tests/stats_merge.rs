@@ -1,0 +1,206 @@
+//! Permutation proofs for the parallel engine's deterministic reduction.
+//!
+//! The threaded serve path accumulates per-lane [`SmcStats`] /
+//! [`ChannelStats`] / [`RequestorStats`] shards and folds them into the
+//! tile totals. For the parallel engine to be byte-identical to the
+//! sequential one at every thread count, those merges must be
+//! order-invariant: commutative and associative over any sharding of the
+//! same activity. These tests generate random shards, reduce them in the
+//! original order, in a random permutation, and as a pairwise tree, and
+//! assert all three reductions agree — including the `peak_batch` field,
+//! which is a maximum rather than a sum and would silently fabricate batch
+//! sizes if merged additively.
+
+use proptest::prelude::*;
+
+use easydram::report::{ChannelStats, RequestorStats, SmcStats};
+use easydram::ServeResult;
+
+/// One generated shard: 32 bytes of entropy, spread across every counter.
+type Raw = [u8; 32];
+
+fn serve_from(b: &Raw) -> ServeResult {
+    ServeResult {
+        served: b[7] as u64,
+        row_hits: b[8] as u64,
+        row_misses: b[9] as u64,
+        row_conflicts: b[10] as u64,
+        reduced_trcd_accesses: b[11] as u64,
+    }
+}
+
+fn smc_from(b: &Raw) -> SmcStats {
+    SmcStats {
+        requests: b[0] as u64,
+        rocket_cycles: b[1] as u64,
+        hw_cycles: b[2] as u64,
+        batches: b[3] as u64,
+        posted_writes: b[4] as u64,
+        forced_drains: b[5] as u64,
+        peak_batch: b[6] as u64,
+        serve: serve_from(b),
+        rowclone_fallbacks: b[12] as u64,
+    }
+}
+
+fn channel_from(b: &Raw) -> ChannelStats {
+    // Vectors of *different* lengths per shard: a lane that never touched
+    // rank 2 reports a shorter vector, and merge must grow-then-add.
+    let ranks = (b[13] % 4) as usize;
+    let banks = (b[14] % 5) as usize;
+    ChannelStats {
+        requests: b[0] as u64,
+        rocket_cycles: b[1] as u64,
+        hw_cycles: b[2] as u64,
+        batches: b[3] as u64,
+        serve: serve_from(b),
+        refreshes_per_rank: (0..ranks).map(|i| b[15 + i] as u64).collect(),
+        acts_per_bank: (0..banks).map(|i| b[19 + i] as u64).collect(),
+    }
+}
+
+fn requestor_from(id: u32, b: &Raw) -> RequestorStats {
+    RequestorStats {
+        requestor: id,
+        requests: b[0] as u64,
+        reads: b[1] as u64,
+        writes: b[2] as u64,
+        rowclones: b[3] as u64,
+        row_hits: b[4] as u64,
+        row_misses: b[5] as u64,
+        row_conflicts: b[6] as u64,
+        rocket_cycles: b[7] as u64,
+        dram_occupancy_ps: b[8] as u64,
+        column_ops: b[9] as u64,
+        stall_cycles: b[10] as u64,
+    }
+}
+
+/// Deterministic Fisher–Yates driven by a generated seed (splitmix64), so
+/// each proptest case exercises a different permutation reproducibly.
+fn shuffled<T: Clone>(items: &[T], mut state: u64) -> Vec<T> {
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut v = items.to_vec();
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Left fold with `merge`.
+fn fold<T: Default, F: Fn(&mut T, &T)>(shards: &[T], merge: F) -> T {
+    let mut acc = T::default();
+    for s in shards {
+        merge(&mut acc, s);
+    }
+    acc
+}
+
+/// Pairwise tree reduction with `merge` — a different association of the
+/// same shards, as a work-stealing scheduler might produce.
+fn tree_reduce<T: Default + Clone, F: Fn(&mut T, &T) + Copy>(shards: &[T], merge: F) -> T {
+    match shards.len() {
+        0 => T::default(),
+        1 => shards[0].clone(),
+        n => {
+            let (lo, hi) = shards.split_at(n / 2);
+            let mut left = tree_reduce(lo, merge);
+            let right = tree_reduce(hi, merge);
+            merge(&mut left, &right);
+            left
+        }
+    }
+}
+
+fn raw_shards() -> impl Strategy<Value = Vec<Raw>> {
+    prop::collection::vec(prop::array::uniform32(any::<u8>()), 1..12)
+}
+
+proptest! {
+    /// Any permutation and any association of SmcStats shards reduces to
+    /// the same record.
+    #[test]
+    fn smc_merge_is_order_invariant(raws in raw_shards(), seed in any::<u64>()) {
+        let shards: Vec<SmcStats> = raws.iter().map(smc_from).collect();
+        let in_order = fold(&shards, SmcStats::merge);
+        let permuted = fold(&shuffled(&shards, seed), SmcStats::merge);
+        let tree = tree_reduce(&shards, SmcStats::merge);
+        prop_assert_eq!(in_order, permuted);
+        prop_assert_eq!(in_order, tree);
+    }
+
+    /// `peak_batch` reduces as a maximum: the merged record reports the
+    /// largest batch any shard carried, never the sum (which would claim a
+    /// batch size no pass ever executed).
+    #[test]
+    fn peak_batch_reduces_as_max_not_sum(raws in raw_shards(), seed in any::<u64>()) {
+        let shards: Vec<SmcStats> = raws.iter().map(smc_from).collect();
+        let expected_peak = shards.iter().map(|s| s.peak_batch).max().unwrap_or(0);
+        let merged = fold(&shuffled(&shards, seed), SmcStats::merge);
+        prop_assert_eq!(merged.peak_batch, expected_peak);
+        // Every summed counter still partitions exactly.
+        let total_requests: u64 = shards.iter().map(|s| s.requests).sum();
+        prop_assert_eq!(merged.requests, total_requests);
+    }
+
+    /// ChannelStats merge is order-invariant even when shards report
+    /// per-rank/per-bank vectors of different lengths.
+    #[test]
+    fn channel_merge_is_order_invariant(raws in raw_shards(), seed in any::<u64>()) {
+        let shards: Vec<ChannelStats> = raws.iter().map(channel_from).collect();
+        let in_order = fold(&shards, ChannelStats::merge);
+        let permuted = fold(&shuffled(&shards, seed), ChannelStats::merge);
+        let tree = tree_reduce(&shards, ChannelStats::merge);
+        prop_assert_eq!(&in_order, &permuted);
+        prop_assert_eq!(&in_order, &tree);
+        // The merged vectors are exactly as long as the longest shard's.
+        let max_ranks = shards.iter().map(|s| s.refreshes_per_rank.len()).max().unwrap_or(0);
+        let max_banks = shards.iter().map(|s| s.acts_per_bank.len()).max().unwrap_or(0);
+        prop_assert_eq!(in_order.refreshes_per_rank.len(), max_ranks);
+        prop_assert_eq!(in_order.acts_per_bank.len(), max_banks);
+    }
+
+    /// RequestorStats merge is order-invariant for shards of one requestor.
+    #[test]
+    fn requestor_merge_is_order_invariant(raws in raw_shards(), seed in any::<u64>(), id in 0u32..8) {
+        let shards: Vec<RequestorStats> = raws.iter().map(|b| requestor_from(id, b)).collect();
+        let base = || RequestorStats::new(id);
+        let fold_req = |shards: &[RequestorStats]| {
+            let mut acc = base();
+            for s in shards {
+                acc.merge(s);
+            }
+            acc
+        };
+        let in_order = fold_req(&shards);
+        let permuted = fold_req(&shuffled(&shards, seed));
+        prop_assert_eq!(in_order, permuted);
+        prop_assert_eq!(in_order.requestor, id);
+    }
+}
+
+/// The concrete regression the permutation tests generalize: two serve
+/// passes of 6 and 4 requests peak at 6, not 10.
+#[test]
+fn peak_batch_two_pass_regression() {
+    let mut total = SmcStats::default();
+    total.merge(&SmcStats {
+        requests: 6,
+        peak_batch: 6,
+        ..SmcStats::default()
+    });
+    total.merge(&SmcStats {
+        requests: 4,
+        peak_batch: 4,
+        ..SmcStats::default()
+    });
+    assert_eq!(total.requests, 10);
+    assert_eq!(total.peak_batch, 6, "peak is a max, not a sum");
+}
