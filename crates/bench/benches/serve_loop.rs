@@ -4,12 +4,15 @@
 //! The offline criterion shim reports wall-clock means but keeps no saved
 //! baselines, so the ≥[`SIM_SPEED_THRESHOLD`]× regression threshold is
 //! enforced here directly on median timings (same gate as the
-//! `fig14_sim_speed` harness).
+//! `fig14_sim_speed` harness). A second gate prices the observability
+//! layer: with tracing off (the gate hoisted out of the command loop, as
+//! in the tile's serve pass), the kernel must stay within
+//! [`OBS_OVERHEAD_LIMIT`]× of the bare kernel's median.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use easydram_bench::{
-    median_ns_per_cmd, run_oracle_kernel, run_table_kernel, sim_speed_geometry, sim_speed_stream,
-    SIM_SPEED_THRESHOLD,
+    median_ns_per_cmd, run_oracle_kernel, run_table_kernel, run_table_kernel_obs,
+    sim_speed_geometry, sim_speed_stream, OBS_OVERHEAD_LIMIT, SIM_SPEED_THRESHOLD,
 };
 use easydram_dram::TimingParams;
 
@@ -27,6 +30,19 @@ fn serve_loop(c: &mut Criterion) {
     g.bench_function("rule_oracle", |b| {
         b.iter(|| black_box(run_oracle_kernel(&geometry, &timing, &stream)));
     });
+    g.bench_function("timing_table_trace_off", |b| {
+        b.iter(|| black_box(run_table_kernel_obs(&geometry, &timing, &stream, None)));
+    });
+    g.bench_function("timing_table_trace_on", |b| {
+        b.iter(|| {
+            black_box(run_table_kernel_obs(
+                &geometry,
+                &timing,
+                &stream,
+                Some(65_536),
+            ))
+        });
+    });
     g.finish();
 
     let table_ns = median_ns_per_cmd(5, commands, || {
@@ -41,6 +57,28 @@ fn serve_loop(c: &mut Criterion) {
         speedup >= SIM_SPEED_THRESHOLD,
         "serve-loop regression: timing table is only {speedup:.2}x faster than the oracle \
          (threshold {SIM_SPEED_THRESHOLD:.1}x)"
+    );
+
+    // Observability gate: tracing off must be free (within noise). Each
+    // round measures the pair back to back so host frequency drift cancels
+    // within the round; the min over rounds discards one-off noise spikes
+    // (a real regression inflates every round, so the min still catches it).
+    let overhead = (0..3)
+        .map(|_| {
+            let t = median_ns_per_cmd(5, commands, || {
+                run_table_kernel(&geometry, &timing, &stream)
+            });
+            let o = median_ns_per_cmd(5, commands, || {
+                run_table_kernel_obs(&geometry, &timing, &stream, None)
+            });
+            o / t
+        })
+        .fold(f64::INFINITY, f64::min);
+    println!("serve_loop trace-off overhead: {overhead:.3}x (limit {OBS_OVERHEAD_LIMIT:.2}x)");
+    assert!(
+        overhead <= OBS_OVERHEAD_LIMIT,
+        "observability regression: the tracing-off kernel costs {overhead:.3}x \
+         over the bare kernel (limit {OBS_OVERHEAD_LIMIT:.2}x)"
     );
 }
 

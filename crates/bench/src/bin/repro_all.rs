@@ -54,6 +54,7 @@ fn main() {
         "fig_channel_sweep",
         "fig_multicore_contention",
         "fig_rowhammer",
+        "fig_latency_cdf",
     ];
     // Stale sweep records must not masquerade as this run's numbers — the
     // aggregate report included.
@@ -61,6 +62,9 @@ fn main() {
     std::fs::remove_file("target/multicore-contention.json").ok();
     std::fs::remove_file("target/rowhammer.json").ok();
     std::fs::remove_file("target/sim-speed.json").ok();
+    std::fs::remove_file("target/latency-cdf.json").ok();
+    std::fs::remove_file("target/trace.json").ok();
+    std::fs::remove_file("target/trace.bin").ok();
     std::fs::remove_file("target/bench-report.json").ok();
     let mut runs: Vec<(String, bool, f64)> = Vec::new();
     for bin in bins {
@@ -91,6 +95,7 @@ fn main() {
         ),
         ("rowhammer", "fig_rowhammer", "target/rowhammer.json"),
         ("sim_speed", "fig14_sim_speed", "target/sim-speed.json"),
+        ("latency_cdf", "fig_latency_cdf", "target/latency-cdf.json"),
     ]
     .into_iter()
     .filter_map(|(key, bin, path)| {
@@ -111,15 +116,15 @@ fn main() {
                 false
             }
         };
-    // Schema-6 contract: the report written by *this* run must self-identify
-    // as schema 6 and, when the relevant harness succeeded, carry its
+    // Schema-7 contract: the report written by *this* run must self-identify
+    // as schema 7 and, when the relevant harness succeeded, carry its
     // section with the fields downstream tooling keys on. (The files were
     // removed up front, so a failed write cannot validate stale data.)
     if wrote {
         let report = std::fs::read_to_string(report_path).expect("just wrote the report");
         assert!(
-            report.contains("\"schema\": 6"),
-            "bench report must declare schema 6"
+            report.contains("\"schema\": 7"),
+            "bench report must declare schema 7"
         );
         if section_ok("fig_rowhammer") {
             for field in [
@@ -155,7 +160,23 @@ fn main() {
                 );
             }
         }
-        println!("bench-report schema 6 validated.");
+        if section_ok("fig_latency_cdf") {
+            for field in [
+                "\"latency_cdf\": {",
+                "\"requests\"",
+                "\"p50_cycles\"",
+                "\"p95_cycles\"",
+                "\"p99_cycles\"",
+                "\"trace_events\"",
+                "\"trace_dropped\"",
+            ] {
+                assert!(
+                    report.contains(field),
+                    "schema-7 latency_cdf section is missing {field}"
+                );
+            }
+        }
+        println!("bench-report schema 7 validated.");
     }
     let failures: Vec<&str> = runs
         .iter()

@@ -204,7 +204,7 @@ pub fn write_bench_report_with_sections(
     if let Some(parent) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut s = String::from("{\n  \"schema\": 6,\n");
+    let mut s = String::from("{\n  \"schema\": 7,\n");
     s.push_str(&format!("  \"quick\": {},\n", quick()));
     for (key, json) in sections {
         s.push_str(&format!("  \"{key}\": {},\n", json.trim()));
@@ -598,6 +598,97 @@ pub fn run_oracle_kernel(
     acc
 }
 
+/// Overhead ceiling the observability layer must respect with tracing
+/// **off**: the table kernel entered through the tracing gate (but with no
+/// ring armed) must stay within this factor of the bare kernel's median
+/// ns/command. Enforced by the `serve_loop` criterion bench.
+pub const OBS_OVERHEAD_LIMIT: f64 = 1.05;
+
+/// A fixed-capacity overwrite-oldest record ring, shaped exactly like the
+/// command-trace ring `DramDevice` keeps while tracing — the bench-side
+/// twin used to price the observability hot path in isolation.
+struct BenchCmdRing {
+    buf: Vec<(u64, u32)>,
+    cap: usize,
+    head: usize,
+}
+
+/// [`run_table_kernel`] with the observability layer's per-command work
+/// bolted on: `ring_capacity: None` replays with tracing off — the gate is
+/// hoisted out of the command loop, the same shape the tile's serve pass
+/// uses (one `Option` check per pass, never per command), so the disarmed
+/// path must price identically to the bare kernel (this is what
+/// [`OBS_OVERHEAD_LIMIT`] gates) — while `Some(cap)` replays with an armed
+/// overwrite-oldest ring (the tracing-on cost). The digest is bit-identical
+/// to [`run_table_kernel`]'s either way: observability must never change
+/// simulated state.
+#[must_use]
+pub fn run_table_kernel_obs(
+    geometry: &Geometry,
+    timing: &TimingParams,
+    stream: &[ScheduledCmd],
+    ring_capacity: Option<usize>,
+) -> u64 {
+    // Tracing off: hoist the gate above the loop (keeping an `Option` check
+    // *inside* this tight loop costs >10% from codegen alone, which is
+    // exactly the overhead the hoisted-gate design exists to avoid).
+    let Some(cap) = ring_capacity else {
+        return run_table_kernel(geometry, timing, stream);
+    };
+    let mut rank = RankTiming::new(geometry.clone(), timing.clone());
+    let mut ring = BenchCmdRing {
+        buf: Vec::with_capacity(cap.max(1)),
+        cap: cap.max(1),
+        head: 0,
+    };
+    let mut acc = 0u64;
+    for sc in stream {
+        let cmd = sc.decode();
+        let at = sc.issue_ps();
+        if !rank.is_legal(&cmd, at) {
+            acc = acc.wrapping_add(rank.check(&cmd, at).len() as u64);
+        }
+        rank.apply(&cmd, at);
+        let rec = (at, cmd.bank().unwrap_or(0));
+        if ring.buf.len() < ring.cap {
+            ring.buf.push(rec);
+        } else {
+            ring.buf[ring.head] = rec;
+            ring.head = (ring.head + 1) % ring.cap;
+        }
+        acc ^= at;
+    }
+    acc
+}
+
+/// Writes the `fig_latency_cdf` harness's machine-readable record (the
+/// `latency_cdf` fields of bench-report schema 7): the served request count,
+/// the log2-histogram latency percentiles in core cycles, and the size of
+/// the Chrome-trace export the harness validated. `repro_all` embeds this
+/// file into `target/bench-report.json` under `latency_cdf`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (missing parent directory is created).
+pub fn write_latency_cdf_json(
+    path: &str,
+    requests: u64,
+    percentiles: (u64, u64, u64),
+    trace_events: usize,
+    trace_dropped: u64,
+) -> Result<(), std::io::Error> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let (p50, p95, p99) = percentiles;
+    let s = format!(
+        "{{\n  \"requests\": {requests},\n  \"p50_cycles\": {p50},\n  \
+         \"p95_cycles\": {p95},\n  \"p99_cycles\": {p99},\n  \
+         \"trace_events\": {trace_events},\n  \"trace_dropped\": {trace_dropped}\n}}\n"
+    );
+    std::fs::write(path, s)
+}
+
 /// Times `kernel` `samples` times and returns the median wall nanoseconds
 /// per command — the robust summary both the fig14 harness and the
 /// `serve_loop` bench report (the criterion shim keeps no baselines, so
@@ -754,7 +845,7 @@ mod tests {
         ];
         write_bench_report(path, &runs).unwrap();
         let s = std::fs::read_to_string(path).unwrap();
-        assert!(s.contains("\"schema\": 6"));
+        assert!(s.contains("\"schema\": 7"));
         assert!(s.contains("\"name\": \"fig8\", \"ok\": true, \"wall_seconds\": 1.250"));
         assert!(s.contains("fig\\\"quoted\\\""), "quotes must be escaped");
         assert_eq!(
@@ -901,6 +992,42 @@ mod tests {
             s.contains("\"parallel_speedup\": 0.000"),
             "an empty sweep reports a zero speedup, not a division artifact"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_kernel_digest_matches_bare_kernel() {
+        // Armed or disarmed, the observability ring must be invisible to
+        // simulated state: all three replays produce one digest.
+        let geometry = sim_speed_geometry();
+        let timing = TimingParams::ddr4_1333();
+        let stream = sim_speed_stream(4_000, &geometry, &timing);
+        let bare = run_table_kernel(&geometry, &timing, &stream);
+        assert_eq!(
+            run_table_kernel_obs(&geometry, &timing, &stream, None),
+            bare
+        );
+        assert_eq!(
+            run_table_kernel_obs(&geometry, &timing, &stream, Some(64)),
+            bare,
+            "an armed ring (with wraparound) must not perturb the replay"
+        );
+    }
+
+    #[test]
+    fn latency_cdf_json_carries_schema7_fields() {
+        let dir = std::env::temp_dir().join("easydram-latency-cdf-json-test");
+        let path = dir.join("latency-cdf.json");
+        let path = path.to_str().unwrap();
+        write_latency_cdf_json(path, 192, (127, 511, 511), 960, 0).unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert!(s.contains("\"requests\": 192"));
+        assert!(s.contains("\"p50_cycles\": 127"));
+        assert!(s.contains("\"p95_cycles\": 511"));
+        assert!(s.contains("\"p99_cycles\": 511"));
+        assert!(s.contains("\"trace_events\": 960"));
+        assert!(s.contains("\"trace_dropped\": 0"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
         std::fs::remove_dir_all(&dir).ok();
     }
 

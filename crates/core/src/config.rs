@@ -6,6 +6,7 @@ use easydram_cpu::CoreConfig;
 use easydram_dram::{DramConfig, MappingScheme};
 
 use crate::costs::SmcCostModel;
+use crate::obs::TraceConfig;
 
 /// How request latencies observed by the processor are computed (paper §3,
 /// §4.3, §6, §7.2).
@@ -104,6 +105,11 @@ pub struct SystemConfig {
     /// Whatever the resolved width, reports are byte-identical — threads
     /// only change wall-clock time (see `crate::par`).
     pub threads: Option<u32>,
+    /// Event-tracing override. `None` (the default everywhere) defers to the
+    /// `EASYDRAM_TRACE` environment variable; `Some(cfg)` forces tracing on
+    /// with the given ring capacity. Tracing never changes a report byte —
+    /// it only records events (see `crate::obs`).
+    pub trace: Option<TraceConfig>,
 }
 
 impl SystemConfig {
@@ -128,6 +134,7 @@ impl SystemConfig {
             rowclone_test_trials: 1_000,
             trcd_margin_ps: 0,
             threads: None,
+            trace: None,
         }
     }
 
@@ -198,6 +205,11 @@ impl SystemConfig {
         }
         if self.write_buffer_depth == 0 {
             return Err("the posted-write buffer needs at least one slot".into());
+        }
+        if let Some(trace) = self.trace {
+            if trace.ring_capacity == 0 {
+                return Err("the trace ring needs at least one slot".into());
+            }
         }
         Ok(())
     }

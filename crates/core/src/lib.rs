@@ -42,6 +42,7 @@ pub mod bloom;
 pub mod config;
 pub mod costs;
 pub mod multicore;
+pub mod obs;
 pub mod par;
 pub mod profiling;
 pub mod report;
@@ -56,9 +57,13 @@ pub use bloom::BloomFilter;
 pub use config::{FpgaConfig, SystemConfig, TimingMode};
 pub use costs::SmcCostModel;
 pub use multicore::{CoRunReport, CoreRun, MultiCoreSystem};
+pub use obs::{
+    configured_trace, validate_chrome_json, EventKind, EventRing, LogHistogram, MetricsRegistry,
+    TileMetrics, TraceConfig, TraceEvent, TraceLog, TRACE_ENV,
+};
 pub use par::{configured_threads, effective_threads, WorkerPool};
 pub use profiling::{ProfileOutcome, TrcdProfiler};
-pub use report::{ExecutionReport, RequestorStats};
+pub use report::{BankRowOutcomes, ExecutionReport, RequestorStats};
 pub use request::{MemRequest, MemResponse, RequestArena, RequestKind, ResponseSlice};
 pub use smc::easyapi::{ApiSession, EasyApi, TileCtx};
 pub use smc::{

@@ -21,11 +21,15 @@
 
 use std::sync::{Arc, Mutex};
 
-use easydram_cpu::{CoScheduler, CoreModel, CoreStats, CpuApi, SharedBackend, Workload};
+use easydram_cpu::{
+    CoScheduler, CoreModel, CoreStats, CpuApi, QuantumSwitch, SharedBackend, Workload,
+};
 
 use crate::config::SystemConfig;
+use crate::obs::{TraceEvent, TraceLog};
 use crate::report::ExecutionReport;
 use crate::system::Tile;
+use crate::timescale::cycles_to_ps;
 
 /// Default co-scheduling quantum, in emulated processor cycles.
 ///
@@ -86,6 +90,10 @@ pub struct MultiCoreSystem {
     tile: Arc<Mutex<Tile>>,
     cores: Vec<CoreModel<SharedBackend<Tile>>>,
     quantum: u64,
+    /// Baton handoffs drained from co-run schedulers, pending export. Only
+    /// populated while tracing (see [`MultiCoreSystem::take_trace`]).
+    switches: Vec<QuantumSwitch>,
+    switches_dropped: u64,
 }
 
 impl MultiCoreSystem {
@@ -110,7 +118,27 @@ impl MultiCoreSystem {
             tile,
             cores,
             quantum: DEFAULT_QUANTUM_CYCLES,
+            switches: Vec::new(),
+            switches_dropped: 0,
         }
+    }
+
+    /// Drains the shared tile's trace (event and command rings) plus every
+    /// pending co-scheduler baton handoff into one export-ready
+    /// [`TraceLog`]. Handoff cycles convert to emulated picoseconds at the
+    /// target core frequency. Empty when tracing is off.
+    pub fn take_trace(&mut self) -> TraceLog {
+        let f_core = self.with_tile(|t| t.config().core.freq_hz);
+        let mut log = self.with_tile(Tile::take_trace);
+        for sw in self.switches.drain(..) {
+            log.push(TraceEvent::quantum_switch(
+                cycles_to_ps(sw.cycle, f_core),
+                sw.from,
+                sw.to,
+            ));
+        }
+        log.dropped += std::mem::take(&mut self.switches_dropped);
+        log
     }
 
     /// Number of cores.
@@ -166,7 +194,7 @@ impl MultiCoreSystem {
         // --- Window-start snapshots (mirrors `System::run`). ---
         let cycles0: Vec<u64> = self.cores.iter().map(|c| c.now_cycles()).collect();
         let stats0: Vec<CoreStats> = self.cores.iter().map(|c| *c.stats()).collect();
-        let (smc0, channels0, requestors0, mitigation0, prior_peak, wall0) = {
+        let (smc0, channels0, requestors0, mitigation0, metrics0, prior_peak, wall0) = {
             let mut tile = self.tile.lock().expect("shared tile");
             let max_now = cycles0.iter().copied().max().unwrap_or(0);
             (
@@ -174,6 +202,7 @@ impl MultiCoreSystem {
                 tile.channel_stats(),
                 tile.requestor_stats(),
                 tile.mitigation_stats(),
+                tile.metrics(),
                 tile.begin_peak_window(),
                 tile.wall_ps_at(max_now),
             )
@@ -187,6 +216,10 @@ impl MultiCoreSystem {
         // reports at every thread count. ---
         let run_ahead = self.with_tile(|t| t.threads()) > 1;
         let sched = CoScheduler::with_run_ahead(n, self.quantum, run_ahead);
+        let trace_cfg = self.with_tile(|t| t.trace_config());
+        if let Some(t) = trace_cfg {
+            sched.enable_switch_log(t.ring_capacity);
+        }
         for core in &mut self.cores {
             core.backend_mut().attach_scheduler(Arc::clone(&sched));
         }
@@ -215,6 +248,11 @@ impl MultiCoreSystem {
         });
         for core in &mut self.cores {
             core.backend_mut().detach_scheduler();
+        }
+        if trace_cfg.is_some() {
+            let (switches, dropped) = sched.take_switches();
+            self.switches.extend(switches);
+            self.switches_dropped += dropped;
         }
 
         // --- Window accounting. ---
@@ -256,6 +294,8 @@ impl MultiCoreSystem {
         if let (Some(m), Some(m0)) = (mitigation.as_mut(), mitigation0.as_ref()) {
             m.subtract_baseline(m0);
         }
+        let mut metrics = tile.metrics();
+        metrics.subtract_baseline(&metrics0);
         // Per-requestor stall cycles are core-side state.
         for q in &mut requestors {
             if let Some(c) = cores_out.get(q.requestor as usize) {
@@ -298,6 +338,7 @@ impl MultiCoreSystem {
             controllers: tile.controller_names(),
             requestors,
             mitigation,
+            metrics,
         };
         CoRunReport {
             aggregate,

@@ -1,0 +1,1148 @@
+//! Deterministic observability: structured event tracing, a metrics
+//! registry with log2 latency histograms, and trace exporters.
+//!
+//! Everything here obeys the workspace determinism contract:
+//!
+//! * **Timestamps are emulated picoseconds**, never host wall clock — every
+//!   [`TraceEvent`] constructor takes a `ps: u64` already computed from the
+//!   emulated timeline (the `obs/emulated-time-only` lint enforces this at
+//!   the call sites).
+//! * **Zero cost when off**: tracing is gated behind an `Option<EventRing>`
+//!   per lane and the [`obs_trace!`] macro compiles to a branch on that
+//!   option — the event expression is never even evaluated when tracing is
+//!   disabled. Metrics histograms are always on, so reports carry latency
+//!   percentiles whether or not events are being recorded, and enabling
+//!   tracing cannot change a single report byte (observer effect = 0,
+//!   pinned by the snapshot suite).
+//! * **Order-invariant reduction**: [`LogHistogram::merge`] and
+//!   [`MetricsRegistry::merge`] are commutative and associative
+//!   (element-wise sums), so the parallel engine's fixed-order stat
+//!   reduction extends to histograms and reports stay byte-identical at
+//!   every `EASYDRAM_THREADS` (proven by permutation tests in
+//!   `tests/stats_merge.rs`).
+//!
+//! Ring buffers are fixed-capacity and overwrite-oldest: a long run keeps
+//! the trailing window of events and counts what it dropped. Draining
+//! ([`EventRing::drain_into`]) and exporting ([`TraceLog::to_chrome_json`],
+//! [`TraceLog::to_binary`]) allocate freely — they run outside the serve
+//! loop's `no_alloc` regions, at end of run.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log2 buckets every [`LogHistogram`] carries. Bucket `b` counts
+/// values whose bit length is `b` (so bucket 0 is exactly the value 0,
+/// bucket 1 is the value 1, bucket 2 is 2–3, …); values of 2³⁰ and above
+/// saturate into the top bucket.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Environment variable that enables event tracing when the config leaves
+/// `SystemConfig::trace` unset: `0`/unset disables, `1` enables with the
+/// default ring capacity, any other number is the per-lane ring capacity.
+pub const TRACE_ENV: &str = "EASYDRAM_TRACE";
+
+/// Default per-lane event-ring capacity (events, not bytes).
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Event-tracing configuration (resolved; see [`configured_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Capacity of each per-lane event ring, in events. The DRAM command
+    /// ring of each channel device uses the same capacity.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+/// Resolves the effective tracing configuration: an explicit
+/// `SystemConfig::trace` wins; otherwise the [`TRACE_ENV`] environment
+/// variable is consulted (mirroring how the engine thread count resolves
+/// through `EASYDRAM_THREADS`). Returns `None` when tracing is off.
+#[must_use]
+pub fn configured_trace(explicit: Option<TraceConfig>) -> Option<TraceConfig> {
+    if explicit.is_some() {
+        return explicit;
+    }
+    let raw = std::env::var(TRACE_ENV).ok()?;
+    match raw.trim() {
+        "" | "0" | "false" => None,
+        "1" | "true" => Some(TraceConfig::default()),
+        n => Some(TraceConfig {
+            ring_capacity: n.parse::<usize>().ok()?.max(16),
+        }),
+    }
+}
+
+/// What a [`TraceEvent`] describes. The request lifecycle (paper Fig. 6) is
+/// `Enqueue → Issue → SliceRelease → Retire`; DRAM command kinds mirror the
+/// device's command set; `Mitigation` marks a RowHammer defense spending
+/// targeted refreshes; `QuantumSwitch` marks the co-scheduler moving the
+/// execution baton between cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A request entered its channel's pending stream.
+    Enqueue = 0,
+    /// The request's batch entered the controller (serve pass began).
+    Issue = 1,
+    /// The request's DRAM work finished on the emulated timeline.
+    SliceRelease = 2,
+    /// The core may observe the response (release cycle reached).
+    Retire = 3,
+    /// ACT issued (bank/row in `a`/`b`).
+    CmdActivate = 4,
+    /// PRE / PREA issued.
+    CmdPrecharge = 5,
+    /// RD issued (bank/col in `a`/`b`).
+    CmdRead = 6,
+    /// WR issued (bank/col in `a`/`b`).
+    CmdWrite = 7,
+    /// REF issued.
+    CmdRefresh = 8,
+    /// RFM / targeted row refresh issued (bank/row in `a`/`b`).
+    CmdRfm = 9,
+    /// A mitigation policy spent targeted refreshes (count in `a`).
+    Mitigation = 10,
+    /// The co-scheduler moved the baton from core `a` to core `b`.
+    QuantumSwitch = 11,
+}
+
+impl EventKind {
+    /// Decodes the binary-dump representation.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<Self> {
+        use EventKind::{
+            CmdActivate, CmdPrecharge, CmdRead, CmdRefresh, CmdRfm, CmdWrite, Enqueue, Issue,
+            Mitigation, QuantumSwitch, Retire, SliceRelease,
+        };
+        Some(match v {
+            0 => Enqueue,
+            1 => Issue,
+            2 => SliceRelease,
+            3 => Retire,
+            4 => CmdActivate,
+            5 => CmdPrecharge,
+            6 => CmdRead,
+            7 => CmdWrite,
+            8 => CmdRefresh,
+            9 => CmdRfm,
+            10 => Mitigation,
+            11 => QuantumSwitch,
+            _ => return None,
+        })
+    }
+
+    /// Stable label used by the exporters.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Enqueue => "enqueue",
+            EventKind::Issue => "issue",
+            EventKind::SliceRelease => "slice_release",
+            EventKind::Retire => "retire",
+            EventKind::CmdActivate => "ACT",
+            EventKind::CmdPrecharge => "PRE",
+            EventKind::CmdRead => "RD",
+            EventKind::CmdWrite => "WR",
+            EventKind::CmdRefresh => "REF",
+            EventKind::CmdRfm => "RFM",
+            EventKind::Mitigation => "mitigation",
+            EventKind::QuantumSwitch => "quantum_switch",
+        }
+    }
+}
+
+/// Request classes tagged onto request-lifecycle events (the `a` field).
+pub mod req_class {
+    /// A line read (including profiling reads).
+    pub const READ: u32 = 0;
+    /// A line write / writeback.
+    pub const WRITE: u32 = 1;
+    /// A RowClone operation.
+    pub const ROWCLONE: u32 = 2;
+
+    /// Stable label for the exporters.
+    #[must_use]
+    pub fn label(class: u32) -> &'static str {
+        match class {
+            READ => "read",
+            WRITE => "write",
+            ROWCLONE => "rowclone",
+            _ => "request",
+        }
+    }
+}
+
+/// One structured trace event: a flat, `Copy`, 36-byte record. Field
+/// meaning varies by [`EventKind`] (see the per-constructor docs); `ps` is
+/// always an **emulated** timestamp in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Emulated timestamp, picoseconds.
+    pub ps: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Request id for lifecycle events; 0 otherwise.
+    pub id: u64,
+    /// Memory channel (lane) the event belongs to.
+    pub lane: u32,
+    /// Requestor (core) id for lifecycle events; 0 otherwise.
+    pub requestor: u32,
+    /// Kind-specific: request class, bank, mitigation count, or from-core.
+    pub a: u32,
+    /// Kind-specific: row/col or to-core.
+    pub b: u32,
+}
+
+impl TraceEvent {
+    /// A request entered the pending stream at emulated `ps`.
+    #[must_use]
+    pub fn enqueue(ps: u64, id: u64, lane: u32, requestor: u32, class: u32) -> Self {
+        Self {
+            ps,
+            kind: EventKind::Enqueue,
+            id,
+            lane,
+            requestor,
+            a: class,
+            b: 0,
+        }
+    }
+
+    /// A request's batch entered the controller at emulated `ps`.
+    #[must_use]
+    pub fn issue(ps: u64, id: u64, lane: u32, requestor: u32) -> Self {
+        Self {
+            ps,
+            kind: EventKind::Issue,
+            id,
+            lane,
+            requestor,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    /// A request's DRAM slice finished on the emulated timeline at `ps`.
+    #[must_use]
+    pub fn slice_release(ps: u64, id: u64, lane: u32, requestor: u32) -> Self {
+        Self {
+            ps,
+            kind: EventKind::SliceRelease,
+            id,
+            lane,
+            requestor,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    /// The core may observe the response at emulated `ps`.
+    #[must_use]
+    pub fn retire(ps: u64, id: u64, lane: u32, requestor: u32, class: u32) -> Self {
+        Self {
+            ps,
+            kind: EventKind::Retire,
+            id,
+            lane,
+            requestor,
+            a: class,
+            b: 0,
+        }
+    }
+
+    /// A DRAM command issued on `lane` at emulated `ps`.
+    #[must_use]
+    pub fn command(ps: u64, lane: u32, kind: EventKind, bank: u32, row_or_col: u32) -> Self {
+        Self {
+            ps,
+            kind,
+            id: 0,
+            lane,
+            requestor: 0,
+            a: bank,
+            b: row_or_col,
+        }
+    }
+
+    /// A mitigation policy spent `targeted_refreshes` on `lane` at `ps`.
+    #[must_use]
+    pub fn mitigation(ps: u64, lane: u32, targeted_refreshes: u32) -> Self {
+        Self {
+            ps,
+            kind: EventKind::Mitigation,
+            id: 0,
+            lane,
+            requestor: 0,
+            a: targeted_refreshes,
+            b: 0,
+        }
+    }
+
+    /// The co-scheduler moved the baton from core `from` to core `to` at
+    /// emulated `ps`.
+    #[must_use]
+    pub fn quantum_switch(ps: u64, from: u32, to: u32) -> Self {
+        Self {
+            ps,
+            kind: EventKind::QuantumSwitch,
+            id: 0,
+            lane: 0,
+            requestor: 0,
+            a: from,
+            b: to,
+        }
+    }
+}
+
+/// Emits a trace event into an `Option`-gated ring. Compiles to a branch on
+/// the option in the hot path: the event expression is evaluated **only**
+/// when the ring exists, so a disabled tracer costs one predictable branch
+/// per site and nothing else.
+#[macro_export]
+macro_rules! obs_trace {
+    ($slot:expr, $ev:expr) => {
+        if let Some(ring) = ($slot).as_mut() {
+            ring.push($ev);
+        }
+    };
+}
+
+/// A fixed-capacity overwrite-oldest ring of [`TraceEvent`]s. All storage
+/// is reserved at construction; `push` never allocates, so it is legal
+/// inside the serve loop's `no_alloc` regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        Self {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, overwriting the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Moves every held event into `log` in insertion order (oldest first)
+    /// and resets the ring. Allocates in `log` — drain time only.
+    pub fn drain_into(&mut self, log: &mut TraceLog) {
+        log.dropped += self.dropped;
+        log.events.extend_from_slice(&self.buf[self.head..]);
+        log.events.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+/// A fixed-bucket log2 histogram with a deterministic, order-invariant
+/// merge. `Copy`, so snapshot/rebase windowing works exactly like the
+/// scalar counters in `report.rs`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Bucket `b` counts values of bit length `b` (saturating at the top).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// The bucket a value lands in: its bit length, capped at the top.
+    #[must_use]
+    pub fn bucket_of(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `b` (`u64::MAX` for the saturating
+    /// top bucket).
+    #[must_use]
+    pub fn bucket_upper(b: usize) -> u64 {
+        if b >= HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Folds another histogram in: element-wise sums, so the merge is
+    /// commutative and associative (any shard order reduces identically).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, b0) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += b0;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Rebases against a window-start snapshot (`start` must be a prefix
+    /// history of `self`).
+    pub fn subtract_baseline(&mut self, start: &LogHistogram) {
+        for (b, b0) in self.buckets.iter_mut().zip(&start.buckets) {
+            *b -= b0;
+        }
+        self.count -= start.count;
+        self.sum -= start.sum;
+    }
+
+    /// Upper bound of the bucket containing the `pct`-th percentile value
+    /// (integer math: rank = ceil(count × pct / 100)). 0 when empty.
+    #[must_use]
+    pub fn percentile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * pct.min(100)).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(b);
+            }
+        }
+        Self::bucket_upper(HIST_BUCKETS - 1)
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    /// Sparse rendering: only non-zero buckets, as `bit_len: count` pairs —
+    /// keeps `{:#?}` report dumps (and the goldens pinned on them) compact.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hist{{n={} sum={}", self.count, self.sum)?;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                write!(f, " {b}:{n}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A general-purpose registry of named counters and histograms with an
+/// order-invariant merge. The serve loop's hot path uses the concrete
+/// [`TileMetrics`] frame instead (no map lookups per request); the registry
+/// is the export/aggregation surface: [`TileMetrics::registry`] flattens a
+/// frame into one, and fleet tooling can merge registries from many runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at 0).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records `value` into the named histogram (created empty).
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Inserts a whole histogram under `name`, merging with any existing.
+    pub fn merge_histogram(&mut self, name: &str, hist: &LogHistogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(hist);
+    }
+
+    /// The named counter's value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, when present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Named counters in sorted name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Named histograms in sorted name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds another registry in. Counters add, histograms merge
+    /// element-wise, absent names are unions — commutative and associative,
+    /// so any shard order reduces to the same registry (proven by the
+    /// permutation tests in `tests/stats_merge.rs`).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+/// The tile's always-on metric frame, collected in the deterministic
+/// pricing loop of every serve pass. Latencies are **emulated processor
+/// cycles** (release − arrival); depths/sizes are request counts. `Copy`
+/// like `SmcStats`, so `System::run` windows it with the same
+/// snapshot/rebase pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileMetrics {
+    /// Latency of every request class combined.
+    pub request_latency: LogHistogram,
+    /// Read (and profiling-read) latency.
+    pub read_latency: LogHistogram,
+    /// Write / writeback latency.
+    pub write_latency: LogHistogram,
+    /// Pending-stream depth of each live lane at serve-pass start.
+    pub queue_depth: LogHistogram,
+    /// Requests per lane batch (one sample per live lane per pass).
+    pub batch_size: LogHistogram,
+}
+
+impl TileMetrics {
+    /// Folds an independently-accumulated shard in (element-wise histogram
+    /// merges — commutative and associative like every report merge).
+    pub fn merge(&mut self, shard: &TileMetrics) {
+        self.request_latency.merge(&shard.request_latency);
+        self.read_latency.merge(&shard.read_latency);
+        self.write_latency.merge(&shard.write_latency);
+        self.queue_depth.merge(&shard.queue_depth);
+        self.batch_size.merge(&shard.batch_size);
+    }
+
+    /// Rebases against a window-start snapshot.
+    pub fn subtract_baseline(&mut self, start: &TileMetrics) {
+        self.request_latency
+            .subtract_baseline(&start.request_latency);
+        self.read_latency.subtract_baseline(&start.read_latency);
+        self.write_latency.subtract_baseline(&start.write_latency);
+        self.queue_depth.subtract_baseline(&start.queue_depth);
+        self.batch_size.subtract_baseline(&start.batch_size);
+    }
+
+    /// Request-latency percentiles `(p50, p95, p99)` in emulated cycles.
+    #[must_use]
+    pub fn latency_percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.request_latency.percentile(50),
+            self.request_latency.percentile(95),
+            self.request_latency.percentile(99),
+        )
+    }
+
+    /// Flattens the frame into a named [`MetricsRegistry`] (the export
+    /// surface fleet tooling merges across runs).
+    #[must_use]
+    pub fn registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.add("requests", self.request_latency.count);
+        reg.merge_histogram("request_latency_cycles", &self.request_latency);
+        reg.merge_histogram("read_latency_cycles", &self.read_latency);
+        reg.merge_histogram("write_latency_cycles", &self.write_latency);
+        reg.merge_histogram("queue_depth", &self.queue_depth);
+        reg.merge_histogram("batch_size", &self.batch_size);
+        reg
+    }
+}
+
+/// Magic prefix of the compact binary event dump.
+pub const TRACE_BIN_MAGIC: &[u8; 8] = b"EZTRACE1";
+
+/// Bytes per record in the binary event dump.
+pub const TRACE_BIN_RECORD_BYTES: usize = 36;
+
+/// A drained, export-ready event log: every lane's ring (plus device
+/// command rings and scheduler switches) flattened into one vector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    /// The events, in per-source insertion order (the exporters sort).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrites across all sources.
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// Appends one event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// The Chrome trace-event track an event renders on: `(pid, tid)`.
+    /// Request lifecycles get one thread per requestor inside their
+    /// channel's process; commands and mitigation get dedicated threads;
+    /// scheduler switches live in their own process.
+    #[must_use]
+    fn track(ev: &TraceEvent) -> (u32, u32) {
+        match ev.kind {
+            EventKind::Enqueue | EventKind::Issue | EventKind::SliceRelease | EventKind::Retire => {
+                (ev.lane, ev.requestor)
+            }
+            EventKind::CmdActivate
+            | EventKind::CmdPrecharge
+            | EventKind::CmdRead
+            | EventKind::CmdWrite
+            | EventKind::CmdRefresh
+            | EventKind::CmdRfm => (ev.lane, 1_000),
+            EventKind::Mitigation => (ev.lane, 1_001),
+            EventKind::QuantumSwitch => (10_000, 0),
+        }
+    }
+
+    /// Deterministically orders the events by `(pid, tid, ps, id, kind)` —
+    /// the order both exporters emit, which makes per-track timestamps
+    /// monotone by construction (validated end-to-end by the trace-smoke
+    /// harness re-parsing the JSON).
+    pub fn sort_for_export(&mut self) {
+        self.events.sort_by_key(|e| {
+            let (pid, tid) = Self::track(e);
+            (pid, tid, e.ps, e.id, e.kind)
+        });
+    }
+
+    /// Whether timestamps are non-decreasing within every `(pid, tid)`
+    /// track, in the log's current event order.
+    #[must_use]
+    pub fn tracks_monotone(&self) -> bool {
+        let mut last: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for ev in &self.events {
+            let track = Self::track(ev);
+            if let Some(&prev) = last.get(&track) {
+                if ev.ps < prev {
+                    return false;
+                }
+            }
+            last.insert(track, ev.ps);
+        }
+        true
+    }
+
+    /// Serializes the log as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` object format), loadable in Perfetto or
+    /// `chrome://tracing`. One process per memory channel with one thread
+    /// per requestor (request lifecycles render as complete `X` slices from
+    /// enqueue to retire), plus `commands`/`mitigation` threads of instant
+    /// events and a `scheduler` process for quantum switches. Timestamps
+    /// are emulated microseconds with picosecond precision.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut sorted = self.clone();
+        sorted.sort_for_export();
+        let ts = |ps: u64| format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000);
+
+        // Pair request lifecycles by id so enqueue→retire renders as one
+        // complete slice carrying its intermediate stages as args.
+        struct Life {
+            enq: Option<TraceEvent>,
+            issue: Option<u64>,
+            slice: Option<u64>,
+            retire: Option<TraceEvent>,
+        }
+        let mut lives: BTreeMap<u64, Life> = BTreeMap::new();
+        let mut instants: Vec<&TraceEvent> = Vec::new();
+        for ev in &sorted.events {
+            match ev.kind {
+                EventKind::Enqueue
+                | EventKind::Issue
+                | EventKind::SliceRelease
+                | EventKind::Retire => {
+                    let life = lives.entry(ev.id).or_insert(Life {
+                        enq: None,
+                        issue: None,
+                        slice: None,
+                        retire: None,
+                    });
+                    match ev.kind {
+                        EventKind::Enqueue => life.enq = Some(*ev),
+                        EventKind::Issue => life.issue = Some(ev.ps),
+                        EventKind::SliceRelease => life.slice = Some(ev.ps),
+                        EventKind::Retire => life.retire = Some(*ev),
+                        _ => unreachable!(),
+                    }
+                }
+                _ => instants.push(ev),
+            }
+        }
+
+        let mut out = String::from("{\"traceEvents\":[\n");
+        // Track metadata: name every process and thread that carries events.
+        let mut tracks: BTreeMap<(u32, u32), ()> = BTreeMap::new();
+        for ev in &sorted.events {
+            tracks.insert(Self::track(ev), ());
+        }
+        let mut named_pids: BTreeMap<u32, ()> = BTreeMap::new();
+        for &(pid, tid) in tracks.keys() {
+            if named_pids.insert(pid, ()).is_none() {
+                let pname = if pid == 10_000 {
+                    "scheduler".to_string()
+                } else {
+                    format!("channel {pid}")
+                };
+                let _ = writeln!(
+                    out,
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"{pname}\"}}}},"
+                );
+            }
+            let tname = match tid {
+                1_000 => "commands".to_string(),
+                1_001 => "mitigation".to_string(),
+                _ if pid == 10_000 => "switches".to_string(),
+                r => format!("requestor {r}"),
+            };
+            let _ = writeln!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{tname}\"}}}},"
+            );
+        }
+        // Complete slices for fully-observed request lifecycles; leftover
+        // endpoints (the ring overwrote their partner) render as instants.
+        let mut rows: Vec<String> = Vec::new();
+        for (id, life) in &lives {
+            match (&life.enq, &life.retire) {
+                (Some(e), Some(r)) => {
+                    let (pid, tid) = Self::track(e);
+                    let mut args = format!("\"id\":{id}");
+                    if let Some(p) = life.issue {
+                        let _ = write!(args, ",\"issue_us\":{}", ts(p));
+                    }
+                    if let Some(p) = life.slice {
+                        let _ = write!(args, ",\"slice_release_us\":{}", ts(p));
+                    }
+                    rows.push(format!(
+                        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                         \"name\":\"{}\",\"args\":{{{args}}}}}",
+                        ts(e.ps),
+                        ts(r.ps.saturating_sub(e.ps)),
+                        req_class::label(e.a),
+                    ));
+                }
+                _ => {
+                    for ev in [life.enq.as_ref(), life.retire.as_ref()]
+                        .into_iter()
+                        .flatten()
+                    {
+                        let (pid, tid) = Self::track(ev);
+                        rows.push(format!(
+                            "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\
+                             \"name\":\"{}\",\"args\":{{\"id\":{id}}}}}",
+                            ts(ev.ps),
+                            ev.kind.label(),
+                        ));
+                    }
+                }
+            }
+        }
+        for ev in instants {
+            let (pid, tid) = Self::track(ev);
+            rows.push(format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\
+                 \"name\":\"{}\",\"args\":{{\"a\":{},\"b\":{}}}}}",
+                ts(ev.ps),
+                ev.kind.label(),
+                ev.a,
+                ev.b,
+            ));
+        }
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(row);
+            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        let _ = writeln!(
+            out,
+            "],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped_events\":{}}}}}",
+            self.dropped
+        );
+        out
+    }
+
+    /// Serializes the log as the compact binary dump the future replay
+    /// frontend ingests: the [`TRACE_BIN_MAGIC`] header, a little-endian
+    /// `u64` event count, then one fixed 36-byte little-endian record per
+    /// event (`ps:u64, id:u64, lane:u32, requestor:u32, a:u32, b:u32,
+    /// kind:u32`), in export order.
+    #[must_use]
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut sorted = self.clone();
+        sorted.sort_for_export();
+        let mut out = Vec::with_capacity(16 + sorted.events.len() * TRACE_BIN_RECORD_BYTES);
+        out.extend_from_slice(TRACE_BIN_MAGIC);
+        out.extend_from_slice(&(sorted.events.len() as u64).to_le_bytes());
+        for ev in &sorted.events {
+            out.extend_from_slice(&ev.ps.to_le_bytes());
+            out.extend_from_slice(&ev.id.to_le_bytes());
+            out.extend_from_slice(&ev.lane.to_le_bytes());
+            out.extend_from_slice(&ev.requestor.to_le_bytes());
+            out.extend_from_slice(&ev.a.to_le_bytes());
+            out.extend_from_slice(&ev.b.to_le_bytes());
+            out.extend_from_slice(&u32::from(ev.kind as u8).to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a binary dump back into events (round-trip check and the
+    /// replay frontend's reader). `None` on a malformed dump.
+    #[must_use]
+    pub fn parse_binary(bytes: &[u8]) -> Option<Vec<TraceEvent>> {
+        let rest = bytes.strip_prefix(&TRACE_BIN_MAGIC[..])?;
+        // `split_at_checked` is post-MSRV (1.80); bounds-check by hand.
+        let (count, mut rest) = (rest.len() >= 8).then(|| rest.split_at(8))?;
+        let count = u64::from_le_bytes(count.try_into().ok()?) as usize;
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (rec, tail) = (rest.len() >= TRACE_BIN_RECORD_BYTES)
+                .then(|| rest.split_at(TRACE_BIN_RECORD_BYTES))?;
+            rest = tail;
+            let u64_at = |o: usize| u64::from_le_bytes(rec[o..o + 8].try_into().unwrap());
+            let u32_at = |o: usize| u32::from_le_bytes(rec[o..o + 4].try_into().unwrap());
+            events.push(TraceEvent {
+                ps: u64_at(0),
+                id: u64_at(8),
+                lane: u32_at(16),
+                requestor: u32_at(20),
+                a: u32_at(24),
+                b: u32_at(28),
+                kind: EventKind::from_u8(u32_at(32) as u8)?,
+            });
+        }
+        rest.is_empty().then_some(events)
+    }
+}
+
+/// Validates that `json` is a structurally well-formed JSON document
+/// carrying a `traceEvents` array — the loadability check the trace-smoke
+/// CI job runs over the emitted Chrome trace (no serde in the offline
+/// build, so this is a hand-rolled structural scanner: balanced
+/// braces/brackets outside strings, proper string/escape nesting, and a
+/// non-object top level is rejected).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first structural defect.
+pub fn validate_chrome_json(json: &str) -> Result<(), String> {
+    let trimmed = json.trim_start();
+    if !trimmed.starts_with('{') {
+        return Err("top level must be a JSON object".to_string());
+    }
+    let mut stack: Vec<char> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in json.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => stack.push('}'),
+            '[' => stack.push(']'),
+            '}' | ']' if stack.pop() != Some(c) => {
+                return Err(format!("unbalanced `{c}` at byte {i}"));
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err("unterminated string".to_string());
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} unclosed scopes at end of input", stack.len()));
+    }
+    if !json.contains("\"traceEvents\"") {
+        return Err("missing the traceEvents array".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = LogHistogram::default();
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(h.percentile(50), 0, "empty histogram");
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 200] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 10);
+        assert_eq!(h.sum, 209);
+        assert_eq!(h.percentile(50), 1);
+        assert_eq!(h.percentile(90), 1);
+        // The one 200-value sample is the p91+ tail; bucket 8 covers 128–255.
+        assert_eq!(h.percentile(99), 255);
+        assert_eq!(h.percentile(100), 255);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        let mut all = LogHistogram::default();
+        for (i, v) in [3u64, 9, 17, 1000, 0, 64, 64, 2].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            all.record(*v);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all, "merge must be commutative");
+        let mut windowed = all;
+        windowed.subtract_baseline(&a);
+        assert_eq!(windowed, b, "rebase undoes the first shard");
+    }
+
+    #[test]
+    fn histogram_debug_is_sparse() {
+        let mut h = LogHistogram::default();
+        h.record(5);
+        h.record(5);
+        assert_eq!(format!("{h:?}"), "hist{n=2 sum=10 3:2}");
+        assert_eq!(format!("{:?}", LogHistogram::default()), "hist{n=0 sum=0}");
+    }
+
+    #[test]
+    fn registry_merges_unions_and_sums() {
+        let mut a = MetricsRegistry::new();
+        a.add("passes", 2);
+        a.record("lat", 10);
+        let mut b = MetricsRegistry::new();
+        b.add("passes", 3);
+        b.add("drains", 1);
+        b.record("lat", 20);
+        b.record("depth", 4);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "registry merge must be commutative");
+        assert_eq!(ab.counter("passes"), 5);
+        assert_eq!(ab.counter("drains"), 1);
+        assert_eq!(ab.histogram("lat").unwrap().count, 2);
+        assert_eq!(ab.histogram("depth").unwrap().count, 1);
+        assert_eq!(ab.counters().count(), 2);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_drains_in_order() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5u64 {
+            ring.push(TraceEvent::enqueue(i * 10, i, 0, 0, req_class::READ));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let mut log = TraceLog::default();
+        ring.drain_into(&mut log);
+        let ids: Vec<u64> = log.events.iter().map(|e| e.id).collect();
+        assert_eq!(ids, [2, 3, 4], "oldest-first drain after wrap");
+        assert_eq!(log.dropped, 2);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0, "drain resets the ring");
+    }
+
+    #[test]
+    fn trace_macro_skips_event_construction_when_off() {
+        let mut slot: Option<EventRing> = None;
+        let mut evaluated = false;
+        obs_trace!(slot, {
+            evaluated = true;
+            TraceEvent::enqueue(0, 0, 0, 0, 0)
+        });
+        assert!(!evaluated, "disabled tracer must not evaluate the event");
+        slot = Some(EventRing::new(4));
+        obs_trace!(slot, {
+            evaluated = true;
+            TraceEvent::enqueue(7, 1, 0, 0, 0)
+        });
+        assert!(evaluated);
+        assert_eq!(slot.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_monotone_per_track() {
+        let mut log = TraceLog::default();
+        log.push(TraceEvent::enqueue(2_000_000, 1, 0, 0, req_class::READ));
+        log.push(TraceEvent::retire(5_500_000, 1, 0, 0, req_class::READ));
+        log.push(TraceEvent::issue(3_000_000, 1, 0, 0));
+        log.push(TraceEvent::command(
+            2_500_000,
+            0,
+            EventKind::CmdActivate,
+            3,
+            42,
+        ));
+        log.push(TraceEvent::command(2_600_000, 0, EventKind::CmdRead, 3, 8));
+        log.push(TraceEvent::quantum_switch(4_000_000, 0, 1));
+        // An orphan enqueue (its retire was overwritten) renders as instant.
+        log.push(TraceEvent::enqueue(6_000_000, 2, 0, 1, req_class::WRITE));
+        let json = log.to_chrome_json();
+        validate_chrome_json(&json).expect("valid chrome trace");
+        assert!(json.contains("\"ph\":\"X\""), "complete request slice");
+        assert!(json.contains("\"name\":\"read\""));
+        assert!(json.contains("\"name\":\"ACT\""));
+        assert!(json.contains("\"name\":\"channel 0\""));
+        assert!(json.contains("\"name\":\"scheduler\""));
+        assert!(json.contains("\"ts\":2.000000"), "ps render as µs");
+        assert!(json.contains("\"dur\":3.500000"));
+        let mut sorted = log.clone();
+        sorted.sort_for_export();
+        assert!(sorted.tracks_monotone());
+    }
+
+    #[test]
+    fn binary_dump_round_trips() {
+        let mut log = TraceLog::default();
+        log.push(TraceEvent::retire(123, 9, 1, 2, req_class::ROWCLONE));
+        log.push(TraceEvent::command(50, 0, EventKind::CmdRfm, 7, 99));
+        let bytes = log.to_binary();
+        assert_eq!(&bytes[..8], TRACE_BIN_MAGIC);
+        let events = TraceLog::parse_binary(&bytes).expect("well-formed dump");
+        let mut expect = log.clone();
+        expect.sort_for_export();
+        assert_eq!(events, expect.events);
+        assert!(TraceLog::parse_binary(&bytes[..bytes.len() - 1]).is_none());
+        assert!(TraceLog::parse_binary(b"NOTMAGIC").is_none());
+    }
+
+    #[test]
+    fn chrome_validator_rejects_malformed_documents() {
+        assert!(validate_chrome_json("{\"traceEvents\":[]}").is_ok());
+        assert!(validate_chrome_json("[1,2]").is_err(), "non-object top");
+        assert!(validate_chrome_json("{\"traceEvents\":[}").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\":[]").is_err());
+        assert!(validate_chrome_json("{\"x\": \"unterminated}").is_err());
+        assert!(validate_chrome_json("{}").is_err(), "missing traceEvents");
+    }
+
+    #[test]
+    fn tile_metrics_window_and_percentiles() {
+        let mut m = TileMetrics::default();
+        m.request_latency.record(100);
+        m.read_latency.record(100);
+        m.batch_size.record(4);
+        m.queue_depth.record(4);
+        let snap = m;
+        m.request_latency.record(900);
+        m.write_latency.record(900);
+        m.subtract_baseline(&snap);
+        assert_eq!(m.request_latency.count, 1);
+        assert_eq!(m.read_latency.count, 0);
+        let (p50, p95, p99) = m.latency_percentiles();
+        assert_eq!((p50, p95, p99), (1023, 1023, 1023), "900 lands in 512–1023");
+        let reg = m.registry();
+        assert_eq!(reg.counter("requests"), 1);
+        assert_eq!(reg.histogram("write_latency_cycles").unwrap().count, 1);
+    }
+
+    #[test]
+    fn trace_config_resolution_prefers_explicit() {
+        let explicit = Some(TraceConfig { ring_capacity: 99 });
+        assert_eq!(configured_trace(explicit), explicit);
+        // Env-dependent resolution is covered end-to-end by the snapshot
+        // suite's trace sweep; here only the explicit-wins contract is
+        // asserted (env mutation would race other tests).
+    }
+}

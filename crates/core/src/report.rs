@@ -5,7 +5,47 @@ use easydram_cpu::CoreStats;
 use easydram_dram::DeviceStats;
 
 use crate::config::TimingMode;
+use crate::obs::TileMetrics;
 use crate::smc::{MitigationStats, ServeResult};
+
+/// Row-buffer outcomes of one bank's column sequences: how many requests
+/// found their row open (hit), found the bank idle (miss), or had to close
+/// another row first (conflict). A per-bank histogram of these exposes
+/// *which* banks a co-runner is thrashing — the totals in [`ServeResult`]
+/// cannot.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankRowOutcomes {
+    /// Requests served from the already-open row.
+    pub hits: u64,
+    /// Requests that activated into an idle bank.
+    pub misses: u64,
+    /// Requests that had to precharge another row first.
+    pub conflicts: u64,
+}
+
+impl BankRowOutcomes {
+    /// Element-wise sum (commutative and associative, like every merge).
+    pub fn merge(&mut self, shard: &BankRowOutcomes) {
+        self.hits += shard.hits;
+        self.misses += shard.misses;
+        self.conflicts += shard.conflicts;
+    }
+
+    /// Rebases against a window-start snapshot.
+    pub fn subtract_baseline(&mut self, start: &BankRowOutcomes) {
+        self.hits -= start.hits;
+        self.misses -= start.misses;
+        self.conflicts -= start.conflicts;
+    }
+}
+
+impl std::fmt::Debug for BankRowOutcomes {
+    /// Compact `hits/misses/conflicts` rendering so per-bank vectors stay
+    /// one golden line.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.hits, self.misses, self.conflicts)
+    }
+}
 
 /// Software-memory-controller counters accumulated by the tile.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,6 +94,10 @@ pub struct ChannelStats {
     /// within-channel bank index). Skewed distributions expose both
     /// bank-contention hot spots and hammered rows' home banks.
     pub acts_per_bank: Vec<u64>,
+    /// Row-buffer outcome histogram per bank of this channel (flat
+    /// within-channel bank index), windowed exactly like `acts_per_bank`.
+    /// Shows *where* locality is won or lost bank by bank.
+    pub row_outcomes_per_bank: Vec<BankRowOutcomes>,
 }
 
 impl ChannelStats {
@@ -86,6 +130,19 @@ impl ChannelStats {
         for (a, a0) in self.acts_per_bank.iter_mut().zip(&shard.acts_per_bank) {
             *a += a0;
         }
+        if self.row_outcomes_per_bank.len() < shard.row_outcomes_per_bank.len() {
+            self.row_outcomes_per_bank.resize(
+                shard.row_outcomes_per_bank.len(),
+                BankRowOutcomes::default(),
+            );
+        }
+        for (o, o0) in self
+            .row_outcomes_per_bank
+            .iter_mut()
+            .zip(&shard.row_outcomes_per_bank)
+        {
+            o.merge(o0);
+        }
     }
 
     /// Rebases every cumulative counter against a window-start snapshot, so
@@ -105,6 +162,13 @@ impl ChannelStats {
         }
         for (a, a0) in self.acts_per_bank.iter_mut().zip(&start.acts_per_bank) {
             *a -= a0;
+        }
+        for (o, o0) in self
+            .row_outcomes_per_bank
+            .iter_mut()
+            .zip(&start.row_outcomes_per_bank)
+        {
+            o.subtract_baseline(o0);
         }
     }
 }
@@ -270,6 +334,11 @@ pub struct ExecutionReport {
     /// installed controller mitigates (the default — reports stay
     /// byte-identical to the pre-disturbance format).
     pub mitigation: Option<MitigationStats>,
+    /// Always-on latency/depth/batch histograms for the run window,
+    /// collected in the deterministic pricing loop whether or not event
+    /// tracing is enabled — so percentiles exist in every report and
+    /// enabling tracing cannot change a report byte.
+    pub metrics: TileMetrics,
 }
 
 impl ExecutionReport {
@@ -363,6 +432,16 @@ impl std::fmt::Display for ExecutionReport {
             self.smc.peak_batch,
             self.smc.rowclone_fallbacks,
         )?;
+        // Latency percentiles only when the window served requests — empty
+        // windows keep the historical format.
+        if self.metrics.request_latency.count > 0 {
+            let (p50, p95, p99) = self.metrics.latency_percentiles();
+            write!(
+                f,
+                "\n  latency cycles: p50 {p50} | p95 {p95} | p99 {p99} (n={})",
+                self.metrics.request_latency.count,
+            )?;
+        }
         // Per-channel breakdown only when there is something to break down —
         // single-channel reports stay byte-identical to the pre-sharding
         // format.
@@ -450,6 +529,7 @@ mod tests {
             controllers: vec!["fr-fcfs".into()],
             requestors: Vec::new(),
             mitigation: None,
+            metrics: TileMetrics::default(),
         }
     }
 
@@ -511,6 +591,18 @@ mod tests {
             },
             refreshes_per_rank: vec![5, 2],
             acts_per_bank: vec![9, 4],
+            row_outcomes_per_bank: vec![
+                BankRowOutcomes {
+                    hits: 6,
+                    misses: 3,
+                    conflicts: 1,
+                },
+                BankRowOutcomes {
+                    hits: 2,
+                    misses: 2,
+                    conflicts: 0,
+                },
+            ],
         };
         let start = ChannelStats {
             requests: 4,
@@ -524,6 +616,18 @@ mod tests {
             },
             refreshes_per_rank: vec![1, 2],
             acts_per_bank: vec![3, 4],
+            row_outcomes_per_bank: vec![
+                BankRowOutcomes {
+                    hits: 1,
+                    misses: 1,
+                    conflicts: 0,
+                },
+                BankRowOutcomes {
+                    hits: 2,
+                    misses: 0,
+                    conflicts: 0,
+                },
+            ],
         };
         c.subtract_baseline(&start);
         assert_eq!(c.requests, 6);
@@ -531,6 +635,11 @@ mod tests {
         assert_eq!(c.serve.row_hits, 5);
         assert_eq!(c.refreshes_per_rank, vec![4, 0]);
         assert_eq!(c.acts_per_bank, vec![6, 0]);
+        assert_eq!(
+            format!("{:?}", c.row_outcomes_per_bank),
+            "[5/2/1, 0/2/0]",
+            "per-bank outcomes rebase element-wise and render compactly"
+        );
     }
 
     #[test]
@@ -558,6 +667,23 @@ mod tests {
             ChannelStats::default(),
         ];
         assert!(r.to_string().contains("acts/bank [7, 1]"));
+    }
+
+    #[test]
+    fn latency_line_renders_only_when_requests_were_served() {
+        let mut r = report();
+        assert!(
+            !r.to_string().contains("latency cycles:"),
+            "empty windows keep the historical format"
+        );
+        for v in [40u64, 40, 40, 3000] {
+            r.metrics.request_latency.record(v);
+        }
+        let s = r.to_string();
+        assert!(
+            s.contains("latency cycles: p50 63 | p95 4095 | p99 4095 (n=4)"),
+            "unexpected latency line in: {s}"
+        );
     }
 
     #[test]

@@ -27,8 +27,12 @@ use easydram_dram::{AddressMapper, DramDevice, LINE_BYTES};
 use crate::alloc::{remap_table, RowCloneAllocator};
 use crate::config::{SystemConfig, TimingMode};
 use crate::costs::SmcCostModel;
+use crate::obs::{
+    self, configured_trace, EventKind, EventRing, TileMetrics, TraceConfig, TraceEvent, TraceLog,
+};
+use crate::obs_trace;
 use crate::par::{self, WorkerPool};
-use crate::report::{ChannelStats, ExecutionReport, RequestorStats, SmcStats};
+use crate::report::{BankRowOutcomes, ChannelStats, ExecutionReport, RequestorStats, SmcStats};
 use crate::request::RequestKind;
 use crate::smc::easyapi::{ApiSession, TileCtx};
 use crate::smc::{FrFcfsController, SoftwareMemoryController, TrcdPlan};
@@ -127,6 +131,13 @@ struct Lane {
     /// Cumulative per-channel counters (refresh counts live on the
     /// timeline; see [`Tile::channel_stats`]).
     stats: ChannelStats,
+    /// Event-trace ring, `None` when tracing is off (the hot path pays one
+    /// branch per site; see [`crate::obs`]).
+    ring: Option<EventRing>,
+    /// Mitigation targeted-refresh total already emitted as trace events —
+    /// only maintained while tracing, to turn the cumulative counter into
+    /// per-pass delta events.
+    mit_seen: u64,
 }
 
 /// Immutable per-tile context a parallel serve pass shares with its worker
@@ -186,6 +197,13 @@ pub struct Tile {
     pool: Option<WorkerPool>,
     /// Recycled serve-pass buffers (see [`ServeScratch`]).
     scratch: ServeScratch,
+    /// Always-on latency/depth/batch histograms, accumulated in the
+    /// deterministic pricing reduction (identical whether or not tracing is
+    /// enabled and at every thread count).
+    metrics: TileMetrics,
+    /// Resolved tracing configuration (`cfg.trace`, else `EASYDRAM_TRACE`);
+    /// `None` means no rings exist anywhere.
+    trace: Option<TraceConfig>,
 }
 
 impl Tile {
@@ -204,6 +222,7 @@ impl Tile {
             cfg.rowclone_test_trials,
         );
         let row_bytes = u64::from(geometry.row_bytes);
+        let trace = configured_trace(cfg.trace);
         let lanes = (0..geometry.channels)
             .map(|ch| {
                 let mut dram = cfg.dram.clone();
@@ -212,8 +231,12 @@ impl Tile {
                 // field derives from a per-channel seed (channel 0 keeps the
                 // configured seed, so single-channel systems are unchanged).
                 dram.variation.seed = dram.variation.seed.wrapping_add(u64::from(ch));
+                let mut device = DramDevice::new(dram);
+                if let Some(t) = trace {
+                    device.enable_cmd_trace(t.ring_capacity);
+                }
                 Lane {
-                    device: DramDevice::new(dram),
+                    device,
                     session: ApiSession::new(cfg.write_buffer_depth),
                     timeline: EmulatedTimeline::with_ranks(
                         geometry.ranks as usize,
@@ -223,6 +246,8 @@ impl Tile {
                     ),
                     controller: Box::new(FrFcfsController::new()),
                     stats: ChannelStats::default(),
+                    ring: trace.map(|t| EventRing::new(t.ring_capacity)),
+                    mit_seen: 0,
                 }
             })
             .collect();
@@ -254,6 +279,8 @@ impl Tile {
             threads,
             pool: None,
             scratch: ServeScratch::default(),
+            metrics: TileMetrics::default(),
+            trace,
         }
     }
 
@@ -261,6 +288,55 @@ impl Tile {
     #[must_use]
     pub fn threads(&self) -> u32 {
         self.threads
+    }
+
+    /// Whether event tracing is enabled on this tile.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The resolved tracing configuration (`cfg.trace`, else the
+    /// `EASYDRAM_TRACE` environment variable at construction time).
+    #[must_use]
+    pub fn trace_config(&self) -> Option<TraceConfig> {
+        self.trace
+    }
+
+    /// The cumulative always-on metric frame (latency/depth/batch
+    /// histograms). `System::run` rebases it per window like [`SmcStats`].
+    #[must_use]
+    pub fn metrics(&self) -> TileMetrics {
+        self.metrics
+    }
+
+    /// Drains every lane's event ring and every channel device's command
+    /// ring into one export-ready [`TraceLog`]. Empty when tracing is off.
+    /// Tracing stays enabled afterwards, so a harness can capture one log
+    /// per run window.
+    pub fn take_trace(&mut self) -> TraceLog {
+        let mut log = TraceLog::default();
+        for (ch, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some(ring) = lane.ring.as_mut() {
+                ring.drain_into(&mut log);
+            }
+            let (records, dropped) = lane.device.take_cmd_trace();
+            log.dropped += dropped;
+            for rec in records {
+                let kind = match rec.mnemonic {
+                    "ACT" => EventKind::CmdActivate,
+                    "PRE" | "PREA" => EventKind::CmdPrecharge,
+                    "RD" => EventKind::CmdRead,
+                    "WR" => EventKind::CmdWrite,
+                    "REF" => EventKind::CmdRefresh,
+                    _ => EventKind::CmdRfm,
+                };
+                log.push(TraceEvent::command(
+                    rec.ps, ch as u32, kind, rec.bank, rec.arg,
+                ));
+            }
+        }
+        log
     }
 
     /// The system configuration.
@@ -483,6 +559,22 @@ impl Tile {
     fn post_to_channel(&mut self, ch: usize, kind: RequestKind, issue_cycle: u64) -> u64 {
         let id = self.next_req_id;
         self.next_req_id += 1;
+        obs_trace!(
+            self.lanes[ch].ring,
+            TraceEvent::enqueue(
+                cycles_to_ps(issue_cycle, self.cfg.core.freq_hz),
+                id,
+                ch as u32,
+                self.current_requestor,
+                match kind {
+                    RequestKind::Read { .. } | RequestKind::ProfileTrcd { .. } => {
+                        obs::req_class::READ
+                    }
+                    RequestKind::Write { .. } => obs::req_class::WRITE,
+                    RequestKind::RowClone { .. } => obs::req_class::ROWCLONE,
+                }
+            )
+        );
         self.lanes[ch]
             .session
             .post_with_id(id, self.current_requestor, kind, issue_cycle);
@@ -566,6 +658,7 @@ impl Tile {
                 continue;
             }
             live_lanes += 1;
+            self.metrics.queue_depth.record(lane.session.len() as u64);
             for r in lane.session.pending() {
                 let bank = self
                     .statics
@@ -635,6 +728,7 @@ impl Tile {
                 serve: p.serve_res,
                 ..SmcStats::default()
             });
+            self.metrics.batch_size.record(p.batch);
             max_lane_cycles = max_lane_cycles.max(p.ledger.rocket_cycles + p.ledger.hw_cycles);
 
             let lane = &mut self.lanes[p.lane];
@@ -646,6 +740,26 @@ impl Tile {
                 serve: p.serve_res,
                 ..ChannelStats::default()
             });
+            // Mitigation activity becomes per-pass delta events: the
+            // cumulative policy counter is differenced against what this
+            // lane's ring has already seen. Only maintained while tracing —
+            // the counter itself reaches reports through `mitigation_stats`.
+            if lane.ring.is_some() {
+                if let Some(m) = lane.controller.mitigation_stats() {
+                    if m.targeted_refreshes > lane.mit_seen {
+                        let delta = m.targeted_refreshes - lane.mit_seen;
+                        lane.mit_seen = m.targeted_refreshes;
+                        obs_trace!(
+                            lane.ring,
+                            TraceEvent::mitigation(
+                                cycles_to_ps(trigger_cycle, f_core),
+                                p.lane as u32,
+                                u32::try_from(delta).unwrap_or(u32::MAX),
+                            )
+                        );
+                    }
+                }
+            }
 
             for resp in &p.ledger.responses {
                 let ReqMeta {
@@ -672,6 +786,19 @@ impl Tile {
                 rs.dram_occupancy_ps += resp.slice.dram_occupancy_ps;
                 rs.column_ops += resp.slice.column_ops;
                 let lane = &mut self.lanes[p.lane];
+                // Per-bank row-buffer outcome histogram: the response slice
+                // carries exactly this request's hits/misses/conflicts, and
+                // the metadata hoist already decoded its bank.
+                if lane.stats.row_outcomes_per_bank.len() <= bank {
+                    lane.stats
+                        .row_outcomes_per_bank
+                        .resize(bank + 1, BankRowOutcomes::default());
+                }
+                lane.stats.row_outcomes_per_bank[bank].merge(&BankRowOutcomes {
+                    hits: resp.slice.row_hits,
+                    misses: resp.slice.row_misses,
+                    conflicts: resp.slice.row_conflicts,
+                });
                 let burst_ps = resp.slice.column_ops * t_burst;
                 let finish_mem_ps = lane.timeline.price(&TimelineDemand {
                     arrival_ps: cycles_to_ps(arrival_cycle, f_core),
@@ -706,6 +833,48 @@ impl Tile {
                 };
                 let release_cycle = release_cycle.max(arrival_cycle + 1);
                 latest_release = latest_release.max(release_cycle);
+                // Always-on latency metrics, recorded in this sequential
+                // pricing reduction so they are identical at every thread
+                // count and whether or not tracing is enabled.
+                let latency_cycles = release_cycle - arrival_cycle;
+                self.metrics.request_latency.record(latency_cycles);
+                match kind {
+                    ReqClass::Read => self.metrics.read_latency.record(latency_cycles),
+                    ReqClass::Write => self.metrics.write_latency.record(latency_cycles),
+                    ReqClass::RowClone => {}
+                }
+                obs_trace!(
+                    lane.ring,
+                    TraceEvent::issue(
+                        cycles_to_ps(trigger_cycle, f_core),
+                        resp.id,
+                        p.lane as u32,
+                        resp.requestor
+                    )
+                );
+                obs_trace!(
+                    lane.ring,
+                    TraceEvent::slice_release(
+                        finish_mem_ps,
+                        resp.id,
+                        p.lane as u32,
+                        resp.requestor
+                    )
+                );
+                obs_trace!(
+                    lane.ring,
+                    TraceEvent::retire(
+                        cycles_to_ps(release_cycle, f_core),
+                        resp.id,
+                        p.lane as u32,
+                        resp.requestor,
+                        match kind {
+                            ReqClass::Read => obs::req_class::READ,
+                            ReqClass::Write => obs::req_class::WRITE,
+                            ReqClass::RowClone => obs::req_class::ROWCLONE,
+                        }
+                    )
+                );
                 scratch
                     .served
                     .push(resp.id, resp.data, resp.corrupted, release_cycle);
@@ -1104,6 +1273,7 @@ impl System {
         let channels0 = self.tile().channel_stats();
         let requestors0 = self.tile().requestor_stats();
         let mitigation0 = self.tile().mitigation_stats();
+        let metrics0 = self.tile().metrics();
         let prior_peak = self.tile_mut().begin_peak_window();
         workload.run(&mut self.core);
         let mut r = self.report(workload.name());
@@ -1126,6 +1296,7 @@ impl System {
         if let (Some(m), Some(m0)) = (r.mitigation.as_mut(), mitigation0.as_ref()) {
             m.subtract_baseline(m0);
         }
+        r.metrics.subtract_baseline(&metrics0);
         if r.fpga_wall_seconds > 0.0 {
             r.sim_speed_hz = r.emulated_cycles as f64 / r.fpga_wall_seconds;
         }
@@ -1162,7 +1333,14 @@ impl System {
             controllers: tile.controller_names(),
             requestors: tile.requestor_stats(),
             mitigation: tile.mitigation_stats(),
+            metrics: tile.metrics(),
         }
+    }
+
+    /// Drains the tile's event and command rings into one export-ready
+    /// [`TraceLog`] (empty when tracing is off; see [`Tile::take_trace`]).
+    pub fn take_trace(&mut self) -> TraceLog {
+        self.tile_mut().take_trace()
     }
 }
 

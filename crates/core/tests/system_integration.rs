@@ -341,7 +341,7 @@ fn no_time_scaling_latency_tracks_fpga_clock() {
 /// immediately before the multi-channel generalization landed. The default
 /// configuration must keep reproducing this report **byte for byte** —
 /// the backward-compat contract of the channel/rank sharding work.
-const SINGLE_CHANNEL_REPORT_SNAPSHOT: &str = "[time-scaling] snapshot: 11124 emulated cycles (0.008 ms emulated, 0.717 ms FPGA wall)\n  sim speed 15.51 MHz | IPC 0.02 | mem-reads/kcycle 11.51 | row-hit 92%\n  core: instrs 192 (ld 64 st 64) | mem rd 128 wr 64 | rowclone 0/0 | stalls 10740\n  dram: ACT 16 PRE 0 RD 128 WR 64 REF 0 | violations 0 | rowclone 0/0 | weak-reads 0\n  smc: 192 reqs, 18464 rocket cycles, 192 batches, peak batch 8, 0 rowclone fallbacks";
+const SINGLE_CHANNEL_REPORT_SNAPSHOT: &str = "[time-scaling] snapshot: 11124 emulated cycles (0.008 ms emulated, 0.717 ms FPGA wall)\n  sim speed 15.51 MHz | IPC 0.02 | mem-reads/kcycle 11.51 | row-hit 92%\n  core: instrs 192 (ld 64 st 64) | mem rd 128 wr 64 | rowclone 0/0 | stalls 10740\n  dram: ACT 16 PRE 0 RD 128 WR 64 REF 0 | violations 0 | rowclone 0/0 | weak-reads 0\n  smc: 192 reqs, 18464 rocket cycles, 192 batches, peak batch 8, 0 rowclone fallbacks\n  latency cycles: p50 127 | p95 511 | p99 511 (n=192)";
 
 #[test]
 fn default_single_channel_report_matches_snapshot() {

@@ -47,7 +47,7 @@ pub use cache::{Cache, CacheConfig, Eviction};
 pub use config::CoreConfig;
 pub use core::CoreModel;
 pub use fixed::FixedLatencyBackend;
-pub use shared::{CoScheduler, SharedBackend};
+pub use shared::{CoScheduler, QuantumSwitch, SharedBackend};
 pub use stats::CoreStats;
 pub use workload::Workload;
 

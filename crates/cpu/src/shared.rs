@@ -29,6 +29,42 @@ struct CoState {
     finished: Vec<bool>,
     /// The core currently holding the execution baton.
     turn: usize,
+    /// Optional baton-handoff log (observability), `None` unless
+    /// [`CoScheduler::enable_switch_log`] was called.
+    switch_log: Option<SwitchLog>,
+}
+
+/// One baton handoff, as recorded by the co-scheduler's optional switch
+/// log: purely emulated-time data (the publish cycle of the yielding core),
+/// so logging cannot perturb scheduling decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantumSwitch {
+    /// Emulated cycle the yielding core had published when it handed off.
+    pub cycle: u64,
+    /// Core that released the baton.
+    pub from: u32,
+    /// Core that received it.
+    pub to: u32,
+}
+
+/// Fixed-capacity overwrite-oldest ring of [`QuantumSwitch`] records.
+struct SwitchLog {
+    buf: Vec<QuantumSwitch>,
+    cap: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl SwitchLog {
+    fn push(&mut self, sw: QuantumSwitch) {
+        if self.buf.len() < self.cap {
+            self.buf.push(sw);
+        } else {
+            self.buf[self.head] = sw;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
 }
 
 /// Deterministic smallest-`now`-first baton scheduler for co-run cores.
@@ -83,6 +119,7 @@ impl CoScheduler {
                 now: vec![0; cores],
                 finished: vec![false; cores],
                 turn: 0,
+                switch_log: None,
             }),
             turns: Condvar::new(),
             quantum,
@@ -140,6 +177,14 @@ impl CoScheduler {
         st.now[id] = st.now[id].max(now);
         let next = self.pick(&st);
         if next != id {
+            let cycle = st.now[id];
+            if let Some(log) = st.switch_log.as_mut() {
+                log.push(QuantumSwitch {
+                    cycle,
+                    from: id as u32,
+                    to: next as u32,
+                });
+            }
             st.turn = next;
             self.turns.notify_all();
             while st.turn != id {
@@ -155,9 +200,56 @@ impl CoScheduler {
         st.now[id] = st.now[id].max(now);
         st.finished[id] = true;
         if st.turn == id {
-            st.turn = self.pick(&st);
+            let next = self.pick(&st);
+            if next != id {
+                let cycle = st.now[id];
+                if let Some(log) = st.switch_log.as_mut() {
+                    log.push(QuantumSwitch {
+                        cycle,
+                        from: id as u32,
+                        to: next as u32,
+                    });
+                }
+            }
+            st.turn = next;
         }
         self.turns.notify_all();
+    }
+
+    /// Enables baton-handoff logging into a fixed-capacity overwrite-oldest
+    /// ring of at most `capacity` records (minimum 1), replacing any prior
+    /// log. The log lives behind the scheduler's own mutex and records only
+    /// emulated cycles, so it cannot change any scheduling decision.
+    pub fn enable_switch_log(&self, capacity: usize) {
+        let cap = capacity.max(1);
+        let mut st = self.state.lock().expect("co-scheduler state");
+        st.switch_log = Some(SwitchLog {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        });
+    }
+
+    /// Drains the baton-handoff log in handoff order (oldest surviving
+    /// record first), returning the records and how many were overwritten.
+    /// Empty when logging was never enabled; logging stays enabled
+    /// afterwards.
+    pub fn take_switches(&self) -> (Vec<QuantumSwitch>, u64) {
+        let mut st = self.state.lock().expect("co-scheduler state");
+        match st.switch_log.as_mut() {
+            None => (Vec::new(), 0),
+            Some(log) => {
+                let mut out = Vec::with_capacity(log.buf.len());
+                out.extend_from_slice(&log.buf[log.head..]);
+                out.extend_from_slice(&log.buf[..log.head]);
+                let dropped = log.dropped;
+                log.buf.clear();
+                log.head = 0;
+                log.dropped = 0;
+                (out, dropped)
+            }
+        }
     }
 }
 

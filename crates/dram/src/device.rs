@@ -93,6 +93,44 @@ pub fn blast_neighbors(row: u32, rows_per_bank: u32, radius: u32) -> impl Iterat
     })
 }
 
+/// One executed DRAM command, as recorded by the device's optional command
+/// trace ring. Timestamps are the emulated picoseconds the command was
+/// issued at — the device has no other notion of time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmdRecord {
+    /// Emulated issue time, ps.
+    pub ps: u64,
+    /// Command mnemonic (`ACT`, `PRE`, `PREA`, `RD`, `WR`, `REF`, `RFM`).
+    pub mnemonic: &'static str,
+    /// Flat bank index (0 for rank-scoped commands).
+    pub bank: u32,
+    /// Row for `ACT`/`RFM`, column for `RD`/`WR`, 0 otherwise.
+    pub arg: u32,
+}
+
+/// Fixed-capacity overwrite-oldest ring behind the device's command trace.
+/// All storage is reserved when tracing is enabled; recording never
+/// allocates.
+#[derive(Debug, Clone)]
+struct CmdTraceRing {
+    buf: Vec<CmdRecord>,
+    cap: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl CmdTraceRing {
+    fn push(&mut self, rec: CmdRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+}
+
 /// The modeled DDR4 rank.
 #[derive(Debug, Clone)]
 pub struct DramDevice {
@@ -117,6 +155,10 @@ pub struct DramDevice {
     /// Lifetime ACT count per bank (surfaced into per-channel reports so
     /// contention and hammering hot spots are visible).
     acts_per_bank: Vec<u64>,
+    /// Optional command trace: every executed command's `(ps, mnemonic,
+    /// bank, arg)` in a fixed ring. `None` (the default) keeps the hot path
+    /// at a single branch.
+    cmd_trace: Option<CmdTraceRing>,
 }
 
 impl DramDevice {
@@ -145,6 +187,38 @@ impl DramDevice {
             hammer_counts: HashMap::new(), // lint: allow(det/hash-order) — see the field's justification
             hammer_window_start_ps: 0,
             acts_per_bank: vec![0; banks],
+            cmd_trace: None,
+        }
+    }
+
+    /// Enables command tracing into a fixed-capacity overwrite-oldest ring
+    /// of at most `capacity` records (minimum 1), replacing any prior ring.
+    pub fn enable_cmd_trace(&mut self, capacity: usize) {
+        let cap = capacity.max(1);
+        self.cmd_trace = Some(CmdTraceRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        });
+    }
+
+    /// Drains the command trace in issue order (oldest surviving record
+    /// first), returning the records and how many were overwritten. Empty
+    /// when tracing is disabled; tracing stays enabled afterwards.
+    pub fn take_cmd_trace(&mut self) -> (Vec<CmdRecord>, u64) {
+        match self.cmd_trace.as_mut() {
+            None => (Vec::new(), 0),
+            Some(ring) => {
+                let mut out = Vec::with_capacity(ring.buf.len());
+                out.extend_from_slice(&ring.buf[ring.head..]);
+                out.extend_from_slice(&ring.buf[..ring.head]);
+                let dropped = ring.dropped;
+                ring.buf.clear();
+                ring.head = 0;
+                ring.dropped = 0;
+                (out, dropped)
+            }
         }
     }
 
@@ -434,6 +508,18 @@ impl DramDevice {
         };
         self.stats.violations += violations.len() as u64;
         self.now_ps = now_ps;
+        if let Some(ring) = self.cmd_trace.as_mut() {
+            ring.push(CmdRecord {
+                ps: now_ps,
+                mnemonic: cmd.mnemonic(),
+                bank: cmd.bank().unwrap_or(0),
+                arg: match cmd {
+                    DramCommand::Activate { row, .. } | DramCommand::RefreshRow { row, .. } => row,
+                    DramCommand::Read { col, .. } | DramCommand::Write { col, .. } => col,
+                    _ => 0,
+                },
+            });
+        }
         let mut out = CmdOutcome {
             violations,
             completion_ps: now_ps,

@@ -58,7 +58,9 @@ pub use address::{AddressMapper, DramAddress, MappingScheme};
 pub use command::{DramCommand, LINE_BYTES};
 pub use config::{DramConfig, Geometry};
 pub use consistency::{ConfigRule, TimingContradiction};
-pub use device::{blast_neighbors, CmdOutcome, DramDevice, RowCloneOutcome, BLAST_RADIUS};
+pub use device::{
+    blast_neighbors, CmdOutcome, CmdRecord, DramDevice, RowCloneOutcome, BLAST_RADIUS,
+};
 pub use error::{DramError, TimingRule, TimingViolation};
 #[cfg(any(test, feature = "oracle"))]
 pub use oracle::OracleRankTiming;

@@ -92,6 +92,7 @@ pub fn lint_source(
     let mut raw: Vec<Diagnostic> = Vec::new();
     if scope.sim {
         scan_determinism(path, &tokens, &live, scope, enabled, &mut raw);
+        scan_obs(path, &tokens, &live, enabled, &mut raw);
     }
     scan_allocations(path, &tokens, &live, &no_alloc_regions, enabled, &mut raw);
     raw.sort();
@@ -440,6 +441,77 @@ fn scan_determinism(
                 );
             }
             _ => {}
+        }
+    }
+}
+
+/// Host-clock idents that must never feed a structured trace record. The
+/// wall-clock rule already catches `Instant`/`SystemTime` anywhere in sim
+/// code; this list extends coverage to the `Duration` readings a clock
+/// produces, which are just as irreproducible as the clock itself.
+const CLOCK_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "Duration",
+    "elapsed",
+    "as_nanos",
+    "as_micros",
+    "as_millis",
+    "as_secs",
+];
+
+/// The structured observability records whose timestamps are part of the
+/// determinism contract: they carry emulated picoseconds or cycles, so any
+/// host-clock value flowing into a construction makes traces irreproducible.
+const OBS_CONSTRUCTORS: &[&str] = &["TraceEvent", "CmdRecord", "QuantumSwitch"];
+
+/// Flags trace-record constructions fed from a host clock. Fires on an
+/// [`OBS_CONSTRUCTORS`] ident followed by `::` (constructor call) or `{`
+/// (struct literal), with a [`CLOCK_IDENTS`] token in the rest of the
+/// statement (lookahead capped, stopping at `;`).
+fn scan_obs(
+    path: &str,
+    tokens: &[Token],
+    live: &[bool],
+    enabled: &BTreeSet<Rule>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut emit = |line: u32, message: String| {
+        if enabled.contains(&Rule::ObsEmulatedTimeOnly) {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line,
+                rule: Rule::ObsEmulatedTimeOnly,
+                message,
+            });
+        }
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if !live[i] || !OBS_CONSTRUCTORS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !matches!(tokens.get(i + 1).map(|n| n.text.as_str()), Some("::" | "{")) {
+            continue;
+        }
+        for j in (i + 2)..tokens.len().min(i + 2 + 40) {
+            if !live[j] {
+                continue;
+            }
+            let tj = tokens[j].text.as_str();
+            if tj == ";" {
+                break;
+            }
+            if CLOCK_IDENTS.contains(&tj) {
+                emit(
+                    t.line,
+                    format!(
+                        "{} built from host clock `{tj}` — observability \
+                         timestamps must be emulated picoseconds or cycles",
+                        t.text
+                    ),
+                );
+                break;
+            }
         }
     }
 }

@@ -38,6 +38,10 @@ pub enum Rule {
     /// An `allow(...)` pragma whose target line raised no finding of the
     /// allowed rule — stale escapes must be deleted, not accumulated.
     PragmaUnusedAllow,
+    /// A trace-event or switch-log record constructed from a host clock
+    /// type in simulation code: observability timestamps must be emulated
+    /// picoseconds (or cycles), never `Instant`/`Duration` readings.
+    ObsEmulatedTimeOnly,
 }
 
 impl Rule {
@@ -56,6 +60,7 @@ impl Rule {
             Rule::PragmaAllowNeedsReason,
             Rule::PragmaUnknownRule,
             Rule::PragmaUnusedAllow,
+            Rule::ObsEmulatedTimeOnly,
         ]
     }
 
@@ -74,6 +79,7 @@ impl Rule {
             Rule::PragmaAllowNeedsReason => "pragma/allow-needs-reason",
             Rule::PragmaUnknownRule => "pragma/unknown-rule",
             Rule::PragmaUnusedAllow => "pragma/unused-allow",
+            Rule::ObsEmulatedTimeOnly => "obs/emulated-time-only",
         }
     }
 
@@ -120,6 +126,12 @@ impl Rule {
                 "allow(...) pragma whose target line raised no finding of the \
                  allowed rule"
             }
+            Rule::ObsEmulatedTimeOnly => {
+                "trace-event construction fed from a host clock \
+                 (Instant/Duration/elapsed/as_nanos) in simulation code \
+                 (observability timestamps must be emulated picoseconds or \
+                 cycles, so traces replay byte-identically)"
+            }
         }
     }
 
@@ -147,7 +159,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len(), "duplicate rule id");
-        assert_eq!(Rule::all().len(), 11);
+        assert_eq!(Rule::all().len(), 12);
         for r in Rule::all() {
             assert_eq!(Rule::from_id(r.id()), Some(*r));
         }

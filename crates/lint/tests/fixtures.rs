@@ -127,6 +127,12 @@ fixture!(
     Rule::PragmaUnusedAllow,
     [("pragma/unused-allow", 1)]
 );
+fixture!(
+    obs_emulated_time_only,
+    "obs_emulated_time_only.rs",
+    Rule::ObsEmulatedTimeOnly,
+    [("obs/emulated-time-only", 5), ("obs/emulated-time-only", 7)]
+);
 
 #[test]
 fn clean_fixture_has_no_findings() {
@@ -150,6 +156,7 @@ fn every_rule_has_a_seeded_fixture() {
         "pragma/allow-needs-reason",
         "pragma/unknown-rule",
         "pragma/unused-allow",
+        "obs/emulated-time-only",
     ]
     .into_iter()
     .collect();

@@ -1,0 +1,14 @@
+// Seeded violations for obs/emulated-time-only: trace records built from
+// host-clock readings. `Duration`/`as_nanos` are deliberately tokens no
+// other rule matches, so exactly this rule fires.
+pub fn bad_records(dur: std::time::Duration, out: &mut Vec<u64>) {
+    let ev = TraceEvent::enqueue(dur.as_nanos() as u64, 1, 0, 0, 0);
+    out.push(ev.ps);
+    let sw = QuantumSwitch { cycle: dur.as_millis() as u64, from: 0, to: 1 };
+    out.push(sw.cycle);
+}
+
+pub fn good_record(ps: u64, out: &mut Vec<u64>) {
+    let ev = TraceEvent::retire(ps, 1, 0, 0, 0);
+    out.push(ev.ps);
+}

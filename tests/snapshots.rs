@@ -17,7 +17,9 @@
 //! `4` and the three renders are asserted byte-identical **before** the
 //! 1-thread render is pinned against the golden: the parallel serve engine
 //! and the run-ahead co-scheduler must be invisible in every report, at any
-//! thread count.
+//! thread count. A fourth render with `EASYDRAM_TRACE=1` proves the
+//! observability layer has zero observer effect: event tracing on or off,
+//! the report bytes never move.
 //!
 //! Regenerate the goldens with:
 //!
@@ -34,7 +36,7 @@ use easydram_suite::cpu::backend::MemoryBackend;
 use easydram_suite::cpu::{CacheConfig, CpuApi};
 use easydram_suite::easydram::par::THREADS_ENV;
 use easydram_suite::easydram::{
-    GrapheneController, MultiCoreSystem, RequestKind, System, SystemConfig, TimingMode,
+    GrapheneController, MultiCoreSystem, RequestKind, System, SystemConfig, TimingMode, TRACE_ENV,
 };
 use easydram_suite::ramulator::{RamulatorConfig, RamulatorSystem};
 use easydram_suite::workloads::lmbench::LatMemRd;
@@ -86,6 +88,19 @@ impl Drop for ThreadsEnvGuard {
     }
 }
 
+/// Restores `EASYDRAM_TRACE` on drop, like [`ThreadsEnvGuard`] — the
+/// observer-effect render below flips it on mid-sweep.
+struct TraceEnvGuard(Option<std::ffi::OsString>);
+
+impl Drop for TraceEnvGuard {
+    fn drop(&mut self) {
+        match self.0.take() {
+            Some(v) => std::env::set_var(TRACE_ENV, v),
+            None => std::env::remove_var(TRACE_ENV),
+        }
+    }
+}
+
 /// Renders the figure at `EASYDRAM_THREADS=1`, `2`, and `4`, asserts the
 /// three snapshots are byte-identical, then pins the 1-thread (exact
 /// sequential path) render against the golden. A divergence between thread
@@ -94,6 +109,8 @@ impl Drop for ThreadsEnvGuard {
 fn check_snapshot_at_all_thread_counts(name: &str, render: impl Fn() -> String) {
     let _serial = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let _restore = ThreadsEnvGuard(std::env::var_os(THREADS_ENV));
+    let _restore_trace = TraceEnvGuard(std::env::var_os(TRACE_ENV));
+    std::env::remove_var(TRACE_ENV);
     std::env::set_var(THREADS_ENV, "1");
     let sequential = render();
     for threads in ["2", "4"] {
@@ -106,6 +123,18 @@ fn check_snapshot_at_all_thread_counts(name: &str, render: impl Fn() -> String) 
             first_divergence(name, &sequential, &parallel)
         );
     }
+    // Observer-effect probe: the same figure with event tracing enabled
+    // must reproduce the untraced report byte for byte.
+    std::env::set_var(THREADS_ENV, "1");
+    std::env::set_var(TRACE_ENV, "1");
+    let traced = render();
+    assert!(
+        traced == sequential,
+        "figure '{name}' is not trace-invisible \
+         (EASYDRAM_TRACE=1 changed the report):\n{}",
+        first_divergence(name, &sequential, &traced)
+    );
+    std::env::remove_var(TRACE_ENV);
     check_snapshot(name, &sequential);
 }
 

@@ -13,8 +13,8 @@
 
 use proptest::prelude::*;
 
-use easydram::report::{ChannelStats, RequestorStats, SmcStats};
-use easydram::ServeResult;
+use easydram::report::{BankRowOutcomes, ChannelStats, RequestorStats, SmcStats};
+use easydram::{LogHistogram, MetricsRegistry, ServeResult, TileMetrics};
 
 /// One generated shard: 32 bytes of entropy, spread across every counter.
 type Raw = [u8; 32];
@@ -56,6 +56,37 @@ fn channel_from(b: &Raw) -> ChannelStats {
         serve: serve_from(b),
         refreshes_per_rank: (0..ranks).map(|i| b[15 + i] as u64).collect(),
         acts_per_bank: (0..banks).map(|i| b[19 + i] as u64).collect(),
+        row_outcomes_per_bank: (0..banks)
+            .map(|i| BankRowOutcomes {
+                hits: b[24 + (i % 4)] as u64,
+                misses: b[25 + (i % 4)] as u64,
+                conflicts: b[26 + (i % 4)] as u64,
+            })
+            .collect(),
+    }
+}
+
+fn hist_from(b: &Raw) -> LogHistogram {
+    let mut h = LogHistogram::default();
+    for (i, &byte) in b.iter().enumerate() {
+        // Spread samples across the full bucket range: shift some bytes up
+        // so high buckets (including the `u64::MAX` tail) get exercised.
+        h.record(u64::from(byte) << (2 * (i % 24)));
+    }
+    h
+}
+
+fn metrics_from(b: &Raw) -> TileMetrics {
+    let mut rot = *b;
+    rot.rotate_left(5);
+    let mut rot2 = *b;
+    rot2.rotate_left(11);
+    TileMetrics {
+        request_latency: hist_from(b),
+        read_latency: hist_from(&rot),
+        write_latency: hist_from(&rot2),
+        queue_depth: hist_from(b),
+        batch_size: hist_from(&rot),
     }
 }
 
@@ -165,6 +196,60 @@ proptest! {
         let max_banks = shards.iter().map(|s| s.acts_per_bank.len()).max().unwrap_or(0);
         prop_assert_eq!(in_order.refreshes_per_rank.len(), max_ranks);
         prop_assert_eq!(in_order.acts_per_bank.len(), max_banks);
+    }
+
+    /// Log2 latency histograms merge commutatively and associatively, so
+    /// the observability layer's percentile data survives any sharding the
+    /// parallel engine produces — same proof obligation as the counters.
+    #[test]
+    fn histogram_merge_is_order_invariant(raws in raw_shards(), seed in any::<u64>()) {
+        let shards: Vec<LogHistogram> = raws.iter().map(hist_from).collect();
+        let in_order = fold(&shards, LogHistogram::merge);
+        let permuted = fold(&shuffled(&shards, seed), LogHistogram::merge);
+        let tree = tree_reduce(&shards, LogHistogram::merge);
+        prop_assert_eq!(in_order, permuted);
+        prop_assert_eq!(in_order, tree);
+        // Sample count and sum partition exactly across shards.
+        let n: u64 = shards.iter().map(|h| h.count).sum();
+        prop_assert_eq!(in_order.count, n);
+    }
+
+    /// Whole [`TileMetrics`] bundles (and the name-keyed registry view)
+    /// reduce order-invariantly, field by field.
+    #[test]
+    fn tile_metrics_merge_is_order_invariant(raws in raw_shards(), seed in any::<u64>()) {
+        let shards: Vec<TileMetrics> = raws.iter().map(metrics_from).collect();
+        let in_order = fold(&shards, TileMetrics::merge);
+        let permuted = fold(&shuffled(&shards, seed), TileMetrics::merge);
+        let tree = tree_reduce(&shards, TileMetrics::merge);
+        prop_assert_eq!(in_order, permuted);
+        prop_assert_eq!(in_order, tree);
+        // The registry projection agrees regardless of merge order too.
+        let mut reg_in_order = MetricsRegistry::default();
+        for s in &shards {
+            reg_in_order.merge(&s.registry());
+        }
+        let mut reg_permuted = MetricsRegistry::default();
+        for s in &shuffled(&shards, seed) {
+            reg_permuted.merge(&s.registry());
+        }
+        prop_assert_eq!(reg_in_order, reg_permuted);
+    }
+
+    /// Rebasing a merged histogram by a window-start snapshot recovers
+    /// exactly the activity after the snapshot — the windowing identity the
+    /// report layer relies on for every stat.
+    #[test]
+    fn histogram_window_rebase_is_exact(raws in raw_shards()) {
+        let shards: Vec<LogHistogram> = raws.iter().map(hist_from).collect();
+        let baseline = shards[0];
+        let mut total = baseline;
+        for s in &shards[1..] {
+            total.merge(s);
+        }
+        total.subtract_baseline(&baseline);
+        let window = fold(&shards[1..], LogHistogram::merge);
+        prop_assert_eq!(total, window);
     }
 
     /// RequestorStats merge is order-invariant for shards of one requestor.
